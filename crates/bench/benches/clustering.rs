@@ -1,0 +1,82 @@
+//! Benchmarks for semantic-community discovery: similarity-matrix
+//! construction, the three clustering algorithms, and MinHash signatures as
+//! the cheap alternative for large subscription populations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tps_bench::BenchFixture;
+use tps_cluster::{
+    agglomerative, kmedoids, leader, minhash_matrix, AgglomerativeConfig, KMedoidsConfig,
+    LeaderConfig, SimilarityMatrix,
+};
+use tps_core::{ExactEvaluator, ProximityMetric, SimilarityEstimator};
+use tps_synopsis::MatchingSetKind;
+
+fn fixture_matrix() -> (BenchFixture, SimilarityMatrix) {
+    let fixture = BenchFixture::nitf();
+    let synopsis = fixture.synopsis(MatchingSetKind::Hashes { capacity: 256 });
+    let estimator = SimilarityEstimator::from_synopsis(synopsis);
+    let matrix =
+        SimilarityMatrix::from_estimator(&estimator, fixture.positives(), ProximityMetric::M3);
+    (fixture, matrix)
+}
+
+fn bench_matrix_construction(c: &mut Criterion) {
+    let fixture = BenchFixture::nitf();
+    let synopsis = fixture.synopsis(MatchingSetKind::Hashes { capacity: 256 });
+    let estimator = SimilarityEstimator::from_synopsis(synopsis);
+    let exact = ExactEvaluator::new(fixture.documents().to_vec());
+    let mut group = c.benchmark_group("similarity_matrix");
+    group.sample_size(10);
+    group.bench_function("estimated_hashes", |b| {
+        b.iter(|| {
+            black_box(SimilarityMatrix::from_estimator(
+                &estimator,
+                fixture.positives(),
+                ProximityMetric::M3,
+            ))
+        })
+    });
+    group.bench_function("minhash_256", |b| {
+        b.iter(|| black_box(minhash_matrix(&exact, fixture.positives(), 256, 7)))
+    });
+    group.finish();
+}
+
+fn bench_clustering_algorithms(c: &mut Criterion) {
+    let (_fixture, matrix) = fixture_matrix();
+    let mut group = c.benchmark_group("clustering_algorithms");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("agglomerative"), |b| {
+        b.iter(|| {
+            black_box(
+                agglomerative(&matrix, AgglomerativeConfig::default())
+                    .clustering
+                    .cluster_count(),
+            )
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("leader"), |b| {
+        b.iter(|| black_box(leader(&matrix, LeaderConfig::default()).clustering.cluster_count()))
+    });
+    group.bench_function(BenchmarkId::from_parameter("kmedoids"), |b| {
+        b.iter(|| {
+            black_box(
+                kmedoids(
+                    &matrix,
+                    KMedoidsConfig {
+                        k: 6,
+                        ..KMedoidsConfig::default()
+                    },
+                )
+                .clustering
+                .cluster_count(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matrix_construction, bench_clustering_algorithms);
+criterion_main!(benches);

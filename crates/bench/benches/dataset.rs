@@ -1,0 +1,65 @@
+//! Benchmarks for the workload substrate (Table 1 / Section 5.1): document
+//! generation, pattern generation and data-set classification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tps_workload::{
+    Dataset, DatasetConfig, DocGenConfig, DocumentGenerator, Dtd, XPathGenConfig, XPathGenerator,
+};
+
+fn bench_document_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("document_generation_100_docs");
+    for (name, dtd) in [("nitf", Dtd::nitf_like()), ("xcbl", Dtd::xcbl_like())] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut generator =
+                    DocumentGenerator::new(&dtd, DocGenConfig::default().with_seed(5));
+                black_box(generator.generate_many(100).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pattern_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pattern_generation_100_patterns");
+    for (name, dtd) in [("nitf", Dtd::nitf_like()), ("xcbl", Dtd::xcbl_like())] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut generator =
+                    XPathGenerator::new(&dtd, XPathGenConfig::default().with_seed(5));
+                black_box(generator.generate_many(100).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dataset_classification(c: &mut Criterion) {
+    // Full dataset construction includes classifying candidate patterns into
+    // positive/negative workloads against every document.
+    let mut group = c.benchmark_group("dataset_generate");
+    group.sample_size(10);
+    group.bench_function("nitf_small", |b| {
+        b.iter(|| {
+            let config = DatasetConfig {
+                document_count: 100,
+                positive_count: 20,
+                negative_count: 20,
+                max_candidates: 50_000,
+                ..DatasetConfig::default()
+            };
+            black_box(Dataset::generate(Dtd::nitf_like(), &config).positive.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_document_generation,
+    bench_pattern_generation,
+    bench_dataset_classification
+);
+criterion_main!(benches);

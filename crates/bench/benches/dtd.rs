@@ -1,0 +1,73 @@
+//! Benchmarks for the DTD substrate: parsing, validation, and DTD-aware
+//! pattern analysis (satisfiability / expansion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tps_bench::BenchFixture;
+use tps_dtd::{parser, samples, writer, AnalysisConfig, PatternAnalyzer, ValidationMode, Validator};
+use tps_workload::Dtd;
+
+fn bench_parse(c: &mut Criterion) {
+    let nitf_text = writer::workload_dtd_to_text(&Dtd::nitf_like());
+    let xcbl_text = writer::workload_dtd_to_text(&Dtd::xcbl_like());
+    let mut group = c.benchmark_group("dtd_parse");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::from_parameter("media_sample"), |b| {
+        b.iter(|| black_box(parser::parse(samples::MEDIA_DTD).unwrap().element_count()))
+    });
+    group.bench_function(BenchmarkId::from_parameter("nitf_scale_123"), |b| {
+        b.iter(|| black_box(parser::parse(&nitf_text).unwrap().element_count()))
+    });
+    group.bench_function(BenchmarkId::from_parameter("xcbl_scale_569"), |b| {
+        b.iter(|| black_box(parser::parse(&xcbl_text).unwrap().element_count()))
+    });
+    group.finish();
+}
+
+fn bench_validate(c: &mut Criterion) {
+    let fixture = BenchFixture::nitf();
+    let schema = writer::schema_from_workload(&Dtd::nitf_like());
+    let validator = Validator::new(&schema, ValidationMode::Lenient);
+    let mut group = c.benchmark_group("dtd_validate");
+    group.sample_size(10);
+    group.bench_function("lenient_300_documents", |b| {
+        b.iter(|| {
+            let valid = fixture
+                .documents()
+                .iter()
+                .filter(|document| validator.is_valid(document))
+                .count();
+            black_box(valid)
+        })
+    });
+    group.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let fixture = BenchFixture::nitf();
+    let schema = writer::schema_from_workload(&Dtd::nitf_like());
+    let analyzer = PatternAnalyzer::with_config(
+        &schema,
+        AnalysisConfig {
+            max_descendant_depth: 6,
+            max_expansions: 256,
+        },
+    );
+    let mut group = c.benchmark_group("dtd_pattern_analysis");
+    group.sample_size(10);
+    group.bench_function("satisfiability_40_patterns", |b| {
+        b.iter(|| {
+            let satisfiable = fixture
+                .positives()
+                .iter()
+                .filter(|pattern| analyzer.satisfiable(pattern))
+                .count();
+            black_box(satisfiable)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_validate, bench_analysis);
+criterion_main!(benches);

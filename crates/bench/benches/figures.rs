@@ -1,0 +1,65 @@
+//! End-to-end benchmarks: one benchmark per paper table/figure pipeline, run
+//! at a reduced (tiny) scale so `cargo bench` completes quickly. The
+//! experiment binaries in `tps-experiments` regenerate the actual series at
+//! quick/paper scale; these benches track the cost of each pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tps_experiments::figures::{fig10, fig4, fig5, fig6, fig789, table1};
+use tps_experiments::{DtdWorkload, ExperimentScale};
+use tps_workload::Dtd;
+
+fn bench_scale() -> ExperimentScale {
+    let mut scale = ExperimentScale::tiny();
+    scale.document_count = 80;
+    scale.positive_count = 15;
+    scale.negative_count = 15;
+    scale.pair_count = 20;
+    scale.summary_sizes = vec![64, 256];
+    scale.compression_ratios = vec![1.0, 0.5];
+    scale.fig10_hash_size = 64;
+    scale
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let scale = bench_scale();
+    let workloads = vec![DtdWorkload::build("NITF", Dtd::nitf_like(), &scale)];
+    let mut group = c.benchmark_group("figure_pipelines");
+    group.sample_size(10);
+    group.bench_function("table1", |b| {
+        b.iter(|| black_box(table1(&workloads).rows.len()))
+    });
+    group.bench_function("fig4_positive_erel", |b| {
+        b.iter(|| black_box(fig4(&workloads, &scale).rows.len()))
+    });
+    group.bench_function("fig5_negative_esqr", |b| {
+        b.iter(|| black_box(fig5(&workloads, &scale).rows.len()))
+    });
+    group.bench_function("fig6_erel_vs_size", |b| {
+        b.iter(|| black_box(fig6(&workloads, &scale).rows.len()))
+    });
+    group.bench_function("fig7_8_9_metric_errors", |b| {
+        b.iter(|| {
+            let tables = fig789(&workloads, &scale);
+            black_box(tables[0].rows.len() + tables[1].rows.len() + tables[2].rows.len())
+        })
+    });
+    group.bench_function("fig10_compression", |b| {
+        b.iter(|| black_box(fig10(&workloads, &scale).rows.len()))
+    });
+    group.finish();
+}
+
+fn bench_workload_build(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("workload_build");
+    group.sample_size(10);
+    group.bench_function("nitf_tiny", |b| {
+        b.iter(|| black_box(DtdWorkload::build("NITF", Dtd::nitf_like(), &scale).dataset.document_count()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures, bench_workload_build);
+criterion_main!(benches);

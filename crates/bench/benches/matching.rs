@@ -1,0 +1,68 @@
+//! Benchmarks for exact tree-pattern matching and containment — the ground
+//! truth machinery every experiment's error computation relies on (and the
+//! cost a broker pays when it filters without a synopsis).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tps_bench::BenchFixture;
+use tps_pattern::containment::contains;
+use tps_pattern::TreePattern;
+use tps_xml::XmlTree;
+
+fn bench_exact_matching(c: &mut Criterion) {
+    let fixture = BenchFixture::nitf();
+    let docs = fixture.documents();
+    let patterns = fixture.positives();
+    c.bench_function("exact_match_workload_vs_one_document", |b| {
+        let doc = &docs[0];
+        b.iter(|| {
+            let hits = patterns.iter().filter(|p| p.matches(black_box(doc))).count();
+            black_box(hits)
+        })
+    });
+    c.bench_function("exact_match_one_pattern_vs_100_documents", |b| {
+        let pattern = &patterns[0];
+        b.iter(|| {
+            let hits = docs
+                .iter()
+                .take(100)
+                .filter(|d| black_box(pattern).matches(d))
+                .count();
+            black_box(hits)
+        })
+    });
+}
+
+fn bench_parsing(c: &mut Criterion) {
+    let fixture = BenchFixture::nitf();
+    let xml_text = fixture.documents()[0].to_xml();
+    c.bench_function("xml_parse_document", |b| {
+        b.iter(|| black_box(XmlTree::parse(&xml_text).unwrap().node_count()))
+    });
+    let pattern_text = fixture.positives()[0].to_string();
+    c.bench_function("xpath_parse_pattern", |b| {
+        b.iter(|| black_box(TreePattern::parse(&pattern_text).unwrap().node_count()))
+    });
+}
+
+fn bench_containment(c: &mut Criterion) {
+    let fixture = BenchFixture::nitf();
+    let patterns = fixture.positives();
+    c.bench_function("containment_all_pairs", |b| {
+        b.iter(|| {
+            let mut related = 0usize;
+            for p in patterns.iter().take(20) {
+                for q in patterns.iter().take(20) {
+                    if contains(p, q) {
+                        related += 1;
+                    }
+                }
+            }
+            black_box(related)
+        })
+    });
+}
+
+criterion_group!(benches, bench_exact_matching, bench_parsing, bench_containment);
+criterion_main!(benches);

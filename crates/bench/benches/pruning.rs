@@ -1,0 +1,65 @@
+//! Benchmarks for synopsis pruning — the machinery behind Figure 10.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tps_bench::BenchFixture;
+use tps_synopsis::{MatchingSetKind, PruneConfig};
+
+fn bench_prune_to_ratio(c: &mut Criterion) {
+    let fixture = BenchFixture::nitf();
+    let base = fixture.synopsis(MatchingSetKind::Hashes { capacity: 256 });
+    let mut group = c.benchmark_group("prune_to_ratio");
+    group.sample_size(10);
+    for alpha in [0.8, 0.5, 0.2] {
+        group.bench_function(BenchmarkId::from_parameter(format!("alpha_{alpha}")), |b| {
+            b.iter_batched(
+                || base.clone(),
+                |mut synopsis| {
+                    let report = synopsis.prune_to_ratio(alpha, PruneConfig::default());
+                    black_box(report.final_size)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_individual_operations(c: &mut Criterion) {
+    let fixture = BenchFixture::nitf();
+    let base = fixture.synopsis(MatchingSetKind::Hashes { capacity: 256 });
+    let mut group = c.benchmark_group("prune_operations");
+    group.sample_size(10);
+    group.bench_function("fold_identical_leaves", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut synopsis| black_box(synopsis.fold_identical_leaves(0.999)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("delete_smallest_leaves_to_half", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut synopsis| {
+                let target = synopsis.size().total() / 2;
+                black_box(synopsis.delete_smallest_leaves_until(target))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("merge_same_label_to_90pct", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut synopsis| {
+                let target = synopsis.size().total() * 9 / 10;
+                black_box(synopsis.merge_same_label_until(64, target))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prune_to_ratio, bench_individual_operations);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Benchmarks for the routing application: community clustering and the
+//! three dissemination strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tps_bench::BenchFixture;
+use tps_core::{ProximityMetric, SimilarityEstimator};
+use tps_routing::{Broker, CommunityClustering, CommunityConfig, Consumer, RoutingStrategy};
+use tps_synopsis::MatchingSetKind;
+
+fn setup() -> (BenchFixture, SimilarityEstimator, Broker) {
+    let fixture = BenchFixture::nitf();
+    let synopsis = fixture.synopsis(MatchingSetKind::Hashes { capacity: 256 });
+    let estimator = SimilarityEstimator::from_synopsis(synopsis);
+    let mut broker = Broker::new();
+    for (i, p) in fixture.positives().iter().enumerate() {
+        broker.subscribe(Consumer::new(format!("c{i}"), p.clone()));
+    }
+    (fixture, estimator, broker)
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let (fixture, estimator, _) = setup();
+    let mut group = c.benchmark_group("community_clustering");
+    group.sample_size(10);
+    for threshold in [0.4, 0.6, 0.8] {
+        group.bench_function(BenchmarkId::from_parameter(format!("threshold_{threshold}")), |b| {
+            b.iter(|| {
+                let clustering = CommunityClustering::cluster(
+                    &estimator,
+                    fixture.positives(),
+                    CommunityConfig {
+                        metric: ProximityMetric::M3,
+                        threshold,
+                        max_community_size: 0,
+                    },
+                );
+                black_box(clustering.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_routing_strategies(c: &mut Criterion) {
+    let (fixture, estimator, broker) = setup();
+    let clustering = CommunityClustering::cluster(
+        &estimator,
+        fixture.positives(),
+        CommunityConfig::default(),
+    );
+    let stream = &fixture.documents()[..50];
+    let mut group = c.benchmark_group("route_50_documents");
+    group.sample_size(10);
+    for strategy in [
+        RoutingStrategy::Flooding,
+        RoutingStrategy::PerSubscription,
+        RoutingStrategy::Community(clustering),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(strategy.name()), |b| {
+            b.iter(|| black_box(broker.route_stream(stream, &strategy).deliveries))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering, bench_routing_strategies);
+criterion_main!(benches);

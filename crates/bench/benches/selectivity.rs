@@ -1,0 +1,80 @@
+//! Benchmarks for the recursive selectivity algorithm `SEL` — the inner loop
+//! of Figures 4, 5 and 6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tps_bench::BenchFixture;
+use tps_core::SelectivityEstimator;
+use tps_synopsis::MatchingSetKind;
+
+fn bench_positive_selectivity(c: &mut Criterion) {
+    let fixture = BenchFixture::nitf();
+    let mut group = c.benchmark_group("selectivity_positive_workload");
+    for (name, kind) in [
+        ("counters", MatchingSetKind::Counters),
+        ("sets_256", MatchingSetKind::Sets { capacity: 256 }),
+        ("hashes_256", MatchingSetKind::Hashes { capacity: 256 }),
+        ("hashes_1000", MatchingSetKind::Hashes { capacity: 1000 }),
+    ] {
+        let synopsis = fixture.synopsis(kind);
+        let estimator = SelectivityEstimator::new(&synopsis);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let total: f64 = fixture
+                    .positives()
+                    .iter()
+                    .map(|p| estimator.selectivity(black_box(p)))
+                    .sum();
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_negative_selectivity(c: &mut Criterion) {
+    let fixture = BenchFixture::nitf();
+    let synopsis = fixture.synopsis(MatchingSetKind::Hashes { capacity: 256 });
+    let estimator = SelectivityEstimator::new(&synopsis);
+    c.bench_function("selectivity_negative_workload_hashes_256", |b| {
+        b.iter(|| {
+            let total: f64 = fixture
+                .negatives()
+                .iter()
+                .map(|p| estimator.selectivity(black_box(p)))
+                .sum();
+            black_box(total)
+        })
+    });
+}
+
+fn bench_single_pattern_scaling(c: &mut Criterion) {
+    // Cost of SEL as a function of the pattern size (memoisation keeps it
+    // polynomial; the paper quotes O(|HS|·|p|)).
+    let fixture = BenchFixture::nitf();
+    let synopsis = fixture.synopsis(MatchingSetKind::Hashes { capacity: 256 });
+    let estimator = SelectivityEstimator::new(&synopsis);
+    let mut patterns: Vec<_> = fixture.positives().to_vec();
+    patterns.sort_by_key(|p| p.node_count());
+    let small = patterns.first().cloned().unwrap();
+    let large = patterns.last().cloned().unwrap();
+    let mut group = c.benchmark_group("selectivity_single_pattern");
+    group.bench_function(
+        BenchmarkId::from_parameter(format!("small_{}nodes", small.node_count())),
+        |b| b.iter(|| black_box(estimator.selectivity(&small))),
+    );
+    group.bench_function(
+        BenchmarkId::from_parameter(format!("large_{}nodes", large.node_count())),
+        |b| b.iter(|| black_box(estimator.selectivity(&large))),
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_positive_selectivity,
+    bench_negative_selectivity,
+    bench_single_pattern_scaling
+);
+criterion_main!(benches);

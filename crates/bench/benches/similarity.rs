@@ -1,0 +1,74 @@
+//! Benchmarks for proximity-metric evaluation over pattern pairs — the inner
+//! loop of Figures 7, 8 and 9.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tps_bench::BenchFixture;
+use tps_core::{ProximityMetric, SelectivityEstimator, SimilarityEstimator};
+use tps_pattern::ops::conjunction;
+use tps_synopsis::MatchingSetKind;
+
+fn bench_pairwise_similarity(c: &mut Criterion) {
+    let fixture = BenchFixture::nitf();
+    let mut group = c.benchmark_group("similarity_pairs");
+    let pairs: Vec<(usize, usize)> = (0..fixture.positives().len())
+        .flat_map(|i| [(i, (i + 1) % fixture.positives().len())])
+        .collect();
+    for (name, kind) in [
+        ("counters", MatchingSetKind::Counters),
+        ("hashes_256", MatchingSetKind::Hashes { capacity: 256 }),
+    ] {
+        let synopsis = fixture.synopsis(kind);
+        let estimator = SimilarityEstimator::from_synopsis(synopsis);
+        for metric in ProximityMetric::all() {
+            group.bench_function(
+                BenchmarkId::new(name, metric.to_string()),
+                |b| {
+                    b.iter(|| {
+                        let total: f64 = pairs
+                            .iter()
+                            .map(|&(i, j)| {
+                                estimator.similarity(
+                                    &fixture.positives()[i],
+                                    &fixture.positives()[j],
+                                    metric,
+                                )
+                            })
+                            .sum();
+                        black_box(total)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_conjunction_construction(c: &mut Criterion) {
+    let fixture = BenchFixture::nitf();
+    let p = fixture.positives()[0].clone();
+    let q = fixture.positives()[1].clone();
+    c.bench_function("pattern_conjunction_root_merge", |b| {
+        b.iter(|| black_box(conjunction(&p, &q).node_count()))
+    });
+}
+
+fn bench_joint_selectivity(c: &mut Criterion) {
+    let fixture = BenchFixture::nitf();
+    let synopsis = fixture.synopsis(MatchingSetKind::Hashes { capacity: 256 });
+    let estimator = SelectivityEstimator::new(&synopsis);
+    let p = fixture.positives()[0].clone();
+    let q = fixture.positives()[1].clone();
+    c.bench_function("joint_selectivity_hashes_256", |b| {
+        b.iter(|| black_box(estimator.joint_selectivity(&p, &q)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_pairwise_similarity,
+    bench_conjunction_construction,
+    bench_joint_selectivity
+);
+criterion_main!(benches);

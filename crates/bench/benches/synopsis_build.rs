@@ -1,0 +1,91 @@
+//! Benchmarks for synopsis construction (the maintenance cost of Section 3.1
+//! that every experiment pays before estimation; feeds Figures 4–10).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tps_bench::BenchFixture;
+use tps_synopsis::{MatchingSetKind, Synopsis, SynopsisConfig};
+
+fn bench_synopsis_build(c: &mut Criterion) {
+    let fixture = BenchFixture::nitf();
+    let mut group = c.benchmark_group("synopsis_build");
+    for (name, kind) in [
+        ("counters", MatchingSetKind::Counters),
+        ("sets_256", MatchingSetKind::Sets { capacity: 256 }),
+        ("hashes_256", MatchingSetKind::Hashes { capacity: 256 }),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let synopsis = Synopsis::from_documents(
+                    SynopsisConfig {
+                        kind,
+                        ..SynopsisConfig::counters()
+                    },
+                    fixture.documents(),
+                );
+                black_box(synopsis.node_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental_insert(c: &mut Criterion) {
+    let fixture = BenchFixture::nitf();
+    let mut group = c.benchmark_group("synopsis_insert_one_document");
+    let doc = fixture.documents()[0].clone();
+    for (name, kind) in [
+        ("counters", MatchingSetKind::Counters),
+        ("hashes_256", MatchingSetKind::Hashes { capacity: 256 }),
+    ] {
+        let base = fixture.synopsis(kind);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter_batched(
+                || base.clone(),
+                |mut synopsis| {
+                    synopsis.insert_document(black_box(&doc));
+                    black_box(synopsis.document_count())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_skeleton_construction(c: &mut Criterion) {
+    let fixture = BenchFixture::nitf();
+    let doc = fixture.documents()[0].clone();
+    c.bench_function("skeleton_of_document", |b| {
+        b.iter(|| black_box(doc.skeleton().node_count()))
+    });
+}
+
+fn bench_prepare(c: &mut Criterion) {
+    let fixture = BenchFixture::nitf();
+    c.bench_function("synopsis_prepare_hashes_256", |b| {
+        b.iter_batched(
+            || {
+                Synopsis::from_documents(
+                    SynopsisConfig::hashes(256),
+                    fixture.documents(),
+                )
+            },
+            |mut s| {
+                s.prepare();
+                black_box(s.node_count())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_synopsis_build,
+    bench_incremental_insert,
+    bench_skeleton_construction,
+    bench_prepare
+);
+criterion_main!(benches);

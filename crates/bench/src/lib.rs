@@ -1,0 +1,93 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! Each benchmark file in `benches/` covers the computational core of one
+//! experiment of the paper's evaluation (see DESIGN.md, per-experiment
+//! index); this crate provides the common, deterministic fixtures they
+//! operate on so that individual benches stay comparable.
+
+use tps_pattern::TreePattern;
+use tps_synopsis::{MatchingSetKind, Synopsis, SynopsisConfig};
+use tps_workload::{Dataset, DatasetConfig, DocGenConfig, Dtd, XPathGenConfig};
+use tps_xml::XmlTree;
+
+/// Number of documents used by the benchmark fixtures (kept small so that a
+/// full `cargo bench` run finishes in minutes; the experiment binaries are
+/// the place for paper-scale runs).
+pub const BENCH_DOCUMENTS: usize = 300;
+
+/// Number of patterns used by the benchmark fixtures.
+pub const BENCH_PATTERNS: usize = 40;
+
+/// A deterministic NITF-scale benchmark fixture.
+pub struct BenchFixture {
+    /// The generated data set (documents + positive/negative patterns).
+    pub dataset: Dataset,
+}
+
+impl BenchFixture {
+    /// Build the standard fixture (NITF-scale DTD, 300 documents, 40+40
+    /// patterns).
+    pub fn nitf() -> Self {
+        Self::for_dtd(Dtd::nitf_like())
+    }
+
+    /// Build a fixture for an arbitrary DTD.
+    pub fn for_dtd(dtd: Dtd) -> Self {
+        let config = DatasetConfig {
+            document_count: BENCH_DOCUMENTS,
+            positive_count: BENCH_PATTERNS,
+            negative_count: BENCH_PATTERNS,
+            docgen: DocGenConfig::default().with_seed(1_000_001),
+            xpathgen: XPathGenConfig::default().with_seed(2_000_003),
+            max_candidates: 100_000,
+        };
+        Self {
+            dataset: Dataset::generate(dtd, &config),
+        }
+    }
+
+    /// The fixture's documents.
+    pub fn documents(&self) -> &[XmlTree] {
+        &self.dataset.documents
+    }
+
+    /// The fixture's positive patterns.
+    pub fn positives(&self) -> &[TreePattern] {
+        &self.dataset.positive
+    }
+
+    /// The fixture's negative patterns.
+    pub fn negatives(&self) -> &[TreePattern] {
+        &self.dataset.negative
+    }
+
+    /// Build a prepared synopsis of the given representation.
+    pub fn synopsis(&self, kind: MatchingSetKind) -> Synopsis {
+        let mut synopsis = Synopsis::from_documents(
+            SynopsisConfig {
+                kind,
+                ..SynopsisConfig::counters()
+            },
+            &self.dataset.documents,
+        );
+        synopsis.prepare();
+        synopsis
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_is_deterministic_and_well_formed() {
+        let a = BenchFixture::nitf();
+        let b = BenchFixture::nitf();
+        assert_eq!(a.documents().len(), BENCH_DOCUMENTS);
+        assert_eq!(a.positives().len(), BENCH_PATTERNS);
+        assert_eq!(a.negatives().len(), BENCH_PATTERNS);
+        assert_eq!(a.documents(), b.documents());
+        let synopsis = a.synopsis(MatchingSetKind::Hashes { capacity: 64 });
+        assert_eq!(synopsis.document_count() as usize, BENCH_DOCUMENTS);
+    }
+}

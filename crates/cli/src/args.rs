@@ -1,0 +1,236 @@
+//! A small, dependency-free command-line argument parser.
+//!
+//! The `tps` binary only needs a subcommand followed by `--key value`
+//! options (options may repeat, e.g. `--pattern`), plus `--help`. Parsing is
+//! kept in a library module so the commands and the error paths are unit
+//! tested without spawning processes.
+
+use std::fmt;
+
+/// A parsed command line: a subcommand and its options.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// The subcommand name (first positional argument).
+    pub command: String,
+    /// `--key value` options, in order of appearance.
+    pub options: Vec<(String, String)>,
+    /// Bare flags (`--key` not followed by a value).
+    pub flags: Vec<String>,
+}
+
+/// An argument-parsing or validation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    /// No subcommand was given.
+    MissingCommand,
+    /// An unexpected positional argument was found.
+    UnexpectedPositional(String),
+    /// A required option is missing.
+    MissingOption(String),
+    /// An option value could not be parsed.
+    InvalidValue {
+        /// The option name.
+        option: String,
+        /// The offending value.
+        value: String,
+        /// What was expected.
+        expected: String,
+    },
+    /// The subcommand is not known.
+    UnknownCommand(String),
+}
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgsError::MissingCommand => write!(f, "missing subcommand (try `tps help`)"),
+            ArgsError::UnexpectedPositional(arg) => {
+                write!(f, "unexpected positional argument {arg:?}")
+            }
+            ArgsError::MissingOption(option) => write!(f, "missing required option --{option}"),
+            ArgsError::InvalidValue {
+                option,
+                value,
+                expected,
+            } => write!(f, "invalid value {value:?} for --{option}: expected {expected}"),
+            ArgsError::UnknownCommand(command) => {
+                write!(f, "unknown subcommand {command:?} (try `tps help`)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+impl ParsedArgs {
+    /// Parse raw arguments (excluding the program name).
+    pub fn parse<I, S>(args: I) -> Result<Self, ArgsError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut iter = args.into_iter().map(Into::into).peekable();
+        let command = iter.next().ok_or(ArgsError::MissingCommand)?;
+        if command.starts_with("--") {
+            // `tps --help` is accepted as the help command.
+            return Ok(Self {
+                command: command.trim_start_matches('-').to_string(),
+                ..Self::default()
+            });
+        }
+        let mut parsed = Self {
+            command,
+            ..Self::default()
+        };
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                match iter.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        let value = iter.next().expect("peeked value exists");
+                        parsed.options.push((key.to_string(), value));
+                    }
+                    _ => parsed.flags.push(key.to_string()),
+                }
+            } else {
+                return Err(ArgsError::UnexpectedPositional(arg));
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// The last value given for an option, if any.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values given for a repeatable option.
+    pub fn get_all(&self, key: &str) -> Vec<&str> {
+        self.options
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
+    /// Whether a bare flag was given.
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// A required string option.
+    pub fn require(&self, key: &str) -> Result<&str, ArgsError> {
+        self.get(key)
+            .ok_or_else(|| ArgsError::MissingOption(key.to_string()))
+    }
+
+    /// An optional numeric option with a default.
+    pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, ArgsError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(value) => value.parse().map_err(|_| ArgsError::InvalidValue {
+                option: key.to_string(),
+                value: value.to_string(),
+                expected: "an unsigned integer".to_string(),
+            }),
+        }
+    }
+
+    /// An optional floating-point option with a default.
+    pub fn get_f64(&self, key: &str, default: f64) -> Result<f64, ArgsError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(value) => value.parse().map_err(|_| ArgsError::InvalidValue {
+                option: key.to_string(),
+                value: value.to_string(),
+                expected: "a number".to_string(),
+            }),
+        }
+    }
+
+    /// An optional u64 option with a default (used for seeds).
+    pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, ArgsError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(value) => value.parse().map_err(|_| ArgsError::InvalidValue {
+                option: key.to_string(),
+                value: value.to_string(),
+                expected: "an unsigned integer".to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_subcommand_options_and_flags() {
+        let args = ParsedArgs::parse(["similarity", "--dtd", "media", "--exact", "--docs", "50"])
+            .unwrap();
+        assert_eq!(args.command, "similarity");
+        assert_eq!(args.get("dtd"), Some("media"));
+        assert_eq!(args.get_usize("docs", 0).unwrap(), 50);
+        assert!(args.has_flag("exact"));
+        assert!(!args.has_flag("verbose"));
+    }
+
+    #[test]
+    fn repeated_options_are_collected_in_order() {
+        let args = ParsedArgs::parse(["similarity", "--pattern", "//CD", "--pattern", "//book"])
+            .unwrap();
+        assert_eq!(args.get_all("pattern"), vec!["//CD", "//book"]);
+        assert_eq!(args.get("pattern"), Some("//book"));
+    }
+
+    #[test]
+    fn missing_command_and_positionals_are_rejected() {
+        assert_eq!(
+            ParsedArgs::parse(Vec::<String>::new()).unwrap_err(),
+            ArgsError::MissingCommand
+        );
+        assert!(matches!(
+            ParsedArgs::parse(["generate", "stray"]).unwrap_err(),
+            ArgsError::UnexpectedPositional(arg) if arg == "stray"
+        ));
+    }
+
+    #[test]
+    fn numeric_parsing_reports_the_offending_option() {
+        let args = ParsedArgs::parse(["generate", "--documents", "many"]).unwrap();
+        let err = args.get_usize("documents", 10).unwrap_err();
+        assert!(matches!(err, ArgsError::InvalidValue { option, .. } if option == "documents"));
+        assert_eq!(args.get_f64("threshold", 0.5).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn double_dash_help_is_treated_as_the_help_command() {
+        let args = ParsedArgs::parse(["--help"]).unwrap();
+        assert_eq!(args.command, "help");
+    }
+
+    #[test]
+    fn require_reports_missing_options() {
+        let args = ParsedArgs::parse(["selectivity"]).unwrap();
+        assert_eq!(
+            args.require("pattern").unwrap_err(),
+            ArgsError::MissingOption("pattern".to_string())
+        );
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(ArgsError::MissingCommand.to_string().contains("help"));
+        assert!(ArgsError::UnknownCommand("x".into()).to_string().contains("x"));
+        let invalid = ArgsError::InvalidValue {
+            option: "documents".into(),
+            value: "many".into(),
+            expected: "an unsigned integer".into(),
+        };
+        assert!(invalid.to_string().contains("--documents"));
+    }
+}

@@ -1,0 +1,661 @@
+//! Implementations of the `tps` subcommands.
+//!
+//! Every command writes plain text to a caller-supplied writer, so the
+//! integration tests can run commands in-process and inspect their output
+//! without spawning the binary.
+
+use std::fmt;
+use std::io::Write;
+
+use tps_cluster::{
+    agglomerative, evaluate, kmedoids, leader, AgglomerativeConfig, Clustering, KMedoidsConfig,
+    LeaderConfig, SimilarityMatrix,
+};
+use tps_core::{ExactEvaluator, ProximityMetric, SimilarityEstimator};
+use tps_dtd::{writer as dtd_writer, PatternAnalyzer, ValidationMode, Validator};
+use tps_pattern::TreePattern;
+use tps_routing::{BrokerNetwork, BrokerTopology, ForwardingMode, SemanticOverlay};
+use tps_synopsis::SynopsisConfig;
+use tps_workload::{Dataset, DatasetConfig, DocGenConfig, DocumentGenerator, Dtd, XPathGenConfig};
+
+use crate::args::{ArgsError, ParsedArgs};
+
+/// Errors a command can produce.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument parsing or validation failed.
+    Args(ArgsError),
+    /// A tree pattern could not be parsed.
+    Pattern(String),
+    /// A DTD could not be read or parsed.
+    Dtd(String),
+    /// Writing output failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Args(err) => write!(f, "{err}"),
+            CliError::Pattern(msg) => write!(f, "invalid pattern: {msg}"),
+            CliError::Dtd(msg) => write!(f, "DTD error: {msg}"),
+            CliError::Io(err) => write!(f, "output error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgsError> for CliError {
+    fn from(err: ArgsError) -> Self {
+        CliError::Args(err)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(err: std::io::Error) -> Self {
+        CliError::Io(err)
+    }
+}
+
+/// The usage text printed by `tps help`.
+pub const USAGE: &str = "\
+tps — tree-pattern similarity estimation toolkit (ICDE'07 reproduction)
+
+USAGE:
+    tps <command> [--option value ...]
+
+COMMANDS:
+    help                               Show this message
+    generate     Generate an XML document workload
+        --dtd media|nitf|xcbl          DTD to generate from (default media)
+        --documents N                  number of documents (default 10)
+        --seed S                       RNG seed (default 1)
+        --stats                        print summary statistics instead of XML
+    dtd          Inspect a DTD and optionally analyse patterns against it
+        --dtd media|nitf|xcbl          built-in DTD (default media)
+        --file PATH                    parse a DTD file instead
+        --export                       print the DTD text
+        --validate PATH [--strict]     validate an XML file against the DTD
+        --pattern P                    analyse a pattern (repeatable)
+    selectivity  Estimate pattern selectivities over a generated stream
+        --dtd, --documents, --seed     workload options (as above)
+        --pattern P                    pattern to estimate (repeatable, required)
+        --summary counters|sets|hashes matching-set representation (default hashes)
+        --capacity N                   per-node summary budget (default 1000)
+    similarity   Estimate the similarity of two patterns (M1, M2, M3)
+        --pattern P --pattern Q        the two patterns (required)
+        --dtd, --documents, --seed, --summary, --capacity   as above
+    cluster      Cluster a generated subscription workload into communities
+        --dtd, --documents, --seed     workload options
+        --subscriptions N              number of subscriptions (default 40)
+        --algorithm leader|agglomerative|kmedoids   (default agglomerative)
+        --threshold T                  similarity threshold (default 0.6)
+        --k K                          communities for kmedoids (default 8)
+        --metric m1|m2|m3              proximity metric (default m3)
+    route        Simulate content-based routing over a broker tree
+        --dtd, --documents, --seed     workload options
+        --subscriptions N              number of subscriptions (default 40)
+        --brokers B                    number of brokers (default 7)
+        --threshold T                  community threshold (default 0.6)
+";
+
+/// Run a full command line (excluding the program name), writing the report
+/// to `out`.
+pub fn run<S, W>(args: impl IntoIterator<Item = S>, out: &mut W) -> Result<(), CliError>
+where
+    S: Into<String>,
+    W: Write,
+{
+    let parsed = ParsedArgs::parse(args)?;
+    match parsed.command.as_str() {
+        "help" => {
+            write!(out, "{USAGE}")?;
+            Ok(())
+        }
+        "generate" => generate(&parsed, out),
+        "dtd" => dtd(&parsed, out),
+        "selectivity" => selectivity(&parsed, out),
+        "similarity" => similarity(&parsed, out),
+        "cluster" => cluster(&parsed, out),
+        "route" => route(&parsed, out),
+        other => Err(CliError::Args(ArgsError::UnknownCommand(other.to_string()))),
+    }
+}
+
+fn resolve_dtd(args: &ParsedArgs) -> Result<Dtd, CliError> {
+    match args.get("dtd").unwrap_or("media") {
+        "media" => Ok(Dtd::media()),
+        "nitf" => Ok(Dtd::nitf_like()),
+        "xcbl" => Ok(Dtd::xcbl_like()),
+        other => Err(CliError::Args(ArgsError::InvalidValue {
+            option: "dtd".to_string(),
+            value: other.to_string(),
+            expected: "media, nitf or xcbl".to_string(),
+        })),
+    }
+}
+
+fn parse_patterns(args: &ParsedArgs, minimum: usize) -> Result<Vec<TreePattern>, CliError> {
+    let texts = args.get_all("pattern");
+    if texts.len() < minimum {
+        return Err(CliError::Args(ArgsError::MissingOption("pattern".to_string())));
+    }
+    texts
+        .into_iter()
+        .map(|text| TreePattern::parse(text).map_err(|err| CliError::Pattern(format!("{text}: {err}"))))
+        .collect()
+}
+
+fn synopsis_config(args: &ParsedArgs) -> Result<SynopsisConfig, CliError> {
+    let capacity = args.get_usize("capacity", 1_000)?;
+    let seed = args.get_u64("seed", 1)?;
+    let config = match args.get("summary").unwrap_or("hashes") {
+        "counters" => SynopsisConfig::counters(),
+        "sets" => SynopsisConfig::sets(capacity),
+        "hashes" => SynopsisConfig::hashes(capacity),
+        other => {
+            return Err(CliError::Args(ArgsError::InvalidValue {
+                option: "summary".to_string(),
+                value: other.to_string(),
+                expected: "counters, sets or hashes".to_string(),
+            }))
+        }
+    };
+    Ok(config.with_seed(seed))
+}
+
+fn generate_documents(args: &ParsedArgs, dtd: &Dtd) -> Result<Vec<tps_xml::XmlTree>, CliError> {
+    let documents = args.get_usize("documents", 10)?;
+    let seed = args.get_u64("seed", 1)?;
+    let mut generator = DocumentGenerator::new(dtd, DocGenConfig::default().with_seed(seed));
+    Ok(generator.generate_many(documents))
+}
+
+fn generate_dataset(args: &ParsedArgs, dtd: Dtd, subscriptions: usize) -> Result<Dataset, CliError> {
+    let documents = args.get_usize("documents", 200)?;
+    let seed = args.get_u64("seed", 1)?;
+    let config = DatasetConfig {
+        docgen: DocGenConfig::default().with_seed(seed),
+        xpathgen: XPathGenConfig::default().with_seed(seed.wrapping_add(1)),
+        ..DatasetConfig::small().with_scale(documents, subscriptions, 0)
+    };
+    Ok(Dataset::generate(dtd, &config))
+}
+
+fn metric_from(args: &ParsedArgs) -> Result<ProximityMetric, CliError> {
+    match args.get("metric").unwrap_or("m3") {
+        "m1" | "M1" => Ok(ProximityMetric::M1),
+        "m2" | "M2" => Ok(ProximityMetric::M2),
+        "m3" | "M3" => Ok(ProximityMetric::M3),
+        other => Err(CliError::Args(ArgsError::InvalidValue {
+            option: "metric".to_string(),
+            value: other.to_string(),
+            expected: "m1, m2 or m3".to_string(),
+        })),
+    }
+}
+
+fn generate<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    let dtd = resolve_dtd(args)?;
+    let documents = generate_documents(args, &dtd)?;
+    if args.has_flag("stats") {
+        let nodes: usize = documents.iter().map(|d| d.node_count()).sum();
+        let depth = documents.iter().map(|d| d.depth()).max().unwrap_or(0);
+        writeln!(out, "dtd: {} ({} elements)", dtd.name(), dtd.element_count())?;
+        writeln!(out, "documents: {}", documents.len())?;
+        writeln!(
+            out,
+            "average nodes per document: {:.1}",
+            nodes as f64 / documents.len().max(1) as f64
+        )?;
+        writeln!(out, "maximum depth: {depth}")?;
+    } else {
+        for document in &documents {
+            writeln!(out, "{}", document.to_xml())?;
+        }
+    }
+    Ok(())
+}
+
+fn dtd<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    let schema = match args.get("file") {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|err| CliError::Dtd(format!("{path}: {err}")))?;
+            tps_dtd::parser::parse_named(path, &text)
+                .map_err(|err| CliError::Dtd(err.to_string()))?
+        }
+        None => dtd_writer::schema_from_workload(&resolve_dtd(args)?),
+    };
+    let stats = schema.stats();
+    writeln!(out, "dtd: {}", schema.name())?;
+    writeln!(out, "root element: {}", schema.root().unwrap_or("<none>"))?;
+    writeln!(out, "elements: {}", stats.element_count)?;
+    writeln!(out, "reachable elements: {}", stats.reachable_count)?;
+    writeln!(out, "text elements: {}", stats.text_element_count)?;
+    writeln!(out, "attributes: {}", stats.attribute_count)?;
+    writeln!(out, "max fanout: {}", stats.max_fanout)?;
+    writeln!(out, "average fanout: {:.2}", stats.average_fanout)?;
+    if args.has_flag("export") {
+        writeln!(out, "\n{}", dtd_writer::write_dtd(&schema))?;
+    }
+    if let Some(path) = args.get("validate") {
+        let text =
+            std::fs::read_to_string(path).map_err(|err| CliError::Dtd(format!("{path}: {err}")))?;
+        let document =
+            tps_xml::XmlTree::parse(&text).map_err(|err| CliError::Dtd(format!("{path}: {err}")))?;
+        let mode = if args.has_flag("strict") {
+            ValidationMode::Strict
+        } else {
+            ValidationMode::Lenient
+        };
+        let report = Validator::new(&schema, mode).validate(&document);
+        writeln!(out, "\nvalidation of {path} ({mode:?}):")?;
+        if report.is_valid() {
+            writeln!(out, "  valid ({} elements checked)", report.elements_checked())?;
+        } else {
+            for error in report.errors() {
+                writeln!(out, "  {error}")?;
+            }
+        }
+    }
+    let patterns = args.get_all("pattern");
+    if !patterns.is_empty() {
+        let analyzer = PatternAnalyzer::new(&schema);
+        writeln!(out, "\npattern analysis:")?;
+        for text in patterns {
+            let pattern = TreePattern::parse(text)
+                .map_err(|err| CliError::Pattern(format!("{text}: {err}")))?;
+            let expansions = analyzer.expansions(&pattern);
+            writeln!(
+                out,
+                "  {text}: satisfiable={} expansions={}{}",
+                !expansions.is_empty(),
+                expansions.len(),
+                if expansions.truncated { " (truncated)" } else { "" }
+            )?;
+        }
+    }
+    Ok(())
+}
+
+fn selectivity<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    let dtd = resolve_dtd(args)?;
+    let patterns = parse_patterns(args, 1)?;
+    let documents = generate_documents(args, &dtd)?;
+    let mut estimator = SimilarityEstimator::new(synopsis_config(args)?);
+    estimator.observe_all(&documents);
+    estimator.prepare();
+    let exact = ExactEvaluator::new(documents);
+    writeln!(
+        out,
+        "{} documents, synopsis: {}",
+        exact.document_count(),
+        estimator.synopsis().kind().name()
+    )?;
+    writeln!(out, "{:<40} {:>10} {:>10}", "pattern", "estimated", "exact")?;
+    for pattern in &patterns {
+        writeln!(
+            out,
+            "{:<40} {:>10.4} {:>10.4}",
+            pattern.to_string(),
+            estimator.selectivity(pattern),
+            exact.selectivity(pattern)
+        )?;
+    }
+    Ok(())
+}
+
+fn similarity<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    let dtd = resolve_dtd(args)?;
+    let patterns = parse_patterns(args, 2)?;
+    let (p, q) = (&patterns[0], &patterns[1]);
+    let documents = generate_documents(args, &dtd)?;
+    let mut estimator = SimilarityEstimator::new(synopsis_config(args)?);
+    estimator.observe_all(&documents);
+    estimator.prepare();
+    let exact = ExactEvaluator::new(documents);
+    writeln!(out, "p = {p}")?;
+    writeln!(out, "q = {q}")?;
+    writeln!(out, "{:<28} {:>10} {:>10}", "metric", "estimated", "exact")?;
+    for metric in ProximityMetric::all() {
+        writeln!(
+            out,
+            "{:<28} {:>10.4} {:>10.4}",
+            format!("{metric:?}"),
+            estimator.similarity(p, q, metric),
+            exact.similarity(p, q, metric)
+        )?;
+    }
+    Ok(())
+}
+
+fn build_matrix(
+    dataset: &Dataset,
+    args: &ParsedArgs,
+) -> Result<(Vec<TreePattern>, SimilarityMatrix), CliError> {
+    let metric = metric_from(args)?;
+    let mut estimator = SimilarityEstimator::new(synopsis_config(args)?);
+    estimator.observe_all(&dataset.documents);
+    estimator.prepare();
+    let subscriptions = dataset.positive.clone();
+    let matrix = SimilarityMatrix::from_estimator(&estimator, &subscriptions, metric);
+    Ok((subscriptions, matrix))
+}
+
+fn cluster<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    let dtd = resolve_dtd(args)?;
+    let subscriptions = args.get_usize("subscriptions", 40)?;
+    let dataset = generate_dataset(args, dtd, subscriptions)?;
+    let (patterns, matrix) = build_matrix(&dataset, args)?;
+    let threshold = args.get_f64("threshold", 0.6)?;
+    let clustering: Clustering = match args.get("algorithm").unwrap_or("agglomerative") {
+        "leader" => {
+            leader(
+                &matrix,
+                LeaderConfig {
+                    similarity_threshold: threshold,
+                    ..LeaderConfig::default()
+                },
+            )
+            .clustering
+        }
+        "agglomerative" => {
+            agglomerative(
+                &matrix,
+                AgglomerativeConfig {
+                    similarity_threshold: threshold,
+                    ..AgglomerativeConfig::default()
+                },
+            )
+            .clustering
+        }
+        "kmedoids" => {
+            kmedoids(
+                &matrix,
+                KMedoidsConfig {
+                    k: args.get_usize("k", 8)?,
+                    ..KMedoidsConfig::default()
+                },
+            )
+            .clustering
+        }
+        other => {
+            return Err(CliError::Args(ArgsError::InvalidValue {
+                option: "algorithm".to_string(),
+                value: other.to_string(),
+                expected: "leader, agglomerative or kmedoids".to_string(),
+            }))
+        }
+    };
+    let quality = evaluate(&matrix, &clustering);
+    writeln!(
+        out,
+        "{} subscriptions over {} documents ({:?} metric)",
+        patterns.len(),
+        dataset.documents.len(),
+        matrix.metric()
+    )?;
+    writeln!(out, "communities: {}", clustering.cluster_count())?;
+    writeln!(out, "singletons: {}", quality.singleton_count)?;
+    writeln!(out, "intra-community similarity: {:.3}", quality.intra_similarity)?;
+    writeln!(out, "inter-community similarity: {:.3}", quality.inter_similarity)?;
+    writeln!(out, "silhouette: {:.3}", quality.silhouette)?;
+    for (id, members) in clustering.clusters().iter().enumerate() {
+        writeln!(out, "community {id} ({} members):", members.len())?;
+        for &member in members {
+            writeln!(out, "    {}", patterns[member])?;
+        }
+    }
+    Ok(())
+}
+
+fn route<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    let dtd = resolve_dtd(args)?;
+    let subscriptions = args.get_usize("subscriptions", 40)?;
+    let brokers = args.get_usize("brokers", 7)?.max(1);
+    let dataset = generate_dataset(args, dtd, subscriptions)?;
+    let (patterns, matrix) = build_matrix(&dataset, args)?;
+    // Multi-broker simulation: consumers spread round-robin over the leaves.
+    let mut network = BrokerNetwork::new(BrokerTopology::balanced_tree(brokers, 2));
+    for (index, pattern) in patterns.iter().enumerate() {
+        let broker = 1 + index % (brokers - 1).max(1);
+        network.attach(broker % brokers, format!("c{index}"), pattern.clone());
+    }
+    writeln!(
+        out,
+        "broker network: {} brokers, {} consumers, {} documents",
+        brokers,
+        patterns.len(),
+        dataset.documents.len()
+    )?;
+    writeln!(
+        out,
+        "{:<22} {:>10} {:>12} {:>12} {:>10}",
+        "forwarding", "messages", "matches/doc", "table nodes", "recall"
+    )?;
+    for mode in ForwardingMode::all() {
+        let stats = network.route_stream(0, &dataset.documents, mode);
+        writeln!(
+            out,
+            "{:<22} {:>10} {:>12.1} {:>12} {:>10.3}",
+            mode.name(),
+            stats.link_messages,
+            stats.matches_per_document(),
+            stats.table_nodes,
+            stats.recall()
+        )?;
+    }
+    // Semantic overlay built from the similarity matrix.
+    let threshold = args.get_f64("threshold", 0.6)?;
+    let clustering = agglomerative(
+        &matrix,
+        AgglomerativeConfig {
+            similarity_threshold: threshold,
+            ..AgglomerativeConfig::default()
+        },
+    )
+    .clustering;
+    let overlay = SemanticOverlay::from_clustering(patterns, &clustering, Some(&matrix));
+    let stats = overlay.route_stream(&dataset.documents);
+    writeln!(out, "\nsemantic overlay ({} communities):", overlay.community_count())?;
+    writeln!(out, "  matches/doc: {:.1}", stats.matches_per_document())?;
+    writeln!(out, "  precision: {:.3}", stats.precision())?;
+    writeln!(out, "  recall: {:.3}", stats.recall())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_capture(args: &[&str]) -> Result<String, CliError> {
+        let mut out = Vec::new();
+        run(args.iter().copied(), &mut out)?;
+        Ok(String::from_utf8(out).expect("command output is UTF-8"))
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let output = run_capture(&["help"]).unwrap();
+        assert!(output.contains("USAGE"));
+        assert!(output.contains("similarity"));
+        let output = run_capture(&["--help"]).unwrap();
+        assert!(output.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_commands_are_rejected() {
+        let err = run_capture(&["frobnicate"]).unwrap_err();
+        assert!(matches!(err, CliError::Args(ArgsError::UnknownCommand(_))));
+    }
+
+    #[test]
+    fn generate_prints_xml_or_stats() {
+        let xml = run_capture(&["generate", "--documents", "3", "--seed", "7"]).unwrap();
+        assert_eq!(xml.matches("<media>").count(), 3);
+        let stats =
+            run_capture(&["generate", "--documents", "3", "--seed", "7", "--stats"]).unwrap();
+        assert!(stats.contains("documents: 3"));
+        assert!(stats.contains("average nodes per document"));
+    }
+
+    #[test]
+    fn generate_rejects_unknown_dtds() {
+        let err = run_capture(&["generate", "--dtd", "unknown"]).unwrap_err();
+        assert!(matches!(err, CliError::Args(ArgsError::InvalidValue { .. })));
+    }
+
+    #[test]
+    fn dtd_command_reports_stats_and_analysis() {
+        let output = run_capture(&[
+            "dtd",
+            "--dtd",
+            "media",
+            "--pattern",
+            "/media/CD",
+            "--pattern",
+            "/media/magazine",
+        ])
+        .unwrap();
+        assert!(output.contains("root element: media"));
+        assert!(output.contains("/media/CD: satisfiable=true"));
+        assert!(output.contains("/media/magazine: satisfiable=false"));
+    }
+
+    #[test]
+    fn dtd_command_exports_parsable_text() {
+        let output = run_capture(&["dtd", "--dtd", "media", "--export"]).unwrap();
+        assert!(output.contains("<!ELEMENT media"));
+    }
+
+    #[test]
+    fn dtd_command_validates_xml_files() {
+        let dir = std::env::temp_dir().join("tps-cli-validate-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let valid = dir.join("valid.xml");
+        std::fs::write(
+            &valid,
+            "<media><CD><composer><last>Mozart</last></composer></CD></media>",
+        )
+        .unwrap();
+        let invalid = dir.join("invalid.xml");
+        std::fs::write(&invalid, "<media><vinyl/></media>").unwrap();
+        let ok = run_capture(&["dtd", "--validate", valid.to_str().unwrap()]).unwrap();
+        assert!(ok.contains("valid ("), "{ok}");
+        let bad = run_capture(&["dtd", "--validate", invalid.to_str().unwrap()]).unwrap();
+        assert!(bad.contains("vinyl"), "{bad}");
+        let missing = run_capture(&["dtd", "--validate", "/nonexistent/file.xml"]);
+        assert!(missing.is_err());
+    }
+
+    #[test]
+    fn selectivity_reports_estimated_and_exact_values() {
+        let output = run_capture(&[
+            "selectivity",
+            "--documents",
+            "40",
+            "--pattern",
+            "//CD",
+            "--pattern",
+            "//book/author",
+            "--summary",
+            "sets",
+        ])
+        .unwrap();
+        assert!(output.contains("//CD"));
+        assert!(output.contains("//book/author"));
+        assert!(output.contains("estimated"));
+    }
+
+    #[test]
+    fn selectivity_requires_a_pattern() {
+        let err = run_capture(&["selectivity", "--documents", "10"]).unwrap_err();
+        assert!(matches!(
+            err,
+            CliError::Args(ArgsError::MissingOption(option)) if option == "pattern"
+        ));
+    }
+
+    #[test]
+    fn similarity_reports_all_three_metrics() {
+        let output = run_capture(&[
+            "similarity",
+            "--documents",
+            "40",
+            "--pattern",
+            "//CD",
+            "--pattern",
+            "//CD/title",
+        ])
+        .unwrap();
+        assert!(output.contains("M1"));
+        assert!(output.contains("M2"));
+        assert!(output.contains("M3"));
+    }
+
+    #[test]
+    fn invalid_patterns_are_reported_with_their_text() {
+        let err = run_capture(&[
+            "similarity",
+            "--pattern",
+            "//CD",
+            "--pattern",
+            "not[[a pattern",
+        ])
+        .unwrap_err();
+        assert!(matches!(err, CliError::Pattern(msg) if msg.contains("not[[a pattern")));
+    }
+
+    #[test]
+    fn cluster_reports_communities_and_quality() {
+        let output = run_capture(&[
+            "cluster",
+            "--documents",
+            "60",
+            "--subscriptions",
+            "12",
+            "--algorithm",
+            "leader",
+            "--threshold",
+            "0.5",
+        ])
+        .unwrap();
+        assert!(output.contains("communities:"));
+        assert!(output.contains("silhouette:"));
+        assert!(output.contains("community 0"));
+    }
+
+    #[test]
+    fn cluster_rejects_unknown_algorithms() {
+        let err = run_capture(&["cluster", "--algorithm", "magic"]).unwrap_err();
+        assert!(matches!(err, CliError::Args(ArgsError::InvalidValue { option, .. }) if option == "algorithm"));
+    }
+
+    #[test]
+    fn route_compares_forwarding_modes_and_overlay() {
+        let output = run_capture(&[
+            "route",
+            "--documents",
+            "40",
+            "--subscriptions",
+            "10",
+            "--brokers",
+            "5",
+        ])
+        .unwrap();
+        assert!(output.contains("flooding"));
+        assert!(output.contains("containment-pruned"));
+        assert!(output.contains("semantic overlay"));
+        assert!(output.contains("recall"));
+    }
+
+    #[test]
+    fn error_display_is_human_readable() {
+        let err = CliError::Pattern("boom".into());
+        assert!(err.to_string().contains("boom"));
+        let err: CliError = ArgsError::MissingCommand.into();
+        assert!(err.to_string().contains("subcommand"));
+    }
+}

@@ -1,0 +1,25 @@
+//! The `tps` command-line toolkit.
+//!
+//! The binary exposes the workspace's functionality as a handful of
+//! subcommands — workload generation, DTD inspection, selectivity and
+//! similarity estimation, community clustering and routing simulation — so
+//! that the system can be exercised without writing Rust code. All command
+//! logic lives in this library crate ([`commands::run`]) and writes to a
+//! caller-supplied writer, which keeps it unit-testable; `src/main.rs` is a
+//! thin wrapper around it.
+//!
+//! ```text
+//! tps help
+//! tps generate --dtd nitf --documents 100 --stats
+//! tps similarity --pattern "//CD" --pattern "//CD/title" --documents 500
+//! tps cluster --subscriptions 50 --algorithm kmedoids --k 6
+//! tps route --brokers 15 --subscriptions 60
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{ArgsError, ParsedArgs};
+pub use commands::{run, CliError, USAGE};

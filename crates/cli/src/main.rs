@@ -1,0 +1,23 @@
+//! Entry point of the `tps` binary: parse the command line, run the command,
+//! report errors on stderr with a non-zero exit code.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let run_args = if args.is_empty() {
+        vec!["help".to_string()]
+    } else {
+        args
+    };
+    match tps_cli::run(run_args, &mut out) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("tps: {err}");
+            eprintln!("run `tps help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Semantic-community discovery over tree-pattern similarities.
+//!
+//! The paper's motivation is to gather consumers with similar subscriptions
+//! into *semantic communities* so that documents can be disseminated within a
+//! community without per-consumer filtering. The core contribution — the
+//! similarity estimator — provides the pairwise proximity values; this crate
+//! supplies everything needed to turn them into communities:
+//!
+//! * [`SimilarityMatrix`] — dense pairwise similarities (estimated or exact),
+//! * [`agglomerative`] / [`kmedoids`] / [`leader`] — three clustering
+//!   algorithms with different cost/quality/online trade-offs,
+//! * [`Clustering`] — the shared partition representation,
+//! * [`minhash`] — MinHash signatures for cheap approximate `M3`
+//!   similarities when the subscription population is large,
+//! * [`quality`] — geometric quality (intra/inter similarity, silhouette)
+//!   and routing quality (spurious deliveries under community-based
+//!   dissemination).
+//!
+//! # Example
+//!
+//! ```
+//! use tps_cluster::{agglomerative, AgglomerativeConfig, SimilarityMatrix};
+//! use tps_core::{ProximityMetric, SimilarityEstimator};
+//! use tps_pattern::TreePattern;
+//! use tps_synopsis::SynopsisConfig;
+//! use tps_xml::XmlTree;
+//!
+//! let docs: Vec<XmlTree> = [
+//!     "<media><CD><title>A</title></CD></media>",
+//!     "<media><book><author>B</author></book></media>",
+//! ]
+//! .iter()
+//! .map(|s| XmlTree::parse(s).unwrap())
+//! .collect();
+//! let mut estimator = SimilarityEstimator::new(SynopsisConfig::sets(64));
+//! estimator.observe_all(&docs);
+//!
+//! let subscriptions: Vec<TreePattern> = ["//CD", "//CD/title", "//book"]
+//!     .iter()
+//!     .map(|s| TreePattern::parse(s).unwrap())
+//!     .collect();
+//! let matrix =
+//!     SimilarityMatrix::from_estimator(&estimator, &subscriptions, ProximityMetric::M3);
+//! let communities = agglomerative(&matrix, AgglomerativeConfig::default()).clustering;
+//! assert!(communities.same_cluster(0, 1));
+//! assert!(!communities.same_cluster(0, 2));
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agglomerative;
+pub mod assignment;
+pub mod kmedoids;
+pub mod leader;
+pub mod matrix;
+pub mod minhash;
+pub mod quality;
+
+pub use agglomerative::{agglomerative, AgglomerativeConfig, Dendrogram, Linkage, Merge};
+pub use assignment::Clustering;
+pub use kmedoids::{kmedoids, KMedoidsConfig, KMedoidsResult};
+pub use leader::{leader, LeaderConfig, LeaderResult};
+pub use matrix::SimilarityMatrix;
+pub use minhash::{minhash_matrix, MinHashSignature};
+pub use quality::{
+    community_delivery, evaluate, silhouette, ClusterQuality, DeliveryStats,
+};

@@ -1,0 +1,341 @@
+//! Dense pairwise similarity matrices over a subscription workload.
+//!
+//! Clustering consumers into semantic communities starts from the pairwise
+//! similarities `(p ~ q)` of their subscriptions under one of the paper's
+//! proximity metrics. This module materialises those similarities into a
+//! dense matrix that the clustering algorithms ([`crate::agglomerative`],
+//! [`crate::kmedoids`], [`crate::leader`]) and the quality metrics
+//! ([`crate::quality`]) operate on, so that the (comparatively expensive)
+//! estimator is consulted exactly once per pair.
+
+use tps_core::{ExactEvaluator, ProximityMetric, SimilarityEstimator};
+use tps_pattern::TreePattern;
+
+/// A dense `n x n` matrix of pairwise similarities in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimilarityMatrix {
+    len: usize,
+    metric: ProximityMetric,
+    values: Vec<f64>,
+}
+
+impl SimilarityMatrix {
+    /// Build a matrix by calling `similarity(i, j)` for every ordered pair.
+    ///
+    /// For symmetric metrics the function is still called for both `(i, j)`
+    /// and `(j, i)`; use [`SimilarityMatrix::from_symmetric_fn`] to halve the
+    /// work when symmetry is known.
+    pub fn from_fn<F>(len: usize, metric: ProximityMetric, mut similarity: F) -> Self
+    where
+        F: FnMut(usize, usize) -> f64,
+    {
+        let mut values = vec![0.0; len * len];
+        for i in 0..len {
+            for j in 0..len {
+                values[i * len + j] = if i == j {
+                    1.0
+                } else {
+                    clamp_unit(similarity(i, j))
+                };
+            }
+        }
+        Self {
+            len,
+            metric,
+            values,
+        }
+    }
+
+    /// Build a matrix from a function that is only consulted for `i < j`;
+    /// the value is mirrored to `(j, i)`.
+    pub fn from_symmetric_fn<F>(len: usize, metric: ProximityMetric, mut similarity: F) -> Self
+    where
+        F: FnMut(usize, usize) -> f64,
+    {
+        let mut values = vec![0.0; len * len];
+        for i in 0..len {
+            values[i * len + i] = 1.0;
+            for j in (i + 1)..len {
+                let value = clamp_unit(similarity(i, j));
+                values[i * len + j] = value;
+                values[j * len + i] = value;
+            }
+        }
+        Self {
+            len,
+            metric,
+            values,
+        }
+    }
+
+    /// Pairwise similarities of `patterns` under `metric`, estimated with the
+    /// streaming estimator (synopsis-based).
+    pub fn from_estimator(
+        estimator: &SimilarityEstimator,
+        patterns: &[TreePattern],
+        metric: ProximityMetric,
+    ) -> Self {
+        if metric.is_symmetric() {
+            Self::from_symmetric_fn(patterns.len(), metric, |i, j| {
+                estimator.similarity(&patterns[i], &patterns[j], metric)
+            })
+        } else {
+            Self::from_fn(patterns.len(), metric, |i, j| {
+                estimator.similarity(&patterns[i], &patterns[j], metric)
+            })
+        }
+    }
+
+    /// Pairwise similarities of `patterns` under `metric`, computed exactly
+    /// over a stored document collection (ground truth).
+    pub fn from_exact(
+        exact: &ExactEvaluator,
+        patterns: &[TreePattern],
+        metric: ProximityMetric,
+    ) -> Self {
+        if metric.is_symmetric() {
+            Self::from_symmetric_fn(patterns.len(), metric, |i, j| {
+                exact.similarity(&patterns[i], &patterns[j], metric)
+            })
+        } else {
+            Self::from_fn(patterns.len(), metric, |i, j| {
+                exact.similarity(&patterns[i], &patterns[j], metric)
+            })
+        }
+    }
+
+    /// Number of subscriptions the matrix covers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The proximity metric the matrix was built with.
+    pub fn metric(&self) -> ProximityMetric {
+        self.metric
+    }
+
+    /// The similarity of pair `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.len && j < self.len, "index out of bounds");
+        self.values[i * self.len + j]
+    }
+
+    /// Overwrite the similarity of pair `(i, j)` (clamped to `[0, 1]`).
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        assert!(i < self.len && j < self.len, "index out of bounds");
+        self.values[i * self.len + j] = clamp_unit(value);
+    }
+
+    /// The dissimilarity `1 - s(i, j)` used by distance-based algorithms.
+    pub fn dissimilarity(&self, i: usize, j: usize) -> f64 {
+        1.0 - self.get(i, j)
+    }
+
+    /// The symmetrised similarity `(s(i, j) + s(j, i)) / 2`.
+    pub fn symmetric(&self, i: usize, j: usize) -> f64 {
+        (self.get(i, j) + self.get(j, i)) / 2.0
+    }
+
+    /// One row of the matrix.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.len, "index out of bounds");
+        &self.values[i * self.len..(i + 1) * self.len]
+    }
+
+    /// Whether the stored values are symmetric (within `1e-12`).
+    pub fn is_symmetric(&self) -> bool {
+        for i in 0..self.len {
+            for j in (i + 1)..self.len {
+                if (self.get(i, j) - self.get(j, i)).abs() > 1e-12 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Average off-diagonal similarity.
+    pub fn average_similarity(&self) -> f64 {
+        if self.len < 2 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for i in 0..self.len {
+            for j in 0..self.len {
+                if i != j {
+                    sum += self.get(i, j);
+                }
+            }
+        }
+        sum / (self.len * (self.len - 1)) as f64
+    }
+
+    /// Minimum and maximum off-diagonal similarity.
+    pub fn off_diagonal_range(&self) -> (f64, f64) {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for i in 0..self.len {
+            for j in 0..self.len {
+                if i != j {
+                    let value = self.get(i, j);
+                    min = min.min(value);
+                    max = max.max(value);
+                }
+            }
+        }
+        if min > max {
+            (0.0, 0.0)
+        } else {
+            (min, max)
+        }
+    }
+
+    /// The index of the most similar other subscription for `i`, if any.
+    pub fn nearest_neighbour(&self, i: usize) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..self.len {
+            if j == i {
+                continue;
+            }
+            let value = self.symmetric(i, j);
+            if best.map(|(_, b)| value > b).unwrap_or(true) {
+                best = Some((j, value));
+            }
+        }
+        best
+    }
+}
+
+fn clamp_unit(value: f64) -> f64 {
+    if value.is_nan() {
+        0.0
+    } else {
+        value.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_synopsis::SynopsisConfig;
+    use tps_xml::XmlTree;
+
+    fn patterns() -> Vec<TreePattern> {
+        ["//CD", "//CD/title", "//book", "/media/book/author"]
+            .iter()
+            .map(|s| TreePattern::parse(s).unwrap())
+            .collect()
+    }
+
+    fn documents() -> Vec<XmlTree> {
+        [
+            "<media><CD><title>A</title></CD></media>",
+            "<media><CD><title>B</title></CD><book><author>X</author></book></media>",
+            "<media><book><author>Y</author><title>C</title></book></media>",
+            "<media><CD><composer>M</composer></CD></media>",
+        ]
+        .iter()
+        .map(|s| XmlTree::parse(s).unwrap())
+        .collect()
+    }
+
+    #[test]
+    fn from_fn_sets_unit_diagonal_and_clamps() {
+        let matrix = SimilarityMatrix::from_fn(3, ProximityMetric::M3, |i, j| {
+            (i as f64 - j as f64) * 10.0
+        });
+        for i in 0..3 {
+            assert_eq!(matrix.get(i, i), 1.0);
+        }
+        assert_eq!(matrix.get(0, 1), 0.0);
+        assert_eq!(matrix.get(2, 0), 1.0);
+    }
+
+    #[test]
+    fn symmetric_constructor_mirrors_values() {
+        let matrix = SimilarityMatrix::from_symmetric_fn(4, ProximityMetric::M2, |i, j| {
+            1.0 / (1.0 + (i + j) as f64)
+        });
+        assert!(matrix.is_symmetric());
+        assert_eq!(matrix.get(1, 3), matrix.get(3, 1));
+    }
+
+    #[test]
+    fn exact_and_estimated_matrices_agree_on_a_small_stream() {
+        let docs = documents();
+        let patterns = patterns();
+        let exact = ExactEvaluator::new(docs.clone());
+        let mut estimator = SimilarityEstimator::new(SynopsisConfig::sets(100));
+        estimator.observe_all(&docs);
+        let exact_matrix = SimilarityMatrix::from_exact(&exact, &patterns, ProximityMetric::M3);
+        let estimated =
+            SimilarityMatrix::from_estimator(&estimator, &patterns, ProximityMetric::M3);
+        assert_eq!(exact_matrix.len(), estimated.len());
+        for i in 0..patterns.len() {
+            for j in 0..patterns.len() {
+                assert!(
+                    (exact_matrix.get(i, j) - estimated.get(i, j)).abs() < 0.35,
+                    "pair ({i},{j}) disagrees: exact {} vs estimated {}",
+                    exact_matrix.get(i, j),
+                    estimated.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_metric_produces_asymmetric_matrix() {
+        let docs = documents();
+        let exact = ExactEvaluator::new(docs);
+        let patterns = patterns();
+        let matrix = SimilarityMatrix::from_exact(&exact, &patterns, ProximityMetric::M1);
+        // P(//CD | //CD/title) = 1 but P(//CD/title | //CD) < 1 on this stream.
+        assert!(matrix.get(0, 1) > matrix.get(1, 0));
+        assert!(!matrix.is_symmetric());
+        assert_eq!(matrix.symmetric(0, 1), matrix.symmetric(1, 0));
+    }
+
+    #[test]
+    fn rows_and_ranges_are_consistent() {
+        let matrix = SimilarityMatrix::from_symmetric_fn(3, ProximityMetric::M3, |_, _| 0.25);
+        assert_eq!(matrix.row(1), &[0.25, 1.0, 0.25]);
+        assert_eq!(matrix.off_diagonal_range(), (0.25, 0.25));
+        assert!((matrix.average_similarity() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_neighbour_picks_the_most_similar_pattern() {
+        let docs = documents();
+        let exact = ExactEvaluator::new(docs);
+        let patterns = patterns();
+        let matrix = SimilarityMatrix::from_exact(&exact, &patterns, ProximityMetric::M3);
+        let (neighbour, similarity) = matrix.nearest_neighbour(0).unwrap();
+        assert_eq!(neighbour, 1, "//CD should be closest to //CD/title");
+        assert!(similarity > 0.0);
+    }
+
+    #[test]
+    fn set_updates_and_clamps() {
+        let mut matrix = SimilarityMatrix::from_fn(2, ProximityMetric::M3, |_, _| 0.5);
+        matrix.set(0, 1, 2.0);
+        assert_eq!(matrix.get(0, 1), 1.0);
+        matrix.set(1, 0, f64::NAN);
+        assert_eq!(matrix.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn empty_and_singleton_matrices_behave() {
+        let empty = SimilarityMatrix::from_fn(0, ProximityMetric::M2, |_, _| 0.0);
+        assert!(empty.is_empty());
+        assert_eq!(empty.average_similarity(), 0.0);
+        assert_eq!(empty.off_diagonal_range(), (0.0, 0.0));
+        let single = SimilarityMatrix::from_fn(1, ProximityMetric::M2, |_, _| 0.0);
+        assert_eq!(single.nearest_neighbour(0), None);
+        assert_eq!(single.get(0, 0), 1.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! MinHash signatures for scalable pairwise similarity.
+//!
+//! Building the full similarity matrix costs one (joint-)selectivity
+//! evaluation per subscription pair. When a broker handles thousands of
+//! subscriptions, a cheaper first pass is useful: summarise the set of
+//! documents matched by each subscription as a MinHash signature and
+//! estimate the Jaccard coefficient
+//! `|Dp ∩ Dq| / |Dp ∪ Dq|` — exactly the paper's `M3` metric — from the
+//! signatures alone. The signatures are built once per subscription (linear
+//! in the workload) and each pairwise estimate is `O(num_hashes)`.
+
+use tps_core::{ExactEvaluator, ProximityMetric};
+use tps_pattern::TreePattern;
+
+use crate::matrix::SimilarityMatrix;
+
+/// Mixing function used to derive the per-permutation hash values
+/// (SplitMix64 finaliser).
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A MinHash signature of a set of document identifiers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinHashSignature {
+    values: Vec<u64>,
+    is_empty: bool,
+}
+
+impl MinHashSignature {
+    /// Build a signature with `num_hashes` hash functions (derived from
+    /// `seed`) over the given document identifiers.
+    pub fn from_ids<I>(ids: I, num_hashes: usize, seed: u64) -> Self
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        let num_hashes = num_hashes.max(1);
+        let mut values = vec![u64::MAX; num_hashes];
+        let mut is_empty = true;
+        for id in ids {
+            is_empty = false;
+            for (k, slot) in values.iter_mut().enumerate() {
+                let hashed = mix(id ^ mix(seed.wrapping_add(k as u64)));
+                if hashed < *slot {
+                    *slot = hashed;
+                }
+            }
+        }
+        Self { values, is_empty }
+    }
+
+    /// The signature of the document set matched by `pattern` in the stored
+    /// collection of `exact`.
+    pub fn for_pattern(
+        exact: &ExactEvaluator,
+        pattern: &TreePattern,
+        num_hashes: usize,
+        seed: u64,
+    ) -> Self {
+        Self::from_ids(
+            exact
+                .matching_documents(pattern)
+                .into_iter()
+                .map(|index| index as u64),
+            num_hashes,
+            seed,
+        )
+    }
+
+    /// Number of hash functions in the signature.
+    pub fn num_hashes(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the underlying set was empty.
+    pub fn is_empty(&self) -> bool {
+        self.is_empty
+    }
+
+    /// Estimate the Jaccard coefficient of the two underlying sets as the
+    /// fraction of agreeing signature slots. Two empty sets have Jaccard 0
+    /// by convention (matching `M3` when neither pattern matches anything).
+    pub fn jaccard_estimate(&self, other: &Self) -> f64 {
+        assert_eq!(
+            self.num_hashes(),
+            other.num_hashes(),
+            "signatures must use the same number of hash functions"
+        );
+        if self.is_empty || other.is_empty {
+            return 0.0;
+        }
+        let agreeing = self
+            .values
+            .iter()
+            .zip(&other.values)
+            .filter(|(a, b)| a == b)
+            .count();
+        agreeing as f64 / self.num_hashes() as f64
+    }
+}
+
+/// Build an approximate `M3` similarity matrix from per-pattern MinHash
+/// signatures.
+///
+/// The exact evaluator is consulted once per pattern (to enumerate its
+/// matching documents); every pairwise similarity is then estimated from the
+/// signatures in `O(num_hashes)`.
+pub fn minhash_matrix(
+    exact: &ExactEvaluator,
+    patterns: &[TreePattern],
+    num_hashes: usize,
+    seed: u64,
+) -> SimilarityMatrix {
+    let signatures: Vec<MinHashSignature> = patterns
+        .iter()
+        .map(|pattern| MinHashSignature::for_pattern(exact, pattern, num_hashes, seed))
+        .collect();
+    SimilarityMatrix::from_symmetric_fn(patterns.len(), ProximityMetric::M3, |i, j| {
+        signatures[i].jaccard_estimate(&signatures[j])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_xml::XmlTree;
+
+    #[test]
+    fn identical_sets_have_estimate_one() {
+        let a = MinHashSignature::from_ids(0..50u64, 64, 7);
+        let b = MinHashSignature::from_ids(0..50u64, 64, 7);
+        assert_eq!(a.jaccard_estimate(&b), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_have_estimate_near_zero() {
+        let a = MinHashSignature::from_ids(0..50u64, 128, 7);
+        let b = MinHashSignature::from_ids(1_000..1_050u64, 128, 7);
+        assert!(a.jaccard_estimate(&b) < 0.1);
+    }
+
+    #[test]
+    fn estimate_tracks_true_jaccard_for_half_overlap() {
+        // |A ∩ B| / |A ∪ B| = 100 / 300.
+        let a = MinHashSignature::from_ids(0..200u64, 256, 11);
+        let b = MinHashSignature::from_ids(100..300u64, 256, 11);
+        let estimate = a.jaccard_estimate(&b);
+        assert!(
+            (estimate - 1.0 / 3.0).abs() < 0.12,
+            "estimate {estimate} too far from 1/3"
+        );
+    }
+
+    #[test]
+    fn empty_sets_yield_zero() {
+        let empty = MinHashSignature::from_ids(std::iter::empty(), 32, 3);
+        let full = MinHashSignature::from_ids(0..10u64, 32, 3);
+        assert!(empty.is_empty());
+        assert_eq!(empty.jaccard_estimate(&full), 0.0);
+        assert_eq!(empty.jaccard_estimate(&empty), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same number of hash functions")]
+    fn mismatched_signature_sizes_panic() {
+        let a = MinHashSignature::from_ids(0..10u64, 16, 3);
+        let b = MinHashSignature::from_ids(0..10u64, 32, 3);
+        let _ = a.jaccard_estimate(&b);
+    }
+
+    #[test]
+    fn minhash_matrix_approximates_exact_m3() {
+        let docs: Vec<XmlTree> = (0..40)
+            .map(|i| {
+                let body = if i % 2 == 0 {
+                    "<media><CD><title>t</title></CD></media>"
+                } else {
+                    "<media><book><author>a</author></book></media>"
+                };
+                XmlTree::parse(body).unwrap()
+            })
+            .collect();
+        let exact = ExactEvaluator::new(docs);
+        let patterns: Vec<TreePattern> = ["//CD", "//CD/title", "//book", "//author"]
+            .iter()
+            .map(|s| TreePattern::parse(s).unwrap())
+            .collect();
+        let approx = minhash_matrix(&exact, &patterns, 256, 99);
+        let truth = SimilarityMatrix::from_exact(&exact, &patterns, ProximityMetric::M3);
+        for i in 0..patterns.len() {
+            for j in 0..patterns.len() {
+                assert!(
+                    (approx.get(i, j) - truth.get(i, j)).abs() < 0.15,
+                    "pair ({i},{j}): approx {} vs exact {}",
+                    approx.get(i, j),
+                    truth.get(i, j)
+                );
+            }
+        }
+    }
+}

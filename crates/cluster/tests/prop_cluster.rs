@@ -1,0 +1,142 @@
+//! Property-based tests for the clustering substrate.
+
+use proptest::prelude::*;
+
+use tps_cluster::{
+    agglomerative, community_delivery, evaluate, kmedoids, leader, AgglomerativeConfig,
+    Clustering, KMedoidsConfig, LeaderConfig, MinHashSignature, SimilarityMatrix,
+};
+use tps_core::ProximityMetric;
+
+/// A strategy over random symmetric similarity matrices.
+fn similarity_matrix(max_len: usize) -> impl Strategy<Value = SimilarityMatrix> {
+    (1..=max_len).prop_flat_map(|len| {
+        proptest::collection::vec(0.0f64..=1.0, len * (len.saturating_sub(1)) / 2).prop_map(
+            move |upper| {
+                let mut iter = upper.into_iter();
+                SimilarityMatrix::from_symmetric_fn(len, ProximityMetric::M3, |_, _| {
+                    iter.next().unwrap_or(0.0)
+                })
+            },
+        )
+    })
+}
+
+/// A strategy over a subscription/document match relation.
+fn interests(max_subs: usize, max_docs: usize) -> impl Strategy<Value = Vec<Vec<bool>>> {
+    (1..=max_subs, 1..=max_docs).prop_flat_map(|(subs, docs)| {
+        proptest::collection::vec(proptest::collection::vec(any::<bool>(), docs), subs)
+    })
+}
+
+fn check_partition(clustering: &Clustering, len: usize) -> Result<(), TestCaseError> {
+    prop_assert_eq!(clustering.len(), len);
+    let sizes = clustering.sizes();
+    prop_assert_eq!(sizes.iter().sum::<usize>(), len);
+    prop_assert!(sizes.iter().all(|&s| s > 0), "no empty communities");
+    for i in 0..len {
+        prop_assert!(clustering.cluster_of(i) < clustering.cluster_count());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every clustering algorithm returns a well-formed partition of the
+    /// input subscriptions.
+    #[test]
+    fn algorithms_return_valid_partitions(matrix in similarity_matrix(12), threshold in 0.0f64..=1.0) {
+        let n = matrix.len();
+        let agglo = agglomerative(
+            &matrix,
+            AgglomerativeConfig { similarity_threshold: threshold, ..AgglomerativeConfig::default() },
+        );
+        check_partition(&agglo.clustering, n)?;
+        let led = leader(
+            &matrix,
+            LeaderConfig { similarity_threshold: threshold, ..LeaderConfig::default() },
+        );
+        check_partition(&led.clustering, n)?;
+        let kmed = kmedoids(&matrix, KMedoidsConfig { k: (n / 2).max(1), ..KMedoidsConfig::default() });
+        check_partition(&kmed.clustering, n)?;
+        // Some medoids may end up with empty communities after renumbering,
+        // but never fewer medoids than communities.
+        prop_assert!(kmed.medoids.len() >= kmed.clustering.cluster_count());
+    }
+
+    /// A similarity threshold of 1.0+ keeps everything separate unless two
+    /// subscriptions are perfectly similar; a threshold of 0.0 produces a
+    /// single community.
+    #[test]
+    fn threshold_extremes_bound_the_community_count(matrix in similarity_matrix(10)) {
+        let n = matrix.len();
+        let all = leader(
+            &matrix,
+            LeaderConfig { similarity_threshold: 0.0, ..LeaderConfig::default() },
+        );
+        prop_assert_eq!(all.clustering.cluster_count(), 1);
+        let none = agglomerative(
+            &matrix,
+            AgglomerativeConfig { similarity_threshold: 1.01, ..AgglomerativeConfig::default() },
+        );
+        prop_assert_eq!(none.clustering.cluster_count(), n);
+    }
+
+    /// Geometric quality values stay within their documented ranges.
+    #[test]
+    fn quality_values_are_bounded(matrix in similarity_matrix(10), threshold in 0.0f64..=1.0) {
+        let clustering = agglomerative(
+            &matrix,
+            AgglomerativeConfig { similarity_threshold: threshold, ..AgglomerativeConfig::default() },
+        )
+        .clustering;
+        let quality = evaluate(&matrix, &clustering);
+        prop_assert!((0.0..=1.0).contains(&quality.intra_similarity));
+        prop_assert!((0.0..=1.0).contains(&quality.inter_similarity));
+        prop_assert!((-1.0..=1.0).contains(&quality.silhouette));
+    }
+
+    /// Community dissemination never loses a matching delivery (recall 1)
+    /// and never delivers more than consumers x documents.
+    #[test]
+    fn community_delivery_has_full_recall(interests in interests(10, 12)) {
+        let subs = interests.len();
+        // Group subscriptions arbitrarily into communities of two.
+        let clustering = Clustering::from_assignment((0..subs).map(|i| i / 2).collect());
+        let stats = community_delivery(&clustering, &interests);
+        prop_assert_eq!(stats.recall(), 1.0);
+        prop_assert!(stats.useful_deliveries <= stats.deliveries);
+        prop_assert!(stats.deliveries <= subs * stats.documents);
+        prop_assert!(stats.precision() >= 0.0 && stats.precision() <= 1.0);
+        // Singleton communities would give precision 1; the single-community
+        // extreme gives the lowest precision of all clusterings.
+        let one = community_delivery(&Clustering::single_community(subs), &interests);
+        prop_assert!(one.precision() <= stats.precision() + 1e-12);
+    }
+
+    /// MinHash estimates are within a coarse additive bound of the true
+    /// Jaccard coefficient.
+    #[test]
+    fn minhash_estimates_track_jaccard(
+        a in proptest::collection::btree_set(0u64..400, 1..120),
+        b in proptest::collection::btree_set(0u64..400, 1..120),
+        seed in any::<u64>(),
+    ) {
+        let intersection = a.intersection(&b).count() as f64;
+        let union = a.union(&b).count() as f64;
+        let truth = intersection / union;
+        let sig_a = MinHashSignature::from_ids(a.iter().copied(), 512, seed);
+        let sig_b = MinHashSignature::from_ids(b.iter().copied(), 512, seed);
+        let estimate = sig_a.jaccard_estimate(&sig_b);
+        prop_assert!((estimate - truth).abs() < 0.2, "estimate {estimate} vs truth {truth}");
+    }
+
+    /// Clustering::from_assignment is idempotent under renumbering.
+    #[test]
+    fn clustering_renumbering_is_idempotent(raw in proptest::collection::vec(0usize..6, 0..30)) {
+        let first = Clustering::from_assignment(raw);
+        let second = Clustering::from_assignment(first.assignment().to_vec());
+        prop_assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,241 @@
+//! High-level streaming similarity estimator.
+//!
+//! [`SimilarityEstimator`] ties the pieces together for the content-based
+//! routing use case: it owns a [`Synopsis`], observes the XML document
+//! stream, and answers selectivity and similarity queries over tree
+//! patterns. This is the API a broker uses to discover semantic communities
+//! of subscriptions.
+
+use tps_pattern::TreePattern;
+use tps_synopsis::{PruneConfig, PruneReport, Synopsis, SynopsisConfig, SynopsisSize};
+use tps_xml::XmlTree;
+
+use crate::metrics::ProximityMetric;
+use crate::selectivity::SelectivityEstimator;
+
+/// Streaming tree-pattern similarity estimator.
+///
+/// # Example
+///
+/// ```
+/// use tps_core::{ProximityMetric, SimilarityEstimator};
+/// use tps_pattern::TreePattern;
+/// use tps_synopsis::SynopsisConfig;
+/// use tps_xml::XmlTree;
+///
+/// let mut estimator = SimilarityEstimator::new(SynopsisConfig::hashes(64));
+/// for text in [
+///     "<media><CD><composer><last>Mozart</last></composer></CD></media>",
+///     "<media><book><author><last>Austen</last></author></book></media>",
+/// ] {
+///     estimator.observe(&XmlTree::parse(text).unwrap());
+/// }
+/// let p = TreePattern::parse("//CD").unwrap();
+/// let q = TreePattern::parse("//composer/last").unwrap();
+/// let sim = estimator.similarity(&p, &q, ProximityMetric::M3);
+/// assert!(sim > 0.99, "both patterns match exactly the first document");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimilarityEstimator {
+    synopsis: Synopsis,
+}
+
+impl SimilarityEstimator {
+    /// Create an estimator with an empty synopsis.
+    pub fn new(config: SynopsisConfig) -> Self {
+        Self {
+            synopsis: Synopsis::new(config),
+        }
+    }
+
+    /// Wrap an existing synopsis.
+    pub fn from_synopsis(synopsis: Synopsis) -> Self {
+        Self { synopsis }
+    }
+
+    /// Observe one document from the stream.
+    pub fn observe(&mut self, document: &XmlTree) {
+        self.synopsis.insert_document(document);
+    }
+
+    /// Observe a document that is already a skeleton tree.
+    pub fn observe_skeleton(&mut self, skeleton: &XmlTree) {
+        self.synopsis.insert_skeleton(skeleton);
+    }
+
+    /// Observe a batch of documents.
+    pub fn observe_all<'a, I>(&mut self, documents: I)
+    where
+        I: IntoIterator<Item = &'a XmlTree>,
+    {
+        for doc in documents {
+            self.observe(doc);
+        }
+    }
+
+    /// Number of documents observed so far.
+    pub fn document_count(&self) -> u64 {
+        self.synopsis.document_count()
+    }
+
+    /// Read access to the synopsis.
+    pub fn synopsis(&self) -> &Synopsis {
+        &self.synopsis
+    }
+
+    /// Mutable access to the synopsis (e.g. for custom pruning schedules).
+    pub fn synopsis_mut(&mut self) -> &mut Synopsis {
+        &mut self.synopsis
+    }
+
+    /// Materialise the per-node matching sets; recommended before issuing a
+    /// batch of queries against a Hashes synopsis.
+    pub fn prepare(&mut self) {
+        self.synopsis.prepare();
+    }
+
+    /// Current synopsis size decomposition.
+    pub fn size(&self) -> SynopsisSize {
+        self.synopsis.size()
+    }
+
+    /// Prune the synopsis to `alpha` times its current size.
+    pub fn prune_to_ratio(&mut self, alpha: f64, config: PruneConfig) -> PruneReport {
+        self.synopsis.prune_to_ratio(alpha, config)
+    }
+
+    /// Estimated selectivity `P(p)`.
+    pub fn selectivity(&self, pattern: &TreePattern) -> f64 {
+        SelectivityEstimator::new(&self.synopsis).selectivity(pattern)
+    }
+
+    /// Estimated joint selectivity `P(p ∧ q)`.
+    pub fn joint_selectivity(&self, p: &TreePattern, q: &TreePattern) -> f64 {
+        SelectivityEstimator::new(&self.synopsis).joint_selectivity(p, q)
+    }
+
+    /// Estimated similarity of `p` and `q` under `metric`.
+    pub fn similarity(&self, p: &TreePattern, q: &TreePattern, metric: ProximityMetric) -> f64 {
+        let estimator = SelectivityEstimator::new(&self.synopsis);
+        let p_p = estimator.selectivity(p);
+        let p_q = estimator.selectivity(q);
+        let p_and = estimator.joint_selectivity(p, q);
+        metric.compute(p_p, p_q, p_and)
+    }
+
+    /// Estimated similarities under all three metrics, returned in the order
+    /// `[M1, M2, M3]`. Cheaper than three separate calls because the
+    /// marginal and joint selectivities are evaluated once.
+    pub fn similarities(&self, p: &TreePattern, q: &TreePattern) -> [f64; 3] {
+        let estimator = SelectivityEstimator::new(&self.synopsis);
+        let p_p = estimator.selectivity(p);
+        let p_q = estimator.selectivity(q);
+        let p_and = estimator.joint_selectivity(p, q);
+        [
+            ProximityMetric::M1.compute(p_p, p_q, p_and),
+            ProximityMetric::M2.compute(p_p, p_q, p_and),
+            ProximityMetric::M3.compute(p_p, p_q, p_and),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docs() -> Vec<XmlTree> {
+        [
+            "<media><CD><composer><last>Mozart</last></composer><title>Requiem</title></CD></media>",
+            "<media><CD><composer><last>Bach</last></composer></CD></media>",
+            "<media><book><author><last>Austen</last></author></book></media>",
+            "<media><book><author><last>Mozart</last></author></book></media>",
+        ]
+        .iter()
+        .map(|s| XmlTree::parse(s).unwrap())
+        .collect()
+    }
+
+    fn pat(s: &str) -> TreePattern {
+        TreePattern::parse(s).unwrap()
+    }
+
+    #[test]
+    fn observes_documents_and_estimates_selectivity() {
+        let mut est = SimilarityEstimator::new(SynopsisConfig::hashes(64));
+        est.observe_all(&docs());
+        est.prepare();
+        assert_eq!(est.document_count(), 4);
+        assert!((est.selectivity(&pat("//CD")) - 0.5).abs() < 1e-9);
+        assert!((est.selectivity(&pat("//Mozart")) - 0.5).abs() < 1e-9);
+        assert!((est.joint_selectivity(&pat("//CD"), &pat("//Mozart")) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn similarity_reflects_correlation() {
+        let mut est = SimilarityEstimator::new(SynopsisConfig::sets(100));
+        est.observe_all(&docs());
+        // //CD and //composer always co-occur: high similarity.
+        let high = est.similarity(&pat("//CD"), &pat("//composer"), ProximityMetric::M3);
+        // //CD and //book never co-occur: zero similarity.
+        let low = est.similarity(&pat("//CD"), &pat("//book"), ProximityMetric::M3);
+        assert!(high > 0.99, "high = {high}");
+        assert_eq!(low, 0.0);
+    }
+
+    #[test]
+    fn similarities_returns_all_three_metrics_consistently() {
+        let mut est = SimilarityEstimator::new(SynopsisConfig::sets(100));
+        est.observe_all(&docs());
+        let p = pat("//CD");
+        let q = pat("//Mozart");
+        let all = est.similarities(&p, &q);
+        assert!((all[0] - est.similarity(&p, &q, ProximityMetric::M1)).abs() < 1e-12);
+        assert!((all[1] - est.similarity(&p, &q, ProximityMetric::M2)).abs() < 1e-12);
+        assert!((all[2] - est.similarity(&p, &q, ProximityMetric::M3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn m1_is_asymmetric_on_contained_patterns() {
+        let mut est = SimilarityEstimator::new(SynopsisConfig::sets(100));
+        est.observe_all(&docs());
+        // //composer/last ⊑ //composer, so P(composer | composer/last) = 1
+        // while P(composer/last | composer) may be < 1... here both are 1
+        // because every composer has a last; use //CD vs //media instead.
+        let p = pat("//media");
+        let q = pat("//CD");
+        let p_given_q = est.similarity(&p, &q, ProximityMetric::M1);
+        let q_given_p = est.similarity(&q, &p, ProximityMetric::M1);
+        assert!((p_given_q - 1.0).abs() < 1e-9);
+        assert!((q_given_p - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pruning_through_the_estimator_keeps_it_usable() {
+        let mut est = SimilarityEstimator::new(SynopsisConfig::hashes(64));
+        est.observe_all(&docs());
+        let report = est.prune_to_ratio(0.6, PruneConfig::default());
+        assert!(report.final_size <= report.original_size);
+        est.prepare();
+        let sel = est.selectivity(&pat("//CD"));
+        assert!((0.0..=1.0).contains(&sel));
+        assert!(est.size().total() > 0);
+    }
+
+    #[test]
+    fn from_synopsis_wraps_an_existing_synopsis() {
+        let synopsis = Synopsis::from_documents(SynopsisConfig::counters(), &docs());
+        let est = SimilarityEstimator::from_synopsis(synopsis);
+        assert_eq!(est.document_count(), 4);
+        assert!(est.synopsis().node_count() > 1);
+    }
+
+    #[test]
+    fn observe_skeleton_is_equivalent_for_skeleton_documents() {
+        let doc = XmlTree::parse("<a><b/><c/></a>").unwrap();
+        let mut a = SimilarityEstimator::new(SynopsisConfig::counters());
+        a.observe(&doc);
+        let mut b = SimilarityEstimator::new(SynopsisConfig::counters());
+        b.observe_skeleton(&doc.skeleton());
+        assert_eq!(a.selectivity(&pat("/a/b")), b.selectivity(&pat("/a/b")));
+    }
+}

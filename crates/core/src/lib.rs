@@ -1,0 +1,47 @@
+//! Tree-pattern selectivity and similarity estimation — the paper's primary
+//! contribution (Sections 4 and 2).
+//!
+//! * [`SelectivityEstimator`] — the recursive `SEL` algorithm (Algorithm 1/2)
+//!   evaluated over a [`tps_synopsis::Synopsis`], supporting all three
+//!   matching-set representations.
+//! * [`ProximityMetric`] — the `M1`, `M2`, `M3` proximity metrics of
+//!   Section 4.
+//! * [`SimilarityEstimator`] — the streaming facade: observe documents,
+//!   query similarities.
+//! * [`ExactEvaluator`] — ground-truth selectivities/similarities over a
+//!   stored document collection (used by the evaluation harness and by tests).
+//!
+//! # Example
+//!
+//! ```
+//! use tps_core::{ExactEvaluator, ProximityMetric, SelectivityEstimator};
+//! use tps_pattern::TreePattern;
+//! use tps_synopsis::{Synopsis, SynopsisConfig};
+//! use tps_xml::XmlTree;
+//!
+//! let docs: Vec<XmlTree> = ["<a><b/><c/></a>", "<a><b/></a>", "<a><c/></a>"]
+//!     .iter()
+//!     .map(|s| XmlTree::parse(s).unwrap())
+//!     .collect();
+//!
+//! let mut synopsis = Synopsis::from_documents(SynopsisConfig::hashes(64), &docs);
+//! synopsis.prepare();
+//! let estimator = SelectivityEstimator::new(&synopsis);
+//! let p = TreePattern::parse("/a/b").unwrap();
+//!
+//! // The estimate agrees with the exact evaluator on this tiny stream.
+//! let exact = ExactEvaluator::new(docs.clone());
+//! assert!((estimator.selectivity(&p) - exact.selectivity(&p)).abs() < 1e-9);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod estimator;
+pub mod exact;
+pub mod metrics;
+pub mod selectivity;
+
+pub use estimator::SimilarityEstimator;
+pub use exact::ExactEvaluator;
+pub use metrics::ProximityMetric;
+pub use selectivity::SelectivityEstimator;

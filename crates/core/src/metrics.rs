@@ -1,0 +1,177 @@
+//! Proximity metrics for tree-pattern similarity (Section 4 of the paper).
+//!
+//! All three metrics are derived from selectivities:
+//!
+//! * `M1(p, q) = P(p | q) = P(p ∧ q) / P(q)` — asymmetric conditional
+//!   probability,
+//! * `M2(p, q) = (P(p|q) + P(q|p)) / 2` — symmetric mean of the conditionals,
+//! * `M3(p, q) = P(p ∧ q) / P(p ∨ q)` — the Jaccard-style ratio of the joint
+//!   to the union probability.
+//!
+//! `P(p ∧ q)` is obtained by evaluating the root-merge of the two patterns;
+//! `P(p ∨ q) = P(p) + P(q) − P(p ∧ q)` by inclusion–exclusion.
+
+use std::fmt;
+
+/// The proximity metric used to turn selectivities into a similarity score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProximityMetric {
+    /// `M1(p, q) = P(p | q)`.
+    M1,
+    /// `M2(p, q) = (P(p|q) + P(q|p)) / 2`.
+    M2,
+    /// `M3(p, q) = P(p ∧ q) / P(p ∨ q)`.
+    M3,
+}
+
+impl ProximityMetric {
+    /// All three metrics, in paper order.
+    pub fn all() -> [ProximityMetric; 3] {
+        [ProximityMetric::M1, ProximityMetric::M2, ProximityMetric::M3]
+    }
+
+    /// Whether the metric is symmetric in its arguments.
+    pub fn is_symmetric(&self) -> bool {
+        !matches!(self, ProximityMetric::M1)
+    }
+
+    /// Compute the metric from the three selectivities `P(p)`, `P(q)` and
+    /// `P(p ∧ q)`.
+    ///
+    /// Degenerate cases: when a denominator is zero the metric is defined to
+    /// be `1.0` if the joint probability is also zero and both marginals are
+    /// zero (the patterns match the same — empty — document set), `0.0`
+    /// otherwise. Results are clamped to `[0, 1]`.
+    pub fn compute(&self, p_p: f64, p_q: f64, p_and: f64) -> f64 {
+        let p_and = p_and.min(p_p.min(p_q)).max(0.0);
+        let value = match self {
+            ProximityMetric::M1 => conditional(p_and, p_q),
+            ProximityMetric::M2 => (conditional(p_and, p_q) + conditional(p_and, p_p)) / 2.0,
+            ProximityMetric::M3 => {
+                let union = p_p + p_q - p_and;
+                if union <= 0.0 {
+                    if p_p == 0.0 && p_q == 0.0 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                } else {
+                    p_and / union
+                }
+            }
+        };
+        value.clamp(0.0, 1.0)
+    }
+}
+
+fn conditional(p_and: f64, denominator: f64) -> f64 {
+    if denominator <= 0.0 {
+        if p_and <= 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        p_and / denominator
+    }
+}
+
+impl fmt::Display for ProximityMetric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProximityMetric::M1 => write!(f, "M1"),
+            ProximityMetric::M2 => write!(f, "M2"),
+            ProximityMetric::M3 => write!(f, "M3"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn m1_is_the_conditional_probability() {
+        let m = ProximityMetric::M1;
+        assert!((m.compute(0.4, 0.5, 0.2) - 0.4).abs() < 1e-12);
+        // P(p|q) differs from P(q|p): the metric is asymmetric.
+        assert!((m.compute(0.5, 0.4, 0.2) - 0.5).abs() < 1e-12);
+        assert!(!m.is_symmetric());
+    }
+
+    #[test]
+    fn m2_is_the_mean_of_conditionals() {
+        let m = ProximityMetric::M2;
+        let value = m.compute(0.4, 0.5, 0.2);
+        let expected = (0.2 / 0.5 + 0.2 / 0.4) / 2.0;
+        assert!((value - expected).abs() < 1e-12);
+        assert!(m.is_symmetric());
+    }
+
+    #[test]
+    fn m3_is_joint_over_union() {
+        let m = ProximityMetric::M3;
+        let value = m.compute(0.4, 0.5, 0.2);
+        let expected = 0.2 / (0.4 + 0.5 - 0.2);
+        assert!((value - expected).abs() < 1e-12);
+        assert!(m.is_symmetric());
+    }
+
+    #[test]
+    fn identical_patterns_have_similarity_one() {
+        for m in ProximityMetric::all() {
+            assert!((m.compute(0.3, 0.3, 0.3) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn disjoint_patterns_have_similarity_zero() {
+        for m in ProximityMetric::all() {
+            assert_eq!(m.compute(0.3, 0.4, 0.0), 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_selectivity_pairs_are_considered_identical() {
+        for m in ProximityMetric::all() {
+            assert_eq!(m.compute(0.0, 0.0, 0.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn zero_against_positive_is_zero() {
+        for m in [ProximityMetric::M1, ProximityMetric::M3] {
+            assert_eq!(m.compute(0.0, 0.5, 0.0), 0.0, "{m}");
+        }
+        // M2 averages the two conditionals: P(p|q) = 0, P(q|p) defined as 1
+        // on the empty set — still strictly below 1.
+        let m2 = ProximityMetric::M2.compute(0.0, 0.5, 0.0);
+        assert!(m2 <= 0.5);
+    }
+
+    #[test]
+    fn joint_probability_is_capped_by_marginals() {
+        // Estimation noise can yield P(p∧q) slightly above P(p); the metric
+        // must stay within [0, 1].
+        for m in ProximityMetric::all() {
+            let v = m.compute(0.2, 0.3, 0.35);
+            assert!((0.0..=1.0).contains(&v), "{m} -> {v}");
+        }
+    }
+
+    #[test]
+    fn symmetric_metrics_are_symmetric() {
+        for m in [ProximityMetric::M2, ProximityMetric::M3] {
+            let a = m.compute(0.4, 0.7, 0.3);
+            let b = m.compute(0.7, 0.4, 0.3);
+            assert!((a - b).abs() < 1e-12, "{m}");
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ProximityMetric::M1.to_string(), "M1");
+        assert_eq!(ProximityMetric::M2.to_string(), "M2");
+        assert_eq!(ProximityMetric::M3.to_string(), "M3");
+    }
+}

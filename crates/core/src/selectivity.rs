@@ -1,0 +1,442 @@
+//! The recursive selectivity algorithm (Algorithms 1 and 2 of the paper).
+//!
+//! `SEL(v, u)` parses pattern nodes `u` against synopsis nodes `v` and
+//! returns (an approximation of) the set of documents whose subtree at `v`
+//! satisfies the sub-pattern rooted at `u`:
+//!
+//! ```text
+//! 1: if label(v) not compatible with label(u):  SEL(v,u) = ∅
+//! 2: else if u is a leaf:                        SEL(v,u) = S(v)
+//! 3: else if label(u) ≠ //:
+//! 4:     SEL(v,u) = ⋂_{u'∈Children(u)} ⋃_{v'∈Children(v)} SEL(v',u')
+//! 5: else (label(u) = //):
+//! 6:     S0  = ⋂_{u'∈Children(u)} SEL(v,u')        (path of length 0)
+//! 7:     S≥1 = ⋃_{v'∈Children(v)} SEL(v',u)        (descend one level)
+//! 8:     SEL(v,u) = S0 ∪ S≥1
+//! ```
+//!
+//! The values are [`SummaryValue`]s, so the same code covers the three
+//! matching-set representations: sets/hash-samples use genuine set algebra;
+//! counters use the max/product substitution described at the end of
+//! Section 4.
+//!
+//! Two extensions beyond the paper's pseudo-code are needed for a complete
+//! system:
+//!
+//! * **memoisation** of `(v, u)` pairs, which the paper mentions in prose to
+//!   obtain the `O(|HS|·|p|)` bound, and
+//! * support for **folded nested labels** produced by the pruning operations
+//!   of Section 3.3: a pattern child that cannot be matched by a real
+//!   synopsis child may still be satisfied by a label folded into `v`, in
+//!   which case its document set is (approximated by) `S(v)`.
+
+use std::collections::HashMap;
+
+use tps_pattern::{PatternLabel, PatternNodeId, TreePattern};
+use tps_synopsis::{FoldedSubtree, SummaryValue, Synopsis, SynopsisNodeId};
+
+/// Selectivity estimation over a [`Synopsis`].
+///
+/// Borrows the synopsis immutably; build one estimator and evaluate as many
+/// patterns as needed. For the Hashes representation, calling
+/// [`Synopsis::prepare`] beforehand caches the per-node full matching sets
+/// and makes repeated evaluations much faster.
+#[derive(Debug, Clone, Copy)]
+pub struct SelectivityEstimator<'a> {
+    synopsis: &'a Synopsis,
+}
+
+impl<'a> SelectivityEstimator<'a> {
+    /// Create an estimator over `synopsis`.
+    pub fn new(synopsis: &'a Synopsis) -> Self {
+        Self { synopsis }
+    }
+
+    /// The underlying synopsis.
+    pub fn synopsis(&self) -> &'a Synopsis {
+        self.synopsis
+    }
+
+    /// Estimate `P(p)`: the fraction of observed documents that match `p`
+    /// (Algorithm 2). The result is clamped to `[0, 1]`.
+    pub fn selectivity(&self, pattern: &TreePattern) -> f64 {
+        let universe = self.synopsis.universe_value().count_units();
+        if universe <= 0.0 {
+            return 0.0;
+        }
+        let value = self.evaluate(pattern);
+        (value.count_units() / universe).clamp(0.0, 1.0)
+    }
+
+    /// Estimate the joint selectivity `P(p ∧ q)` by evaluating the root-merge
+    /// of the two patterns (Section 4).
+    pub fn joint_selectivity(&self, p: &TreePattern, q: &TreePattern) -> f64 {
+        let conjunction = tps_pattern::ops::conjunction(p, q);
+        self.selectivity(&conjunction)
+    }
+
+    /// Run `SEL` on the root nodes and return the raw document-set value.
+    pub fn evaluate(&self, pattern: &TreePattern) -> SummaryValue {
+        let mut ctx = EvalContext {
+            synopsis: self.synopsis,
+            pattern,
+            memo: HashMap::new(),
+        };
+        let root_children = pattern.children(pattern.root());
+        if root_children.is_empty() {
+            // The bare `/.` pattern matches every document.
+            return self.synopsis.universe_value();
+        }
+        let syn_root = self.synopsis.root();
+        let mut result: Option<SummaryValue> = None;
+        for &u in root_children {
+            let mut sat = self.synopsis.empty_value();
+            for &v in self.synopsis.children(syn_root) {
+                sat = sat.union(&ctx.sel(v, u));
+            }
+            // Folded labels directly below the synopsis root (possible after
+            // aggressive pruning) can also satisfy a root branch.
+            if folded_satisfies(self.synopsis.folded(syn_root), pattern, u) {
+                sat = sat.union(&self.synopsis.matching_value(syn_root));
+            }
+            result = Some(match result {
+                None => sat,
+                Some(acc) => acc.intersect(&sat),
+            });
+        }
+        result.unwrap_or_else(|| self.synopsis.empty_value())
+    }
+}
+
+struct EvalContext<'a> {
+    synopsis: &'a Synopsis,
+    pattern: &'a TreePattern,
+    memo: HashMap<(SynopsisNodeId, PatternNodeId), SummaryValue>,
+}
+
+impl EvalContext<'_> {
+    /// `SEL(v, u)` with memoisation.
+    fn sel(&mut self, v: SynopsisNodeId, u: PatternNodeId) -> SummaryValue {
+        if let Some(cached) = self.memo.get(&(v, u)) {
+            return cached.clone();
+        }
+        let value = self.sel_uncached(v, u);
+        self.memo.insert((v, u), value.clone());
+        value
+    }
+
+    fn sel_uncached(&mut self, v: SynopsisNodeId, u: PatternNodeId) -> SummaryValue {
+        let synopsis = self.synopsis;
+        let pattern = self.pattern;
+        let u_label = pattern.label(u);
+        // Line 1: label compatibility (the partial order `a ⪯ * ⪯ //`).
+        if !u_label.subsumes(synopsis.label(v)) {
+            return synopsis.empty_value();
+        }
+        // Line 3-4: u is a leaf → S(v).
+        if pattern.is_leaf(u) {
+            return synopsis.matching_value(v);
+        }
+        match u_label {
+            PatternLabel::Descendant => {
+                // Lines 11-14: the descendant maps to a path of length 0 or
+                // recurses into the children of v.
+                let mut s0: Option<SummaryValue> = None;
+                for &u_child in pattern.children(u) {
+                    let val = self.sel(v, u_child);
+                    s0 = Some(match s0 {
+                        None => val,
+                        Some(acc) => acc.intersect(&val),
+                    });
+                }
+                let mut result = s0.unwrap_or_else(|| synopsis.empty_value());
+                for &v_child in synopsis.children(v) {
+                    result = result.union(&self.sel(v_child, u));
+                }
+                // Folded labels: the descendant's target may have been folded
+                // into v (or deeper); all of S(v) is then assumed to satisfy
+                // it.
+                if pattern
+                    .children(u)
+                    .iter()
+                    .all(|&u_child| folded_satisfies_descendant(synopsis.folded(v), pattern, u_child))
+                    && !pattern.children(u).is_empty()
+                {
+                    result = result.union(&synopsis.matching_value(v));
+                }
+                result
+            }
+            _ => {
+                // Lines 5-10: tag or wildcard with children — branch on the
+                // pattern children, union over the synopsis children.
+                let mut result: Option<SummaryValue> = None;
+                for &u_child in pattern.children(u) {
+                    let mut sat = synopsis.empty_value();
+                    for &v_child in synopsis.children(v) {
+                        sat = sat.union(&self.sel(v_child, u_child));
+                    }
+                    if folded_satisfies(synopsis.folded(v), pattern, u_child) {
+                        sat = sat.union(&synopsis.matching_value(v));
+                    }
+                    result = Some(match result {
+                        None => sat,
+                        Some(acc) => acc.intersect(&sat),
+                    });
+                }
+                result.unwrap_or_else(|| synopsis.empty_value())
+            }
+        }
+    }
+}
+
+/// Can the pattern subtree rooted at `u` be satisfied purely within the
+/// folded (nested) labels `folded` of a synopsis node?
+fn folded_satisfies(folded: &[FoldedSubtree], pattern: &TreePattern, u: PatternNodeId) -> bool {
+    match pattern.label(u) {
+        PatternLabel::Tag(tag) => folded.iter().any(|f| {
+            f.label.as_ref() == tag.as_ref()
+                && pattern
+                    .children(u)
+                    .iter()
+                    .all(|&uc| folded_satisfies(&f.children, pattern, uc))
+        }),
+        PatternLabel::Wildcard => folded.iter().any(|f| {
+            pattern
+                .children(u)
+                .iter()
+                .all(|&uc| folded_satisfies(&f.children, pattern, uc))
+        }),
+        PatternLabel::Descendant => pattern
+            .children(u)
+            .iter()
+            .all(|&uc| folded_satisfies_descendant(folded, pattern, uc)),
+        PatternLabel::Root => false,
+    }
+}
+
+/// Can `u` be satisfied at any depth within the folded label forest?
+fn folded_satisfies_descendant(
+    folded: &[FoldedSubtree],
+    pattern: &TreePattern,
+    u: PatternNodeId,
+) -> bool {
+    if folded_satisfies(folded, pattern, u) {
+        return true;
+    }
+    folded
+        .iter()
+        .any(|f| folded_satisfies_descendant(&f.children, pattern, u))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_synopsis::SynopsisConfig;
+    use tps_xml::XmlTree;
+
+    /// The six documents of Figure 2.
+    fn figure2_documents() -> Vec<XmlTree> {
+        [
+            "<a><b><e><k/></e><e><m/></e><g><m/></g></b></a>",
+            "<a><b><e><k/></e><g><k/><n/></g><f><n/></f></b></a>",
+            "<a><b><e><k/></e><g><n/></g></b><c><f><n/></f><o><n/></o><f><h/></f></c></a>",
+            "<a><c><f><k/></f><o><n/></o><e><m/></e><h/></c><d><e><k/></e><q><m/></q></d></a>",
+            "<a><d><e><k/></e><e><m/></e><p/></d></a>",
+            "<a><d><e><m/></e></d></a>",
+        ]
+        .iter()
+        .map(|s| XmlTree::parse(s).unwrap())
+        .collect()
+    }
+
+    fn pat(s: &str) -> TreePattern {
+        TreePattern::parse(s).unwrap()
+    }
+
+    fn exact_fraction(docs: &[XmlTree], p: &TreePattern) -> f64 {
+        docs.iter().filter(|d| p.matches(d)).count() as f64 / docs.len() as f64
+    }
+
+    #[test]
+    fn exact_representations_reproduce_true_selectivity() {
+        // With a lossless synopsis (Sets with a huge reservoir, or Hashes with
+        // huge capacity), the estimate must equal the exact fraction for
+        // branching and descendant patterns alike.
+        let docs = figure2_documents();
+        let patterns = [
+            "/a", "/a/b", "/a/b/e/k", "/a[b][d]", "/a[c/f][c/o]", "//n", "//e/m", "/a//k",
+            "/a/*/e", "/a[d/e/m]", "//g[m]", "/x", "/a/z", ".[//k][//m]",
+        ];
+        for config in [SynopsisConfig::sets(1000), SynopsisConfig::hashes(1000)] {
+            let mut synopsis = Synopsis::from_documents(config, &docs);
+            synopsis.prepare();
+            let est = SelectivityEstimator::new(&synopsis);
+            for p_text in patterns {
+                let p = pat(p_text);
+                let expected = exact_fraction(&docs, &p);
+                let got = est.selectivity(&p);
+                assert!(
+                    (got - expected).abs() < 1e-9,
+                    "{p_text}: expected {expected}, got {got} ({:?})",
+                    config.kind
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn counter_mode_matches_paper_example_for_mutually_exclusive_branches() {
+        // Section 3.2: counters estimate P(a[b][d]) as 1/2 * 1/2 = 1/4 even
+        // though the true value is 0.
+        let docs = figure2_documents();
+        let synopsis = Synopsis::from_documents(SynopsisConfig::counters(), &docs);
+        let est = SelectivityEstimator::new(&synopsis);
+        let p = pat("/a[b][d]");
+        assert!((est.selectivity(&p) - 0.25).abs() < 1e-9);
+        assert_eq!(exact_fraction(&docs, &p), 0.0);
+    }
+
+    #[test]
+    fn counter_mode_underestimates_correlated_branches() {
+        // Section 3.2: P(a[c/f][c/o]) is under-estimated by counters (the
+        // true value is 1/3 because f and o co-occur under c).
+        let docs = figure2_documents();
+        let synopsis = Synopsis::from_documents(SynopsisConfig::counters(), &docs);
+        let est = SelectivityEstimator::new(&synopsis);
+        let p = pat("/a[c/f][c/o]");
+        let counters_estimate = est.selectivity(&p);
+        let truth = exact_fraction(&docs, &p);
+        assert!((truth - 1.0 / 3.0).abs() < 1e-9);
+        assert!(
+            counters_estimate < truth,
+            "counters ({counters_estimate}) should under-estimate {truth}"
+        );
+    }
+
+    #[test]
+    fn hash_mode_captures_cross_pattern_correlations() {
+        // The same two queries evaluated with hash samples should be exact
+        // here (small stream, large capacity).
+        let docs = figure2_documents();
+        let mut synopsis = Synopsis::from_documents(SynopsisConfig::hashes(100), &docs);
+        synopsis.prepare();
+        let est = SelectivityEstimator::new(&synopsis);
+        assert!((est.selectivity(&pat("/a[b][d]")) - 0.0).abs() < 1e-9);
+        assert!((est.selectivity(&pat("/a[c/f][c/o]")) - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_queries_evaluate_to_zero() {
+        let docs = figure2_documents();
+        for config in [
+            SynopsisConfig::counters(),
+            SynopsisConfig::sets(100),
+            SynopsisConfig::hashes(100),
+        ] {
+            let synopsis = Synopsis::from_documents(config, &docs);
+            let est = SelectivityEstimator::new(&synopsis);
+            for p_text in ["/zzz", "/a/zzz", "//zzz", "/a[b][zzz]", "/b/a"] {
+                assert_eq!(
+                    est.selectivity(&pat(p_text)),
+                    0.0,
+                    "{p_text} should be a negative query"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bare_root_has_selectivity_one() {
+        let docs = figure2_documents();
+        let synopsis = Synopsis::from_documents(SynopsisConfig::hashes(100), &docs);
+        let est = SelectivityEstimator::new(&synopsis);
+        assert_eq!(est.selectivity(&pat("/.")), 1.0);
+    }
+
+    #[test]
+    fn empty_synopsis_gives_zero_selectivity() {
+        let synopsis = Synopsis::new(SynopsisConfig::hashes(16));
+        let est = SelectivityEstimator::new(&synopsis);
+        assert_eq!(est.selectivity(&pat("/a")), 0.0);
+    }
+
+    #[test]
+    fn joint_selectivity_equals_selectivity_of_conjunction() {
+        let docs = figure2_documents();
+        let mut synopsis = Synopsis::from_documents(SynopsisConfig::hashes(100), &docs);
+        synopsis.prepare();
+        let est = SelectivityEstimator::new(&synopsis);
+        let p = pat("/a/b");
+        let q = pat("//n");
+        let joint = est.joint_selectivity(&p, &q);
+        let exact = docs
+            .iter()
+            .filter(|d| p.matches(d) && q.matches(d))
+            .count() as f64
+            / docs.len() as f64;
+        assert!((joint - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn descendant_matches_empty_path() {
+        // /a//e : e directly below a's children... and /a//a should match
+        // documents whose root is a (empty descendant path).
+        let docs = figure2_documents();
+        let mut synopsis = Synopsis::from_documents(SynopsisConfig::sets(100), &docs);
+        synopsis.prepare();
+        let est = SelectivityEstimator::new(&synopsis);
+        assert_eq!(est.selectivity(&pat("//a")), 1.0);
+        let expected = exact_fraction(&docs, &pat("/a//e"));
+        assert!((est.selectivity(&pat("/a//e")) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn folded_labels_still_satisfy_patterns() {
+        // Fold the mandatory child "b" into "a"; /a/b must still evaluate to
+        // (approximately) the documents of S(a).
+        let docs: Vec<XmlTree> = ["<a><b/><c/></a>", "<a><b/></a>", "<a><b/><d/></a>"]
+            .iter()
+            .map(|s| XmlTree::parse(s).unwrap())
+            .collect();
+        let mut synopsis = Synopsis::from_documents(SynopsisConfig::sets(100), &docs);
+        let folds = synopsis.fold_identical_leaves(0.999);
+        assert!(folds >= 1);
+        synopsis.prepare();
+        let est = SelectivityEstimator::new(&synopsis);
+        assert!((est.selectivity(&pat("/a/b")) - 1.0).abs() < 1e-9);
+        assert!((est.selectivity(&pat("//b")) - 1.0).abs() < 1e-9);
+        assert!((est.selectivity(&pat("/a[b][c]")) - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimates_survive_heavy_pruning() {
+        let docs = figure2_documents();
+        let mut synopsis = Synopsis::from_documents(SynopsisConfig::hashes(100), &docs);
+        synopsis.prune_to_ratio(0.5, tps_synopsis::PruneConfig::default());
+        synopsis.prepare();
+        let est = SelectivityEstimator::new(&synopsis);
+        for p_text in ["/a", "/a/b", "//n", "/a[b][d]"] {
+            let sel = est.selectivity(&pat(p_text));
+            assert!((0.0..=1.0).contains(&sel), "{p_text} out of range: {sel}");
+        }
+        // The root path is always preserved.
+        assert_eq!(est.selectivity(&pat("/a")), 1.0);
+    }
+
+    #[test]
+    fn wildcard_branches_combine_correctly() {
+        let docs = figure2_documents();
+        let mut synopsis = Synopsis::from_documents(SynopsisConfig::sets(100), &docs);
+        synopsis.prepare();
+        let est = SelectivityEstimator::new(&synopsis);
+        for p_text in ["/a/*[e][g]", "/*/b", "/*[d]"] {
+            let p = pat(p_text);
+            let expected = exact_fraction(&docs, &p);
+            assert!(
+                (est.selectivity(&p) - expected).abs() < 1e-9,
+                "{p_text}: expected {expected}, got {}",
+                est.selectivity(&p)
+            );
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests for selectivity and similarity estimation.
+
+use proptest::prelude::*;
+use tps_core::{ExactEvaluator, ProximityMetric, SelectivityEstimator, SimilarityEstimator};
+use tps_pattern::{PatternLabel, TreePattern};
+use tps_synopsis::{Synopsis, SynopsisConfig};
+use tps_xml::XmlTree;
+
+const TAGS: &[&str] = &["a", "b", "c", "d"];
+
+fn gen_doc() -> impl Strategy<Value = XmlTree> {
+    #[derive(Debug, Clone)]
+    struct Node(usize, Vec<Node>);
+    fn node() -> impl Strategy<Value = Node> {
+        let leaf = (0..TAGS.len()).prop_map(|i| Node(i, vec![]));
+        leaf.prop_recursive(3, 12, 3, |inner| {
+            ((0..TAGS.len()), prop::collection::vec(inner, 0..3)).prop_map(|(i, c)| Node(i, c))
+        })
+    }
+    fn build(tree: &mut XmlTree, parent: tps_xml::NodeId, n: &Node) {
+        let id = tree.add_child(parent, TAGS[n.0]);
+        for c in &n.1 {
+            build(tree, id, c);
+        }
+    }
+    node().prop_map(|n| {
+        let mut tree = XmlTree::new(TAGS[n.0]);
+        let root = tree.root();
+        for c in &n.1 {
+            build(&mut tree, root, c);
+        }
+        tree
+    })
+}
+
+fn gen_docs() -> impl Strategy<Value = Vec<XmlTree>> {
+    prop::collection::vec(gen_doc(), 2..10)
+}
+
+#[derive(Debug, Clone)]
+enum GenPat {
+    Tag(usize, Vec<GenPat>),
+    Wildcard(Vec<GenPat>),
+    Descendant(Box<GenPat>),
+}
+
+fn gen_pat_node() -> impl Strategy<Value = GenPat> {
+    let leaf = prop_oneof![
+        (0..TAGS.len()).prop_map(|i| GenPat::Tag(i, vec![])),
+        Just(GenPat::Wildcard(vec![])),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            ((0..TAGS.len()), prop::collection::vec(inner.clone(), 0..2))
+                .prop_map(|(i, c)| GenPat::Tag(i, c)),
+            prop::collection::vec(inner.clone(), 0..2).prop_map(GenPat::Wildcard),
+            inner
+                .prop_filter("no nested descendants", |g| !matches!(g, GenPat::Descendant(_)))
+                .prop_map(|g| GenPat::Descendant(Box::new(g))),
+        ]
+    })
+}
+
+fn gen_pattern() -> impl Strategy<Value = TreePattern> {
+    prop::collection::vec(gen_pat_node(), 1..3).prop_map(|children| {
+        let mut p = TreePattern::new();
+        let root = p.root();
+        fn build(p: &mut TreePattern, parent: tps_pattern::PatternNodeId, g: &GenPat) {
+            match g {
+                GenPat::Tag(i, c) => {
+                    let id = p.add_child(parent, PatternLabel::tag(TAGS[*i]));
+                    c.iter().for_each(|g| build(p, id, g));
+                }
+                GenPat::Wildcard(c) => {
+                    let id = p.add_child(parent, PatternLabel::Wildcard);
+                    c.iter().for_each(|g| build(p, id, g));
+                }
+                GenPat::Descendant(c) => {
+                    let id = p.add_child(parent, PatternLabel::Descendant);
+                    build(p, id, c);
+                }
+            }
+        }
+        for g in &children {
+            build(&mut p, root, g);
+        }
+        p
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Estimates are always valid probabilities, for every representation.
+    #[test]
+    fn selectivity_is_a_probability(docs in gen_docs(), p in gen_pattern()) {
+        for config in [
+            SynopsisConfig::counters(),
+            SynopsisConfig::sets(8),
+            SynopsisConfig::hashes(8),
+        ] {
+            let synopsis = Synopsis::from_documents(config, &docs);
+            let estimator = SelectivityEstimator::new(&synopsis);
+            let s = estimator.selectivity(&p);
+            prop_assert!((0.0..=1.0).contains(&s), "{:?} -> {s}", config.kind);
+        }
+    }
+
+    /// With lossless summaries (capacity larger than the stream), linear
+    /// patterns — and any pattern whose branches only occur at the document
+    /// root — are estimated exactly; in general the estimate never
+    /// *underestimates* the exact selectivity on exact set summaries
+    /// (skeleton coalescing can only merge sibling contexts, which adds
+    /// documents to path intersections).
+    #[test]
+    fn exact_sets_never_underestimate(docs in gen_docs(), p in gen_pattern()) {
+        let exact = ExactEvaluator::new(docs.clone());
+        let mut synopsis = Synopsis::from_documents(SynopsisConfig::sets(100_000), &docs);
+        synopsis.prepare();
+        let estimator = SelectivityEstimator::new(&synopsis);
+        let estimated = estimator.selectivity(&p);
+        let truth = exact.selectivity(&p);
+        prop_assert!(
+            estimated >= truth - 1e-9,
+            "estimate {estimated} under-estimates exact {truth} for {p}"
+        );
+    }
+
+    /// The estimated selectivity of the conjunction never exceeds either
+    /// marginal (on exact set summaries).
+    #[test]
+    fn joint_selectivity_is_bounded_by_marginals(docs in gen_docs(), p in gen_pattern(), q in gen_pattern()) {
+        let mut synopsis = Synopsis::from_documents(SynopsisConfig::sets(100_000), &docs);
+        synopsis.prepare();
+        let estimator = SelectivityEstimator::new(&synopsis);
+        let joint = estimator.joint_selectivity(&p, &q);
+        let sp = estimator.selectivity(&p);
+        let sq = estimator.selectivity(&q);
+        prop_assert!(joint <= sp + 1e-9);
+        prop_assert!(joint <= sq + 1e-9);
+    }
+
+    /// Similarity scores are within [0, 1]; symmetric metrics are symmetric;
+    /// self-similarity is 1 for patterns that match at least one document.
+    #[test]
+    fn similarity_properties(docs in gen_docs(), p in gen_pattern(), q in gen_pattern()) {
+        let mut estimator = SimilarityEstimator::new(SynopsisConfig::sets(100_000));
+        estimator.observe_all(&docs);
+        estimator.prepare();
+        for metric in ProximityMetric::all() {
+            let spq = estimator.similarity(&p, &q, metric);
+            prop_assert!((0.0..=1.0).contains(&spq), "{metric} -> {spq}");
+            if metric.is_symmetric() {
+                let sqp = estimator.similarity(&q, &p, metric);
+                prop_assert!((spq - sqp).abs() < 1e-9, "{metric} not symmetric");
+            }
+        }
+        let self_sim = estimator.similarity(&p, &p, ProximityMetric::M3);
+        prop_assert!((self_sim - 1.0).abs() < 1e-9 || estimator.selectivity(&p) == 0.0);
+    }
+
+    /// The exact evaluator agrees with direct matching.
+    #[test]
+    fn exact_evaluator_matches_direct_counting(docs in gen_docs(), p in gen_pattern()) {
+        let exact = ExactEvaluator::new(docs.clone());
+        let direct = docs.iter().filter(|d| p.matches(d)).count() as f64 / docs.len() as f64;
+        prop_assert!((exact.selectivity(&p) - direct).abs() < 1e-12);
+    }
+}

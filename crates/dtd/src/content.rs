@@ -1,0 +1,456 @@
+//! Content models of `<!ELEMENT>` declarations.
+//!
+//! A DTD constrains, for every element, which children may appear and in
+//! which order, using a small regular-expression language over element names:
+//! sequences (`a, b, c`), choices (`a | b`), and the occurrence indicators
+//! `?`, `*`, `+`. Two special forms, `EMPTY` and `ANY`, and the mixed-content
+//! form `(#PCDATA | a | ...)*` complete the grammar.
+//!
+//! The representation here keeps the full structure (not just the set of
+//! allowed children) so that [`crate::validate`] can check child *sequences*
+//! and [`crate::analysis`] can reason about mandatory children — the
+//! structural information the paper's footnote 2 alludes to when it mentions
+//! that DTDs could be used to enhance the synopsis.
+
+use std::fmt;
+
+/// How often a content particle may occur.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Occurrence {
+    /// Exactly once (no indicator).
+    One,
+    /// Zero or one time (`?`).
+    Optional,
+    /// Any number of times, including zero (`*`).
+    ZeroOrMore,
+    /// At least once (`+`).
+    OneOrMore,
+}
+
+impl Occurrence {
+    /// The concrete-syntax suffix for this indicator (`""`, `"?"`, `"*"`,
+    /// `"+"`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Occurrence::One => "",
+            Occurrence::Optional => "?",
+            Occurrence::ZeroOrMore => "*",
+            Occurrence::OneOrMore => "+",
+        }
+    }
+
+    /// Whether the particle may be absent entirely.
+    pub fn allows_zero(self) -> bool {
+        matches!(self, Occurrence::Optional | Occurrence::ZeroOrMore)
+    }
+
+    /// Whether the particle may repeat more than once.
+    pub fn allows_many(self) -> bool {
+        matches!(self, Occurrence::ZeroOrMore | Occurrence::OneOrMore)
+    }
+}
+
+/// The structural part of a content particle (before its occurrence
+/// indicator).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ParticleKind {
+    /// A reference to a child element by name.
+    Element(String),
+    /// An ordered sequence `(a, b, c)`.
+    Sequence(Vec<ContentParticle>),
+    /// A choice `(a | b | c)`.
+    Choice(Vec<ContentParticle>),
+}
+
+/// A content particle: a structural kind plus an occurrence indicator.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ContentParticle {
+    /// The structure of the particle.
+    pub kind: ParticleKind,
+    /// How often the particle may occur.
+    pub occurrence: Occurrence,
+}
+
+impl ContentParticle {
+    /// A particle that matches a single occurrence of the named element.
+    pub fn element(name: &str) -> Self {
+        Self {
+            kind: ParticleKind::Element(name.to_string()),
+            occurrence: Occurrence::One,
+        }
+    }
+
+    /// Wrap this particle with a different occurrence indicator.
+    pub fn with_occurrence(mut self, occurrence: Occurrence) -> Self {
+        self.occurrence = occurrence;
+        self
+    }
+
+    /// An ordered sequence of particles.
+    pub fn sequence(parts: Vec<ContentParticle>) -> Self {
+        Self {
+            kind: ParticleKind::Sequence(parts),
+            occurrence: Occurrence::One,
+        }
+    }
+
+    /// A choice between particles.
+    pub fn choice(parts: Vec<ContentParticle>) -> Self {
+        Self {
+            kind: ParticleKind::Choice(parts),
+            occurrence: Occurrence::One,
+        }
+    }
+
+    /// Whether the empty child sequence satisfies this particle.
+    pub fn is_nullable(&self) -> bool {
+        if self.occurrence.allows_zero() {
+            return true;
+        }
+        match &self.kind {
+            ParticleKind::Element(_) => false,
+            ParticleKind::Sequence(parts) => parts.iter().all(ContentParticle::is_nullable),
+            ParticleKind::Choice(parts) => parts.iter().any(ContentParticle::is_nullable),
+        }
+    }
+
+    /// All element names referenced anywhere in the particle.
+    pub fn referenced_elements(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_referenced(&mut out);
+        out
+    }
+
+    fn collect_referenced<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match &self.kind {
+            ParticleKind::Element(name) => {
+                if !out.contains(&name.as_str()) {
+                    out.push(name);
+                }
+            }
+            ParticleKind::Sequence(parts) | ParticleKind::Choice(parts) => {
+                for part in parts {
+                    part.collect_referenced(out);
+                }
+            }
+        }
+    }
+
+    /// Element names that must occur at least once in any child sequence
+    /// satisfying this particle.
+    pub fn mandatory_elements(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_mandatory(&mut out);
+        out
+    }
+
+    fn collect_mandatory<'a>(&'a self, out: &mut Vec<&'a str>) {
+        if self.occurrence.allows_zero() {
+            return;
+        }
+        match &self.kind {
+            ParticleKind::Element(name) => {
+                if !out.contains(&name.as_str()) {
+                    out.push(name);
+                }
+            }
+            ParticleKind::Sequence(parts) => {
+                for part in parts {
+                    part.collect_mandatory(out);
+                }
+            }
+            ParticleKind::Choice(parts) => {
+                // An element is mandatory under a choice only if it is
+                // mandatory under every alternative.
+                let mut per_alternative: Vec<Vec<&str>> = Vec::with_capacity(parts.len());
+                for part in parts {
+                    let mut names = Vec::new();
+                    part.collect_mandatory(&mut names);
+                    per_alternative.push(names);
+                }
+                if let Some(first) = per_alternative.first() {
+                    for name in first {
+                        if per_alternative.iter().all(|alt| alt.contains(name))
+                            && !out.contains(name)
+                        {
+                            out.push(name);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn fmt_inner(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParticleKind::Element(name) => write!(f, "{name}")?,
+            ParticleKind::Sequence(parts) => {
+                write!(f, "(")?;
+                for (i, part) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    part.fmt_inner(f)?;
+                }
+                write!(f, ")")?;
+            }
+            ParticleKind::Choice(parts) => {
+                write!(f, "(")?;
+                for (i, part) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    part.fmt_inner(f)?;
+                }
+                write!(f, ")")?;
+            }
+        }
+        write!(f, "{}", self.occurrence.suffix())
+    }
+}
+
+impl fmt::Display for ContentParticle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_inner(f)
+    }
+}
+
+/// The content model of an element declaration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ContentModel {
+    /// `EMPTY` — the element may not have content.
+    Empty,
+    /// `ANY` — any declared element may appear, in any order.
+    Any,
+    /// `(#PCDATA)` — text-only content.
+    Pcdata,
+    /// `(#PCDATA | a | b)*` — mixed text and the listed elements.
+    Mixed(Vec<String>),
+    /// Element content described by a content particle.
+    Children(ContentParticle),
+}
+
+impl ContentModel {
+    /// Element names that may appear as direct children under this model.
+    ///
+    /// For [`ContentModel::Any`] the answer depends on the full schema, so
+    /// this returns `None`; callers should fall back to the schema's complete
+    /// element list.
+    pub fn allowed_children(&self) -> Option<Vec<&str>> {
+        match self {
+            ContentModel::Empty | ContentModel::Pcdata => Some(Vec::new()),
+            ContentModel::Any => None,
+            ContentModel::Mixed(names) => Some(names.iter().map(String::as_str).collect()),
+            ContentModel::Children(particle) => Some(particle.referenced_elements()),
+        }
+    }
+
+    /// Element names that every valid instance must contain as children.
+    pub fn mandatory_children(&self) -> Vec<&str> {
+        match self {
+            ContentModel::Children(particle) => particle.mandatory_elements(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Whether the model allows text content (directly).
+    pub fn allows_text(&self) -> bool {
+        matches!(
+            self,
+            ContentModel::Pcdata | ContentModel::Mixed(_) | ContentModel::Any
+        )
+    }
+
+    /// Whether an element with no children at all is valid under this model.
+    pub fn allows_empty(&self) -> bool {
+        match self {
+            ContentModel::Empty | ContentModel::Any | ContentModel::Pcdata => true,
+            ContentModel::Mixed(_) => true,
+            ContentModel::Children(particle) => particle.is_nullable(),
+        }
+    }
+}
+
+impl fmt::Display for ContentModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContentModel::Empty => write!(f, "EMPTY"),
+            ContentModel::Any => write!(f, "ANY"),
+            ContentModel::Pcdata => write!(f, "(#PCDATA)"),
+            ContentModel::Mixed(names) => {
+                write!(f, "(#PCDATA")?;
+                for name in names {
+                    write!(f, " | {name}")?;
+                }
+                write!(f, ")*")
+            }
+            ContentModel::Children(particle) => write!(f, "{particle}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(parts: Vec<ContentParticle>) -> ContentParticle {
+        ContentParticle::sequence(parts)
+    }
+
+    #[test]
+    fn occurrence_suffixes() {
+        assert_eq!(Occurrence::One.suffix(), "");
+        assert_eq!(Occurrence::Optional.suffix(), "?");
+        assert_eq!(Occurrence::ZeroOrMore.suffix(), "*");
+        assert_eq!(Occurrence::OneOrMore.suffix(), "+");
+    }
+
+    #[test]
+    fn occurrence_zero_and_many() {
+        assert!(Occurrence::Optional.allows_zero());
+        assert!(Occurrence::ZeroOrMore.allows_zero());
+        assert!(!Occurrence::One.allows_zero());
+        assert!(!Occurrence::OneOrMore.allows_zero());
+        assert!(Occurrence::ZeroOrMore.allows_many());
+        assert!(Occurrence::OneOrMore.allows_many());
+        assert!(!Occurrence::Optional.allows_many());
+    }
+
+    #[test]
+    fn nullable_element_requires_zero_occurrence() {
+        let one = ContentParticle::element("a");
+        assert!(!one.is_nullable());
+        assert!(one
+            .clone()
+            .with_occurrence(Occurrence::ZeroOrMore)
+            .is_nullable());
+        assert!(one.with_occurrence(Occurrence::Optional).is_nullable());
+    }
+
+    #[test]
+    fn nullable_sequence_needs_all_nullable() {
+        let p = seq(vec![
+            ContentParticle::element("a").with_occurrence(Occurrence::Optional),
+            ContentParticle::element("b"),
+        ]);
+        assert!(!p.is_nullable());
+        let q = seq(vec![
+            ContentParticle::element("a").with_occurrence(Occurrence::Optional),
+            ContentParticle::element("b").with_occurrence(Occurrence::ZeroOrMore),
+        ]);
+        assert!(q.is_nullable());
+    }
+
+    #[test]
+    fn nullable_choice_needs_one_nullable() {
+        let p = ContentParticle::choice(vec![
+            ContentParticle::element("a"),
+            ContentParticle::element("b").with_occurrence(Occurrence::Optional),
+        ]);
+        assert!(p.is_nullable());
+    }
+
+    #[test]
+    fn referenced_elements_are_deduplicated_in_order() {
+        let p = seq(vec![
+            ContentParticle::element("a"),
+            ContentParticle::choice(vec![
+                ContentParticle::element("b"),
+                ContentParticle::element("a"),
+            ]),
+        ]);
+        assert_eq!(p.referenced_elements(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn mandatory_elements_skip_optional_parts() {
+        let p = seq(vec![
+            ContentParticle::element("a"),
+            ContentParticle::element("b").with_occurrence(Occurrence::Optional),
+            ContentParticle::element("c").with_occurrence(Occurrence::OneOrMore),
+        ]);
+        assert_eq!(p.mandatory_elements(), vec!["a", "c"]);
+    }
+
+    #[test]
+    fn mandatory_elements_under_choice_require_all_alternatives() {
+        let p = ContentParticle::choice(vec![
+            seq(vec![
+                ContentParticle::element("a"),
+                ContentParticle::element("b"),
+            ]),
+            seq(vec![
+                ContentParticle::element("a"),
+                ContentParticle::element("c"),
+            ]),
+        ]);
+        assert_eq!(p.mandatory_elements(), vec!["a"]);
+    }
+
+    #[test]
+    fn display_round_trips_structure() {
+        let p = seq(vec![
+            ContentParticle::element("title"),
+            ContentParticle::choice(vec![
+                ContentParticle::element("author"),
+                ContentParticle::element("editor"),
+            ])
+            .with_occurrence(Occurrence::OneOrMore),
+            ContentParticle::element("year").with_occurrence(Occurrence::Optional),
+        ]);
+        assert_eq!(p.to_string(), "(title, (author | editor)+, year?)");
+    }
+
+    #[test]
+    fn content_model_display() {
+        assert_eq!(ContentModel::Empty.to_string(), "EMPTY");
+        assert_eq!(ContentModel::Any.to_string(), "ANY");
+        assert_eq!(ContentModel::Pcdata.to_string(), "(#PCDATA)");
+        assert_eq!(
+            ContentModel::Mixed(vec!["em".into(), "strong".into()]).to_string(),
+            "(#PCDATA | em | strong)*"
+        );
+    }
+
+    #[test]
+    fn allowed_children_per_model() {
+        assert_eq!(ContentModel::Empty.allowed_children(), Some(vec![]));
+        assert_eq!(ContentModel::Pcdata.allowed_children(), Some(vec![]));
+        assert_eq!(ContentModel::Any.allowed_children(), None);
+        assert_eq!(
+            ContentModel::Mixed(vec!["a".into()]).allowed_children(),
+            Some(vec!["a"])
+        );
+        let children = ContentModel::Children(ContentParticle::sequence(vec![
+            ContentParticle::element("x"),
+            ContentParticle::element("y"),
+        ]));
+        assert_eq!(children.allowed_children(), Some(vec!["x", "y"]));
+    }
+
+    #[test]
+    fn allows_empty_and_text() {
+        assert!(ContentModel::Empty.allows_empty());
+        assert!(ContentModel::Pcdata.allows_empty());
+        assert!(ContentModel::Pcdata.allows_text());
+        assert!(!ContentModel::Empty.allows_text());
+        let required = ContentModel::Children(ContentParticle::element("a"));
+        assert!(!required.allows_empty());
+        let optional = ContentModel::Children(
+            ContentParticle::element("a").with_occurrence(Occurrence::ZeroOrMore),
+        );
+        assert!(optional.allows_empty());
+    }
+
+    #[test]
+    fn mandatory_children_only_for_children_model() {
+        assert!(ContentModel::Mixed(vec!["a".into()])
+            .mandatory_children()
+            .is_empty());
+        let model = ContentModel::Children(ContentParticle::sequence(vec![
+            ContentParticle::element("a"),
+            ContentParticle::element("b").with_occurrence(Occurrence::Optional),
+        ]));
+        assert_eq!(model.mandatory_children(), vec!["a"]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Error types for DTD parsing and validation.
+
+use std::fmt;
+
+/// An error produced while parsing a Document Type Definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DtdError {
+    kind: DtdErrorKind,
+    /// Byte offset in the (entity-expanded) input at which the error was
+    /// detected.
+    offset: usize,
+}
+
+/// The different classes of DTD parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DtdErrorKind {
+    /// The input ended while a declaration was still open.
+    UnexpectedEof,
+    /// A declaration started with an unknown keyword (`<!FOO ...>`).
+    UnknownDeclaration(String),
+    /// An element, attribute or entity name was empty or malformed.
+    InvalidName(String),
+    /// A content model could not be parsed.
+    InvalidContentModel(String),
+    /// An `<!ATTLIST>` declaration could not be parsed.
+    InvalidAttlist(String),
+    /// An `<!ENTITY>` declaration could not be parsed.
+    InvalidEntity(String),
+    /// A parameter-entity reference (`%name;`) could not be resolved.
+    UnknownParameterEntity(String),
+    /// Parameter-entity expansion did not terminate (likely a reference
+    /// cycle).
+    EntityExpansionLoop,
+    /// The same element was declared twice.
+    DuplicateElement(String),
+    /// Markup that is not a declaration, comment or processing instruction.
+    Malformed(String),
+    /// The DTD declares no elements at all.
+    NoElements,
+}
+
+impl DtdError {
+    pub(crate) fn new(kind: DtdErrorKind, offset: usize) -> Self {
+        Self { kind, offset }
+    }
+
+    /// The byte offset at which the error was detected.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// The kind of failure.
+    pub fn kind(&self) -> &DtdErrorKind {
+        &self.kind
+    }
+}
+
+impl fmt::Display for DtdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            DtdErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
+            DtdErrorKind::UnknownDeclaration(k) => write!(f, "unknown declaration <!{k} ...>"),
+            DtdErrorKind::InvalidName(n) => write!(f, "invalid name {n:?}"),
+            DtdErrorKind::InvalidContentModel(m) => write!(f, "invalid content model: {m}"),
+            DtdErrorKind::InvalidAttlist(m) => write!(f, "invalid ATTLIST declaration: {m}"),
+            DtdErrorKind::InvalidEntity(m) => write!(f, "invalid ENTITY declaration: {m}"),
+            DtdErrorKind::UnknownParameterEntity(n) => {
+                write!(f, "unknown parameter entity %{n};")
+            }
+            DtdErrorKind::EntityExpansionLoop => {
+                write!(f, "parameter-entity expansion did not terminate")
+            }
+            DtdErrorKind::DuplicateElement(n) => write!(f, "element {n:?} declared twice"),
+            DtdErrorKind::Malformed(m) => write!(f, "malformed DTD: {m}"),
+            DtdErrorKind::NoElements => write!(f, "the DTD declares no elements"),
+        }?;
+        write!(f, " at byte offset {}", self.offset)
+    }
+}
+
+impl std::error::Error for DtdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset_and_message() {
+        let err = DtdError::new(DtdErrorKind::UnexpectedEof, 17);
+        let msg = err.to_string();
+        assert!(msg.contains("17"));
+        assert!(msg.contains("unexpected end of input"));
+    }
+
+    #[test]
+    fn accessors_return_fields() {
+        let err = DtdError::new(DtdErrorKind::NoElements, 3);
+        assert_eq!(err.offset(), 3);
+        assert_eq!(*err.kind(), DtdErrorKind::NoElements);
+    }
+
+    #[test]
+    fn duplicate_element_message_names_the_element() {
+        let err = DtdError::new(DtdErrorKind::DuplicateElement("CD".into()), 0);
+        assert!(err.to_string().contains("CD"));
+    }
+
+    #[test]
+    fn unknown_parameter_entity_message_names_the_entity() {
+        let err = DtdError::new(DtdErrorKind::UnknownParameterEntity("blocks".into()), 9);
+        assert!(err.to_string().contains("%blocks;"));
+    }
+}

@@ -1,0 +1,54 @@
+//! Document Type Definitions: parsing, validation and DTD-aware pattern
+//! analysis.
+//!
+//! The paper's evaluation (Section 5.1) is driven by two real-world DTDs —
+//! NITF and xCBL Order — fed to a document generator and an XPath workload
+//! generator; its footnote 2 and Example 1.1 further point out that DTD
+//! structure can be exploited to reason about patterns ("the `*` in `pa`
+//! must correspond to `composer`, the `//` in `pd` to `media/CD`"). This
+//! crate supplies that substrate:
+//!
+//! * [`parser`] — a parser for standalone DTD files and internal subsets
+//!   (`<!ELEMENT>`, `<!ATTLIST>`, parameter entities, conditional sections),
+//! * [`DtdSchema`] / [`ContentModel`] — the parsed schema and content-model
+//!   representation,
+//! * [`Validator`] — strict (sequence-checking) and lenient (child-set)
+//!   validation of [`tps_xml::XmlTree`] documents,
+//! * [`writer`] — serialising schemas back to DTD text and deriving a schema
+//!   from the child-set DTD model of `tps-workload` (so the synthetic
+//!   NITF-/xCBL-scale DTDs can be exported as real DTD files),
+//! * [`PatternAnalyzer`] — DTD-aware satisfiability, expansion and
+//!   equivalence of tree patterns (the Example 1.1 reasoning),
+//! * [`samples`] — small embedded DTDs, including the paper's Figure 1
+//!   "media" DTD.
+//!
+//! # Example
+//!
+//! ```
+//! use tps_dtd::{samples, PatternAnalyzer};
+//! use tps_pattern::TreePattern;
+//!
+//! let schema = samples::media_schema();
+//! let analyzer = PatternAnalyzer::new(&schema);
+//! let pa = TreePattern::parse("/media/CD/*/last/Mozart").unwrap();
+//! let pd = TreePattern::parse("//composer/last/Mozart").unwrap();
+//! // Example 1.1: pa and pd are equivalent with respect to the media DTD.
+//! assert!(analyzer.dtd_equivalent(&pa, &pd));
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod content;
+pub mod error;
+pub mod parser;
+pub mod samples;
+pub mod schema;
+pub mod validate;
+pub mod writer;
+
+pub use analysis::{AnalysisConfig, ExpansionSet, PatternAnalyzer};
+pub use content::{ContentModel, ContentParticle, Occurrence, ParticleKind};
+pub use error::{DtdError, DtdErrorKind};
+pub use schema::{AttributeDecl, DeclId, DtdSchema, ElementDecl, SchemaStats};
+pub use validate::{ValidationError, ValidationMode, ValidationReport, Validator};

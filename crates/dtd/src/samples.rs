@@ -1,0 +1,167 @@
+//! Embedded sample DTDs used by tests, examples and documentation.
+//!
+//! The real NITF and xCBL Order DTDs are not redistributable; the samples
+//! here are small hand-written DTDs that cover the same constructs (nested
+//! containers, repeated elements, mixed content, attributes, parameter
+//! entities) at example scale. The `media` DTD mirrors the paper's Figure 1
+//! vocabulary and is the schema the worked examples of Sections 1 and 2 are
+//! written against.
+
+use crate::parser;
+use crate::schema::DtdSchema;
+
+/// DTD text for the paper's running "media" example (Figure 1): a media
+/// collection of books and CDs with authors, composers, interpreters and
+/// titles.
+pub const MEDIA_DTD: &str = r#"
+<!-- The media DTD of the paper's Figure 1. -->
+<!ENTITY % person "(first, last)">
+<!ELEMENT media (book | CD)*>
+<!ELEMENT book (author, title, year?, genre?)>
+<!ELEMENT CD (composer, title, interpreter?, year?)>
+<!ELEMENT author %person;>
+<!ELEMENT composer %person;>
+<!ELEMENT interpreter (ensemble)>
+<!ELEMENT first (#PCDATA)>
+<!ELEMENT last (#PCDATA)>
+<!ELEMENT ensemble (#PCDATA)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+<!ELEMENT genre (#PCDATA)>
+<!ATTLIST CD id ID #IMPLIED>
+<!ATTLIST book id ID #IMPLIED>
+"#;
+
+/// DTD text for a miniature news format in the spirit of NITF: a head/body
+/// document with headlines, bylines, paragraphs and media blocks.
+pub const MINI_NEWS_DTD: &str = r#"
+<!-- A miniature news DTD in the spirit of NITF. -->
+<!ENTITY % text "(#PCDATA)">
+<!ELEMENT nitf (head, body)>
+<!ELEMENT head (title, meta*, docdata?)>
+<!ELEMENT title %text;>
+<!ELEMENT meta EMPTY>
+<!ATTLIST meta name CDATA #REQUIRED content CDATA #IMPLIED>
+<!ELEMENT docdata (date?, copyright?)>
+<!ELEMENT date %text;>
+<!ELEMENT copyright %text;>
+<!ELEMENT body (headline, byline?, dateline?, (paragraph | media | list)+)>
+<!ELEMENT headline %text;>
+<!ELEMENT byline (#PCDATA | person)*>
+<!ELEMENT person %text;>
+<!ELEMENT dateline (location?, date?)>
+<!ELEMENT location %text;>
+<!ELEMENT paragraph (#PCDATA | emphasis | quote)*>
+<!ELEMENT emphasis %text;>
+<!ELEMENT quote %text;>
+<!ELEMENT media (caption?, credit?, reference)>
+<!ELEMENT caption %text;>
+<!ELEMENT credit %text;>
+<!ELEMENT reference EMPTY>
+<!ATTLIST reference source CDATA #REQUIRED>
+<!ELEMENT list (item+)>
+<!ELEMENT item (#PCDATA | emphasis)*>
+"#;
+
+/// DTD text for a miniature purchase-order format in the spirit of the xCBL
+/// Order schema: deeply nested parties, line items and monetary amounts.
+pub const MINI_ORDER_DTD: &str = r#"
+<!-- A miniature purchase-order DTD in the spirit of xCBL Order. -->
+<!ENTITY % amount "(value, currency)">
+<!ELEMENT order (header, parties, items, summary?)>
+<!ELEMENT header (number, issued, purpose?)>
+<!ELEMENT number (#PCDATA)>
+<!ELEMENT issued (#PCDATA)>
+<!ELEMENT purpose (#PCDATA)>
+<!ELEMENT parties (buyer, seller, shipto?)>
+<!ELEMENT buyer (name, address, contact?)>
+<!ELEMENT seller (name, address, contact?)>
+<!ELEMENT shipto (name, address)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT address (street, city, postal?, country)>
+<!ELEMENT street (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT postal (#PCDATA)>
+<!ELEMENT country (#PCDATA)>
+<!ELEMENT contact (name, phone?, email?)>
+<!ELEMENT phone (#PCDATA)>
+<!ELEMENT email (#PCDATA)>
+<!ELEMENT items (item+)>
+<!ELEMENT item (sku, description?, quantity, price, total?)>
+<!ELEMENT sku (#PCDATA)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT quantity (#PCDATA)>
+<!ELEMENT price %amount;>
+<!ELEMENT total %amount;>
+<!ELEMENT value (#PCDATA)>
+<!ELEMENT currency (#PCDATA)>
+<!ELEMENT summary (linecount, total)>
+<!ELEMENT linecount (#PCDATA)>
+"#;
+
+/// The parsed media schema of [`MEDIA_DTD`].
+pub fn media_schema() -> DtdSchema {
+    parser::parse_named("media", MEDIA_DTD).expect("the embedded media DTD parses")
+}
+
+/// The parsed mini-news schema of [`MINI_NEWS_DTD`].
+pub fn mini_news_schema() -> DtdSchema {
+    parser::parse_named("mini-news", MINI_NEWS_DTD).expect("the embedded mini-news DTD parses")
+}
+
+/// The parsed mini-order schema of [`MINI_ORDER_DTD`].
+pub fn mini_order_schema() -> DtdSchema {
+    parser::parse_named("mini-order", MINI_ORDER_DTD).expect("the embedded mini-order DTD parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn media_schema_matches_figure_1_vocabulary() {
+        let schema = media_schema();
+        assert_eq!(schema.root(), Some("media"));
+        for element in ["media", "book", "CD", "composer", "interpreter", "last"] {
+            assert!(schema.has_element(element), "missing {element}");
+        }
+        assert!(schema.allowed_children("CD").contains(&"composer"));
+        assert!(schema.element("last").unwrap().allows_text());
+    }
+
+    #[test]
+    fn mini_news_schema_parses_with_expected_shape() {
+        let schema = mini_news_schema();
+        assert_eq!(schema.root(), Some("nitf"));
+        assert!(schema.element_count() >= 20);
+        let stats = schema.stats();
+        assert!(stats.attribute_count >= 3);
+        assert!(stats.text_element_count >= 10);
+    }
+
+    #[test]
+    fn mini_order_schema_parses_with_expected_shape() {
+        let schema = mini_order_schema();
+        assert_eq!(schema.root(), Some("order"));
+        assert!(schema.element_count() >= 25);
+        assert!(schema.allowed_children("item").contains(&"price"));
+        assert!(schema.undeclared_references().is_empty());
+    }
+
+    #[test]
+    fn all_sample_schemas_have_no_dangling_references() {
+        for schema in [media_schema(), mini_news_schema(), mini_order_schema()] {
+            assert!(
+                schema.undeclared_references().is_empty(),
+                "{} has undeclared references",
+                schema.name()
+            );
+            assert_eq!(
+                schema.reachable_elements().len(),
+                schema.element_count(),
+                "{} has unreachable elements",
+                schema.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,512 @@
+//! The in-memory representation of a parsed DTD.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::content::ContentModel;
+
+/// Identifier of an element declaration within a [`DtdSchema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeclId(pub(crate) u32);
+
+impl DeclId {
+    /// Index into the schema's declaration table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A single attribute definition from an `<!ATTLIST>` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributeDecl {
+    /// Attribute name.
+    pub name: String,
+    /// Declared type, kept as written (`CDATA`, `ID`, `(a|b)`, ...).
+    pub attribute_type: String,
+    /// Default declaration, kept as written (`#REQUIRED`, `#IMPLIED`,
+    /// `"value"`, ...).
+    pub default: String,
+}
+
+/// One `<!ELEMENT>` declaration together with the attributes declared for it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElementDecl {
+    name: String,
+    content: ContentModel,
+    attributes: Vec<AttributeDecl>,
+}
+
+impl ElementDecl {
+    /// Create a new element declaration.
+    pub fn new(name: &str, content: ContentModel) -> Self {
+        Self {
+            name: name.to_string(),
+            content,
+            attributes: Vec::new(),
+        }
+    }
+
+    /// The element's tag name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The element's content model.
+    pub fn content(&self) -> &ContentModel {
+        &self.content
+    }
+
+    /// The attributes declared for this element.
+    pub fn attributes(&self) -> &[AttributeDecl] {
+        &self.attributes
+    }
+
+    /// Whether the element may directly contain text.
+    pub fn allows_text(&self) -> bool {
+        self.content.allows_text()
+    }
+}
+
+/// A parsed Document Type Definition: element declarations, their content
+/// models and attributes, plus general entities declared in the DTD.
+///
+/// The schema is the bridge between the concrete DTD syntax handled by
+/// [`crate::parser`] and the rest of the workspace: it can be validated
+/// against ([`crate::validate`]), analysed together with tree patterns
+/// ([`crate::analysis`]), serialised back to DTD text ([`crate::writer`]),
+/// and converted into the simpler child-set model used by the workload
+/// generators ([`DtdSchema::to_workload_dtd`]).
+#[derive(Debug, Clone, Default)]
+pub struct DtdSchema {
+    name: String,
+    declarations: Vec<ElementDecl>,
+    by_name: BTreeMap<String, DeclId>,
+    /// General entities (`<!ENTITY name "value">`), kept for completeness.
+    general_entities: BTreeMap<String, String>,
+    /// Explicit root element, when known (e.g. from a DOCTYPE name or set by
+    /// the caller). Otherwise the root is inferred.
+    explicit_root: Option<String>,
+}
+
+impl DtdSchema {
+    /// Create an empty schema with the given name.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            ..Self::default()
+        }
+    }
+
+    /// The schema's name (informational only).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of element declarations.
+    pub fn element_count(&self) -> usize {
+        self.declarations.len()
+    }
+
+    /// Whether the schema has no element declarations.
+    pub fn is_empty(&self) -> bool {
+        self.declarations.is_empty()
+    }
+
+    /// Add an element declaration. Returns `None` if an element with the
+    /// same name was already declared.
+    pub fn add_element(&mut self, decl: ElementDecl) -> Option<DeclId> {
+        if self.by_name.contains_key(decl.name()) {
+            return None;
+        }
+        let id = DeclId(self.declarations.len() as u32);
+        self.by_name.insert(decl.name().to_string(), id);
+        self.declarations.push(decl);
+        Some(id)
+    }
+
+    /// Attach attribute definitions to an element, creating an `ANY`
+    /// declaration if the element has not been declared yet (as real-world
+    /// DTDs sometimes put `<!ATTLIST>` before `<!ELEMENT>`).
+    pub fn add_attributes(&mut self, element: &str, attributes: Vec<AttributeDecl>) -> DeclId {
+        let id = match self.by_name.get(element) {
+            Some(&id) => id,
+            None => self
+                .add_element(ElementDecl::new(element, ContentModel::Any))
+                .expect("element was just checked to be absent"),
+        };
+        self.declarations[id.index()].attributes.extend(attributes);
+        id
+    }
+
+    /// Record a general entity declaration.
+    pub fn add_general_entity(&mut self, name: &str, value: &str) {
+        self.general_entities
+            .insert(name.to_string(), value.to_string());
+    }
+
+    /// The general entities declared in the DTD.
+    pub fn general_entities(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.general_entities
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Set the root element explicitly (e.g. from a DOCTYPE declaration).
+    pub fn set_root(&mut self, name: &str) {
+        self.explicit_root = Some(name.to_string());
+    }
+
+    /// Look up a declaration by element name.
+    pub fn element(&self, name: &str) -> Option<&ElementDecl> {
+        self.by_name.get(name).map(|id| &self.declarations[id.index()])
+    }
+
+    /// Look up a declaration id by element name.
+    pub fn decl_id(&self, name: &str) -> Option<DeclId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The declaration with the given id.
+    pub fn declaration(&self, id: DeclId) -> &ElementDecl {
+        &self.declarations[id.index()]
+    }
+
+    /// Iterate over all declarations in declaration order.
+    pub fn declarations(&self) -> impl Iterator<Item = &ElementDecl> {
+        self.declarations.iter()
+    }
+
+    /// All declared element names, in declaration order.
+    pub fn element_names(&self) -> Vec<&str> {
+        self.declarations.iter().map(ElementDecl::name).collect()
+    }
+
+    /// Whether an element with the given name is declared.
+    pub fn has_element(&self, name: &str) -> bool {
+        self.by_name.contains_key(name)
+    }
+
+    /// The element names that may appear as children of `parent`.
+    ///
+    /// For an `ANY` content model this is every declared element.
+    pub fn allowed_children(&self, parent: &str) -> Vec<&str> {
+        match self.element(parent) {
+            None => Vec::new(),
+            Some(decl) => match decl.content().allowed_children() {
+                Some(children) => children,
+                None => self.element_names(),
+            },
+        }
+    }
+
+    /// The root element: the explicit root if one was set, otherwise the
+    /// first declared element that is not referenced by any other element's
+    /// content model, otherwise the first declared element.
+    pub fn root(&self) -> Option<&str> {
+        if let Some(root) = &self.explicit_root {
+            if self.has_element(root) {
+                return Some(root.as_str());
+            }
+        }
+        let mut referenced: BTreeSet<&str> = BTreeSet::new();
+        for decl in &self.declarations {
+            if let Some(children) = decl.content().allowed_children() {
+                for child in children {
+                    if child != decl.name() {
+                        referenced.insert(child);
+                    }
+                }
+            }
+        }
+        self.declarations
+            .iter()
+            .map(ElementDecl::name)
+            .find(|name| !referenced.contains(name))
+            .or_else(|| self.declarations.first().map(ElementDecl::name))
+    }
+
+    /// The set of elements reachable from the root via allowed-children
+    /// edges (including the root itself).
+    pub fn reachable_elements(&self) -> BTreeSet<&str> {
+        let mut reachable = BTreeSet::new();
+        let Some(root) = self.root() else {
+            return reachable;
+        };
+        let mut queue: VecDeque<&str> = VecDeque::new();
+        reachable.insert(root);
+        queue.push_back(root);
+        while let Some(current) = queue.pop_front() {
+            for child in self.allowed_children(current) {
+                if self.has_element(child) && reachable.insert(child) {
+                    queue.push_back(child);
+                }
+            }
+        }
+        reachable
+    }
+
+    /// Element names that are referenced in some content model but never
+    /// declared.
+    pub fn undeclared_references(&self) -> BTreeSet<&str> {
+        let mut missing = BTreeSet::new();
+        for decl in &self.declarations {
+            if let Some(children) = decl.content().allowed_children() {
+                for child in children {
+                    if !self.has_element(child) {
+                        missing.insert(child);
+                    }
+                }
+            }
+        }
+        missing
+    }
+
+    /// Summary statistics of the schema shape, comparable to the DTD figures
+    /// the paper quotes (element counts for NITF and xCBL).
+    pub fn stats(&self) -> SchemaStats {
+        let mut fanouts = Vec::with_capacity(self.declarations.len());
+        let mut text_elements = 0usize;
+        let mut attribute_count = 0usize;
+        for decl in &self.declarations {
+            let fanout = match decl.content().allowed_children() {
+                Some(children) => children.len(),
+                None => self.element_count(),
+            };
+            fanouts.push(fanout);
+            if decl.allows_text() {
+                text_elements += 1;
+            }
+            attribute_count += decl.attributes().len();
+        }
+        let non_leaf: Vec<usize> = fanouts.iter().copied().filter(|&f| f > 0).collect();
+        SchemaStats {
+            element_count: self.element_count(),
+            reachable_count: self.reachable_elements().len(),
+            text_element_count: text_elements,
+            attribute_count,
+            max_fanout: fanouts.iter().copied().max().unwrap_or(0),
+            average_fanout: if non_leaf.is_empty() {
+                0.0
+            } else {
+                non_leaf.iter().sum::<usize>() as f64 / non_leaf.len() as f64
+            },
+        }
+    }
+
+    /// Convert the schema into the simpler child-set DTD model used by the
+    /// workload generators (`tps-workload`), so that documents and pattern
+    /// workloads can be generated from a *parsed* DTD exactly as they are
+    /// from the synthetic ones.
+    pub fn to_workload_dtd(&self) -> tps_workload::Dtd {
+        let root_name = self.root().unwrap_or("root").to_string();
+        let mut dtd = tps_workload::Dtd::new(self.name(), &root_name);
+        // First pass: declare every element (the workload model dedups by
+        // name through our own map since it has no lookup-or-insert API).
+        let mut ids: BTreeMap<&str, tps_workload::ElementId> = BTreeMap::new();
+        ids.insert(root_name.as_str(), dtd.root());
+        for decl in &self.declarations {
+            if ids.contains_key(decl.name()) {
+                continue;
+            }
+            let textual = decl.allows_text();
+            let id = if textual {
+                dtd.add_textual_element(decl.name())
+            } else {
+                dtd.add_element(decl.name())
+            };
+            ids.insert(decl.name(), id);
+        }
+        // Second pass: wire allowed-children edges (skipping references to
+        // undeclared elements).
+        for decl in &self.declarations {
+            let Some(&parent) = ids.get(decl.name()) else {
+                continue;
+            };
+            for child in self.allowed_children(decl.name()) {
+                if let Some(&child_id) = ids.get(child) {
+                    dtd.add_child(parent, child_id);
+                }
+            }
+        }
+        dtd
+    }
+}
+
+/// Shape statistics of a [`DtdSchema`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemaStats {
+    /// Number of element declarations.
+    pub element_count: usize,
+    /// Number of elements reachable from the root.
+    pub reachable_count: usize,
+    /// Number of elements whose content model allows text.
+    pub text_element_count: usize,
+    /// Total number of declared attributes.
+    pub attribute_count: usize,
+    /// Maximum number of distinct children allowed under one element.
+    pub max_fanout: usize,
+    /// Average number of distinct children over non-leaf elements.
+    pub average_fanout: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::content::{ContentParticle, Occurrence};
+
+    fn media_schema() -> DtdSchema {
+        let mut schema = DtdSchema::new("media");
+        schema.add_element(ElementDecl::new(
+            "media",
+            ContentModel::Children(
+                ContentParticle::choice(vec![
+                    ContentParticle::element("book"),
+                    ContentParticle::element("CD"),
+                ])
+                .with_occurrence(Occurrence::ZeroOrMore),
+            ),
+        ));
+        schema.add_element(ElementDecl::new(
+            "book",
+            ContentModel::Children(ContentParticle::sequence(vec![
+                ContentParticle::element("author"),
+                ContentParticle::element("title"),
+            ])),
+        ));
+        schema.add_element(ElementDecl::new(
+            "CD",
+            ContentModel::Children(ContentParticle::sequence(vec![
+                ContentParticle::element("composer"),
+                ContentParticle::element("title"),
+            ])),
+        ));
+        schema.add_element(ElementDecl::new("author", ContentModel::Pcdata));
+        schema.add_element(ElementDecl::new("composer", ContentModel::Pcdata));
+        schema.add_element(ElementDecl::new("title", ContentModel::Pcdata));
+        schema
+    }
+
+    #[test]
+    fn add_element_rejects_duplicates() {
+        let mut schema = DtdSchema::new("t");
+        assert!(schema
+            .add_element(ElementDecl::new("a", ContentModel::Empty))
+            .is_some());
+        assert!(schema
+            .add_element(ElementDecl::new("a", ContentModel::Any))
+            .is_none());
+        assert_eq!(schema.element_count(), 1);
+    }
+
+    #[test]
+    fn root_is_inferred_as_unreferenced_element() {
+        let schema = media_schema();
+        assert_eq!(schema.root(), Some("media"));
+    }
+
+    #[test]
+    fn explicit_root_wins_when_declared() {
+        let mut schema = media_schema();
+        schema.set_root("CD");
+        assert_eq!(schema.root(), Some("CD"));
+        schema.set_root("unknown");
+        // Unknown explicit roots fall back to inference.
+        assert_eq!(schema.root(), Some("media"));
+    }
+
+    #[test]
+    fn allowed_children_follow_content_model() {
+        let schema = media_schema();
+        assert_eq!(schema.allowed_children("media"), vec!["book", "CD"]);
+        assert_eq!(schema.allowed_children("book"), vec!["author", "title"]);
+        assert!(schema.allowed_children("author").is_empty());
+        assert!(schema.allowed_children("unknown").is_empty());
+    }
+
+    #[test]
+    fn any_content_allows_every_declared_element() {
+        let mut schema = media_schema();
+        schema.add_element(ElementDecl::new("extra", ContentModel::Any));
+        let children = schema.allowed_children("extra");
+        assert_eq!(children.len(), schema.element_count());
+    }
+
+    #[test]
+    fn reachable_elements_cover_the_media_schema() {
+        let schema = media_schema();
+        let reachable = schema.reachable_elements();
+        assert_eq!(reachable.len(), 6);
+        assert!(reachable.contains("composer"));
+    }
+
+    #[test]
+    fn undeclared_references_are_reported() {
+        let mut schema = DtdSchema::new("t");
+        schema.add_element(ElementDecl::new(
+            "a",
+            ContentModel::Children(ContentParticle::element("missing")),
+        ));
+        let missing = schema.undeclared_references();
+        assert!(missing.contains("missing"));
+    }
+
+    #[test]
+    fn attributes_attach_to_elements_and_create_placeholders() {
+        let mut schema = media_schema();
+        schema.add_attributes(
+            "CD",
+            vec![AttributeDecl {
+                name: "id".into(),
+                attribute_type: "ID".into(),
+                default: "#REQUIRED".into(),
+            }],
+        );
+        assert_eq!(schema.element("CD").unwrap().attributes().len(), 1);
+        schema.add_attributes(
+            "label",
+            vec![AttributeDecl {
+                name: "lang".into(),
+                attribute_type: "CDATA".into(),
+                default: "#IMPLIED".into(),
+            }],
+        );
+        assert!(schema.has_element("label"));
+        assert_eq!(*schema.element("label").unwrap().content(), ContentModel::Any);
+    }
+
+    #[test]
+    fn stats_report_schema_shape() {
+        let schema = media_schema();
+        let stats = schema.stats();
+        assert_eq!(stats.element_count, 6);
+        assert_eq!(stats.reachable_count, 6);
+        assert_eq!(stats.text_element_count, 3);
+        assert_eq!(stats.max_fanout, 2);
+        assert!(stats.average_fanout > 1.9 && stats.average_fanout < 2.1);
+    }
+
+    #[test]
+    fn to_workload_dtd_preserves_elements_and_edges() {
+        let schema = media_schema();
+        let dtd = schema.to_workload_dtd();
+        assert_eq!(dtd.element_count(), 6);
+        let media = dtd.element_by_name("media").unwrap();
+        let children: Vec<&str> = dtd
+            .element(media)
+            .children()
+            .iter()
+            .map(|&c| dtd.element_name(c))
+            .collect();
+        assert!(children.contains(&"book"));
+        assert!(children.contains(&"CD"));
+        let title = dtd.element_by_name("title").unwrap();
+        assert!(dtd.element(title).is_textual());
+    }
+
+    #[test]
+    fn general_entities_are_recorded() {
+        let mut schema = DtdSchema::new("t");
+        schema.add_general_entity("copy", "(c)");
+        let entities: Vec<(&str, &str)> = schema.general_entities().collect();
+        assert_eq!(entities, vec![("copy", "(c)")]);
+    }
+}

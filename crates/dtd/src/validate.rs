@@ -1,0 +1,497 @@
+//! Validation of XML documents against a [`DtdSchema`].
+//!
+//! Two validation modes are provided:
+//!
+//! * [`ValidationMode::Strict`] checks child *sequences* against the content
+//!   models (including order and occurrence indicators), the way an XML
+//!   validator would.
+//! * [`ValidationMode::Lenient`] only checks that every child tag is allowed
+//!   under its parent and that undeclared elements do not appear. This is
+//!   the mode the workload generators target: the paper's tree patterns are
+//!   *unordered*, and the synthetic document generator samples child sets
+//!   without enforcing sequence order.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use tps_xml::{NodeId, XmlTree};
+
+use crate::content::{ContentModel, ContentParticle, ParticleKind};
+use crate::schema::DtdSchema;
+
+/// How strictly the document structure is checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValidationMode {
+    /// Check child sequences against the full content models.
+    Strict,
+    /// Only check that child tags are allowed under their parents.
+    Lenient,
+}
+
+/// One validation problem found in a document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// The document root is not the schema root.
+    WrongRoot {
+        /// Expected root element.
+        expected: String,
+        /// Actual document root label.
+        found: String,
+    },
+    /// An element appears in the document but is not declared in the DTD.
+    UndeclaredElement {
+        /// The undeclared tag.
+        element: String,
+        /// Root-to-node label path.
+        path: String,
+    },
+    /// A child tag appears under a parent that does not allow it.
+    ChildNotAllowed {
+        /// The parent tag.
+        parent: String,
+        /// The offending child tag.
+        child: String,
+        /// Root-to-parent label path.
+        path: String,
+    },
+    /// Text content appears under an element whose model forbids it.
+    TextNotAllowed {
+        /// The parent tag.
+        parent: String,
+        /// Root-to-parent label path.
+        path: String,
+    },
+    /// The child sequence of an element does not match its content model
+    /// (strict mode only).
+    SequenceMismatch {
+        /// The parent tag.
+        parent: String,
+        /// The content model, rendered in DTD syntax.
+        model: String,
+        /// The child tag sequence that was found.
+        found: Vec<String>,
+        /// Root-to-parent label path.
+        path: String,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::WrongRoot { expected, found } => {
+                write!(f, "root element is <{found}>, expected <{expected}>")
+            }
+            ValidationError::UndeclaredElement { element, path } => {
+                write!(f, "undeclared element <{element}> at {path}")
+            }
+            ValidationError::ChildNotAllowed {
+                parent,
+                child,
+                path,
+            } => write!(f, "<{child}> is not allowed under <{parent}> at {path}"),
+            ValidationError::TextNotAllowed { parent, path } => {
+                write!(f, "text content is not allowed under <{parent}> at {path}")
+            }
+            ValidationError::SequenceMismatch {
+                parent,
+                model,
+                found,
+                path,
+            } => write!(
+                f,
+                "children of <{parent}> at {path} do not match {model}: found ({})",
+                found.join(", ")
+            ),
+        }
+    }
+}
+
+/// The outcome of validating one document.
+#[derive(Debug, Clone, Default)]
+pub struct ValidationReport {
+    errors: Vec<ValidationError>,
+    elements_checked: usize,
+}
+
+impl ValidationReport {
+    /// Whether the document is valid (no errors).
+    pub fn is_valid(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// The validation errors, in document order.
+    pub fn errors(&self) -> &[ValidationError] {
+        &self.errors
+    }
+
+    /// Number of element nodes that were checked.
+    pub fn elements_checked(&self) -> usize {
+        self.elements_checked
+    }
+}
+
+/// A validator for documents against one schema.
+#[derive(Debug, Clone)]
+pub struct Validator<'a> {
+    schema: &'a DtdSchema,
+    mode: ValidationMode,
+    /// Upper bound on reported errors per document, to keep reports readable
+    /// for badly broken inputs.
+    max_errors: usize,
+}
+
+impl<'a> Validator<'a> {
+    /// Create a validator in the given mode.
+    pub fn new(schema: &'a DtdSchema, mode: ValidationMode) -> Self {
+        Self {
+            schema,
+            mode,
+            max_errors: 64,
+        }
+    }
+
+    /// Override the maximum number of reported errors.
+    pub fn with_max_errors(mut self, max_errors: usize) -> Self {
+        self.max_errors = max_errors.max(1);
+        self
+    }
+
+    /// The schema being validated against.
+    pub fn schema(&self) -> &DtdSchema {
+        self.schema
+    }
+
+    /// Validate a document and collect all problems (up to the error cap).
+    pub fn validate(&self, document: &XmlTree) -> ValidationReport {
+        let mut report = ValidationReport::default();
+        let root = document.root();
+        if let Some(expected) = self.schema.root() {
+            if document.label(root) != expected {
+                report.errors.push(ValidationError::WrongRoot {
+                    expected: expected.to_string(),
+                    found: document.label(root).to_string(),
+                });
+            }
+        }
+        self.validate_element(document, root, &mut report);
+        report
+    }
+
+    /// Whether a document is valid, without building a full report.
+    pub fn is_valid(&self, document: &XmlTree) -> bool {
+        self.validate(document).is_valid()
+    }
+
+    fn validate_element(&self, document: &XmlTree, node: NodeId, report: &mut ValidationReport) {
+        if report.errors.len() >= self.max_errors {
+            return;
+        }
+        if document.node(node).is_text() {
+            return;
+        }
+        report.elements_checked += 1;
+        let label = document.label(node).to_string();
+        let path = || document.path_labels(node).join("/");
+        let Some(decl) = self.schema.element(&label) else {
+            report.errors.push(ValidationError::UndeclaredElement {
+                element: label,
+                path: path(),
+            });
+            return;
+        };
+        let allowed: Option<BTreeSet<&str>> = decl
+            .content()
+            .allowed_children()
+            .map(|children| children.into_iter().collect());
+        let mut child_tags: Vec<String> = Vec::new();
+        for &child in document.children(node) {
+            if document.node(child).is_text() {
+                if !decl.content().allows_text() {
+                    report.errors.push(ValidationError::TextNotAllowed {
+                        parent: label.clone(),
+                        path: path(),
+                    });
+                }
+                continue;
+            }
+            let child_label = document.label(child);
+            child_tags.push(child_label.to_string());
+            if let Some(allowed) = &allowed {
+                if !allowed.contains(child_label) {
+                    report.errors.push(ValidationError::ChildNotAllowed {
+                        parent: label.clone(),
+                        child: child_label.to_string(),
+                        path: path(),
+                    });
+                }
+            }
+        }
+        if self.mode == ValidationMode::Strict {
+            if let ContentModel::Children(particle) = decl.content() {
+                if !matches_sequence(particle, &child_tags) {
+                    report.errors.push(ValidationError::SequenceMismatch {
+                        parent: label.clone(),
+                        model: particle.to_string(),
+                        found: child_tags.clone(),
+                        path: path(),
+                    });
+                }
+            } else if *decl.content() == ContentModel::Empty && !child_tags.is_empty() {
+                report.errors.push(ValidationError::SequenceMismatch {
+                    parent: label.clone(),
+                    model: "EMPTY".to_string(),
+                    found: child_tags.clone(),
+                    path: path(),
+                });
+            }
+        }
+        for &child in document.children(node) {
+            self.validate_element(document, child, report);
+        }
+    }
+}
+
+/// Whether a tag sequence is accepted by a content particle.
+///
+/// The matcher explores, per particle, the set of positions it can end at —
+/// a direct (memo-free) backtracking evaluation of the content-model regular
+/// expression, which is ample for the small child lists that occur in
+/// practice.
+pub fn matches_sequence(particle: &ContentParticle, tags: &[String]) -> bool {
+    end_positions(particle, tags, 0).contains(&tags.len())
+}
+
+fn end_positions(particle: &ContentParticle, tags: &[String], start: usize) -> BTreeSet<usize> {
+    // End positions reachable by matching the particle's kind exactly once.
+    let once = |from: usize| -> BTreeSet<usize> {
+        match &particle.kind {
+            ParticleKind::Element(name) => {
+                let mut out = BTreeSet::new();
+                if from < tags.len() && &tags[from] == name {
+                    out.insert(from + 1);
+                }
+                out
+            }
+            ParticleKind::Sequence(parts) => {
+                let mut current = BTreeSet::new();
+                current.insert(from);
+                for part in parts {
+                    let mut next = BTreeSet::new();
+                    for &pos in &current {
+                        next.extend(end_positions(part, tags, pos));
+                    }
+                    if next.is_empty() {
+                        return next;
+                    }
+                    current = next;
+                }
+                current
+            }
+            ParticleKind::Choice(parts) => {
+                let mut out = BTreeSet::new();
+                for part in parts {
+                    out.extend(end_positions(part, tags, from));
+                }
+                out
+            }
+        }
+    };
+
+    let mut results = BTreeSet::new();
+    if particle.occurrence.allows_zero() {
+        results.insert(start);
+    }
+    let mut frontier = once(start);
+    results.extend(frontier.iter().copied());
+    if particle.occurrence.allows_many() {
+        // Closure over further repetitions; only positions that strictly
+        // advance need to be explored again (zero-width repetitions add
+        // nothing new).
+        while !frontier.is_empty() {
+            let mut next = BTreeSet::new();
+            for &pos in &frontier {
+                for end in once(pos) {
+                    if end > pos && !results.contains(&end) {
+                        next.insert(end);
+                    }
+                }
+            }
+            results.extend(next.iter().copied());
+            frontier = next;
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::content::Occurrence;
+    use crate::parser;
+
+    fn schema() -> DtdSchema {
+        parser::parse_named(
+            "media",
+            r#"
+            <!ELEMENT media (book | CD)*>
+            <!ELEMENT book (author, title, year?)>
+            <!ELEMENT CD (composer+, title)>
+            <!ELEMENT author (#PCDATA)>
+            <!ELEMENT composer (#PCDATA)>
+            <!ELEMENT title (#PCDATA)>
+            <!ELEMENT year (#PCDATA)>
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn doc(xml: &str) -> XmlTree {
+        XmlTree::parse(xml).unwrap()
+    }
+
+    #[test]
+    fn valid_document_passes_both_modes() {
+        let schema = schema();
+        let document = doc(
+            "<media><book><author>X</author><title>T</title></book>\
+             <CD><composer>M</composer><title>R</title></CD></media>",
+        );
+        for mode in [ValidationMode::Lenient, ValidationMode::Strict] {
+            let report = Validator::new(&schema, mode).validate(&document);
+            assert!(report.is_valid(), "{mode:?}: {:?}", report.errors());
+            assert!(report.elements_checked() >= 7);
+        }
+    }
+
+    #[test]
+    fn wrong_root_is_reported() {
+        let schema = schema();
+        let document = doc("<CD><composer>M</composer><title>R</title></CD>");
+        let report = Validator::new(&schema, ValidationMode::Lenient).validate(&document);
+        assert!(matches!(
+            report.errors()[0],
+            ValidationError::WrongRoot { .. }
+        ));
+    }
+
+    #[test]
+    fn undeclared_elements_are_reported() {
+        let schema = schema();
+        let document = doc("<media><vinyl/></media>");
+        let report = Validator::new(&schema, ValidationMode::Lenient).validate(&document);
+        assert!(report
+            .errors()
+            .iter()
+            .any(|e| matches!(e, ValidationError::ChildNotAllowed { child, .. } if child == "vinyl")));
+        assert!(report
+            .errors()
+            .iter()
+            .any(|e| matches!(e, ValidationError::UndeclaredElement { element, .. } if element == "vinyl")));
+    }
+
+    #[test]
+    fn text_under_element_only_content_is_reported() {
+        let schema = schema();
+        let document = doc("<media>stray text</media>");
+        let report = Validator::new(&schema, ValidationMode::Lenient).validate(&document);
+        assert!(matches!(
+            report.errors()[0],
+            ValidationError::TextNotAllowed { .. }
+        ));
+    }
+
+    #[test]
+    fn strict_mode_checks_order_and_occurrence() {
+        let schema = schema();
+        // Title before author violates the (author, title, year?) sequence.
+        let document = doc("<media><book><title>T</title><author>X</author></book></media>");
+        let lenient = Validator::new(&schema, ValidationMode::Lenient).validate(&document);
+        assert!(lenient.is_valid());
+        let strict = Validator::new(&schema, ValidationMode::Strict).validate(&document);
+        assert!(!strict.is_valid());
+        assert!(matches!(
+            strict.errors()[0],
+            ValidationError::SequenceMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn strict_mode_accepts_repeated_particles() {
+        let schema = schema();
+        let document = doc(
+            "<media><CD><composer>A</composer><composer>B</composer>\
+             <title>T</title></CD></media>",
+        );
+        let strict = Validator::new(&schema, ValidationMode::Strict).validate(&document);
+        assert!(strict.is_valid(), "{:?}", strict.errors());
+    }
+
+    #[test]
+    fn strict_mode_rejects_missing_mandatory_child() {
+        let schema = schema();
+        let document = doc("<media><CD><title>T</title></CD></media>");
+        let strict = Validator::new(&schema, ValidationMode::Strict).validate(&document);
+        assert!(!strict.is_valid());
+    }
+
+    #[test]
+    fn empty_model_rejects_children_in_strict_mode() {
+        let schema = parser::parse("<!ELEMENT a (b?)><!ELEMENT b EMPTY>").unwrap();
+        let document = doc("<a><b><a/></b></a>");
+        let strict = Validator::new(&schema, ValidationMode::Strict).validate(&document);
+        assert!(strict
+            .errors()
+            .iter()
+            .any(|e| matches!(e, ValidationError::SequenceMismatch { model, .. } if model == "EMPTY")));
+    }
+
+    #[test]
+    fn error_cap_limits_reported_errors() {
+        let schema = schema();
+        let mut xml = String::from("<media>");
+        for _ in 0..100 {
+            xml.push_str("<vinyl/>");
+        }
+        xml.push_str("</media>");
+        let report = Validator::new(&schema, ValidationMode::Lenient)
+            .with_max_errors(10)
+            .validate(&doc(&xml));
+        assert!(report.errors().len() <= 101);
+        assert!(!report.is_valid());
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        let err = ValidationError::ChildNotAllowed {
+            parent: "book".into(),
+            child: "composer".into(),
+            path: "media/book".into(),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("composer"));
+        assert!(msg.contains("book"));
+    }
+
+    #[test]
+    fn matches_sequence_handles_choice_with_repetition() {
+        let particle = ContentParticle::choice(vec![
+            ContentParticle::element("a"),
+            ContentParticle::element("b"),
+        ])
+        .with_occurrence(Occurrence::ZeroOrMore);
+        let tags: Vec<String> = ["a", "b", "b", "a"].iter().map(|s| s.to_string()).collect();
+        assert!(matches_sequence(&particle, &tags));
+        let tags: Vec<String> = ["a", "c"].iter().map(|s| s.to_string()).collect();
+        assert!(!matches_sequence(&particle, &tags));
+        assert!(matches_sequence(&particle, &[]));
+    }
+
+    #[test]
+    fn matches_sequence_respects_one_occurrence() {
+        let particle = ContentParticle::element("a");
+        let one: Vec<String> = vec!["a".into()];
+        let two: Vec<String> = vec!["a".into(), "a".into()];
+        assert!(matches_sequence(&particle, &one));
+        assert!(!matches_sequence(&particle, &two));
+    }
+}

@@ -1,0 +1,173 @@
+//! Serialising schemas back to DTD text, and deriving a schema from the
+//! simpler child-set DTD model of `tps-workload`.
+//!
+//! Together with [`crate::parser`] this gives a round trip
+//! `DtdSchema -> text -> DtdSchema`, and it lets the synthetic NITF- and
+//! xCBL-scale DTDs of the evaluation be exported as real DTD files (useful
+//! for inspecting the workloads and for feeding them to external tools).
+
+use std::fmt::Write as _;
+
+use crate::content::{ContentModel, ContentParticle, Occurrence, ParticleKind};
+use crate::schema::{DtdSchema, ElementDecl};
+
+/// Render a schema as DTD text (one declaration per line).
+pub fn write_dtd(schema: &DtdSchema) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "<!-- DTD {} ({} elements) -->", schema.name(), schema.element_count());
+    for decl in schema.declarations() {
+        // A bare element particle (`book+`) must be parenthesised to be
+        // valid DTD syntax; grouped particles already print their parens.
+        let content = match decl.content() {
+            ContentModel::Children(particle)
+                if matches!(particle.kind, ParticleKind::Element(_)) =>
+            {
+                format!("({particle})")
+            }
+            other => other.to_string(),
+        };
+        let _ = writeln!(out, "<!ELEMENT {} {}>", decl.name(), content);
+        if !decl.attributes().is_empty() {
+            let _ = write!(out, "<!ATTLIST {}", decl.name());
+            for attribute in decl.attributes() {
+                let _ = write!(
+                    out,
+                    "\n    {} {} {}",
+                    attribute.name, attribute.attribute_type, attribute.default
+                );
+            }
+            let _ = writeln!(out, ">");
+        }
+    }
+    for (name, value) in schema.general_entities() {
+        let _ = writeln!(out, "<!ENTITY {name} \"{value}\">");
+    }
+    out
+}
+
+/// Build a schema from the child-set DTD model used by the workload
+/// generators.
+///
+/// Every element becomes an `<!ELEMENT>` declaration whose content model is
+/// a repeatable choice over its allowed children (`(a | b | c)*`), with
+/// `#PCDATA` mixed in for textual elements — the closest faithful content
+/// model for a child-*set* specification, and exactly what the lenient
+/// validator checks.
+pub fn schema_from_workload(dtd: &tps_workload::Dtd) -> DtdSchema {
+    let mut schema = DtdSchema::new(dtd.name());
+    schema.set_root(dtd.element_name(dtd.root()));
+    for id in dtd.element_ids() {
+        let element = dtd.element(id);
+        let mut child_names: Vec<&str> = element
+            .children()
+            .iter()
+            .map(|&child| dtd.element_name(child))
+            .collect();
+        child_names.sort_unstable();
+        child_names.dedup();
+        let content = match (child_names.is_empty(), element.is_textual()) {
+            (true, true) => ContentModel::Pcdata,
+            (true, false) => ContentModel::Empty,
+            (false, true) => {
+                ContentModel::Mixed(child_names.iter().map(|s| s.to_string()).collect())
+            }
+            (false, false) => ContentModel::Children(
+                ContentParticle::choice(
+                    child_names
+                        .iter()
+                        .map(|name| ContentParticle::element(name))
+                        .collect(),
+                )
+                .with_occurrence(Occurrence::ZeroOrMore),
+            ),
+        };
+        // Duplicate names cannot occur in the workload model, so add_element
+        // always succeeds.
+        schema.add_element(ElementDecl::new(element.name(), content));
+    }
+    schema
+}
+
+/// Export a workload DTD directly to DTD text.
+pub fn workload_dtd_to_text(dtd: &tps_workload::Dtd) -> String {
+    write_dtd(&schema_from_workload(dtd))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser;
+
+    #[test]
+    fn written_dtd_parses_back_to_the_same_shape() {
+        let schema = parser::parse_named(
+            "library",
+            r#"
+            <!ELEMENT library (book+)>
+            <!ELEMENT book (title, author*, year?)>
+            <!ELEMENT title (#PCDATA)>
+            <!ELEMENT author (#PCDATA | alias)*>
+            <!ELEMENT alias (#PCDATA)>
+            <!ELEMENT year EMPTY>
+            <!ATTLIST book isbn CDATA #REQUIRED lang CDATA "en">
+            "#,
+        )
+        .unwrap();
+        let text = write_dtd(&schema);
+        let reparsed = parser::parse_named("library", &text).unwrap();
+        assert_eq!(reparsed.element_count(), schema.element_count());
+        assert_eq!(reparsed.root(), schema.root());
+        for decl in schema.declarations() {
+            let other = reparsed.element(decl.name()).unwrap();
+            assert_eq!(other.content(), decl.content(), "element {}", decl.name());
+            assert_eq!(other.attributes().len(), decl.attributes().len());
+        }
+    }
+
+    #[test]
+    fn workload_media_dtd_round_trips_through_text() {
+        let media = tps_workload::Dtd::media();
+        let text = workload_dtd_to_text(&media);
+        let schema = parser::parse_named("media", &text).unwrap();
+        assert_eq!(schema.element_count(), media.element_count());
+        assert_eq!(schema.root(), Some("media"));
+        let children = schema.allowed_children("CD");
+        assert!(children.contains(&"composer"));
+        assert!(children.contains(&"title"));
+        // Textual leaves become #PCDATA elements.
+        assert!(schema.element("last").unwrap().allows_text());
+    }
+
+    #[test]
+    fn workload_schema_preserves_textual_containers_as_mixed() {
+        let mut dtd = tps_workload::Dtd::new("t", "root");
+        let root = dtd.root();
+        let note = dtd.add_textual_element("note");
+        let emphasis = dtd.add_element("em");
+        dtd.add_child(root, note);
+        dtd.add_child(note, emphasis);
+        let schema = schema_from_workload(&dtd);
+        match schema.element("note").unwrap().content() {
+            ContentModel::Mixed(names) => assert_eq!(names, &vec!["em".to_string()]),
+            other => panic!("expected mixed content, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn entities_are_written() {
+        let mut schema = DtdSchema::new("t");
+        schema.add_element(ElementDecl::new("a", ContentModel::Empty));
+        schema.add_general_entity("nbsp", "\u{a0}");
+        let text = write_dtd(&schema);
+        assert!(text.contains("<!ENTITY nbsp"));
+    }
+
+    #[test]
+    fn synthetic_nitf_scale_dtd_exports_and_reparses() {
+        let dtd = tps_workload::Dtd::nitf_like();
+        let text = workload_dtd_to_text(&dtd);
+        let schema = parser::parse_named("nitf-like", &text).unwrap();
+        assert_eq!(schema.element_count(), dtd.element_count());
+        assert_eq!(schema.stats().element_count, 123);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the DTD substrate.
+
+use proptest::prelude::*;
+
+use tps_dtd::{
+    parser, samples, writer, AnalysisConfig, PatternAnalyzer, ValidationMode, Validator,
+};
+use tps_workload::{DocGenConfig, DocumentGenerator, Dtd, SyntheticDtdConfig, XPathGenConfig, XPathGenerator};
+
+/// A strategy over synthetic workload DTDs of varying scale.
+fn synthetic_dtd() -> impl Strategy<Value = Dtd> {
+    (2usize..60, 1usize..6, 2usize..6, 0usize..30, any::<u64>()).prop_map(
+        |(elements, fanout, layers, cross_links, seed)| {
+            Dtd::synthetic(SyntheticDtdConfig {
+                name: format!("prop-{elements}-{layers}"),
+                element_count: elements,
+                max_fanout: fanout,
+                layers,
+                textual_leaf_fraction: 0.5,
+                cross_links,
+                seed,
+            })
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Exporting a workload DTD to text and parsing it back preserves the
+    /// element set and the allowed-children relation.
+    #[test]
+    fn workload_dtd_round_trips_through_text(dtd in synthetic_dtd()) {
+        let text = writer::workload_dtd_to_text(&dtd);
+        let schema = parser::parse_named(dtd.name(), &text).expect("exported DTD parses");
+        prop_assert_eq!(schema.element_count(), dtd.element_count());
+        for id in dtd.element_ids() {
+            let name = dtd.element_name(id);
+            prop_assert!(schema.has_element(name), "missing element {}", name);
+            let mut expected: Vec<&str> = dtd
+                .element(id)
+                .children()
+                .iter()
+                .map(|&c| dtd.element_name(c))
+                .collect();
+            expected.sort_unstable();
+            expected.dedup();
+            let mut actual = schema.allowed_children(name);
+            actual.sort_unstable();
+            prop_assert_eq!(actual, expected, "children of {}", name);
+        }
+    }
+
+    /// Documents generated from a workload DTD are (leniently) valid against
+    /// the schema derived from that DTD.
+    #[test]
+    fn generated_documents_validate_leniently(dtd in synthetic_dtd(), seed in any::<u64>()) {
+        let schema = writer::schema_from_workload(&dtd);
+        let validator = Validator::new(&schema, ValidationMode::Lenient);
+        let mut generator = DocumentGenerator::new(
+            &dtd,
+            DocGenConfig::default().with_seed(seed).with_target_tag_pairs(40),
+        );
+        for _ in 0..5 {
+            let document = generator.generate();
+            let report = validator.validate(&document);
+            prop_assert!(
+                report.is_valid(),
+                "generated document failed validation: {:?}",
+                report.errors().first()
+            );
+        }
+    }
+
+    /// Patterns generated from the media DTD are satisfiable under the
+    /// schema derived from that same DTD (they were built by walking valid
+    /// DTD paths).
+    #[test]
+    fn generated_patterns_are_satisfiable_under_the_media_schema(seed in any::<u64>()) {
+        let dtd = Dtd::media();
+        let schema = writer::schema_from_workload(&dtd);
+        let analyzer = PatternAnalyzer::with_config(
+            &schema,
+            AnalysisConfig { max_descendant_depth: 10, max_expansions: 20_000 },
+        );
+        let config = XPathGenConfig::default().with_seed(seed);
+        let mut generator = XPathGenerator::new(&dtd, config);
+        for pattern in generator.generate_many(8) {
+            prop_assert!(
+                analyzer.satisfiable(&pattern),
+                "generated pattern {} should be satisfiable",
+                pattern
+            );
+        }
+    }
+
+    /// The DTD parser never panics on arbitrary input.
+    #[test]
+    fn parser_is_panic_free_on_arbitrary_input(input in "[ -~]{0,300}") {
+        let _ = parser::parse(&input);
+    }
+
+    /// The DTD parser never panics on declaration-shaped input.
+    #[test]
+    fn parser_is_panic_free_on_declaration_like_input(
+        body in r"<!(ELEMENT|ATTLIST|ENTITY|DOCTYPE)? ?[A-Za-z0-9 #(),|?*+%;'\x22-]{0,80}>?"
+    ) {
+        let _ = parser::parse(&body);
+    }
+}
+
+#[test]
+fn mini_news_documents_validate_strictly() {
+    let schema = samples::mini_news_schema();
+    let validator = Validator::new(&schema, ValidationMode::Strict);
+    let document = tps_xml::XmlTree::parse(
+        "<nitf><head><title>T</title></head>\
+         <body><headline>H</headline><paragraph>P</paragraph></body></nitf>",
+    )
+    .unwrap();
+    let report = validator.validate(&document);
+    assert!(report.is_valid(), "{:?}", report.errors());
+}
+
+#[test]
+fn sample_schemas_expose_paper_scale_statistics() {
+    let media = samples::media_schema();
+    let news = samples::mini_news_schema();
+    let order = samples::mini_order_schema();
+    assert!(media.stats().element_count < news.stats().element_count);
+    assert!(news.stats().element_count < order.stats().element_count + 10);
+    // The synthetic paper-scale DTDs dwarf the embedded samples, as NITF and
+    // xCBL dwarf toy DTDs.
+    let nitf_scale = writer::schema_from_workload(&Dtd::nitf_like());
+    assert_eq!(nitf_scale.stats().element_count, 123);
+    let xcbl_scale = writer::schema_from_workload(&Dtd::xcbl_like());
+    assert_eq!(xcbl_scale.stats().element_count, 569);
+}

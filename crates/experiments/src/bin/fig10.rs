@@ -1,0 +1,12 @@
+//! Regenerates Figure 10: Erel and Esqr as a function of the synopsis
+//! compression ratio α (Hashes representation).
+
+use tps_experiments::figures::fig10;
+use tps_experiments::{DtdWorkload, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    eprintln!("[fig10] scale = {} (set TPS_SCALE=paper|quick|tiny)", scale.name);
+    let workloads = DtdWorkload::both(&scale);
+    fig10(&workloads, &scale).print();
+}

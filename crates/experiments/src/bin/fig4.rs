@@ -1,0 +1,11 @@
+//! Regenerates Figure 4: Erel of positive queries vs. max hash/set size.
+
+use tps_experiments::figures::fig4;
+use tps_experiments::{DtdWorkload, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    eprintln!("[fig4] scale = {} (set TPS_SCALE=paper|quick|tiny)", scale.name);
+    let workloads = DtdWorkload::both(&scale);
+    fig4(&workloads, &scale).print();
+}

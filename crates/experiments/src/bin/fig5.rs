@@ -1,0 +1,11 @@
+//! Regenerates Figure 5: log10(Esqr) of negative queries vs. max hash/set size.
+
+use tps_experiments::figures::fig5;
+use tps_experiments::{DtdWorkload, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    eprintln!("[fig5] scale = {} (set TPS_SCALE=paper|quick|tiny)", scale.name);
+    let workloads = DtdWorkload::both(&scale);
+    fig5(&workloads, &scale).print();
+}

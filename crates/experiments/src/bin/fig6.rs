@@ -1,0 +1,12 @@
+//! Regenerates Figure 6: Erel as a function of the total synopsis size |HS|
+//! (the paper reports this for the xCBL DTD).
+
+use tps_experiments::figures::fig6;
+use tps_experiments::{DtdWorkload, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    eprintln!("[fig6] scale = {} (set TPS_SCALE=paper|quick|tiny)", scale.name);
+    let workloads = vec![DtdWorkload::xcbl(&scale)];
+    fig6(&workloads, &scale).print();
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 7: Erel of proximity metric M1(p,q) = P(p|q).
+
+use tps_experiments::figures::fig789;
+use tps_experiments::{DtdWorkload, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    eprintln!("[fig7] scale = {} (set TPS_SCALE=paper|quick|tiny)", scale.name);
+    let workloads = DtdWorkload::both(&scale);
+    let [m1, _, _] = fig789(&workloads, &scale);
+    m1.print();
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 8: Erel of proximity metric M2(p,q) = (P(p|q)+P(q|p))/2.
+
+use tps_experiments::figures::fig789;
+use tps_experiments::{DtdWorkload, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    eprintln!("[fig8] scale = {} (set TPS_SCALE=paper|quick|tiny)", scale.name);
+    let workloads = DtdWorkload::both(&scale);
+    let [_, m2, _] = fig789(&workloads, &scale);
+    m2.print();
+}

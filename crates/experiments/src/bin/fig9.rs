@@ -1,0 +1,12 @@
+//! Regenerates Figure 9: Erel of proximity metric M3(p,q) = P(p∧q)/P(p∨q).
+
+use tps_experiments::figures::fig789;
+use tps_experiments::{DtdWorkload, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    eprintln!("[fig9] scale = {} (set TPS_SCALE=paper|quick|tiny)", scale.name);
+    let workloads = DtdWorkload::both(&scale);
+    let [_, _, m3] = fig789(&workloads, &scale);
+    m3.print();
+}

@@ -1,0 +1,70 @@
+//! Runs every experiment of the evaluation section in sequence and prints
+//! the resulting tables (Table 1, Figures 4–10, plus the design ablations).
+//!
+//! ```text
+//! TPS_SCALE=quick cargo run --release -p tps-experiments --bin run_all
+//! ```
+
+use std::time::Instant;
+
+use tps_experiments::figures::{
+    ablation_representations, fig10, fig4, fig5, fig6, fig789, table1,
+};
+use tps_experiments::{DtdWorkload, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    eprintln!(
+        "[run_all] scale = {} ({} docs, {} positives, {} negatives, {} pairs)",
+        scale.name,
+        scale.document_count,
+        scale.positive_count,
+        scale.negative_count,
+        scale.pair_count
+    );
+    let start = Instant::now();
+    let workloads = DtdWorkload::both(&scale);
+    eprintln!(
+        "[run_all] workloads generated in {:.1}s",
+        start.elapsed().as_secs_f64()
+    );
+
+    let t = Instant::now();
+    table1(&workloads).print();
+    eprintln!("[run_all] table1 done in {:.1}s", t.elapsed().as_secs_f64());
+
+    let t = Instant::now();
+    fig4(&workloads, &scale).print();
+    eprintln!("[run_all] fig4 done in {:.1}s", t.elapsed().as_secs_f64());
+
+    let t = Instant::now();
+    fig5(&workloads, &scale).print();
+    eprintln!("[run_all] fig5 done in {:.1}s", t.elapsed().as_secs_f64());
+
+    let t = Instant::now();
+    fig6(&workloads[1..], &scale).print();
+    eprintln!("[run_all] fig6 done in {:.1}s", t.elapsed().as_secs_f64());
+
+    let t = Instant::now();
+    let [m1, m2, m3] = fig789(&workloads, &scale);
+    m1.print();
+    m2.print();
+    m3.print();
+    eprintln!("[run_all] fig7-9 done in {:.1}s", t.elapsed().as_secs_f64());
+
+    let t = Instant::now();
+    fig10(&workloads, &scale).print();
+    eprintln!("[run_all] fig10 done in {:.1}s", t.elapsed().as_secs_f64());
+
+    let t = Instant::now();
+    ablation_representations(&workloads, &scale).print();
+    eprintln!(
+        "[run_all] ablation done in {:.1}s",
+        t.elapsed().as_secs_f64()
+    );
+
+    eprintln!(
+        "[run_all] total wall time {:.1}s",
+        start.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,11 @@
+//! Regenerates the dataset/workload statistics of Table 1 and Section 5.1.
+
+use tps_experiments::figures::table1;
+use tps_experiments::{DtdWorkload, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    eprintln!("[table1] scale = {} (set TPS_SCALE=paper|quick|tiny)", scale.name);
+    let workloads = DtdWorkload::both(&scale);
+    table1(&workloads).print();
+}

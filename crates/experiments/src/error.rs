@@ -1,0 +1,104 @@
+//! Error metrics of the evaluation (Section 5.1, "Error metrics").
+//!
+//! * Positive queries: average absolute relative error
+//!   `Erel = (1/|SP|) Σ |P'(p) − P(p)| / P(p)`.
+//! * Negative queries: root mean square error
+//!   `Esqr = sqrt((1/|SN|) Σ (P'(p) − P(p))²)` (with `P(p) = 0`).
+//! * Proximity metrics: average absolute relative error of the estimated
+//!   similarity over pattern pairs, `Erel(Mi)`.
+
+/// Average absolute relative error over (exact, estimated) pairs.
+///
+/// Pairs whose exact value is zero are skipped (the relative error is
+/// undefined there); the paper only applies this metric to positive queries,
+/// whose exact selectivity is strictly positive.
+pub fn average_relative_error(pairs: &[(f64, f64)]) -> f64 {
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for &(exact, estimated) in pairs {
+        if exact <= 0.0 {
+            continue;
+        }
+        total += (estimated - exact).abs() / exact;
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// Root mean square error over (exact, estimated) pairs.
+pub fn root_mean_square_error(pairs: &[(f64, f64)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = pairs
+        .iter()
+        .map(|&(exact, estimated)| (estimated - exact).powi(2))
+        .sum();
+    (sum / pairs.len() as f64).sqrt()
+}
+
+/// `log10` of the RMSE, as plotted in Figure 5. Returns the floor value
+/// `-10.0` when the error is exactly zero (the paper's plots bottom out
+/// around `10^-6`).
+pub fn log10_rmse(pairs: &[(f64, f64)]) -> f64 {
+    let rmse = root_mean_square_error(pairs);
+    if rmse <= 0.0 {
+        -10.0
+    } else {
+        rmse.log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_of_perfect_estimates_is_zero() {
+        let pairs = vec![(0.5, 0.5), (0.1, 0.1)];
+        assert_eq!(average_relative_error(&pairs), 0.0);
+    }
+
+    #[test]
+    fn relative_error_averages_over_pairs() {
+        // Errors of 50% and 10%.
+        let pairs = vec![(0.2, 0.3), (1.0, 0.9)];
+        assert!((average_relative_error(&pairs) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_exact_values_are_skipped() {
+        let pairs = vec![(0.0, 0.7), (0.5, 0.25)];
+        assert!((average_relative_error(&pairs) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_gives_zero_errors() {
+        assert_eq!(average_relative_error(&[]), 0.0);
+        assert_eq!(root_mean_square_error(&[]), 0.0);
+    }
+
+    #[test]
+    fn rmse_of_constant_error_is_that_error() {
+        let pairs = vec![(0.0, 0.01); 10];
+        assert!((root_mean_square_error(&pairs) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_penalises_large_errors_quadratically() {
+        let small = vec![(0.0, 0.01), (0.0, 0.01)];
+        let one_big = vec![(0.0, 0.0), (0.0, 0.02)];
+        assert!(root_mean_square_error(&one_big) > root_mean_square_error(&small));
+    }
+
+    #[test]
+    fn log10_rmse_handles_zero() {
+        assert_eq!(log10_rmse(&[(0.0, 0.0)]), -10.0);
+        let pairs = vec![(0.0, 0.001)];
+        assert!((log10_rmse(&pairs) - (-3.0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,370 @@
+//! Reproduction of every table and figure of the paper's evaluation
+//! (Section 5.2). Each function returns a [`Table`] whose rows correspond to
+//! the series points of the figure; the binaries in `src/bin` print them.
+
+use tps_synopsis::{MatchingSetKind, PruneConfig};
+
+use crate::error::log10_rmse;
+use crate::harness::{fmt3, fmt_pct, representations, DtdWorkload, Table};
+use crate::scale::ExperimentScale;
+
+/// Table 1 plus the dataset statistics quoted in Section 5.1: per DTD, the
+/// number of documents, average document size, and the average / most / least
+/// selective positive pattern.
+pub fn table1(workloads: &[DtdWorkload]) -> Table {
+    let mut table = Table::new(
+        "Table 1 / Section 5.1 — data sets and workload statistics",
+        &[
+            "DTD",
+            "documents",
+            "avg doc size",
+            "|SP|",
+            "|SN|",
+            "avg sel (%)",
+            "min sel (%)",
+            "max sel (%)",
+        ],
+    );
+    for w in workloads {
+        let stats = w.dataset.positive_selectivity_stats();
+        table.push_row(vec![
+            w.name.clone(),
+            w.dataset.document_count().to_string(),
+            format!("{:.1}", w.dataset.average_document_size()),
+            w.dataset.positive.len().to_string(),
+            w.dataset.negative.len().to_string(),
+            fmt_pct(stats.average),
+            fmt_pct(stats.minimum),
+            fmt_pct(stats.maximum),
+        ]);
+    }
+    table
+}
+
+/// Figure 4: average absolute relative error of positive queries as a
+/// function of the maximum hash/set size, for every representation and DTD.
+pub fn fig4(workloads: &[DtdWorkload], scale: &ExperimentScale) -> Table {
+    let mut table = Table::new(
+        "Figure 4 — Erel (%) of positive queries vs. max size of hashes/sets",
+        &["DTD", "representation", "size", "Erel (%)"],
+    );
+    for w in workloads {
+        for &size in &scale.summary_sizes {
+            for kind in representations(size) {
+                // Counters have no size knob; only report them once per DTD.
+                if matches!(kind, MatchingSetKind::Counters)
+                    && size != scale.summary_sizes[0]
+                {
+                    continue;
+                }
+                let synopsis = w.build_synopsis(kind);
+                let erel = w.positive_relative_error(&synopsis);
+                table.push_row(vec![
+                    w.name.clone(),
+                    kind.name().to_string(),
+                    size.to_string(),
+                    fmt_pct(erel),
+                ]);
+            }
+        }
+    }
+    table
+}
+
+/// Figure 5: `log10` of the root mean square error of negative queries as a
+/// function of the maximum hash/set size.
+pub fn fig5(workloads: &[DtdWorkload], scale: &ExperimentScale) -> Table {
+    let mut table = Table::new(
+        "Figure 5 — log10(Esqr) of negative queries vs. max size of hashes/sets",
+        &["DTD", "representation", "size", "Esqr", "log10(Esqr)"],
+    );
+    for w in workloads {
+        for &size in &scale.summary_sizes {
+            for kind in representations(size) {
+                if matches!(kind, MatchingSetKind::Counters)
+                    && size != scale.summary_sizes[0]
+                {
+                    continue;
+                }
+                let synopsis = w.build_synopsis(kind);
+                let esqr = w.negative_square_error(&synopsis);
+                let pairs = vec![(0.0, esqr)];
+                table.push_row(vec![
+                    w.name.clone(),
+                    kind.name().to_string(),
+                    size.to_string(),
+                    format!("{esqr:.2e}"),
+                    fmt3(log10_rmse(&pairs)),
+                ]);
+            }
+        }
+    }
+    table
+}
+
+/// Figure 6: `Erel` of positive queries as a function of the *total* synopsis
+/// size `|HS|` (the fairer space comparison, reported for the xCBL DTD in
+/// the paper; we emit every workload passed in).
+pub fn fig6(workloads: &[DtdWorkload], scale: &ExperimentScale) -> Table {
+    let mut table = Table::new(
+        "Figure 6 — Erel (%) vs. total synopsis size |HS| (nodes+edges+labels+entries)",
+        &["DTD", "representation", "max size", "|HS|", "Erel (%)"],
+    );
+    for w in workloads {
+        for &size in &scale.summary_sizes {
+            for kind in representations(size) {
+                if matches!(kind, MatchingSetKind::Counters)
+                    && size != scale.summary_sizes[0]
+                {
+                    continue;
+                }
+                let synopsis = w.build_synopsis(kind);
+                let erel = w.positive_relative_error(&synopsis);
+                table.push_row(vec![
+                    w.name.clone(),
+                    kind.name().to_string(),
+                    size.to_string(),
+                    synopsis.size().total().to_string(),
+                    fmt_pct(erel),
+                ]);
+            }
+        }
+    }
+    table
+}
+
+/// Figures 7, 8 and 9: average absolute relative error of the three
+/// proximity metrics (`M1`, `M2`, `M3`) over random pairs of positive
+/// patterns, as a function of the maximum hash/set size. Returns one table
+/// per metric.
+pub fn fig789(workloads: &[DtdWorkload], scale: &ExperimentScale) -> [Table; 3] {
+    let mut tables = [
+        Table::new(
+            "Figure 7 — Erel (%) of proximity metric M1(p,q) = P(p|q)",
+            &["DTD", "representation", "size", "Erel (%)"],
+        ),
+        Table::new(
+            "Figure 8 — Erel (%) of proximity metric M2(p,q) = (P(p|q)+P(q|p))/2",
+            &["DTD", "representation", "size", "Erel (%)"],
+        ),
+        Table::new(
+            "Figure 9 — Erel (%) of proximity metric M3(p,q) = P(p∧q)/P(p∨q)",
+            &["DTD", "representation", "size", "Erel (%)"],
+        ),
+    ];
+    for w in workloads {
+        let pairs = w.sample_pairs(scale.pair_count, scale.seed ^ 0xbeef);
+        let exact_values = w.exact_metric_values(&pairs);
+        for &size in &scale.summary_sizes {
+            for kind in representations(size) {
+                if matches!(kind, MatchingSetKind::Counters)
+                    && size != scale.summary_sizes[0]
+                {
+                    continue;
+                }
+                let synopsis = w.build_synopsis(kind);
+                let errors = w.metric_relative_errors_against(&synopsis, &pairs, &exact_values);
+                for (slot, table) in tables.iter_mut().enumerate() {
+                    table.push_row(vec![
+                        w.name.clone(),
+                        kind.name().to_string(),
+                        size.to_string(),
+                        fmt_pct(errors[slot]),
+                    ]);
+                }
+            }
+        }
+    }
+    tables
+}
+
+/// Figure 10: `Erel` of positive queries and `Esqr` of negative queries as a
+/// function of the compression ratio α of a Hashes synopsis (hash size fixed,
+/// pruning applied as in Section 5.2: lossless folds, then folds/deletions,
+/// then merges).
+pub fn fig10(workloads: &[DtdWorkload], scale: &ExperimentScale) -> Table {
+    let mut table = Table::new(
+        "Figure 10 — Erel (%) and log10(Esqr) vs. synopsis compression ratio α (Hashes)",
+        &[
+            "DTD",
+            "target α",
+            "achieved α",
+            "|HcS|",
+            "folds",
+            "deletions",
+            "merges",
+            "Erel (%)",
+            "log10(Esqr)",
+        ],
+    );
+    for w in workloads {
+        let base = w.build_synopsis(MatchingSetKind::Hashes {
+            capacity: scale.fig10_hash_size,
+        });
+        let mut ratios = scale.compression_ratios.clone();
+        ratios.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        for alpha in ratios {
+            let mut synopsis = base.clone();
+            let report = synopsis.prune_to_ratio(alpha, PruneConfig::default());
+            synopsis.prepare();
+            let erel = w.positive_relative_error(&synopsis);
+            let esqr = w.negative_square_error(&synopsis);
+            table.push_row(vec![
+                w.name.clone(),
+                fmt3(alpha),
+                fmt3(report.ratio()),
+                report.final_size.to_string(),
+                report.folds.to_string(),
+                report.deletions.to_string(),
+                report.merges.to_string(),
+                fmt_pct(erel),
+                fmt3(log10_rmse(&[(0.0, esqr)])),
+            ]);
+        }
+    }
+    table
+}
+
+/// Ablation (DESIGN.md): the counter / set / hash representations compared
+/// at (approximately) equal total space budget, plus skeleton-coalescing
+/// on/off — the design choices the synopsis section motivates.
+pub fn ablation_representations(workloads: &[DtdWorkload], scale: &ExperimentScale) -> Table {
+    let mut table = Table::new(
+        "Ablation — representations at equal summary size, and pruning-order sensitivity",
+        &["DTD", "variant", "|HS|", "Erel (%)", "log10(Esqr)"],
+    );
+    let size = scale
+        .summary_sizes
+        .get(scale.summary_sizes.len() / 2)
+        .copied()
+        .unwrap_or(500);
+    for w in workloads {
+        for kind in representations(size) {
+            let synopsis = w.build_synopsis(kind);
+            table.push_row(vec![
+                w.name.clone(),
+                kind.name().to_string(),
+                synopsis.size().total().to_string(),
+                fmt_pct(w.positive_relative_error(&synopsis)),
+                fmt3(log10_rmse(&[(0.0, w.negative_square_error(&synopsis))])),
+            ]);
+        }
+        // Pruning-order ablation: merges first instead of the paper's order
+        // (compress to 70% of the original size either way).
+        let mut merged_first = w.build_synopsis(MatchingSetKind::Hashes { capacity: size });
+        let target = merged_first.size().total() * 7 / 10;
+        merged_first.merge_same_label_until(64, target);
+        merged_first.fold_leaves_above_until(0.5, target);
+        merged_first.delete_smallest_leaves_until(target);
+        merged_first.prepare();
+        table.push_row(vec![
+            w.name.clone(),
+            "Hashes α=0.7 merge-first".to_string(),
+            merged_first.size().total().to_string(),
+            fmt_pct(w.positive_relative_error(&merged_first)),
+            fmt3(log10_rmse(&[(0.0, w.negative_square_error(&merged_first))])),
+        ]);
+        let mut paper_order = w.build_synopsis(MatchingSetKind::Hashes { capacity: size });
+        paper_order.prune_to_ratio(0.7, PruneConfig::default());
+        paper_order.prepare();
+        table.push_row(vec![
+            w.name.clone(),
+            "Hashes α=0.7 paper-order".to_string(),
+            paper_order.size().total().to_string(),
+            fmt_pct(w.positive_relative_error(&paper_order)),
+            fmt3(log10_rmse(&[(0.0, w.negative_square_error(&paper_order))])),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_workload::Dtd;
+
+    fn tiny() -> (Vec<DtdWorkload>, ExperimentScale) {
+        let mut scale = ExperimentScale::tiny();
+        scale.document_count = 50;
+        scale.positive_count = 12;
+        scale.negative_count = 12;
+        scale.pair_count = 15;
+        scale.summary_sizes = vec![50, 200];
+        scale.compression_ratios = vec![1.0, 0.5];
+        scale.fig10_hash_size = 64;
+        let workloads = vec![DtdWorkload::build("NITF", Dtd::nitf_like(), &scale)];
+        (workloads, scale)
+    }
+
+    #[test]
+    fn table1_reports_one_row_per_dtd() {
+        let (workloads, _) = tiny();
+        let t = table1(&workloads);
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(t.rows[0][0], "NITF");
+    }
+
+    #[test]
+    fn fig4_reports_every_series_point() {
+        let (workloads, scale) = tiny();
+        let t = fig4(&workloads, &scale);
+        // 2 sizes × (Sets + Hashes) + 1 Counters row.
+        assert_eq!(t.rows.len(), 2 * 2 + 1);
+        // Every error is a parseable percentage.
+        for row in &t.rows {
+            let v: f64 = row[3].parse().unwrap();
+            assert!(v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn fig5_reports_log_rmse() {
+        let (workloads, scale) = tiny();
+        let t = fig5(&workloads, &scale);
+        assert!(!t.rows.is_empty());
+        for row in &t.rows {
+            let log: f64 = row[4].parse().unwrap();
+            assert!(log <= 0.0, "log10 of an RMSE below 1 must be negative");
+        }
+    }
+
+    #[test]
+    fn fig6_reports_total_sizes() {
+        let (workloads, scale) = tiny();
+        let t = fig6(&workloads, &scale);
+        for row in &t.rows {
+            let size: usize = row[3].parse().unwrap();
+            assert!(size > 0);
+        }
+    }
+
+    #[test]
+    fn fig789_produces_three_tables_with_equal_shape() {
+        let (workloads, scale) = tiny();
+        let tables = fig789(&workloads, &scale);
+        let len = tables[0].rows.len();
+        assert!(len > 0);
+        assert_eq!(tables[1].rows.len(), len);
+        assert_eq!(tables[2].rows.len(), len);
+    }
+
+    #[test]
+    fn fig10_achieves_decreasing_ratios() {
+        let (workloads, scale) = tiny();
+        let t = fig10(&workloads, &scale);
+        assert_eq!(t.rows.len(), scale.compression_ratios.len());
+        // The achieved ratio is close to (or below) the target.
+        for row in &t.rows {
+            let target: f64 = row[1].parse().unwrap();
+            let achieved: f64 = row[2].parse().unwrap();
+            assert!(achieved <= target + 0.15, "target {target}, achieved {achieved}");
+        }
+    }
+
+    #[test]
+    fn ablation_table_has_rows_for_each_variant() {
+        let (workloads, scale) = tiny();
+        let t = ablation_representations(&workloads, &scale);
+        assert_eq!(t.rows.len(), 5);
+    }
+}

@@ -1,0 +1,381 @@
+//! Shared plumbing for the figure-reproduction binaries: workload
+//! construction, synopsis building, error evaluation and table printing.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use tps_core::{ExactEvaluator, ProximityMetric, SelectivityEstimator};
+use tps_synopsis::{MatchingSetKind, Synopsis, SynopsisConfig};
+use tps_workload::{Dataset, DatasetConfig, Dtd};
+
+use crate::error::{average_relative_error, root_mean_square_error};
+use crate::scale::ExperimentScale;
+
+/// One DTD's workload: the generated data set plus cached ground truth.
+#[derive(Debug, Clone)]
+pub struct DtdWorkload {
+    /// Display name (`NITF`, `xCBL`).
+    pub name: String,
+    /// The generated documents and pattern workloads.
+    pub dataset: Dataset,
+    /// Exact selectivity of every positive pattern.
+    pub exact_positive: Vec<f64>,
+}
+
+impl DtdWorkload {
+    /// Build a workload for `dtd` at the given scale.
+    pub fn build(name: &str, dtd: Dtd, scale: &ExperimentScale) -> Self {
+        let config = DatasetConfig::default()
+            .with_scale(
+                scale.document_count,
+                scale.positive_count,
+                scale.negative_count,
+            )
+            .with_seed(scale.seed);
+        let dataset = Dataset::generate(dtd, &config);
+        let exact_positive = dataset
+            .positive
+            .iter()
+            .map(|p| dataset.exact_selectivity(p))
+            .collect();
+        Self {
+            name: name.to_string(),
+            dataset,
+            exact_positive,
+        }
+    }
+
+    /// The NITF-scale workload.
+    pub fn nitf(scale: &ExperimentScale) -> Self {
+        Self::build("NITF", Dtd::nitf_like(), scale)
+    }
+
+    /// The xCBL-scale workload.
+    pub fn xcbl(scale: &ExperimentScale) -> Self {
+        Self::build("xCBL", Dtd::xcbl_like(), scale)
+    }
+
+    /// Both workloads used by the paper, NITF first.
+    pub fn both(scale: &ExperimentScale) -> Vec<Self> {
+        vec![Self::nitf(scale), Self::xcbl(scale)]
+    }
+
+    /// An exact evaluator over this workload's documents.
+    pub fn exact(&self) -> ExactEvaluator {
+        ExactEvaluator::new(self.dataset.documents.clone())
+    }
+
+    /// Build (and prepare) a synopsis of the given representation over the
+    /// workload's documents.
+    pub fn build_synopsis(&self, kind: MatchingSetKind) -> Synopsis {
+        let config = SynopsisConfig {
+            kind,
+            ..SynopsisConfig::counters()
+        };
+        let mut synopsis = Synopsis::from_documents(config, &self.dataset.documents);
+        synopsis.prepare();
+        synopsis
+    }
+
+    /// Average absolute relative error of the positive workload (`Erel`).
+    pub fn positive_relative_error(&self, synopsis: &Synopsis) -> f64 {
+        let estimator = SelectivityEstimator::new(synopsis);
+        let pairs: Vec<(f64, f64)> = self
+            .dataset
+            .positive
+            .iter()
+            .zip(&self.exact_positive)
+            .map(|(p, &exact)| (exact, estimator.selectivity(p)))
+            .collect();
+        average_relative_error(&pairs)
+    }
+
+    /// Root mean square error of the negative workload (`Esqr`).
+    pub fn negative_square_error(&self, synopsis: &Synopsis) -> f64 {
+        let estimator = SelectivityEstimator::new(synopsis);
+        let pairs: Vec<(f64, f64)> = self
+            .dataset
+            .negative
+            .iter()
+            .map(|p| (0.0, estimator.selectivity(p)))
+            .collect();
+        root_mean_square_error(&pairs)
+    }
+
+    /// Draw `count` random pairs of (distinct) positive patterns.
+    pub fn sample_pairs(&self, count: usize, seed: u64) -> Vec<(usize, usize)> {
+        let n = self.dataset.positive.len();
+        if n < 2 {
+            return Vec::new();
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let indices: Vec<usize> = (0..n).collect();
+        (0..count)
+            .map(|_| {
+                let pair: Vec<usize> = indices.choose_multiple(&mut rng, 2).copied().collect();
+                (pair[0], pair[1])
+            })
+            .collect()
+    }
+
+    /// Exact values of the three proximity metrics for each pattern pair
+    /// (ground truth for Figures 7–9). Expensive — compute once per workload
+    /// and reuse across synopsis configurations.
+    pub fn exact_metric_values(&self, pairs: &[(usize, usize)]) -> Vec<[f64; 3]> {
+        let exact = self.exact();
+        pairs
+            .iter()
+            .map(|&(i, j)| {
+                let p = &self.dataset.positive[i];
+                let q = &self.dataset.positive[j];
+                let exact_joint = exact.joint_selectivity(p, q);
+                let exact_p = self.exact_positive[i];
+                let exact_q = self.exact_positive[j];
+                [
+                    ProximityMetric::M1.compute(exact_p, exact_q, exact_joint),
+                    ProximityMetric::M2.compute(exact_p, exact_q, exact_joint),
+                    ProximityMetric::M3.compute(exact_p, exact_q, exact_joint),
+                ]
+            })
+            .collect()
+    }
+
+    /// Estimated values of the three proximity metrics for each pattern pair
+    /// under the given synopsis.
+    pub fn estimated_metric_values(
+        &self,
+        synopsis: &Synopsis,
+        pairs: &[(usize, usize)],
+    ) -> Vec<[f64; 3]> {
+        let estimator = SelectivityEstimator::new(synopsis);
+        let mut estimated_marginal: Vec<Option<f64>> = vec![None; self.dataset.positive.len()];
+        pairs
+            .iter()
+            .map(|&(i, j)| {
+                let p = &self.dataset.positive[i];
+                let q = &self.dataset.positive[j];
+                let est_p =
+                    *estimated_marginal[i].get_or_insert_with(|| estimator.selectivity(p));
+                let est_q =
+                    *estimated_marginal[j].get_or_insert_with(|| estimator.selectivity(q));
+                let est_joint = estimator.joint_selectivity(p, q);
+                [
+                    ProximityMetric::M1.compute(est_p, est_q, est_joint),
+                    ProximityMetric::M2.compute(est_p, est_q, est_joint),
+                    ProximityMetric::M3.compute(est_p, est_q, est_joint),
+                ]
+            })
+            .collect()
+    }
+
+    /// Average absolute relative error of the estimated similarity for each
+    /// proximity metric (`Erel(M1)`, `Erel(M2)`, `Erel(M3)`) over the given
+    /// pattern pairs, given precomputed exact values.
+    pub fn metric_relative_errors_against(
+        &self,
+        synopsis: &Synopsis,
+        pairs: &[(usize, usize)],
+        exact_values: &[[f64; 3]],
+    ) -> [f64; 3] {
+        let estimated = self.estimated_metric_values(synopsis, pairs);
+        let mut per_metric: [Vec<(f64, f64)>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for (exact, est) in exact_values.iter().zip(&estimated) {
+            for slot in 0..3 {
+                per_metric[slot].push((exact[slot], est[slot]));
+            }
+        }
+        [
+            average_relative_error(&per_metric[0]),
+            average_relative_error(&per_metric[1]),
+            average_relative_error(&per_metric[2]),
+        ]
+    }
+
+    /// Convenience wrapper computing exact values and errors in one call
+    /// (used by tests and one-off evaluations).
+    pub fn metric_relative_errors(
+        &self,
+        synopsis: &Synopsis,
+        pairs: &[(usize, usize)],
+    ) -> [f64; 3] {
+        let exact_values = self.exact_metric_values(pairs);
+        self.metric_relative_errors_against(synopsis, pairs, &exact_values)
+    }
+}
+
+/// A plain-text result table with aligned columns, printed by every
+/// experiment binary.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table title (figure reference).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        self.rows.push(row);
+    }
+
+    /// Render the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(cell.len());
+                } else {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n", self.title));
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{:width$}", h, width = widths[i]))
+            .collect();
+        out.push_str(&header_line.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print the table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Format a float with three decimal places (percentages, errors).
+pub fn fmt3(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+/// Format a percentage with two decimal places.
+pub fn fmt_pct(value: f64) -> String {
+    format!("{:.2}", value * 100.0)
+}
+
+/// The three matching-set representations at a given summary size, in the
+/// order the figures use (Counters has no size knob).
+pub fn representations(size: usize) -> Vec<MatchingSetKind> {
+    vec![
+        MatchingSetKind::Counters,
+        MatchingSetKind::Sets { capacity: size },
+        MatchingSetKind::Hashes { capacity: size },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_workload() -> DtdWorkload {
+        let mut scale = ExperimentScale::tiny();
+        scale.document_count = 60;
+        scale.positive_count = 15;
+        scale.negative_count = 15;
+        DtdWorkload::build("NITF", Dtd::nitf_like(), &scale)
+    }
+
+    #[test]
+    fn workload_has_ground_truth_for_every_positive_pattern() {
+        let w = tiny_workload();
+        assert_eq!(w.exact_positive.len(), w.dataset.positive.len());
+        assert!(w.exact_positive.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn exact_synopsis_has_near_zero_positive_error() {
+        let w = tiny_workload();
+        let synopsis = w.build_synopsis(MatchingSetKind::Hashes { capacity: 10_000 });
+        let erel = w.positive_relative_error(&synopsis);
+        assert!(erel < 1e-9, "Erel = {erel}");
+        let esqr = w.negative_square_error(&synopsis);
+        assert!(esqr < 1e-9, "Esqr = {esqr}");
+    }
+
+    #[test]
+    fn counters_have_larger_positive_error_than_exact_hashes() {
+        let w = tiny_workload();
+        let counters = w.build_synopsis(MatchingSetKind::Counters);
+        let hashes = w.build_synopsis(MatchingSetKind::Hashes { capacity: 10_000 });
+        assert!(w.positive_relative_error(&counters) >= w.positive_relative_error(&hashes));
+    }
+
+    #[test]
+    fn sample_pairs_returns_distinct_indices() {
+        let w = tiny_workload();
+        let pairs = w.sample_pairs(30, 1);
+        assert_eq!(pairs.len(), 30);
+        assert!(pairs.iter().all(|&(a, b)| a != b));
+        assert!(pairs
+            .iter()
+            .all(|&(a, b)| a < w.dataset.positive.len() && b < w.dataset.positive.len()));
+    }
+
+    #[test]
+    fn metric_errors_are_zero_for_exact_synopsis() {
+        let w = tiny_workload();
+        let synopsis = w.build_synopsis(MatchingSetKind::Hashes { capacity: 10_000 });
+        let pairs = w.sample_pairs(20, 2);
+        let errors = w.metric_relative_errors(&synopsis, &pairs);
+        for (i, e) in errors.iter().enumerate() {
+            assert!(*e < 1e-9, "metric {} error {}", i + 1, e);
+        }
+    }
+
+    #[test]
+    fn table_rendering_aligns_columns() {
+        let mut table = Table::new("Demo", &["col", "value"]);
+        table.push_row(vec!["a".to_string(), "1.0".to_string()]);
+        table.push_row(vec!["long-name".to_string(), "2.0".to_string()]);
+        let rendered = table.render();
+        assert!(rendered.contains("# Demo"));
+        assert!(rendered.contains("long-name"));
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert!(lines.len() >= 5);
+    }
+
+    #[test]
+    fn representations_cover_all_three_kinds() {
+        let reps = representations(100);
+        assert_eq!(reps.len(), 3);
+        assert!(matches!(reps[0], MatchingSetKind::Counters));
+        assert!(matches!(reps[1], MatchingSetKind::Sets { capacity: 100 }));
+        assert!(matches!(reps[2], MatchingSetKind::Hashes { capacity: 100 }));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt3(0.12345), "0.123");
+        assert_eq!(fmt_pct(0.1234), "12.34");
+    }
+}

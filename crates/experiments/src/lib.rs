@@ -1,0 +1,25 @@
+//! Reproduction harness for the evaluation section of the paper.
+//!
+//! The crate provides, as a library, the error metrics ([`error`]), the
+//! experiment scales ([`scale`]), the shared workload/synopsis plumbing
+//! ([`harness`]) and one function per paper table/figure ([`figures`]).
+//! The binaries in `src/bin` (one per figure, plus `table1` and `run_all`)
+//! print the corresponding series as plain-text tables:
+//!
+//! ```text
+//! cargo run --release -p tps-experiments --bin fig4
+//! TPS_SCALE=paper cargo run --release -p tps-experiments --bin run_all
+//! ```
+//!
+//! The scale is controlled by the `TPS_SCALE` environment variable
+//! (`paper`, `quick` — the default —, or `tiny`); see [`scale::ExperimentScale`].
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod figures;
+pub mod harness;
+pub mod scale;
+
+pub use harness::{DtdWorkload, Table};
+pub use scale::ExperimentScale;

@@ -1,0 +1,139 @@
+//! Experiment scales.
+//!
+//! The paper's setup (10,000 documents, 1,000 positive and 1,000 negative
+//! patterns, 5,000 random pattern pairs) takes a while to regenerate on a
+//! laptop; the harness therefore supports three scales selected through the
+//! `TPS_SCALE` environment variable:
+//!
+//! * `paper` — the full scale of Section 5.1,
+//! * `quick` — the default: the same shape, roughly an order of magnitude
+//!   smaller, finishing in minutes,
+//! * `tiny` — a smoke-test scale used by integration tests and CI.
+//!
+//! Scaling down the document and pattern counts changes the absolute error
+//! values slightly (smaller streams are easier to summarise) but preserves
+//! the comparisons the paper's figures make: which representation wins, how
+//! the error decays with the summary size, and how compression degrades
+//! accuracy.
+
+/// Scale parameters shared by every experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentScale {
+    /// Human-readable name (`paper`, `quick`, `tiny`).
+    pub name: String,
+    /// Number of documents per DTD (`|D|`).
+    pub document_count: usize,
+    /// Number of positive patterns (`|SP|`).
+    pub positive_count: usize,
+    /// Number of negative patterns (`|SN|`).
+    pub negative_count: usize,
+    /// Number of random pattern pairs used for the proximity-metric figures.
+    pub pair_count: usize,
+    /// Maximum hash/set sizes swept on the x-axis of Figures 4, 5, 7–9.
+    pub summary_sizes: Vec<usize>,
+    /// Compression ratios α swept in Figure 10.
+    pub compression_ratios: Vec<f64>,
+    /// Hash size used for the Figure 10 compression experiment (the paper
+    /// fixes 1,000 entries).
+    pub fig10_hash_size: usize,
+    /// Base RNG seed for dataset generation.
+    pub seed: u64,
+}
+
+impl ExperimentScale {
+    /// The full scale used in the paper.
+    pub fn paper() -> Self {
+        Self {
+            name: "paper".to_string(),
+            document_count: 10_000,
+            positive_count: 1_000,
+            negative_count: 1_000,
+            pair_count: 5_000,
+            summary_sizes: vec![50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000],
+            compression_ratios: vec![1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1],
+            fig10_hash_size: 1_000,
+            seed: 2007,
+        }
+    }
+
+    /// A laptop-friendly scale with the same sweep shape (default).
+    pub fn quick() -> Self {
+        Self {
+            name: "quick".to_string(),
+            document_count: 1_200,
+            positive_count: 200,
+            negative_count: 200,
+            pair_count: 400,
+            summary_sizes: vec![50, 100, 250, 500, 1_000, 2_500],
+            compression_ratios: vec![1.0, 0.8, 0.6, 0.4, 0.2],
+            fig10_hash_size: 500,
+            seed: 2007,
+        }
+    }
+
+    /// A smoke-test scale for CI and integration tests.
+    pub fn tiny() -> Self {
+        Self {
+            name: "tiny".to_string(),
+            document_count: 150,
+            positive_count: 40,
+            negative_count: 40,
+            pair_count: 60,
+            summary_sizes: vec![50, 250, 1_000],
+            compression_ratios: vec![1.0, 0.5, 0.25],
+            fig10_hash_size: 100,
+            seed: 2007,
+        }
+    }
+
+    /// Read the scale from the `TPS_SCALE` environment variable
+    /// (`paper` / `quick` / `tiny`), defaulting to `quick`.
+    pub fn from_env() -> Self {
+        match std::env::var("TPS_SCALE").as_deref() {
+            Ok("paper") => Self::paper(),
+            Ok("tiny") => Self::tiny(),
+            Ok("quick") | Ok(_) | Err(_) => Self::quick(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_section_5_1() {
+        let s = ExperimentScale::paper();
+        assert_eq!(s.document_count, 10_000);
+        assert_eq!(s.positive_count, 1_000);
+        assert_eq!(s.negative_count, 1_000);
+        assert_eq!(s.pair_count, 5_000);
+        assert_eq!(s.fig10_hash_size, 1_000);
+        assert!(s.summary_sizes.contains(&50));
+        assert!(s.summary_sizes.contains(&10_000));
+    }
+
+    #[test]
+    fn scales_shrink_monotonically() {
+        let paper = ExperimentScale::paper();
+        let quick = ExperimentScale::quick();
+        let tiny = ExperimentScale::tiny();
+        assert!(paper.document_count > quick.document_count);
+        assert!(quick.document_count > tiny.document_count);
+        assert!(paper.pair_count > quick.pair_count);
+        assert!(quick.pair_count > tiny.pair_count);
+    }
+
+    #[test]
+    fn all_scales_sweep_at_least_two_sizes_and_ratios() {
+        for s in [
+            ExperimentScale::paper(),
+            ExperimentScale::quick(),
+            ExperimentScale::tiny(),
+        ] {
+            assert!(s.summary_sizes.len() >= 2);
+            assert!(s.compression_ratios.len() >= 2);
+            assert!(s.compression_ratios.iter().all(|&a| (0.0..=1.0).contains(&a)));
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Tree-pattern aggregation: computing a single pattern that *contains* a set
+//! of subscriptions.
+//!
+//! The paper contrasts its similarity-based communities with summarisation by
+//! *subscription aggregation* (Chan et al., "Tree Pattern Aggregation for
+//! Scalable XML Data Dissemination", VLDB 2002 — reference [4] of the paper):
+//! a router replaces a set of subscriptions by one more general pattern and
+//! forwards every document matching the aggregate. This module implements a
+//! sound aggregation operator used by the routing crate as the classic
+//! baseline (perfect recall, possibly poor precision):
+//!
+//! * [`aggregate_pair`] computes an upper bound of two patterns: a pattern
+//!   whose constraints are implied by *both* inputs, so any document matching
+//!   either input matches the aggregate;
+//! * [`aggregate_all`] folds a whole subscription set.
+//!
+//! The construction keeps every root branch of one pattern that (by the
+//! homomorphism containment test) is also implied by the other pattern, and
+//! vice versa. It is sound but not minimal: when the two patterns share no
+//! implied branch it degrades to the universal pattern `/.`, exactly like the
+//! "most general aggregate" fallback of aggregation-based routers.
+
+use crate::containment::contains;
+use crate::ops::normalize;
+use crate::pattern::{PatternNodeId, TreePattern};
+
+/// Build the single-branch pattern consisting of one root-child subtree of
+/// `pattern`.
+fn branch_pattern(pattern: &TreePattern, branch: PatternNodeId) -> TreePattern {
+    let mut single = TreePattern::new();
+    let root = single.root();
+    single.graft(root, pattern, branch);
+    single
+}
+
+/// Aggregate two patterns into one that contains both (every document
+/// matching `p` *or* `q` matches the result).
+pub fn aggregate_pair(p: &TreePattern, q: &TreePattern) -> TreePattern {
+    let mut result = TreePattern::new();
+    let root = result.root();
+    for &branch in p.children(p.root()) {
+        if contains(&branch_pattern(p, branch), q) {
+            result.graft(root, p, branch);
+        }
+    }
+    for &branch in q.children(q.root()) {
+        if contains(&branch_pattern(q, branch), p) {
+            result.graft(root, q, branch);
+        }
+    }
+    normalize(&result)
+}
+
+/// Aggregate an arbitrary set of patterns. Aggregating an empty set yields
+/// the universal pattern `/.` (which matches every document).
+pub fn aggregate_all<'a, I>(patterns: I) -> TreePattern
+where
+    I: IntoIterator<Item = &'a TreePattern>,
+{
+    let mut iter = patterns.into_iter();
+    let first = match iter.next() {
+        Some(p) => p.clone(),
+        None => return TreePattern::new(),
+    };
+    iter.fold(normalize(&first), |acc, p| aggregate_pair(&acc, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_xml::XmlTree;
+
+    fn pat(s: &str) -> TreePattern {
+        TreePattern::parse(s).unwrap()
+    }
+
+    #[test]
+    fn aggregate_of_identical_patterns_is_the_pattern() {
+        let p = pat("/a/b[c][d]");
+        let agg = aggregate_pair(&p, &p);
+        assert_eq!(agg, normalize(&p));
+    }
+
+    #[test]
+    fn aggregate_contains_both_inputs() {
+        let p = pat("/a[b][c]");
+        let q = pat("/a[b][d]");
+        let agg = aggregate_pair(&p, &q);
+        assert!(contains(&agg, &p));
+        assert!(contains(&agg, &q));
+        // The aggregate is strictly more general than either input.
+        assert!(!contains(&p, &agg));
+    }
+
+    #[test]
+    fn multi_branch_patterns_keep_their_shared_implied_branches() {
+        // Both subscriptions require //media; the aggregate keeps it instead
+        // of collapsing all the way to the universal pattern.
+        let p = pat(".[//media][//CD]");
+        let q = pat(".[//media][//book]");
+        let agg = aggregate_pair(&p, &q);
+        assert!(contains(&agg, &p));
+        assert!(contains(&agg, &q));
+        assert_eq!(agg, pat("//media"));
+    }
+
+    #[test]
+    fn unrelated_patterns_aggregate_to_the_universal_pattern() {
+        let p = pat("/a/b");
+        let q = pat("/x/y");
+        let agg = aggregate_pair(&p, &q);
+        assert_eq!(agg, TreePattern::new());
+    }
+
+    #[test]
+    fn descendant_branches_survive_when_implied() {
+        let p = pat(".[//CD][//Mozart]");
+        let q = pat("/media/CD/*/last/Mozart");
+        let agg = aggregate_pair(&p, &q);
+        // Both //CD and //Mozart are implied by q, so the aggregate keeps
+        // them and equals p (up to normalisation).
+        assert_eq!(agg, normalize(&p));
+    }
+
+    #[test]
+    fn aggregate_never_loses_documents_on_examples() {
+        let patterns = [
+            pat("/media/CD/composer/last"),
+            pat("/media/CD/title"),
+            pat("//CD[composer]"),
+        ];
+        let agg = aggregate_all(&patterns);
+        let docs = [
+            "<media><CD><composer><last>Mozart</last></composer></CD></media>",
+            "<media><CD><title>Requiem</title></CD></media>",
+            "<media><CD><composer><first>W</first></composer><x/></CD></media>",
+            "<media><book><title>Emma</title></book></media>",
+        ];
+        for text in docs {
+            let doc = XmlTree::parse(text).unwrap();
+            let any_member = patterns.iter().any(|p| p.matches(&doc));
+            if any_member {
+                assert!(
+                    agg.matches(&doc),
+                    "aggregate {agg} must match every document a member matches ({text})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_all_of_empty_set_is_universal() {
+        let agg = aggregate_all(std::iter::empty::<&TreePattern>());
+        assert_eq!(agg.node_count(), 1);
+    }
+
+    #[test]
+    fn aggregate_is_commutative_on_these_examples() {
+        let p = pat("/a[b][c]");
+        let q = pat("/a[b]/d");
+        assert_eq!(aggregate_pair(&p, &q), aggregate_pair(&q, &p));
+    }
+
+    #[test]
+    fn aggregation_is_monotone_in_generality() {
+        // Aggregating with a more general pattern keeps the result general.
+        let specific = pat("/a/b/c");
+        let general = pat("//c");
+        let agg = aggregate_pair(&specific, &general);
+        assert!(contains(&agg, &specific));
+        assert!(contains(&agg, &general));
+    }
+}

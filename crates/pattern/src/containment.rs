@@ -1,0 +1,300 @@
+//! Containment of tree patterns.
+//!
+//! A pattern `q` is *contained* in `p` (written `q ⊑ p`) when every document
+//! that matches `q` also matches `p`. The paper's introduction discusses why
+//! containment alone is a poor proximity notion for semantic communities (it
+//! is asymmetric and boolean); it is nevertheless a useful baseline and the
+//! routing crate uses it to build inclusion-based topologies to compare
+//! against similarity-based clusters.
+//!
+//! Deciding containment for patterns with both `*` and `//` is coNP-complete
+//! in general. We implement the standard *homomorphism* test, which is sound
+//! (a homomorphism from `p` into `q` implies `q ⊑ p`) and complete for the
+//! common fragments (patterns without `*`, or without `//`); for the general
+//! case it may return `false` for some contained pairs, which we document and
+//! accept — exactly like the practical systems the paper builds on
+//! (Chan et al., VLDB'02).
+
+use crate::pattern::{PatternLabel, PatternNodeId, TreePattern};
+
+/// Is `q` contained in `p` (`q ⊑ p`), i.e. does every document matching `q`
+/// also match `p`?
+///
+/// Sound, homomorphism-based approximation (see module docs).
+pub fn contains(p: &TreePattern, q: &TreePattern) -> bool {
+    // A homomorphism maps every node of p to a node of q such that:
+    //  * the root of p maps to the root of q,
+    //  * labels are compatible: a tag node of p maps to a node of q with the
+    //    same tag; a `*` node of p maps to a tag or `*` node of q; a `//`
+    //    node of p may map "into an edge" — handled by allowing descendants,
+    //  * child edges of p map to child edges of q, descendant edges of p map
+    //    to descendant paths of q.
+    //
+    // We implement the classic recursive formulation: hom(u, v) holds when
+    // pattern-node u of p can be embedded at node v of q.
+    hom_root(p, q)
+}
+
+fn hom_root(p: &TreePattern, q: &TreePattern) -> bool {
+    // Each child of p's root must be embeddable at q's root.
+    p.children(p.root())
+        .iter()
+        .all(|&u| embed_at_root(p, u, q))
+}
+
+/// Can root-child `u` of `p` be embedded at the root position of `q`?
+fn embed_at_root(p: &TreePattern, u: PatternNodeId, q: &TreePattern) -> bool {
+    match p.label(u) {
+        PatternLabel::Descendant => {
+            let target = p.children(u)[0];
+            // `//x` at the root of p: x may embed at q's root position or at
+            // any node strictly below it (reached via child or descendant
+            // edges of q — every document node reachable there is a
+            // descendant of the document root).
+            q_root_candidates(q)
+                .into_iter()
+                .any(|v| embed_at(p, target, q, v, true))
+                || q.children(q.root())
+                    .iter()
+                    .any(|&v| any_descendant_embeds(p, target, q, v))
+        }
+        _ => q
+            .children(q.root())
+            .iter()
+            .any(|&v| embed_root_child(p, u, q, v)),
+    }
+}
+
+/// Children of q's root are the candidate images for p's root children.
+fn q_root_candidates(q: &TreePattern) -> Vec<PatternNodeId> {
+    q.children(q.root()).to_vec()
+}
+
+/// Embed root-child `u` of p at root-child `v` of q (both constrain the
+/// document root).
+fn embed_root_child(p: &TreePattern, u: PatternNodeId, q: &TreePattern, v: PatternNodeId) -> bool {
+    let label_ok = match (p.label(u), q.label(v)) {
+        (PatternLabel::Tag(a), PatternLabel::Tag(b)) => a == b,
+        (PatternLabel::Wildcard, PatternLabel::Tag(_) | PatternLabel::Wildcard) => true,
+        (PatternLabel::Tag(_), _) => false,
+        (PatternLabel::Wildcard, _) => false,
+        _ => false,
+    };
+    if !label_ok {
+        return false;
+    }
+    p.children(u)
+        .iter()
+        .all(|&uc| embed_below(p, uc, q, v))
+}
+
+/// Can pattern node `u` of p (a non-root node) be embedded at node `v` of q,
+/// meaning: every document node that q's node `v` binds also satisfies
+/// `Subtree(u, p)` when evaluated *at* that node's parent context?
+///
+/// `at_self` distinguishes "u constrains the node bound by v itself" (true)
+/// from "u constrains a child of the node bound by v" (false is expressed via
+/// [`embed_below`]).
+fn embed_at(
+    p: &TreePattern,
+    u: PatternNodeId,
+    q: &TreePattern,
+    v: PatternNodeId,
+    at_self: bool,
+) -> bool {
+    debug_assert!(at_self);
+    let label_ok = match (p.label(u), q.label(v)) {
+        (PatternLabel::Tag(a), PatternLabel::Tag(b)) => a == b,
+        (PatternLabel::Wildcard, PatternLabel::Tag(_) | PatternLabel::Wildcard) => true,
+        _ => false,
+    };
+    if !label_ok {
+        return false;
+    }
+    p.children(u).iter().all(|&uc| embed_below(p, uc, q, v))
+}
+
+/// Can pattern node `u` of p be embedded strictly below node `v` of q,
+/// i.e. does every document satisfying `Subtree(v, q)` at some node also
+/// satisfy `Subtree(u, p)` at that node?
+fn embed_below(p: &TreePattern, u: PatternNodeId, q: &TreePattern, v: PatternNodeId) -> bool {
+    match p.label(u) {
+        PatternLabel::Descendant => {
+            let target = p.children(u)[0];
+            // `//target` below v: target may embed at v itself (empty path) or
+            // anywhere in v's subtree.
+            embed_at(p, target, q, v, true)
+                || q.children(v)
+                    .iter()
+                    .any(|&vc| any_descendant_embeds(p, target, q, vc))
+        }
+        _ => q
+            .children(v)
+            .iter()
+            .any(|&vc| child_image_ok(p, u, q, vc)),
+    }
+}
+
+/// Does `u` (tag or wildcard) embed at child `vc` of q, following q's edge
+/// semantics (a `//` child of q guarantees nothing about the next level, so a
+/// tag/wildcard node of p cannot be embedded onto it)?
+fn child_image_ok(p: &TreePattern, u: PatternNodeId, q: &TreePattern, vc: PatternNodeId) -> bool {
+    match q.label(vc) {
+        PatternLabel::Descendant => false,
+        _ => embed_at(p, u, q, vc, true),
+    }
+}
+
+/// Does `u` embed at `v` or at any node in the subtree of q rooted at `v`
+/// (all of which bind document nodes that are descendants of the context)?
+fn any_descendant_embeds(
+    p: &TreePattern,
+    u: PatternNodeId,
+    q: &TreePattern,
+    v: PatternNodeId,
+) -> bool {
+    if !q.label(v).is_descendant() && embed_at(p, u, q, v, true) {
+        return true;
+    }
+    q.children(v)
+        .iter()
+        .any(|&vc| any_descendant_embeds(p, u, q, vc))
+}
+
+/// Are `p` and `q` equivalent under the homomorphism test (each contains the
+/// other)?
+pub fn equivalent(p: &TreePattern, q: &TreePattern) -> bool {
+    contains(p, q) && contains(q, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TreePattern;
+
+    fn pat(s: &str) -> TreePattern {
+        TreePattern::parse(s).unwrap()
+    }
+
+    #[test]
+    fn identical_patterns_contain_each_other() {
+        let p = pat("/a/b[c][d//e]");
+        assert!(contains(&p, &p));
+        assert!(equivalent(&p, &p));
+    }
+
+    #[test]
+    fn bare_root_contains_everything() {
+        let top = pat("/.");
+        for q in ["/a", "//a/b", "/a[b][c]", "/*/x"] {
+            assert!(contains(&top, &pat(q)), "/. should contain {q}");
+            assert!(!contains(&pat(q), &top), "{q} should not contain /.");
+        }
+    }
+
+    #[test]
+    fn figure1_pc_contains_pa() {
+        // The paper: "it trivially appears that pc contains pa" but not vice
+        // versa.
+        let pa = pat("/media/CD/*/last/Mozart");
+        let pc = pat(".[//CD][//Mozart]");
+        assert!(contains(&pc, &pa));
+        assert!(!contains(&pa, &pc));
+    }
+
+    #[test]
+    fn no_containment_between_pa_and_pd() {
+        // "Formally, there is no containment relationship between pa and pd."
+        let pa = pat("/media/CD/*/last/Mozart");
+        let pd = pat("//composer[last/Mozart]");
+        assert!(!contains(&pa, &pd));
+        assert!(!contains(&pd, &pa));
+    }
+
+    #[test]
+    fn wildcard_generalises_tag() {
+        let specific = pat("/a/b/c");
+        let general = pat("/a/*/c");
+        assert!(contains(&general, &specific));
+        assert!(!contains(&specific, &general));
+    }
+
+    #[test]
+    fn descendant_generalises_long_paths() {
+        let specific = pat("/a/x/y/b");
+        let general = pat("/a//b");
+        assert!(contains(&general, &specific));
+        assert!(!contains(&specific, &general));
+    }
+
+    #[test]
+    fn descendant_allows_empty_path() {
+        let specific = pat("/a/b");
+        let general = pat("/a//b");
+        assert!(contains(&general, &specific));
+    }
+
+    #[test]
+    fn branch_superset_is_contained() {
+        let more = pat("/a[b][c][d]");
+        let fewer = pat("/a[b][c]");
+        assert!(contains(&fewer, &more));
+        assert!(!contains(&more, &fewer));
+    }
+
+    #[test]
+    fn different_tags_are_incomparable() {
+        let p = pat("/a/b");
+        let q = pat("/a/c");
+        assert!(!contains(&p, &q));
+        assert!(!contains(&q, &p));
+    }
+
+    #[test]
+    fn leading_descendant_contains_rooted_pattern() {
+        let general = pat("//b");
+        let specific = pat("/a/b");
+        assert!(contains(&general, &specific));
+        assert!(!contains(&specific, &general));
+        // //a also contains /a (the descendant may be the root itself).
+        assert!(contains(&pat("//a"), &pat("/a")));
+    }
+
+    #[test]
+    fn containment_is_sound_on_random_examples() {
+        // Spot-check soundness: whenever contains(p, q) holds, every document
+        // from a small pool matching q must match p.
+        use tps_xml::XmlTree;
+        let docs: Vec<XmlTree> = [
+            "<a><b><c/></b></a>",
+            "<a><b/><c/></a>",
+            "<a><x><b/></x><c/></a>",
+            "<b><a/></b>",
+            "<a><b><c/><d/></b></a>",
+        ]
+        .iter()
+        .map(|s| XmlTree::parse(s).unwrap())
+        .collect();
+        let pats: Vec<TreePattern> = [
+            "/a", "//b", "/a/b", "/a//c", "/a[b][c]", "/a/*/c", "//b/c", "/a/b/c", "/.",
+        ]
+        .iter()
+        .map(|s| pat(s))
+        .collect();
+        for p in &pats {
+            for q in &pats {
+                if contains(p, q) {
+                    for d in &docs {
+                        if q.matches(d) {
+                            assert!(
+                                p.matches(d),
+                                "soundness violated: {q} ⊑ {p} but document {} matches only q",
+                                d.to_xml()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

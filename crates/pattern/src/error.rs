@@ -1,0 +1,53 @@
+//! Errors produced while parsing or validating tree patterns.
+
+use std::fmt;
+
+/// An error produced while parsing a tree-pattern expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternParseError {
+    message: String,
+    /// Byte offset in the input where the error was detected.
+    offset: usize,
+}
+
+impl PatternParseError {
+    pub(crate) fn new(message: impl Into<String>, offset: usize) -> Self {
+        Self {
+            message: message.into(),
+            offset,
+        }
+    }
+
+    /// Human-readable description of the failure.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Byte offset in the input where the error was detected.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+}
+
+impl fmt::Display for PatternParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at offset {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for PatternParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_message_and_offset() {
+        let err = PatternParseError::new("unexpected token", 3);
+        let text = err.to_string();
+        assert!(text.contains("unexpected token"));
+        assert!(text.contains('3'));
+        assert_eq!(err.message(), "unexpected token");
+        assert_eq!(err.offset(), 3);
+    }
+}

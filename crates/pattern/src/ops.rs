@@ -1,0 +1,224 @@
+//! Structural operations on tree patterns.
+//!
+//! The proximity metrics of Section 4 need the joint probability `P(p ∧ q)`,
+//! which the paper computes "by simply merging the root nodes of p and q":
+//! the conjunction pattern has a single `/.` root whose children are the
+//! union of the root children of `p` and `q`. [`conjunction`] implements this
+//! merge, and [`normalize`] removes duplicate sibling subtrees so repeated
+//! conjunctions do not grow without bound.
+
+use std::collections::BTreeMap;
+
+use crate::pattern::{PatternNodeId, TreePattern};
+
+/// Build the conjunction `p ∧ q`: a pattern matched exactly by the documents
+/// that match both `p` and `q` (root-merge of Section 4).
+pub fn conjunction(p: &TreePattern, q: &TreePattern) -> TreePattern {
+    let mut merged = TreePattern::new();
+    let root = merged.root();
+    for &child in p.children(p.root()) {
+        merged.graft(root, p, child);
+    }
+    for &child in q.children(q.root()) {
+        merged.graft(root, q, child);
+    }
+    normalize(&merged)
+}
+
+/// Build the conjunction of an arbitrary number of patterns.
+pub fn conjunction_all<'a, I>(patterns: I) -> TreePattern
+where
+    I: IntoIterator<Item = &'a TreePattern>,
+{
+    let mut merged = TreePattern::new();
+    let root = merged.root();
+    for p in patterns {
+        for &child in p.children(p.root()) {
+            merged.graft(root, p, child);
+        }
+    }
+    normalize(&merged)
+}
+
+/// Return a copy of `pattern` in which, at every node, duplicate child
+/// subtrees (structurally identical modulo sibling order) are collapsed to a
+/// single copy, and children are emitted in a canonical (sorted) order.
+///
+/// Normalisation preserves the matching semantics: requiring the same
+/// sub-pattern twice at the same branching point is equivalent to requiring
+/// it once.
+pub fn normalize(pattern: &TreePattern) -> TreePattern {
+    let mut out = TreePattern::new();
+    let out_root = out.root();
+    copy_normalized(pattern, pattern.root(), &mut out, out_root);
+    out
+}
+
+fn copy_normalized(
+    src: &TreePattern,
+    src_node: PatternNodeId,
+    dst: &mut TreePattern,
+    dst_node: PatternNodeId,
+) {
+    // Deduplicate children by canonical key and order them deterministically.
+    let mut unique: BTreeMap<String, PatternNodeId> = BTreeMap::new();
+    for &child in src.children(src_node) {
+        unique.entry(subtree_key(src, child)).or_insert(child);
+    }
+    for (_, child) in unique {
+        let new_child = dst.add_child(dst_node, src.label(child).clone());
+        copy_normalized(src, child, dst, new_child);
+    }
+}
+
+/// Canonical key of the subtree rooted at `node` (children sorted).
+pub fn subtree_key(pattern: &TreePattern, node: PatternNodeId) -> String {
+    let mut child_keys: Vec<String> = pattern
+        .children(node)
+        .iter()
+        .map(|&c| subtree_key(pattern, c))
+        .collect();
+    child_keys.sort();
+    format!("{}({})", pattern.label(node), child_keys.join(","))
+}
+
+/// Summary statistics of a pattern, used by the workload generator and the
+/// experiment reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatternStats {
+    /// Total number of nodes including the root.
+    pub node_count: usize,
+    /// Height (longest root-to-leaf path, excluding the root).
+    pub height: usize,
+    /// Number of `*` nodes.
+    pub wildcards: usize,
+    /// Number of `//` nodes.
+    pub descendants: usize,
+    /// Number of nodes with two or more children.
+    pub branches: usize,
+}
+
+/// Compute [`PatternStats`] for a pattern.
+pub fn stats(pattern: &TreePattern) -> PatternStats {
+    PatternStats {
+        node_count: pattern.node_count(),
+        height: pattern.height(),
+        wildcards: pattern.wildcard_count(),
+        descendants: pattern.descendant_count(),
+        branches: pattern.branching_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TreePattern;
+    use tps_xml::XmlTree;
+
+    fn pat(s: &str) -> TreePattern {
+        TreePattern::parse(s).unwrap()
+    }
+
+    #[test]
+    fn conjunction_has_all_root_branches() {
+        let p = pat("/a/b");
+        let q = pat("//c");
+        let both = conjunction(&p, &q);
+        assert_eq!(both.children(both.root()).len(), 2);
+    }
+
+    #[test]
+    fn conjunction_matches_iff_both_match() {
+        let docs = [
+            "<a><b/><c/></a>",
+            "<a><b/></a>",
+            "<a><c/></a>",
+            "<x><c/></x>",
+        ];
+        let p = pat("/a/b");
+        let q = pat("//c");
+        let both = conjunction(&p, &q);
+        for text in docs {
+            let doc = XmlTree::parse(text).unwrap();
+            assert_eq!(
+                both.matches(&doc),
+                p.matches(&doc) && q.matches(&doc),
+                "conjunction semantics violated on {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn conjunction_with_bare_root_is_identity_up_to_normalisation() {
+        let p = pat("/a[b][c]");
+        let top = pat("/.");
+        let both = conjunction(&p, &top);
+        assert_eq!(both, normalize(&p));
+    }
+
+    #[test]
+    fn conjunction_with_itself_normalises_to_itself() {
+        let p = pat("/a[b][c//d]");
+        let both = conjunction(&p, &p);
+        assert_eq!(both, normalize(&p));
+    }
+
+    #[test]
+    fn conjunction_all_over_three_patterns() {
+        let p = pat("/a/b");
+        let q = pat("//c");
+        let r = pat("/a/d");
+        let all = conjunction_all([&p, &q, &r]);
+        let doc = XmlTree::parse("<a><b/><d/><e><c/></e></a>").unwrap();
+        assert!(all.matches(&doc));
+        let doc2 = XmlTree::parse("<a><b/><d/></a>").unwrap();
+        assert!(!all.matches(&doc2));
+    }
+
+    #[test]
+    fn normalize_removes_duplicate_branches() {
+        let p = pat("/a[b][b][c]");
+        let n = normalize(&p);
+        let a = n.children(n.root())[0];
+        assert_eq!(n.children(a).len(), 2);
+    }
+
+    #[test]
+    fn normalize_is_idempotent() {
+        let p = pat("/a[c][b][b//x]");
+        let n1 = normalize(&p);
+        let n2 = normalize(&n1);
+        assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn normalize_preserves_matching_on_examples() {
+        let p = pat("/a[b][b][c/d]");
+        let n = normalize(&p);
+        for text in ["<a><b/><c><d/></c></a>", "<a><b/></a>", "<a><c><d/></c></a>"] {
+            let doc = XmlTree::parse(text).unwrap();
+            assert_eq!(p.matches(&doc), n.matches(&doc));
+        }
+    }
+
+    #[test]
+    fn stats_reports_counts() {
+        let p = pat("/a[b//c][*]/d");
+        let s = stats(&p);
+        assert_eq!(s.wildcards, 1);
+        assert_eq!(s.descendants, 1);
+        assert_eq!(s.branches, 1);
+        assert_eq!(s.node_count, p.node_count());
+        assert_eq!(s.height, p.height());
+    }
+
+    #[test]
+    fn subtree_key_is_order_insensitive() {
+        let p = pat("/a[b][c]");
+        let q = pat("/a[c][b]");
+        assert_eq!(
+            subtree_key(&p, p.root()),
+            subtree_key(&q, q.root())
+        );
+    }
+}

@@ -1,0 +1,525 @@
+//! The tree-pattern data structure.
+
+use std::fmt;
+
+use crate::error::PatternParseError;
+use crate::matching;
+use crate::parser;
+
+/// Identifier of a node within one [`TreePattern`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PatternNodeId(pub(crate) u32);
+
+impl PatternNodeId {
+    /// The arena index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The label of a pattern node.
+///
+/// The paper defines a partial order on labels: `tag ≺ * ≺ //`, and
+/// `tag ≺ tag'` iff the tags are equal. [`PatternLabel::subsumes`] implements
+/// the reflexive version used by Algorithm 1's `⪯` test.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PatternLabel {
+    /// The special root label `/.` — only ever carried by the pattern root.
+    Root,
+    /// A concrete element tag (or leaf text value).
+    Tag(Box<str>),
+    /// The wildcard `*`, matching any single tag.
+    Wildcard,
+    /// The descendant operator `//`, matching a possibly empty downward path.
+    Descendant,
+}
+
+impl PatternLabel {
+    /// Create a tag label.
+    pub fn tag(name: &str) -> Self {
+        PatternLabel::Tag(name.into())
+    }
+
+    /// Whether this pattern label is satisfied by (subsumes) a concrete
+    /// document/synopsis label `concrete`.
+    ///
+    /// This is the `label(v) ⪯ label(u)` test of Algorithm 1 viewed from the
+    /// pattern side: a tag only accepts the identical tag, `*` accepts any
+    /// tag, and `//` also accepts any tag (its path semantics are handled by
+    /// the algorithms, not by this predicate).
+    pub fn subsumes(&self, concrete: &str) -> bool {
+        match self {
+            PatternLabel::Tag(t) => t.as_ref() == concrete,
+            PatternLabel::Wildcard | PatternLabel::Descendant => true,
+            PatternLabel::Root => false,
+        }
+    }
+
+    /// Whether the label is the descendant operator.
+    pub fn is_descendant(&self) -> bool {
+        matches!(self, PatternLabel::Descendant)
+    }
+
+    /// Whether the label is the wildcard.
+    pub fn is_wildcard(&self) -> bool {
+        matches!(self, PatternLabel::Wildcard)
+    }
+
+    /// Whether the label is a concrete tag.
+    pub fn is_tag(&self) -> bool {
+        matches!(self, PatternLabel::Tag(_))
+    }
+}
+
+impl fmt::Display for PatternLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternLabel::Root => write!(f, "/."),
+            PatternLabel::Tag(t) => write!(f, "{t}"),
+            PatternLabel::Wildcard => write!(f, "*"),
+            PatternLabel::Descendant => write!(f, "//"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PatternNode {
+    label: PatternLabel,
+    parent: Option<PatternNodeId>,
+    children: Vec<PatternNodeId>,
+}
+
+/// A tree-pattern subscription: an unordered node-labelled tree over
+/// [`PatternLabel`]s, rooted at a `/.` node.
+///
+/// # Example
+///
+/// ```
+/// use tps_pattern::{PatternLabel, TreePattern};
+///
+/// // Build /media/CD programmatically.
+/// let mut p = TreePattern::new();
+/// let media = p.add_child(p.root(), PatternLabel::tag("media"));
+/// p.add_child(media, PatternLabel::tag("CD"));
+/// assert_eq!(p.to_string(), "/media/CD");
+/// assert_eq!(p, TreePattern::parse("/media/CD").unwrap());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TreePattern {
+    nodes: Vec<PatternNode>,
+}
+
+impl TreePattern {
+    /// Create a pattern consisting only of the `/.` root (which matches every
+    /// document).
+    pub fn new() -> Self {
+        Self {
+            nodes: vec![PatternNode {
+                label: PatternLabel::Root,
+                parent: None,
+                children: Vec::new(),
+            }],
+        }
+    }
+
+    /// Parse a pattern from the XPath-like concrete syntax.
+    ///
+    /// See [`crate::parser`] for the grammar.
+    pub fn parse(input: &str) -> Result<Self, PatternParseError> {
+        parser::parse_pattern(input)
+    }
+
+    /// The root node id (label `/.`).
+    pub fn root(&self) -> PatternNodeId {
+        PatternNodeId(0)
+    }
+
+    /// Append a child with the given label under `parent`, returning its id.
+    pub fn add_child(&mut self, parent: PatternNodeId, label: PatternLabel) -> PatternNodeId {
+        debug_assert!(
+            !matches!(label, PatternLabel::Root),
+            "the root label may only appear at the root"
+        );
+        let id = PatternNodeId(self.nodes.len() as u32);
+        self.nodes.push(PatternNode {
+            label,
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// The label of a node.
+    pub fn label(&self, id: PatternNodeId) -> &PatternLabel {
+        &self.nodes[id.index()].label
+    }
+
+    /// The children of a node.
+    pub fn children(&self, id: PatternNodeId) -> &[PatternNodeId] {
+        &self.nodes[id.index()].children
+    }
+
+    /// The parent of a node (`None` for the root).
+    pub fn parent(&self, id: PatternNodeId) -> Option<PatternNodeId> {
+        self.nodes[id.index()].parent
+    }
+
+    /// Whether `id` is a leaf.
+    pub fn is_leaf(&self, id: PatternNodeId) -> bool {
+        self.children(id).is_empty()
+    }
+
+    /// Total number of nodes, including the root.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Maximum number of nodes on a root-to-leaf path, excluding the root.
+    /// (A pattern `/a/b` has height 2.)
+    pub fn height(&self) -> usize {
+        self.height_of(self.root()) - 1
+    }
+
+    fn height_of(&self, id: PatternNodeId) -> usize {
+        1 + self
+            .children(id)
+            .iter()
+            .map(|&c| self.height_of(c))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Iterate over all node ids in pre-order (root first).
+    pub fn preorder(&self) -> Vec<PatternNodeId> {
+        let mut order = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![self.root()];
+        while let Some(next) = stack.pop() {
+            order.push(next);
+            for &c in self.children(next).iter().rev() {
+                stack.push(c);
+            }
+        }
+        order
+    }
+
+    /// Number of `*` nodes in the pattern.
+    pub fn wildcard_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.label == PatternLabel::Wildcard)
+            .count()
+    }
+
+    /// Number of `//` nodes in the pattern.
+    pub fn descendant_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.label == PatternLabel::Descendant)
+            .count()
+    }
+
+    /// Number of branching nodes (nodes with two or more children).
+    pub fn branching_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.children.len() > 1).count()
+    }
+
+    /// Exact matching: does `document` satisfy this pattern (Section 2)?
+    pub fn matches(&self, document: &tps_xml::XmlTree) -> bool {
+        matching::matches(document, self)
+    }
+
+    /// Validate the structural constraints of Section 2:
+    ///
+    /// * only the root carries the `/.` label,
+    /// * the root has at least one child (a bare `/.` is allowed and matches
+    ///   everything, so this is not enforced),
+    /// * every `//` node has exactly one child, which is a tag or `*`.
+    ///
+    /// Returns a description of the first violation, if any.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, node) in self.nodes.iter().enumerate() {
+            let id = PatternNodeId(i as u32);
+            if i != 0 && node.label == PatternLabel::Root {
+                return Err(format!("non-root node {id:?} carries the root label"));
+            }
+            if i == 0 && node.label != PatternLabel::Root {
+                return Err("root node does not carry the root label".to_string());
+            }
+            if node.label == PatternLabel::Descendant {
+                if node.children.len() != 1 {
+                    return Err(format!(
+                        "descendant node {id:?} must have exactly one child, has {}",
+                        node.children.len()
+                    ));
+                }
+                let child = node.children[0];
+                if self.label(child).is_descendant() {
+                    return Err(format!(
+                        "descendant node {id:?} has a descendant child; its child must be a tag or *"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A canonical structural key: children are sorted recursively, so two
+    /// patterns that differ only in sibling order produce the same key.
+    /// Used for equality, hashing and deduplication of generated workloads.
+    pub fn canonical_key(&self) -> String {
+        self.key_of(self.root())
+    }
+
+    fn key_of(&self, id: PatternNodeId) -> String {
+        let mut child_keys: Vec<String> =
+            self.children(id).iter().map(|&c| self.key_of(c)).collect();
+        child_keys.sort();
+        format!("{}({})", self.label(id), child_keys.join(","))
+    }
+
+    /// Deep-copy the subtree rooted at `source_node` of `source` as a child
+    /// of `target_parent` in `self`. Returns the id of the copied root.
+    pub fn graft(
+        &mut self,
+        target_parent: PatternNodeId,
+        source: &TreePattern,
+        source_node: PatternNodeId,
+    ) -> PatternNodeId {
+        let new_id = self.add_child(target_parent, source.label(source_node).clone());
+        for &child in source.children(source_node) {
+            self.graft(new_id, source, child);
+        }
+        new_id
+    }
+}
+
+impl Default for TreePattern {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Structural equality modulo sibling order (tree patterns are unordered).
+impl PartialEq for TreePattern {
+    fn eq(&self, other: &Self) -> bool {
+        self.canonical_key() == other.canonical_key()
+    }
+}
+
+impl Eq for TreePattern {}
+
+impl std::hash::Hash for TreePattern {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.canonical_key().hash(state);
+    }
+}
+
+impl fmt::Display for TreePattern {
+    /// Render the pattern in the concrete syntax accepted by
+    /// [`TreePattern::parse`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let root = self.root();
+        let children = self.children(root);
+        match children.len() {
+            0 => write!(f, "/."),
+            1 => self.fmt_step(f, children[0], true),
+            _ => {
+                write!(f, "/.")?;
+                for &c in children {
+                    write!(f, "[")?;
+                    self.fmt_step(f, c, false)?;
+                    write!(f, "]")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl TreePattern {
+    /// Format the step for node `id`. `absolute` is true when the step hangs
+    /// directly off the pattern root in single-child position (rendered with
+    /// a leading `/` or `//`).
+    fn fmt_step(
+        &self,
+        f: &mut fmt::Formatter<'_>,
+        id: PatternNodeId,
+        absolute: bool,
+    ) -> fmt::Result {
+        match self.label(id) {
+            PatternLabel::Descendant => {
+                write!(f, "//")?;
+                // A valid descendant node has exactly one child; render it as
+                // the continuation of the step.
+                match self.children(id).len() {
+                    0 => write!(f, "*"), // degenerate; keep output parseable
+                    _ => self.fmt_after_descendant(f, self.children(id)[0]),
+                }
+            }
+            label => {
+                if absolute {
+                    write!(f, "/")?;
+                }
+                write!(f, "{label}")?;
+                self.fmt_children(f, id)
+            }
+        }
+    }
+
+    fn fmt_after_descendant(&self, f: &mut fmt::Formatter<'_>, id: PatternNodeId) -> fmt::Result {
+        write!(f, "{}", self.label(id))?;
+        self.fmt_children(f, id)
+    }
+
+    fn fmt_children(&self, f: &mut fmt::Formatter<'_>, id: PatternNodeId) -> fmt::Result {
+        let children = self.children(id);
+        match children.len() {
+            0 => Ok(()),
+            1 => {
+                let child = children[0];
+                if self.label(child).is_descendant() {
+                    self.fmt_step(f, child, false)
+                } else {
+                    write!(f, "/")?;
+                    write!(f, "{}", self.label(child))?;
+                    self.fmt_children(f, child)
+                }
+            }
+            _ => {
+                for &c in children {
+                    write!(f, "[")?;
+                    self.fmt_step(f, c, false)?;
+                    write!(f, "]")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_pattern_is_bare_root() {
+        let p = TreePattern::new();
+        assert_eq!(p.node_count(), 1);
+        assert_eq!(*p.label(p.root()), PatternLabel::Root);
+        assert_eq!(p.height(), 0);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_creates_linked_nodes() {
+        let mut p = TreePattern::new();
+        let a = p.add_child(p.root(), PatternLabel::tag("a"));
+        let b = p.add_child(a, PatternLabel::Wildcard);
+        assert_eq!(p.parent(b), Some(a));
+        assert_eq!(p.children(a), &[b]);
+        assert_eq!(p.node_count(), 3);
+        assert_eq!(p.height(), 2);
+    }
+
+    #[test]
+    fn label_subsumption_follows_the_partial_order() {
+        assert!(PatternLabel::tag("a").subsumes("a"));
+        assert!(!PatternLabel::tag("a").subsumes("b"));
+        assert!(PatternLabel::Wildcard.subsumes("anything"));
+        assert!(PatternLabel::Descendant.subsumes("anything"));
+        assert!(!PatternLabel::Root.subsumes("a"));
+    }
+
+    #[test]
+    fn counts_wildcards_descendants_branches() {
+        let mut p = TreePattern::new();
+        let a = p.add_child(p.root(), PatternLabel::tag("a"));
+        let d = p.add_child(a, PatternLabel::Descendant);
+        p.add_child(d, PatternLabel::tag("b"));
+        p.add_child(a, PatternLabel::Wildcard);
+        assert_eq!(p.wildcard_count(), 1);
+        assert_eq!(p.descendant_count(), 1);
+        assert_eq!(p.branching_count(), 1);
+    }
+
+    #[test]
+    fn validate_rejects_descendant_with_many_children() {
+        let mut p = TreePattern::new();
+        let d = p.add_child(p.root(), PatternLabel::Descendant);
+        p.add_child(d, PatternLabel::tag("a"));
+        p.add_child(d, PatternLabel::tag("b"));
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_descendant_chains() {
+        let mut p = TreePattern::new();
+        let d = p.add_child(p.root(), PatternLabel::Descendant);
+        let d2 = p.add_child(d, PatternLabel::Descendant);
+        p.add_child(d2, PatternLabel::tag("a"));
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn display_linear_pattern() {
+        let mut p = TreePattern::new();
+        let a = p.add_child(p.root(), PatternLabel::tag("media"));
+        let b = p.add_child(a, PatternLabel::tag("CD"));
+        let w = p.add_child(b, PatternLabel::Wildcard);
+        let l = p.add_child(w, PatternLabel::tag("last"));
+        p.add_child(l, PatternLabel::tag("Mozart"));
+        assert_eq!(p.to_string(), "/media/CD/*/last/Mozart");
+    }
+
+    #[test]
+    fn display_descendant_and_branches() {
+        let mut p = TreePattern::new();
+        let d = p.add_child(p.root(), PatternLabel::Descendant);
+        let c = p.add_child(d, PatternLabel::tag("composer"));
+        p.add_child(c, PatternLabel::tag("last"));
+        p.add_child(c, PatternLabel::tag("first"));
+        assert_eq!(p.to_string(), "//composer[last][first]");
+    }
+
+    #[test]
+    fn display_multi_rooted_pattern() {
+        let mut p = TreePattern::new();
+        let d1 = p.add_child(p.root(), PatternLabel::Descendant);
+        p.add_child(d1, PatternLabel::tag("CD"));
+        let d2 = p.add_child(p.root(), PatternLabel::Descendant);
+        p.add_child(d2, PatternLabel::tag("Mozart"));
+        assert_eq!(p.to_string(), "/.[//CD][//Mozart]");
+    }
+
+    #[test]
+    fn equality_ignores_sibling_order() {
+        let mut p = TreePattern::new();
+        let a = p.add_child(p.root(), PatternLabel::tag("a"));
+        p.add_child(a, PatternLabel::tag("b"));
+        p.add_child(a, PatternLabel::tag("c"));
+
+        let mut q = TreePattern::new();
+        let a2 = q.add_child(q.root(), PatternLabel::tag("a"));
+        q.add_child(a2, PatternLabel::tag("c"));
+        q.add_child(a2, PatternLabel::tag("b"));
+
+        assert_eq!(p, q);
+        assert_eq!(p.canonical_key(), q.canonical_key());
+    }
+
+    #[test]
+    fn graft_copies_subtrees() {
+        let src = TreePattern::parse("/a/b[c][d]").unwrap();
+        let mut dst = TreePattern::new();
+        let root = dst.root();
+        dst.graft(root, &src, src.children(src.root())[0]);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn preorder_visits_all_nodes() {
+        let p = TreePattern::parse("/a[b//c][d]/e").unwrap();
+        assert_eq!(p.preorder().len(), p.node_count());
+    }
+}

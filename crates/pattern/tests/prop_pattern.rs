@@ -1,0 +1,162 @@
+//! Property-based tests for tree patterns.
+
+use proptest::prelude::*;
+use tps_pattern::ops::{conjunction, normalize};
+use tps_pattern::{PatternLabel, TreePattern};
+use tps_xml::XmlTree;
+
+const TAGS: &[&str] = &["a", "b", "c", "d", "e", "f", "g"];
+
+/// A small recursive description of a pattern node used for generation.
+#[derive(Debug, Clone)]
+enum GenPat {
+    Tag(usize, Vec<GenPat>),
+    Wildcard(Vec<GenPat>),
+    Descendant(Box<GenPat>),
+}
+
+fn gen_pat() -> impl Strategy<Value = GenPat> {
+    let leaf = prop_oneof![
+        (0..TAGS.len()).prop_map(|i| GenPat::Tag(i, vec![])),
+        Just(GenPat::Wildcard(vec![])),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            ((0..TAGS.len()), prop::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(i, c)| GenPat::Tag(i, c)),
+            prop::collection::vec(inner.clone(), 0..3).prop_map(GenPat::Wildcard),
+            inner
+                .prop_filter("descendant child must not be descendant", |g| {
+                    !matches!(g, GenPat::Descendant(_))
+                })
+                .prop_map(|g| GenPat::Descendant(Box::new(g))),
+        ]
+    })
+}
+
+fn gen_pattern() -> impl Strategy<Value = TreePattern> {
+    prop::collection::vec(gen_pat(), 1..3).prop_map(|children| {
+        let mut p = TreePattern::new();
+        let root = p.root();
+        for c in &children {
+            build(&mut p, root, c);
+        }
+        p
+    })
+}
+
+fn build(p: &mut TreePattern, parent: tps_pattern::PatternNodeId, node: &GenPat) {
+    match node {
+        GenPat::Tag(i, children) => {
+            let id = p.add_child(parent, PatternLabel::tag(TAGS[*i]));
+            for c in children {
+                build(p, id, c);
+            }
+        }
+        GenPat::Wildcard(children) => {
+            let id = p.add_child(parent, PatternLabel::Wildcard);
+            for c in children {
+                build(p, id, c);
+            }
+        }
+        GenPat::Descendant(child) => {
+            let id = p.add_child(parent, PatternLabel::Descendant);
+            build(p, id, child);
+        }
+    }
+}
+
+/// A small random document over the same tag alphabet.
+fn gen_doc() -> impl Strategy<Value = XmlTree> {
+    #[derive(Debug, Clone)]
+    struct GenDoc(usize, Vec<GenDoc>);
+    fn gen() -> impl Strategy<Value = GenDoc> {
+        let leaf = (0..TAGS.len()).prop_map(|i| GenDoc(i, vec![]));
+        leaf.prop_recursive(4, 24, 3, |inner| {
+            ((0..TAGS.len()), prop::collection::vec(inner, 0..3))
+                .prop_map(|(i, c)| GenDoc(i, c))
+        })
+    }
+    fn build_doc(t: &mut XmlTree, parent: tps_xml::NodeId, d: &GenDoc) {
+        let id = t.add_child(parent, TAGS[d.0]);
+        for c in &d.1 {
+            build_doc(t, id, c);
+        }
+    }
+    gen().prop_map(|d| {
+        let mut t = XmlTree::new(TAGS[d.0]);
+        let root = t.root();
+        for c in &d.1 {
+            build_doc(&mut t, root, c);
+        }
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Generated patterns satisfy the structural constraints of Section 2.
+    #[test]
+    fn generated_patterns_validate(p in gen_pattern()) {
+        prop_assert!(p.validate().is_ok());
+    }
+
+    /// Display followed by parse yields an equivalent pattern.
+    #[test]
+    fn display_parse_round_trip(p in gen_pattern()) {
+        let text = p.to_string();
+        let reparsed = TreePattern::parse(&text)
+            .unwrap_or_else(|e| panic!("failed to reparse {text:?}: {e}"));
+        prop_assert_eq!(p, reparsed);
+    }
+
+    /// Normalisation preserves matching semantics.
+    #[test]
+    fn normalize_preserves_matching(p in gen_pattern(), d in gen_doc()) {
+        let n = normalize(&p);
+        prop_assert_eq!(p.matches(&d), n.matches(&d));
+    }
+
+    /// The conjunction matches a document iff both operands match it.
+    #[test]
+    fn conjunction_is_logical_and(p in gen_pattern(), q in gen_pattern(), d in gen_doc()) {
+        let both = conjunction(&p, &q);
+        prop_assert_eq!(both.matches(&d), p.matches(&d) && q.matches(&d));
+    }
+
+    /// Homomorphism containment is sound: if `contains(p, q)` then every
+    /// document matching `q` matches `p`.
+    #[test]
+    fn containment_is_sound(p in gen_pattern(), q in gen_pattern(), d in gen_doc()) {
+        if tps_pattern::containment::contains(&p, &q) && q.matches(&d) {
+            prop_assert!(p.matches(&d), "q={} p={} doc={}", q, p, d.to_xml());
+        }
+    }
+
+    /// The bare root pattern matches every document.
+    #[test]
+    fn bare_root_matches_everything(d in gen_doc()) {
+        prop_assert!(TreePattern::new().matches(&d));
+    }
+
+    /// A pattern derived from a root-to-leaf path of the document always
+    /// matches that document.
+    #[test]
+    fn path_pattern_from_document_matches(d in gen_doc()) {
+        let path = d.root_to_leaf_paths().next().expect("at least one path");
+        let mut p = TreePattern::new();
+        let mut cur = p.root();
+        for label in path {
+            cur = p.add_child(cur, PatternLabel::tag(label));
+        }
+        prop_assert!(p.matches(&d));
+    }
+
+    /// Canonical keys are stable under re-parsing the display form.
+    #[test]
+    fn canonical_key_stable_under_round_trip(p in gen_pattern()) {
+        let reparsed = TreePattern::parse(&p.to_string()).unwrap();
+        prop_assert_eq!(p.canonical_key(), reparsed.canonical_key());
+    }
+}

@@ -1,0 +1,285 @@
+//! Semantic-community discovery.
+//!
+//! The motivation of the paper is to gather consumers with similar
+//! subscriptions into *semantic communities* so that content-based routers
+//! can disseminate a document within a community without filtering it
+//! against every individual subscription. This module implements the
+//! clustering step on top of the similarity estimator: a simple greedy,
+//! threshold-based clustering (the paper leaves the concrete clustering
+//! algorithm to its companion systems work; greedy threshold clustering is
+//! what its semantic-overlay predecessor uses).
+
+use tps_core::{ProximityMetric, SimilarityEstimator};
+use tps_pattern::TreePattern;
+
+/// Configuration of the community clustering.
+#[derive(Debug, Clone, Copy)]
+pub struct CommunityConfig {
+    /// Proximity metric used to compare subscriptions.
+    pub metric: ProximityMetric,
+    /// Minimum similarity to the community representative for a subscription
+    /// to join that community.
+    pub threshold: f64,
+    /// Maximum number of members per community (0 = unbounded). Bounding the
+    /// size keeps intra-community dissemination cheap.
+    pub max_community_size: usize,
+}
+
+impl Default for CommunityConfig {
+    fn default() -> Self {
+        Self {
+            metric: ProximityMetric::M3,
+            threshold: 0.6,
+            max_community_size: 0,
+        }
+    }
+}
+
+/// One community: indices into the subscription list handed to
+/// [`CommunityClustering::cluster`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Community {
+    /// Index of the representative subscription (the first member).
+    pub representative: usize,
+    /// Indices of all member subscriptions (including the representative).
+    pub members: Vec<usize>,
+}
+
+impl Community {
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the community is empty (never true for produced communities).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// Result of clustering a subscription workload.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommunityClustering {
+    /// The communities, in creation order.
+    pub communities: Vec<Community>,
+}
+
+impl CommunityClustering {
+    /// Greedily cluster `subscriptions` using similarities estimated by
+    /// `estimator`.
+    ///
+    /// Each subscription joins the first existing community whose
+    /// representative is at least `config.threshold` similar (under
+    /// `config.metric`); otherwise it founds a new community. This is a
+    /// single-pass, deterministic procedure: its cost is
+    /// `O(#subscriptions · #communities)` similarity evaluations.
+    pub fn cluster(
+        estimator: &SimilarityEstimator,
+        subscriptions: &[TreePattern],
+        config: CommunityConfig,
+    ) -> Self {
+        let mut communities: Vec<Community> = Vec::new();
+        for (index, subscription) in subscriptions.iter().enumerate() {
+            let mut joined = false;
+            for community in communities.iter_mut() {
+                if config.max_community_size > 0
+                    && community.len() >= config.max_community_size
+                {
+                    continue;
+                }
+                let representative = &subscriptions[community.representative];
+                let similarity =
+                    estimator.similarity(subscription, representative, config.metric);
+                if similarity >= config.threshold {
+                    community.members.push(index);
+                    joined = true;
+                    break;
+                }
+            }
+            if !joined {
+                communities.push(Community {
+                    representative: index,
+                    members: vec![index],
+                });
+            }
+        }
+        Self { communities }
+    }
+
+    /// Number of communities.
+    pub fn len(&self) -> usize {
+        self.communities.len()
+    }
+
+    /// Whether there are no communities.
+    pub fn is_empty(&self) -> bool {
+        self.communities.is_empty()
+    }
+
+    /// The community index each subscription belongs to.
+    pub fn assignment(&self, subscription_count: usize) -> Vec<usize> {
+        let mut assignment = vec![usize::MAX; subscription_count];
+        for (c, community) in self.communities.iter().enumerate() {
+            for &m in &community.members {
+                assignment[m] = c;
+            }
+        }
+        assignment
+    }
+
+    /// Average intra-community similarity according to `estimator`; a quality
+    /// measure of the clustering (1.0 when every community is a set of
+    /// behaviourally identical subscriptions).
+    pub fn average_intra_similarity(
+        &self,
+        estimator: &SimilarityEstimator,
+        subscriptions: &[TreePattern],
+        metric: ProximityMetric,
+    ) -> f64 {
+        let mut total = 0.0;
+        let mut pairs = 0usize;
+        for community in &self.communities {
+            for (i, &a) in community.members.iter().enumerate() {
+                for &b in &community.members[i + 1..] {
+                    total +=
+                        estimator.similarity(&subscriptions[a], &subscriptions[b], metric);
+                    pairs += 1;
+                }
+            }
+        }
+        if pairs == 0 {
+            1.0
+        } else {
+            total / pairs as f64
+        }
+    }
+
+    /// Sizes of all communities, largest first.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes: Vec<usize> = self.communities.iter().map(Community::len).collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        sizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_synopsis::SynopsisConfig;
+    use tps_xml::XmlTree;
+
+    fn estimator() -> SimilarityEstimator {
+        let docs: Vec<XmlTree> = [
+            "<media><CD><composer><last>Mozart</last></composer></CD></media>",
+            "<media><CD><composer><last>Bach</last></composer></CD></media>",
+            "<media><book><author><last>Austen</last></author></book></media>",
+            "<media><book><author><last>Orwell</last></author></book></media>",
+        ]
+        .iter()
+        .map(|s| XmlTree::parse(s).unwrap())
+        .collect();
+        let mut est = SimilarityEstimator::new(SynopsisConfig::sets(100));
+        est.observe_all(&docs);
+        est
+    }
+
+    fn subscriptions() -> Vec<TreePattern> {
+        [
+            "//CD",
+            "//composer",
+            "//CD/composer",
+            "//book",
+            "//author",
+            "//book/author",
+        ]
+        .iter()
+        .map(|s| TreePattern::parse(s).unwrap())
+        .collect()
+    }
+
+    #[test]
+    fn clusters_cd_and_book_subscribers_separately() {
+        let est = estimator();
+        let subs = subscriptions();
+        let clustering = CommunityClustering::cluster(&est, &subs, CommunityConfig::default());
+        assert_eq!(clustering.len(), 2);
+        let assignment = clustering.assignment(subs.len());
+        // CD-related subscriptions (0, 1, 2) share a community; book-related
+        // (3, 4, 5) share the other.
+        assert_eq!(assignment[0], assignment[1]);
+        assert_eq!(assignment[0], assignment[2]);
+        assert_eq!(assignment[3], assignment[4]);
+        assert_eq!(assignment[3], assignment[5]);
+        assert_ne!(assignment[0], assignment[3]);
+    }
+
+    #[test]
+    fn threshold_one_separates_non_identical_subscriptions() {
+        let est = estimator();
+        let subs = subscriptions();
+        let config = CommunityConfig {
+            threshold: 1.01,
+            ..CommunityConfig::default()
+        };
+        let clustering = CommunityClustering::cluster(&est, &subs, config);
+        assert_eq!(clustering.len(), subs.len());
+    }
+
+    #[test]
+    fn threshold_zero_puts_everything_together() {
+        let est = estimator();
+        let subs = subscriptions();
+        let config = CommunityConfig {
+            threshold: 0.0,
+            ..CommunityConfig::default()
+        };
+        let clustering = CommunityClustering::cluster(&est, &subs, config);
+        assert_eq!(clustering.len(), 1);
+        assert_eq!(clustering.communities[0].len(), subs.len());
+    }
+
+    #[test]
+    fn max_community_size_is_respected() {
+        let est = estimator();
+        let subs = subscriptions();
+        let config = CommunityConfig {
+            threshold: 0.0,
+            max_community_size: 2,
+            ..CommunityConfig::default()
+        };
+        let clustering = CommunityClustering::cluster(&est, &subs, config);
+        assert!(clustering.sizes().iter().all(|&s| s <= 2));
+        assert_eq!(clustering.sizes().iter().sum::<usize>(), subs.len());
+    }
+
+    #[test]
+    fn intra_similarity_is_high_for_good_clusters() {
+        let est = estimator();
+        let subs = subscriptions();
+        let clustering = CommunityClustering::cluster(&est, &subs, CommunityConfig::default());
+        let quality =
+            clustering.average_intra_similarity(&est, &subs, ProximityMetric::M3);
+        assert!(quality > 0.6, "intra-community similarity {quality}");
+    }
+
+    #[test]
+    fn assignment_covers_every_subscription() {
+        let est = estimator();
+        let subs = subscriptions();
+        let clustering = CommunityClustering::cluster(&est, &subs, CommunityConfig::default());
+        let assignment = clustering.assignment(subs.len());
+        assert!(assignment.iter().all(|&a| a != usize::MAX));
+    }
+
+    #[test]
+    fn empty_subscription_list_produces_no_communities() {
+        let est = estimator();
+        let clustering =
+            CommunityClustering::cluster(&est, &[], CommunityConfig::default());
+        assert!(clustering.is_empty());
+        assert_eq!(
+            clustering.average_intra_similarity(&est, &[], ProximityMetric::M1),
+            1.0
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Semantic communities and content-based routing — the application that
+//! motivates tree-pattern similarity estimation.
+//!
+//! * [`CommunityClustering`] — greedy similarity-threshold clustering of
+//!   subscriptions into semantic communities, driven by the
+//!   [`tps_core::SimilarityEstimator`].
+//! * [`Broker`] — a single-broker routing simulation comparing flooding,
+//!   exact per-subscription filtering, and community-based dissemination on
+//!   a document stream, reporting filtering cost and delivery accuracy.
+//! * [`BrokerNetwork`] / [`BrokerTopology`] / [`RoutingTable`] — a
+//!   multi-broker tree overlay with per-link routing tables (exact,
+//!   containment-pruned or aggregated), accounting for link messages and
+//!   broker-side filtering cost.
+//! * [`SemanticOverlay`] — the peer-to-peer community overlay the paper
+//!   motivates, built from any `tps-cluster` clustering and measured on
+//!   filtering cost and delivery accuracy.
+//!
+//! # Example
+//!
+//! ```
+//! use tps_core::SimilarityEstimator;
+//! use tps_pattern::TreePattern;
+//! use tps_routing::{Broker, CommunityClustering, CommunityConfig, Consumer, RoutingStrategy};
+//! use tps_synopsis::SynopsisConfig;
+//! use tps_xml::XmlTree;
+//!
+//! let docs: Vec<XmlTree> = [
+//!     "<media><CD><composer/></CD></media>",
+//!     "<media><book><author/></book></media>",
+//! ]
+//! .iter()
+//! .map(|s| XmlTree::parse(s).unwrap())
+//! .collect();
+//!
+//! let mut estimator = SimilarityEstimator::new(SynopsisConfig::sets(100));
+//! estimator.observe_all(&docs);
+//!
+//! let mut broker = Broker::new();
+//! broker.subscribe(Consumer::new("cd", TreePattern::parse("//CD").unwrap()));
+//! broker.subscribe(Consumer::new("classical", TreePattern::parse("//composer").unwrap()));
+//! broker.subscribe(Consumer::new("books", TreePattern::parse("//book").unwrap()));
+//!
+//! let clustering = CommunityClustering::cluster(
+//!     &estimator,
+//!     &broker.subscriptions(),
+//!     CommunityConfig::default(),
+//! );
+//! let stats = broker.route_stream(&docs, &RoutingStrategy::Community(clustering));
+//! assert!(stats.recall() > 0.9);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod broker;
+pub mod community;
+pub mod network;
+pub mod overlay;
+pub mod table;
+pub mod topology;
+
+pub use broker::{Broker, Consumer, RoutingStats, RoutingStrategy};
+pub use community::{Community, CommunityClustering, CommunityConfig};
+pub use network::{BrokerNetwork, ForwardingMode, NetworkConsumer, NetworkStats};
+pub use overlay::{OverlayCommunity, OverlayStats, SemanticOverlay};
+pub use table::{LinkSummary, RoutingTable, TableMode};
+pub use topology::{BrokerId, BrokerTopology};

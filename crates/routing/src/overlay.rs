@@ -1,0 +1,334 @@
+//! Semantic peer-to-peer overlay built from similarity-based communities.
+//!
+//! This is the dissemination structure the paper's introduction motivates:
+//! consumers (peers) with similar subscriptions are grouped into semantic
+//! communities; a document is matched once per community (against the
+//! community representative) and, on a hit, spread epidemically inside the
+//! community without further filtering. The overlay is built from any
+//! [`tps_cluster::Clustering`], so all three clustering algorithms (and the
+//! exact or estimated similarity matrices) can be compared on routing cost
+//! and delivery accuracy.
+
+use tps_cluster::{Clustering, SimilarityMatrix};
+use tps_pattern::TreePattern;
+use tps_xml::XmlTree;
+
+/// One semantic community of the overlay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverlayCommunity {
+    /// Peer indices belonging to the community.
+    pub members: Vec<usize>,
+    /// The member whose subscription represents the community interest.
+    pub representative: usize,
+}
+
+/// Statistics of disseminating a document stream through the overlay.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OverlayStats {
+    /// Number of disseminated documents.
+    pub documents: usize,
+    /// Number of peers.
+    pub peers: usize,
+    /// Number of communities.
+    pub communities: usize,
+    /// Pattern-match operations (one per community per document).
+    pub match_operations: usize,
+    /// Messages sent between peers (intra-community spreading).
+    pub peer_messages: usize,
+    /// Deliveries to peers.
+    pub deliveries: usize,
+    /// Deliveries to peers whose subscription actually matches.
+    pub useful_deliveries: usize,
+    /// Matching (peer, document) pairs that were never delivered.
+    pub missed_deliveries: usize,
+}
+
+impl OverlayStats {
+    /// Fraction of deliveries that were useful (1.0 when nothing was
+    /// delivered).
+    pub fn precision(&self) -> f64 {
+        if self.deliveries == 0 {
+            1.0
+        } else {
+            self.useful_deliveries as f64 / self.deliveries as f64
+        }
+    }
+
+    /// Fraction of matching pairs that were delivered (1.0 when nothing
+    /// matched).
+    pub fn recall(&self) -> f64 {
+        let relevant = self.useful_deliveries + self.missed_deliveries;
+        if relevant == 0 {
+            1.0
+        } else {
+            self.useful_deliveries as f64 / relevant as f64
+        }
+    }
+
+    /// Average number of match operations per document — the filtering cost
+    /// the semantic overlay is designed to reduce.
+    pub fn matches_per_document(&self) -> f64 {
+        if self.documents == 0 {
+            0.0
+        } else {
+            self.match_operations as f64 / self.documents as f64
+        }
+    }
+}
+
+/// A semantic overlay: peers partitioned into communities, each with a
+/// representative subscription.
+#[derive(Debug, Clone)]
+pub struct SemanticOverlay {
+    subscriptions: Vec<TreePattern>,
+    communities: Vec<OverlayCommunity>,
+}
+
+impl SemanticOverlay {
+    /// Build an overlay from a clustering of the peers' subscriptions.
+    ///
+    /// When a similarity `matrix` is given, each community's representative
+    /// is its *medoid* (the member with the highest average similarity to
+    /// the other members); otherwise the first member is used.
+    pub fn from_clustering(
+        subscriptions: Vec<TreePattern>,
+        clustering: &Clustering,
+        matrix: Option<&SimilarityMatrix>,
+    ) -> Self {
+        assert_eq!(
+            subscriptions.len(),
+            clustering.len(),
+            "one subscription per clustered peer is required"
+        );
+        let communities = clustering
+            .clusters()
+            .into_iter()
+            .filter(|members| !members.is_empty())
+            .map(|members| {
+                let representative = match matrix {
+                    Some(matrix) => members
+                        .iter()
+                        .copied()
+                        .max_by(|&a, &b| {
+                            let score = |candidate: usize| -> f64 {
+                                members
+                                    .iter()
+                                    .filter(|&&other| other != candidate)
+                                    .map(|&other| matrix.symmetric(candidate, other))
+                                    .sum::<f64>()
+                            };
+                            score(a)
+                                .partial_cmp(&score(b))
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                                // Break ties towards the smaller index for
+                                // determinism.
+                                .then(b.cmp(&a))
+                        })
+                        .expect("communities are non-empty"),
+                    None => members[0],
+                };
+                OverlayCommunity {
+                    members,
+                    representative,
+                }
+            })
+            .collect();
+        Self {
+            subscriptions,
+            communities,
+        }
+    }
+
+    /// The peers' subscriptions.
+    pub fn subscriptions(&self) -> &[TreePattern] {
+        &self.subscriptions
+    }
+
+    /// The communities of the overlay.
+    pub fn communities(&self) -> &[OverlayCommunity] {
+        &self.communities
+    }
+
+    /// Number of communities.
+    pub fn community_count(&self) -> usize {
+        self.communities.len()
+    }
+
+    /// Number of peers.
+    pub fn peer_count(&self) -> usize {
+        self.subscriptions.len()
+    }
+
+    /// Disseminate a document stream and return aggregate statistics.
+    ///
+    /// For every document, the producer matches it against one
+    /// representative per community; on a hit, the document is spread inside
+    /// the community (one peer message per additional member) and delivered
+    /// to every member.
+    pub fn route_stream(&self, documents: &[XmlTree]) -> OverlayStats {
+        let mut stats = OverlayStats {
+            documents: documents.len(),
+            peers: self.peer_count(),
+            communities: self.community_count(),
+            ..OverlayStats::default()
+        };
+        for document in documents {
+            let interested: Vec<bool> = self
+                .subscriptions
+                .iter()
+                .map(|s| s.matches(document))
+                .collect();
+            let mut delivered = vec![false; self.subscriptions.len()];
+            for community in &self.communities {
+                stats.match_operations += 1;
+                if !self.subscriptions[community.representative].matches(document) {
+                    continue;
+                }
+                // One message to reach the representative, then epidemic
+                // spreading inside the community.
+                stats.peer_messages += community.members.len();
+                for &member in &community.members {
+                    delivered[member] = true;
+                    stats.deliveries += 1;
+                    if interested[member] {
+                        stats.useful_deliveries += 1;
+                    }
+                }
+            }
+            stats.missed_deliveries += interested
+                .iter()
+                .zip(&delivered)
+                .filter(|(&i, &d)| i && !d)
+                .count();
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_cluster::{agglomerative, AgglomerativeConfig};
+    use tps_core::{ExactEvaluator, ProximityMetric};
+
+    fn documents() -> Vec<XmlTree> {
+        [
+            "<media><CD><composer><last>Mozart</last></composer></CD></media>",
+            "<media><CD><composer><last>Bach</last></composer></CD></media>",
+            "<media><book><author><last>Austen</last></author></book></media>",
+            "<media><book><author><last>Orwell</last></author></book></media>",
+        ]
+        .iter()
+        .map(|s| XmlTree::parse(s).unwrap())
+        .collect()
+    }
+
+    fn subscriptions() -> Vec<TreePattern> {
+        ["//CD", "//composer", "//CD/composer", "//book", "//author", "//book/author"]
+            .iter()
+            .map(|s| TreePattern::parse(s).unwrap())
+            .collect()
+    }
+
+    fn overlay() -> SemanticOverlay {
+        let docs = documents();
+        let subs = subscriptions();
+        let exact = ExactEvaluator::new(docs);
+        let matrix = SimilarityMatrix::from_exact(&exact, &subs, ProximityMetric::M3);
+        let clustering = agglomerative(&matrix, AgglomerativeConfig::default()).clustering;
+        SemanticOverlay::from_clustering(subs, &clustering, Some(&matrix))
+    }
+
+    #[test]
+    fn communities_partition_the_peers() {
+        let overlay = overlay();
+        let mut seen = vec![false; overlay.peer_count()];
+        for community in overlay.communities() {
+            assert!(community.members.contains(&community.representative));
+            for &member in &community.members {
+                assert!(!seen[member], "peer {member} appears twice");
+                seen[member] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn semantic_overlay_cuts_filtering_cost_with_high_accuracy() {
+        let overlay = overlay();
+        let docs = documents();
+        assert!(overlay.community_count() < overlay.peer_count());
+        let stats = overlay.route_stream(&docs);
+        // Filtering cost: one match per community instead of one per peer.
+        assert_eq!(
+            stats.match_operations,
+            docs.len() * overlay.community_count()
+        );
+        assert!(stats.matches_per_document() < overlay.peer_count() as f64);
+        // Well-separated CD / book communities keep accuracy high.
+        assert!(stats.recall() >= 0.7, "recall {}", stats.recall());
+        assert!(stats.precision() >= 0.5, "precision {}", stats.precision());
+    }
+
+    #[test]
+    fn singleton_communities_reproduce_exact_filtering() {
+        let subs = subscriptions();
+        let clustering = Clustering::singletons(subs.len());
+        let overlay = SemanticOverlay::from_clustering(subs, &clustering, None);
+        let stats = overlay.route_stream(&documents());
+        assert_eq!(stats.precision(), 1.0);
+        assert_eq!(stats.recall(), 1.0);
+        assert_eq!(stats.matches_per_document(), overlay.peer_count() as f64);
+    }
+
+    #[test]
+    fn one_big_community_floods_its_members() {
+        let subs = subscriptions();
+        let clustering = Clustering::single_community(subs.len());
+        let overlay = SemanticOverlay::from_clustering(subs.clone(), &clustering, None);
+        let stats = overlay.route_stream(&documents());
+        // The representative (//CD) misses book documents entirely.
+        assert!(stats.recall() < 1.0 || stats.precision() < 1.0);
+        assert_eq!(stats.communities, 1);
+        assert_eq!(stats.matches_per_document(), 1.0);
+    }
+
+    #[test]
+    fn representative_is_the_medoid_when_a_matrix_is_given() {
+        let subs = subscriptions();
+        let docs = documents();
+        let exact = ExactEvaluator::new(docs);
+        let matrix = SimilarityMatrix::from_exact(&exact, &subs, ProximityMetric::M3);
+        let clustering = Clustering::single_community(subs.len());
+        let overlay = SemanticOverlay::from_clustering(subs.clone(), &clustering, Some(&matrix));
+        let representative = overlay.communities()[0].representative;
+        // The medoid maximises total similarity to the other members.
+        let score = |candidate: usize| -> f64 {
+            (0..subs.len())
+                .filter(|&other| other != candidate)
+                .map(|other| matrix.symmetric(candidate, other))
+                .sum()
+        };
+        for peer in 0..subs.len() {
+            assert!(score(representative) >= score(peer) - 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one subscription per clustered peer")]
+    fn mismatched_clustering_size_panics() {
+        let subs = subscriptions();
+        let clustering = Clustering::singletons(2);
+        let _ = SemanticOverlay::from_clustering(subs, &clustering, None);
+    }
+
+    #[test]
+    fn empty_overlay_routes_nothing() {
+        let overlay =
+            SemanticOverlay::from_clustering(Vec::new(), &Clustering::singletons(0), None);
+        let stats = overlay.route_stream(&documents());
+        assert_eq!(stats.deliveries, 0);
+        assert_eq!(stats.precision(), 1.0);
+        assert_eq!(stats.recall(), 1.0);
+    }
+}

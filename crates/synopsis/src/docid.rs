@@ -1,0 +1,48 @@
+//! Document identifiers.
+
+use std::fmt;
+
+/// Identifier of a document in the observed stream.
+///
+/// Documents are identified by their position in the stream (0-based). The
+/// identifier is what matching sets store, what the reservoir samples, and
+/// what the distinct-sampling hash function is applied to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocId(pub u64);
+
+impl DocId {
+    /// The raw stream position.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for DocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "doc{}", self.0)
+    }
+}
+
+impl From<u64> for DocId {
+    fn from(v: u64) -> Self {
+        DocId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let id = DocId::from(17u64);
+        assert_eq!(id.as_u64(), 17);
+        assert_eq!(id.to_string(), "doc17");
+        assert_eq!(id, DocId(17));
+    }
+
+    #[test]
+    fn ordering_follows_stream_position() {
+        assert!(DocId(3) < DocId(10));
+    }
+}

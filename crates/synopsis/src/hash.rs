@@ -1,0 +1,111 @@
+//! Hash functions used by the sampling summaries.
+//!
+//! Gibbons' distinct sampling needs a hash function `h` mapping element
+//! identifiers to *levels* such that `Prob[h(x) ≥ l] = 2^{-l}`. We obtain the
+//! level as the number of trailing zero bits of a 64-bit mix of the document
+//! identifier. The mix is [SplitMix64], a well-studied finaliser with good
+//! avalanche behaviour; it is deterministic so that two independently
+//! maintained samples agree on every element's level, which is what makes
+//! sample union/intersection meaningful.
+//!
+//! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
+
+/// A 64-bit mixing function (SplitMix64 finaliser).
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hash a document identifier with a seed (different seeds give independent
+/// sampling functions, used by tests to measure estimator variance).
+#[inline]
+pub fn hash_doc(doc: u64, seed: u64) -> u64 {
+    splitmix64(doc ^ splitmix64(seed))
+}
+
+/// The sampling level of a document: `level(x) = trailing_zeros(h(x))`,
+/// so that `Prob[level(x) ≥ l] = 2^{-l}`.
+#[inline]
+pub fn sample_level(doc: u64, seed: u64) -> u32 {
+    let h = hash_doc(doc, seed);
+    // An all-zero hash would report 64 trailing zeros; cap the level so that
+    // `1 << level` never overflows in cardinality estimation.
+    h.trailing_zeros().min(62)
+}
+
+/// Hash a string label to a 64-bit value (used for size accounting and by
+/// the synopsis label index).
+pub fn hash_label(label: &str) -> u64 {
+    // FNV-1a, then mixed; good enough for non-adversarial tag names.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    splitmix64(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_mixes() {
+        assert_eq!(splitmix64(42), splitmix64(42));
+        assert_ne!(splitmix64(42), splitmix64(43));
+        assert_ne!(splitmix64(0), 0);
+    }
+
+    #[test]
+    fn levels_are_deterministic() {
+        for doc in 0..100u64 {
+            assert_eq!(sample_level(doc, 7), sample_level(doc, 7));
+        }
+    }
+
+    #[test]
+    fn level_distribution_is_roughly_geometric() {
+        // Over many documents, about half should have level >= 1, a quarter
+        // level >= 2, etc.
+        let n = 100_000u64;
+        let mut at_least = [0u64; 8];
+        for doc in 0..n {
+            let l = sample_level(doc, 123);
+            for (bucket, count) in at_least.iter_mut().enumerate() {
+                if l as usize >= bucket {
+                    *count += 1;
+                }
+            }
+        }
+        for (l, &count) in at_least.iter().enumerate() {
+            let expected = n as f64 / 2f64.powi(l as i32);
+            let ratio = count as f64 / expected;
+            assert!(
+                (0.9..1.1).contains(&ratio),
+                "level >= {l}: observed {count}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_levels_somewhere() {
+        let differs = (0..1000u64).any(|doc| sample_level(doc, 1) != sample_level(doc, 2));
+        assert!(differs);
+    }
+
+    #[test]
+    fn label_hash_distinguishes_labels() {
+        assert_ne!(hash_label("a"), hash_label("b"));
+        assert_eq!(hash_label("media"), hash_label("media"));
+    }
+
+    #[test]
+    fn level_is_capped() {
+        for doc in 0..10_000u64 {
+            assert!(sample_level(doc, 0) <= 62);
+        }
+    }
+}

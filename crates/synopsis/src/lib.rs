@@ -1,0 +1,50 @@
+//! Streaming document synopsis for tree-pattern selectivity estimation.
+//!
+//! This crate implements Section 3 of the paper: a concise synopsis `HS` of
+//! an XML document stream that supports estimating the fraction of documents
+//! satisfying boolean combinations of tree patterns.
+//!
+//! * [`Synopsis`] — the synopsis structure itself, maintained incrementally
+//!   from document skeleton trees.
+//! * [`MatchingSetKind`] / [`NodeSummary`] / [`SummaryValue`] — the three
+//!   matching-set representations (Counters, reservoir Sets, distinct-hash
+//!   samples) and the union/intersection/cardinality algebra the selectivity
+//!   algorithm needs.
+//! * [`DistinctSample`] — Gibbons' distinct sampling.
+//! * [`ReservoirSampler`] — Vitter's reservoir sampling.
+//! * Pruning — [`Synopsis::prune_to_ratio`] and the individual fold / delete /
+//!   merge operations of Section 3.3.
+//!
+//! # Example
+//!
+//! ```
+//! use tps_synopsis::{Synopsis, SynopsisConfig};
+//! use tps_xml::XmlTree;
+//!
+//! let docs: Vec<XmlTree> = ["<a><b/></a>", "<a><b/><c/></a>", "<a><c/></a>"]
+//!     .iter()
+//!     .map(|s| XmlTree::parse(s).unwrap())
+//!     .collect();
+//! let mut synopsis = Synopsis::from_documents(SynopsisConfig::hashes(128), &docs);
+//! synopsis.prepare();
+//! assert_eq!(synopsis.document_count(), 3);
+//! assert_eq!(synopsis.universe_value().count_units(), 3.0);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distinct;
+pub mod docid;
+pub mod hash;
+pub mod prune;
+pub mod reservoir;
+pub mod summary;
+#[allow(clippy::module_inception)]
+pub mod synopsis;
+
+pub use distinct::DistinctSample;
+pub use docid::DocId;
+pub use prune::{PruneConfig, PruneReport};
+pub use reservoir::{ReservoirDecision, ReservoirSampler};
+pub use summary::{MatchingSetKind, NodeSummary, SummaryValue};
+pub use synopsis::{FoldedSubtree, Synopsis, SynopsisConfig, SynopsisNodeId, SynopsisSize};

@@ -1,0 +1,191 @@
+//! Vitter reservoir sampling over the document stream.
+//!
+//! The *Sets* representation of matching sets (Section 3.2) keeps full,
+//! exact matching sets — but only for a fixed-size uniform random sample of
+//! the document stream. The reservoir decides, for the `k`-th document, with
+//! probability `min{1, s/k}` whether it enters the sample; when the reservoir
+//! is full, the newcomer replaces a uniformly random current member, whose
+//! identifier must then be removed from every synopsis node.
+
+use rand::Rng;
+
+use crate::docid::DocId;
+
+/// The decision taken by the reservoir for one arriving document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReservoirDecision {
+    /// The document was not selected; the synopsis is left untouched.
+    Skip,
+    /// The document was selected and there was a free slot.
+    Insert,
+    /// The document was selected and replaces `evicted`, which must be
+    /// removed from all synopsis nodes.
+    Replace {
+        /// The document identifier that leaves the sample.
+        evicted: DocId,
+    },
+}
+
+/// A fixed-size uniform sample of the document stream (Vitter's algorithm R).
+#[derive(Debug, Clone)]
+pub struct ReservoirSampler {
+    sample: Vec<DocId>,
+    capacity: usize,
+    /// Number of documents offered so far (the `k` of `min{1, s/k}`).
+    seen: u64,
+}
+
+impl ReservoirSampler {
+    /// Create an empty reservoir with room for `capacity` documents.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            sample: Vec::with_capacity(capacity.max(1)),
+            capacity: capacity.max(1),
+            seen: 0,
+        }
+    }
+
+    /// Number of documents currently in the sample.
+    pub fn len(&self) -> usize {
+        self.sample.len()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sample.is_empty()
+    }
+
+    /// Capacity of the reservoir.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of documents offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The sampled document identifiers.
+    pub fn sample(&self) -> &[DocId] {
+        &self.sample
+    }
+
+    /// Whether `doc` is currently in the sample.
+    pub fn contains(&self, doc: DocId) -> bool {
+        self.sample.contains(&doc)
+    }
+
+    /// Offer the next stream document to the reservoir and return the
+    /// decision. The caller is responsible for applying the decision to the
+    /// synopsis (inserting the new document / removing the evicted one).
+    pub fn offer<R: Rng + ?Sized>(&mut self, doc: DocId, rng: &mut R) -> ReservoirDecision {
+        self.seen += 1;
+        if self.sample.len() < self.capacity {
+            self.sample.push(doc);
+            return ReservoirDecision::Insert;
+        }
+        // Include with probability s/k.
+        let k = self.seen;
+        let s = self.capacity as u64;
+        if rng.gen_range(0..k) < s {
+            let victim_index = rng.gen_range(0..self.sample.len());
+            let evicted = self.sample[victim_index];
+            self.sample[victim_index] = doc;
+            ReservoirDecision::Replace { evicted }
+        } else {
+            ReservoirDecision::Skip
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fills_up_to_capacity_first() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut r = ReservoirSampler::new(10);
+        for i in 0..10u64 {
+            assert_eq!(r.offer(DocId(i), &mut rng), ReservoirDecision::Insert);
+        }
+        assert_eq!(r.len(), 10);
+        assert_eq!(r.seen(), 10);
+    }
+
+    #[test]
+    fn never_exceeds_capacity() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut r = ReservoirSampler::new(16);
+        for i in 0..10_000u64 {
+            r.offer(DocId(i), &mut rng);
+        }
+        assert_eq!(r.len(), 16);
+        assert_eq!(r.seen(), 10_000);
+    }
+
+    #[test]
+    fn replace_reports_a_member_that_was_present() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut r = ReservoirSampler::new(4);
+        for i in 0..4u64 {
+            r.offer(DocId(i), &mut rng);
+        }
+        let mut replaced = 0;
+        for i in 4..1000u64 {
+            let before = r.sample().to_vec();
+            match r.offer(DocId(i), &mut rng) {
+                ReservoirDecision::Replace { evicted } => {
+                    replaced += 1;
+                    assert!(before.contains(&evicted));
+                    assert!(r.contains(DocId(i)));
+                    assert!(!r.contains(evicted));
+                }
+                ReservoirDecision::Skip => {
+                    assert!(!r.contains(DocId(i)));
+                }
+                ReservoirDecision::Insert => panic!("reservoir is already full"),
+            }
+        }
+        assert!(replaced > 0, "some replacements must occur");
+    }
+
+    #[test]
+    fn sampling_is_approximately_uniform() {
+        // Each of the first 1000 documents should end up in a size-100
+        // reservoir with probability ~0.1; run many independent streams and
+        // check the inclusion frequency of document 0.
+        let trials = 2_000;
+        let mut included = 0;
+        for t in 0..trials {
+            let mut rng = StdRng::seed_from_u64(1000 + t);
+            let mut r = ReservoirSampler::new(100);
+            for i in 0..1000u64 {
+                r.offer(DocId(i), &mut rng);
+            }
+            if r.contains(DocId(0)) {
+                included += 1;
+            }
+        }
+        let freq = included as f64 / trials as f64;
+        assert!(
+            (0.07..0.13).contains(&freq),
+            "inclusion frequency {freq} should be near 0.1"
+        );
+    }
+
+    #[test]
+    fn small_streams_are_kept_entirely() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut r = ReservoirSampler::new(1000);
+        for i in 0..50u64 {
+            r.offer(DocId(i), &mut rng);
+        }
+        assert_eq!(r.len(), 50);
+        for i in 0..50u64 {
+            assert!(r.contains(DocId(i)));
+        }
+    }
+}

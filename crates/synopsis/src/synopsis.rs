@@ -1,0 +1,793 @@
+//! The streaming document synopsis `HS` (Section 3 of the paper).
+//!
+//! The synopsis approximates the full document history: it has the shape of
+//! an XML tree (a DAG after same-label merges) whose root carries the special
+//! label `/.`, and every other node carries an element label plus a
+//! *matching-set summary* describing which documents contain the root path
+//! leading to that node.
+//!
+//! It is maintained incrementally: each arriving document is reduced to its
+//! skeleton tree and its root-to-leaf paths are folded into the synopsis,
+//! updating the per-node summaries according to the configured
+//! [`MatchingSetKind`].
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use tps_xml::XmlTree;
+
+use crate::distinct::DEFAULT_SEED;
+use crate::docid::DocId;
+use crate::reservoir::{ReservoirDecision, ReservoirSampler};
+use crate::summary::{MatchingSetKind, NodeSummary, SummaryValue};
+
+/// Configuration of a [`Synopsis`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynopsisConfig {
+    /// Matching-set representation.
+    pub kind: MatchingSetKind,
+    /// Seed for the distinct-sampling hash function and the reservoir RNG.
+    pub seed: u64,
+}
+
+impl SynopsisConfig {
+    /// Counter-based matching sets.
+    pub fn counters() -> Self {
+        Self {
+            kind: MatchingSetKind::Counters,
+            seed: DEFAULT_SEED,
+        }
+    }
+
+    /// Reservoir-sampled exact sets with the given document capacity.
+    pub fn sets(capacity: usize) -> Self {
+        Self {
+            kind: MatchingSetKind::Sets { capacity },
+            seed: DEFAULT_SEED,
+        }
+    }
+
+    /// Per-node distinct hash samples with the given per-node capacity.
+    pub fn hashes(capacity: usize) -> Self {
+        Self {
+            kind: MatchingSetKind::Hashes { capacity },
+            seed: DEFAULT_SEED,
+        }
+    }
+
+    /// Override the sampling seed (useful for variance experiments).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Identifier of a synopsis node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SynopsisNodeId(pub(crate) u32);
+
+impl SynopsisNodeId {
+    /// Arena index of the node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A subtree of labels that was folded into a node by the folding pruning
+/// operation (Section 3.3). A folded node `c[f][o[n]]` keeps base label `c`
+/// and folded subtrees `f` and `o(n)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FoldedSubtree {
+    /// Label of the folded child.
+    pub label: Box<str>,
+    /// Labels folded below it (recursively).
+    pub children: Vec<FoldedSubtree>,
+}
+
+impl FoldedSubtree {
+    /// Number of labels in this folded subtree (for size accounting).
+    pub fn label_count(&self) -> usize {
+        1 + self.children.iter().map(FoldedSubtree::label_count).sum::<usize>()
+    }
+
+    /// Render as the nested-label notation used in the paper
+    /// (e.g. `c[f][o[n]]`).
+    pub fn to_notation(&self) -> String {
+        let mut out = self.label.to_string();
+        for child in &self.children {
+            out.push('[');
+            out.push_str(&child.to_notation());
+            out.push(']');
+        }
+        out
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct SynopsisNode {
+    pub(crate) label: Box<str>,
+    pub(crate) folded: Vec<FoldedSubtree>,
+    pub(crate) parents: Vec<SynopsisNodeId>,
+    pub(crate) children: Vec<SynopsisNodeId>,
+    pub(crate) summary: NodeSummary,
+    pub(crate) alive: bool,
+}
+
+/// Size decomposition of a synopsis, following the paper's accounting for
+/// `|HS|`: number of nodes, edges, labels (including folded labels) and total
+/// matching-set entries; each fits a 32-bit word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SynopsisSize {
+    /// Live nodes.
+    pub nodes: usize,
+    /// Parent→child edges between live nodes.
+    pub edges: usize,
+    /// Labels, counting every label of folded subtrees.
+    pub labels: usize,
+    /// Total entries across all matching-set summaries.
+    pub entries: usize,
+}
+
+impl SynopsisSize {
+    /// Total size `|HS| = nodes + edges + labels + entries` (in 32-bit words).
+    pub fn total(&self) -> usize {
+        self.nodes + self.edges + self.labels + self.entries
+    }
+}
+
+/// The streaming document synopsis.
+///
+/// # Example
+///
+/// ```
+/// use tps_synopsis::{Synopsis, SynopsisConfig};
+/// use tps_xml::XmlTree;
+///
+/// let mut synopsis = Synopsis::new(SynopsisConfig::counters());
+/// for text in ["<a><b/></a>", "<a><c/></a>", "<a><b/><c/></a>"] {
+///     synopsis.insert_document(&XmlTree::parse(text).unwrap());
+/// }
+/// assert_eq!(synopsis.document_count(), 3);
+/// // Root has a single child labelled "a" with two children "b" and "c".
+/// let a = synopsis.children(synopsis.root())[0];
+/// assert_eq!(synopsis.label(a), "a");
+/// assert_eq!(synopsis.children(a).len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Synopsis {
+    config: SynopsisConfig,
+    pub(crate) nodes: Vec<SynopsisNode>,
+    doc_count: u64,
+    reservoir: Option<ReservoirSampler>,
+    rng: StdRng,
+    /// Cached full matching-set values (only consulted while valid).
+    full_cache: Vec<Option<SummaryValue>>,
+    cache_valid: bool,
+}
+
+impl Synopsis {
+    /// Create an empty synopsis.
+    pub fn new(config: SynopsisConfig) -> Self {
+        let reservoir = match config.kind {
+            MatchingSetKind::Sets { capacity } => Some(ReservoirSampler::new(capacity)),
+            _ => None,
+        };
+        Self {
+            config,
+            nodes: vec![SynopsisNode {
+                label: "/.".into(),
+                folded: Vec::new(),
+                parents: Vec::new(),
+                children: Vec::new(),
+                summary: NodeSummary::empty(config.kind, config.seed),
+                alive: true,
+            }],
+            doc_count: 0,
+            reservoir,
+            rng: StdRng::seed_from_u64(config.seed),
+            full_cache: Vec::new(),
+            cache_valid: false,
+        }
+    }
+
+    /// Build a synopsis from a batch of documents.
+    pub fn from_documents<'a, I>(config: SynopsisConfig, documents: I) -> Self
+    where
+        I: IntoIterator<Item = &'a XmlTree>,
+    {
+        let mut synopsis = Self::new(config);
+        for doc in documents {
+            synopsis.insert_document(doc);
+        }
+        synopsis
+    }
+
+    /// The configuration this synopsis was built with.
+    pub fn config(&self) -> SynopsisConfig {
+        self.config
+    }
+
+    /// The matching-set representation in use.
+    pub fn kind(&self) -> MatchingSetKind {
+        self.config.kind
+    }
+
+    /// The sampling seed in use.
+    pub fn seed(&self) -> u64 {
+        self.config.seed
+    }
+
+    /// The root node (label `/.`).
+    pub fn root(&self) -> SynopsisNodeId {
+        SynopsisNodeId(0)
+    }
+
+    /// Number of documents observed so far (`|H|`).
+    pub fn document_count(&self) -> u64 {
+        self.doc_count
+    }
+
+    /// The label of a node.
+    pub fn label(&self, id: SynopsisNodeId) -> &str {
+        &self.nodes[id.index()].label
+    }
+
+    /// The folded subtrees attached to a node by the folding operation.
+    pub fn folded(&self, id: SynopsisNodeId) -> &[FoldedSubtree] {
+        &self.nodes[id.index()].folded
+    }
+
+    /// The children of a node.
+    pub fn children(&self, id: SynopsisNodeId) -> &[SynopsisNodeId] {
+        &self.nodes[id.index()].children
+    }
+
+    /// The parents of a node (more than one after same-label merges).
+    pub fn parents(&self, id: SynopsisNodeId) -> &[SynopsisNodeId] {
+        &self.nodes[id.index()].parents
+    }
+
+    /// Whether the node is still part of the synopsis (pruned nodes are
+    /// tomb-stoned).
+    pub fn is_alive(&self, id: SynopsisNodeId) -> bool {
+        self.nodes[id.index()].alive
+    }
+
+    /// Whether the node is a leaf.
+    pub fn is_leaf(&self, id: SynopsisNodeId) -> bool {
+        self.children(id).is_empty()
+    }
+
+    /// Iterate over the ids of all live nodes (root included).
+    pub fn live_nodes(&self) -> Vec<SynopsisNodeId> {
+        (0..self.nodes.len())
+            .map(|i| SynopsisNodeId(i as u32))
+            .filter(|id| self.nodes[id.index()].alive)
+            .collect()
+    }
+
+    /// Number of live nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.alive).count()
+    }
+
+    /// Number of live edges.
+    pub fn edge_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.alive)
+            .map(|n| n.children.len())
+            .sum()
+    }
+
+    /// Observe one document: build its skeleton and fold it into the
+    /// synopsis. Returns the identifier assigned to the document.
+    pub fn insert_document(&mut self, document: &XmlTree) -> DocId {
+        let skeleton = document.skeleton();
+        self.insert_skeleton(&skeleton)
+    }
+
+    /// Observe a document that is already a skeleton tree (children with
+    /// duplicate labels are assumed to have been coalesced).
+    pub fn insert_skeleton(&mut self, skeleton: &XmlTree) -> DocId {
+        let doc = DocId(self.doc_count);
+        self.doc_count += 1;
+        match self.config.kind {
+            MatchingSetKind::Counters | MatchingSetKind::Hashes { .. } => {
+                self.record_document(skeleton, doc);
+            }
+            MatchingSetKind::Sets { .. } => {
+                let decision = {
+                    let reservoir = self
+                        .reservoir
+                        .as_mut()
+                        .expect("Sets mode always has a reservoir");
+                    reservoir.offer(doc, &mut self.rng)
+                };
+                match decision {
+                    ReservoirDecision::Skip => {}
+                    ReservoirDecision::Insert => self.record_document(skeleton, doc),
+                    ReservoirDecision::Replace { evicted } => {
+                        self.forget_document(evicted);
+                        self.record_document(skeleton, doc);
+                    }
+                }
+            }
+        }
+        self.cache_valid = false;
+        doc
+    }
+
+    fn record_document(&mut self, skeleton: &XmlTree, doc: DocId) {
+        let hashes_mode = matches!(self.config.kind, MatchingSetKind::Hashes { .. });
+        if !hashes_mode {
+            // The root's matching set is the set of all (sampled) documents.
+            self.nodes[0].summary.insert(doc);
+        }
+        self.record_subtree(skeleton, skeleton.root(), self.root(), doc, hashes_mode);
+    }
+
+    fn record_subtree(
+        &mut self,
+        skeleton: &XmlTree,
+        skeleton_node: tps_xml::NodeId,
+        synopsis_parent: SynopsisNodeId,
+        doc: DocId,
+        hashes_mode: bool,
+    ) {
+        let label = skeleton.label(skeleton_node);
+        let node = self.find_or_create_child(synopsis_parent, label);
+        let is_leaf = skeleton.children(skeleton_node).is_empty();
+        if hashes_mode {
+            // Hashes mode stores the document only at the end of each path;
+            // parents recover the full matching set by unioning descendants.
+            if is_leaf {
+                self.nodes[node.index()].summary.insert(doc);
+            }
+        } else {
+            self.nodes[node.index()].summary.insert(doc);
+        }
+        for &child in skeleton.children(skeleton_node) {
+            self.record_subtree(skeleton, child, node, doc, hashes_mode);
+        }
+    }
+
+    fn find_or_create_child(&mut self, parent: SynopsisNodeId, label: &str) -> SynopsisNodeId {
+        if let Some(&existing) = self.nodes[parent.index()]
+            .children
+            .iter()
+            .find(|&&c| self.nodes[c.index()].alive && self.nodes[c.index()].label.as_ref() == label)
+        {
+            return existing;
+        }
+        let id = SynopsisNodeId(self.nodes.len() as u32);
+        self.nodes.push(SynopsisNode {
+            label: label.into(),
+            folded: Vec::new(),
+            parents: vec![parent],
+            children: Vec::new(),
+            summary: NodeSummary::empty(self.config.kind, self.config.seed),
+            alive: true,
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Remove a document identifier from every node summary (reservoir
+    /// eviction), deleting nodes whose matching set becomes empty.
+    fn forget_document(&mut self, doc: DocId) {
+        for node in &mut self.nodes {
+            if node.alive {
+                node.summary.remove(doc);
+            }
+        }
+        self.remove_empty_leaves();
+    }
+
+    /// Repeatedly delete live non-root leaves whose summary is empty.
+    pub(crate) fn remove_empty_leaves(&mut self) {
+        loop {
+            let victims: Vec<SynopsisNodeId> = self
+                .live_nodes()
+                .into_iter()
+                .filter(|&id| {
+                    id != self.root()
+                        && self.is_leaf(id)
+                        && self.nodes[id.index()].summary.is_empty()
+                        && self.nodes[id.index()].folded.is_empty()
+                })
+                .collect();
+            if victims.is_empty() {
+                return;
+            }
+            for v in victims {
+                self.delete_node(v);
+            }
+        }
+    }
+
+    /// Detach and tombstone a node (must not be the root).
+    pub(crate) fn delete_node(&mut self, id: SynopsisNodeId) {
+        debug_assert_ne!(id, self.root());
+        let parents = self.nodes[id.index()].parents.clone();
+        for p in parents {
+            self.nodes[p.index()].children.retain(|&c| c != id);
+        }
+        let children = self.nodes[id.index()].children.clone();
+        for c in children {
+            self.nodes[c.index()].parents.retain(|&p| p != id);
+        }
+        let node = &mut self.nodes[id.index()];
+        node.alive = false;
+        node.children.clear();
+        node.parents.clear();
+        node.folded.clear();
+        self.cache_valid = false;
+    }
+
+    /// Mark cached full matching sets as stale (called by pruning).
+    pub(crate) fn invalidate_cache(&mut self) {
+        self.cache_valid = false;
+    }
+
+    /// Summary stored directly at the node (not the recursive full set).
+    pub(crate) fn stored_summary(&self, id: SynopsisNodeId) -> &NodeSummary {
+        &self.nodes[id.index()].summary
+    }
+
+    /// Materialise the full matching-set values of every node.
+    ///
+    /// Only the Hashes representation needs this (its per-node samples only
+    /// record the documents whose paths end at the node); calling it for the
+    /// other representations is a cheap no-op. Selectivity estimation works
+    /// without calling `prepare`, but repeated queries are faster with the
+    /// cache in place.
+    pub fn prepare(&mut self) {
+        if self.cache_valid {
+            return;
+        }
+        let mut cache: Vec<Option<SummaryValue>> = vec![None; self.nodes.len()];
+        let root = self.root();
+        self.compute_full_value(root, &mut cache);
+        // Ensure every live node is materialised (DAG nodes unreachable from
+        // the root cannot exist, but be defensive).
+        for id in self.live_nodes() {
+            if cache[id.index()].is_none() {
+                self.compute_full_value(id, &mut cache);
+            }
+        }
+        self.full_cache = cache;
+        self.cache_valid = true;
+    }
+
+    /// The full matching-set value `S(t)` of a node, in the representation's
+    /// selectivity algebra.
+    ///
+    /// * Counters: the fraction `count / |H|`.
+    /// * Sets: the sampled document identifiers containing the node's path.
+    /// * Hashes: the union of the hash samples stored in the node's subtree.
+    pub fn matching_value(&self, id: SynopsisNodeId) -> SummaryValue {
+        if self.cache_valid {
+            if let Some(Some(v)) = self.full_cache.get(id.index()) {
+                return v.clone();
+            }
+        }
+        let mut scratch: Vec<Option<SummaryValue>> = vec![None; self.nodes.len()];
+        self.compute_full_value(id, &mut scratch)
+    }
+
+    fn compute_full_value(
+        &self,
+        id: SynopsisNodeId,
+        cache: &mut Vec<Option<SummaryValue>>,
+    ) -> SummaryValue {
+        if let Some(v) = &cache[id.index()] {
+            return v.clone();
+        }
+        let value = match self.config.kind {
+            MatchingSetKind::Counters => {
+                let count = self.nodes[id.index()].summary.count_estimate();
+                let total = self.doc_count as f64;
+                if total == 0.0 {
+                    SummaryValue::Fraction(0.0)
+                } else if id == self.root() {
+                    SummaryValue::Fraction(1.0)
+                } else {
+                    SummaryValue::Fraction((count / total).min(1.0))
+                }
+            }
+            MatchingSetKind::Sets { .. } => match self.stored_summary(id) {
+                NodeSummary::Set(s) => SummaryValue::Set(s.clone()),
+                _ => unreachable!("Sets synopsis stores Set summaries"),
+            },
+            MatchingSetKind::Hashes { .. } => {
+                let own = match self.stored_summary(id) {
+                    NodeSummary::Hash(h) => SummaryValue::Hash(h.clone()),
+                    _ => unreachable!("Hashes synopsis stores Hash summaries"),
+                };
+                // Mark before recursing to guard against (impossible) cycles.
+                cache[id.index()] = Some(own.clone());
+                let mut value = own;
+                for &child in &self.nodes[id.index()].children {
+                    let child_value = self.compute_full_value(child, cache);
+                    value = value.union(&child_value);
+                }
+                value
+            }
+        };
+        cache[id.index()] = Some(value.clone());
+        value
+    }
+
+    /// The value representing the whole observed document set `S(rs)` — the
+    /// denominator of Algorithm 2.
+    pub fn universe_value(&self) -> SummaryValue {
+        match self.config.kind {
+            MatchingSetKind::Counters => SummaryValue::Fraction(1.0),
+            MatchingSetKind::Sets { .. } => self.matching_value(self.root()),
+            MatchingSetKind::Hashes { .. } => self.matching_value(self.root()),
+        }
+    }
+
+    /// An empty selectivity value of this synopsis' representation.
+    pub fn empty_value(&self) -> SummaryValue {
+        SummaryValue::empty(self.config.kind, self.config.seed)
+    }
+
+    /// Size decomposition `|HS|` following the paper's accounting.
+    pub fn size(&self) -> SynopsisSize {
+        let mut size = SynopsisSize::default();
+        for node in &self.nodes {
+            if !node.alive {
+                continue;
+            }
+            size.nodes += 1;
+            size.edges += node.children.len();
+            size.labels += 1 + node
+                .folded
+                .iter()
+                .map(FoldedSubtree::label_count)
+                .sum::<usize>();
+            size.entries += node.summary.entries();
+        }
+        size
+    }
+
+    /// Number of documents represented by the root matching set (the
+    /// denominator used when converting counts to probabilities): the
+    /// reservoir size in Sets mode, `|H|` otherwise.
+    pub fn effective_universe(&self) -> f64 {
+        match self.config.kind {
+            MatchingSetKind::Sets { .. } => self
+                .reservoir
+                .as_ref()
+                .map(|r| r.len() as f64)
+                .unwrap_or(0.0),
+            _ => self.doc_count as f64,
+        }
+    }
+
+    /// A textual dump of the synopsis structure (labels, folded labels and
+    /// estimated matching-set sizes), useful for debugging and examples.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        self.dump_node(self.root(), 0, &mut out);
+        out
+    }
+
+    fn dump_node(&self, id: SynopsisNodeId, depth: usize, out: &mut String) {
+        let node = &self.nodes[id.index()];
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&node.label);
+        for folded in &node.folded {
+            out.push('[');
+            out.push_str(&folded.to_notation());
+            out.push(']');
+        }
+        out.push_str(&format!(
+            " (|S|≈{:.0})\n",
+            self.matching_value(id).count_units()
+        ));
+        for &child in &node.children {
+            self.dump_node(child, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The six documents of Figure 2 (as close as the printed figure allows;
+    /// what matters for the tests is the co-occurrence structure discussed in
+    /// the text: `b` and `d` are mutually exclusive, `f` and `o` co-occur
+    /// under `c`).
+    pub(crate) fn figure2_documents() -> Vec<XmlTree> {
+        [
+            "<a><b><e><k/></e><e><m/></e><g><m/></g></b></a>",
+            "<a><b><e><k/></e><g><k/><n/></g><f><n/></f></b></a>",
+            "<a><b><e><k/></e><g><n/></g></b><c><f><n/></f><o><n/></o><f><h/></f></c></a>",
+            "<a><c><f><k/></f><o><n/></o><e><m/></e><h/></c><d><e><k/></e><q><m/></q></d></a>",
+            "<a><d><e><k/></e><e><m/></e><p/></d></a>",
+            "<a><d><e><m/></e></d></a>",
+        ]
+        .iter()
+        .map(|s| XmlTree::parse(s).unwrap())
+        .collect()
+    }
+
+    fn child_by_label(s: &Synopsis, parent: SynopsisNodeId, label: &str) -> SynopsisNodeId {
+        *s.children(parent)
+            .iter()
+            .find(|&&c| s.label(c) == label)
+            .unwrap_or_else(|| panic!("no child {label}"))
+    }
+
+    #[test]
+    fn empty_synopsis_has_only_the_root() {
+        let s = Synopsis::new(SynopsisConfig::counters());
+        assert_eq!(s.node_count(), 1);
+        assert_eq!(s.document_count(), 0);
+        assert_eq!(s.label(s.root()), "/.");
+        assert!(s.is_leaf(s.root()));
+    }
+
+    #[test]
+    fn counters_synopsis_counts_path_frequencies() {
+        let docs = figure2_documents();
+        let s = Synopsis::from_documents(SynopsisConfig::counters(), &docs);
+        assert_eq!(s.document_count(), 6);
+        let a = child_by_label(&s, s.root(), "a");
+        // Every document has root a.
+        assert_eq!(s.stored_summary(a).count_estimate(), 6.0);
+        let b = child_by_label(&s, a, "b");
+        let d = child_by_label(&s, a, "d");
+        let c = child_by_label(&s, a, "c");
+        assert_eq!(s.stored_summary(b).count_estimate(), 3.0);
+        assert_eq!(s.stored_summary(d).count_estimate(), 3.0);
+        assert_eq!(s.stored_summary(c).count_estimate(), 2.0);
+    }
+
+    #[test]
+    fn counters_matching_value_is_a_fraction() {
+        let docs = figure2_documents();
+        let s = Synopsis::from_documents(SynopsisConfig::counters(), &docs);
+        let a = child_by_label(&s, s.root(), "a");
+        let b = child_by_label(&s, a, "b");
+        assert!((s.matching_value(b).count_units() - 0.5).abs() < 1e-9);
+        assert_eq!(s.universe_value().count_units(), 1.0);
+    }
+
+    #[test]
+    fn sets_synopsis_with_large_reservoir_is_exact() {
+        let docs = figure2_documents();
+        let s = Synopsis::from_documents(SynopsisConfig::sets(100), &docs);
+        let a = child_by_label(&s, s.root(), "a");
+        let b = child_by_label(&s, a, "b");
+        match s.stored_summary(b) {
+            NodeSummary::Set(set) => {
+                let ids: Vec<u64> = set.iter().map(|d| d.as_u64()).collect();
+                assert_eq!(ids, vec![0, 1, 2]);
+            }
+            _ => panic!("expected a set summary"),
+        }
+        assert_eq!(s.universe_value().count_units(), 6.0);
+        assert_eq!(s.effective_universe(), 6.0);
+    }
+
+    #[test]
+    fn sets_synopsis_respects_reservoir_capacity() {
+        let mut s = Synopsis::new(SynopsisConfig::sets(8));
+        for i in 0..200 {
+            let doc = XmlTree::parse(&format!("<a><b{}/></a>", i % 10)).unwrap();
+            s.insert_document(&doc);
+        }
+        assert_eq!(s.document_count(), 200);
+        assert!(s.universe_value().count_units() <= 8.0);
+        // No node may reference more documents than the reservoir holds.
+        for id in s.live_nodes() {
+            assert!(s.stored_summary(id).count_estimate() <= 8.0);
+        }
+    }
+
+    #[test]
+    fn hashes_synopsis_stores_at_path_ends_and_unions_up() {
+        let docs = figure2_documents();
+        let s = Synopsis::from_documents(SynopsisConfig::hashes(64), &docs);
+        let a = child_by_label(&s, s.root(), "a");
+        let b = child_by_label(&s, a, "b");
+        // The stored sample at b only has documents whose skeleton path ends
+        // at b — none do (b always has children) — but the full matching set
+        // is recovered by unioning the subtree.
+        assert_eq!(s.stored_summary(b).count_estimate(), 0.0);
+        assert_eq!(s.matching_value(b).count_units(), 3.0);
+        assert_eq!(s.matching_value(a).count_units(), 6.0);
+        assert_eq!(s.universe_value().count_units(), 6.0);
+    }
+
+    #[test]
+    fn prepare_caches_full_values() {
+        let docs = figure2_documents();
+        let mut s = Synopsis::from_documents(SynopsisConfig::hashes(64), &docs);
+        let a = child_by_label(&s, s.root(), "a");
+        let before = s.matching_value(a).count_units();
+        s.prepare();
+        let after = s.matching_value(a).count_units();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn structure_is_shared_across_documents() {
+        let docs = figure2_documents();
+        let s = Synopsis::from_documents(SynopsisConfig::counters(), &docs);
+        // Only one node labelled "a" and one labelled "b" directly below it.
+        let a_nodes: Vec<_> = s
+            .live_nodes()
+            .into_iter()
+            .filter(|&id| s.label(id) == "a")
+            .collect();
+        assert_eq!(a_nodes.len(), 1);
+        let a = a_nodes[0];
+        assert_eq!(
+            s.children(a)
+                .iter()
+                .filter(|&&c| s.label(c) == "b")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn size_accounting_counts_all_components() {
+        let docs = figure2_documents();
+        let s = Synopsis::from_documents(SynopsisConfig::hashes(64), &docs);
+        let size = s.size();
+        assert_eq!(size.nodes, s.node_count());
+        assert_eq!(size.edges, s.edge_count());
+        assert!(size.labels >= size.nodes);
+        assert!(size.entries > 0);
+        assert_eq!(
+            size.total(),
+            size.nodes + size.edges + size.labels + size.entries
+        );
+    }
+
+    #[test]
+    fn delete_node_detaches_it() {
+        let docs = figure2_documents();
+        let mut s = Synopsis::from_documents(SynopsisConfig::counters(), &docs);
+        let a = child_by_label(&s, s.root(), "a");
+        let b = child_by_label(&s, a, "b");
+        let before = s.node_count();
+        s.delete_node(b);
+        assert!(!s.is_alive(b));
+        assert_eq!(s.node_count(), before - 1);
+        assert!(!s.children(a).contains(&b));
+    }
+
+    #[test]
+    fn dump_mentions_labels() {
+        let docs = figure2_documents();
+        let s = Synopsis::from_documents(SynopsisConfig::counters(), &docs);
+        let dump = s.dump();
+        assert!(dump.contains("/."));
+        assert!(dump.contains('a'));
+    }
+
+    #[test]
+    fn insert_skeleton_accepts_pre_built_skeletons() {
+        let doc = XmlTree::parse("<a><b/><b/></a>").unwrap();
+        let mut s1 = Synopsis::new(SynopsisConfig::counters());
+        s1.insert_document(&doc);
+        let mut s2 = Synopsis::new(SynopsisConfig::counters());
+        s2.insert_skeleton(&doc.skeleton());
+        assert_eq!(s1.node_count(), s2.node_count());
+    }
+
+    #[test]
+    fn counters_root_fraction_is_one() {
+        let docs = figure2_documents();
+        let s = Synopsis::from_documents(SynopsisConfig::counters(), &docs);
+        assert_eq!(s.matching_value(s.root()).count_units(), 1.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests for the synopsis and its summaries.
+
+use proptest::prelude::*;
+use tps_synopsis::{DistinctSample, DocId, MatchingSetKind, Synopsis, SynopsisConfig};
+use tps_xml::XmlTree;
+
+const TAGS: &[&str] = &["a", "b", "c", "d", "e"];
+
+/// A small random document over a fixed alphabet.
+fn gen_doc() -> impl Strategy<Value = XmlTree> {
+    #[derive(Debug, Clone)]
+    struct Node(usize, Vec<Node>);
+    fn node() -> impl Strategy<Value = Node> {
+        let leaf = (0..TAGS.len()).prop_map(|i| Node(i, vec![]));
+        leaf.prop_recursive(3, 16, 3, |inner| {
+            ((0..TAGS.len()), prop::collection::vec(inner, 0..3)).prop_map(|(i, c)| Node(i, c))
+        })
+    }
+    fn build(tree: &mut XmlTree, parent: tps_xml::NodeId, n: &Node) {
+        let id = tree.add_child(parent, TAGS[n.0]);
+        for c in &n.1 {
+            build(tree, id, c);
+        }
+    }
+    node().prop_map(|n| {
+        let mut tree = XmlTree::new(TAGS[n.0]);
+        let root = tree.root();
+        for c in &n.1 {
+            build(&mut tree, root, c);
+        }
+        tree
+    })
+}
+
+fn gen_docs() -> impl Strategy<Value = Vec<XmlTree>> {
+    prop::collection::vec(gen_doc(), 1..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The distinct-sample cardinality estimate of an exactly-stored set (no
+    /// sub-sampling) equals the true cardinality, and the estimate stays
+    /// within a loose factor even after sub-sampling.
+    #[test]
+    fn distinct_sample_estimates_are_sane(ids in prop::collection::btree_set(0u64..50_000, 0..500)) {
+        let mut exact = DistinctSample::new(1_000);
+        let mut small = DistinctSample::new(16);
+        for &id in &ids {
+            exact.insert(DocId(id));
+            small.insert(DocId(id));
+        }
+        prop_assert_eq!(exact.cardinality_estimate() as usize, ids.len());
+        prop_assert!(small.len() <= 16);
+        if ids.len() >= 64 {
+            let est = small.cardinality_estimate();
+            let truth = ids.len() as f64;
+            prop_assert!(est / truth < 8.0 && truth / est.max(1.0) < 8.0,
+                "estimate {est} vs true {truth}");
+        }
+    }
+
+    /// Union and intersection of distinct samples are consistent with set
+    /// semantics when no sub-sampling occurs.
+    #[test]
+    fn distinct_sample_algebra_matches_sets(
+        a in prop::collection::btree_set(0u64..2_000, 0..200),
+        b in prop::collection::btree_set(0u64..2_000, 0..200),
+    ) {
+        let mut sa = DistinctSample::new(10_000);
+        let mut sb = DistinctSample::new(10_000);
+        for &x in &a { sa.insert(DocId(x)); }
+        for &x in &b { sb.insert(DocId(x)); }
+        let union = sa.union(&sb);
+        let inter = sa.intersect(&sb);
+        prop_assert_eq!(union.cardinality_estimate() as usize, a.union(&b).count());
+        prop_assert_eq!(inter.cardinality_estimate() as usize, a.intersection(&b).count());
+    }
+
+    /// Synopsis structural invariants hold for every representation after
+    /// inserting an arbitrary batch of documents.
+    #[test]
+    fn synopsis_structure_is_consistent(docs in gen_docs()) {
+        for config in [
+            SynopsisConfig::counters(),
+            SynopsisConfig::sets(8),
+            SynopsisConfig::hashes(8),
+        ] {
+            let synopsis = Synopsis::from_documents(config, &docs);
+            prop_assert_eq!(synopsis.document_count() as usize, docs.len());
+            // Parent/child links are mutual and all reachable nodes are live.
+            for id in synopsis.live_nodes() {
+                for &child in synopsis.children(id) {
+                    prop_assert!(synopsis.is_alive(child));
+                    prop_assert!(synopsis.parents(child).contains(&id));
+                }
+            }
+            // Each live non-root node's label occurs at most once among the
+            // children of each of its parents (skeleton sharing).
+            for id in synopsis.live_nodes() {
+                let mut labels: Vec<&str> = synopsis
+                    .children(id)
+                    .iter()
+                    .map(|&c| synopsis.label(c))
+                    .collect();
+                let before = labels.len();
+                labels.sort_unstable();
+                labels.dedup();
+                prop_assert_eq!(labels.len(), before, "duplicate child labels");
+            }
+            // Size accounting is consistent.
+            let size = synopsis.size();
+            prop_assert_eq!(size.nodes, synopsis.node_count());
+            prop_assert_eq!(size.edges, synopsis.edge_count());
+            prop_assert!(size.labels >= size.nodes);
+        }
+    }
+
+    /// The parent-child inclusion property: a child's full matching set is a
+    /// subset of its parent's (checked via cardinalities on exact
+    /// representations).
+    #[test]
+    fn parent_child_inclusion_property(docs in gen_docs()) {
+        let mut synopsis = Synopsis::from_documents(SynopsisConfig::sets(10_000), &docs);
+        synopsis.prepare();
+        for id in synopsis.live_nodes() {
+            let parent_count = synopsis.matching_value(id).count_units();
+            for &child in synopsis.children(id) {
+                let child_count = synopsis.matching_value(child).count_units();
+                prop_assert!(
+                    child_count <= parent_count + 1e-9,
+                    "child {} exceeds parent {}",
+                    child_count,
+                    parent_count
+                );
+            }
+        }
+    }
+
+    /// Pruning to half the size never increases the size and keeps the
+    /// structure consistent.
+    #[test]
+    fn pruning_preserves_invariants(docs in gen_docs()) {
+        let mut synopsis = Synopsis::from_documents(SynopsisConfig::hashes(8), &docs);
+        let before = synopsis.size().total();
+        synopsis.prune_to_ratio(0.5, tps_synopsis::PruneConfig::default());
+        let after = synopsis.size().total();
+        prop_assert!(after <= before);
+        for id in synopsis.live_nodes() {
+            for &child in synopsis.children(id) {
+                prop_assert!(synopsis.is_alive(child));
+                prop_assert!(synopsis.parents(child).contains(&id));
+            }
+        }
+        // The root survives pruning.
+        prop_assert!(synopsis.is_alive(synopsis.root()));
+    }
+
+    /// Document-count bookkeeping matches under all representations even
+    /// when the reservoir forgets documents.
+    #[test]
+    fn universe_never_exceeds_document_count(docs in gen_docs()) {
+        for config in [SynopsisConfig::sets(4), SynopsisConfig::hashes(4), SynopsisConfig::counters()] {
+            let synopsis = Synopsis::from_documents(config, &docs);
+            let universe = synopsis.universe_value().count_units();
+            match config.kind {
+                MatchingSetKind::Counters => prop_assert!((universe - 1.0).abs() < 1e-9),
+                MatchingSetKind::Sets { capacity } => {
+                    prop_assert!(universe <= capacity as f64 + 1e-9);
+                    prop_assert!(universe <= docs.len() as f64 + 1e-9);
+                }
+                MatchingSetKind::Hashes { .. } => {
+                    // Estimated; allow generous slack for tiny samples.
+                    prop_assert!(universe <= docs.len() as f64 * 4.0 + 4.0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Data-set construction: documents plus positive / negative query workloads.
+//!
+//! The evaluation uses, per DTD, a document set `D` (10,000 documents), a
+//! positive workload `SP` of 1,000 patterns each matching at least one
+//! document of `D`, and a negative workload `SN` of 1,000 patterns matching
+//! no document of `D` (Section 5.1). [`Dataset::generate`] reproduces this
+//! construction at a configurable scale and also reports the selectivity
+//! statistics quoted in the paper (average / most / least selective pattern).
+
+use tps_pattern::TreePattern;
+use tps_xml::XmlTree;
+
+use crate::docgen::{DocGenConfig, DocumentGenerator};
+use crate::dtd::Dtd;
+use crate::xpathgen::{XPathGenConfig, XPathGenerator};
+
+/// Scale and generator parameters of a data set.
+#[derive(Debug, Clone)]
+pub struct DatasetConfig {
+    /// Number of documents in `D` (paper: 10,000).
+    pub document_count: usize,
+    /// Number of positive patterns in `SP` (paper: 1,000).
+    pub positive_count: usize,
+    /// Number of negative patterns in `SN` (paper: 1,000).
+    pub negative_count: usize,
+    /// Document generator parameters.
+    pub docgen: DocGenConfig,
+    /// Pattern generator parameters.
+    pub xpathgen: XPathGenConfig,
+    /// Maximum number of candidate patterns generated while searching for
+    /// positives/negatives (guards against degenerate configurations).
+    pub max_candidates: usize,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        Self {
+            document_count: 10_000,
+            positive_count: 1_000,
+            negative_count: 1_000,
+            docgen: DocGenConfig::default(),
+            xpathgen: XPathGenConfig::default(),
+            max_candidates: 200_000,
+        }
+    }
+}
+
+impl DatasetConfig {
+    /// A scaled-down configuration suitable for unit tests and CI: the same
+    /// shape as the paper's setup, two orders of magnitude smaller.
+    pub fn small() -> Self {
+        Self {
+            document_count: 200,
+            positive_count: 50,
+            negative_count: 50,
+            max_candidates: 20_000,
+            ..Self::default()
+        }
+    }
+
+    /// Change the scale (documents, positives, negatives) in one call.
+    pub fn with_scale(mut self, documents: usize, positives: usize, negatives: usize) -> Self {
+        self.document_count = documents;
+        self.positive_count = positives;
+        self.negative_count = negatives;
+        self
+    }
+
+    /// Change both generator seeds.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.docgen.seed = seed;
+        self.xpathgen.seed = seed.wrapping_add(0x9E37_79B9);
+        self
+    }
+}
+
+/// Selectivity statistics of a pattern workload over a document set
+/// (Table-1-style numbers of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelectivityStats {
+    /// Mean selectivity over the workload.
+    pub average: f64,
+    /// Selectivity of the most selective (rarest-matching) pattern.
+    pub minimum: f64,
+    /// Selectivity of the least selective (most-matching) pattern.
+    pub maximum: f64,
+}
+
+/// A generated data set: DTD, document stream and the two pattern workloads.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The DTD documents and patterns were generated from.
+    pub dtd: Dtd,
+    /// The document set `D`.
+    pub documents: Vec<XmlTree>,
+    /// The positive workload `SP` (every pattern matches ≥ 1 document).
+    pub positive: Vec<TreePattern>,
+    /// The negative workload `SN` (no pattern matches any document).
+    pub negative: Vec<TreePattern>,
+}
+
+impl Dataset {
+    /// Generate a data set for `dtd` according to `config`.
+    pub fn generate(dtd: Dtd, config: &DatasetConfig) -> Self {
+        let documents = {
+            let mut docgen = DocumentGenerator::new(&dtd, config.docgen.clone());
+            docgen.generate_many(config.document_count)
+        };
+        let (positive, negative) = {
+            let mut xpathgen = XPathGenerator::new(&dtd, config.xpathgen.clone());
+            let mut seen = std::collections::HashSet::new();
+            let mut positive = Vec::with_capacity(config.positive_count);
+            let mut negative = Vec::with_capacity(config.negative_count);
+            let mut attempts = 0;
+            while (positive.len() < config.positive_count
+                || negative.len() < config.negative_count)
+                && attempts < config.max_candidates
+            {
+                attempts += 1;
+                let candidate = xpathgen.generate();
+                if !seen.insert(candidate.canonical_key()) {
+                    continue;
+                }
+                let is_positive = documents.iter().any(|d| candidate.matches(d));
+                if is_positive {
+                    if positive.len() < config.positive_count {
+                        positive.push(candidate);
+                    }
+                } else if negative.len() < config.negative_count {
+                    negative.push(candidate);
+                }
+            }
+            (positive, negative)
+        };
+        Self {
+            dtd,
+            documents,
+            positive,
+            negative,
+        }
+    }
+
+    /// Number of documents.
+    pub fn document_count(&self) -> usize {
+        self.documents.len()
+    }
+
+    /// Exact selectivity of one pattern over `D`.
+    pub fn exact_selectivity(&self, pattern: &TreePattern) -> f64 {
+        if self.documents.is_empty() {
+            return 0.0;
+        }
+        let matches = self
+            .documents
+            .iter()
+            .filter(|d| pattern.matches(d))
+            .count();
+        matches as f64 / self.documents.len() as f64
+    }
+
+    /// Selectivity statistics of the positive workload (the numbers the
+    /// paper reports alongside Table 1).
+    pub fn positive_selectivity_stats(&self) -> SelectivityStats {
+        let selectivities: Vec<f64> = self
+            .positive
+            .iter()
+            .map(|p| self.exact_selectivity(p))
+            .collect();
+        if selectivities.is_empty() {
+            return SelectivityStats {
+                average: 0.0,
+                minimum: 0.0,
+                maximum: 0.0,
+            };
+        }
+        SelectivityStats {
+            average: selectivities.iter().sum::<f64>() / selectivities.len() as f64,
+            minimum: selectivities.iter().copied().fold(f64::INFINITY, f64::min),
+            maximum: selectivities.iter().copied().fold(0.0, f64::max),
+        }
+    }
+
+    /// Average number of element nodes per document (the paper targets ~100
+    /// tag pairs).
+    pub fn average_document_size(&self) -> f64 {
+        if self.documents.is_empty() {
+            return 0.0;
+        }
+        self.documents
+            .iter()
+            .map(|d| d.element_count())
+            .sum::<usize>() as f64
+            / self.documents.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> DatasetConfig {
+        DatasetConfig {
+            document_count: 60,
+            positive_count: 20,
+            negative_count: 20,
+            max_candidates: 20_000,
+            ..DatasetConfig::default()
+        }
+    }
+
+    #[test]
+    fn generates_the_requested_counts() {
+        let dataset = Dataset::generate(Dtd::nitf_like(), &tiny_config());
+        assert_eq!(dataset.document_count(), 60);
+        assert_eq!(dataset.positive.len(), 20);
+        assert_eq!(dataset.negative.len(), 20);
+    }
+
+    #[test]
+    fn positive_patterns_match_and_negative_patterns_do_not() {
+        let dataset = Dataset::generate(Dtd::nitf_like(), &tiny_config());
+        for p in &dataset.positive {
+            assert!(
+                dataset.documents.iter().any(|d| p.matches(d)),
+                "positive pattern {p} matches nothing"
+            );
+        }
+        for n in &dataset.negative {
+            assert!(
+                !dataset.documents.iter().any(|d| n.matches(d)),
+                "negative pattern {n} matches a document"
+            );
+        }
+    }
+
+    #[test]
+    fn selectivity_stats_are_consistent() {
+        let dataset = Dataset::generate(Dtd::nitf_like(), &tiny_config());
+        let stats = dataset.positive_selectivity_stats();
+        assert!(stats.minimum > 0.0, "positives match at least one document");
+        assert!(stats.minimum <= stats.average);
+        assert!(stats.average <= stats.maximum);
+        assert!(stats.maximum <= 1.0);
+    }
+
+    #[test]
+    fn exact_selectivity_is_a_fraction() {
+        let dataset = Dataset::generate(Dtd::media(), &tiny_config());
+        for p in dataset.positive.iter().take(5) {
+            let s = dataset.exact_selectivity(p);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let config = tiny_config().with_seed(11);
+        let a = Dataset::generate(Dtd::media(), &config);
+        let b = Dataset::generate(Dtd::media(), &config);
+        assert_eq!(a.documents, b.documents);
+        assert_eq!(a.positive, b.positive);
+        assert_eq!(a.negative, b.negative);
+    }
+
+    #[test]
+    fn average_document_size_is_positive() {
+        let dataset = Dataset::generate(Dtd::xcbl_like(), &tiny_config());
+        assert!(dataset.average_document_size() > 5.0);
+    }
+
+    #[test]
+    fn small_config_has_paper_shape() {
+        let config = DatasetConfig::small();
+        assert!(config.document_count >= 100);
+        assert_eq!(config.docgen.max_depth, 10);
+        assert!((config.xpathgen.p_wildcard - 0.1).abs() < 1e-12);
+        assert!((config.xpathgen.zipf_theta - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_scale_overrides_counts() {
+        let config = DatasetConfig::default().with_scale(10, 2, 3);
+        assert_eq!(config.document_count, 10);
+        assert_eq!(config.positive_count, 2);
+        assert_eq!(config.negative_count, 3);
+    }
+}

@@ -1,0 +1,245 @@
+//! DTD-driven random XML document generation.
+//!
+//! The paper generates its data sets with IBM's XML Generator: "10,000
+//! random documents with approximately 100 tag pairs on average and up to 10
+//! levels", selecting element tag names with a uniform distribution
+//! (Section 5.1). That tool is not available, so this module reimplements
+//! the same knobs: maximum depth, target document size (in tag pairs),
+//! per-node fan-out, and a value vocabulary for textual leaves.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use tps_xml::XmlTree;
+
+use crate::dtd::{Dtd, ElementId};
+
+/// Configuration of the document generator.
+#[derive(Debug, Clone)]
+pub struct DocGenConfig {
+    /// Maximum number of levels (the paper uses 10).
+    pub max_depth: usize,
+    /// Target number of tag pairs (element nodes) per document (~100 in the
+    /// paper). Documents stop growing once the budget is exhausted.
+    pub target_tag_pairs: usize,
+    /// Minimum children instantiated per non-leaf node.
+    pub min_children: usize,
+    /// Maximum children instantiated per non-leaf node.
+    pub max_children: usize,
+    /// Number of distinct text values (`v0`, `v1`, …) used for textual
+    /// leaves.
+    pub value_vocabulary: usize,
+    /// Probability that an eligible leaf actually carries a text value.
+    pub text_probability: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DocGenConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 10,
+            target_tag_pairs: 100,
+            min_children: 1,
+            max_children: 4,
+            value_vocabulary: 50,
+            text_probability: 0.7,
+            seed: 42,
+        }
+    }
+}
+
+impl DocGenConfig {
+    /// Replace the seed (each document stream should use its own).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replace the target document size.
+    pub fn with_target_tag_pairs(mut self, target: usize) -> Self {
+        self.target_tag_pairs = target;
+        self
+    }
+}
+
+/// A random document generator over a DTD.
+#[derive(Debug)]
+pub struct DocumentGenerator<'a> {
+    dtd: &'a Dtd,
+    config: DocGenConfig,
+    rng: StdRng,
+}
+
+impl<'a> DocumentGenerator<'a> {
+    /// Create a generator for `dtd` with the given configuration.
+    pub fn new(dtd: &'a Dtd, config: DocGenConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        Self { dtd, config, rng }
+    }
+
+    /// The DTD documents are generated from.
+    pub fn dtd(&self) -> &Dtd {
+        self.dtd
+    }
+
+    /// Generate one random document.
+    pub fn generate(&mut self) -> XmlTree {
+        let root_element = self.dtd.root();
+        let mut tree = XmlTree::new(self.dtd.element_name(root_element));
+        let mut budget = self
+            .config
+            .target_tag_pairs
+            .saturating_sub(1)
+            .max(1);
+        // Breadth-first frontier so the budget is spread across the document
+        // rather than exhausted by the first deep branch.
+        let mut frontier: Vec<(tps_xml::NodeId, ElementId, usize)> =
+            vec![(tree.root(), root_element, 1)];
+        while let Some((node, element, depth)) = frontier.pop() {
+            if depth >= self.config.max_depth {
+                self.maybe_add_text(&mut tree, node, element);
+                continue;
+            }
+            let allowed = self.dtd.element(element).children();
+            if allowed.is_empty() || budget == 0 {
+                self.maybe_add_text(&mut tree, node, element);
+                continue;
+            }
+            let want = self
+                .rng
+                .gen_range(self.config.min_children..=self.config.max_children.max(1));
+            let count = want.min(budget);
+            for _ in 0..count {
+                // Uniform selection over the allowed children, as in the
+                // paper's generator configuration.
+                let child_element = *allowed.choose(&mut self.rng).expect("non-empty");
+                let child_node = tree.add_child(node, self.dtd.element_name(child_element));
+                budget = budget.saturating_sub(1);
+                frontier.push((child_node, child_element, depth + 1));
+            }
+            // Rotate the newly pushed children towards the front so that
+            // popping from the back visits shallower nodes first (an
+            // inexpensive approximation of breadth-first growth).
+            let rotate = count.min(frontier.len());
+            frontier.rotate_right(rotate);
+        }
+        tree
+    }
+
+    fn maybe_add_text(&mut self, tree: &mut XmlTree, node: tps_xml::NodeId, element: ElementId) {
+        if self.dtd.element(element).is_textual()
+            && self.rng.gen_bool(self.config.text_probability)
+        {
+            let value = self.rng.gen_range(0..self.config.value_vocabulary.max(1));
+            tree.add_text_child(node, &format!("v{value}"));
+        }
+    }
+
+    /// Generate `count` documents.
+    pub fn generate_many(&mut self, count: usize) -> Vec<XmlTree> {
+        (0..count).map(|_| self.generate()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn documents_respect_the_depth_limit() {
+        let dtd = Dtd::nitf_like();
+        let config = DocGenConfig {
+            max_depth: 10,
+            ..DocGenConfig::default()
+        };
+        let mut generator = DocumentGenerator::new(&dtd, config);
+        for _ in 0..20 {
+            let doc = generator.generate();
+            assert!(doc.depth() <= 10 + 1, "text leaves may add one level");
+        }
+    }
+
+    #[test]
+    fn documents_have_roughly_the_target_size() {
+        let dtd = Dtd::xcbl_like();
+        let mut generator =
+            DocumentGenerator::new(&dtd, DocGenConfig::default().with_target_tag_pairs(100));
+        let sizes: Vec<usize> = (0..50).map(|_| generator.generate().element_count()).collect();
+        let avg = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+        assert!(
+            (20.0..=130.0).contains(&avg),
+            "average document size {avg} should be near the target"
+        );
+        // The budget is a hard cap on element nodes.
+        assert!(sizes.iter().all(|&s| s <= 101));
+    }
+
+    #[test]
+    fn documents_conform_to_the_dtd() {
+        let dtd = Dtd::media();
+        let mut generator = DocumentGenerator::new(&dtd, DocGenConfig::default());
+        for _ in 0..30 {
+            let doc = generator.generate();
+            assert_eq!(doc.label(doc.root()), "media");
+            for node in doc.preorder() {
+                if doc.node(node).is_text() {
+                    continue;
+                }
+                let element = dtd
+                    .element_by_name(doc.label(node))
+                    .unwrap_or_else(|| panic!("unknown element {}", doc.label(node)));
+                if let Some(parent) = doc.parent(node) {
+                    let parent_element = dtd.element_by_name(doc.label(parent)).unwrap();
+                    assert!(
+                        dtd.element(parent_element).children().contains(&element),
+                        "{} is not an allowed child of {}",
+                        doc.label(node),
+                        doc.label(parent)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let dtd = Dtd::nitf_like();
+        let mut a = DocumentGenerator::new(&dtd, DocGenConfig::default().with_seed(9));
+        let mut b = DocumentGenerator::new(&dtd, DocGenConfig::default().with_seed(9));
+        assert_eq!(a.generate(), b.generate());
+        let mut c = DocumentGenerator::new(&dtd, DocGenConfig::default().with_seed(10));
+        // Different seeds almost surely differ.
+        assert_ne!(a.generate(), c.generate());
+    }
+
+    #[test]
+    fn text_values_come_from_the_configured_vocabulary() {
+        let dtd = Dtd::media();
+        let config = DocGenConfig {
+            value_vocabulary: 3,
+            text_probability: 1.0,
+            ..DocGenConfig::default()
+        };
+        let mut generator = DocumentGenerator::new(&dtd, config);
+        let docs = generator.generate_many(20);
+        let mut saw_text = false;
+        for doc in &docs {
+            for node in doc.preorder() {
+                if doc.node(node).is_text() {
+                    saw_text = true;
+                    assert!(["v0", "v1", "v2"].contains(&doc.label(node)));
+                }
+            }
+        }
+        assert!(saw_text, "textual leaves should appear");
+    }
+
+    #[test]
+    fn generate_many_returns_the_requested_count() {
+        let dtd = Dtd::nitf_like();
+        let mut generator = DocumentGenerator::new(&dtd, DocGenConfig::default());
+        assert_eq!(generator.generate_many(7).len(), 7);
+    }
+}

@@ -1,0 +1,405 @@
+//! Document Type Descriptor (DTD) model and the synthetic DTDs used by the
+//! evaluation.
+//!
+//! The paper evaluates on two real-world DTDs — NITF (News Industry Text
+//! Format, 123 elements) and xCBL Order (569 elements) — which are fed both
+//! to IBM's XML Generator (documents) and to a custom XPath generator
+//! (subscriptions). The DTD files themselves are not redistributable inside
+//! this repository, so [`Dtd::nitf_like`] and [`Dtd::xcbl_like`] build
+//! synthetic DTDs with the same element counts and comparable depth/fan-out
+//! profiles; what the evaluation depends on is the *scale* and the *shape* of
+//! the element graph, not the vocabulary (see DESIGN.md, substitution table).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Identifier of an element declaration within a [`Dtd`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ElementId(pub u32);
+
+impl ElementId {
+    /// Index into the DTD's element table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One element declaration.
+#[derive(Debug, Clone)]
+pub struct DtdElement {
+    name: String,
+    children: Vec<ElementId>,
+    /// Whether the element carries text content when it appears as a leaf.
+    textual: bool,
+}
+
+impl DtdElement {
+    /// The element's tag name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The allowed child elements.
+    pub fn children(&self) -> &[ElementId] {
+        &self.children
+    }
+
+    /// Whether the element carries a text value when it is a leaf.
+    pub fn is_textual(&self) -> bool {
+        self.textual
+    }
+}
+
+/// A Document Type Descriptor: a named collection of element declarations
+/// with a designated root element and, for each element, the set of allowed
+/// child elements.
+#[derive(Debug, Clone)]
+pub struct Dtd {
+    name: String,
+    elements: Vec<DtdElement>,
+    root: ElementId,
+}
+
+impl Dtd {
+    /// Create a DTD with a single root element and no other declarations.
+    pub fn new(name: &str, root_element: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            elements: vec![DtdElement {
+                name: root_element.to_string(),
+                children: Vec::new(),
+                textual: false,
+            }],
+            root: ElementId(0),
+        }
+    }
+
+    /// The DTD's name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The root element.
+    pub fn root(&self) -> ElementId {
+        self.root
+    }
+
+    /// Number of element declarations.
+    pub fn element_count(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Declare a new element and return its id.
+    pub fn add_element(&mut self, name: &str) -> ElementId {
+        let id = ElementId(self.elements.len() as u32);
+        self.elements.push(DtdElement {
+            name: name.to_string(),
+            children: Vec::new(),
+            textual: false,
+        });
+        id
+    }
+
+    /// Declare a new textual element (it carries a value when it is a leaf).
+    pub fn add_textual_element(&mut self, name: &str) -> ElementId {
+        let id = self.add_element(name);
+        self.elements[id.index()].textual = true;
+        id
+    }
+
+    /// Allow `child` to appear below `parent`.
+    pub fn add_child(&mut self, parent: ElementId, child: ElementId) {
+        if !self.elements[parent.index()].children.contains(&child) {
+            self.elements[parent.index()].children.push(child);
+        }
+    }
+
+    /// Access an element declaration.
+    pub fn element(&self, id: ElementId) -> &DtdElement {
+        &self.elements[id.index()]
+    }
+
+    /// The name of an element.
+    pub fn element_name(&self, id: ElementId) -> &str {
+        &self.elements[id.index()].name
+    }
+
+    /// Look up an element by name.
+    pub fn element_by_name(&self, name: &str) -> Option<ElementId> {
+        self.elements
+            .iter()
+            .position(|e| e.name == name)
+            .map(|i| ElementId(i as u32))
+    }
+
+    /// Iterate over all element ids.
+    pub fn element_ids(&self) -> impl Iterator<Item = ElementId> {
+        (0..self.elements.len() as u32).map(ElementId)
+    }
+
+    /// Maximum fan-out (number of allowed children) over all elements.
+    pub fn max_fanout(&self) -> usize {
+        self.elements
+            .iter()
+            .map(|e| e.children.len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Average fan-out over non-leaf elements.
+    pub fn average_fanout(&self) -> f64 {
+        let non_leaf: Vec<usize> = self
+            .elements
+            .iter()
+            .map(|e| e.children.len())
+            .filter(|&c| c > 0)
+            .collect();
+        if non_leaf.is_empty() {
+            0.0
+        } else {
+            non_leaf.iter().sum::<usize>() as f64 / non_leaf.len() as f64
+        }
+    }
+
+    /// The small "media" DTD of the paper's running example (Figure 1):
+    /// media containing books and CDs with authors, composers, titles and
+    /// interpreters.
+    pub fn media() -> Self {
+        let mut dtd = Dtd::new("media", "media");
+        let media = dtd.root();
+        let book = dtd.add_element("book");
+        let cd = dtd.add_element("CD");
+        let author = dtd.add_element("author");
+        let composer = dtd.add_element("composer");
+        let interpreter = dtd.add_element("interpreter");
+        let title = dtd.add_textual_element("title");
+        let first = dtd.add_textual_element("first");
+        let last = dtd.add_textual_element("last");
+        let ensemble = dtd.add_textual_element("ensemble");
+        let year = dtd.add_textual_element("year");
+        let genre = dtd.add_textual_element("genre");
+        dtd.add_child(media, book);
+        dtd.add_child(media, cd);
+        dtd.add_child(book, author);
+        dtd.add_child(book, title);
+        dtd.add_child(book, year);
+        dtd.add_child(book, genre);
+        dtd.add_child(cd, composer);
+        dtd.add_child(cd, title);
+        dtd.add_child(cd, interpreter);
+        dtd.add_child(cd, year);
+        dtd.add_child(author, first);
+        dtd.add_child(author, last);
+        dtd.add_child(composer, first);
+        dtd.add_child(composer, last);
+        dtd.add_child(interpreter, ensemble);
+        dtd.add_child(interpreter, last);
+        dtd
+    }
+
+    /// A synthetic DTD with the scale of NITF (123 elements): shallow-to-
+    /// medium depth, moderate fan-out, a sizeable share of textual leaves.
+    pub fn nitf_like() -> Self {
+        Self::synthetic(SyntheticDtdConfig {
+            name: "nitf-like".to_string(),
+            element_count: 123,
+            max_fanout: 8,
+            layers: 6,
+            textual_leaf_fraction: 0.5,
+            cross_links: 60,
+            seed: 0xA17F,
+        })
+    }
+
+    /// A synthetic DTD with the scale of the xCBL Order schema (569
+    /// elements): deeper, with many distinct container elements.
+    pub fn xcbl_like() -> Self {
+        Self::synthetic(SyntheticDtdConfig {
+            name: "xcbl-like".to_string(),
+            element_count: 569,
+            max_fanout: 10,
+            layers: 9,
+            textual_leaf_fraction: 0.6,
+            cross_links: 300,
+            seed: 0xCB1,
+        })
+    }
+
+    /// Generate a synthetic DTD according to `config`.
+    ///
+    /// Elements are organised into layers (the root alone in layer 0); every
+    /// element gets children from the next layer, plus a number of random
+    /// cross links to deeper layers so that several parents can share child
+    /// elements — the structural property that makes same-label merges
+    /// worthwhile in the synopsis.
+    pub fn synthetic(config: SyntheticDtdConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut dtd = Dtd::new(&config.name, "root");
+        let n = config.element_count.max(2);
+        // Assign every non-root element to a layer 1..layers.
+        let layers = config.layers.max(2);
+        let mut layer_members: Vec<Vec<ElementId>> = vec![Vec::new(); layers + 1];
+        layer_members[0].push(dtd.root());
+        for i in 1..n {
+            let name = format!("e{i}");
+            let layer = 1 + (i - 1) * (layers - 1) / (n - 1).max(1);
+            let layer = layer.min(layers);
+            let textual = rng.gen_bool(config.textual_leaf_fraction);
+            let id = if textual && layer == layers {
+                dtd.add_textual_element(&name)
+            } else if textual && rng.gen_bool(0.3) {
+                dtd.add_textual_element(&name)
+            } else {
+                dtd.add_element(&name)
+            };
+            layer_members[layer].push(id);
+        }
+        // Wire each element of layer l to a few children of layer l+1.
+        for l in 0..layers {
+            let (parents, rest) = layer_members.split_at(l + 1);
+            let parents = &parents[l];
+            let children = &rest[0];
+            if children.is_empty() || parents.is_empty() {
+                continue;
+            }
+            for &parent in parents {
+                let fanout = rng.gen_range(1..=config.max_fanout.max(1));
+                for _ in 0..fanout {
+                    let child = *children.choose(&mut rng).expect("non-empty layer");
+                    dtd.add_child(parent, child);
+                }
+            }
+            // Make sure every child of the next layer is reachable.
+            for &child in children {
+                let parent = *parents.choose(&mut rng).expect("non-empty layer");
+                dtd.add_child(parent, child);
+            }
+        }
+        // Cross links: let elements also appear under parents in other
+        // layers (shared sub-structures, as in real DTDs).
+        for _ in 0..config.cross_links {
+            let from_layer = rng.gen_range(0..layers);
+            let to_layer = rng.gen_range(from_layer + 1..=layers);
+            let parent = layer_members[from_layer].choose(&mut rng).copied();
+            let child = layer_members[to_layer].choose(&mut rng).copied();
+            if let (Some(parent), Some(child)) = (parent, child) {
+                dtd.add_child(parent, child);
+            }
+        }
+        dtd
+    }
+}
+
+/// Parameters for [`Dtd::synthetic`].
+#[derive(Debug, Clone)]
+pub struct SyntheticDtdConfig {
+    /// Name reported for the DTD.
+    pub name: String,
+    /// Total number of element declarations (including the root).
+    pub element_count: usize,
+    /// Maximum number of children wired per element and layer.
+    pub max_fanout: usize,
+    /// Number of layers below the root (bounds the natural document depth).
+    pub layers: usize,
+    /// Fraction of elements that carry text content as leaves.
+    pub textual_leaf_fraction: f64,
+    /// Number of extra parent→child links across non-adjacent layers.
+    pub cross_links: usize,
+    /// RNG seed (the synthetic DTDs are deterministic).
+    pub seed: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn media_dtd_matches_figure1_vocabulary() {
+        let dtd = Dtd::media();
+        assert_eq!(dtd.name(), "media");
+        for name in ["media", "book", "CD", "composer", "last", "title"] {
+            assert!(dtd.element_by_name(name).is_some(), "missing {name}");
+        }
+        let cd = dtd.element_by_name("CD").unwrap();
+        let composer = dtd.element_by_name("composer").unwrap();
+        assert!(dtd.element(cd).children().contains(&composer));
+        assert!(dtd.element(dtd.root()).children().contains(&cd));
+    }
+
+    #[test]
+    fn nitf_like_has_123_elements() {
+        let dtd = Dtd::nitf_like();
+        assert_eq!(dtd.element_count(), 123);
+        assert_eq!(dtd.name(), "nitf-like");
+    }
+
+    #[test]
+    fn xcbl_like_has_569_elements() {
+        let dtd = Dtd::xcbl_like();
+        assert_eq!(dtd.element_count(), 569);
+        assert_eq!(dtd.name(), "xcbl-like");
+    }
+
+    #[test]
+    fn synthetic_dtds_are_deterministic() {
+        let a = Dtd::nitf_like();
+        let b = Dtd::nitf_like();
+        for id in a.element_ids() {
+            assert_eq!(a.element_name(id), b.element_name(id));
+            assert_eq!(a.element(id).children(), b.element(id).children());
+        }
+    }
+
+    #[test]
+    fn every_element_is_reachable_from_the_root() {
+        for dtd in [Dtd::nitf_like(), Dtd::xcbl_like(), Dtd::media()] {
+            let mut visited: BTreeSet<ElementId> = BTreeSet::new();
+            let mut stack = vec![dtd.root()];
+            while let Some(e) = stack.pop() {
+                if !visited.insert(e) {
+                    continue;
+                }
+                for &c in dtd.element(e).children() {
+                    stack.push(c);
+                }
+            }
+            assert_eq!(
+                visited.len(),
+                dtd.element_count(),
+                "unreachable elements in {}",
+                dtd.name()
+            );
+        }
+    }
+
+    #[test]
+    fn element_names_are_unique() {
+        for dtd in [Dtd::nitf_like(), Dtd::xcbl_like()] {
+            let names: BTreeSet<&str> = dtd.element_ids().map(|id| dtd.element_name(id)).collect();
+            assert_eq!(names.len(), dtd.element_count());
+        }
+    }
+
+    #[test]
+    fn fanout_statistics_are_positive() {
+        let dtd = Dtd::xcbl_like();
+        assert!(dtd.max_fanout() >= 2);
+        assert!(dtd.average_fanout() >= 1.0);
+    }
+
+    #[test]
+    fn builder_api_links_parents_and_children() {
+        let mut dtd = Dtd::new("tiny", "r");
+        let a = dtd.add_element("a");
+        let b = dtd.add_textual_element("b");
+        dtd.add_child(dtd.root(), a);
+        dtd.add_child(a, b);
+        dtd.add_child(a, b); // duplicate links are ignored
+        assert_eq!(dtd.element(a).children(), &[b]);
+        assert!(dtd.element(b).is_textual());
+        assert!(!dtd.element(a).is_textual());
+        assert_eq!(dtd.element_count(), 3);
+    }
+}

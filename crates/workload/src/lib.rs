@@ -1,0 +1,41 @@
+//! Evaluation workload substrate: DTDs, documents and XPath subscriptions.
+//!
+//! The paper's experimental setup (Section 5.1) relies on two external
+//! artefacts that are not redistributable: IBM's XML Generator and the
+//! NITF / xCBL DTD files. This crate rebuilds that substrate from scratch:
+//!
+//! * [`Dtd`] — a DTD model with the paper's running-example "media" DTD plus
+//!   synthetic DTDs matched to the scale of NITF (123 elements) and xCBL
+//!   Order (569 elements),
+//! * [`DocumentGenerator`] — an XML Generator-like random document generator
+//!   (max depth, target tag pairs, uniform tag selection),
+//! * [`XPathGenerator`] — the custom XPath workload generator with the
+//!   paper's parameters (`h`, `p*`, `p//`, `pλ`, Zipf `θ`),
+//! * [`Dataset`] — document set `D` plus positive (`SP`) and negative (`SN`)
+//!   pattern workloads with exact-selectivity ground truth.
+//!
+//! # Example
+//!
+//! ```
+//! use tps_workload::{Dataset, DatasetConfig, Dtd};
+//!
+//! let config = DatasetConfig::small().with_scale(50, 10, 10);
+//! let dataset = Dataset::generate(Dtd::media(), &config);
+//! assert_eq!(dataset.document_count(), 50);
+//! assert_eq!(dataset.positive.len(), 10);
+//! assert!(dataset.positive_selectivity_stats().average > 0.0);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod docgen;
+pub mod dtd;
+pub mod xpathgen;
+pub mod zipf;
+
+pub use dataset::{Dataset, DatasetConfig, SelectivityStats};
+pub use docgen::{DocGenConfig, DocumentGenerator};
+pub use dtd::{Dtd, DtdElement, ElementId, SyntheticDtdConfig};
+pub use xpathgen::{XPathGenConfig, XPathGenerator};
+pub use zipf::Zipf;

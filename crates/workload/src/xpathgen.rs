@@ -1,0 +1,325 @@
+//! DTD-aware random XPath (tree-pattern) workload generation.
+//!
+//! The paper uses "a custom XPath generator that takes a DTD as input and
+//! creates a set of valid XPath expressions based on several parameters"
+//! (Section 5.1): the maximum height `h`, the wildcard probability `p*`, the
+//! descendant probability `p//`, the branching probability `pλ`, and the
+//! skew `θ` of the Zipf distribution used to select element tag names. The
+//! evaluation uses `h = 10`, `p* = p// = pλ = 0.1` and `θ = 1`.
+//!
+//! This module reimplements that generator: patterns are produced by random
+//! walks over the DTD's element graph, so every generated pattern is valid
+//! with respect to the DTD (it *may* still match no document of a concrete
+//! data set — that is exactly how the negative workload `SN` arises).
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tps_pattern::{PatternLabel, PatternNodeId, TreePattern};
+
+use crate::dtd::{Dtd, ElementId};
+use crate::zipf::Zipf;
+
+/// Configuration of the XPath generator (paper notation in parentheses).
+#[derive(Debug, Clone)]
+pub struct XPathGenConfig {
+    /// Maximum pattern height (`h`).
+    pub max_height: usize,
+    /// Probability that a step becomes a wildcard (`p*`).
+    pub p_wildcard: f64,
+    /// Probability that a step is reached through a descendant operator
+    /// (`p//`).
+    pub p_descendant: f64,
+    /// Probability of an extra branch at a node (`pλ`).
+    pub p_branch: f64,
+    /// Zipf skew used when selecting among candidate child elements (`θ`).
+    pub zipf_theta: f64,
+    /// Probability of continuing the walk below a node (controls average
+    /// pattern depth; not named in the paper but required to keep patterns
+    /// shorter than `h` on average).
+    pub p_continue: f64,
+    /// Probability that a textual leaf step is extended with a concrete
+    /// value (e.g. `/title/v7`).
+    pub p_value: f64,
+    /// Size of the value vocabulary (must match the document generator's for
+    /// value predicates to be satisfiable).
+    pub value_vocabulary: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for XPathGenConfig {
+    fn default() -> Self {
+        Self {
+            max_height: 10,
+            p_wildcard: 0.1,
+            p_descendant: 0.1,
+            p_branch: 0.1,
+            zipf_theta: 1.0,
+            p_continue: 0.8,
+            p_value: 0.3,
+            value_vocabulary: 50,
+            seed: 7,
+        }
+    }
+}
+
+impl XPathGenConfig {
+    /// Replace the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A random tree-pattern generator over a DTD.
+#[derive(Debug)]
+pub struct XPathGenerator<'a> {
+    dtd: &'a Dtd,
+    config: XPathGenConfig,
+    rng: StdRng,
+    zipf_cache: HashMap<usize, Zipf>,
+}
+
+impl<'a> XPathGenerator<'a> {
+    /// Create a generator for `dtd`.
+    pub fn new(dtd: &'a Dtd, config: XPathGenConfig) -> Self {
+        Self {
+            dtd,
+            config: XPathGenConfig {
+                value_vocabulary: config.value_vocabulary.max(1),
+                ..config
+            },
+            rng: StdRng::seed_from_u64(config.seed),
+            zipf_cache: HashMap::new(),
+        }
+    }
+
+    /// Generate one pattern.
+    pub fn generate(&mut self) -> TreePattern {
+        let mut pattern = TreePattern::new();
+        let root = pattern.root();
+        let root_element = self.dtd.root();
+        let budget = self.config.max_height.max(1) as isize;
+        self.generate_step(&mut pattern, root, root_element, budget);
+        pattern
+    }
+
+    /// Generate `count` structurally distinct patterns.
+    pub fn generate_many(&mut self, count: usize) -> Vec<TreePattern> {
+        let mut seen = std::collections::HashSet::new();
+        let mut patterns = Vec::with_capacity(count);
+        // Bound the attempts so a tiny DTD cannot loop forever.
+        let max_attempts = count.saturating_mul(50).max(1000);
+        for _ in 0..max_attempts {
+            if patterns.len() >= count {
+                break;
+            }
+            let p = self.generate();
+            if seen.insert(p.canonical_key()) {
+                patterns.push(p);
+            }
+        }
+        patterns
+    }
+
+    /// Emit one step for `element` under `parent`, then possibly recurse.
+    ///
+    /// `budget` is the number of pattern levels that may still be added below
+    /// `parent`; it accounts for the `//` operator and value steps so that
+    /// the pattern height never exceeds `h`.
+    fn generate_step(
+        &mut self,
+        pattern: &mut TreePattern,
+        parent: PatternNodeId,
+        element: ElementId,
+        budget: isize,
+    ) {
+        if budget <= 0 {
+            return;
+        }
+        // Descendant operator: jump to an element reachable 1–3 levels below
+        // and attach it through a `//` node (which costs one level).
+        let use_descendant = budget >= 2 && self.rng.gen_bool(self.config.p_descendant);
+        let (attach, element, budget) = if use_descendant {
+            let target = self.random_descendant(element).unwrap_or(element);
+            let descendant = pattern.add_child(parent, PatternLabel::Descendant);
+            (descendant, target, budget - 2)
+        } else {
+            (parent, element, budget - 1)
+        };
+        // Wildcard substitution.
+        let label = if self.rng.gen_bool(self.config.p_wildcard) {
+            PatternLabel::Wildcard
+        } else {
+            PatternLabel::tag(self.dtd.element_name(element))
+        };
+        let node = pattern.add_child(attach, label);
+
+        if budget <= 0 {
+            return;
+        }
+        let children = self.dtd.element(element).children();
+        if children.is_empty() {
+            self.maybe_add_value(pattern, node, element);
+            return;
+        }
+        if !self.rng.gen_bool(self.config.p_continue) {
+            self.maybe_add_value(pattern, node, element);
+            return;
+        }
+        // One mandatory branch plus extras with probability pλ each.
+        let mut branches = 1;
+        while branches < 3 && self.rng.gen_bool(self.config.p_branch) {
+            branches += 1;
+        }
+        for _ in 0..branches {
+            let child = self.pick_child(children);
+            self.generate_step(pattern, node, child, budget);
+        }
+    }
+
+    /// Pick a child element with the configured Zipf skew.
+    fn pick_child(&mut self, children: &[ElementId]) -> ElementId {
+        let n = children.len();
+        let theta = self.config.zipf_theta;
+        let zipf = self
+            .zipf_cache
+            .entry(n)
+            .or_insert_with(|| Zipf::new(n, theta));
+        children[zipf.sample(&mut self.rng)]
+    }
+
+    /// Walk 1–3 random child steps below `element` and return where we end
+    /// up; `None` if `element` has no children.
+    fn random_descendant(&mut self, element: ElementId) -> Option<ElementId> {
+        let mut current = element;
+        let steps = self.rng.gen_range(1..=3);
+        let mut moved = false;
+        for _ in 0..steps {
+            let children = self.dtd.element(current).children();
+            if children.is_empty() {
+                break;
+            }
+            current = self.pick_child(children);
+            moved = true;
+        }
+        moved.then_some(current)
+    }
+
+    /// Possibly extend a textual leaf step with a concrete value.
+    fn maybe_add_value(
+        &mut self,
+        pattern: &mut TreePattern,
+        node: PatternNodeId,
+        element: ElementId,
+    ) {
+        if self.dtd.element(element).is_textual() && self.rng.gen_bool(self.config.p_value) {
+            let value = self.rng.gen_range(0..self.config.value_vocabulary);
+            pattern.add_child(node, PatternLabel::tag(&format!("v{value}")));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::docgen::{DocGenConfig, DocumentGenerator};
+
+    #[test]
+    fn generated_patterns_validate_and_respect_height() {
+        let dtd = Dtd::nitf_like();
+        let mut generator = XPathGenerator::new(&dtd, XPathGenConfig::default());
+        for _ in 0..200 {
+            let p = generator.generate();
+            assert!(p.validate().is_ok());
+            assert!(p.height() <= 10, "height {} exceeds h", p.height());
+            assert!(p.node_count() >= 2);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let dtd = Dtd::nitf_like();
+        let mut a = XPathGenerator::new(&dtd, XPathGenConfig::default().with_seed(3));
+        let mut b = XPathGenerator::new(&dtd, XPathGenConfig::default().with_seed(3));
+        for _ in 0..20 {
+            assert_eq!(a.generate(), b.generate());
+        }
+    }
+
+    #[test]
+    fn generate_many_returns_distinct_patterns() {
+        let dtd = Dtd::xcbl_like();
+        let mut generator = XPathGenerator::new(&dtd, XPathGenConfig::default());
+        let patterns = generator.generate_many(100);
+        assert_eq!(patterns.len(), 100);
+        let keys: std::collections::HashSet<String> =
+            patterns.iter().map(|p| p.canonical_key()).collect();
+        assert_eq!(keys.len(), 100);
+    }
+
+    #[test]
+    fn wildcard_and_descendant_probabilities_are_respected() {
+        let dtd = Dtd::nitf_like();
+        let config = XPathGenConfig {
+            p_wildcard: 0.0,
+            p_descendant: 0.0,
+            ..XPathGenConfig::default()
+        };
+        let mut generator = XPathGenerator::new(&dtd, config);
+        for _ in 0..50 {
+            let p = generator.generate();
+            assert_eq!(p.wildcard_count(), 0);
+            assert_eq!(p.descendant_count(), 0);
+        }
+        let config = XPathGenConfig {
+            p_wildcard: 0.9,
+            p_descendant: 0.9,
+            ..XPathGenConfig::default()
+        };
+        let mut generator = XPathGenerator::new(&dtd, config);
+        let with_ops = (0..50)
+            .map(|_| generator.generate())
+            .filter(|p| p.wildcard_count() + p.descendant_count() > 0)
+            .count();
+        assert!(with_ops > 40);
+    }
+
+    #[test]
+    fn a_reasonable_fraction_of_patterns_match_generated_documents() {
+        // With matching DTD and vocabulary, the positive workload is easy to
+        // find: a noticeable share of random patterns match at least one of
+        // the generated documents.
+        let dtd = Dtd::nitf_like();
+        let mut docgen = DocumentGenerator::new(&dtd, DocGenConfig::default().with_seed(1));
+        let docs = docgen.generate_many(50);
+        let mut generator = XPathGenerator::new(&dtd, XPathGenConfig::default().with_seed(2));
+        let patterns = generator.generate_many(100);
+        let positive = patterns
+            .iter()
+            .filter(|p| docs.iter().any(|d| p.matches(d)))
+            .count();
+        assert!(
+            positive >= 10,
+            "expected at least 10% positive patterns, got {positive}"
+        );
+    }
+
+    #[test]
+    fn media_dtd_patterns_stay_in_vocabulary() {
+        let dtd = Dtd::media();
+        let mut generator = XPathGenerator::new(&dtd, XPathGenConfig::default());
+        for _ in 0..50 {
+            let p = generator.generate();
+            for id in p.preorder() {
+                if let PatternLabel::Tag(tag) = p.label(id) {
+                    let known = dtd.element_by_name(tag).is_some() || tag.starts_with('v');
+                    assert!(known, "unknown tag {tag}");
+                }
+            }
+        }
+    }
+}

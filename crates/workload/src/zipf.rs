@@ -1,0 +1,140 @@
+//! Zipf-distributed sampling.
+//!
+//! The paper's XPath generator selects element tag names with a Zipf
+//! distribution of skew `θ = 1` (Section 5.1). This module provides a small,
+//! exact inverse-CDF sampler over ranks `0..n`.
+
+use rand::Rng;
+
+/// A Zipf(θ) distribution over `n` ranks (rank 0 is the most frequent).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative probabilities, `cumulative[i] = P(rank <= i)`.
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Create a Zipf distribution over `n` items with skew `theta`.
+    ///
+    /// `theta = 0` degenerates to the uniform distribution; larger values
+    /// concentrate the mass on low ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf distribution needs at least one item");
+        let weights: Vec<f64> = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for w in weights {
+            acc += w / total;
+            cumulative.push(acc);
+        }
+        // Guard against floating-point drift.
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Self { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the distribution has a single rank.
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Probability of a given rank.
+    pub fn probability(&self, rank: usize) -> f64 {
+        if rank >= self.cumulative.len() {
+            return 0.0;
+        }
+        let prev = if rank == 0 {
+            0.0
+        } else {
+            self.cumulative[rank - 1]
+        };
+        self.cumulative[rank] - prev
+    }
+
+    /// Draw a rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).unwrap())
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let z = Zipf::new(50, 1.0);
+        let total: f64 = (0..50).map(|i| z.probability(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(z.len(), 50);
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for i in 0..10 {
+            assert!((z.probability(i) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn higher_skew_concentrates_mass_on_low_ranks() {
+        let flat = Zipf::new(100, 0.5);
+        let steep = Zipf::new(100, 2.0);
+        assert!(steep.probability(0) > flat.probability(0));
+        assert!(steep.probability(99) < flat.probability(99));
+    }
+
+    #[test]
+    fn samples_follow_the_distribution() {
+        let z = Zipf::new(20, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let mut counts = vec![0usize; 20];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 should be observed close to its theoretical probability.
+        let observed = counts[0] as f64 / n as f64;
+        let expected = z.probability(0);
+        assert!(
+            (observed - expected).abs() < 0.01,
+            "observed {observed}, expected {expected}"
+        );
+        // Monotonically decreasing frequencies (allowing small noise).
+        assert!(counts[0] > counts[10]);
+        assert!(counts[1] > counts[15]);
+    }
+
+    #[test]
+    fn out_of_range_rank_has_zero_probability() {
+        let z = Zipf::new(5, 1.0);
+        assert_eq!(z.probability(5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zero_items_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

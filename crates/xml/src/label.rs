@@ -1,0 +1,163 @@
+//! Label interning.
+//!
+//! Tag names appear very frequently in documents, synopses and patterns.
+//! Downstream crates (notably the synopsis) intern labels so that label
+//! comparisons and hash-map lookups operate on small integer ids instead of
+//! strings.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned label identifier.
+///
+/// Ids are dense (`0..table.len()`) and stable for the lifetime of the
+/// [`LabelTable`] that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LabelId(u32);
+
+impl LabelId {
+    /// The id as a `usize`, suitable for indexing dense per-label tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct a `LabelId` from a raw index.
+    ///
+    /// Intended for dense-table iteration (`0..table.len()`); passing an
+    /// index that was never produced by the owning table simply yields an id
+    /// unknown to that table.
+    pub fn from_index(index: usize) -> Self {
+        LabelId(index as u32)
+    }
+}
+
+impl fmt::Display for LabelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A simple string interner for element labels.
+///
+/// # Example
+///
+/// ```
+/// use tps_xml::LabelTable;
+///
+/// let mut table = LabelTable::new();
+/// let a = table.intern("media");
+/// let b = table.intern("CD");
+/// assert_ne!(a, b);
+/// assert_eq!(table.intern("media"), a);
+/// assert_eq!(table.resolve(a), "media");
+/// assert_eq!(table.len(), 2);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct LabelTable {
+    names: Vec<Box<str>>,
+    ids: HashMap<Box<str>, LabelId>,
+}
+
+impl LabelTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning its id. Repeated calls with the same string
+    /// return the same id.
+    pub fn intern(&mut self, name: &str) -> LabelId {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = LabelId(self.names.len() as u32);
+        let boxed: Box<str> = name.into();
+        self.names.push(boxed.clone());
+        self.ids.insert(boxed, id);
+        id
+    }
+
+    /// Look up an already interned label without inserting it.
+    pub fn get(&self, name: &str) -> Option<LabelId> {
+        self.ids.get(name).copied()
+    }
+
+    /// Resolve an id back to its string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table.
+    pub fn resolve(&self, id: LabelId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of distinct labels interned so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate over `(id, name)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (LabelId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (LabelId(i as u32), n.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut t = LabelTable::new();
+        let a = t.intern("a");
+        let a2 = t.intern("a");
+        assert_eq!(a, a2);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn distinct_labels_get_distinct_dense_ids() {
+        let mut t = LabelTable::new();
+        let ids: Vec<LabelId> = (0..100).map(|i| t.intern(&format!("tag{i}"))).collect();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(id.index(), i);
+            assert_eq!(t.resolve(*id), format!("tag{i}"));
+        }
+        assert_eq!(t.len(), 100);
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut t = LabelTable::new();
+        assert!(t.get("missing").is_none());
+        assert!(t.is_empty());
+        t.intern("present");
+        assert!(t.get("present").is_some());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn iter_yields_insertion_order() {
+        let mut t = LabelTable::new();
+        t.intern("x");
+        t.intern("y");
+        t.intern("z");
+        let names: Vec<&str> = t.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn display_and_from_index_round_trip() {
+        let id = LabelId::from_index(5);
+        assert_eq!(id.index(), 5);
+        assert_eq!(id.to_string(), "#5");
+    }
+}

@@ -1,0 +1,48 @@
+//! XML substrate for tree-pattern similarity estimation.
+//!
+//! This crate provides the document-side data model used throughout the
+//! workspace:
+//!
+//! * [`XmlTree`] — an arena-based, node-labelled tree representation of an
+//!   XML document (Section 2 of the paper represents documents as
+//!   node-labelled trees; leaf text values such as `"Mozart"` become leaf
+//!   nodes whose label is the text itself).
+//! * [`parser`] — a small, dependency-free XML parser for the element/text
+//!   subset needed by the evaluation (attributes, comments, processing
+//!   instructions and CDATA sections are accepted and skipped or inlined).
+//! * [`skeleton`] — *skeleton tree* construction: children of a node that
+//!   share a tag are coalesced so that every node has at most one child per
+//!   tag (Section 3.1).
+//! * [`paths`] — enumeration of root-to-leaf label paths, the unit of
+//!   insertion into the document synopsis.
+//! * [`LabelTable`] — a string interner used by downstream crates to avoid
+//!   repeated string hashing when labels are compared frequently.
+//!
+//! # Example
+//!
+//! ```
+//! use tps_xml::XmlTree;
+//!
+//! let doc = XmlTree::parse(
+//!     "<media><CD><composer><last>Mozart</last></composer></CD></media>",
+//! )
+//! .unwrap();
+//! assert_eq!(doc.label(doc.root()), "media");
+//! // Text content becomes a leaf node labelled with the text value.
+//! let paths: Vec<String> = doc.root_to_leaf_paths().map(|p| p.join("/")).collect();
+//! assert_eq!(paths, vec!["media/CD/composer/last/Mozart".to_string()]);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod label;
+pub mod parser;
+pub mod paths;
+pub mod skeleton;
+pub mod tree;
+pub mod writer;
+
+pub use error::XmlError;
+pub use label::{LabelId, LabelTable};
+pub use tree::{NodeId, XmlNode, XmlTree};

@@ -1,0 +1,105 @@
+//! Root-to-leaf path enumeration.
+//!
+//! The synopsis is updated one root-to-leaf path at a time (Section 3.1):
+//! for each path of the document skeleton, the document identifier is added
+//! to the matching set of the last node of the corresponding synopsis path.
+
+use crate::tree::{NodeId, XmlTree};
+
+/// Iterator over the root-to-leaf label paths of a tree, created by
+/// [`XmlTree::root_to_leaf_paths`].
+///
+/// Each item is the sequence of labels from the root down to one leaf,
+/// including both endpoints.
+#[derive(Debug)]
+pub struct RootToLeafPaths<'a> {
+    tree: &'a XmlTree,
+    /// Leaves not yet yielded, in pre-order.
+    leaves: Vec<NodeId>,
+    next: usize,
+}
+
+impl<'a> RootToLeafPaths<'a> {
+    pub(crate) fn new(tree: &'a XmlTree) -> Self {
+        let leaves: Vec<NodeId> = tree.preorder().filter(|&n| tree.node(n).is_leaf()).collect();
+        Self {
+            tree,
+            leaves,
+            next: 0,
+        }
+    }
+
+    /// Number of root-to-leaf paths (= number of leaves).
+    pub fn len(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Whether the document has no leaves (never true: the root counts as a
+    /// leaf when it has no children).
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+}
+
+impl<'a> Iterator for RootToLeafPaths<'a> {
+    type Item = Vec<&'a str>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let leaf = *self.leaves.get(self.next)?;
+        self.next += 1;
+        Some(self.tree.path_labels(leaf))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.leaves.len() - self.next;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for RootToLeafPaths<'_> {}
+
+/// Collect all root-to-leaf paths of a tree as joined strings (`a/b/c`),
+/// mainly useful in tests and diagnostics.
+pub fn path_strings(tree: &XmlTree) -> Vec<String> {
+    tree.root_to_leaf_paths().map(|p| p.join("/")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::XmlTree;
+
+    #[test]
+    fn single_node_tree_has_one_path() {
+        let t = XmlTree::new("a");
+        let paths = path_strings(&t);
+        assert_eq!(paths, vec!["a"]);
+    }
+
+    #[test]
+    fn enumerates_all_leaves_in_preorder() {
+        let t = XmlTree::parse("<a><b><c/><d/></b><e>txt</e></a>").unwrap();
+        let paths = path_strings(&t);
+        assert_eq!(paths, vec!["a/b/c", "a/b/d", "a/e/txt"]);
+    }
+
+    #[test]
+    fn exact_size_iterator_reports_len() {
+        let t = XmlTree::parse("<a><b/><c/><d/></a>").unwrap();
+        let iter = t.root_to_leaf_paths();
+        assert_eq!(iter.len(), 3);
+        assert_eq!(iter.count(), 3);
+    }
+
+    #[test]
+    fn skeleton_paths_are_unique() {
+        let t = XmlTree::parse("<a><b><c/></b><b><c/></b></a>").unwrap();
+        let s = t.skeleton();
+        let mut paths = path_strings(&s);
+        let before = paths.len();
+        paths.sort();
+        paths.dedup();
+        assert_eq!(paths.len(), before);
+        assert_eq!(paths, vec!["a/b/c"]);
+    }
+}

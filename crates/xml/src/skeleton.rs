@@ -1,0 +1,185 @@
+//! Skeleton tree construction (Section 3.1 of the paper).
+//!
+//! The skeleton tree `Ts` of a document `T` is obtained by coalescing, at
+//! every node, children that share the same tag, so that each node has *at
+//! most one child per label*. Coalescing proceeds top-down: when two children
+//! are merged, their own children become siblings and are merged recursively.
+//!
+//! The synopsis is maintained from skeleton trees: each root-to-leaf path of
+//! the skeleton maps to a unique synopsis path.
+
+use std::collections::HashMap;
+
+use crate::tree::{NodeId, XmlTree};
+
+/// Build the skeleton tree of `tree`.
+///
+/// The result contains the same set of root-to-node *label paths* as the
+/// input, but each such path appears exactly once.
+pub fn skeleton_of(tree: &XmlTree) -> XmlTree {
+    let mut skeleton = XmlTree::new(tree.label(tree.root()));
+    let root_group = vec![tree.root()];
+    let skeleton_root = skeleton.root();
+    coalesce_children(tree, &root_group, &mut skeleton, skeleton_root);
+    skeleton
+}
+
+/// Coalesce the children of a *group* of source nodes that were merged into
+/// the single skeleton node `target`.
+fn coalesce_children(
+    tree: &XmlTree,
+    group: &[NodeId],
+    skeleton: &mut XmlTree,
+    target: NodeId,
+) {
+    // Group all children of all nodes in `group` by label, preserving the
+    // order of first appearance so that the skeleton is deterministic.
+    let mut order: Vec<&str> = Vec::new();
+    let mut by_label: HashMap<&str, Vec<NodeId>> = HashMap::new();
+    for &node in group {
+        for &child in tree.children(node) {
+            let label = tree.label(child);
+            let entry = by_label.entry(label).or_default();
+            if entry.is_empty() {
+                order.push(label);
+            }
+            entry.push(child);
+        }
+    }
+    for label in order {
+        let members = &by_label[label];
+        // A merged node is a text node only if every member was text; in
+        // practice text leaves never have children so this is stable.
+        let is_text = members.iter().all(|&m| tree.node(m).is_text());
+        let new_node = if is_text {
+            skeleton.add_text_child(target, label)
+        } else {
+            skeleton.add_child(target, label)
+        };
+        coalesce_children(tree, members, skeleton, new_node);
+    }
+}
+
+/// Check whether `tree` already is a skeleton: no node has two children with
+/// the same label.
+pub fn is_skeleton(tree: &XmlTree) -> bool {
+    for node in tree.preorder() {
+        let children = tree.children(node);
+        for (i, &a) in children.iter().enumerate() {
+            for &b in &children[i + 1..] {
+                if tree.label(a) == tree.label(b) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn label_paths(tree: &XmlTree) -> BTreeSet<String> {
+        let mut paths = BTreeSet::new();
+        for node in tree.preorder() {
+            paths.insert(tree.path_labels(node).join("/"));
+        }
+        paths
+    }
+
+    #[test]
+    fn coalesces_same_tag_siblings() {
+        // a -> b, b  becomes a -> b
+        let mut t = XmlTree::new("a");
+        t.add_child(t.root(), "b");
+        t.add_child(t.root(), "b");
+        let s = t.skeleton();
+        assert_eq!(s.node_count(), 2);
+        assert!(is_skeleton(&s));
+    }
+
+    #[test]
+    fn merged_children_are_recursively_coalesced() {
+        // Paper Figure 2, document T1:
+        // a -> b -> {e->k, e->m, g->m}  and another b -> ...
+        // Build: a with two b children, each with overlapping grandchildren.
+        let mut t = XmlTree::new("a");
+        let b1 = t.add_child(t.root(), "b");
+        let e1 = t.add_child(b1, "e");
+        t.add_child(e1, "k");
+        let b2 = t.add_child(t.root(), "b");
+        let e2 = t.add_child(b2, "e");
+        t.add_child(e2, "m");
+        let g = t.add_child(b2, "g");
+        t.add_child(g, "m");
+
+        let s = t.skeleton();
+        assert!(is_skeleton(&s));
+        // skeleton: a -> b -> { e -> {k, m}, g -> m }
+        assert_eq!(s.node_count(), 7);
+        let paths = label_paths(&s);
+        assert!(paths.contains("a/b/e/k"));
+        assert!(paths.contains("a/b/e/m"));
+        assert!(paths.contains("a/b/g/m"));
+    }
+
+    #[test]
+    fn skeleton_preserves_label_path_set() {
+        let t = XmlTree::parse(
+            "<a><b><e>k</e><g>m</g></b><b><e>m</e></b><c><f>n</f><f>k</f></c></a>",
+        )
+        .unwrap();
+        let s = t.skeleton();
+        assert!(is_skeleton(&s));
+        assert_eq!(label_paths(&t), label_paths(&s));
+    }
+
+    #[test]
+    fn skeleton_of_skeleton_is_identity() {
+        let t = XmlTree::parse("<a><b><c/><c/></b><b><d/></b></a>").unwrap();
+        let s = t.skeleton();
+        let s2 = s.skeleton();
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn paper_figure2_t1_skeleton() {
+        // T1 in Figure 2: a(b(e(k), e(m), g(m)), b(e(k)))  -- approximated from
+        // the figure: skeleton of T1 is a -> b -> {e -> {k, m}, g -> {k, n}}?
+        // We use the printed skeleton: a / b / {e -> k, m? ...}. The exact
+        // figure is hard to read; this test checks the defining property
+        // instead: same label paths, at most one child per label.
+        let t = XmlTree::parse(
+            "<a><b><e><k/></e><e><m/></e><g><k/><n/></g></b></a>",
+        )
+        .unwrap();
+        let s = t.skeleton();
+        assert!(is_skeleton(&s));
+        assert_eq!(label_paths(&t), label_paths(&s));
+        // e appears once in the skeleton even though T has two e children.
+        assert_eq!(s.count_label("e"), 1);
+    }
+
+    #[test]
+    fn is_skeleton_detects_duplicates() {
+        let mut t = XmlTree::new("a");
+        t.add_child(t.root(), "b");
+        t.add_child(t.root(), "b");
+        assert!(!is_skeleton(&t));
+        assert!(is_skeleton(&t.skeleton()));
+    }
+
+    #[test]
+    fn text_leaves_survive_coalescing() {
+        let t = XmlTree::parse("<a><b>x</b><b>x</b></a>").unwrap();
+        let s = t.skeleton();
+        assert_eq!(s.node_count(), 3);
+        let leaf = s
+            .preorder()
+            .find(|&id| s.label(id) == "x")
+            .expect("text leaf");
+        assert!(s.node(leaf).is_text());
+    }
+}

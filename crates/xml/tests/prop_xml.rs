@@ -1,0 +1,160 @@
+//! Property-based tests for the XML substrate.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use tps_xml::XmlTree;
+
+/// A recursively generated element description used to build random trees.
+#[derive(Debug, Clone)]
+enum GenNode {
+    Element(String, Vec<GenNode>),
+    Text(String),
+}
+
+fn tag_name() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "a", "b", "c", "d", "media", "CD", "book", "title", "author", "last", "first",
+    ])
+    .prop_map(str::to_string)
+}
+
+fn text_value() -> impl Strategy<Value = String> {
+    // Text that survives trimming and entity escaping round trips.
+    "[A-Za-z][A-Za-z0-9 &<>']{0,12}[A-Za-z0-9]".prop_map(|s| s)
+}
+
+fn gen_node() -> impl Strategy<Value = GenNode> {
+    let leaf = prop_oneof![
+        tag_name().prop_map(|t| GenNode::Element(t, vec![])),
+        text_value().prop_map(GenNode::Text),
+    ];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        (tag_name(), prop::collection::vec(inner, 0..4))
+            .prop_map(|(t, children)| GenNode::Element(t, drop_adjacent_text(children)))
+    })
+}
+
+/// The XML parser concatenates adjacent character data, so two consecutive
+/// text siblings would not round-trip structurally. Keep only the first text
+/// node in every run of consecutive text siblings.
+fn drop_adjacent_text(children: Vec<GenNode>) -> Vec<GenNode> {
+    let mut out: Vec<GenNode> = Vec::with_capacity(children.len());
+    for child in children {
+        if matches!(child, GenNode::Text(_))
+            && matches!(out.last(), Some(GenNode::Text(_)))
+        {
+            continue;
+        }
+        out.push(child);
+    }
+    out
+}
+
+fn gen_document() -> impl Strategy<Value = XmlTree> {
+    (tag_name(), prop::collection::vec(gen_node(), 0..4)).prop_map(|(root, children)| {
+        let mut tree = XmlTree::new(&root);
+        let root_id = tree.root();
+        for child in &drop_adjacent_text(children) {
+            build(&mut tree, root_id, child);
+        }
+        tree
+    })
+}
+
+fn build(tree: &mut XmlTree, parent: tps_xml::NodeId, node: &GenNode) {
+    match node {
+        GenNode::Element(tag, children) => {
+            let id = tree.add_child(parent, tag);
+            for c in children {
+                build(tree, id, c);
+            }
+        }
+        GenNode::Text(text) => {
+            tree.add_text_child(parent, text.trim());
+        }
+    }
+}
+
+fn label_path_set(tree: &XmlTree) -> BTreeSet<String> {
+    let mut set = BTreeSet::new();
+    for node in tree.preorder() {
+        set.insert(tree.path_labels(node).join("\u{1}"));
+    }
+    set
+}
+
+proptest! {
+    /// Writing a tree and parsing the output yields an equal tree, as long as
+    /// text leaves do not contain leading/trailing whitespace (which the
+    /// parser trims by design) and no two text siblings are adjacent.
+    #[test]
+    fn write_parse_round_trip(tree in gen_document()) {
+        let xml = tree.to_xml();
+        let reparsed = XmlTree::parse(&xml).expect("writer output must parse");
+        // Compare label paths rather than structural equality: adjacent text
+        // siblings are concatenated by the parser, which is the only accepted
+        // normalisation.
+        prop_assert_eq!(label_path_set(&tree).len(), label_path_set(&reparsed).len());
+        prop_assert_eq!(tree.depth(), reparsed.depth());
+        prop_assert_eq!(tree.label(tree.root()), reparsed.label(reparsed.root()));
+    }
+
+    /// The skeleton has at most one child per label at every node.
+    #[test]
+    fn skeleton_is_a_skeleton(tree in gen_document()) {
+        let s = tree.skeleton();
+        prop_assert!(tps_xml::skeleton::is_skeleton(&s));
+    }
+
+    /// Skeleton construction preserves the set of root-to-node label paths.
+    #[test]
+    fn skeleton_preserves_label_paths(tree in gen_document()) {
+        let s = tree.skeleton();
+        prop_assert_eq!(label_path_set(&tree), label_path_set(&s));
+    }
+
+    /// Skeleton construction is idempotent.
+    #[test]
+    fn skeleton_is_idempotent(tree in gen_document()) {
+        let s = tree.skeleton();
+        prop_assert_eq!(s.skeleton(), s);
+    }
+
+    /// The skeleton never has more nodes than the original document.
+    #[test]
+    fn skeleton_never_grows(tree in gen_document()) {
+        prop_assert!(tree.skeleton().node_count() <= tree.node_count());
+    }
+
+    /// Every root-to-leaf path of the original document exists in the skeleton.
+    #[test]
+    fn document_paths_exist_in_skeleton(tree in gen_document()) {
+        let skeleton_paths: BTreeSet<String> = tree
+            .skeleton()
+            .root_to_leaf_paths()
+            .map(|p| p.join("\u{1}"))
+            .collect();
+        for path in tree.root_to_leaf_paths() {
+            // A document leaf may map to an interior skeleton node (if a
+            // sibling subtree extends the same label path), so check prefix
+            // membership against all skeleton paths.
+            let joined = path.join("\u{1}");
+            let found = skeleton_paths
+                .iter()
+                .any(|sp| sp == &joined || sp.starts_with(&(joined.clone() + "\u{1}")));
+            prop_assert!(found, "path {:?} missing from skeleton", path);
+        }
+    }
+
+    /// Parsing never panics on arbitrary input (errors are fine).
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,200}") {
+        let _ = XmlTree::parse(&input);
+    }
+
+    /// node_count equals the number of nodes visited in pre-order.
+    #[test]
+    fn preorder_count_matches_node_count(tree in gen_document()) {
+        prop_assert_eq!(tree.preorder().count(), tree.node_count());
+    }
+}

@@ -1,0 +1,75 @@
+//! Incremental synopsis maintenance over an unbounded stream with a space
+//! budget.
+//!
+//! The synopsis grows as new document structures appear; whenever it exceeds
+//! a configured space budget, it is pruned back (folds, deletions, merges, in
+//! the paper's order). The example tracks the size of the synopsis and the
+//! drift of a few selectivity estimates as the stream evolves.
+//!
+//! ```text
+//! cargo run --release --example stream_monitoring
+//! ```
+
+use tree_pattern_similarity::prelude::*;
+use tree_pattern_similarity::synopsis::PruneConfig;
+use tree_pattern_similarity::workload::{DocGenConfig, DocumentGenerator};
+
+fn main() {
+    let dtd = Dtd::xcbl_like();
+    let mut generator = DocumentGenerator::new(&dtd, DocGenConfig::default().with_seed(99));
+
+    // Patterns we keep monitoring while the stream evolves.
+    let root_name = "root";
+    let watched: Vec<TreePattern> = [
+        format!("/{root_name}"),
+        format!("/{root_name}/e1"),
+        "//e42".to_string(),
+        "//e17//e200".to_string(),
+    ]
+    .iter()
+    .map(|s| TreePattern::parse(s).unwrap())
+    .collect();
+
+    let space_budget = 40_000; // |HS| in 32-bit words, as in the paper's accounting
+    let mut estimator = SimilarityEstimator::new(SynopsisConfig::hashes(256));
+
+    println!(
+        "{:>8} {:>10} {:>10} {:>8}   {}",
+        "docs", "|HS|", "pruned-to", "prunes", "watched selectivities"
+    );
+    let mut prunes = 0;
+    for batch in 0..20 {
+        for _ in 0..250 {
+            estimator.observe(&generator.generate());
+        }
+        let size_before = estimator.size().total();
+        let mut pruned_to = size_before;
+        if size_before > space_budget {
+            let report = estimator
+                .synopsis_mut()
+                .prune_to_ratio(space_budget as f64 / size_before as f64, PruneConfig::default());
+            pruned_to = report.final_size;
+            prunes += 1;
+        }
+        estimator.prepare();
+        let selectivities: Vec<String> = watched
+            .iter()
+            .map(|p| format!("{:.3}", estimator.selectivity(p)))
+            .collect();
+        println!(
+            "{:>8} {:>10} {:>10} {:>8}   [{}]",
+            (batch + 1) * 250,
+            size_before,
+            pruned_to,
+            prunes,
+            selectivities.join(", ")
+        );
+    }
+
+    println!(
+        "\nfinal synopsis: {} live nodes, {} edges, {} documents observed",
+        estimator.synopsis().node_count(),
+        estimator.synopsis().edge_count(),
+        estimator.document_count()
+    );
+}

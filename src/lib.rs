@@ -1,0 +1,83 @@
+//! # Tree-Pattern Similarity Estimation for Scalable Content-based Routing
+//!
+//! This crate is the top-level facade of a full reproduction of the ICDE 2007
+//! paper *"Tree-Pattern Similarity Estimation for Scalable Content-based
+//! Routing"* by Chand, Felber and Garofalakis.
+//!
+//! The workspace implements, from scratch:
+//!
+//! * an XML tree model with a minimal parser and *skeleton tree*
+//!   construction ([`xml`]),
+//! * the tree-pattern subscription language (an XPath subset with `*` and
+//!   `//`), its matching semantics and containment ([`pattern`]),
+//! * the streaming *document synopsis* with three matching-set
+//!   representations (counters, reservoir sample sets, Gibbons distinct-hash
+//!   samples) and the three pruning operations of the paper ([`synopsis`]),
+//! * the recursive selectivity algorithm `SEL` and the proximity metrics
+//!   `M1`, `M2`, `M3` ([`core`]),
+//! * the evaluation workload substrate (synthetic DTDs, an IBM XML
+//!   Generator-like document generator, and an XPath workload generator)
+//!   ([`workload`]),
+//! * the motivating application: clustering subscriptions into semantic
+//!   communities for content-based routing ([`routing`]), with a
+//!   multi-broker overlay simulation and a semantic peer-to-peer overlay,
+//! * community-discovery algorithms over similarity matrices
+//!   (agglomerative, k-medoids, leader clustering, MinHash signatures and
+//!   quality metrics) ([`cluster`]),
+//! * and a DTD substrate — parser, validator, writer and DTD-aware pattern
+//!   analysis (the paper's Example 1.1 reasoning) ([`dtd`]).
+//!
+//! A command-line toolkit (`tps`, in the `tps-cli` crate) exposes the same
+//! functionality as subcommands.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tree_pattern_similarity::prelude::*;
+//!
+//! // Parse a few documents and subscriptions.
+//! let docs = [
+//!     "<media><CD><composer><last>Mozart</last></composer></CD></media>",
+//!     "<media><book><author><last>Shakespeare</last></author></book></media>",
+//! ];
+//! let p = TreePattern::parse("/media/CD/*/last").unwrap();
+//! let q = TreePattern::parse("//composer/last").unwrap();
+//!
+//! // Build a synopsis over the document stream and estimate similarity.
+//! let mut estimator = SimilarityEstimator::new(SynopsisConfig::hashes(64));
+//! for d in docs {
+//!     let tree = XmlTree::parse(d).unwrap();
+//!     estimator.observe(&tree);
+//! }
+//! let sim = estimator.similarity(&p, &q, ProximityMetric::M3);
+//! assert!((0.0..=1.0).contains(&sim));
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tps_cluster as cluster;
+pub use tps_core as core;
+pub use tps_dtd as dtd;
+pub use tps_pattern as pattern;
+pub use tps_routing as routing;
+pub use tps_synopsis as synopsis;
+pub use tps_workload as workload;
+pub use tps_xml as xml;
+
+/// Convenience re-exports of the most commonly used types.
+pub mod prelude {
+    pub use tps_cluster::{
+        agglomerative, kmedoids, leader, AgglomerativeConfig, Clustering, KMedoidsConfig,
+        LeaderConfig, SimilarityMatrix,
+    };
+    pub use tps_core::{ExactEvaluator, ProximityMetric, SelectivityEstimator, SimilarityEstimator};
+    pub use tps_dtd::{DtdSchema, PatternAnalyzer, ValidationMode, Validator};
+    pub use tps_pattern::TreePattern;
+    pub use tps_routing::{
+        BrokerNetwork, BrokerTopology, CommunityClustering, CommunityConfig, ForwardingMode,
+        SemanticOverlay, TableMode,
+    };
+    pub use tps_synopsis::{MatchingSetKind, Synopsis, SynopsisConfig};
+    pub use tps_workload::{Dataset, DatasetConfig, DocGenConfig, Dtd, XPathGenConfig};
+    pub use tps_xml::XmlTree;
+}

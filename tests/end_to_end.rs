@@ -1,0 +1,166 @@
+//! End-to-end integration tests across all crates: generate a workload,
+//! build synopses under every representation, and compare estimated
+//! selectivities and similarities with the exact evaluator.
+
+use tree_pattern_similarity::core::{ExactEvaluator, ProximityMetric, SelectivityEstimator};
+use tree_pattern_similarity::prelude::*;
+use tree_pattern_similarity::synopsis::MatchingSetKind;
+
+fn small_dataset() -> Dataset {
+    let config = DatasetConfig::small().with_scale(150, 40, 20).with_seed(424_242);
+    Dataset::generate(Dtd::nitf_like(), &config)
+}
+
+fn build(dataset: &Dataset, kind: MatchingSetKind) -> Synopsis {
+    let mut synopsis = Synopsis::from_documents(
+        SynopsisConfig {
+            kind,
+            ..SynopsisConfig::counters()
+        },
+        &dataset.documents,
+    );
+    synopsis.prepare();
+    synopsis
+}
+
+#[test]
+fn lossless_synopses_reproduce_exact_selectivities() {
+    let dataset = small_dataset();
+    let exact = ExactEvaluator::new(dataset.documents.clone());
+    for kind in [
+        MatchingSetKind::Sets { capacity: 100_000 },
+        MatchingSetKind::Hashes { capacity: 100_000 },
+    ] {
+        let synopsis = build(&dataset, kind);
+        let estimator = SelectivityEstimator::new(&synopsis);
+        for pattern in dataset.positive.iter().chain(dataset.negative.iter()) {
+            let estimated = estimator.selectivity(pattern);
+            let truth = exact.selectivity(pattern);
+            assert!(
+                (estimated - truth).abs() < 1e-9,
+                "{kind:?} mis-estimated {pattern}: {estimated} vs {truth}"
+            );
+        }
+    }
+}
+
+#[test]
+fn negative_patterns_have_small_estimation_error() {
+    // Negative patterns cannot always be recognised exactly: a pattern whose
+    // individual paths all occur (in different documents, or under sibling
+    // elements that the skeleton coalesces) receives a small positive
+    // estimate — this is exactly the error Figure 5 measures. The RMSE must
+    // nevertheless stay small, and sampled representations must be far more
+    // accurate than counters (whose independence assumption inflates it).
+    let dataset = small_dataset();
+    let rmse_of = |kind: MatchingSetKind| -> f64 {
+        let synopsis = build(&dataset, kind);
+        let estimator = SelectivityEstimator::new(&synopsis);
+        let sum: f64 = dataset
+            .negative
+            .iter()
+            .map(|p| estimator.selectivity(p).powi(2))
+            .sum();
+        (sum / dataset.negative.len() as f64).sqrt()
+    };
+    let counters = rmse_of(MatchingSetKind::Counters);
+    let sets = rmse_of(MatchingSetKind::Sets { capacity: 100_000 });
+    let hashes = rmse_of(MatchingSetKind::Hashes { capacity: 100_000 });
+    assert!(counters < 0.4, "counters Esqr too large: {counters}");
+    assert!(sets < 0.1, "sets Esqr too large: {sets}");
+    assert!(hashes < 0.1, "hashes Esqr too large: {hashes}");
+    assert!(hashes <= counters + 1e-12);
+}
+
+#[test]
+fn hash_samples_beat_counters_on_positive_workload_error() {
+    let dataset = small_dataset();
+    let exact = ExactEvaluator::new(dataset.documents.clone());
+    let error_of = |kind: MatchingSetKind| -> f64 {
+        let synopsis = build(&dataset, kind);
+        let estimator = SelectivityEstimator::new(&synopsis);
+        let mut total = 0.0;
+        let mut count = 0;
+        for pattern in &dataset.positive {
+            let truth = exact.selectivity(pattern);
+            if truth > 0.0 {
+                total += (estimator.selectivity(pattern) - truth).abs() / truth;
+                count += 1;
+            }
+        }
+        total / count as f64
+    };
+    let counters = error_of(MatchingSetKind::Counters);
+    let hashes = error_of(MatchingSetKind::Hashes { capacity: 1_000 });
+    assert!(
+        hashes <= counters + 1e-9,
+        "hashes ({hashes}) should not be worse than counters ({counters})"
+    );
+    assert!(hashes < 0.05, "large hash samples should be nearly exact: {hashes}");
+}
+
+#[test]
+fn similarity_estimates_track_exact_similarities() {
+    let dataset = small_dataset();
+    let exact = ExactEvaluator::new(dataset.documents.clone());
+    let mut estimator = SimilarityEstimator::new(SynopsisConfig::hashes(100_000));
+    estimator.observe_all(&dataset.documents);
+    estimator.prepare();
+    for metric in ProximityMetric::all() {
+        for window in dataset.positive.windows(2).take(20) {
+            let (p, q) = (&window[0], &window[1]);
+            let estimated = estimator.similarity(p, q, metric);
+            let truth = exact.similarity(p, q, metric);
+            assert!(
+                (estimated - truth).abs() < 1e-9,
+                "{metric} mismatch for {p} vs {q}: {estimated} vs {truth}"
+            );
+        }
+    }
+}
+
+#[test]
+fn streaming_and_batch_construction_agree() {
+    let dataset = small_dataset();
+    let batch = Synopsis::from_documents(SynopsisConfig::hashes(128), &dataset.documents);
+    let mut streaming = SimilarityEstimator::new(SynopsisConfig::hashes(128));
+    for doc in &dataset.documents {
+        streaming.observe(doc);
+    }
+    assert_eq!(batch.document_count(), streaming.document_count());
+    assert_eq!(batch.node_count(), streaming.synopsis().node_count());
+    let estimator = SelectivityEstimator::new(&batch);
+    for pattern in dataset.positive.iter().take(10) {
+        assert!(
+            (estimator.selectivity(pattern) - streaming.selectivity(pattern)).abs() < 1e-9
+        );
+    }
+}
+
+#[test]
+fn reservoir_sets_stay_within_capacity_and_remain_usable() {
+    let dataset = small_dataset();
+    let synopsis = build(&dataset, MatchingSetKind::Sets { capacity: 32 });
+    assert!(synopsis.universe_value().count_units() <= 32.0);
+    let estimator = SelectivityEstimator::new(&synopsis);
+    for pattern in dataset.positive.iter().take(20) {
+        let s = estimator.selectivity(pattern);
+        assert!((0.0..=1.0).contains(&s));
+    }
+}
+
+#[test]
+fn skeleton_reduction_is_transparent_to_selectivity() {
+    // Inserting documents or their skeletons produces the same synopsis and
+    // the same estimates.
+    let dataset = small_dataset();
+    let from_docs = Synopsis::from_documents(SynopsisConfig::counters(), &dataset.documents);
+    let skeletons: Vec<XmlTree> = dataset.documents.iter().map(|d| d.skeleton()).collect();
+    let from_skeletons = Synopsis::from_documents(SynopsisConfig::counters(), &skeletons);
+    assert_eq!(from_docs.node_count(), from_skeletons.node_count());
+    let a = SelectivityEstimator::new(&from_docs);
+    let b = SelectivityEstimator::new(&from_skeletons);
+    for pattern in dataset.positive.iter().take(20) {
+        assert!((a.selectivity(pattern) - b.selectivity(pattern)).abs() < 1e-9);
+    }
+}

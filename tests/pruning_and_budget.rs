@@ -1,0 +1,130 @@
+//! Integration tests for synopsis pruning under a space budget: the
+//! compressed synopsis must shrink as requested, keep its structural
+//! invariants, and continue to produce sane (if less accurate) estimates.
+
+use tree_pattern_similarity::core::{ExactEvaluator, SelectivityEstimator};
+use tree_pattern_similarity::prelude::*;
+use tree_pattern_similarity::synopsis::PruneConfig;
+
+fn workload() -> Dataset {
+    // NITF-scale keeps the synopsis small enough for debug-build test runs;
+    // the xCBL-scale pruning behaviour is covered by the experiment harness.
+    let config = DatasetConfig::small().with_scale(120, 25, 10).with_seed(777);
+    Dataset::generate(Dtd::nitf_like(), &config)
+}
+
+#[test]
+fn pruning_reaches_decreasing_size_targets() {
+    let dataset = workload();
+    let base = Synopsis::from_documents(SynopsisConfig::hashes(64), &dataset.documents);
+    let original = base.size().total();
+    let mut previous = original;
+    for alpha in [0.7, 0.4] {
+        let mut synopsis = base.clone();
+        let report = synopsis.prune_to_ratio(alpha, PruneConfig::default());
+        assert_eq!(report.original_size, original);
+        assert!(
+            report.final_size as f64 <= alpha * original as f64 * 1.05 + 64.0,
+            "α={alpha}: final {} vs original {}",
+            report.final_size,
+            original
+        );
+        assert!(report.final_size <= previous);
+        previous = report.final_size;
+    }
+}
+
+#[test]
+fn pruned_synopsis_keeps_estimates_in_range_and_root_paths_intact() {
+    let dataset = workload();
+    let exact = ExactEvaluator::new(dataset.documents.clone());
+    let mut synopsis = Synopsis::from_documents(SynopsisConfig::hashes(64), &dataset.documents);
+    synopsis.prune_to_ratio(0.3, PruneConfig::default());
+    synopsis.prepare();
+    let estimator = SelectivityEstimator::new(&synopsis);
+    for pattern in dataset.positive.iter() {
+        let estimate = estimator.selectivity(pattern);
+        assert!(
+            (0.0..=1.0).contains(&estimate),
+            "estimate out of range for {pattern}: {estimate}"
+        );
+    }
+    // The root element path is so frequent that pruning must not lose it.
+    let root_pattern = TreePattern::parse("/root").unwrap();
+    assert!(estimator.selectivity(&root_pattern) > 0.9);
+    assert_eq!(exact.selectivity(&root_pattern), 1.0);
+}
+
+#[test]
+fn lossless_folding_preserves_positive_estimates() {
+    let dataset = workload();
+    let mut synopsis = Synopsis::from_documents(SynopsisConfig::sets(1_000), &dataset.documents);
+    let exact = ExactEvaluator::new(dataset.documents.clone());
+    let before: Vec<f64> = {
+        let estimator = SelectivityEstimator::new(&synopsis);
+        dataset.positive.iter().map(|p| estimator.selectivity(p)).collect()
+    };
+    let folds = synopsis.fold_identical_leaves(0.999_999);
+    synopsis.prepare();
+    let estimator = SelectivityEstimator::new(&synopsis);
+    for ((pattern, &old), truth) in dataset
+        .positive
+        .iter()
+        .zip(&before)
+        .zip(dataset.positive.iter().map(|p| exact.selectivity(p)))
+    {
+        let new = estimator.selectivity(pattern);
+        assert!(
+            new + 1e-9 >= old.min(truth),
+            "lossless folding must not lose documents for {pattern}: {new} < {old}"
+        );
+    }
+    // The workload is DTD-driven, so mandatory children exist and folding
+    // finds work to do.
+    assert!(folds > 0, "expected at least one lossless fold");
+}
+
+#[test]
+fn merging_preserves_structural_invariants() {
+    let dataset = workload();
+    let mut synopsis = Synopsis::from_documents(SynopsisConfig::hashes(32), &dataset.documents);
+    let target = synopsis.size().total() * 2 / 3;
+    synopsis.merge_same_label_until(32, target);
+    // Invariants: every live child's parents point back at it and vice versa.
+    for id in synopsis.live_nodes() {
+        for &child in synopsis.children(id) {
+            assert!(synopsis.is_alive(child), "dead child reachable from {id:?}");
+            assert!(
+                synopsis.parents(child).contains(&id),
+                "child {child:?} does not list {id:?} as parent"
+            );
+        }
+        for &parent in synopsis.parents(id) {
+            assert!(
+                synopsis.children(parent).contains(&id),
+                "parent {parent:?} does not list {id:?} as child"
+            );
+        }
+    }
+}
+
+#[test]
+fn deleting_rare_leaves_mostly_affects_rare_patterns() {
+    let dataset = workload();
+    let mut synopsis = Synopsis::from_documents(SynopsisConfig::counters(), &dataset.documents);
+    let exact = ExactEvaluator::new(dataset.documents.clone());
+    // Delete aggressively.
+    let target = synopsis.size().total() / 2;
+    synopsis.delete_smallest_leaves_until(target);
+    synopsis.prepare();
+    let estimator = SelectivityEstimator::new(&synopsis);
+    // Frequent patterns (selectivity >= 0.5) should still be estimated > 0.
+    for pattern in &dataset.positive {
+        if exact.selectivity(pattern) >= 0.5 {
+            assert!(
+                estimator.selectivity(pattern) > 0.0,
+                "frequent pattern {pattern} was lost by low-cardinality deletion"
+            );
+        }
+    }
+}

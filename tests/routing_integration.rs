@@ -1,0 +1,151 @@
+//! Integration tests for the routing application: communities built from
+//! *estimated* similarities should behave like communities built from exact
+//! similarities, and community routing should trade a bounded amount of
+//! accuracy for a large reduction in filtering cost.
+
+use tree_pattern_similarity::core::ExactEvaluator;
+use tree_pattern_similarity::prelude::*;
+use tree_pattern_similarity::routing::{Broker, Consumer, RoutingStrategy};
+
+fn workload() -> Dataset {
+    let config = DatasetConfig::small().with_scale(180, 30, 0).with_seed(31_337);
+    Dataset::generate(Dtd::nitf_like(), &config)
+}
+
+#[test]
+fn estimated_and_exact_similarities_produce_similar_community_counts() {
+    let dataset = workload();
+    let exact = ExactEvaluator::new(dataset.documents.clone());
+
+    // Estimated similarities from a hash-sample synopsis.
+    let mut estimated = SimilarityEstimator::new(SynopsisConfig::hashes(512));
+    estimated.observe_all(&dataset.documents);
+    estimated.prepare();
+
+    // Exact similarities via a lossless synopsis (huge reservoir).
+    let mut exact_estimator = SimilarityEstimator::new(SynopsisConfig::sets(1_000_000));
+    exact_estimator.observe_all(&dataset.documents);
+
+    let config = CommunityConfig {
+        metric: ProximityMetric::M3,
+        threshold: 0.6,
+        max_community_size: 0,
+    };
+    let estimated_clusters =
+        CommunityClustering::cluster(&estimated, &dataset.positive, config);
+    let exact_clusters =
+        CommunityClustering::cluster(&exact_estimator, &dataset.positive, config);
+
+    // The community structure should be close: within a factor of two in
+    // count, and most co-membership decisions should agree.
+    let a = estimated_clusters.len() as f64;
+    let b = exact_clusters.len() as f64;
+    assert!(a <= 2.0 * b && b <= 2.0 * a, "community counts diverge: {a} vs {b}");
+
+    let assign_est = estimated_clusters.assignment(dataset.positive.len());
+    let assign_exact = exact_clusters.assignment(dataset.positive.len());
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for i in 0..dataset.positive.len() {
+        for j in (i + 1)..dataset.positive.len() {
+            let same_est = assign_est[i] == assign_est[j];
+            let same_exact = assign_exact[i] == assign_exact[j];
+            if same_est == same_exact {
+                agree += 1;
+            }
+            total += 1;
+        }
+    }
+    let agreement = agree as f64 / total as f64;
+    assert!(
+        agreement > 0.8,
+        "co-membership agreement too low: {agreement}"
+    );
+    drop(exact);
+}
+
+#[test]
+fn community_routing_cuts_filtering_cost_with_bounded_accuracy_loss() {
+    let dataset = workload();
+    let mut estimator = SimilarityEstimator::new(SynopsisConfig::hashes(512));
+    estimator.observe_all(&dataset.documents);
+    estimator.prepare();
+
+    let mut broker = Broker::new();
+    for (i, p) in dataset.positive.iter().enumerate() {
+        broker.subscribe(Consumer::new(format!("c{i}"), p.clone()));
+    }
+    let clustering = CommunityClustering::cluster(
+        &estimator,
+        &dataset.positive,
+        CommunityConfig {
+            metric: ProximityMetric::M3,
+            threshold: 0.5,
+            max_community_size: 0,
+        },
+    );
+    assert!(clustering.len() < dataset.positive.len());
+
+    let stream = &dataset.documents[..100];
+    let exact_stats = broker.route_stream(stream, &RoutingStrategy::PerSubscription);
+    let community_stats =
+        broker.route_stream(stream, &RoutingStrategy::Community(clustering));
+
+    assert!(community_stats.match_operations < exact_stats.match_operations);
+    assert!(community_stats.recall() >= 0.75, "recall {}", community_stats.recall());
+    assert!(
+        community_stats.precision() >= 0.4,
+        "precision {}",
+        community_stats.precision()
+    );
+
+    // Flooding is the other extreme: perfect recall, no broker-side matches.
+    let flooding = broker.route_stream(stream, &RoutingStrategy::Flooding);
+    assert_eq!(flooding.match_operations, 0);
+    assert_eq!(flooding.recall(), 1.0);
+    assert!(flooding.precision() <= community_stats.precision() + 1e-9);
+}
+
+#[test]
+fn similarity_relates_pairs_that_containment_cannot() {
+    // The paper's motivating observation (patterns pa and pd of Figure 1):
+    // containment is a boolean, asymmetric relation that leaves most related
+    // subscription pairs incomparable, while the similarity metrics assign
+    // them a graded, high score. Verify both halves on a generated workload:
+    // containment relates only a minority of pairs, and there exists at
+    // least one pair with no containment relationship in either direction
+    // but a substantial estimated similarity.
+    let dataset = workload();
+    let mut estimator = SimilarityEstimator::new(SynopsisConfig::hashes(512));
+    estimator.observe_all(&dataset.documents);
+    estimator.prepare();
+
+    let patterns = &dataset.positive;
+    let mut contained_pairs = 0usize;
+    let mut total = 0usize;
+    let mut best_incomparable_similarity: f64 = 0.0;
+    for i in 0..patterns.len() {
+        for j in (i + 1)..patterns.len() {
+            total += 1;
+            let p = &patterns[i];
+            let q = &patterns[j];
+            let related = tree_pattern_similarity::pattern::containment::contains(p, q)
+                || tree_pattern_similarity::pattern::containment::contains(q, p);
+            if related {
+                contained_pairs += 1;
+            } else {
+                let sim = estimator.similarity(p, q, ProximityMetric::M3);
+                best_incomparable_similarity = best_incomparable_similarity.max(sim);
+            }
+        }
+    }
+    assert!(total > 0);
+    assert!(
+        contained_pairs * 2 < total,
+        "containment should leave most pairs incomparable ({contained_pairs}/{total})"
+    );
+    assert!(
+        best_incomparable_similarity > 0.3,
+        "some incomparable pair should still be similar (best = {best_incomparable_similarity})"
+    );
+}
