@@ -58,7 +58,13 @@ fn bench_clustering_algorithms(c: &mut Criterion) {
         })
     });
     group.bench_function(BenchmarkId::from_parameter("leader"), |b| {
-        b.iter(|| black_box(leader(&matrix, LeaderConfig::default()).clustering.cluster_count()))
+        b.iter(|| {
+            black_box(
+                leader(&matrix, LeaderConfig::default())
+                    .clustering
+                    .cluster_count(),
+            )
+        })
     });
     group.bench_function(BenchmarkId::from_parameter("kmedoids"), |b| {
         b.iter(|| {
@@ -78,5 +84,9 @@ fn bench_clustering_algorithms(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matrix_construction, bench_clustering_algorithms);
+criterion_group!(
+    benches,
+    bench_matrix_construction,
+    bench_clustering_algorithms
+);
 criterion_main!(benches);

@@ -5,7 +5,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use tps_bench::BenchFixture;
-use tps_dtd::{parser, samples, writer, AnalysisConfig, PatternAnalyzer, ValidationMode, Validator};
+use tps_dtd::{
+    parser, samples, writer, AnalysisConfig, PatternAnalyzer, ValidationMode, Validator,
+};
 use tps_workload::Dtd;
 
 fn bench_parse(c: &mut Criterion) {

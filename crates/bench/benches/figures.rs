@@ -56,7 +56,13 @@ fn bench_workload_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("workload_build");
     group.sample_size(10);
     group.bench_function("nitf_tiny", |b| {
-        b.iter(|| black_box(DtdWorkload::build("NITF", Dtd::nitf_like(), &scale).dataset.document_count()))
+        b.iter(|| {
+            black_box(
+                DtdWorkload::build("NITF", Dtd::nitf_like(), &scale)
+                    .dataset
+                    .document_count(),
+            )
+        })
     });
     group.finish();
 }

@@ -17,7 +17,10 @@ fn bench_exact_matching(c: &mut Criterion) {
     c.bench_function("exact_match_workload_vs_one_document", |b| {
         let doc = &docs[0];
         b.iter(|| {
-            let hits = patterns.iter().filter(|p| p.matches(black_box(doc))).count();
+            let hits = patterns
+                .iter()
+                .filter(|p| p.matches(black_box(doc)))
+                .count();
             black_box(hits)
         })
     });
@@ -64,5 +67,10 @@ fn bench_containment(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_exact_matching, bench_parsing, bench_containment);
+criterion_group!(
+    benches,
+    bench_exact_matching,
+    bench_parsing,
+    bench_containment
+);
 criterion_main!(benches);

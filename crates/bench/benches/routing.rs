@@ -25,31 +25,31 @@ fn bench_clustering(c: &mut Criterion) {
     let mut group = c.benchmark_group("community_clustering");
     group.sample_size(10);
     for threshold in [0.4, 0.6, 0.8] {
-        group.bench_function(BenchmarkId::from_parameter(format!("threshold_{threshold}")), |b| {
-            b.iter(|| {
-                let clustering = CommunityClustering::cluster(
-                    &estimator,
-                    fixture.positives(),
-                    CommunityConfig {
-                        metric: ProximityMetric::M3,
-                        threshold,
-                        max_community_size: 0,
-                    },
-                );
-                black_box(clustering.len())
-            })
-        });
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("threshold_{threshold}")),
+            |b| {
+                b.iter(|| {
+                    let clustering = CommunityClustering::cluster(
+                        &estimator,
+                        fixture.positives(),
+                        CommunityConfig {
+                            metric: ProximityMetric::M3,
+                            threshold,
+                            max_community_size: 0,
+                        },
+                    );
+                    black_box(clustering.len())
+                })
+            },
+        );
     }
     group.finish();
 }
 
 fn bench_routing_strategies(c: &mut Criterion) {
     let (fixture, estimator, broker) = setup();
-    let clustering = CommunityClustering::cluster(
-        &estimator,
-        fixture.positives(),
-        CommunityConfig::default(),
-    );
+    let clustering =
+        CommunityClustering::cluster(&estimator, fixture.positives(), CommunityConfig::default());
     let stream = &fixture.documents()[..50];
     let mut group = c.benchmark_group("route_50_documents");
     group.sample_size(10);

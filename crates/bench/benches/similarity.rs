@@ -22,24 +22,21 @@ fn bench_pairwise_similarity(c: &mut Criterion) {
         let synopsis = fixture.synopsis(kind);
         let estimator = SimilarityEstimator::from_synopsis(synopsis);
         for metric in ProximityMetric::all() {
-            group.bench_function(
-                BenchmarkId::new(name, metric.to_string()),
-                |b| {
-                    b.iter(|| {
-                        let total: f64 = pairs
-                            .iter()
-                            .map(|&(i, j)| {
-                                estimator.similarity(
-                                    &fixture.positives()[i],
-                                    &fixture.positives()[j],
-                                    metric,
-                                )
-                            })
-                            .sum();
-                        black_box(total)
-                    })
-                },
-            );
+            group.bench_function(BenchmarkId::new(name, metric.to_string()), |b| {
+                b.iter(|| {
+                    let total: f64 = pairs
+                        .iter()
+                        .map(|&(i, j)| {
+                            estimator.similarity(
+                                &fixture.positives()[i],
+                                &fixture.positives()[j],
+                                metric,
+                            )
+                        })
+                        .sum();
+                    black_box(total)
+                })
+            });
         }
     }
     group.finish();

@@ -66,12 +66,7 @@ fn bench_prepare(c: &mut Criterion) {
     let fixture = BenchFixture::nitf();
     c.bench_function("synopsis_prepare_hashes_256", |b| {
         b.iter_batched(
-            || {
-                Synopsis::from_documents(
-                    SynopsisConfig::hashes(256),
-                    fixture.documents(),
-                )
-            },
+            || Synopsis::from_documents(SynopsisConfig::hashes(256), fixture.documents()),
             |mut s| {
                 s.prepare();
                 black_box(s.node_count())

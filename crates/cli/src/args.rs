@@ -52,7 +52,10 @@ impl fmt::Display for ArgsError {
                 option,
                 value,
                 expected,
-            } => write!(f, "invalid value {value:?} for --{option}: expected {expected}"),
+            } => write!(
+                f,
+                "invalid value {value:?} for --{option}: expected {expected}"
+            ),
             ArgsError::UnknownCommand(command) => {
                 write!(f, "unknown subcommand {command:?} (try `tps help`)")
             }
@@ -170,8 +173,8 @@ mod tests {
 
     #[test]
     fn parses_subcommand_options_and_flags() {
-        let args = ParsedArgs::parse(["similarity", "--dtd", "media", "--exact", "--docs", "50"])
-            .unwrap();
+        let args =
+            ParsedArgs::parse(["similarity", "--dtd", "media", "--exact", "--docs", "50"]).unwrap();
         assert_eq!(args.command, "similarity");
         assert_eq!(args.get("dtd"), Some("media"));
         assert_eq!(args.get_usize("docs", 0).unwrap(), 50);
@@ -181,8 +184,8 @@ mod tests {
 
     #[test]
     fn repeated_options_are_collected_in_order() {
-        let args = ParsedArgs::parse(["similarity", "--pattern", "//CD", "--pattern", "//book"])
-            .unwrap();
+        let args =
+            ParsedArgs::parse(["similarity", "--pattern", "//CD", "--pattern", "//book"]).unwrap();
         assert_eq!(args.get_all("pattern"), vec!["//CD", "//book"]);
         assert_eq!(args.get("pattern"), Some("//book"));
     }
@@ -225,7 +228,9 @@ mod tests {
     #[test]
     fn error_messages_are_informative() {
         assert!(ArgsError::MissingCommand.to_string().contains("help"));
-        assert!(ArgsError::UnknownCommand("x".into()).to_string().contains("x"));
+        assert!(ArgsError::UnknownCommand("x".into())
+            .to_string()
+            .contains("x"));
         let invalid = ArgsError::InvalidValue {
             option: "documents".into(),
             value: "many".into(),

@@ -139,11 +139,15 @@ fn resolve_dtd(args: &ParsedArgs) -> Result<Dtd, CliError> {
 fn parse_patterns(args: &ParsedArgs, minimum: usize) -> Result<Vec<TreePattern>, CliError> {
     let texts = args.get_all("pattern");
     if texts.len() < minimum {
-        return Err(CliError::Args(ArgsError::MissingOption("pattern".to_string())));
+        return Err(CliError::Args(ArgsError::MissingOption(
+            "pattern".to_string(),
+        )));
     }
     texts
         .into_iter()
-        .map(|text| TreePattern::parse(text).map_err(|err| CliError::Pattern(format!("{text}: {err}"))))
+        .map(|text| {
+            TreePattern::parse(text).map_err(|err| CliError::Pattern(format!("{text}: {err}")))
+        })
         .collect()
 }
 
@@ -172,7 +176,11 @@ fn generate_documents(args: &ParsedArgs, dtd: &Dtd) -> Result<Vec<tps_xml::XmlTr
     Ok(generator.generate_many(documents))
 }
 
-fn generate_dataset(args: &ParsedArgs, dtd: Dtd, subscriptions: usize) -> Result<Dataset, CliError> {
+fn generate_dataset(
+    args: &ParsedArgs,
+    dtd: Dtd,
+    subscriptions: usize,
+) -> Result<Dataset, CliError> {
     let documents = args.get_usize("documents", 200)?;
     let seed = args.get_u64("seed", 1)?;
     let config = DatasetConfig {
@@ -202,7 +210,12 @@ fn generate<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
     if args.has_flag("stats") {
         let nodes: usize = documents.iter().map(|d| d.node_count()).sum();
         let depth = documents.iter().map(|d| d.depth()).max().unwrap_or(0);
-        writeln!(out, "dtd: {} ({} elements)", dtd.name(), dtd.element_count())?;
+        writeln!(
+            out,
+            "dtd: {} ({} elements)",
+            dtd.name(),
+            dtd.element_count()
+        )?;
         writeln!(out, "documents: {}", documents.len())?;
         writeln!(
             out,
@@ -221,8 +234,8 @@ fn generate<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
 fn dtd<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
     let schema = match args.get("file") {
         Some(path) => {
-            let text =
-                std::fs::read_to_string(path).map_err(|err| CliError::Dtd(format!("{path}: {err}")))?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|err| CliError::Dtd(format!("{path}: {err}")))?;
             tps_dtd::parser::parse_named(path, &text)
                 .map_err(|err| CliError::Dtd(err.to_string()))?
         }
@@ -243,8 +256,8 @@ fn dtd<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
     if let Some(path) = args.get("validate") {
         let text =
             std::fs::read_to_string(path).map_err(|err| CliError::Dtd(format!("{path}: {err}")))?;
-        let document =
-            tps_xml::XmlTree::parse(&text).map_err(|err| CliError::Dtd(format!("{path}: {err}")))?;
+        let document = tps_xml::XmlTree::parse(&text)
+            .map_err(|err| CliError::Dtd(format!("{path}: {err}")))?;
         let mode = if args.has_flag("strict") {
             ValidationMode::Strict
         } else {
@@ -253,7 +266,11 @@ fn dtd<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
         let report = Validator::new(&schema, mode).validate(&document);
         writeln!(out, "\nvalidation of {path} ({mode:?}):")?;
         if report.is_valid() {
-            writeln!(out, "  valid ({} elements checked)", report.elements_checked())?;
+            writeln!(
+                out,
+                "  valid ({} elements checked)",
+                report.elements_checked()
+            )?;
         } else {
             for error in report.errors() {
                 writeln!(out, "  {error}")?;
@@ -273,7 +290,11 @@ fn dtd<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
                 "  {text}: satisfiable={} expansions={}{}",
                 !expansions.is_empty(),
                 expansions.len(),
-                if expansions.truncated { " (truncated)" } else { "" }
+                if expansions.truncated {
+                    " (truncated)"
+                } else {
+                    ""
+                }
             )?;
         }
     }
@@ -399,8 +420,16 @@ fn cluster<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
     )?;
     writeln!(out, "communities: {}", clustering.cluster_count())?;
     writeln!(out, "singletons: {}", quality.singleton_count)?;
-    writeln!(out, "intra-community similarity: {:.3}", quality.intra_similarity)?;
-    writeln!(out, "inter-community similarity: {:.3}", quality.inter_similarity)?;
+    writeln!(
+        out,
+        "intra-community similarity: {:.3}",
+        quality.intra_similarity
+    )?;
+    writeln!(
+        out,
+        "inter-community similarity: {:.3}",
+        quality.inter_similarity
+    )?;
     writeln!(out, "silhouette: {:.3}", quality.silhouette)?;
     for (id, members) in clustering.clusters().iter().enumerate() {
         writeln!(out, "community {id} ({} members):", members.len())?;
@@ -459,7 +488,11 @@ fn route<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
     .clustering;
     let overlay = SemanticOverlay::from_clustering(patterns, &clustering, Some(&matrix));
     let stats = overlay.route_stream(&dataset.documents);
-    writeln!(out, "\nsemantic overlay ({} communities):", overlay.community_count())?;
+    writeln!(
+        out,
+        "\nsemantic overlay ({} communities):",
+        overlay.community_count()
+    )?;
     writeln!(out, "  matches/doc: {:.1}", stats.matches_per_document())?;
     writeln!(out, "  precision: {:.3}", stats.precision())?;
     writeln!(out, "  recall: {:.3}", stats.recall())?;
@@ -504,7 +537,10 @@ mod tests {
     #[test]
     fn generate_rejects_unknown_dtds() {
         let err = run_capture(&["generate", "--dtd", "unknown"]).unwrap_err();
-        assert!(matches!(err, CliError::Args(ArgsError::InvalidValue { .. })));
+        assert!(matches!(
+            err,
+            CliError::Args(ArgsError::InvalidValue { .. })
+        ));
     }
 
     #[test]
@@ -630,7 +666,9 @@ mod tests {
     #[test]
     fn cluster_rejects_unknown_algorithms() {
         let err = run_capture(&["cluster", "--algorithm", "magic"]).unwrap_err();
-        assert!(matches!(err, CliError::Args(ArgsError::InvalidValue { option, .. }) if option == "algorithm"));
+        assert!(
+            matches!(err, CliError::Args(ArgsError::InvalidValue { option, .. }) if option == "algorithm")
+        );
     }
 
     #[test]

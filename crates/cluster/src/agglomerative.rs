@@ -76,7 +76,8 @@ pub fn agglomerative(matrix: &SimilarityMatrix, config: AgglomerativeConfig) -> 
         let mut best: Option<(usize, usize, f64)> = None;
         for a in 0..clusters.len() {
             for b in (a + 1)..clusters.len() {
-                let similarity = linkage_similarity(matrix, &clusters[a], &clusters[b], config.linkage);
+                let similarity =
+                    linkage_similarity(matrix, &clusters[a], &clusters[b], config.linkage);
                 if best.map(|(_, _, s)| similarity > s).unwrap_or(true) {
                     best = Some((a, b, similarity));
                 }

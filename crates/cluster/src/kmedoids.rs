@@ -73,7 +73,7 @@ pub fn kmedoids(matrix: &SimilarityMatrix, config: KMedoidsConfig) -> KMedoidsRe
         let mut changed = false;
         // Update: for each community, pick the member minimising the total
         // dissimilarity to the other members.
-        for cluster in 0..k {
+        for (cluster, medoid) in medoids.iter_mut().enumerate() {
             let members: Vec<usize> = assignment
                 .iter()
                 .enumerate()
@@ -83,7 +83,7 @@ pub fn kmedoids(matrix: &SimilarityMatrix, config: KMedoidsConfig) -> KMedoidsRe
             if members.is_empty() {
                 continue;
             }
-            let mut best = medoids[cluster];
+            let mut best = *medoid;
             let mut best_cost = f64::INFINITY;
             for &candidate in &members {
                 let cost: f64 = members
@@ -95,8 +95,8 @@ pub fn kmedoids(matrix: &SimilarityMatrix, config: KMedoidsConfig) -> KMedoidsRe
                     best = candidate;
                 }
             }
-            if best != medoids[cluster] {
-                medoids[cluster] = best;
+            if best != *medoid {
+                *medoid = best;
                 changed = true;
             }
         }

@@ -45,7 +45,7 @@ pub struct LeaderResult {
 pub fn leader(matrix: &SimilarityMatrix, config: LeaderConfig) -> LeaderResult {
     let mut leaders: Vec<usize> = Vec::new();
     let mut assignment = vec![0usize; matrix.len()];
-    for i in 0..matrix.len() {
+    for (i, slot) in assignment.iter_mut().enumerate() {
         let mut chosen: Option<(usize, f64)> = None;
         for (cluster, &leader) in leaders.iter().enumerate() {
             let similarity = matrix.symmetric(i, leader);
@@ -61,7 +61,7 @@ pub fn leader(matrix: &SimilarityMatrix, config: LeaderConfig) -> LeaderResult {
                 _ => chosen = Some((cluster, similarity)),
             }
         }
-        assignment[i] = match chosen {
+        *slot = match chosen {
             Some((cluster, _)) => cluster,
             None => {
                 leaders.push(i);

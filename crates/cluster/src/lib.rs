@@ -62,6 +62,4 @@ pub use kmedoids::{kmedoids, KMedoidsConfig, KMedoidsResult};
 pub use leader::{leader, LeaderConfig, LeaderResult};
 pub use matrix::SimilarityMatrix;
 pub use minhash::{minhash_matrix, MinHashSignature};
-pub use quality::{
-    community_delivery, evaluate, silhouette, ClusterQuality, DeliveryStats,
-};
+pub use quality::{community_delivery, evaluate, silhouette, ClusterQuality, DeliveryStats};

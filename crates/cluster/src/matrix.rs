@@ -246,9 +246,8 @@ mod tests {
 
     #[test]
     fn from_fn_sets_unit_diagonal_and_clamps() {
-        let matrix = SimilarityMatrix::from_fn(3, ProximityMetric::M3, |i, j| {
-            (i as f64 - j as f64) * 10.0
-        });
+        let matrix =
+            SimilarityMatrix::from_fn(3, ProximityMetric::M3, |i, j| (i as f64 - j as f64) * 10.0);
         for i in 0..3 {
             assert_eq!(matrix.get(i, i), 1.0);
         }

@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 
 use tps_cluster::{
-    agglomerative, community_delivery, evaluate, kmedoids, leader, AgglomerativeConfig,
-    Clustering, KMedoidsConfig, LeaderConfig, MinHashSignature, SimilarityMatrix,
+    agglomerative, community_delivery, evaluate, kmedoids, leader, AgglomerativeConfig, Clustering,
+    KMedoidsConfig, LeaderConfig, MinHashSignature, SimilarityMatrix,
 };
 use tps_core::ProximityMetric;
 

@@ -136,9 +136,7 @@ mod tests {
         // P(p)=0.5, P(q)=0.5, P(p∧q)=0.25.
         assert!((ev.similarity(&p, &q, ProximityMetric::M1) - 0.5).abs() < 1e-12);
         assert!((ev.similarity(&p, &q, ProximityMetric::M2) - 0.5).abs() < 1e-12);
-        assert!(
-            (ev.similarity(&p, &q, ProximityMetric::M3) - 0.25 / 0.75).abs() < 1e-12
-        );
+        assert!((ev.similarity(&p, &q, ProximityMetric::M3) - 0.25 / 0.75).abs() < 1e-12);
     }
 
     #[test]

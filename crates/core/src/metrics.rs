@@ -27,7 +27,11 @@ pub enum ProximityMetric {
 impl ProximityMetric {
     /// All three metrics, in paper order.
     pub fn all() -> [ProximityMetric; 3] {
-        [ProximityMetric::M1, ProximityMetric::M2, ProximityMetric::M3]
+        [
+            ProximityMetric::M1,
+            ProximityMetric::M2,
+            ProximityMetric::M3,
+        ]
     }
 
     /// Whether the metric is symmetric in its arguments.

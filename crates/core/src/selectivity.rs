@@ -156,11 +156,9 @@ impl EvalContext<'_> {
                 // Folded labels: the descendant's target may have been folded
                 // into v (or deeper); all of S(v) is then assumed to satisfy
                 // it.
-                if pattern
-                    .children(u)
-                    .iter()
-                    .all(|&u_child| folded_satisfies_descendant(synopsis.folded(v), pattern, u_child))
-                    && !pattern.children(u).is_empty()
+                if pattern.children(u).iter().all(|&u_child| {
+                    folded_satisfies_descendant(synopsis.folded(v), pattern, u_child)
+                }) && !pattern.children(u).is_empty()
                 {
                     result = result.union(&synopsis.matching_value(v));
                 }
@@ -264,8 +262,20 @@ mod tests {
         // branching and descendant patterns alike.
         let docs = figure2_documents();
         let patterns = [
-            "/a", "/a/b", "/a/b/e/k", "/a[b][d]", "/a[c/f][c/o]", "//n", "//e/m", "/a//k",
-            "/a/*/e", "/a[d/e/m]", "//g[m]", "/x", "/a/z", ".[//k][//m]",
+            "/a",
+            "/a/b",
+            "/a/b/e/k",
+            "/a[b][d]",
+            "/a[c/f][c/o]",
+            "//n",
+            "//e/m",
+            "/a//k",
+            "/a/*/e",
+            "/a[d/e/m]",
+            "//g[m]",
+            "/x",
+            "/a/z",
+            ".[//k][//m]",
         ];
         for config in [SynopsisConfig::sets(1000), SynopsisConfig::hashes(1000)] {
             let mut synopsis = Synopsis::from_documents(config, &docs);
@@ -369,11 +379,8 @@ mod tests {
         let p = pat("/a/b");
         let q = pat("//n");
         let joint = est.joint_selectivity(&p, &q);
-        let exact = docs
-            .iter()
-            .filter(|d| p.matches(d) && q.matches(d))
-            .count() as f64
-            / docs.len() as f64;
+        let exact =
+            docs.iter().filter(|d| p.matches(d) && q.matches(d)).count() as f64 / docs.len() as f64;
         assert!((joint - exact).abs() < 1e-9);
     }
 

@@ -55,7 +55,10 @@ fn gen_pat_node() -> impl Strategy<Value = GenPat> {
                 .prop_map(|(i, c)| GenPat::Tag(i, c)),
             prop::collection::vec(inner.clone(), 0..2).prop_map(GenPat::Wildcard),
             inner
-                .prop_filter("no nested descendants", |g| !matches!(g, GenPat::Descendant(_)))
+                .prop_filter("no nested descendants", |g| !matches!(
+                    g,
+                    GenPat::Descendant(_)
+                ))
                 .prop_map(|g| GenPat::Descendant(Box::new(g))),
         ]
     })

@@ -514,7 +514,12 @@ impl<'a> PatternAnalyzer<'a> {
         let mut out = Vec::new();
         if include_start {
             let mut stack = vec![from.to_string()];
-            self.collect_descendant_paths(from, self.config.max_descendant_depth, &mut stack, &mut out);
+            self.collect_descendant_paths(
+                from,
+                self.config.max_descendant_depth,
+                &mut stack,
+                &mut out,
+            );
         } else {
             out.push(Vec::new());
             let mut stack = Vec::new();

@@ -71,8 +71,9 @@ fn collect_parameter_entities(text: &str) -> Result<BTreeMap<String, String>, Dt
         }
         pos += 1;
         skip_ws(bytes, &mut pos);
-        let name = read_name(bytes, &mut pos)
-            .ok_or_else(|| DtdError::new(DtdErrorKind::InvalidEntity("missing name".into()), pos))?;
+        let name = read_name(bytes, &mut pos).ok_or_else(|| {
+            DtdError::new(DtdErrorKind::InvalidEntity("missing name".into()), pos)
+        })?;
         skip_ws(bytes, &mut pos);
         // External parameter entities (SYSTEM/PUBLIC) cannot be fetched in a
         // self-contained parser; treat them as empty replacement text.
@@ -135,9 +136,8 @@ fn rewrite_once(text: &str, entities: &BTreeMap<String, String>) -> Result<Strin
         } else if text[i..].starts_with("<!ENTITY") {
             // Copy entity declarations verbatim so their replacement text is
             // not re-expanded in place.
-            let end = find_from(text, ">", i).ok_or_else(|| {
-                DtdError::new(DtdErrorKind::UnexpectedEof, i)
-            })?;
+            let end = find_from(text, ">", i)
+                .ok_or_else(|| DtdError::new(DtdErrorKind::UnexpectedEof, i))?;
             out.push_str(&text[i..=end]);
             i = end + 1;
         } else {
@@ -309,9 +309,8 @@ impl<'a> Parser<'a> {
                 return Ok(());
             }
             if b == b'"' || b == b'\'' {
-                read_quoted(self.input, &mut self.offset).ok_or_else(|| {
-                    DtdError::new(DtdErrorKind::UnexpectedEof, self.offset)
-                })?;
+                read_quoted(self.input, &mut self.offset)
+                    .ok_or_else(|| DtdError::new(DtdErrorKind::UnexpectedEof, self.offset))?;
             } else {
                 self.offset += 1;
             }
@@ -471,9 +470,7 @@ impl<'a> ModelLexer<'a> {
     }
 
     fn skip_ws(&mut self) {
-        while self.pos < self.text.len()
-            && self.text.as_bytes()[self.pos].is_ascii_whitespace()
-        {
+        while self.pos < self.text.len() && self.text.as_bytes()[self.pos].is_ascii_whitespace() {
             self.pos += 1;
         }
     }
@@ -646,13 +643,12 @@ pub fn parse_attribute_definitions(
             )
         })?;
         skip_ws(bytes, &mut pos);
-        let attribute_type = read_attribute_type(body, bytes, &mut pos)
-            .ok_or_else(|| {
-                DtdError::new(
-                    DtdErrorKind::InvalidAttlist(format!("missing type for attribute {name}")),
-                    offset + pos,
-                )
-            })?;
+        let attribute_type = read_attribute_type(body, bytes, &mut pos).ok_or_else(|| {
+            DtdError::new(
+                DtdErrorKind::InvalidAttlist(format!("missing type for attribute {name}")),
+                offset + pos,
+            )
+        })?;
         skip_ws(bytes, &mut pos);
         let default = read_attribute_default(body, bytes, &mut pos).ok_or_else(|| {
             DtdError::new(

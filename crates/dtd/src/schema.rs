@@ -157,7 +157,9 @@ impl DtdSchema {
 
     /// Look up a declaration by element name.
     pub fn element(&self, name: &str) -> Option<&ElementDecl> {
-        self.by_name.get(name).map(|id| &self.declarations[id.index()])
+        self.by_name
+            .get(name)
+            .map(|id| &self.declarations[id.index()])
     }
 
     /// Look up a declaration id by element name.
@@ -470,7 +472,10 @@ mod tests {
             }],
         );
         assert!(schema.has_element("label"));
-        assert_eq!(*schema.element("label").unwrap().content(), ContentModel::Any);
+        assert_eq!(
+            *schema.element("label").unwrap().content(),
+            ContentModel::Any
+        );
     }
 
     #[test]

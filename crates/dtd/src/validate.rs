@@ -352,10 +352,8 @@ mod tests {
     #[test]
     fn valid_document_passes_both_modes() {
         let schema = schema();
-        let document = doc(
-            "<media><book><author>X</author><title>T</title></book>\
-             <CD><composer>M</composer><title>R</title></CD></media>",
-        );
+        let document = doc("<media><book><author>X</author><title>T</title></book>\
+             <CD><composer>M</composer><title>R</title></CD></media>");
         for mode in [ValidationMode::Lenient, ValidationMode::Strict] {
             let report = Validator::new(&schema, mode).validate(&document);
             assert!(report.is_valid(), "{mode:?}: {:?}", report.errors());
@@ -379,10 +377,9 @@ mod tests {
         let schema = schema();
         let document = doc("<media><vinyl/></media>");
         let report = Validator::new(&schema, ValidationMode::Lenient).validate(&document);
-        assert!(report
-            .errors()
-            .iter()
-            .any(|e| matches!(e, ValidationError::ChildNotAllowed { child, .. } if child == "vinyl")));
+        assert!(report.errors().iter().any(
+            |e| matches!(e, ValidationError::ChildNotAllowed { child, .. } if child == "vinyl")
+        ));
         assert!(report
             .errors()
             .iter()
@@ -418,10 +415,8 @@ mod tests {
     #[test]
     fn strict_mode_accepts_repeated_particles() {
         let schema = schema();
-        let document = doc(
-            "<media><CD><composer>A</composer><composer>B</composer>\
-             <title>T</title></CD></media>",
-        );
+        let document = doc("<media><CD><composer>A</composer><composer>B</composer>\
+             <title>T</title></CD></media>");
         let strict = Validator::new(&schema, ValidationMode::Strict).validate(&document);
         assert!(strict.is_valid(), "{:?}", strict.errors());
     }
@@ -439,10 +434,9 @@ mod tests {
         let schema = parser::parse("<!ELEMENT a (b?)><!ELEMENT b EMPTY>").unwrap();
         let document = doc("<a><b><a/></b></a>");
         let strict = Validator::new(&schema, ValidationMode::Strict).validate(&document);
-        assert!(strict
-            .errors()
-            .iter()
-            .any(|e| matches!(e, ValidationError::SequenceMismatch { model, .. } if model == "EMPTY")));
+        assert!(strict.errors().iter().any(
+            |e| matches!(e, ValidationError::SequenceMismatch { model, .. } if model == "EMPTY")
+        ));
     }
 
     #[test]

@@ -14,7 +14,12 @@ use crate::schema::{DtdSchema, ElementDecl};
 /// Render a schema as DTD text (one declaration per line).
 pub fn write_dtd(schema: &DtdSchema) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "<!-- DTD {} ({} elements) -->", schema.name(), schema.element_count());
+    let _ = writeln!(
+        out,
+        "<!-- DTD {} ({} elements) -->",
+        schema.name(),
+        schema.element_count()
+    );
     for decl in schema.declarations() {
         // A bare element particle (`book+`) must be parenthesised to be
         // valid DTD syntax; grouped particles already print their parens.

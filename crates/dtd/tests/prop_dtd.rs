@@ -5,7 +5,9 @@ use proptest::prelude::*;
 use tps_dtd::{
     parser, samples, writer, AnalysisConfig, PatternAnalyzer, ValidationMode, Validator,
 };
-use tps_workload::{DocGenConfig, DocumentGenerator, Dtd, SyntheticDtdConfig, XPathGenConfig, XPathGenerator};
+use tps_workload::{
+    DocGenConfig, DocumentGenerator, Dtd, SyntheticDtdConfig, XPathGenConfig, XPathGenerator,
+};
 
 /// A strategy over synthetic workload DTDs of varying scale.
 fn synthetic_dtd() -> impl Strategy<Value = Dtd> {

@@ -6,7 +6,10 @@ use tps_experiments::{DtdWorkload, ExperimentScale};
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    eprintln!("[fig10] scale = {} (set TPS_SCALE=paper|quick|tiny)", scale.name);
+    eprintln!(
+        "[fig10] scale = {} (set TPS_SCALE=paper|quick|tiny)",
+        scale.name
+    );
     let workloads = DtdWorkload::both(&scale);
     fig10(&workloads, &scale).print();
 }

@@ -5,7 +5,10 @@ use tps_experiments::{DtdWorkload, ExperimentScale};
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    eprintln!("[fig5] scale = {} (set TPS_SCALE=paper|quick|tiny)", scale.name);
+    eprintln!(
+        "[fig5] scale = {} (set TPS_SCALE=paper|quick|tiny)",
+        scale.name
+    );
     let workloads = DtdWorkload::both(&scale);
     fig5(&workloads, &scale).print();
 }

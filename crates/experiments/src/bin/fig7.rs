@@ -5,7 +5,10 @@ use tps_experiments::{DtdWorkload, ExperimentScale};
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    eprintln!("[fig7] scale = {} (set TPS_SCALE=paper|quick|tiny)", scale.name);
+    eprintln!(
+        "[fig7] scale = {} (set TPS_SCALE=paper|quick|tiny)",
+        scale.name
+    );
     let workloads = DtdWorkload::both(&scale);
     let [m1, _, _] = fig789(&workloads, &scale);
     m1.print();

@@ -5,7 +5,10 @@ use tps_experiments::{DtdWorkload, ExperimentScale};
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    eprintln!("[fig9] scale = {} (set TPS_SCALE=paper|quick|tiny)", scale.name);
+    eprintln!(
+        "[fig9] scale = {} (set TPS_SCALE=paper|quick|tiny)",
+        scale.name
+    );
     let workloads = DtdWorkload::both(&scale);
     let [_, _, m3] = fig789(&workloads, &scale);
     m3.print();

@@ -7,9 +7,7 @@
 
 use std::time::Instant;
 
-use tps_experiments::figures::{
-    ablation_representations, fig10, fig4, fig5, fig6, fig789, table1,
-};
+use tps_experiments::figures::{ablation_representations, fig10, fig4, fig5, fig6, fig789, table1};
 use tps_experiments::{DtdWorkload, ExperimentScale};
 
 fn main() {

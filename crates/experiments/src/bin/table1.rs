@@ -5,7 +5,10 @@ use tps_experiments::{DtdWorkload, ExperimentScale};
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    eprintln!("[table1] scale = {} (set TPS_SCALE=paper|quick|tiny)", scale.name);
+    eprintln!(
+        "[table1] scale = {} (set TPS_SCALE=paper|quick|tiny)",
+        scale.name
+    );
     let workloads = DtdWorkload::both(&scale);
     table1(&workloads).print();
 }

@@ -52,9 +52,7 @@ pub fn fig4(workloads: &[DtdWorkload], scale: &ExperimentScale) -> Table {
         for &size in &scale.summary_sizes {
             for kind in representations(size) {
                 // Counters have no size knob; only report them once per DTD.
-                if matches!(kind, MatchingSetKind::Counters)
-                    && size != scale.summary_sizes[0]
-                {
+                if matches!(kind, MatchingSetKind::Counters) && size != scale.summary_sizes[0] {
                     continue;
                 }
                 let synopsis = w.build_synopsis(kind);
@@ -81,9 +79,7 @@ pub fn fig5(workloads: &[DtdWorkload], scale: &ExperimentScale) -> Table {
     for w in workloads {
         for &size in &scale.summary_sizes {
             for kind in representations(size) {
-                if matches!(kind, MatchingSetKind::Counters)
-                    && size != scale.summary_sizes[0]
-                {
+                if matches!(kind, MatchingSetKind::Counters) && size != scale.summary_sizes[0] {
                     continue;
                 }
                 let synopsis = w.build_synopsis(kind);
@@ -113,9 +109,7 @@ pub fn fig6(workloads: &[DtdWorkload], scale: &ExperimentScale) -> Table {
     for w in workloads {
         for &size in &scale.summary_sizes {
             for kind in representations(size) {
-                if matches!(kind, MatchingSetKind::Counters)
-                    && size != scale.summary_sizes[0]
-                {
+                if matches!(kind, MatchingSetKind::Counters) && size != scale.summary_sizes[0] {
                     continue;
                 }
                 let synopsis = w.build_synopsis(kind);
@@ -157,9 +151,7 @@ pub fn fig789(workloads: &[DtdWorkload], scale: &ExperimentScale) -> [Table; 3] 
         let exact_values = w.exact_metric_values(&pairs);
         for &size in &scale.summary_sizes {
             for kind in representations(size) {
-                if matches!(kind, MatchingSetKind::Counters)
-                    && size != scale.summary_sizes[0]
-                {
+                if matches!(kind, MatchingSetKind::Counters) && size != scale.summary_sizes[0] {
                     continue;
                 }
                 let synopsis = w.build_synopsis(kind);
@@ -357,7 +349,10 @@ mod tests {
         for row in &t.rows {
             let target: f64 = row[1].parse().unwrap();
             let achieved: f64 = row[2].parse().unwrap();
-            assert!(achieved <= target + 0.15, "target {target}, achieved {achieved}");
+            assert!(
+                achieved <= target + 0.15,
+                "target {target}, achieved {achieved}"
+            );
         }
     }
 

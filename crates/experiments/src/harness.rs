@@ -155,10 +155,8 @@ impl DtdWorkload {
             .map(|&(i, j)| {
                 let p = &self.dataset.positive[i];
                 let q = &self.dataset.positive[j];
-                let est_p =
-                    *estimated_marginal[i].get_or_insert_with(|| estimator.selectivity(p));
-                let est_q =
-                    *estimated_marginal[j].get_or_insert_with(|| estimator.selectivity(q));
+                let est_p = *estimated_marginal[i].get_or_insert_with(|| estimator.selectivity(p));
+                let est_q = *estimated_marginal[j].get_or_insert_with(|| estimator.selectivity(q));
                 let est_joint = estimator.joint_selectivity(p, q);
                 [
                     ProximityMetric::M1.compute(est_p, est_q, est_joint),
@@ -253,7 +251,9 @@ impl Table {
             .collect();
         out.push_str(&header_line.join("  "));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)),
+        );
         out.push('\n');
         for row in &self.rows {
             let line: Vec<String> = row

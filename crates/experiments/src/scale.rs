@@ -133,7 +133,10 @@ mod tests {
         ] {
             assert!(s.summary_sizes.len() >= 2);
             assert!(s.compression_ratios.len() >= 2);
-            assert!(s.compression_ratios.iter().all(|&a| (0.0..=1.0).contains(&a)));
+            assert!(s
+                .compression_ratios
+                .iter()
+                .all(|&a| (0.0..=1.0).contains(&a)));
         }
     }
 }

@@ -37,9 +37,7 @@ pub fn contains(p: &TreePattern, q: &TreePattern) -> bool {
 
 fn hom_root(p: &TreePattern, q: &TreePattern) -> bool {
     // Each child of p's root must be embeddable at q's root.
-    p.children(p.root())
-        .iter()
-        .all(|&u| embed_at_root(p, u, q))
+    p.children(p.root()).iter().all(|&u| embed_at_root(p, u, q))
 }
 
 /// Can root-child `u` of `p` be embedded at the root position of `q`?
@@ -83,9 +81,7 @@ fn embed_root_child(p: &TreePattern, u: PatternNodeId, q: &TreePattern, v: Patte
     if !label_ok {
         return false;
     }
-    p.children(u)
-        .iter()
-        .all(|&uc| embed_below(p, uc, q, v))
+    p.children(u).iter().all(|&uc| embed_below(p, uc, q, v))
 }
 
 /// Can pattern node `u` of p (a non-root node) be embedded at node `v` of q,
@@ -128,10 +124,7 @@ fn embed_below(p: &TreePattern, u: PatternNodeId, q: &TreePattern, v: PatternNod
                     .iter()
                     .any(|&vc| any_descendant_embeds(p, target, q, vc))
         }
-        _ => q
-            .children(v)
-            .iter()
-            .any(|&vc| child_image_ok(p, u, q, vc)),
+        _ => q.children(v).iter().any(|&vc| child_image_ok(p, u, q, vc)),
     }
 }
 

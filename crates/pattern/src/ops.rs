@@ -195,7 +195,11 @@ mod tests {
     fn normalize_preserves_matching_on_examples() {
         let p = pat("/a[b][b][c/d]");
         let n = normalize(&p);
-        for text in ["<a><b/><c><d/></c></a>", "<a><b/></a>", "<a><c><d/></c></a>"] {
+        for text in [
+            "<a><b/><c><d/></c></a>",
+            "<a><b/></a>",
+            "<a><c><d/></c></a>",
+        ] {
             let doc = XmlTree::parse(text).unwrap();
             assert_eq!(p.matches(&doc), n.matches(&doc));
         }
@@ -216,9 +220,6 @@ mod tests {
     fn subtree_key_is_order_insensitive() {
         let p = pat("/a[b][c]");
         let q = pat("/a[c][b]");
-        assert_eq!(
-            subtree_key(&p, p.root()),
-            subtree_key(&q, q.root())
-        );
+        assert_eq!(subtree_key(&p, p.root()), subtree_key(&q, q.root()));
     }
 }

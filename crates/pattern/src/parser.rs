@@ -138,7 +138,10 @@ fn tokenize(input: &str) -> Result<Vec<Spanned>, PatternParseError> {
             }
             _ => {
                 return Err(PatternParseError::new(
-                    format!("unexpected character {:?}", input[i..].chars().next().unwrap()),
+                    format!(
+                        "unexpected character {:?}",
+                        input[i..].chars().next().unwrap()
+                    ),
                     i,
                 ));
             }
@@ -290,11 +293,7 @@ impl Parser {
         let label = match self.bump() {
             Some(Token::Name(name)) => PatternLabel::Tag(name.into()),
             Some(Token::Star) => PatternLabel::Wildcard,
-            other => {
-                return self.err(format!(
-                    "expected an element name or '*', found {other:?}"
-                ))
-            }
+            other => return self.err(format!("expected an element name or '*', found {other:?}")),
         };
         let node = self.pattern.add_child(attach, label);
         self.parse_predicates(node)?;
@@ -322,7 +321,10 @@ mod tests {
     use crate::pattern::PatternLabel as L;
 
     fn labels_preorder(p: &TreePattern) -> Vec<String> {
-        p.preorder().iter().map(|&id| p.label(id).to_string()).collect()
+        p.preorder()
+            .iter()
+            .map(|&id| p.label(id).to_string())
+            .collect()
     }
 
     #[test]

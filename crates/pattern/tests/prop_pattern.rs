@@ -73,8 +73,7 @@ fn gen_doc() -> impl Strategy<Value = XmlTree> {
     fn gen() -> impl Strategy<Value = GenDoc> {
         let leaf = (0..TAGS.len()).prop_map(|i| GenDoc(i, vec![]));
         leaf.prop_recursive(4, 24, 3, |inner| {
-            ((0..TAGS.len()), prop::collection::vec(inner, 0..3))
-                .prop_map(|(i, c)| GenDoc(i, c))
+            ((0..TAGS.len()), prop::collection::vec(inner, 0..3)).prop_map(|(i, c)| GenDoc(i, c))
         })
     }
     fn build_doc(t: &mut XmlTree, parent: tps_xml::NodeId, d: &GenDoc) {

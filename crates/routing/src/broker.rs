@@ -201,8 +201,7 @@ impl Broker {
                 RoutingStrategy::Community(clustering) => {
                     for community in &clustering.communities {
                         stats.match_operations += 1;
-                        let representative =
-                            &self.consumers[community.representative].subscription;
+                        let representative = &self.consumers[community.representative].subscription;
                         if representative.matches(doc) {
                             for &member in &community.members {
                                 delivered[member] = true;
@@ -211,9 +210,7 @@ impl Broker {
                     }
                 }
                 RoutingStrategy::CommunityAggregated(clustering) => {
-                    for (community, aggregate) in
-                        clustering.communities.iter().zip(&aggregates)
-                    {
+                    for (community, aggregate) in clustering.communities.iter().zip(&aggregates) {
                         stats.match_operations += 1;
                         if aggregate.matches(doc) {
                             for &member in &community.members {
@@ -243,7 +240,7 @@ impl Broker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::community::{CommunityConfig, CommunityClustering};
+    use crate::community::{CommunityClustering, CommunityConfig};
     use tps_core::SimilarityEstimator;
     use tps_synopsis::SynopsisConfig;
 
@@ -297,7 +294,10 @@ mod tests {
         assert_eq!(stats.recall(), 1.0);
         assert_eq!(stats.false_positives, 0);
         assert_eq!(stats.false_negatives, 0);
-        assert_eq!(stats.matches_per_document(), broker.consumers().len() as f64);
+        assert_eq!(
+            stats.matches_per_document(),
+            broker.consumers().len() as f64
+        );
     }
 
     #[test]
@@ -351,8 +351,7 @@ mod tests {
             },
         );
         let communities = clustering.len();
-        let stats =
-            broker.route_stream(&docs, &RoutingStrategy::CommunityAggregated(clustering));
+        let stats = broker.route_stream(&docs, &RoutingStrategy::CommunityAggregated(clustering));
         // The aggregate contains every member, so no interested consumer is
         // ever missed.
         assert_eq!(stats.false_negatives, 0);

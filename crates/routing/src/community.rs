@@ -82,14 +82,11 @@ impl CommunityClustering {
         for (index, subscription) in subscriptions.iter().enumerate() {
             let mut joined = false;
             for community in communities.iter_mut() {
-                if config.max_community_size > 0
-                    && community.len() >= config.max_community_size
-                {
+                if config.max_community_size > 0 && community.len() >= config.max_community_size {
                     continue;
                 }
                 let representative = &subscriptions[community.representative];
-                let similarity =
-                    estimator.similarity(subscription, representative, config.metric);
+                let similarity = estimator.similarity(subscription, representative, config.metric);
                 if similarity >= config.threshold {
                     community.members.push(index);
                     joined = true;
@@ -141,8 +138,7 @@ impl CommunityClustering {
         for community in &self.communities {
             for (i, &a) in community.members.iter().enumerate() {
                 for &b in &community.members[i + 1..] {
-                    total +=
-                        estimator.similarity(&subscriptions[a], &subscriptions[b], metric);
+                    total += estimator.similarity(&subscriptions[a], &subscriptions[b], metric);
                     pairs += 1;
                 }
             }
@@ -257,8 +253,7 @@ mod tests {
         let est = estimator();
         let subs = subscriptions();
         let clustering = CommunityClustering::cluster(&est, &subs, CommunityConfig::default());
-        let quality =
-            clustering.average_intra_similarity(&est, &subs, ProximityMetric::M3);
+        let quality = clustering.average_intra_similarity(&est, &subs, ProximityMetric::M3);
         assert!(quality > 0.6, "intra-community similarity {quality}");
     }
 
@@ -274,8 +269,7 @@ mod tests {
     #[test]
     fn empty_subscription_list_produces_no_communities() {
         let est = estimator();
-        let clustering =
-            CommunityClustering::cluster(&est, &[], CommunityConfig::default());
+        let clustering = CommunityClustering::cluster(&est, &[], CommunityConfig::default());
         assert!(clustering.is_empty());
         assert_eq!(
             clustering.average_intra_similarity(&est, &[], ProximityMetric::M1),

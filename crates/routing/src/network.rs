@@ -364,7 +364,10 @@ mod tests {
         let network = network();
         let docs = documents();
         let stats = network.route_stream(0, &docs, ForwardingMode::Flooding);
-        assert_eq!(stats.link_messages, docs.len() * network.topology().link_count());
+        assert_eq!(
+            stats.link_messages,
+            docs.len() * network.topology().link_count()
+        );
         assert_eq!(stats.recall(), 1.0);
         assert_eq!(stats.table_nodes, 0);
         assert!(stats.spurious_link_messages > 0);
@@ -405,8 +408,11 @@ mod tests {
             &documents(),
             ForwardingMode::Table(TableMode::ContainmentPruned),
         );
-        let aggregated =
-            network.route_stream(0, &documents(), ForwardingMode::Table(TableMode::Aggregated));
+        let aggregated = network.route_stream(
+            0,
+            &documents(),
+            ForwardingMode::Table(TableMode::Aggregated),
+        );
         assert!(pruned.table_nodes <= exact.table_nodes);
         assert!(aggregated.table_nodes <= exact.table_nodes);
         // The aggregated table may forward spuriously but never less than
@@ -420,7 +426,10 @@ mod tests {
         let tables = network.build_tables(TableMode::Exact);
         assert_eq!(tables.len(), network.topology().broker_count());
         for (broker, table) in tables.iter().enumerate() {
-            assert_eq!(table.link_count(), network.topology().neighbours(broker).len());
+            assert_eq!(
+                table.link_count(),
+                network.topology().neighbours(broker).len()
+            );
         }
         // Broker 0's links lead to the CD side and the book side; each link
         // summary holds the subscriptions living behind it.

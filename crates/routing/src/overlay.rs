@@ -224,10 +224,17 @@ mod tests {
     }
 
     fn subscriptions() -> Vec<TreePattern> {
-        ["//CD", "//composer", "//CD/composer", "//book", "//author", "//book/author"]
-            .iter()
-            .map(|s| TreePattern::parse(s).unwrap())
-            .collect()
+        [
+            "//CD",
+            "//composer",
+            "//CD/composer",
+            "//book",
+            "//author",
+            "//book/author",
+        ]
+        .iter()
+        .map(|s| TreePattern::parse(s).unwrap())
+        .collect()
     }
 
     fn overlay() -> SemanticOverlay {

@@ -202,7 +202,10 @@ mod tests {
     use super::*;
 
     fn patterns(texts: &[&str]) -> Vec<TreePattern> {
-        texts.iter().map(|s| TreePattern::parse(s).unwrap()).collect()
+        texts
+            .iter()
+            .map(|s| TreePattern::parse(s).unwrap())
+            .collect()
     }
 
     fn doc(xml: &str) -> XmlTree {

@@ -103,7 +103,8 @@ impl BrokerTopology {
     /// Whether the overlay is connected and acyclic (a tree). Always true
     /// for topologies built by the constructors of this type.
     pub fn is_tree(&self) -> bool {
-        self.link_count() + 1 == self.broker_count() && self.reachable_from(0).len() == self.broker_count()
+        self.link_count() + 1 == self.broker_count()
+            && self.reachable_from(0).len() == self.broker_count()
     }
 
     /// The brokers reachable from `start` (including `start`).

@@ -1,0 +1,1132 @@
+//! Vendored stand-in for the `proptest` crate (API subset).
+//!
+//! The build environment of this workspace has no access to crates.io, so
+//! this package supplies — under the same crate name and call syntax — the
+//! slice of the proptest 1.x API used by the workspace's property suites:
+//!
+//! * the [`Strategy`] trait with `prop_map`, `prop_filter`, `prop_flat_map`,
+//!   `prop_recursive` and `boxed`,
+//! * range, tuple, [`Just`], [`any`] and regex-string strategies,
+//! * [`collection::vec`] and [`collection::btree_set`],
+//! * [`sample::select`],
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`], [`prop_assert_ne!`] and [`prop_assume!`] macros.
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test seed (FNV-1a of the test name) so failures are reproducible,
+//! and there is **no shrinking** — a failing case reports the failure
+//! message and case index as-is.
+#![forbid(unsafe_code)]
+
+/// Test-case bookkeeping: configuration, runner and error types.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Subset of `proptest::test_runner::Config`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+        /// Upper bound on rejected (filtered or assumed-away) inputs.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A default configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..Default::default()
+            }
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The case failed an assertion.
+        Fail(String),
+        /// The case asked to be discarded (`prop_assume!`).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failing case with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError::Fail(message.into())
+        }
+
+        /// A discarded case with the given reason.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+                TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+            }
+        }
+    }
+
+    /// Outcome of one test case body.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Drives value generation for one property test.
+    pub struct TestRunner {
+        rng: StdRng,
+        /// The configuration the surrounding `proptest!` block runs under.
+        pub config: ProptestConfig,
+    }
+
+    fn fnv1a(name: &str) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
+    impl TestRunner {
+        /// A runner with an explicit seed.
+        pub fn new(config: ProptestConfig, seed: u64) -> Self {
+            TestRunner {
+                rng: StdRng::seed_from_u64(seed),
+                config,
+            }
+        }
+
+        /// A runner deterministically seeded from the test function name.
+        pub fn from_test_name(config: ProptestConfig, name: &str) -> Self {
+            Self::new(config, fnv1a(name))
+        }
+
+        /// The runner's random source.
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.rng
+        }
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and its combinators.
+pub mod strategy {
+    use crate::test_runner::TestRunner;
+    use rand::Rng;
+    use std::rc::Rc;
+
+    /// Why a strategy could not produce a value (filter exhaustion).
+    #[derive(Clone, Debug)]
+    pub struct Rejection(pub String);
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value (or a rejection, e.g. from `prop_filter`).
+        fn new_value(&self, runner: &mut TestRunner) -> Result<Self::Value, Rejection>;
+
+        /// Transform every generated value with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Keep only values satisfying `f`; `whence` names the filter in
+        /// rejection reports.
+        fn prop_filter<F>(self, whence: impl Into<String>, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                source: self,
+                whence: whence.into(),
+                f,
+            }
+        }
+
+        /// Generate a value, then generate from the strategy `f` derives
+        /// from it.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { source: self, f }
+        }
+
+        /// Build recursive values: `self` generates leaves and `recurse`
+        /// wraps an inner strategy into the next nesting level. `depth`
+        /// bounds the nesting; the size hints are accepted for API
+        /// compatibility.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> Recursive<Self::Value>
+        where
+            Self: Sized + 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2 + 'static,
+        {
+            Recursive {
+                base: self.boxed(),
+                recurse: Rc::new(move |inner| recurse(inner).boxed()),
+                depth,
+            }
+        }
+
+        /// Type-erase the strategy (the result is cheaply cloneable).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// A cloneable, type-erased [`Strategy`].
+    pub struct BoxedStrategy<V>(Rc<dyn Strategy<Value = V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn new_value(&self, runner: &mut TestRunner) -> Result<V, Rejection> {
+            self.0.new_value(runner)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn new_value(&self, runner: &mut TestRunner) -> Result<O, Rejection> {
+            Ok((self.f)(self.source.new_value(runner)?))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Clone, Debug)]
+    pub struct Filter<S, F> {
+        source: S,
+        whence: String,
+        f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn new_value(&self, runner: &mut TestRunner) -> Result<S::Value, Rejection> {
+            for _ in 0..64 {
+                let value = self.source.new_value(runner)?;
+                if (self.f)(&value) {
+                    return Ok(value);
+                }
+            }
+            Err(Rejection(self.whence.clone()))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone, Debug)]
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn new_value(&self, runner: &mut TestRunner) -> Result<S2::Value, Rejection> {
+            let seed = self.source.new_value(runner)?;
+            (self.f)(seed).new_value(runner)
+        }
+    }
+
+    /// A strategy producing clones of a fixed value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _runner: &mut TestRunner) -> Result<T, Rejection> {
+            Ok(self.0.clone())
+        }
+    }
+
+    /// Uniform choice between several strategies of a common value type
+    /// (the expansion of [`prop_oneof!`](crate::prop_oneof)).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// A union over the given non-empty list of options.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<V> Clone for Union<V> {
+        fn clone(&self) -> Self {
+            Union {
+                options: self.options.clone(),
+            }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn new_value(&self, runner: &mut TestRunner) -> Result<V, Rejection> {
+            let len = self.options.len();
+            let start = runner.rng().gen_range(0..len);
+            let mut last = None;
+            // If the chosen arm rejects (filters), fall through to the
+            // remaining arms before giving up on the whole union.
+            for offset in 0..len {
+                match self.options[(start + offset) % len].new_value(runner) {
+                    Ok(value) => return Ok(value),
+                    Err(rejection) => last = Some(rejection),
+                }
+            }
+            Err(last.expect("non-empty union"))
+        }
+    }
+
+    /// See [`Strategy::prop_recursive`].
+    pub struct Recursive<V> {
+        base: BoxedStrategy<V>,
+        recurse: Rc<dyn Fn(BoxedStrategy<V>) -> BoxedStrategy<V>>,
+        depth: u32,
+    }
+
+    impl<V> Clone for Recursive<V> {
+        fn clone(&self) -> Self {
+            Recursive {
+                base: self.base.clone(),
+                recurse: Rc::clone(&self.recurse),
+                depth: self.depth,
+            }
+        }
+    }
+
+    impl<V> Strategy for Recursive<V> {
+        type Value = V;
+
+        fn new_value(&self, runner: &mut TestRunner) -> Result<V, Rejection> {
+            let levels = runner.rng().gen_range(0..=self.depth);
+            let mut strategy = self.base.clone();
+            for _ in 0..levels {
+                strategy = (self.recurse)(strategy);
+            }
+            strategy.new_value(runner)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, runner: &mut TestRunner) -> Result<$t, Rejection> {
+                    Ok(runner.rng().gen_range(self.clone()))
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn new_value(&self, runner: &mut TestRunner) -> Result<$t, Rejection> {
+                    Ok(runner.rng().gen_range(self.clone()))
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn new_value(&self, runner: &mut TestRunner) -> Result<Self::Value, Rejection> {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    Ok(($($name.new_value(runner)?,)+))
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// Regex-subset string strategy: a `&str` literal *is* a strategy whose
+    /// values are strings matching the pattern (see [`crate::string`]).
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn new_value(&self, runner: &mut TestRunner) -> Result<String, Rejection> {
+            Ok(crate::string::generate(self, runner))
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::{Rejection, Strategy};
+    use crate::test_runner::TestRunner;
+    use rand::{Rng, StandardValue};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy type.
+        type Strategy: Strategy<Value = Self>;
+
+        /// The canonical strategy value.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The canonical strategy for `A`.
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+
+    /// Full-bit-pattern strategy backing `any` for primitive types.
+    #[derive(Clone, Debug, Default)]
+    pub struct StandardAny<T>(PhantomData<T>);
+
+    impl<T: StandardValue> Strategy for StandardAny<T> {
+        type Value = T;
+
+        fn new_value(&self, runner: &mut TestRunner) -> Result<T, Rejection> {
+            Ok(runner.rng().gen::<T>())
+        }
+    }
+
+    macro_rules! impl_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                type Strategy = StandardAny<$t>;
+
+                fn arbitrary() -> Self::Strategy {
+                    StandardAny(PhantomData)
+                }
+            }
+        )*};
+    }
+    impl_arbitrary!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+}
+
+/// Collection strategies (`vec`, `btree_set`).
+pub mod collection {
+    use crate::strategy::{Rejection, Strategy};
+    use crate::test_runner::TestRunner;
+    use rand::Rng;
+    use std::collections::BTreeSet;
+
+    /// Accepted sizes for generated collections.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl SizeRange {
+        fn pick(&self, runner: &mut TestRunner) -> usize {
+            runner.rng().gen_range(self.min..=self.max_inclusive)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                min: exact,
+                max_inclusive: exact,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(range: core::ops::Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty collection size range");
+            SizeRange {
+                min: range.start,
+                max_inclusive: range.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(range: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(range.start() <= range.end(), "empty collection size range");
+            SizeRange {
+                min: *range.start(),
+                max_inclusive: *range.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with sizes drawn from a [`SizeRange`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A vector strategy with the given element strategy and size range.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, runner: &mut TestRunner) -> Result<Vec<S::Value>, Rejection> {
+            let len = self.size.pick(runner);
+            (0..len).map(|_| self.element.new_value(runner)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`.
+    #[derive(Clone, Debug)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A set strategy with the given element strategy and size range. The
+    /// element domain must be large enough to reach the minimum size.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn new_value(&self, runner: &mut TestRunner) -> Result<BTreeSet<S::Value>, Rejection> {
+            let target = self.size.pick(runner);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < target * 16 + 64 {
+                set.insert(self.element.new_value(runner)?);
+                attempts += 1;
+            }
+            if set.len() < self.size.min {
+                return Err(Rejection(format!(
+                    "btree_set: could not reach minimum size {} (domain too small?)",
+                    self.size.min
+                )));
+            }
+            Ok(set)
+        }
+    }
+}
+
+/// Sampling strategies over fixed option lists.
+pub mod sample {
+    use crate::strategy::{Rejection, Strategy};
+    use crate::test_runner::TestRunner;
+    use rand::Rng;
+
+    /// Strategy yielding uniformly chosen clones of fixed options.
+    #[derive(Clone, Debug)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// A strategy choosing uniformly among `options` (must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "sample::select needs options");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn new_value(&self, runner: &mut TestRunner) -> Result<T, Rejection> {
+            let index = runner.rng().gen_range(0..self.options.len());
+            Ok(self.options[index].clone())
+        }
+    }
+}
+
+/// Generation of strings from a regex subset.
+///
+/// Supported syntax: literal characters, `.` and `\PC` (printable ASCII),
+/// escapes (`\xHH`, `\n`, `\t`, `\r`, `\d`, `\w`, `\s`, plus escaped
+/// punctuation), character classes with ranges and negation, groups with
+/// alternation, and the quantifiers `?`, `*`, `+`, `{n}`, `{n,}` and
+/// `{n,m}` (`*`/`+`/open-ended repeats are capped at 8).
+pub mod string {
+    use crate::test_runner::TestRunner;
+    use rand::Rng;
+
+    #[derive(Debug, Clone)]
+    enum Ast {
+        Seq(Vec<Ast>),
+        Alt(Vec<Ast>),
+        Lit(char),
+        Class {
+            negated: bool,
+            ranges: Vec<(char, char)>,
+        },
+        AnyPrintable,
+        Repeat(Box<Ast>, u32, u32),
+    }
+
+    struct Parser {
+        chars: Vec<char>,
+        pos: usize,
+    }
+
+    const OPEN_REPEAT_CAP: u32 = 8;
+
+    impl Parser {
+        fn peek(&self) -> Option<char> {
+            self.chars.get(self.pos).copied()
+        }
+
+        fn bump(&mut self) -> Option<char> {
+            let c = self.peek();
+            if c.is_some() {
+                self.pos += 1;
+            }
+            c
+        }
+
+        fn parse_alternatives(&mut self) -> Ast {
+            let mut alternatives = vec![self.parse_sequence()];
+            while self.peek() == Some('|') {
+                self.bump();
+                alternatives.push(self.parse_sequence());
+            }
+            if alternatives.len() == 1 {
+                alternatives.pop().unwrap()
+            } else {
+                Ast::Alt(alternatives)
+            }
+        }
+
+        fn parse_sequence(&mut self) -> Ast {
+            let mut items = Vec::new();
+            while let Some(c) = self.peek() {
+                if c == '|' || c == ')' {
+                    break;
+                }
+                let atom = self.parse_atom();
+                items.push(self.parse_quantifier(atom));
+            }
+            Ast::Seq(items)
+        }
+
+        fn parse_quantifier(&mut self, atom: Ast) -> Ast {
+            match self.peek() {
+                Some('?') => {
+                    self.bump();
+                    Ast::Repeat(Box::new(atom), 0, 1)
+                }
+                Some('*') => {
+                    self.bump();
+                    Ast::Repeat(Box::new(atom), 0, OPEN_REPEAT_CAP)
+                }
+                Some('+') => {
+                    self.bump();
+                    Ast::Repeat(Box::new(atom), 1, OPEN_REPEAT_CAP)
+                }
+                Some('{') => {
+                    self.bump();
+                    let mut low = String::new();
+                    while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                        low.push(self.bump().unwrap());
+                    }
+                    let low: u32 = low.parse().expect("regex repeat lower bound");
+                    let high = if self.peek() == Some(',') {
+                        self.bump();
+                        let mut high = String::new();
+                        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                            high.push(self.bump().unwrap());
+                        }
+                        if high.is_empty() {
+                            low + OPEN_REPEAT_CAP
+                        } else {
+                            high.parse().expect("regex repeat upper bound")
+                        }
+                    } else {
+                        low
+                    };
+                    assert_eq!(self.bump(), Some('}'), "unterminated regex repeat");
+                    Ast::Repeat(Box::new(atom), low, high)
+                }
+                _ => atom,
+            }
+        }
+
+        fn parse_atom(&mut self) -> Ast {
+            match self.bump().expect("regex atom") {
+                '(' => {
+                    let inner = self.parse_alternatives();
+                    assert_eq!(self.bump(), Some(')'), "unterminated regex group");
+                    inner
+                }
+                '[' => self.parse_class(),
+                '\\' => self.parse_escape(),
+                '.' => Ast::AnyPrintable,
+                c => Ast::Lit(c),
+            }
+        }
+
+        fn parse_escape(&mut self) -> Ast {
+            match self.bump().expect("regex escape") {
+                'x' => {
+                    let hi = self.bump().expect("hex escape");
+                    let lo = self.bump().expect("hex escape");
+                    let code =
+                        u32::from_str_radix(&format!("{hi}{lo}"), 16).expect("valid hex escape");
+                    Ast::Lit(char::from_u32(code).expect("valid escape code point"))
+                }
+                // `\PC` — everything outside the Unicode "Other" category;
+                // generate printable ASCII.
+                'P' => {
+                    self.bump();
+                    Ast::AnyPrintable
+                }
+                'd' => Ast::Class {
+                    negated: false,
+                    ranges: vec![('0', '9')],
+                },
+                'w' => Ast::Class {
+                    negated: false,
+                    ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
+                },
+                's' => Ast::Lit(' '),
+                'n' => Ast::Lit('\n'),
+                't' => Ast::Lit('\t'),
+                'r' => Ast::Lit('\r'),
+                c => Ast::Lit(c),
+            }
+        }
+
+        fn class_char(&mut self) -> char {
+            match self.bump().expect("class member") {
+                '\\' => match self.parse_escape() {
+                    Ast::Lit(c) => c,
+                    _ => panic!("unsupported escape inside character class"),
+                },
+                c => c,
+            }
+        }
+
+        fn parse_class(&mut self) -> Ast {
+            let negated = if self.peek() == Some('^') {
+                self.bump();
+                true
+            } else {
+                false
+            };
+            let mut ranges = Vec::new();
+            while let Some(c) = self.peek() {
+                if c == ']' {
+                    self.bump();
+                    return Ast::Class { negated, ranges };
+                }
+                let start = self.class_char();
+                if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                    self.bump();
+                    let end = self.class_char();
+                    assert!(start <= end, "inverted class range");
+                    ranges.push((start, end));
+                } else {
+                    ranges.push((start, start));
+                }
+            }
+            panic!("unterminated character class");
+        }
+    }
+
+    fn parse(pattern: &str) -> Ast {
+        let mut parser = Parser {
+            chars: pattern.chars().collect(),
+            pos: 0,
+        };
+        let ast = parser.parse_alternatives();
+        assert_eq!(parser.pos, parser.chars.len(), "trailing regex input");
+        ast
+    }
+
+    fn printable(runner: &mut TestRunner) -> char {
+        char::from_u32(runner.rng().gen_range(0x20u32..0x7F)).unwrap()
+    }
+
+    fn emit(ast: &Ast, runner: &mut TestRunner, out: &mut String) {
+        match ast {
+            Ast::Seq(items) => {
+                for item in items {
+                    emit(item, runner, out);
+                }
+            }
+            Ast::Alt(alternatives) => {
+                let index = runner.rng().gen_range(0..alternatives.len());
+                emit(&alternatives[index], runner, out);
+            }
+            Ast::Lit(c) => out.push(*c),
+            Ast::AnyPrintable => out.push(printable(runner)),
+            Ast::Class { negated, ranges } => {
+                if *negated {
+                    for _ in 0..1_000 {
+                        let c = printable(runner);
+                        if !ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&c)) {
+                            out.push(c);
+                            return;
+                        }
+                    }
+                    panic!("negated class excludes all printable ASCII");
+                }
+                let total: u32 = ranges
+                    .iter()
+                    .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                    .sum();
+                let mut index = runner.rng().gen_range(0..total);
+                for &(lo, hi) in ranges {
+                    let size = hi as u32 - lo as u32 + 1;
+                    if index < size {
+                        out.push(char::from_u32(lo as u32 + index).expect("class code point"));
+                        return;
+                    }
+                    index -= size;
+                }
+                unreachable!("class index in range");
+            }
+            Ast::Repeat(inner, low, high) => {
+                let count = runner.rng().gen_range(*low..=*high);
+                for _ in 0..count {
+                    emit(inner, runner, out);
+                }
+            }
+        }
+    }
+
+    /// Generate one string matching `pattern`.
+    pub fn generate(pattern: &str, runner: &mut TestRunner) -> String {
+        let ast = parse(pattern);
+        let mut out = String::new();
+        emit(&ast, runner, &mut out);
+        out
+    }
+}
+
+/// The conventional `prop::` module alias (`prop::collection::vec`, ...).
+pub mod prop {
+    pub use crate::{collection, sample, strategy, string};
+}
+
+/// The conventional glob-import surface.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRunner};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Fail the current test case (early `Err` return) if `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fail the current test case if `left != right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `left == right` (left: `{:?}`, right: `{:?}`)",
+            __left,
+            __right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left == *__right,
+            "{} (left: `{:?}`, right: `{:?}`)",
+            format!($($fmt)+),
+            __left,
+            __right
+        );
+    }};
+}
+
+/// Fail the current test case if `left == right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left != *__right,
+            "assertion failed: `left != right` (both: `{:?}`)",
+            __left
+        );
+    }};
+}
+
+/// Discard the current test case (does not count towards `cases`) if
+/// `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strategy) ),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// item becomes a test running `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $(
+          $(#[$meta:meta])*
+          fn $name:ident ( $( $arg:pat_param in $strategy:expr ),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                let mut __runner = $crate::test_runner::TestRunner::from_test_name(
+                    __config.clone(),
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let mut __rejects: u32 = 0;
+                let mut __case: u32 = 0;
+                while __case < __config.cases {
+                    let __generated = (|__runner: &mut $crate::test_runner::TestRunner|
+                        -> ::core::result::Result<_, $crate::strategy::Rejection> {
+                        ::core::result::Result::Ok((
+                            $( $crate::strategy::Strategy::new_value(&($strategy), __runner)?, )+
+                        ))
+                    })(&mut __runner);
+                    let ( $( $arg, )+ ) = match __generated {
+                        ::core::result::Result::Ok(__values) => __values,
+                        ::core::result::Result::Err($crate::strategy::Rejection(__why)) => {
+                            __rejects += 1;
+                            assert!(
+                                __rejects <= __config.max_global_rejects,
+                                "proptest '{}': too many rejected inputs (last: {})",
+                                stringify!($name),
+                                __why
+                            );
+                            continue;
+                        }
+                    };
+                    let __result: $crate::test_runner::TestCaseResult =
+                        (move || { $body ::core::result::Result::Ok(()) })();
+                    match __result {
+                        ::core::result::Result::Ok(()) => {
+                            __case += 1;
+                        }
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(__why),
+                        ) => {
+                            __rejects += 1;
+                            assert!(
+                                __rejects <= __config.max_global_rejects,
+                                "proptest '{}': too many rejected cases (last: {})",
+                                stringify!($name),
+                                __why
+                            );
+                        }
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(__message),
+                        ) => {
+                            panic!(
+                                "proptest '{}' failed at case {}: {}",
+                                stringify!($name),
+                                __case,
+                                __message
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn regex_subset_generator_matches_shapes() {
+        let config = ProptestConfig::with_cases(1);
+        let mut runner = TestRunner::from_test_name(config, "regex_shapes");
+        for _ in 0..200 {
+            let s =
+                crate::string::generate("[A-Za-z][A-Za-z0-9 &<>']{0,12}[A-Za-z0-9]", &mut runner);
+            assert!(s.len() >= 2, "generated {s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+            let t = crate::string::generate("\\PC{0,200}", &mut runner);
+            assert!(t.chars().count() <= 200);
+            let d = crate::string::generate(
+                r"<!(ELEMENT|ATTLIST|ENTITY|DOCTYPE)? ?[A-Za-z0-9 #(),|?*+%;'\x22-]{0,80}>?",
+                &mut runner,
+            );
+            assert!(d.starts_with("<!"), "generated {d:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples_generate_in_bounds(
+            (a, b) in (0usize..10, 5u64..=9),
+            x in 0.0f64..=1.0,
+        ) {
+            prop_assert!(a < 10);
+            prop_assert!((5..=9).contains(&b));
+            prop_assert!((0.0..=1.0).contains(&x));
+        }
+
+        #[test]
+        fn collections_respect_size_ranges(
+            v in prop::collection::vec(0usize..6, 0..30),
+            s in prop::collection::btree_set(0u64..400, 1..120),
+        ) {
+            prop_assert!(v.len() < 30);
+            prop_assert!(!s.is_empty() && s.len() < 120);
+            prop_assert!(v.iter().all(|&e| e < 6));
+        }
+
+        #[test]
+        fn oneof_filter_and_recursive_compose(n in recursive_depth_strategy()) {
+            prop_assert!(n <= 16, "depth bound violated: {n}");
+        }
+    }
+
+    fn recursive_depth_strategy() -> impl Strategy<Value = u32> {
+        let leaf = prop_oneof![Just(0u32), (1u32..2).prop_map(|v| v)];
+        leaf.prop_recursive(4, 16, 2, |inner| {
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| (a.max(b) + 1).min(16))
+                .prop_filter("cap", |&v| v <= 16)
+        })
+    }
+
+    #[test]
+    fn assume_rejects_do_not_count_as_cases() {
+        let mut seen = BTreeSet::new();
+        let config = ProptestConfig::with_cases(8);
+        let mut runner = TestRunner::from_test_name(config, "assume_check");
+        for _ in 0..8 {
+            seen.insert(Strategy::new_value(&(0u64..1_000_000), &mut runner).unwrap());
+        }
+        assert!(seen.len() > 1, "rng must advance between cases");
+    }
+}

@@ -21,7 +21,7 @@ use crate::docid::DocId;
 use crate::hash::sample_level;
 
 /// Default hash seed used when none is specified.
-pub const DEFAULT_SEED: u64 = 0x5EED_0F_D15_71C7;
+pub const DEFAULT_SEED: u64 = 0x0005_EED0_FD15_71C7;
 
 /// A bounded-size distinct sample of document identifiers.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -235,8 +235,7 @@ impl Synopsis {
                     continue;
                 }
                 evaluated += 1;
-                let sim =
-                    value_similarity(&self.matching_value(a), &self.matching_value(b));
+                let sim = value_similarity(&self.matching_value(a), &self.matching_value(b));
                 if best.map(|(_, _, s)| sim > s).unwrap_or(true) {
                     best = Some((a, b, sim));
                 }
@@ -409,7 +408,10 @@ impl Synopsis {
                 if id == self.root() {
                     continue;
                 }
-                groups.entry(self.label(id).to_string()).or_default().push(id);
+                groups
+                    .entry(self.label(id).to_string())
+                    .or_default()
+                    .push(id);
             }
             let mut candidates: Vec<(SynopsisNodeId, SynopsisNodeId, f64)> = Vec::new();
             for (_, group) in groups.iter() {
@@ -431,8 +433,7 @@ impl Synopsis {
                         continue;
                     }
                     evaluated += 1;
-                    let sim =
-                        value_similarity(&self.matching_value(a), &self.matching_value(b));
+                    let sim = value_similarity(&self.matching_value(a), &self.matching_value(b));
                     candidates.push((a, b, sim));
                 }
             }
@@ -673,12 +674,15 @@ mod tests {
         ]);
         let mut s = Synopsis::from_documents(SynopsisConfig::counters(), &d);
         assert_eq!(s.kind(), MatchingSetKind::Counters);
-        let report = s.prune_to_ratio(0.5, PruneConfig {
-            // Disable lossy folds so the driver must delete.
-            fold_threshold: 1.1,
-            identical_threshold: 1.1,
-            ..PruneConfig::default()
-        });
+        let report = s.prune_to_ratio(
+            0.5,
+            PruneConfig {
+                // Disable lossy folds so the driver must delete.
+                fold_threshold: 1.1,
+                identical_threshold: 1.1,
+                ..PruneConfig::default()
+            },
+        );
         assert!(report.deletions > 0);
     }
 

@@ -133,9 +133,7 @@ impl NodeSummary {
     /// the folded node's matching set is the union of both).
     pub fn union(&self, other: &NodeSummary) -> NodeSummary {
         match (self, other) {
-            (NodeSummary::Counter(a), NodeSummary::Counter(b)) => {
-                NodeSummary::Counter(*a.max(b))
-            }
+            (NodeSummary::Counter(a), NodeSummary::Counter(b)) => NodeSummary::Counter(*a.max(b)),
             (NodeSummary::Set(a), NodeSummary::Set(b)) => {
                 NodeSummary::Set(a.union(b).copied().collect())
             }
@@ -149,9 +147,7 @@ impl NodeSummary {
     /// inclusion property).
     pub fn intersection(&self, other: &NodeSummary) -> NodeSummary {
         match (self, other) {
-            (NodeSummary::Counter(a), NodeSummary::Counter(b)) => {
-                NodeSummary::Counter(*a.min(b))
-            }
+            (NodeSummary::Counter(a), NodeSummary::Counter(b)) => NodeSummary::Counter(*a.min(b)),
             (NodeSummary::Set(a), NodeSummary::Set(b)) => {
                 NodeSummary::Set(a.intersection(b).copied().collect())
             }
@@ -244,9 +240,7 @@ impl SummaryValue {
     /// Intersection (`∩` of Algorithm 1; product in counters mode).
     pub fn intersect(&self, other: &SummaryValue) -> SummaryValue {
         match (self, other) {
-            (SummaryValue::Fraction(a), SummaryValue::Fraction(b)) => {
-                SummaryValue::Fraction(a * b)
-            }
+            (SummaryValue::Fraction(a), SummaryValue::Fraction(b)) => SummaryValue::Fraction(a * b),
             (SummaryValue::Set(a), SummaryValue::Set(b)) => {
                 SummaryValue::Set(a.intersection(b).copied().collect())
             }
@@ -392,7 +386,10 @@ mod tests {
         let union = va.union(&vb).count_units();
         let inter = va.intersect(&vb).count_units();
         assert!((union - 6_000.0).abs() / 6_000.0 < 0.35, "union {union}");
-        assert!((inter - 2_000.0).abs() / 2_000.0 < 0.5, "intersection {inter}");
+        assert!(
+            (inter - 2_000.0).abs() / 2_000.0 < 0.5,
+            "intersection {inter}"
+        );
     }
 
     #[test]

@@ -87,7 +87,11 @@ pub struct FoldedSubtree {
 impl FoldedSubtree {
     /// Number of labels in this folded subtree (for size accounting).
     pub fn label_count(&self) -> usize {
-        1 + self.children.iter().map(FoldedSubtree::label_count).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(FoldedSubtree::label_count)
+            .sum::<usize>()
     }
 
     /// Render as the nested-label notation used in the paper
@@ -353,11 +357,9 @@ impl Synopsis {
     }
 
     fn find_or_create_child(&mut self, parent: SynopsisNodeId, label: &str) -> SynopsisNodeId {
-        if let Some(&existing) = self.nodes[parent.index()]
-            .children
-            .iter()
-            .find(|&&c| self.nodes[c.index()].alive && self.nodes[c.index()].label.as_ref() == label)
-        {
+        if let Some(&existing) = self.nodes[parent.index()].children.iter().find(|&&c| {
+            self.nodes[c.index()].alive && self.nodes[c.index()].label.as_ref() == label
+        }) {
             return existing;
         }
         let id = SynopsisNodeId(self.nodes.len() as u32);
@@ -729,10 +731,7 @@ mod tests {
         assert_eq!(a_nodes.len(), 1);
         let a = a_nodes[0];
         assert_eq!(
-            s.children(a)
-                .iter()
-                .filter(|&&c| s.label(c) == "b")
-                .count(),
+            s.children(a).iter().filter(|&&c| s.label(c) == "b").count(),
             1
         );
     }

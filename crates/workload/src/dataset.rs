@@ -112,8 +112,7 @@ impl Dataset {
             let mut positive = Vec::with_capacity(config.positive_count);
             let mut negative = Vec::with_capacity(config.negative_count);
             let mut attempts = 0;
-            while (positive.len() < config.positive_count
-                || negative.len() < config.negative_count)
+            while (positive.len() < config.positive_count || negative.len() < config.negative_count)
                 && attempts < config.max_candidates
             {
                 attempts += 1;
@@ -150,11 +149,7 @@ impl Dataset {
         if self.documents.is_empty() {
             return 0.0;
         }
-        let matches = self
-            .documents
-            .iter()
-            .filter(|d| pattern.matches(d))
-            .count();
+        let matches = self.documents.iter().filter(|d| pattern.matches(d)).count();
         matches as f64 / self.documents.len() as f64
     }
 

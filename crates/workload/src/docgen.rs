@@ -88,11 +88,7 @@ impl<'a> DocumentGenerator<'a> {
     pub fn generate(&mut self) -> XmlTree {
         let root_element = self.dtd.root();
         let mut tree = XmlTree::new(self.dtd.element_name(root_element));
-        let mut budget = self
-            .config
-            .target_tag_pairs
-            .saturating_sub(1)
-            .max(1);
+        let mut budget = self.config.target_tag_pairs.saturating_sub(1).max(1);
         // Breadth-first frontier so the budget is spread across the document
         // rather than exhausted by the first deep branch.
         let mut frontier: Vec<(tps_xml::NodeId, ElementId, usize)> =
@@ -129,8 +125,7 @@ impl<'a> DocumentGenerator<'a> {
     }
 
     fn maybe_add_text(&mut self, tree: &mut XmlTree, node: tps_xml::NodeId, element: ElementId) {
-        if self.dtd.element(element).is_textual()
-            && self.rng.gen_bool(self.config.text_probability)
+        if self.dtd.element(element).is_textual() && self.rng.gen_bool(self.config.text_probability)
         {
             let value = self.rng.gen_range(0..self.config.value_vocabulary.max(1));
             tree.add_text_child(node, &format!("v{value}"));
@@ -166,7 +161,9 @@ mod tests {
         let dtd = Dtd::xcbl_like();
         let mut generator =
             DocumentGenerator::new(&dtd, DocGenConfig::default().with_target_tag_pairs(100));
-        let sizes: Vec<usize> = (0..50).map(|_| generator.generate().element_count()).collect();
+        let sizes: Vec<usize> = (0..50)
+            .map(|_| generator.generate().element_count())
+            .collect();
         let avg = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
         assert!(
             (20.0..=130.0).contains(&avg),

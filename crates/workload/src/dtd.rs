@@ -246,9 +246,9 @@ impl Dtd {
             let layer = 1 + (i - 1) * (layers - 1) / (n - 1).max(1);
             let layer = layer.min(layers);
             let textual = rng.gen_bool(config.textual_leaf_fraction);
-            let id = if textual && layer == layers {
-                dtd.add_textual_element(&name)
-            } else if textual && rng.gen_bool(0.3) {
+            // Short-circuit keeps the RNG stream identical to the original
+            // two-branch form: gen_bool is only consulted on inner layers.
+            let id = if textual && (layer == layers || rng.gen_bool(0.3)) {
                 dtd.add_textual_element(&name)
             } else {
                 dtd.add_element(&name)

@@ -110,7 +110,7 @@ mod tests {
         let z = Zipf::new(20, 1.0);
         let mut rng = StdRng::seed_from_u64(7);
         let n = 200_000;
-        let mut counts = vec![0usize; 20];
+        let mut counts = [0usize; 20];
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;
         }

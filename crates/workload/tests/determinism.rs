@@ -1,0 +1,106 @@
+//! Cross-run determinism of the workload generators.
+//!
+//! Benchmarks, experiments and the tier-1 smoke test all assume that a
+//! fixed `DatasetConfig` seed pins down the generated corpus exactly.
+//! These tests build every artefact twice from scratch and compare the
+//! *serialised* forms, so any divergence in generator traversal order or
+//! RNG consumption shows up as a byte-level diff.
+
+use tps_workload::{
+    Dataset, DatasetConfig, DocGenConfig, DocumentGenerator, Dtd, SyntheticDtdConfig,
+    XPathGenConfig, XPathGenerator,
+};
+
+fn dataset_config(doc_seed: u64, pattern_seed: u64) -> DatasetConfig {
+    DatasetConfig {
+        document_count: 60,
+        positive_count: 12,
+        negative_count: 12,
+        docgen: DocGenConfig::default().with_seed(doc_seed),
+        xpathgen: XPathGenConfig::default().with_seed(pattern_seed),
+        max_candidates: 50_000,
+    }
+}
+
+#[test]
+fn identical_seeds_reproduce_byte_identical_documents() {
+    let dtd = Dtd::media();
+    let mut first = DocumentGenerator::new(&dtd, DocGenConfig::default().with_seed(424_242));
+    let mut second = DocumentGenerator::new(&dtd, DocGenConfig::default().with_seed(424_242));
+    let a: Vec<String> = first.generate_many(80).iter().map(|d| d.to_xml()).collect();
+    let b: Vec<String> = second
+        .generate_many(80)
+        .iter()
+        .map(|d| d.to_xml())
+        .collect();
+    assert_eq!(a, b, "same seed must reproduce the same XML bytes");
+
+    let mut other = DocumentGenerator::new(&dtd, DocGenConfig::default().with_seed(424_243));
+    let c: Vec<String> = other.generate_many(80).iter().map(|d| d.to_xml()).collect();
+    assert_ne!(a, c, "different seeds should produce different corpora");
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_xpath_workloads() {
+    let dtd = Dtd::nitf_like();
+    let mut first = XPathGenerator::new(&dtd, XPathGenConfig::default().with_seed(7_777));
+    let mut second = XPathGenerator::new(&dtd, XPathGenConfig::default().with_seed(7_777));
+    let a: Vec<String> = first
+        .generate_many(100)
+        .iter()
+        .map(|p| p.to_string())
+        .collect();
+    let b: Vec<String> = second
+        .generate_many(100)
+        .iter()
+        .map(|p| p.to_string())
+        .collect();
+    assert_eq!(a, b, "same seed must reproduce the same pattern workload");
+}
+
+#[test]
+fn identical_dataset_configs_reproduce_the_full_dataset() {
+    let config = dataset_config(1_000_001, 2_000_003);
+    let first = Dataset::generate(Dtd::media(), &config);
+    let second = Dataset::generate(Dtd::media(), &config);
+
+    let docs_a: Vec<String> = first.documents.iter().map(|d| d.to_xml()).collect();
+    let docs_b: Vec<String> = second.documents.iter().map(|d| d.to_xml()).collect();
+    assert_eq!(
+        docs_a, docs_b,
+        "documents must be byte-identical across runs"
+    );
+
+    let pos_a: Vec<String> = first.positive.iter().map(|p| p.to_string()).collect();
+    let pos_b: Vec<String> = second.positive.iter().map(|p| p.to_string()).collect();
+    assert_eq!(pos_a, pos_b, "positive workload must match across runs");
+
+    let neg_a: Vec<String> = first.negative.iter().map(|p| p.to_string()).collect();
+    let neg_b: Vec<String> = second.negative.iter().map(|p| p.to_string()).collect();
+    assert_eq!(neg_a, neg_b, "negative workload must match across runs");
+}
+
+#[test]
+fn synthetic_dtds_are_deterministic_per_seed() {
+    let config = SyntheticDtdConfig {
+        name: "determinism".to_string(),
+        element_count: 40,
+        max_fanout: 4,
+        layers: 4,
+        textual_leaf_fraction: 0.5,
+        cross_links: 10,
+        seed: 99,
+    };
+    let a = Dtd::synthetic(config.clone());
+    let b = Dtd::synthetic(config);
+    assert_eq!(a.element_count(), b.element_count());
+    for id in a.element_ids() {
+        assert_eq!(a.element_name(id), b.element_name(id), "element {id:?}");
+        assert_eq!(
+            a.element(id).children(),
+            b.element(id).children(),
+            "children of {:?}",
+            a.element_name(id)
+        );
+    }
+}

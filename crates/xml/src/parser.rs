@@ -349,7 +349,10 @@ fn decode_entities(raw: &str, offset: usize) -> Result<String, XmlError> {
             }
         }
         if !closed {
-            return Err(XmlError::new(XmlErrorKind::InvalidEntity(entity), offset + i));
+            return Err(XmlError::new(
+                XmlErrorKind::InvalidEntity(entity),
+                offset + i,
+            ));
         }
         match entity.as_str() {
             "lt" => out.push('<'),
@@ -358,7 +361,10 @@ fn decode_entities(raw: &str, offset: usize) -> Result<String, XmlError> {
             "apos" => out.push('\''),
             "quot" => out.push('"'),
             _ => {
-                if let Some(num) = entity.strip_prefix("#x").or_else(|| entity.strip_prefix("#X")) {
+                if let Some(num) = entity
+                    .strip_prefix("#x")
+                    .or_else(|| entity.strip_prefix("#X"))
+                {
                     let code = u32::from_str_radix(num, 16).ok();
                     match code.and_then(char::from_u32) {
                         Some(ch) => out.push(ch),
@@ -381,7 +387,10 @@ fn decode_entities(raw: &str, offset: usize) -> Result<String, XmlError> {
                         }
                     }
                 } else {
-                    return Err(XmlError::new(XmlErrorKind::InvalidEntity(entity), offset + i));
+                    return Err(XmlError::new(
+                        XmlErrorKind::InvalidEntity(entity),
+                        offset + i,
+                    ));
                 }
             }
         }

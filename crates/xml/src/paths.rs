@@ -21,7 +21,10 @@ pub struct RootToLeafPaths<'a> {
 
 impl<'a> RootToLeafPaths<'a> {
     pub(crate) fn new(tree: &'a XmlTree) -> Self {
-        let leaves: Vec<NodeId> = tree.preorder().filter(|&n| tree.node(n).is_leaf()).collect();
+        let leaves: Vec<NodeId> = tree
+            .preorder()
+            .filter(|&n| tree.node(n).is_leaf())
+            .collect();
         Self {
             tree,
             leaves,

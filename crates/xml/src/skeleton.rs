@@ -26,12 +26,7 @@ pub fn skeleton_of(tree: &XmlTree) -> XmlTree {
 
 /// Coalesce the children of a *group* of source nodes that were merged into
 /// the single skeleton node `target`.
-fn coalesce_children(
-    tree: &XmlTree,
-    group: &[NodeId],
-    skeleton: &mut XmlTree,
-    target: NodeId,
-) {
+fn coalesce_children(tree: &XmlTree, group: &[NodeId], skeleton: &mut XmlTree, target: NodeId) {
     // Group all children of all nodes in `group` by label, preserving the
     // order of first appearance so that the skeleton is deterministic.
     let mut order: Vec<&str> = Vec::new();
@@ -127,10 +122,9 @@ mod tests {
 
     #[test]
     fn skeleton_preserves_label_path_set() {
-        let t = XmlTree::parse(
-            "<a><b><e>k</e><g>m</g></b><b><e>m</e></b><c><f>n</f><f>k</f></c></a>",
-        )
-        .unwrap();
+        let t =
+            XmlTree::parse("<a><b><e>k</e><g>m</g></b><b><e>m</e></b><c><f>n</f><f>k</f></c></a>")
+                .unwrap();
         let s = t.skeleton();
         assert!(is_skeleton(&s));
         assert_eq!(label_paths(&t), label_paths(&s));
@@ -151,10 +145,7 @@ mod tests {
         // We use the printed skeleton: a / b / {e -> k, m? ...}. The exact
         // figure is hard to read; this test checks the defining property
         // instead: same label paths, at most one child per label.
-        let t = XmlTree::parse(
-            "<a><b><e><k/></e><e><m/></e><g><k/><n/></g></b></a>",
-        )
-        .unwrap();
+        let t = XmlTree::parse("<a><b><e><k/></e><e><m/></e><g><k/><n/></g></b></a>").unwrap();
         let s = t.skeleton();
         assert!(is_skeleton(&s));
         assert_eq!(label_paths(&t), label_paths(&s));

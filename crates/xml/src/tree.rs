@@ -235,7 +235,10 @@ impl XmlTree {
 
     /// Count nodes with a given label.
     pub fn count_label(&self, label: &str) -> usize {
-        self.nodes.iter().filter(|n| n.label.as_ref() == label).count()
+        self.nodes
+            .iter()
+            .filter(|n| n.label.as_ref() == label)
+            .count()
     }
 
     /// Iterate over the distinct labels used in the tree (arbitrary order,
@@ -354,9 +357,7 @@ mod tests {
         let labels: Vec<&str> = t.preorder().map(|id| t.label(id)).collect();
         assert_eq!(
             labels,
-            vec![
-                "media", "CD", "composer", "last", "Mozart", "title", "Requiem", "book", "author"
-            ]
+            vec!["media", "CD", "composer", "last", "Mozart", "title", "Requiem", "book", "author"]
         );
     }
 

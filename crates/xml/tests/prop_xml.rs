@@ -40,9 +40,7 @@ fn gen_node() -> impl Strategy<Value = GenNode> {
 fn drop_adjacent_text(children: Vec<GenNode>) -> Vec<GenNode> {
     let mut out: Vec<GenNode> = Vec::with_capacity(children.len());
     for child in children {
-        if matches!(child, GenNode::Text(_))
-            && matches!(out.last(), Some(GenNode::Text(_)))
-        {
+        if matches!(child, GenNode::Text(_)) && matches!(out.last(), Some(GenNode::Text(_))) {
             continue;
         }
         out.push(child);

@@ -92,5 +92,8 @@ fn main() {
         println!("  {score:.3}  {pattern}");
     }
     let exact_best = scored.first().expect("non-empty workload");
-    assert!(exact_best.0 > 0.0, "at least one related subscription exists");
+    assert!(
+        exact_best.0 > 0.0,
+        "at least one related subscription exists"
+    );
 }

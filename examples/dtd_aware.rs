@@ -11,7 +11,11 @@ use tree_pattern_similarity::prelude::*;
 
 fn main() {
     let schema = samples::media_schema();
-    println!("DTD: {} ({} elements)\n", schema.name(), schema.element_count());
+    println!(
+        "DTD: {} ({} elements)\n",
+        schema.name(),
+        schema.element_count()
+    );
 
     // The four subscriptions of Figure 1.
     let pa = TreePattern::parse("/media/CD/*/last/Mozart").unwrap();
@@ -36,7 +40,10 @@ fn main() {
          the '//' must be 'media/CD')",
         analyzer.dtd_equivalent(&pa, &pd)
     );
-    println!("  pa ≡ pc under the DTD? {}\n", analyzer.dtd_equivalent(&pa, &pc));
+    println!(
+        "  pa ≡ pc under the DTD? {}\n",
+        analyzer.dtd_equivalent(&pa, &pc)
+    );
 
     // ---- Stream-based estimates over documents of that type -------------
     // A stream of media documents in which "Mozart" sometimes appears as a
@@ -96,6 +103,10 @@ fn main() {
     let report = Validator::new(&schema, ValidationMode::Strict).validate(&document);
     println!(
         "\nstrict validation of the Figure 1 document: {}",
-        if report.is_valid() { "valid" } else { "invalid" }
+        if report.is_valid() {
+            "valid"
+        } else {
+            "invalid"
+        }
     );
 }

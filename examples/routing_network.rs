@@ -16,10 +16,9 @@ fn main() {
     );
     let subscriptions = dataset.positive.clone();
     println!(
-        "workload: {} documents, {} subscriptions ({} DTD)\n",
+        "workload: {} documents, {} subscriptions (nitf-like DTD)\n",
         dataset.documents.len(),
         subscriptions.len(),
-        "nitf-like"
     );
 
     // ---- Broker tree with per-link routing tables -----------------------

@@ -79,10 +79,7 @@ fn main() {
         );
     }
     println!(
-        "\ncommunity routing needs roughly {} of the per-subscription filtering work",
-        format!(
-            "{:.0}%",
-            100.0 * clustering.len() as f64 / dataset.positive.len() as f64
-        )
+        "\ncommunity routing needs roughly {:.0}% of the per-subscription filtering work",
+        100.0 * clustering.len() as f64 / dataset.positive.len() as f64
     );
 }

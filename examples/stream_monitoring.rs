@@ -34,8 +34,8 @@ fn main() {
     let mut estimator = SimilarityEstimator::new(SynopsisConfig::hashes(256));
 
     println!(
-        "{:>8} {:>10} {:>10} {:>8}   {}",
-        "docs", "|HS|", "pruned-to", "prunes", "watched selectivities"
+        "{:>8} {:>10} {:>10} {:>8}   watched selectivities",
+        "docs", "|HS|", "pruned-to", "prunes"
     );
     let mut prunes = 0;
     for batch in 0..20 {
@@ -45,9 +45,10 @@ fn main() {
         let size_before = estimator.size().total();
         let mut pruned_to = size_before;
         if size_before > space_budget {
-            let report = estimator
-                .synopsis_mut()
-                .prune_to_ratio(space_budget as f64 / size_before as f64, PruneConfig::default());
+            let report = estimator.synopsis_mut().prune_to_ratio(
+                space_budget as f64 / size_before as f64,
+                PruneConfig::default(),
+            );
             pruned_to = report.final_size;
             prunes += 1;
         }

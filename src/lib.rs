@@ -70,7 +70,9 @@ pub mod prelude {
         agglomerative, kmedoids, leader, AgglomerativeConfig, Clustering, KMedoidsConfig,
         LeaderConfig, SimilarityMatrix,
     };
-    pub use tps_core::{ExactEvaluator, ProximityMetric, SelectivityEstimator, SimilarityEstimator};
+    pub use tps_core::{
+        ExactEvaluator, ProximityMetric, SelectivityEstimator, SimilarityEstimator,
+    };
     pub use tps_dtd::{DtdSchema, PatternAnalyzer, ValidationMode, Validator};
     pub use tps_pattern::TreePattern;
     pub use tps_routing::{

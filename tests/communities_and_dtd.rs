@@ -8,7 +8,9 @@ use tree_pattern_similarity::prelude::*;
 fn dataset() -> Dataset {
     Dataset::generate(
         Dtd::media(),
-        &DatasetConfig::small().with_scale(200, 24, 0).with_seed(2026),
+        &DatasetConfig::small()
+            .with_scale(200, 24, 0)
+            .with_seed(2026),
     )
 }
 
@@ -96,7 +98,8 @@ fn semantic_overlay_reduces_filtering_cost_on_a_generated_workload() {
         },
     )
     .clustering;
-    let overlay = SemanticOverlay::from_clustering(subscriptions.clone(), &clustering, Some(&matrix));
+    let overlay =
+        SemanticOverlay::from_clustering(subscriptions.clone(), &clustering, Some(&matrix));
     let stats = overlay.route_stream(&dataset.documents);
     assert!(overlay.community_count() <= subscriptions.len());
     assert!(stats.matches_per_document() <= subscriptions.len() as f64);
@@ -119,7 +122,12 @@ fn broker_network_routing_is_exact_for_every_table_mode() {
     );
     for mode in ForwardingMode::all() {
         let stats = network.route_stream(0, &dataset.documents, mode);
-        assert_eq!(stats.missed_deliveries, 0, "{} missed deliveries", mode.name());
+        assert_eq!(
+            stats.missed_deliveries,
+            0,
+            "{} missed deliveries",
+            mode.name()
+        );
         assert_eq!(stats.deliveries, exact.deliveries, "{}", mode.name());
     }
     let flooding = network.route_stream(0, &dataset.documents, ForwardingMode::Flooding);

@@ -7,7 +7,9 @@ use tree_pattern_similarity::prelude::*;
 use tree_pattern_similarity::synopsis::MatchingSetKind;
 
 fn small_dataset() -> Dataset {
-    let config = DatasetConfig::small().with_scale(150, 40, 20).with_seed(424_242);
+    let config = DatasetConfig::small()
+        .with_scale(150, 40, 20)
+        .with_seed(424_242);
     Dataset::generate(Dtd::nitf_like(), &config)
 }
 
@@ -96,7 +98,10 @@ fn hash_samples_beat_counters_on_positive_workload_error() {
         hashes <= counters + 1e-9,
         "hashes ({hashes}) should not be worse than counters ({counters})"
     );
-    assert!(hashes < 0.05, "large hash samples should be nearly exact: {hashes}");
+    assert!(
+        hashes < 0.05,
+        "large hash samples should be nearly exact: {hashes}"
+    );
 }
 
 #[test]
@@ -131,9 +136,7 @@ fn streaming_and_batch_construction_agree() {
     assert_eq!(batch.node_count(), streaming.synopsis().node_count());
     let estimator = SelectivityEstimator::new(&batch);
     for pattern in dataset.positive.iter().take(10) {
-        assert!(
-            (estimator.selectivity(pattern) - streaming.selectivity(pattern)).abs() < 1e-9
-        );
+        assert!((estimator.selectivity(pattern) - streaming.selectivity(pattern)).abs() < 1e-9);
     }
 }
 

@@ -9,7 +9,9 @@ use tree_pattern_similarity::synopsis::PruneConfig;
 fn workload() -> Dataset {
     // NITF-scale keeps the synopsis small enough for debug-build test runs;
     // the xCBL-scale pruning behaviour is covered by the experiment harness.
-    let config = DatasetConfig::small().with_scale(120, 25, 10).with_seed(777);
+    let config = DatasetConfig::small()
+        .with_scale(120, 25, 10)
+        .with_seed(777);
     Dataset::generate(Dtd::nitf_like(), &config)
 }
 
@@ -62,7 +64,11 @@ fn lossless_folding_preserves_positive_estimates() {
     let exact = ExactEvaluator::new(dataset.documents.clone());
     let before: Vec<f64> = {
         let estimator = SelectivityEstimator::new(&synopsis);
-        dataset.positive.iter().map(|p| estimator.selectivity(p)).collect()
+        dataset
+            .positive
+            .iter()
+            .map(|p| estimator.selectivity(p))
+            .collect()
     };
     let folds = synopsis.fold_identical_leaves(0.999_999);
     synopsis.prepare();

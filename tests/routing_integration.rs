@@ -8,7 +8,9 @@ use tree_pattern_similarity::prelude::*;
 use tree_pattern_similarity::routing::{Broker, Consumer, RoutingStrategy};
 
 fn workload() -> Dataset {
-    let config = DatasetConfig::small().with_scale(180, 30, 0).with_seed(31_337);
+    let config = DatasetConfig::small()
+        .with_scale(180, 30, 0)
+        .with_seed(31_337);
     Dataset::generate(Dtd::nitf_like(), &config)
 }
 
@@ -31,16 +33,17 @@ fn estimated_and_exact_similarities_produce_similar_community_counts() {
         threshold: 0.6,
         max_community_size: 0,
     };
-    let estimated_clusters =
-        CommunityClustering::cluster(&estimated, &dataset.positive, config);
-    let exact_clusters =
-        CommunityClustering::cluster(&exact_estimator, &dataset.positive, config);
+    let estimated_clusters = CommunityClustering::cluster(&estimated, &dataset.positive, config);
+    let exact_clusters = CommunityClustering::cluster(&exact_estimator, &dataset.positive, config);
 
     // The community structure should be close: within a factor of two in
     // count, and most co-membership decisions should agree.
     let a = estimated_clusters.len() as f64;
     let b = exact_clusters.len() as f64;
-    assert!(a <= 2.0 * b && b <= 2.0 * a, "community counts diverge: {a} vs {b}");
+    assert!(
+        a <= 2.0 * b && b <= 2.0 * a,
+        "community counts diverge: {a} vs {b}"
+    );
 
     let assign_est = estimated_clusters.assignment(dataset.positive.len());
     let assign_exact = exact_clusters.assignment(dataset.positive.len());
@@ -88,11 +91,14 @@ fn community_routing_cuts_filtering_cost_with_bounded_accuracy_loss() {
 
     let stream = &dataset.documents[..100];
     let exact_stats = broker.route_stream(stream, &RoutingStrategy::PerSubscription);
-    let community_stats =
-        broker.route_stream(stream, &RoutingStrategy::Community(clustering));
+    let community_stats = broker.route_stream(stream, &RoutingStrategy::Community(clustering));
 
     assert!(community_stats.match_operations < exact_stats.match_operations);
-    assert!(community_stats.recall() >= 0.75, "recall {}", community_stats.recall());
+    assert!(
+        community_stats.recall() >= 0.75,
+        "recall {}",
+        community_stats.recall()
+    );
     assert!(
         community_stats.precision() >= 0.4,
         "precision {}",

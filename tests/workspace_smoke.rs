@@ -1,0 +1,108 @@
+//! Fast, deterministic end-to-end canary for the whole workspace.
+//!
+//! One fixed-seed run: generate a small media-DTD dataset, build a synopsis
+//! under each of the three `MatchingSetKind` representations, and check the
+//! `SEL` estimates against the `ExactEvaluator` ground truth. This is the
+//! tier-1 smoke test — it exercises the workload, xml, synopsis, core and
+//! pattern crates in a couple of seconds; the deeper suites live in the
+//! other integration tests and the per-crate property tests.
+
+use tree_pattern_similarity::prelude::*;
+
+fn smoke_dataset() -> Dataset {
+    let config = DatasetConfig {
+        document_count: 120,
+        positive_count: 15,
+        negative_count: 15,
+        docgen: DocGenConfig::default().with_seed(0xC0FFEE),
+        xpathgen: XPathGenConfig::default().with_seed(0xBEEF),
+        max_candidates: 50_000,
+    };
+    Dataset::generate(Dtd::media(), &config)
+}
+
+#[test]
+fn sel_estimates_track_exact_selectivity_under_all_representations() {
+    let dataset = smoke_dataset();
+    assert_eq!(dataset.documents.len(), 120);
+    assert_eq!(dataset.positive.len(), 15);
+    assert_eq!(dataset.negative.len(), 15);
+
+    let exact = ExactEvaluator::new(dataset.documents.clone());
+
+    for (name, config) in [
+        ("counters", SynopsisConfig::counters()),
+        ("sets", SynopsisConfig::sets(1_000)),
+        ("hashes", SynopsisConfig::hashes(1_000)),
+    ] {
+        let mut estimator = SimilarityEstimator::new(config);
+        estimator.observe_all(&dataset.documents);
+        estimator.prepare();
+
+        let mut total_error = 0.0;
+        for pattern in dataset.positive.iter().chain(&dataset.negative) {
+            let estimated = estimator.selectivity(pattern);
+            let truth = exact.selectivity(pattern);
+            assert!(
+                (0.0..=1.0).contains(&estimated),
+                "{name}: estimate {estimated} for {pattern} is not a probability"
+            );
+            total_error += (estimated - truth).abs();
+        }
+        let mean_error = total_error / (dataset.positive.len() + dataset.negative.len()) as f64;
+        // Counters are the coarsest summary (independence assumptions);
+        // sets/hashes at capacity 1000 cover the whole 120-document stream.
+        let tolerance = if name == "counters" { 0.25 } else { 0.05 };
+        assert!(
+            mean_error <= tolerance,
+            "{name}: mean |SEL - exact| = {mean_error} exceeds {tolerance}"
+        );
+    }
+}
+
+#[test]
+fn exact_set_estimates_never_underestimate_and_hashes_stay_close() {
+    let dataset = smoke_dataset();
+    let exact = ExactEvaluator::new(dataset.documents.clone());
+
+    let mut estimator = SimilarityEstimator::new(SynopsisConfig::sets(100_000));
+    estimator.observe_all(&dataset.documents);
+    estimator.prepare();
+    for pattern in &dataset.positive {
+        let estimated = estimator.selectivity(pattern);
+        let truth = exact.selectivity(pattern);
+        assert!(
+            estimated >= truth - 1e-9,
+            "sets: estimate {estimated} under-estimates exact {truth} for {pattern}"
+        );
+    }
+
+    // Negative patterns match nothing; exact sets must agree exactly.
+    for pattern in &dataset.negative {
+        assert_eq!(
+            exact.selectivity(pattern),
+            0.0,
+            "negative pattern {pattern}"
+        );
+    }
+}
+
+#[test]
+fn similarity_metrics_are_sane_on_the_smoke_dataset() {
+    let dataset = smoke_dataset();
+    let mut estimator = SimilarityEstimator::new(SynopsisConfig::hashes(256));
+    estimator.observe_all(&dataset.documents);
+    estimator.prepare();
+
+    let p = &dataset.positive[0];
+    let q = &dataset.positive[1];
+    for metric in ProximityMetric::all() {
+        let s = estimator.similarity(p, q, metric);
+        assert!((0.0..=1.0).contains(&s), "{metric}: similarity {s}");
+    }
+    let self_sim = estimator.similarity(p, p, ProximityMetric::M3);
+    assert!(
+        (self_sim - 1.0).abs() < 1e-9 || estimator.selectivity(p) == 0.0,
+        "self-similarity {self_sim}"
+    );
+}
