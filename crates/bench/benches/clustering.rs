@@ -10,30 +10,33 @@ use tps_cluster::{
     agglomerative, kmedoids, leader, minhash_matrix, AgglomerativeConfig, KMedoidsConfig,
     LeaderConfig, SimilarityMatrix,
 };
-use tps_core::{ExactEvaluator, ProximityMetric, SimilarityEstimator};
+use tps_core::{ExactEvaluator, ProximityMetric, SimilarityEngine};
 use tps_synopsis::MatchingSetKind;
 
 fn fixture_matrix() -> (BenchFixture, SimilarityMatrix) {
     let fixture = BenchFixture::nitf();
     let synopsis = fixture.synopsis(MatchingSetKind::Hashes { capacity: 256 });
-    let estimator = SimilarityEstimator::from_synopsis(synopsis);
-    let matrix =
-        SimilarityMatrix::from_estimator(&estimator, fixture.positives(), ProximityMetric::M3);
+    let mut engine = SimilarityEngine::from_synopsis(synopsis);
+    let ids = engine.register_all(fixture.positives());
+    let matrix = SimilarityMatrix::from_engine(&engine, &ids, ProximityMetric::M3);
     (fixture, matrix)
 }
 
 fn bench_matrix_construction(c: &mut Criterion) {
     let fixture = BenchFixture::nitf();
     let synopsis = fixture.synopsis(MatchingSetKind::Hashes { capacity: 256 });
-    let estimator = SimilarityEstimator::from_synopsis(synopsis);
     let exact = ExactEvaluator::new(fixture.documents().to_vec());
     let mut group = c.benchmark_group("similarity_matrix");
     group.sample_size(10);
     group.bench_function("estimated_hashes", |b| {
+        // A cold engine per iteration: the benchmark measures matrix
+        // construction, not cache reads.
         b.iter(|| {
-            black_box(SimilarityMatrix::from_estimator(
-                &estimator,
-                fixture.positives(),
+            let mut engine = SimilarityEngine::from_synopsis(synopsis.clone());
+            let ids = engine.register_all(fixture.positives());
+            black_box(SimilarityMatrix::from_engine(
+                &engine,
+                &ids,
                 ProximityMetric::M3,
             ))
         })

@@ -5,23 +5,24 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use tps_bench::BenchFixture;
-use tps_core::{ProximityMetric, SimilarityEstimator};
+use tps_core::{PatternId, ProximityMetric, SimilarityEngine};
 use tps_routing::{Broker, CommunityClustering, CommunityConfig, Consumer, RoutingStrategy};
 use tps_synopsis::MatchingSetKind;
 
-fn setup() -> (BenchFixture, SimilarityEstimator, Broker) {
+fn setup() -> (BenchFixture, SimilarityEngine, Vec<PatternId>, Broker) {
     let fixture = BenchFixture::nitf();
     let synopsis = fixture.synopsis(MatchingSetKind::Hashes { capacity: 256 });
-    let estimator = SimilarityEstimator::from_synopsis(synopsis);
+    let mut engine = SimilarityEngine::from_synopsis(synopsis);
+    let subscriptions = engine.register_all(fixture.positives());
     let mut broker = Broker::new();
     for (i, p) in fixture.positives().iter().enumerate() {
         broker.subscribe(Consumer::new(format!("c{i}"), p.clone()));
     }
-    (fixture, estimator, broker)
+    (fixture, engine, subscriptions, broker)
 }
 
 fn bench_clustering(c: &mut Criterion) {
-    let (fixture, estimator, _) = setup();
+    let (_fixture, engine, subscriptions, _) = setup();
     let mut group = c.benchmark_group("community_clustering");
     group.sample_size(10);
     for threshold in [0.4, 0.6, 0.8] {
@@ -30,8 +31,8 @@ fn bench_clustering(c: &mut Criterion) {
             |b| {
                 b.iter(|| {
                     let clustering = CommunityClustering::cluster(
-                        &estimator,
-                        fixture.positives(),
+                        &engine,
+                        &subscriptions,
                         CommunityConfig {
                             metric: ProximityMetric::M3,
                             threshold,
@@ -47,9 +48,9 @@ fn bench_clustering(c: &mut Criterion) {
 }
 
 fn bench_routing_strategies(c: &mut Criterion) {
-    let (fixture, estimator, broker) = setup();
+    let (fixture, engine, subscriptions, broker) = setup();
     let clustering =
-        CommunityClustering::cluster(&estimator, fixture.positives(), CommunityConfig::default());
+        CommunityClustering::cluster(&engine, &subscriptions, CommunityConfig::default());
     let stream = &fixture.documents()[..50];
     let mut group = c.benchmark_group("route_50_documents");
     group.sample_size(10);

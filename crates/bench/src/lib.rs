@@ -33,10 +33,17 @@ impl BenchFixture {
 
     /// Build a fixture for an arbitrary DTD.
     pub fn for_dtd(dtd: Dtd) -> Self {
+        Self::sized(dtd, BENCH_DOCUMENTS, BENCH_PATTERNS)
+    }
+
+    /// Build a fixture with explicit document and pattern counts (e.g. the
+    /// ≥50-pattern workload of the engine benchmark), same seeds as the
+    /// standard fixture.
+    pub fn sized(dtd: Dtd, documents: usize, patterns: usize) -> Self {
         let config = DatasetConfig {
-            document_count: BENCH_DOCUMENTS,
-            positive_count: BENCH_PATTERNS,
-            negative_count: BENCH_PATTERNS,
+            document_count: documents,
+            positive_count: patterns,
+            negative_count: patterns,
             docgen: DocGenConfig::default().with_seed(1_000_001),
             xpathgen: XPathGenConfig::default().with_seed(2_000_003),
             max_candidates: 100_000,

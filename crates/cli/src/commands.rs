@@ -11,7 +11,7 @@ use tps_cluster::{
     agglomerative, evaluate, kmedoids, leader, AgglomerativeConfig, Clustering, KMedoidsConfig,
     LeaderConfig, SimilarityMatrix,
 };
-use tps_core::{ExactEvaluator, ProximityMetric, SimilarityEstimator};
+use tps_core::{ExactEvaluator, ProximityMetric, SimilarityEngine};
 use tps_dtd::{writer as dtd_writer, PatternAnalyzer, ValidationMode, Validator};
 use tps_pattern::TreePattern;
 use tps_routing::{BrokerNetwork, BrokerTopology, ForwardingMode, SemanticOverlay};
@@ -83,8 +83,11 @@ COMMANDS:
         --pattern P                    pattern to estimate (repeatable, required)
         --summary counters|sets|hashes matching-set representation (default hashes)
         --capacity N                   per-node summary budget (default 1000)
-    similarity   Estimate the similarity of two patterns (M1, M2, M3)
+    similarity   Estimate pattern similarities (M1, M2, M3)
         --pattern P --pattern Q        the two patterns (required)
+        --pattern R ...                more patterns: prints the pairwise
+                                       similarity matrix (see --metric)
+        --metric m1|m2|m3              matrix metric (default m3)
         --dtd, --documents, --seed, --summary, --capacity   as above
     cluster      Cluster a generated subscription workload into communities
         --dtd, --documents, --seed     workload options
@@ -305,23 +308,24 @@ fn selectivity<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError>
     let dtd = resolve_dtd(args)?;
     let patterns = parse_patterns(args, 1)?;
     let documents = generate_documents(args, &dtd)?;
-    let mut estimator = SimilarityEstimator::new(synopsis_config(args)?);
-    estimator.observe_all(&documents);
-    estimator.prepare();
+    let mut engine = SimilarityEngine::new(synopsis_config(args)?);
+    engine.observe_all(&documents);
+    let ids = engine.register_all(&patterns);
+    let estimated = engine.selectivities(&ids);
     let exact = ExactEvaluator::new(documents);
     writeln!(
         out,
         "{} documents, synopsis: {}",
         exact.document_count(),
-        estimator.synopsis().kind().name()
+        engine.synopsis().kind().name()
     )?;
     writeln!(out, "{:<40} {:>10} {:>10}", "pattern", "estimated", "exact")?;
-    for pattern in &patterns {
+    for (pattern, &est) in patterns.iter().zip(&estimated) {
         writeln!(
             out,
             "{:<40} {:>10.4} {:>10.4}",
             pattern.to_string(),
-            estimator.selectivity(pattern),
+            est,
             exact.selectivity(pattern)
         )?;
     }
@@ -331,21 +335,49 @@ fn selectivity<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError>
 fn similarity<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
     let dtd = resolve_dtd(args)?;
     let patterns = parse_patterns(args, 2)?;
-    let (p, q) = (&patterns[0], &patterns[1]);
     let documents = generate_documents(args, &dtd)?;
-    let mut estimator = SimilarityEstimator::new(synopsis_config(args)?);
-    estimator.observe_all(&documents);
-    estimator.prepare();
+    let mut engine = SimilarityEngine::new(synopsis_config(args)?);
+    engine.observe_all(&documents);
+    let ids = engine.register_all(&patterns);
+    if patterns.len() > 2 {
+        // Batch path: the full pairwise similarity matrix in one engine call.
+        let metric = metric_from(args)?;
+        let matrix = engine.similarity_matrix(&ids, metric);
+        writeln!(
+            out,
+            "{} patterns over {} documents ({metric} similarity matrix)",
+            patterns.len(),
+            engine.document_count()
+        )?;
+        for (i, pattern) in patterns.iter().enumerate() {
+            writeln!(out, "p{i} = {pattern}")?;
+        }
+        write!(out, "{:>8}", "")?;
+        for j in 0..patterns.len() {
+            write!(out, " {:>8}", format!("p{j}"))?;
+        }
+        writeln!(out)?;
+        for i in 0..patterns.len() {
+            write!(out, "{:>8}", format!("p{i}"))?;
+            for j in 0..patterns.len() {
+                write!(out, " {:>8.4}", matrix.get(i, j))?;
+            }
+            writeln!(out)?;
+        }
+        return Ok(());
+    }
+    let (p, q) = (&patterns[0], &patterns[1]);
+    let estimated = engine.similarities(ids[0], ids[1]);
     let exact = ExactEvaluator::new(documents);
     writeln!(out, "p = {p}")?;
     writeln!(out, "q = {q}")?;
     writeln!(out, "{:<28} {:>10} {:>10}", "metric", "estimated", "exact")?;
-    for metric in ProximityMetric::all() {
+    for (metric, est) in ProximityMetric::all().into_iter().zip(estimated) {
         writeln!(
             out,
             "{:<28} {:>10.4} {:>10.4}",
             format!("{metric:?}"),
-            estimator.similarity(p, q, metric),
+            est,
             exact.similarity(p, q, metric)
         )?;
     }
@@ -357,11 +389,11 @@ fn build_matrix(
     args: &ParsedArgs,
 ) -> Result<(Vec<TreePattern>, SimilarityMatrix), CliError> {
     let metric = metric_from(args)?;
-    let mut estimator = SimilarityEstimator::new(synopsis_config(args)?);
-    estimator.observe_all(&dataset.documents);
-    estimator.prepare();
+    let mut engine = SimilarityEngine::new(synopsis_config(args)?);
+    engine.observe_all(&dataset.documents);
     let subscriptions = dataset.positive.clone();
-    let matrix = SimilarityMatrix::from_estimator(&estimator, &subscriptions, metric);
+    let ids = engine.register_all(&subscriptions);
+    let matrix = SimilarityMatrix::from_engine(&engine, &ids, metric);
     Ok((subscriptions, matrix))
 }
 
@@ -629,6 +661,29 @@ mod tests {
         assert!(output.contains("M1"));
         assert!(output.contains("M2"));
         assert!(output.contains("M3"));
+    }
+
+    #[test]
+    fn similarity_with_many_patterns_prints_the_matrix() {
+        let output = run_capture(&[
+            "similarity",
+            "--documents",
+            "40",
+            "--pattern",
+            "//CD",
+            "--pattern",
+            "//CD/title",
+            "--pattern",
+            "//book",
+            "--metric",
+            "m3",
+        ])
+        .unwrap();
+        assert!(output.contains("similarity matrix"), "{output}");
+        assert!(output.contains("p0 = //CD"));
+        assert!(output.contains("p2 = //book"));
+        // Unit diagonal.
+        assert!(output.contains("1.0000"));
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub enum Linkage {
     Average,
 }
 
-/// Configuration for [`agglomerative`].
+/// Configuration for [`agglomerative()`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AgglomerativeConfig {
     /// Linkage criterion.

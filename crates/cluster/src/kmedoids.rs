@@ -12,7 +12,7 @@ use rand::SeedableRng;
 use crate::assignment::Clustering;
 use crate::matrix::SimilarityMatrix;
 
-/// Configuration for [`kmedoids`].
+/// Configuration for [`kmedoids()`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KMedoidsConfig {
     /// Number of communities to form (clamped to the number of

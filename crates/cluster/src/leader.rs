@@ -10,7 +10,7 @@
 use crate::assignment::Clustering;
 use crate::matrix::SimilarityMatrix;
 
-/// Configuration for [`leader`].
+/// Configuration for [`leader()`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LeaderConfig {
     /// Minimum (symmetrised) similarity to an existing leader required to

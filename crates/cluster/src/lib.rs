@@ -7,7 +7,7 @@
 //! supplies everything needed to turn them into communities:
 //!
 //! * [`SimilarityMatrix`] — dense pairwise similarities (estimated or exact),
-//! * [`agglomerative`] / [`kmedoids`] / [`leader`] — three clustering
+//! * [`agglomerative()`] / [`kmedoids()`] / [`leader()`] — three clustering
 //!   algorithms with different cost/quality/online trade-offs,
 //! * [`Clustering`] — the shared partition representation,
 //! * [`minhash`] — MinHash signatures for cheap approximate `M3`

@@ -3,13 +3,16 @@
 //! Clustering consumers into semantic communities starts from the pairwise
 //! similarities `(p ~ q)` of their subscriptions under one of the paper's
 //! proximity metrics. This module materialises those similarities into a
-//! dense matrix that the clustering algorithms ([`crate::agglomerative`],
-//! [`crate::kmedoids`], [`crate::leader`]) and the quality metrics
+//! dense matrix that the clustering algorithms ([`crate::agglomerative()`],
+//! [`crate::kmedoids()`], [`crate::leader()`]) and the quality metrics
 //! ([`crate::quality`]) operate on, so that the (comparatively expensive)
 //! estimator is consulted exactly once per pair.
 
-use tps_core::{ExactEvaluator, ProximityMetric, SimilarityEstimator};
+use tps_core::{ExactEvaluator, PatternId, ProximityMetric, SimMatrix, SimilarityEngine};
 use tps_pattern::TreePattern;
+
+#[allow(deprecated)]
+use tps_core::SimilarityEstimator;
 
 /// A dense `n x n` matrix of pairwise similarities in `[0, 1]`.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,8 +71,26 @@ impl SimilarityMatrix {
         }
     }
 
+    /// Pairwise similarities of a registered workload under `metric`,
+    /// estimated through the engine's batched
+    /// [`similarity_matrix`](SimilarityEngine::similarity_matrix) entry point
+    /// (marginals evaluated once per pattern, joints once per unordered
+    /// pair).
+    pub fn from_engine(
+        engine: &SimilarityEngine,
+        ids: &[PatternId],
+        metric: ProximityMetric,
+    ) -> Self {
+        engine.similarity_matrix(ids, metric).into()
+    }
+
     /// Pairwise similarities of `patterns` under `metric`, estimated with the
     /// streaming estimator (synopsis-based).
+    #[deprecated(
+        since = "0.1.0",
+        note = "register the patterns with a SimilarityEngine and use SimilarityMatrix::from_engine"
+    )]
+    #[allow(deprecated)]
     pub fn from_estimator(
         estimator: &SimilarityEstimator,
         patterns: &[TreePattern],
@@ -211,6 +232,19 @@ impl SimilarityMatrix {
     }
 }
 
+/// A [`SimMatrix`] produced by [`SimilarityEngine::similarity_matrix`]
+/// converts losslessly: engine entries are already clamped to `[0, 1]` with a
+/// unit diagonal.
+impl From<SimMatrix> for SimilarityMatrix {
+    fn from(matrix: SimMatrix) -> Self {
+        Self {
+            len: matrix.len(),
+            metric: matrix.metric(),
+            values: matrix.into_values(),
+        }
+    }
+}
+
 fn clamp_unit(value: f64) -> f64 {
     if value.is_nan() {
         0.0
@@ -269,11 +303,11 @@ mod tests {
         let docs = documents();
         let patterns = patterns();
         let exact = ExactEvaluator::new(docs.clone());
-        let mut estimator = SimilarityEstimator::new(SynopsisConfig::sets(100));
-        estimator.observe_all(&docs);
+        let mut engine = SimilarityEngine::new(SynopsisConfig::sets(100));
+        engine.observe_all(&docs);
+        let ids = engine.register_all(&patterns);
         let exact_matrix = SimilarityMatrix::from_exact(&exact, &patterns, ProximityMetric::M3);
-        let estimated =
-            SimilarityMatrix::from_estimator(&estimator, &patterns, ProximityMetric::M3);
+        let estimated = SimilarityMatrix::from_engine(&engine, &ids, ProximityMetric::M3);
         assert_eq!(exact_matrix.len(), estimated.len());
         for i in 0..patterns.len() {
             for j in 0..patterns.len() {
@@ -283,6 +317,27 @@ mod tests {
                     exact_matrix.get(i, j),
                     estimated.get(i, j)
                 );
+            }
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn from_engine_matches_the_deprecated_estimator_path() {
+        let docs = documents();
+        let patterns = patterns();
+        let mut engine = SimilarityEngine::new(SynopsisConfig::hashes(128));
+        engine.observe_all(&docs);
+        let ids = engine.register_all(&patterns);
+        let mut estimator = SimilarityEstimator::new(SynopsisConfig::hashes(128));
+        estimator.observe_all(&docs);
+        for metric in [ProximityMetric::M1, ProximityMetric::M3] {
+            let batched = SimilarityMatrix::from_engine(&engine, &ids, metric);
+            let legacy = SimilarityMatrix::from_estimator(&estimator, &patterns, metric);
+            for i in 0..patterns.len() {
+                for j in 0..patterns.len() {
+                    assert_eq!(batched.get(i, j), legacy.get(i, j), "({i},{j}) {metric}");
+                }
             }
         }
     }

@@ -1,0 +1,990 @@
+//! The batch-first similarity engine.
+//!
+//! The paper's whole point is *amortisation*: one compact synopsis answers
+//! selectivity and similarity queries for thousands of subscriptions.
+//! [`SimilarityEngine`] is the API shape that exploits it. Patterns are
+//! registered once ([`SimilarityEngine::register`]) and handed back as cheap
+//! [`PatternId`] handles — interned (structurally equal patterns share one
+//! handle), deduplicated and pre-compiled ([`tps_pattern::CompiledPattern`])
+//! into an evaluation-friendly form. All queries go through handles, and the
+//! engine keeps three layers of caching behind the synopsis *epoch counter*
+//! (bumped by [`Synopsis`] on every `observe`/prune mutation, so cached
+//! results are invalidated exactly when the synopsis changes):
+//!
+//! 1. an engine-side materialisation of the per-node full matching sets
+//!    (subsuming the old `SynopsisConfig`-then-`prepare()` two-step),
+//! 2. per-pattern selectivities and per-pair joint selectivities,
+//! 3. a `SEL` memo shared **across** patterns, keyed by
+//!    `(synopsis node, canonical pattern subtree)` — common subscription
+//!    fragments, and the operand copies inside conjunction patterns, hit the
+//!    same entries.
+//!
+//! The batched entry points [`SimilarityEngine::selectivities`] and
+//! [`SimilarityEngine::similarity_matrix`] evaluate a whole workload in one
+//! pass over those caches: an `n × n` similarity matrix costs `n` marginal
+//! evaluations plus one joint evaluation per unordered pair, instead of the
+//! `2·n²` marginal and `n²` joint evaluations of per-call estimation.
+//!
+//! # Example
+//!
+//! ```
+//! use tps_core::{ProximityMetric, SimilarityEngine};
+//! use tps_pattern::TreePattern;
+//! use tps_synopsis::MatchingSetKind;
+//! use tps_xml::XmlTree;
+//!
+//! let mut engine = SimilarityEngine::builder()
+//!     .matching_sets(MatchingSetKind::hashes(64))
+//!     .metric(ProximityMetric::M3)
+//!     .build();
+//! for text in [
+//!     "<media><CD><composer><last>Mozart</last></composer></CD></media>",
+//!     "<media><book><author><last>Austen</last></author></book></media>",
+//! ] {
+//!     engine.observe(&XmlTree::parse(text).unwrap());
+//! }
+//! let p = engine.register(&TreePattern::parse("//CD").unwrap());
+//! let q = engine.register(&TreePattern::parse("//composer/last").unwrap());
+//! let sim = engine.similarity(p, q, ProximityMetric::M3);
+//! assert!(sim > 0.99, "both patterns match exactly the first document");
+//!
+//! // Batched: one matrix call shares every marginal and joint evaluation.
+//! let matrix = engine.similarity_matrix(&[p, q], ProximityMetric::M3);
+//! assert_eq!(matrix.get(0, 1), sim);
+//! ```
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use tps_pattern::{ops, CompiledPattern, SubtreeInterner, TreePattern};
+use tps_synopsis::{
+    PruneConfig, PruneReport, SummaryValue, Synopsis, SynopsisConfig, SynopsisSize,
+};
+use tps_xml::XmlTree;
+
+use crate::eval::{SelEvaluator, SelMemo, ValueSource};
+use crate::metrics::ProximityMetric;
+
+/// Handle of a pattern registered with a [`SimilarityEngine`].
+///
+/// Handles are engine-specific: using a handle obtained from one engine on
+/// another is a logic error (and panics if the index is out of range).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PatternId(u32);
+
+impl PatternId {
+    /// Dense registration index of the pattern.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Builder for [`SimilarityEngine`] — subsumes the old
+/// `SynopsisConfig`-then-`prepare()` two-step.
+///
+/// Defaults: per-node hash samples of capacity 256 (the paper's
+/// best-performing representation), the default sampling seed, and the `M3`
+/// proximity metric.
+#[derive(Debug, Clone)]
+pub struct SimilarityEngineBuilder {
+    config: SynopsisConfig,
+    seed_override: Option<u64>,
+    metric: ProximityMetric,
+}
+
+impl SimilarityEngineBuilder {
+    /// Choose the matching-set representation (accepts a
+    /// [`tps_synopsis::MatchingSetKind`] or a full [`SynopsisConfig`],
+    /// whose seed — the default one for a bare kind — is honoured unless
+    /// [`Self::seed`] is also called).
+    pub fn matching_sets(mut self, config: impl Into<SynopsisConfig>) -> Self {
+        self.config = config.into();
+        self
+    }
+
+    /// Override the sampling seed. Takes precedence over the seed carried by
+    /// a [`SynopsisConfig`] passed to [`Self::matching_sets`], regardless of
+    /// call order.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed_override = Some(seed);
+        self
+    }
+
+    /// Choose the default proximity metric used by the `_default` query
+    /// variants.
+    pub fn metric(mut self, metric: ProximityMetric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Build the engine with an empty synopsis.
+    pub fn build(self) -> SimilarityEngine {
+        let mut config = self.config;
+        if let Some(seed) = self.seed_override {
+            config.seed = seed;
+        }
+        SimilarityEngine {
+            synopsis: Synopsis::new(config),
+            patterns: Vec::new(),
+            by_key: HashMap::new(),
+            default_metric: self.metric,
+            state: RefCell::new(EngineState::new()),
+        }
+    }
+}
+
+/// Counters describing how well the engine's caches are doing; useful for
+/// tests and performance reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineCacheStats {
+    /// Synopsis epoch the current caches were built at.
+    pub epoch: u64,
+    /// Marginal selectivity queries answered from the cache.
+    pub marginal_hits: u64,
+    /// Marginal selectivity queries that ran `SEL`.
+    pub marginal_misses: u64,
+    /// Joint selectivity queries answered from the pair cache.
+    pub joint_hits: u64,
+    /// Joint selectivity queries that evaluated a conjunction.
+    pub joint_misses: u64,
+    /// Entries currently in the shared `SEL` memo.
+    pub memo_entries: usize,
+    /// Distinct canonical pattern subtrees interned so far.
+    pub interned_subtrees: usize,
+}
+
+#[derive(Debug, Clone)]
+struct EngineState {
+    /// Synopsis epoch the value caches below were computed at.
+    epoch: u64,
+    /// Subtree-key interner (survives epoch bumps: keys are pattern-side).
+    interner: SubtreeInterner,
+    /// Engine-side materialisation of the full matching sets, built lazily.
+    full: Option<Vec<SummaryValue>>,
+    /// Persistent cross-pattern `SEL` memo, keyed by `(synopsis node,
+    /// pattern subtree)`. Holds only promoted *top-level* entries (root
+    /// branches at the synopsis root's children) — enough to make
+    /// conjunction evaluation a handful of lookups, while staying a few
+    /// entries per pattern.
+    memo: SelMemo,
+    /// Reusable per-evaluation memo (cleared between evaluations).
+    scratch: SelMemo,
+    /// Cached marginal selectivity per registered pattern.
+    marginals: Vec<Option<f64>>,
+    /// Cached joint selectivity per unordered pattern pair.
+    joints: HashMap<(u32, u32), f64>,
+    marginal_hits: u64,
+    marginal_misses: u64,
+    joint_hits: u64,
+    joint_misses: u64,
+}
+
+impl EngineState {
+    fn new() -> Self {
+        Self {
+            epoch: 0,
+            interner: SubtreeInterner::new(),
+            full: None,
+            memo: SelMemo::new(),
+            scratch: SelMemo::new(),
+            marginals: Vec::new(),
+            joints: HashMap::new(),
+            marginal_hits: 0,
+            marginal_misses: 0,
+            joint_hits: 0,
+            joint_misses: 0,
+        }
+    }
+
+    /// Drop every synopsis-dependent cache (the interner survives — subtree
+    /// keys do not depend on the synopsis). Hit/miss counters restart, so
+    /// [`EngineCacheStats`] always describes the current epoch's caches.
+    fn invalidate(&mut self, epoch: u64, pattern_count: usize) {
+        self.epoch = epoch;
+        self.full = None;
+        self.memo.clear();
+        self.scratch.clear();
+        self.marginals = vec![None; pattern_count];
+        self.joints.clear();
+        self.marginal_hits = 0;
+        self.marginal_misses = 0;
+        self.joint_hits = 0;
+        self.joint_misses = 0;
+    }
+
+    fn ensure_full<'a>(
+        full: &'a mut Option<Vec<SummaryValue>>,
+        synopsis: &Synopsis,
+    ) -> &'a [SummaryValue] {
+        full.get_or_insert_with(|| synopsis.full_values())
+    }
+
+    /// Selectivity of a compiled pattern through the shared caches. After
+    /// the evaluation, the pattern's top-level `SEL` entries are promoted
+    /// into the persistent cross-pattern memo, so later conjunctions over
+    /// this pattern resolve without recursing into the synopsis.
+    fn selectivity(&mut self, synopsis: &Synopsis, compiled: &CompiledPattern) -> f64 {
+        let full = Self::ensure_full(&mut self.full, synopsis);
+        self.scratch.clear();
+        let value = SelEvaluator {
+            synopsis,
+            source: ValueSource::Cached(full),
+            shared: &self.memo,
+            local: &mut self.scratch,
+        }
+        .selectivity(compiled);
+        let pattern = compiled.pattern();
+        for &u in pattern.children(pattern.root()) {
+            let key_u = compiled.node_key(u);
+            for &v in synopsis.children(synopsis.root()) {
+                let key = (v, key_u);
+                if let Some(entry) = self.scratch.get(&key) {
+                    self.memo.entry(key).or_insert_with(|| entry.clone());
+                }
+            }
+        }
+        value
+    }
+
+    /// Cached marginal selectivity of a registered pattern.
+    fn marginal(
+        &mut self,
+        synopsis: &Synopsis,
+        patterns: &[CompiledPattern],
+        id: PatternId,
+    ) -> f64 {
+        if let Some(cached) = self.marginals[id.index()] {
+            self.marginal_hits += 1;
+            return cached;
+        }
+        self.marginal_misses += 1;
+        let value = self.selectivity(synopsis, &patterns[id.index()]);
+        self.marginals[id.index()] = Some(value);
+        value
+    }
+
+    /// Cached joint selectivity of an unordered pair of registered patterns.
+    fn joint(
+        &mut self,
+        synopsis: &Synopsis,
+        patterns: &[CompiledPattern],
+        p: PatternId,
+        q: PatternId,
+    ) -> f64 {
+        if p == q {
+            return self.marginal(synopsis, patterns, p);
+        }
+        let key = (p.0.min(q.0), p.0.max(q.0));
+        if let Some(&cached) = self.joints.get(&key) {
+            self.joint_hits += 1;
+            return cached;
+        }
+        self.joint_misses += 1;
+        let conjunction =
+            ops::conjunction(patterns[p.index()].pattern(), patterns[q.index()].pattern());
+        let compiled = CompiledPattern::compile(&conjunction, &mut self.interner);
+        let value = self.selectivity(synopsis, &compiled);
+        self.joints.insert(key, value);
+        value
+    }
+
+    /// Similarity of a registered pair under `metric`.
+    fn similarity(
+        &mut self,
+        synopsis: &Synopsis,
+        patterns: &[CompiledPattern],
+        p: PatternId,
+        q: PatternId,
+        metric: ProximityMetric,
+    ) -> f64 {
+        if p == q {
+            return 1.0;
+        }
+        let p_p = self.marginal(synopsis, patterns, p);
+        let p_q = self.marginal(synopsis, patterns, q);
+        let p_and = self.joint(synopsis, patterns, p, q);
+        metric.compute(p_p, p_q, p_and)
+    }
+}
+
+/// A dense `n × n` matrix of pairwise similarities produced by
+/// [`SimilarityEngine::similarity_matrix`].
+///
+/// Entry `(i, j)` is the similarity of `ids[i]` to `ids[j]` under the
+/// matrix's metric — bit-identical to the corresponding pairwise
+/// [`SimilarityEngine::similarity`] call. The diagonal is `1.0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimMatrix {
+    len: usize,
+    metric: ProximityMetric,
+    values: Vec<f64>,
+}
+
+impl SimMatrix {
+    /// Number of patterns the matrix covers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The proximity metric the matrix was built with.
+    pub fn metric(&self) -> ProximityMetric {
+        self.metric
+    }
+
+    /// The similarity of pair `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.len && j < self.len, "index out of bounds");
+        self.values[i * self.len + j]
+    }
+
+    /// One row of the matrix.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.len, "index out of bounds");
+        &self.values[i * self.len..(i + 1) * self.len]
+    }
+
+    /// The backing row-major value slice (`len × len` entries).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Consume the matrix into its row-major values.
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+}
+
+/// Batch-first streaming similarity engine — see the [module docs](self).
+///
+/// Maintenance (observing documents, pruning, registering patterns) takes
+/// `&mut self`; queries take `&self` and share interior caches, so an engine
+/// can be handed to read-only consumers (clustering, routing, experiment
+/// harnesses) after its workload is registered. The engine is `Send` but not
+/// `Sync`; cross-thread sharing requires external synchronisation.
+#[derive(Debug, Clone)]
+pub struct SimilarityEngine {
+    synopsis: Synopsis,
+    patterns: Vec<CompiledPattern>,
+    by_key: HashMap<Box<str>, PatternId>,
+    default_metric: ProximityMetric,
+    state: RefCell<EngineState>,
+}
+
+impl SimilarityEngine {
+    /// Start building an engine.
+    pub fn builder() -> SimilarityEngineBuilder {
+        SimilarityEngineBuilder {
+            config: SynopsisConfig::hashes(256),
+            seed_override: None,
+            metric: ProximityMetric::M3,
+        }
+    }
+
+    /// An engine with an empty synopsis of the given configuration and the
+    /// default `M3` metric.
+    pub fn new(config: SynopsisConfig) -> Self {
+        Self::builder().matching_sets(config).build()
+    }
+
+    /// Wrap an existing synopsis (keeps its observed stream).
+    pub fn from_synopsis(synopsis: Synopsis) -> Self {
+        Self {
+            synopsis,
+            patterns: Vec::new(),
+            by_key: HashMap::new(),
+            default_metric: ProximityMetric::M3,
+            state: RefCell::new(EngineState::new()),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Stream maintenance
+    // ------------------------------------------------------------------
+
+    /// Observe one document from the stream.
+    pub fn observe(&mut self, document: &XmlTree) {
+        self.synopsis.insert_document(document);
+    }
+
+    /// Observe a document that is already a skeleton tree.
+    pub fn observe_skeleton(&mut self, skeleton: &XmlTree) {
+        self.synopsis.insert_skeleton(skeleton);
+    }
+
+    /// Observe a batch of documents.
+    pub fn observe_all<'a, I>(&mut self, documents: I)
+    where
+        I: IntoIterator<Item = &'a XmlTree>,
+    {
+        for doc in documents {
+            self.observe(doc);
+        }
+    }
+
+    /// Number of documents observed so far.
+    pub fn document_count(&self) -> u64 {
+        self.synopsis.document_count()
+    }
+
+    /// Read access to the synopsis.
+    pub fn synopsis(&self) -> &Synopsis {
+        &self.synopsis
+    }
+
+    /// Mutable access to the synopsis (e.g. for custom pruning schedules).
+    ///
+    /// Every synopsis mutation bumps its epoch, which invalidates the
+    /// engine's caches on the next query; handing out the reference also
+    /// advances the epoch defensively, so even a mutation the synopsis
+    /// cannot observe invalidates them. One caveat: if you *replace* the
+    /// synopsis wholesale (`std::mem::replace`/`swap` through this
+    /// reference), the incoming synopsis carries its own counter — call
+    /// [`Synopsis::mark_dirty`] on it afterwards to rule out an accidental
+    /// epoch collision with the cached tag.
+    pub fn synopsis_mut(&mut self) -> &mut Synopsis {
+        self.synopsis.mark_dirty();
+        &mut self.synopsis
+    }
+
+    /// Current synopsis size decomposition.
+    pub fn size(&self) -> SynopsisSize {
+        self.synopsis.size()
+    }
+
+    /// Prune the synopsis to `alpha` times its current size.
+    pub fn prune_to_ratio(&mut self, alpha: f64, config: PruneConfig) -> PruneReport {
+        self.synopsis.prune_to_ratio(alpha, config)
+    }
+
+    /// Eagerly materialise the engine's matching-set caches for the current
+    /// epoch. Optional — queries warm the caches lazily — but useful to move
+    /// the one-off cost out of a measured section.
+    pub fn prepare(&self) {
+        let mut st = self.state_mut();
+        EngineState::ensure_full(&mut st.full, &self.synopsis);
+    }
+
+    /// The default proximity metric used by the `_default` query variants.
+    pub fn default_metric(&self) -> ProximityMetric {
+        self.default_metric
+    }
+
+    // ------------------------------------------------------------------
+    // Registration
+    // ------------------------------------------------------------------
+
+    /// Register a pattern, returning its handle.
+    ///
+    /// Patterns are interned by canonical structure: registering a pattern
+    /// that is equal (modulo sibling order and duplicate branches) to an
+    /// already-registered one returns the existing handle.
+    pub fn register(&mut self, pattern: &TreePattern) -> PatternId {
+        let compiled = {
+            let mut st = self.state.borrow_mut();
+            CompiledPattern::compile(pattern, &mut st.interner)
+        };
+        if let Some(&existing) = self.by_key.get(compiled.canonical_key()) {
+            return existing;
+        }
+        let id = PatternId(self.patterns.len() as u32);
+        self.by_key.insert(compiled.canonical_key().into(), id);
+        self.patterns.push(compiled);
+        self.state.borrow_mut().marginals.push(None);
+        id
+    }
+
+    /// Register a whole workload, returning one handle per input pattern
+    /// (duplicates map to the same handle).
+    pub fn register_all<'a, I>(&mut self, patterns: I) -> Vec<PatternId>
+    where
+        I: IntoIterator<Item = &'a TreePattern>,
+    {
+        patterns.into_iter().map(|p| self.register(p)).collect()
+    }
+
+    /// The (normalised) pattern behind a handle.
+    pub fn pattern(&self, id: PatternId) -> &TreePattern {
+        self.patterns[id.index()].pattern()
+    }
+
+    /// Number of registered (distinct) patterns.
+    pub fn pattern_count(&self) -> usize {
+        self.patterns.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Handle-based queries
+    // ------------------------------------------------------------------
+
+    /// Estimated selectivity `P(p)` of a registered pattern (cached until
+    /// the synopsis changes).
+    pub fn selectivity(&self, id: PatternId) -> f64 {
+        let mut st = self.state_mut();
+        st.marginal(&self.synopsis, &self.patterns, id)
+    }
+
+    /// Batched selectivities of a slice of handles; all evaluations share the
+    /// `SEL` memo and the per-pattern cache.
+    pub fn selectivities(&self, ids: &[PatternId]) -> Vec<f64> {
+        let mut st = self.state_mut();
+        ids.iter()
+            .map(|&id| st.marginal(&self.synopsis, &self.patterns, id))
+            .collect()
+    }
+
+    /// Estimated joint selectivity `P(p ∧ q)` (cached per unordered pair).
+    pub fn joint_selectivity(&self, p: PatternId, q: PatternId) -> f64 {
+        let mut st = self.state_mut();
+        st.joint(&self.synopsis, &self.patterns, p, q)
+    }
+
+    /// Estimated similarity of two registered patterns under `metric`.
+    pub fn similarity(&self, p: PatternId, q: PatternId, metric: ProximityMetric) -> f64 {
+        let mut st = self.state_mut();
+        st.similarity(&self.synopsis, &self.patterns, p, q, metric)
+    }
+
+    /// Estimated similarity under the engine's default metric.
+    pub fn similarity_default(&self, p: PatternId, q: PatternId) -> f64 {
+        self.similarity(p, q, self.default_metric)
+    }
+
+    /// Estimated similarities of a registered pair under all three metrics,
+    /// in the order `[M1, M2, M3]`; the three selectivities are evaluated
+    /// (at most) once.
+    pub fn similarities(&self, p: PatternId, q: PatternId) -> [f64; 3] {
+        if p == q {
+            return [1.0; 3];
+        }
+        let mut st = self.state_mut();
+        let p_p = st.marginal(&self.synopsis, &self.patterns, p);
+        let p_q = st.marginal(&self.synopsis, &self.patterns, q);
+        let p_and = st.joint(&self.synopsis, &self.patterns, p, q);
+        [
+            ProximityMetric::M1.compute(p_p, p_q, p_and),
+            ProximityMetric::M2.compute(p_p, p_q, p_and),
+            ProximityMetric::M3.compute(p_p, p_q, p_and),
+        ]
+    }
+
+    /// All-pairs similarity matrix of a workload under `metric`.
+    ///
+    /// Entry `(i, j)` is bit-identical to `self.similarity(ids[i], ids[j],
+    /// metric)`; the batched form simply shares every marginal evaluation
+    /// (`n` instead of `2·n²`) and evaluates each unordered joint once.
+    pub fn similarity_matrix(&self, ids: &[PatternId], metric: ProximityMetric) -> SimMatrix {
+        let n = ids.len();
+        let mut values = vec![0.0; n * n];
+        let mut st = self.state_mut();
+        for i in 0..n {
+            values[i * n + i] = 1.0;
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (p, q) = (ids[i], ids[j]);
+                if p == q {
+                    values[i * n + j] = 1.0;
+                    values[j * n + i] = 1.0;
+                    continue;
+                }
+                let p_p = st.marginal(&self.synopsis, &self.patterns, p);
+                let p_q = st.marginal(&self.synopsis, &self.patterns, q);
+                let p_and = st.joint(&self.synopsis, &self.patterns, p, q);
+                let forward = metric.compute(p_p, p_q, p_and);
+                values[i * n + j] = forward;
+                values[j * n + i] = if metric.is_symmetric() {
+                    forward
+                } else {
+                    metric.compute(p_q, p_p, p_and)
+                };
+            }
+        }
+        SimMatrix {
+            len: n,
+            metric,
+            values,
+        }
+    }
+
+    /// All-pairs similarity matrix under the engine's default metric.
+    pub fn similarity_matrix_default(&self, ids: &[PatternId]) -> SimMatrix {
+        self.similarity_matrix(ids, self.default_metric)
+    }
+
+    // ------------------------------------------------------------------
+    // Transient queries (unregistered patterns)
+    // ------------------------------------------------------------------
+
+    /// Selectivity of an ad-hoc pattern without registering it. The
+    /// evaluation still goes through the shared `SEL` memo and matching-set
+    /// caches, but its result is not cached per-pattern.
+    pub fn selectivity_of(&self, pattern: &TreePattern) -> f64 {
+        let mut st = self.state_mut();
+        let compiled = {
+            let interner = &mut st.interner;
+            CompiledPattern::compile(pattern, interner)
+        };
+        st.selectivity(&self.synopsis, &compiled)
+    }
+
+    /// Joint selectivity of two ad-hoc patterns.
+    pub fn joint_selectivity_of(&self, p: &TreePattern, q: &TreePattern) -> f64 {
+        self.selectivity_of(&ops::conjunction(p, q))
+    }
+
+    /// Similarity of two ad-hoc patterns under `metric`.
+    pub fn similarity_of(&self, p: &TreePattern, q: &TreePattern, metric: ProximityMetric) -> f64 {
+        let [p_p, p_q, p_and] = self.triple_of(p, q);
+        metric.compute(p_p, p_q, p_and)
+    }
+
+    /// Similarities of two ad-hoc patterns under all three metrics, in the
+    /// order `[M1, M2, M3]`.
+    pub fn similarities_of(&self, p: &TreePattern, q: &TreePattern) -> [f64; 3] {
+        let [p_p, p_q, p_and] = self.triple_of(p, q);
+        [
+            ProximityMetric::M1.compute(p_p, p_q, p_and),
+            ProximityMetric::M2.compute(p_p, p_q, p_and),
+            ProximityMetric::M3.compute(p_p, p_q, p_and),
+        ]
+    }
+
+    fn triple_of(&self, p: &TreePattern, q: &TreePattern) -> [f64; 3] {
+        let mut st = self.state_mut();
+        let compiled_p = CompiledPattern::compile(p, &mut st.interner);
+        let compiled_q = CompiledPattern::compile(q, &mut st.interner);
+        let compiled_and = CompiledPattern::compile(&ops::conjunction(p, q), &mut st.interner);
+        let p_p = st.selectivity(&self.synopsis, &compiled_p);
+        let p_q = st.selectivity(&self.synopsis, &compiled_q);
+        let p_and = st.selectivity(&self.synopsis, &compiled_and);
+        [p_p, p_q, p_and]
+    }
+
+    /// Cache behaviour counters (epoch, hit/miss counts, memo sizes).
+    pub fn cache_stats(&self) -> EngineCacheStats {
+        let st = self.state_mut();
+        EngineCacheStats {
+            epoch: st.epoch,
+            marginal_hits: st.marginal_hits,
+            marginal_misses: st.marginal_misses,
+            joint_hits: st.joint_hits,
+            joint_misses: st.joint_misses,
+            memo_entries: st.memo.len(),
+            interned_subtrees: st.interner.len(),
+        }
+    }
+
+    /// Borrow the cache state, invalidating it first if the synopsis epoch
+    /// has moved since it was built.
+    fn state_mut(&self) -> std::cell::RefMut<'_, EngineState> {
+        let mut st = self.state.borrow_mut();
+        let epoch = self.synopsis.epoch();
+        if st.epoch != epoch {
+            st.invalidate(epoch, self.patterns.len());
+        } else if st.marginals.len() != self.patterns.len() {
+            st.marginals.resize(self.patterns.len(), None);
+        }
+        st
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_pattern::TreePattern;
+    use tps_synopsis::MatchingSetKind;
+
+    fn docs() -> Vec<XmlTree> {
+        [
+            "<media><CD><composer><last>Mozart</last></composer><title>Requiem</title></CD></media>",
+            "<media><CD><composer><last>Bach</last></composer></CD></media>",
+            "<media><book><author><last>Austen</last></author></book></media>",
+            "<media><book><author><last>Mozart</last></author></book></media>",
+        ]
+        .iter()
+        .map(|s| XmlTree::parse(s).unwrap())
+        .collect()
+    }
+
+    fn pat(s: &str) -> TreePattern {
+        TreePattern::parse(s).unwrap()
+    }
+
+    fn engine_with(kind: MatchingSetKind) -> SimilarityEngine {
+        let mut engine = SimilarityEngine::builder().matching_sets(kind).build();
+        engine.observe_all(&docs());
+        engine
+    }
+
+    #[test]
+    fn builder_subsumes_config_and_prepare() {
+        let mut engine = SimilarityEngine::builder()
+            .matching_sets(MatchingSetKind::hashes(64))
+            .metric(ProximityMetric::M2)
+            .seed(7)
+            .build();
+        assert_eq!(engine.default_metric(), ProximityMetric::M2);
+        assert_eq!(engine.synopsis().seed(), 7);
+        engine.observe_all(&docs());
+        let id = engine.register(&pat("//CD"));
+        // No prepare() needed before querying.
+        assert!((engine.selectivity(id) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builder_seed_wins_regardless_of_call_order() {
+        let a = SimilarityEngine::builder()
+            .seed(7)
+            .matching_sets(MatchingSetKind::hashes(64))
+            .build();
+        let b = SimilarityEngine::builder()
+            .matching_sets(MatchingSetKind::hashes(64))
+            .seed(7)
+            .build();
+        assert_eq!(a.synopsis().seed(), 7);
+        assert_eq!(b.synopsis().seed(), 7);
+        // A full config's seed is honoured when no explicit .seed() is set...
+        let c = SimilarityEngine::builder()
+            .matching_sets(SynopsisConfig::hashes(64).with_seed(9))
+            .build();
+        assert_eq!(c.synopsis().seed(), 9);
+        // ...and overridden when one is.
+        let d = SimilarityEngine::builder()
+            .seed(7)
+            .matching_sets(SynopsisConfig::hashes(64).with_seed(9))
+            .build();
+        assert_eq!(d.synopsis().seed(), 7);
+    }
+
+    #[test]
+    fn synopsis_mut_access_invalidates_caches_defensively() {
+        let mut engine = engine_with(MatchingSetKind::hashes(64));
+        let id = engine.register(&pat("//CD"));
+        let before = engine.selectivity(id);
+        let epoch_before = engine.synopsis().epoch();
+        // Merely taking the mutable reference (even without a structural
+        // change the synopsis can observe) must advance the epoch.
+        let _ = engine.synopsis_mut();
+        assert!(engine.synopsis().epoch() > epoch_before);
+        assert_eq!(engine.selectivity(id), before, "value unchanged, rebuilt");
+    }
+
+    #[test]
+    fn joint_queries_do_not_grow_the_interner() {
+        let mut engine = engine_with(MatchingSetKind::hashes(64));
+        let ids = engine.register_all(&[pat("//CD"), pat("//composer"), pat("//book")]);
+        engine.selectivities(&ids);
+        let before = engine.cache_stats().interned_subtrees;
+        engine.similarity_matrix(&ids, ProximityMetric::M3);
+        assert_eq!(
+            engine.cache_stats().interned_subtrees,
+            before,
+            "conjunction compilation must not accrue interner entries"
+        );
+    }
+
+    #[test]
+    fn register_interns_structurally_equal_patterns() {
+        let mut engine = engine_with(MatchingSetKind::hashes(64));
+        let a = engine.register(&pat("/media[CD][book]"));
+        let b = engine.register(&pat("/media[book][CD]"));
+        let c = engine.register(&pat("/media[CD][CD][book]"));
+        let d = engine.register(&pat("//CD"));
+        assert_eq!(a, b, "sibling order must not create a new handle");
+        assert_eq!(a, c, "duplicate branches must not create a new handle");
+        assert_ne!(a, d);
+        assert_eq!(engine.pattern_count(), 2);
+    }
+
+    #[test]
+    fn selectivities_match_single_calls() {
+        let mut engine = engine_with(MatchingSetKind::sets(100));
+        let ids = engine.register_all(&[pat("//CD"), pat("//Mozart"), pat("//book/author")]);
+        let batch = engine.selectivities(&ids);
+        for (&id, &value) in ids.iter().zip(&batch) {
+            assert_eq!(engine.selectivity(id), value);
+        }
+        assert!((batch[0] - 0.5).abs() < 1e-9);
+        assert!((batch[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn similarity_matrix_is_bit_identical_to_pairwise_calls() {
+        for kind in [
+            MatchingSetKind::counters(),
+            MatchingSetKind::sets(100),
+            MatchingSetKind::hashes(64),
+        ] {
+            let mut engine = engine_with(kind);
+            let ids = engine.register_all(&[
+                pat("//CD"),
+                pat("//composer"),
+                pat("//book"),
+                pat("//Mozart"),
+                pat("/media/*/title"),
+            ]);
+            for metric in ProximityMetric::all() {
+                let matrix = engine.similarity_matrix(&ids, metric);
+                for i in 0..ids.len() {
+                    for j in 0..ids.len() {
+                        let pairwise = engine.similarity(ids[i], ids[j], metric);
+                        assert!(
+                            matrix.get(i, j) == pairwise,
+                            "({i},{j}) {metric} {kind:?}: {} != {}",
+                            matrix.get(i, j),
+                            pairwise
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_agrees_with_the_per_call_estimator_path() {
+        // The engine's cached evaluation must produce the same numbers as the
+        // stand-alone per-call SelectivityEstimator pipeline.
+        let mut engine = engine_with(MatchingSetKind::hashes(100));
+        let patterns = [pat("//CD"), pat("//composer/last"), pat("//book")];
+        let ids = engine.register_all(&patterns);
+        let matrix = engine.similarity_matrix(&ids, ProximityMetric::M3);
+        let mut synopsis = Synopsis::from_documents(SynopsisConfig::hashes(100), &docs());
+        synopsis.prepare();
+        let est = crate::SelectivityEstimator::new(&synopsis);
+        for i in 0..patterns.len() {
+            for j in 0..patterns.len() {
+                if i == j {
+                    continue;
+                }
+                let p_p = est.selectivity(&patterns[i]);
+                let p_q = est.selectivity(&patterns[j]);
+                let p_and = est.joint_selectivity(&patterns[i], &patterns[j]);
+                let expected = ProximityMetric::M3.compute(p_p, p_q, p_and);
+                assert_eq!(matrix.get(i, j), expected, "pair ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_cached_selectivities() {
+        let mut engine = engine_with(MatchingSetKind::hashes(64));
+        let id = engine.register(&pat("//CD"));
+        assert!((engine.selectivity(id) - 0.5).abs() < 1e-9);
+        let stats = engine.cache_stats();
+        assert_eq!(stats.marginal_misses, 1);
+        // A second query is a pure cache hit.
+        engine.selectivity(id);
+        let stats = engine.cache_stats();
+        assert_eq!(stats.marginal_hits, 1);
+        assert_eq!(stats.marginal_misses, 1);
+        // Observing a document bumps the epoch and drops the caches: the
+        // value changes and the query is a miss again.
+        engine.observe(&XmlTree::parse("<media><CD/></media>").unwrap());
+        assert!((engine.selectivity(id) - 3.0 / 5.0).abs() < 1e-9);
+        let stats = engine.cache_stats();
+        assert_eq!(stats.marginal_hits, 0, "caches were rebuilt");
+        assert_eq!(stats.marginal_misses, 1);
+    }
+
+    #[test]
+    fn epoch_bump_on_pruning_invalidates_caches() {
+        let mut engine = engine_with(MatchingSetKind::hashes(64));
+        let id = engine.register(&pat("//composer/last"));
+        let before = engine.selectivity(id);
+        assert!(before > 0.0);
+        let report = engine.prune_to_ratio(0.4, PruneConfig::default());
+        assert!(report.final_size <= report.original_size);
+        let after = engine.selectivity(id);
+        assert!((0.0..=1.0).contains(&after));
+        let stats = engine.cache_stats();
+        assert_eq!(
+            stats.epoch,
+            engine.synopsis().epoch(),
+            "caches must be tagged with the post-prune epoch"
+        );
+    }
+
+    #[test]
+    fn transient_queries_agree_with_registered_ones() {
+        let mut engine = engine_with(MatchingSetKind::sets(100));
+        let p = pat("//CD");
+        let q = pat("//Mozart");
+        let (hp, hq) = (engine.register(&p), engine.register(&q));
+        assert_eq!(engine.selectivity_of(&p), engine.selectivity(hp));
+        assert_eq!(
+            engine.joint_selectivity_of(&p, &q),
+            engine.joint_selectivity(hp, hq)
+        );
+        for metric in ProximityMetric::all() {
+            assert_eq!(
+                engine.similarity_of(&p, &q, metric),
+                engine.similarity(hp, hq, metric)
+            );
+        }
+        let all = engine.similarities_of(&p, &q);
+        assert_eq!(all, engine.similarities(hp, hq));
+    }
+
+    #[test]
+    fn shared_memo_grows_across_patterns() {
+        let mut engine = engine_with(MatchingSetKind::hashes(64));
+        let ids = engine.register_all(&[pat("//CD/composer/last"), pat("//book/author/last")]);
+        engine.selectivities(&ids);
+        let stats = engine.cache_stats();
+        assert!(stats.memo_entries > 0);
+        assert!(stats.interned_subtrees >= 6, "subtrees of both patterns");
+        // The shared //last fragments intern to the same subtree key.
+        let before = stats.interned_subtrees;
+        let mut engine2 = engine.clone();
+        engine2.register(&pat("//last"));
+        assert!(engine2.cache_stats().interned_subtrees <= before + 2);
+    }
+
+    #[test]
+    fn sim_matrix_accessors() {
+        let mut engine = engine_with(MatchingSetKind::sets(100));
+        let ids = engine.register_all(&[pat("//CD"), pat("//book")]);
+        let matrix = engine.similarity_matrix(&ids, ProximityMetric::M3);
+        assert_eq!(matrix.len(), 2);
+        assert!(!matrix.is_empty());
+        assert_eq!(matrix.metric(), ProximityMetric::M3);
+        assert_eq!(matrix.get(0, 0), 1.0);
+        assert_eq!(matrix.row(0).len(), 2);
+        assert_eq!(matrix.values().len(), 4);
+        let empty = engine.similarity_matrix(&[], ProximityMetric::M1);
+        assert!(empty.is_empty());
+        assert_eq!(empty.into_values(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn duplicate_handles_in_a_matrix_slice_are_unit_similar() {
+        let mut engine = engine_with(MatchingSetKind::hashes(64));
+        let id = engine.register(&pat("//CD"));
+        let matrix = engine.similarity_matrix(&[id, id], ProximityMetric::M1);
+        assert_eq!(matrix.get(0, 1), 1.0);
+        assert_eq!(matrix.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn from_synopsis_wraps_an_existing_stream() {
+        let synopsis = Synopsis::from_documents(SynopsisConfig::counters(), &docs());
+        let mut engine = SimilarityEngine::from_synopsis(synopsis);
+        assert_eq!(engine.document_count(), 4);
+        let id = engine.register(&pat("/media/CD"));
+        assert!((engine.selectivity(id) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prepare_is_optional_and_idempotent() {
+        let mut engine = engine_with(MatchingSetKind::hashes(64));
+        let id = engine.register(&pat("//CD"));
+        engine.prepare();
+        engine.prepare();
+        assert!((engine.selectivity(id) - 0.5).abs() < 1e-9);
+    }
+}

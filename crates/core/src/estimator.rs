@@ -1,23 +1,51 @@
-//! High-level streaming similarity estimator.
+//! High-level streaming similarity estimator (deprecated shim).
 //!
-//! [`SimilarityEstimator`] ties the pieces together for the content-based
-//! routing use case: it owns a [`Synopsis`], observes the XML document
-//! stream, and answers selectivity and similarity queries over tree
-//! patterns. This is the API a broker uses to discover semantic communities
-//! of subscriptions.
+//! [`SimilarityEstimator`] was the original one-pattern-at-a-time entry
+//! point. It is now a thin shim over [`SimilarityEngine`] and is kept for
+//! one release to ease migration; new code should use the engine directly:
+//!
+//! ```
+//! use tps_core::{ProximityMetric, SimilarityEngine};
+//! use tps_pattern::TreePattern;
+//! use tps_synopsis::MatchingSetKind;
+//! use tps_xml::XmlTree;
+//!
+//! let mut engine = SimilarityEngine::builder()
+//!     .matching_sets(MatchingSetKind::hashes(64))
+//!     .metric(ProximityMetric::M3)
+//!     .build();
+//! engine.observe(&XmlTree::parse("<media><CD/></media>").unwrap());
+//! let p = engine.register(&TreePattern::parse("//CD").unwrap());
+//! assert_eq!(engine.selectivity(p), 1.0);
+//! ```
+//!
+//! Migration map:
+//!
+//! | old (`SimilarityEstimator`)                  | new (`SimilarityEngine`)                          |
+//! |----------------------------------------------|---------------------------------------------------|
+//! | `new(config)` + `prepare()`                  | `builder().matching_sets(..).build()` (no prepare) |
+//! | `selectivity(&p)` per call                   | `register(&p)` once, `selectivity(id)`            |
+//! | `similarity(&p, &q, m)` per pair             | `similarity(p_id, q_id, m)` (cached)              |
+//! | hand-rolled pairwise loops                   | `selectivities(&ids)` / `similarity_matrix(&ids, m)` |
 
 use tps_pattern::TreePattern;
 use tps_synopsis::{PruneConfig, PruneReport, Synopsis, SynopsisConfig, SynopsisSize};
 use tps_xml::XmlTree;
 
+use crate::engine::SimilarityEngine;
 use crate::metrics::ProximityMetric;
-use crate::selectivity::SelectivityEstimator;
 
 /// Streaming tree-pattern similarity estimator.
+///
+/// Deprecated: every query re-derives its inputs instead of reusing work
+/// across the workload. Use [`SimilarityEngine`] — register patterns once and
+/// query through handles — which also exposes genuinely batched entry points
+/// (`selectivities`, `similarity_matrix`).
 ///
 /// # Example
 ///
 /// ```
+/// #![allow(deprecated)]
 /// use tps_core::{ProximityMetric, SimilarityEstimator};
 /// use tps_pattern::TreePattern;
 /// use tps_synopsis::SynopsisConfig;
@@ -35,32 +63,49 @@ use crate::selectivity::SelectivityEstimator;
 /// let sim = estimator.similarity(&p, &q, ProximityMetric::M3);
 /// assert!(sim > 0.99, "both patterns match exactly the first document");
 /// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "use SimilarityEngine: register patterns once and query through PatternId handles"
+)]
 #[derive(Debug, Clone)]
 pub struct SimilarityEstimator {
-    synopsis: Synopsis,
+    engine: SimilarityEngine,
 }
 
+#[allow(deprecated)]
 impl SimilarityEstimator {
     /// Create an estimator with an empty synopsis.
     pub fn new(config: SynopsisConfig) -> Self {
         Self {
-            synopsis: Synopsis::new(config),
+            engine: SimilarityEngine::new(config),
         }
     }
 
     /// Wrap an existing synopsis.
     pub fn from_synopsis(synopsis: Synopsis) -> Self {
-        Self { synopsis }
+        Self {
+            engine: SimilarityEngine::from_synopsis(synopsis),
+        }
+    }
+
+    /// The engine this shim queries; migrate callers to it directly.
+    pub fn engine(&self) -> &SimilarityEngine {
+        &self.engine
+    }
+
+    /// Consume the shim, keeping the engine (and its observed stream).
+    pub fn into_engine(self) -> SimilarityEngine {
+        self.engine
     }
 
     /// Observe one document from the stream.
     pub fn observe(&mut self, document: &XmlTree) {
-        self.synopsis.insert_document(document);
+        self.engine.observe(document);
     }
 
     /// Observe a document that is already a skeleton tree.
     pub fn observe_skeleton(&mut self, skeleton: &XmlTree) {
-        self.synopsis.insert_skeleton(skeleton);
+        self.engine.observe_skeleton(skeleton);
     }
 
     /// Observe a batch of documents.
@@ -68,78 +113,65 @@ impl SimilarityEstimator {
     where
         I: IntoIterator<Item = &'a XmlTree>,
     {
-        for doc in documents {
-            self.observe(doc);
-        }
+        self.engine.observe_all(documents);
     }
 
     /// Number of documents observed so far.
     pub fn document_count(&self) -> u64 {
-        self.synopsis.document_count()
+        self.engine.document_count()
     }
 
     /// Read access to the synopsis.
     pub fn synopsis(&self) -> &Synopsis {
-        &self.synopsis
+        self.engine.synopsis()
     }
 
     /// Mutable access to the synopsis (e.g. for custom pruning schedules).
     pub fn synopsis_mut(&mut self) -> &mut Synopsis {
-        &mut self.synopsis
+        self.engine.synopsis_mut()
     }
 
-    /// Materialise the per-node matching sets; recommended before issuing a
-    /// batch of queries against a Hashes synopsis.
+    /// Materialise the per-node matching sets. The engine caches these
+    /// lazily per epoch, so this is an optional warm-up nowadays.
     pub fn prepare(&mut self) {
-        self.synopsis.prepare();
+        self.engine.prepare();
     }
 
     /// Current synopsis size decomposition.
     pub fn size(&self) -> SynopsisSize {
-        self.synopsis.size()
+        self.engine.size()
     }
 
     /// Prune the synopsis to `alpha` times its current size.
     pub fn prune_to_ratio(&mut self, alpha: f64, config: PruneConfig) -> PruneReport {
-        self.synopsis.prune_to_ratio(alpha, config)
+        self.engine.prune_to_ratio(alpha, config)
     }
 
     /// Estimated selectivity `P(p)`.
     pub fn selectivity(&self, pattern: &TreePattern) -> f64 {
-        SelectivityEstimator::new(&self.synopsis).selectivity(pattern)
+        self.engine.selectivity_of(pattern)
     }
 
     /// Estimated joint selectivity `P(p ∧ q)`.
     pub fn joint_selectivity(&self, p: &TreePattern, q: &TreePattern) -> f64 {
-        SelectivityEstimator::new(&self.synopsis).joint_selectivity(p, q)
+        self.engine.joint_selectivity_of(p, q)
     }
 
     /// Estimated similarity of `p` and `q` under `metric`.
     pub fn similarity(&self, p: &TreePattern, q: &TreePattern, metric: ProximityMetric) -> f64 {
-        let estimator = SelectivityEstimator::new(&self.synopsis);
-        let p_p = estimator.selectivity(p);
-        let p_q = estimator.selectivity(q);
-        let p_and = estimator.joint_selectivity(p, q);
-        metric.compute(p_p, p_q, p_and)
+        self.engine.similarity_of(p, q, metric)
     }
 
     /// Estimated similarities under all three metrics, returned in the order
     /// `[M1, M2, M3]`. Cheaper than three separate calls because the
     /// marginal and joint selectivities are evaluated once.
     pub fn similarities(&self, p: &TreePattern, q: &TreePattern) -> [f64; 3] {
-        let estimator = SelectivityEstimator::new(&self.synopsis);
-        let p_p = estimator.selectivity(p);
-        let p_q = estimator.selectivity(q);
-        let p_and = estimator.joint_selectivity(p, q);
-        [
-            ProximityMetric::M1.compute(p_p, p_q, p_and),
-            ProximityMetric::M2.compute(p_p, p_q, p_and),
-            ProximityMetric::M3.compute(p_p, p_q, p_and),
-        ]
+        self.engine.similarities_of(p, q)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -237,5 +269,17 @@ mod tests {
         let mut b = SimilarityEstimator::new(SynopsisConfig::counters());
         b.observe_skeleton(&doc.skeleton());
         assert_eq!(a.selectivity(&pat("/a/b")), b.selectivity(&pat("/a/b")));
+    }
+
+    #[test]
+    fn shim_agrees_with_the_engine_it_wraps() {
+        let mut est = SimilarityEstimator::new(SynopsisConfig::hashes(64));
+        est.observe_all(&docs());
+        let p = pat("//CD");
+        let q = pat("//Mozart");
+        let shim = est.similarity(&p, &q, ProximityMetric::M3);
+        let mut engine = est.into_engine();
+        let (hp, hq) = (engine.register(&p), engine.register(&q));
+        assert_eq!(shim, engine.similarity(hp, hq, ProximityMetric::M3));
     }
 }

@@ -1,0 +1,242 @@
+//! The shared `SEL` recursion used by both [`crate::SelectivityEstimator`]
+//! (one-shot, per-call memo) and [`crate::SimilarityEngine`] (persistent,
+//! cross-pattern memo).
+//!
+//! The recursion follows Algorithms 1 and 2 of the paper (see
+//! [`crate::selectivity`] for the pseudo-code and the folded-label
+//! extension). It is parameterised over
+//!
+//! * a [`ValueSource`] — where full matching-set values `S(v)` come from
+//!   (recomputed from the synopsis, or an engine-side epoch-tagged cache),
+//! * a memo table keyed by `(synopsis node, canonical pattern subtree)`.
+//!
+//! Keying the memo by the *canonical subtree* ([`SubtreeKeyId`]) instead of
+//! the pattern node id is what lets an engine share `SEL` work across every
+//! registered pattern: `SEL(v, u)` depends only on the subtree below `u`, so
+//! common subscription fragments — and the operand copies embedded in
+//! conjunction patterns — hit the same entries.
+
+use std::collections::HashMap;
+
+use tps_pattern::{CompiledPattern, PatternLabel, PatternNodeId, SubtreeKeyId, TreePattern};
+use tps_synopsis::{FoldedSubtree, MatchingSetKind, SummaryValue, Synopsis, SynopsisNodeId};
+
+/// Memoisation table for `SEL(v, u)` values.
+pub(crate) type SelMemo = HashMap<(SynopsisNodeId, SubtreeKeyId), SummaryValue>;
+
+/// Where the evaluator reads full matching-set values from.
+pub(crate) enum ValueSource<'a> {
+    /// Ask the synopsis each time ([`Synopsis::matching_value`]); fast when
+    /// the synopsis is [`Synopsis::prepare`]d, correct (but slow for the
+    /// Hashes representation) otherwise.
+    Direct,
+    /// A caller-owned materialisation of [`Synopsis::full_values`], indexed
+    /// by [`SynopsisNodeId::index`].
+    Cached(&'a [SummaryValue]),
+}
+
+impl ValueSource<'_> {
+    fn value(&self, synopsis: &Synopsis, v: SynopsisNodeId) -> SummaryValue {
+        match self {
+            ValueSource::Direct => synopsis.matching_value(v),
+            ValueSource::Cached(full) => full[v.index()].clone(),
+        }
+    }
+
+    /// The value representing the whole observed document set `S(rs)` — the
+    /// denominator of Algorithm 2 (mirrors [`Synopsis::universe_value`]).
+    pub(crate) fn universe(&self, synopsis: &Synopsis) -> SummaryValue {
+        match synopsis.kind() {
+            MatchingSetKind::Counters => SummaryValue::Fraction(1.0),
+            _ => self.value(synopsis, synopsis.root()),
+        }
+    }
+}
+
+/// One `SEL` evaluation pass over a compiled pattern.
+///
+/// `local` is the per-evaluation memo (dropped or cleared after the pass,
+/// like the paper's per-query memoisation); `shared` is a small persistent
+/// read-only memo of *top-level* entries — `(root child of the synopsis,
+/// root branch of a previously evaluated pattern)` — promoted by the engine.
+/// A conjunction pattern's root branches are exactly its operands' root
+/// branches, so with the operands' top-level entries promoted, evaluating
+/// `p ∧ q` never recurses below the synopsis root at all: each branch is one
+/// shared-memo hit. Keeping only the top level shared bounds the persistent
+/// memory to a few entries per registered pattern while preserving the whole
+/// cross-pattern amortisation.
+pub(crate) struct SelEvaluator<'a> {
+    pub(crate) synopsis: &'a Synopsis,
+    pub(crate) source: ValueSource<'a>,
+    pub(crate) shared: &'a SelMemo,
+    pub(crate) local: &'a mut SelMemo,
+}
+
+impl SelEvaluator<'_> {
+    /// Run `SEL` on the root nodes and return the raw document-set value.
+    pub(crate) fn evaluate(&mut self, compiled: &CompiledPattern) -> SummaryValue {
+        let pattern = compiled.pattern();
+        let root_children = pattern.children(pattern.root());
+        if root_children.is_empty() {
+            // The bare `/.` pattern matches every document.
+            return self.source.universe(self.synopsis);
+        }
+        let syn_root = self.synopsis.root();
+        let mut result: Option<SummaryValue> = None;
+        for &u in root_children {
+            let mut sat = self.synopsis.empty_value();
+            for &v in self.synopsis.children(syn_root) {
+                sat = sat.union(&self.sel(v, u, compiled));
+            }
+            // Folded labels directly below the synopsis root (possible after
+            // aggressive pruning) can also satisfy a root branch.
+            if folded_satisfies(self.synopsis.folded(syn_root), pattern, u) {
+                sat = sat.union(&self.source.value(self.synopsis, syn_root));
+            }
+            result = Some(match result {
+                None => sat,
+                Some(acc) => acc.intersect(&sat),
+            });
+        }
+        result.unwrap_or_else(|| self.synopsis.empty_value())
+    }
+
+    /// Estimate `P(p)` from the evaluated value (Algorithm 2), clamped to
+    /// `[0, 1]`.
+    pub(crate) fn selectivity(&mut self, compiled: &CompiledPattern) -> f64 {
+        let universe = self.source.universe(self.synopsis).count_units();
+        if universe <= 0.0 {
+            return 0.0;
+        }
+        let value = self.evaluate(compiled);
+        (value.count_units() / universe).clamp(0.0, 1.0)
+    }
+
+    /// `SEL(v, u)` with memoisation keyed by `(v, canonical subtree of u)`.
+    fn sel(
+        &mut self,
+        v: SynopsisNodeId,
+        u: PatternNodeId,
+        compiled: &CompiledPattern,
+    ) -> SummaryValue {
+        let key = (v, compiled.node_key(u));
+        if let Some(cached) = self.local.get(&key) {
+            return cached.clone();
+        }
+        if let Some(cached) = self.shared.get(&key) {
+            return cached.clone();
+        }
+        let value = self.sel_uncached(v, u, compiled);
+        self.local.insert(key, value.clone());
+        value
+    }
+
+    fn sel_uncached(
+        &mut self,
+        v: SynopsisNodeId,
+        u: PatternNodeId,
+        compiled: &CompiledPattern,
+    ) -> SummaryValue {
+        let synopsis = self.synopsis;
+        let pattern = compiled.pattern();
+        let u_label = pattern.label(u);
+        // Line 1: label compatibility (the partial order `a ⪯ * ⪯ //`).
+        if !u_label.subsumes(synopsis.label(v)) {
+            return synopsis.empty_value();
+        }
+        // Line 3-4: u is a leaf → S(v).
+        if pattern.is_leaf(u) {
+            return self.source.value(synopsis, v);
+        }
+        match u_label {
+            PatternLabel::Descendant => {
+                // Lines 11-14: the descendant maps to a path of length 0 or
+                // recurses into the children of v.
+                let mut s0: Option<SummaryValue> = None;
+                for &u_child in pattern.children(u) {
+                    let val = self.sel(v, u_child, compiled);
+                    s0 = Some(match s0 {
+                        None => val,
+                        Some(acc) => acc.intersect(&val),
+                    });
+                }
+                let mut result = s0.unwrap_or_else(|| synopsis.empty_value());
+                for &v_child in synopsis.children(v) {
+                    result = result.union(&self.sel(v_child, u, compiled));
+                }
+                // Folded labels: the descendant's target may have been folded
+                // into v (or deeper); all of S(v) is then assumed to satisfy
+                // it.
+                if pattern.children(u).iter().all(|&u_child| {
+                    folded_satisfies_descendant(synopsis.folded(v), pattern, u_child)
+                }) && !pattern.children(u).is_empty()
+                {
+                    result = result.union(&self.source.value(synopsis, v));
+                }
+                result
+            }
+            _ => {
+                // Lines 5-10: tag or wildcard with children — branch on the
+                // pattern children, union over the synopsis children.
+                let mut result: Option<SummaryValue> = None;
+                for &u_child in pattern.children(u) {
+                    let mut sat = synopsis.empty_value();
+                    for &v_child in synopsis.children(v) {
+                        sat = sat.union(&self.sel(v_child, u_child, compiled));
+                    }
+                    if folded_satisfies(synopsis.folded(v), pattern, u_child) {
+                        sat = sat.union(&self.source.value(synopsis, v));
+                    }
+                    result = Some(match result {
+                        None => sat,
+                        Some(acc) => acc.intersect(&sat),
+                    });
+                }
+                result.unwrap_or_else(|| synopsis.empty_value())
+            }
+        }
+    }
+}
+
+/// Can the pattern subtree rooted at `u` be satisfied purely within the
+/// folded (nested) labels `folded` of a synopsis node?
+pub(crate) fn folded_satisfies(
+    folded: &[FoldedSubtree],
+    pattern: &TreePattern,
+    u: PatternNodeId,
+) -> bool {
+    match pattern.label(u) {
+        PatternLabel::Tag(tag) => folded.iter().any(|f| {
+            f.label.as_ref() == tag.as_ref()
+                && pattern
+                    .children(u)
+                    .iter()
+                    .all(|&uc| folded_satisfies(&f.children, pattern, uc))
+        }),
+        PatternLabel::Wildcard => folded.iter().any(|f| {
+            pattern
+                .children(u)
+                .iter()
+                .all(|&uc| folded_satisfies(&f.children, pattern, uc))
+        }),
+        PatternLabel::Descendant => pattern
+            .children(u)
+            .iter()
+            .all(|&uc| folded_satisfies_descendant(folded, pattern, uc)),
+        PatternLabel::Root => false,
+    }
+}
+
+/// Can `u` be satisfied at any depth within the folded label forest?
+pub(crate) fn folded_satisfies_descendant(
+    folded: &[FoldedSubtree],
+    pattern: &TreePattern,
+    u: PatternNodeId,
+) -> bool {
+    if folded_satisfies(folded, pattern, u) {
+        return true;
+    }
+    folded
+        .iter()
+        .any(|f| folded_satisfies_descendant(&f.children, pattern, u))
+}

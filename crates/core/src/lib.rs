@@ -1,22 +1,27 @@
 //! Tree-pattern selectivity and similarity estimation — the paper's primary
 //! contribution (Sections 4 and 2).
 //!
+//! * [`SimilarityEngine`] — the batch-first evaluation engine: register a
+//!   subscription workload once (interned, pre-compiled [`PatternId`]
+//!   handles), then query selectivities, similarities and whole
+//!   [`SimMatrix`] similarity matrices through epoch-tagged caches that are
+//!   invalidated exactly when the synopsis changes.
 //! * [`SelectivityEstimator`] — the recursive `SEL` algorithm (Algorithm 1/2)
-//!   evaluated over a [`tps_synopsis::Synopsis`], supporting all three
-//!   matching-set representations.
+//!   evaluated per call over a [`tps_synopsis::Synopsis`], supporting all
+//!   three matching-set representations.
 //! * [`ProximityMetric`] — the `M1`, `M2`, `M3` proximity metrics of
 //!   Section 4.
-//! * [`SimilarityEstimator`] — the streaming facade: observe documents,
-//!   query similarities.
 //! * [`ExactEvaluator`] — ground-truth selectivities/similarities over a
 //!   stored document collection (used by the evaluation harness and by tests).
+//! * [`SimilarityEstimator`] — deprecated per-call facade, kept for one
+//!   release as a thin shim over the engine.
 //!
 //! # Example
 //!
 //! ```
-//! use tps_core::{ExactEvaluator, ProximityMetric, SelectivityEstimator};
+//! use tps_core::{ExactEvaluator, ProximityMetric, SimilarityEngine};
 //! use tps_pattern::TreePattern;
-//! use tps_synopsis::{Synopsis, SynopsisConfig};
+//! use tps_synopsis::MatchingSetKind;
 //! use tps_xml::XmlTree;
 //!
 //! let docs: Vec<XmlTree> = ["<a><b/><c/></a>", "<a><b/></a>", "<a><c/></a>"]
@@ -24,23 +29,32 @@
 //!     .map(|s| XmlTree::parse(s).unwrap())
 //!     .collect();
 //!
-//! let mut synopsis = Synopsis::from_documents(SynopsisConfig::hashes(64), &docs);
-//! synopsis.prepare();
-//! let estimator = SelectivityEstimator::new(&synopsis);
-//! let p = TreePattern::parse("/a/b").unwrap();
+//! let mut engine = SimilarityEngine::builder()
+//!     .matching_sets(MatchingSetKind::hashes(64))
+//!     .metric(ProximityMetric::M3)
+//!     .build();
+//! engine.observe_all(&docs);
+//! let p = engine.register(&TreePattern::parse("/a/b").unwrap());
 //!
 //! // The estimate agrees with the exact evaluator on this tiny stream.
 //! let exact = ExactEvaluator::new(docs.clone());
-//! assert!((estimator.selectivity(&p) - exact.selectivity(&p)).abs() < 1e-9);
+//! let q = TreePattern::parse("/a/b").unwrap();
+//! assert!((engine.selectivity(p) - exact.selectivity(&q)).abs() < 1e-9);
 //! ```
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod estimator;
+mod eval;
 pub mod exact;
 pub mod metrics;
 pub mod selectivity;
 
+pub use engine::{
+    EngineCacheStats, PatternId, SimMatrix, SimilarityEngine, SimilarityEngineBuilder,
+};
+#[allow(deprecated)]
 pub use estimator::SimilarityEstimator;
 pub use exact::ExactEvaluator;
 pub use metrics::ProximityMetric;

@@ -30,10 +30,10 @@
 //!   synopsis child may still be satisfied by a label folded into `v`, in
 //!   which case its document set is (approximated by) `S(v)`.
 
-use std::collections::HashMap;
+use tps_pattern::{CompiledPattern, SubtreeInterner, TreePattern};
+use tps_synopsis::{SummaryValue, Synopsis};
 
-use tps_pattern::{PatternLabel, PatternNodeId, TreePattern};
-use tps_synopsis::{FoldedSubtree, SummaryValue, Synopsis, SynopsisNodeId};
+use crate::eval::{SelEvaluator, SelMemo, ValueSource};
 
 /// Selectivity estimation over a [`Synopsis`].
 ///
@@ -41,6 +41,12 @@ use tps_synopsis::{FoldedSubtree, SummaryValue, Synopsis, SynopsisNodeId};
 /// patterns as needed. For the Hashes representation, calling
 /// [`Synopsis::prepare`] beforehand caches the per-node full matching sets
 /// and makes repeated evaluations much faster.
+///
+/// Every call compiles the pattern and evaluates it from scratch; nothing is
+/// shared between calls. For workloads that evaluate many patterns against
+/// the same synopsis, prefer [`crate::SimilarityEngine`], which registers
+/// patterns once and shares `SEL` memoisation and selectivity caches across
+/// the whole batch.
 #[derive(Debug, Clone, Copy)]
 pub struct SelectivityEstimator<'a> {
     synopsis: &'a Synopsis,
@@ -76,154 +82,22 @@ impl<'a> SelectivityEstimator<'a> {
     }
 
     /// Run `SEL` on the root nodes and return the raw document-set value.
+    ///
+    /// The pattern is normalised first (duplicate sibling subtrees collapse
+    /// to one), so requiring the same branch twice does not double-count it.
     pub fn evaluate(&self, pattern: &TreePattern) -> SummaryValue {
-        let mut ctx = EvalContext {
+        let mut interner = SubtreeInterner::new();
+        let compiled = CompiledPattern::compile(pattern, &mut interner);
+        let shared = SelMemo::new();
+        let mut local = SelMemo::new();
+        SelEvaluator {
             synopsis: self.synopsis,
-            pattern,
-            memo: HashMap::new(),
-        };
-        let root_children = pattern.children(pattern.root());
-        if root_children.is_empty() {
-            // The bare `/.` pattern matches every document.
-            return self.synopsis.universe_value();
+            source: ValueSource::Direct,
+            shared: &shared,
+            local: &mut local,
         }
-        let syn_root = self.synopsis.root();
-        let mut result: Option<SummaryValue> = None;
-        for &u in root_children {
-            let mut sat = self.synopsis.empty_value();
-            for &v in self.synopsis.children(syn_root) {
-                sat = sat.union(&ctx.sel(v, u));
-            }
-            // Folded labels directly below the synopsis root (possible after
-            // aggressive pruning) can also satisfy a root branch.
-            if folded_satisfies(self.synopsis.folded(syn_root), pattern, u) {
-                sat = sat.union(&self.synopsis.matching_value(syn_root));
-            }
-            result = Some(match result {
-                None => sat,
-                Some(acc) => acc.intersect(&sat),
-            });
-        }
-        result.unwrap_or_else(|| self.synopsis.empty_value())
+        .evaluate(&compiled)
     }
-}
-
-struct EvalContext<'a> {
-    synopsis: &'a Synopsis,
-    pattern: &'a TreePattern,
-    memo: HashMap<(SynopsisNodeId, PatternNodeId), SummaryValue>,
-}
-
-impl EvalContext<'_> {
-    /// `SEL(v, u)` with memoisation.
-    fn sel(&mut self, v: SynopsisNodeId, u: PatternNodeId) -> SummaryValue {
-        if let Some(cached) = self.memo.get(&(v, u)) {
-            return cached.clone();
-        }
-        let value = self.sel_uncached(v, u);
-        self.memo.insert((v, u), value.clone());
-        value
-    }
-
-    fn sel_uncached(&mut self, v: SynopsisNodeId, u: PatternNodeId) -> SummaryValue {
-        let synopsis = self.synopsis;
-        let pattern = self.pattern;
-        let u_label = pattern.label(u);
-        // Line 1: label compatibility (the partial order `a ⪯ * ⪯ //`).
-        if !u_label.subsumes(synopsis.label(v)) {
-            return synopsis.empty_value();
-        }
-        // Line 3-4: u is a leaf → S(v).
-        if pattern.is_leaf(u) {
-            return synopsis.matching_value(v);
-        }
-        match u_label {
-            PatternLabel::Descendant => {
-                // Lines 11-14: the descendant maps to a path of length 0 or
-                // recurses into the children of v.
-                let mut s0: Option<SummaryValue> = None;
-                for &u_child in pattern.children(u) {
-                    let val = self.sel(v, u_child);
-                    s0 = Some(match s0 {
-                        None => val,
-                        Some(acc) => acc.intersect(&val),
-                    });
-                }
-                let mut result = s0.unwrap_or_else(|| synopsis.empty_value());
-                for &v_child in synopsis.children(v) {
-                    result = result.union(&self.sel(v_child, u));
-                }
-                // Folded labels: the descendant's target may have been folded
-                // into v (or deeper); all of S(v) is then assumed to satisfy
-                // it.
-                if pattern.children(u).iter().all(|&u_child| {
-                    folded_satisfies_descendant(synopsis.folded(v), pattern, u_child)
-                }) && !pattern.children(u).is_empty()
-                {
-                    result = result.union(&synopsis.matching_value(v));
-                }
-                result
-            }
-            _ => {
-                // Lines 5-10: tag or wildcard with children — branch on the
-                // pattern children, union over the synopsis children.
-                let mut result: Option<SummaryValue> = None;
-                for &u_child in pattern.children(u) {
-                    let mut sat = synopsis.empty_value();
-                    for &v_child in synopsis.children(v) {
-                        sat = sat.union(&self.sel(v_child, u_child));
-                    }
-                    if folded_satisfies(synopsis.folded(v), pattern, u_child) {
-                        sat = sat.union(&synopsis.matching_value(v));
-                    }
-                    result = Some(match result {
-                        None => sat,
-                        Some(acc) => acc.intersect(&sat),
-                    });
-                }
-                result.unwrap_or_else(|| synopsis.empty_value())
-            }
-        }
-    }
-}
-
-/// Can the pattern subtree rooted at `u` be satisfied purely within the
-/// folded (nested) labels `folded` of a synopsis node?
-fn folded_satisfies(folded: &[FoldedSubtree], pattern: &TreePattern, u: PatternNodeId) -> bool {
-    match pattern.label(u) {
-        PatternLabel::Tag(tag) => folded.iter().any(|f| {
-            f.label.as_ref() == tag.as_ref()
-                && pattern
-                    .children(u)
-                    .iter()
-                    .all(|&uc| folded_satisfies(&f.children, pattern, uc))
-        }),
-        PatternLabel::Wildcard => folded.iter().any(|f| {
-            pattern
-                .children(u)
-                .iter()
-                .all(|&uc| folded_satisfies(&f.children, pattern, uc))
-        }),
-        PatternLabel::Descendant => pattern
-            .children(u)
-            .iter()
-            .all(|&uc| folded_satisfies_descendant(folded, pattern, uc)),
-        PatternLabel::Root => false,
-    }
-}
-
-/// Can `u` be satisfied at any depth within the folded label forest?
-fn folded_satisfies_descendant(
-    folded: &[FoldedSubtree],
-    pattern: &TreePattern,
-    u: PatternNodeId,
-) -> bool {
-    if folded_satisfies(folded, pattern, u) {
-        return true;
-    }
-    folded
-        .iter()
-        .any(|f| folded_satisfies_descendant(&f.children, pattern, u))
 }
 
 #[cfg(test)]

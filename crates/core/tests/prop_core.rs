@@ -1,7 +1,7 @@
 //! Property-based tests for selectivity and similarity estimation.
 
 use proptest::prelude::*;
-use tps_core::{ExactEvaluator, ProximityMetric, SelectivityEstimator, SimilarityEstimator};
+use tps_core::{ExactEvaluator, ProximityMetric, SelectivityEstimator, SimilarityEngine};
 use tps_pattern::{PatternLabel, TreePattern};
 use tps_synopsis::{Synopsis, SynopsisConfig};
 use tps_xml::XmlTree;
@@ -147,19 +147,74 @@ proptest! {
     /// self-similarity is 1 for patterns that match at least one document.
     #[test]
     fn similarity_properties(docs in gen_docs(), p in gen_pattern(), q in gen_pattern()) {
-        let mut estimator = SimilarityEstimator::new(SynopsisConfig::sets(100_000));
-        estimator.observe_all(&docs);
-        estimator.prepare();
+        let mut engine = SimilarityEngine::new(SynopsisConfig::sets(100_000));
+        engine.observe_all(&docs);
+        let (hp, hq) = (engine.register(&p), engine.register(&q));
         for metric in ProximityMetric::all() {
-            let spq = estimator.similarity(&p, &q, metric);
+            let spq = engine.similarity(hp, hq, metric);
             prop_assert!((0.0..=1.0).contains(&spq), "{metric} -> {spq}");
             if metric.is_symmetric() {
-                let sqp = estimator.similarity(&q, &p, metric);
+                let sqp = engine.similarity(hq, hp, metric);
                 prop_assert!((spq - sqp).abs() < 1e-9, "{metric} not symmetric");
             }
         }
-        let self_sim = estimator.similarity(&p, &p, ProximityMetric::M3);
-        prop_assert!((self_sim - 1.0).abs() < 1e-9 || estimator.selectivity(&p) == 0.0);
+        let self_sim = engine.similarity(hp, hp, ProximityMetric::M3);
+        prop_assert!((self_sim - 1.0).abs() < 1e-9 || engine.selectivity(hp) == 0.0);
+    }
+
+    /// The batched `similarity_matrix` is bit-identical to pairwise
+    /// `similarity` calls, for every metric and all three matching-set
+    /// representations — the engine's caches must never change a result.
+    #[test]
+    fn similarity_matrix_is_bit_identical_to_pairwise(
+        docs in gen_docs(),
+        patterns in prop::collection::vec(gen_pattern(), 2..6),
+    ) {
+        for config in [
+            SynopsisConfig::counters(),
+            SynopsisConfig::sets(100_000),
+            SynopsisConfig::hashes(64),
+        ] {
+            let mut engine = SimilarityEngine::new(config);
+            engine.observe_all(&docs);
+            let ids = engine.register_all(&patterns);
+            for metric in ProximityMetric::all() {
+                let matrix = engine.similarity_matrix(&ids, metric);
+                prop_assert_eq!(matrix.len(), ids.len());
+                prop_assert_eq!(matrix.metric(), metric);
+                for i in 0..ids.len() {
+                    prop_assert_eq!(matrix.get(i, i), 1.0);
+                    for j in 0..ids.len() {
+                        let pairwise = engine.similarity(ids[i], ids[j], metric);
+                        prop_assert!(
+                            matrix.get(i, j) == pairwise,
+                            "({},{}) {} {:?}: matrix {} != pairwise {}",
+                            i, j, metric, config.kind, matrix.get(i, j), pairwise
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Batched selectivities equal single-handle queries bit for bit, and a
+    /// fresh engine (no warm caches) reproduces them.
+    #[test]
+    fn batched_selectivities_are_stable(
+        docs in gen_docs(),
+        patterns in prop::collection::vec(gen_pattern(), 1..5),
+    ) {
+        let mut engine = SimilarityEngine::new(SynopsisConfig::hashes(32));
+        engine.observe_all(&docs);
+        let ids = engine.register_all(&patterns);
+        let batch = engine.selectivities(&ids);
+        for (&id, &value) in ids.iter().zip(&batch) {
+            prop_assert!(engine.selectivity(id) == value);
+        }
+        let mut fresh = SimilarityEngine::new(SynopsisConfig::hashes(32));
+        fresh.observe_all(&docs);
+        let fresh_ids = fresh.register_all(&patterns);
+        prop_assert_eq!(fresh.selectivities(&fresh_ids), batch);
     }
 
     /// The exact evaluator agrees with direct matching.

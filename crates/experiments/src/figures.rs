@@ -55,8 +55,8 @@ pub fn fig4(workloads: &[DtdWorkload], scale: &ExperimentScale) -> Table {
                 if matches!(kind, MatchingSetKind::Counters) && size != scale.summary_sizes[0] {
                     continue;
                 }
-                let synopsis = w.build_synopsis(kind);
-                let erel = w.positive_relative_error(&synopsis);
+                let engine = w.build_engine(kind);
+                let erel = w.positive_relative_error(&engine);
                 table.push_row(vec![
                     w.name.clone(),
                     kind.name().to_string(),
@@ -82,8 +82,8 @@ pub fn fig5(workloads: &[DtdWorkload], scale: &ExperimentScale) -> Table {
                 if matches!(kind, MatchingSetKind::Counters) && size != scale.summary_sizes[0] {
                     continue;
                 }
-                let synopsis = w.build_synopsis(kind);
-                let esqr = w.negative_square_error(&synopsis);
+                let engine = w.build_engine(kind);
+                let esqr = w.negative_square_error(&engine);
                 let pairs = vec![(0.0, esqr)];
                 table.push_row(vec![
                     w.name.clone(),
@@ -112,13 +112,13 @@ pub fn fig6(workloads: &[DtdWorkload], scale: &ExperimentScale) -> Table {
                 if matches!(kind, MatchingSetKind::Counters) && size != scale.summary_sizes[0] {
                     continue;
                 }
-                let synopsis = w.build_synopsis(kind);
-                let erel = w.positive_relative_error(&synopsis);
+                let engine = w.build_engine(kind);
+                let erel = w.positive_relative_error(&engine);
                 table.push_row(vec![
                     w.name.clone(),
                     kind.name().to_string(),
                     size.to_string(),
-                    synopsis.size().total().to_string(),
+                    engine.size_total().to_string(),
                     fmt_pct(erel),
                 ]);
             }
@@ -154,8 +154,8 @@ pub fn fig789(workloads: &[DtdWorkload], scale: &ExperimentScale) -> [Table; 3] 
                 if matches!(kind, MatchingSetKind::Counters) && size != scale.summary_sizes[0] {
                     continue;
                 }
-                let synopsis = w.build_synopsis(kind);
-                let errors = w.metric_relative_errors_against(&synopsis, &pairs, &exact_values);
+                let engine = w.build_engine(kind);
+                let errors = w.metric_relative_errors_against(&engine, &pairs, &exact_values);
                 for (slot, table) in tables.iter_mut().enumerate() {
                     table.push_row(vec![
                         w.name.clone(),
@@ -190,17 +190,16 @@ pub fn fig10(workloads: &[DtdWorkload], scale: &ExperimentScale) -> Table {
         ],
     );
     for w in workloads {
-        let base = w.build_synopsis(MatchingSetKind::Hashes {
+        let base = w.build_engine(MatchingSetKind::Hashes {
             capacity: scale.fig10_hash_size,
         });
         let mut ratios = scale.compression_ratios.clone();
         ratios.sort_by(|a, b| b.partial_cmp(a).unwrap());
         for alpha in ratios {
-            let mut synopsis = base.clone();
-            let report = synopsis.prune_to_ratio(alpha, PruneConfig::default());
-            synopsis.prepare();
-            let erel = w.positive_relative_error(&synopsis);
-            let esqr = w.negative_square_error(&synopsis);
+            let mut engine = base.clone();
+            let report = engine.engine.prune_to_ratio(alpha, PruneConfig::default());
+            let erel = w.positive_relative_error(&engine);
+            let esqr = w.negative_square_error(&engine);
             table.push_row(vec![
                 w.name.clone(),
                 fmt3(alpha),
@@ -232,37 +231,40 @@ pub fn ablation_representations(workloads: &[DtdWorkload], scale: &ExperimentSca
         .unwrap_or(500);
     for w in workloads {
         for kind in representations(size) {
-            let synopsis = w.build_synopsis(kind);
+            let engine = w.build_engine(kind);
             table.push_row(vec![
                 w.name.clone(),
                 kind.name().to_string(),
-                synopsis.size().total().to_string(),
-                fmt_pct(w.positive_relative_error(&synopsis)),
-                fmt3(log10_rmse(&[(0.0, w.negative_square_error(&synopsis))])),
+                engine.size_total().to_string(),
+                fmt_pct(w.positive_relative_error(&engine)),
+                fmt3(log10_rmse(&[(0.0, w.negative_square_error(&engine))])),
             ]);
         }
         // Pruning-order ablation: merges first instead of the paper's order
         // (compress to 70% of the original size either way).
-        let mut merged_first = w.build_synopsis(MatchingSetKind::Hashes { capacity: size });
-        let target = merged_first.size().total() * 7 / 10;
-        merged_first.merge_same_label_until(64, target);
-        merged_first.fold_leaves_above_until(0.5, target);
-        merged_first.delete_smallest_leaves_until(target);
-        merged_first.prepare();
+        let mut merged_first = w.build_engine(MatchingSetKind::Hashes { capacity: size });
+        let target = merged_first.size_total() * 7 / 10;
+        {
+            let synopsis = merged_first.engine.synopsis_mut();
+            synopsis.merge_same_label_until(64, target);
+            synopsis.fold_leaves_above_until(0.5, target);
+            synopsis.delete_smallest_leaves_until(target);
+        }
         table.push_row(vec![
             w.name.clone(),
             "Hashes α=0.7 merge-first".to_string(),
-            merged_first.size().total().to_string(),
+            merged_first.size_total().to_string(),
             fmt_pct(w.positive_relative_error(&merged_first)),
             fmt3(log10_rmse(&[(0.0, w.negative_square_error(&merged_first))])),
         ]);
-        let mut paper_order = w.build_synopsis(MatchingSetKind::Hashes { capacity: size });
-        paper_order.prune_to_ratio(0.7, PruneConfig::default());
-        paper_order.prepare();
+        let mut paper_order = w.build_engine(MatchingSetKind::Hashes { capacity: size });
+        paper_order
+            .engine
+            .prune_to_ratio(0.7, PruneConfig::default());
         table.push_row(vec![
             w.name.clone(),
             "Hashes α=0.7 paper-order".to_string(),
-            paper_order.size().total().to_string(),
+            paper_order.size_total().to_string(),
             fmt_pct(w.positive_relative_error(&paper_order)),
             fmt3(log10_rmse(&[(0.0, w.negative_square_error(&paper_order))])),
         ]);

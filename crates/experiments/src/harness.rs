@@ -5,7 +5,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use tps_core::{ExactEvaluator, ProximityMetric, SelectivityEstimator};
+use tps_core::{ExactEvaluator, PatternId, ProximityMetric, SimilarityEngine};
 use tps_synopsis::{MatchingSetKind, Synopsis, SynopsisConfig};
 use tps_workload::{Dataset, DatasetConfig, Dtd};
 
@@ -78,27 +78,45 @@ impl DtdWorkload {
         synopsis
     }
 
+    /// Build a [`SimilarityEngine`] of the given representation over the
+    /// workload's documents, with the positive and negative pattern
+    /// workloads registered once.
+    pub fn build_engine(&self, kind: MatchingSetKind) -> WorkloadEngine {
+        let mut engine = SimilarityEngine::from_synopsis(Synopsis::from_documents(
+            SynopsisConfig {
+                kind,
+                ..SynopsisConfig::counters()
+            },
+            &self.dataset.documents,
+        ));
+        let positive = engine.register_all(&self.dataset.positive);
+        let negative = engine.register_all(&self.dataset.negative);
+        WorkloadEngine {
+            engine,
+            positive,
+            negative,
+        }
+    }
+
     /// Average absolute relative error of the positive workload (`Erel`).
-    pub fn positive_relative_error(&self, synopsis: &Synopsis) -> f64 {
-        let estimator = SelectivityEstimator::new(synopsis);
+    pub fn positive_relative_error(&self, engine: &WorkloadEngine) -> f64 {
+        let estimated = engine.engine.selectivities(&engine.positive);
         let pairs: Vec<(f64, f64)> = self
-            .dataset
-            .positive
+            .exact_positive
             .iter()
-            .zip(&self.exact_positive)
-            .map(|(p, &exact)| (exact, estimator.selectivity(p)))
+            .zip(&estimated)
+            .map(|(&exact, &est)| (exact, est))
             .collect();
         average_relative_error(&pairs)
     }
 
     /// Root mean square error of the negative workload (`Esqr`).
-    pub fn negative_square_error(&self, synopsis: &Synopsis) -> f64 {
-        let estimator = SelectivityEstimator::new(synopsis);
-        let pairs: Vec<(f64, f64)> = self
-            .dataset
-            .negative
-            .iter()
-            .map(|p| (0.0, estimator.selectivity(p)))
+    pub fn negative_square_error(&self, engine: &WorkloadEngine) -> f64 {
+        let pairs: Vec<(f64, f64)> = engine
+            .engine
+            .selectivities(&engine.negative)
+            .into_iter()
+            .map(|est| (0.0, est))
             .collect();
         root_mean_square_error(&pairs)
     }
@@ -142,27 +160,20 @@ impl DtdWorkload {
     }
 
     /// Estimated values of the three proximity metrics for each pattern pair
-    /// under the given synopsis.
+    /// under the given engine. Marginal selectivities are cached per handle
+    /// and each unordered joint is evaluated once, however often a pattern
+    /// recurs in `pairs`.
     pub fn estimated_metric_values(
         &self,
-        synopsis: &Synopsis,
+        engine: &WorkloadEngine,
         pairs: &[(usize, usize)],
     ) -> Vec<[f64; 3]> {
-        let estimator = SelectivityEstimator::new(synopsis);
-        let mut estimated_marginal: Vec<Option<f64>> = vec![None; self.dataset.positive.len()];
         pairs
             .iter()
             .map(|&(i, j)| {
-                let p = &self.dataset.positive[i];
-                let q = &self.dataset.positive[j];
-                let est_p = *estimated_marginal[i].get_or_insert_with(|| estimator.selectivity(p));
-                let est_q = *estimated_marginal[j].get_or_insert_with(|| estimator.selectivity(q));
-                let est_joint = estimator.joint_selectivity(p, q);
-                [
-                    ProximityMetric::M1.compute(est_p, est_q, est_joint),
-                    ProximityMetric::M2.compute(est_p, est_q, est_joint),
-                    ProximityMetric::M3.compute(est_p, est_q, est_joint),
-                ]
+                engine
+                    .engine
+                    .similarities(engine.positive[i], engine.positive[j])
             })
             .collect()
     }
@@ -172,11 +183,11 @@ impl DtdWorkload {
     /// pattern pairs, given precomputed exact values.
     pub fn metric_relative_errors_against(
         &self,
-        synopsis: &Synopsis,
+        engine: &WorkloadEngine,
         pairs: &[(usize, usize)],
         exact_values: &[[f64; 3]],
     ) -> [f64; 3] {
-        let estimated = self.estimated_metric_values(synopsis, pairs);
+        let estimated = self.estimated_metric_values(engine, pairs);
         let mut per_metric: [Vec<(f64, f64)>; 3] = [Vec::new(), Vec::new(), Vec::new()];
         for (exact, est) in exact_values.iter().zip(&estimated) {
             for slot in 0..3 {
@@ -194,11 +205,30 @@ impl DtdWorkload {
     /// (used by tests and one-off evaluations).
     pub fn metric_relative_errors(
         &self,
-        synopsis: &Synopsis,
+        engine: &WorkloadEngine,
         pairs: &[(usize, usize)],
     ) -> [f64; 3] {
         let exact_values = self.exact_metric_values(pairs);
-        self.metric_relative_errors_against(synopsis, pairs, &exact_values)
+        self.metric_relative_errors_against(engine, pairs, &exact_values)
+    }
+}
+
+/// A [`SimilarityEngine`] with a [`DtdWorkload`]'s pattern workloads
+/// registered once — the unit every figure evaluation operates on.
+#[derive(Debug, Clone)]
+pub struct WorkloadEngine {
+    /// The engine (owning the synopsis over the workload's documents).
+    pub engine: SimilarityEngine,
+    /// Handles of the positive patterns, in dataset order.
+    pub positive: Vec<PatternId>,
+    /// Handles of the negative patterns, in dataset order.
+    pub negative: Vec<PatternId>,
+}
+
+impl WorkloadEngine {
+    /// Total synopsis size `|HS|` (convenience passthrough).
+    pub fn size_total(&self) -> usize {
+        self.engine.size().total()
     }
 }
 
@@ -315,19 +345,38 @@ mod tests {
     #[test]
     fn exact_synopsis_has_near_zero_positive_error() {
         let w = tiny_workload();
-        let synopsis = w.build_synopsis(MatchingSetKind::Hashes { capacity: 10_000 });
-        let erel = w.positive_relative_error(&synopsis);
+        let engine = w.build_engine(MatchingSetKind::Hashes { capacity: 10_000 });
+        let erel = w.positive_relative_error(&engine);
         assert!(erel < 1e-9, "Erel = {erel}");
-        let esqr = w.negative_square_error(&synopsis);
+        let esqr = w.negative_square_error(&engine);
         assert!(esqr < 1e-9, "Esqr = {esqr}");
     }
 
     #[test]
     fn counters_have_larger_positive_error_than_exact_hashes() {
         let w = tiny_workload();
-        let counters = w.build_synopsis(MatchingSetKind::Counters);
-        let hashes = w.build_synopsis(MatchingSetKind::Hashes { capacity: 10_000 });
+        let counters = w.build_engine(MatchingSetKind::Counters);
+        let hashes = w.build_engine(MatchingSetKind::Hashes { capacity: 10_000 });
         assert!(w.positive_relative_error(&counters) >= w.positive_relative_error(&hashes));
+    }
+
+    #[test]
+    fn engine_errors_match_the_per_call_estimator_path() {
+        // The registered-workload engine must reproduce the numbers the
+        // stand-alone SelectivityEstimator pipeline produces.
+        let w = tiny_workload();
+        let engine = w.build_engine(MatchingSetKind::Hashes { capacity: 256 });
+        let synopsis = w.build_synopsis(MatchingSetKind::Hashes { capacity: 256 });
+        let estimator = tps_core::SelectivityEstimator::new(&synopsis);
+        let legacy: Vec<(f64, f64)> = w
+            .dataset
+            .positive
+            .iter()
+            .zip(&w.exact_positive)
+            .map(|(p, &exact)| (exact, estimator.selectivity(p)))
+            .collect();
+        let legacy_erel = crate::error::average_relative_error(&legacy);
+        assert_eq!(w.positive_relative_error(&engine), legacy_erel);
     }
 
     #[test]
@@ -344,9 +393,9 @@ mod tests {
     #[test]
     fn metric_errors_are_zero_for_exact_synopsis() {
         let w = tiny_workload();
-        let synopsis = w.build_synopsis(MatchingSetKind::Hashes { capacity: 10_000 });
+        let engine = w.build_engine(MatchingSetKind::Hashes { capacity: 10_000 });
         let pairs = w.sample_pairs(20, 2);
-        let errors = w.metric_relative_errors(&synopsis, &pairs);
+        let errors = w.metric_relative_errors(&engine, &pairs);
         for (i, e) in errors.iter().enumerate() {
             assert!(*e < 1e-9, "metric {} error {}", i + 1, e);
         }

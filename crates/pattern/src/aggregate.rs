@@ -3,7 +3,7 @@
 //!
 //! The paper contrasts its similarity-based communities with summarisation by
 //! *subscription aggregation* (Chan et al., "Tree Pattern Aggregation for
-//! Scalable XML Data Dissemination", VLDB 2002 — reference [4] of the paper):
+//! Scalable XML Data Dissemination", VLDB 2002 — reference 4 of the paper):
 //! a router replaces a set of subscriptions by one more general pattern and
 //! forwards every document matching the aggregate. This module implements a
 //! sound aggregation operator used by the routing crate as the classic

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod compiled;
 pub mod containment;
 pub mod error;
 pub mod matching;
@@ -50,5 +51,6 @@ pub mod ops;
 pub mod parser;
 pub mod pattern;
 
+pub use compiled::{CompiledPattern, SubtreeInterner, SubtreeKeyId};
 pub use error::PatternParseError;
 pub use pattern::{PatternLabel, PatternNodeId, TreePattern};

@@ -241,7 +241,7 @@ impl Broker {
 mod tests {
     use super::*;
     use crate::community::{CommunityClustering, CommunityConfig};
-    use tps_core::SimilarityEstimator;
+    use tps_core::SimilarityEngine;
     use tps_synopsis::SynopsisConfig;
 
     fn documents() -> Vec<XmlTree> {
@@ -304,11 +304,11 @@ mod tests {
     fn community_routing_reduces_filtering_cost() {
         let broker = broker();
         let docs = documents();
-        let mut estimator = SimilarityEstimator::new(SynopsisConfig::sets(100));
-        estimator.observe_all(&docs);
-        let subscriptions = broker.subscriptions();
+        let mut engine = SimilarityEngine::new(SynopsisConfig::sets(100));
+        engine.observe_all(&docs);
+        let subscriptions = engine.register_all(&broker.subscriptions());
         let clustering = CommunityClustering::cluster(
-            &estimator,
+            &engine,
             &subscriptions,
             CommunityConfig {
                 threshold: 0.4,
@@ -339,11 +339,11 @@ mod tests {
     fn aggregated_community_routing_has_perfect_recall() {
         let broker = broker();
         let docs = documents();
-        let mut estimator = SimilarityEstimator::new(SynopsisConfig::sets(100));
-        estimator.observe_all(&docs);
-        let subscriptions = broker.subscriptions();
+        let mut engine = SimilarityEngine::new(SynopsisConfig::sets(100));
+        engine.observe_all(&docs);
+        let subscriptions = engine.register_all(&broker.subscriptions());
         let clustering = CommunityClustering::cluster(
-            &estimator,
+            &engine,
             &subscriptions,
             CommunityConfig {
                 threshold: 0.4,

@@ -9,8 +9,11 @@
 //! algorithm to its companion systems work; greedy threshold clustering is
 //! what its semantic-overlay predecessor uses).
 
-use tps_core::{ProximityMetric, SimilarityEstimator};
+use tps_core::{PatternId, ProximityMetric, SimilarityEngine};
 use tps_pattern::TreePattern;
+
+#[allow(deprecated)]
+use tps_core::SimilarityEstimator;
 
 /// Configuration of the community clustering.
 #[derive(Debug, Clone, Copy)]
@@ -65,15 +68,56 @@ pub struct CommunityClustering {
 }
 
 impl CommunityClustering {
-    /// Greedily cluster `subscriptions` using similarities estimated by
-    /// `estimator`.
+    /// Greedily cluster a registered subscription workload using
+    /// similarities estimated by `engine`.
     ///
-    /// Each subscription joins the first existing community whose
-    /// representative is at least `config.threshold` similar (under
-    /// `config.metric`); otherwise it founds a new community. This is a
-    /// single-pass, deterministic procedure: its cost is
-    /// `O(#subscriptions · #communities)` similarity evaluations.
+    /// `subscriptions` are handles obtained from
+    /// [`SimilarityEngine::register_all`]; community member indices refer to
+    /// positions in this slice. Each subscription joins the first existing
+    /// community whose representative is at least `config.threshold` similar
+    /// (under `config.metric`); otherwise it founds a new community. This is
+    /// a single-pass, deterministic procedure: its cost is
+    /// `O(#subscriptions · #communities)` similarity evaluations, all served
+    /// from the engine's marginal/joint caches.
     pub fn cluster(
+        engine: &SimilarityEngine,
+        subscriptions: &[PatternId],
+        config: CommunityConfig,
+    ) -> Self {
+        let mut communities: Vec<Community> = Vec::new();
+        for (index, &subscription) in subscriptions.iter().enumerate() {
+            let mut joined = false;
+            for community in communities.iter_mut() {
+                if config.max_community_size > 0 && community.len() >= config.max_community_size {
+                    continue;
+                }
+                let representative = subscriptions[community.representative];
+                let similarity = engine.similarity(subscription, representative, config.metric);
+                if similarity >= config.threshold {
+                    community.members.push(index);
+                    joined = true;
+                    break;
+                }
+            }
+            if !joined {
+                communities.push(Community {
+                    representative: index,
+                    members: vec![index],
+                });
+            }
+        }
+        Self { communities }
+    }
+
+    /// Cluster an unregistered workload through the deprecated per-call
+    /// estimator. Prefer [`CommunityClustering::cluster`], which reuses every
+    /// marginal and joint selectivity across the clustering pass.
+    #[deprecated(
+        since = "0.1.0",
+        note = "register the subscriptions with a SimilarityEngine and use CommunityClustering::cluster"
+    )]
+    #[allow(deprecated)]
+    pub fn cluster_with_estimator(
         estimator: &SimilarityEstimator,
         subscriptions: &[TreePattern],
         config: CommunityConfig,
@@ -124,13 +168,14 @@ impl CommunityClustering {
         assignment
     }
 
-    /// Average intra-community similarity according to `estimator`; a quality
+    /// Average intra-community similarity according to `engine`; a quality
     /// measure of the clustering (1.0 when every community is a set of
-    /// behaviourally identical subscriptions).
+    /// behaviourally identical subscriptions). Pair similarities come from
+    /// the engine's caches, so re-evaluating after clustering is cheap.
     pub fn average_intra_similarity(
         &self,
-        estimator: &SimilarityEstimator,
-        subscriptions: &[TreePattern],
+        engine: &SimilarityEngine,
+        subscriptions: &[PatternId],
         metric: ProximityMetric,
     ) -> f64 {
         let mut total = 0.0;
@@ -138,7 +183,7 @@ impl CommunityClustering {
         for community in &self.communities {
             for (i, &a) in community.members.iter().enumerate() {
                 for &b in &community.members[i + 1..] {
-                    total += estimator.similarity(&subscriptions[a], &subscriptions[b], metric);
+                    total += engine.similarity(subscriptions[a], subscriptions[b], metric);
                     pairs += 1;
                 }
             }
@@ -164,7 +209,7 @@ mod tests {
     use tps_synopsis::SynopsisConfig;
     use tps_xml::XmlTree;
 
-    fn estimator() -> SimilarityEstimator {
+    fn engine_and_subs() -> (SimilarityEngine, Vec<PatternId>) {
         let docs: Vec<XmlTree> = [
             "<media><CD><composer><last>Mozart</last></composer></CD></media>",
             "<media><CD><composer><last>Bach</last></composer></CD></media>",
@@ -174,9 +219,10 @@ mod tests {
         .iter()
         .map(|s| XmlTree::parse(s).unwrap())
         .collect();
-        let mut est = SimilarityEstimator::new(SynopsisConfig::sets(100));
-        est.observe_all(&docs);
-        est
+        let mut engine = SimilarityEngine::new(SynopsisConfig::sets(100));
+        engine.observe_all(&docs);
+        let ids = engine.register_all(&subscriptions());
+        (engine, ids)
     }
 
     fn subscriptions() -> Vec<TreePattern> {
@@ -195,9 +241,8 @@ mod tests {
 
     #[test]
     fn clusters_cd_and_book_subscribers_separately() {
-        let est = estimator();
-        let subs = subscriptions();
-        let clustering = CommunityClustering::cluster(&est, &subs, CommunityConfig::default());
+        let (engine, subs) = engine_and_subs();
+        let clustering = CommunityClustering::cluster(&engine, &subs, CommunityConfig::default());
         assert_eq!(clustering.len(), 2);
         let assignment = clustering.assignment(subs.len());
         // CD-related subscriptions (0, 1, 2) share a community; book-related
@@ -211,69 +256,88 @@ mod tests {
 
     #[test]
     fn threshold_one_separates_non_identical_subscriptions() {
-        let est = estimator();
-        let subs = subscriptions();
+        let (engine, subs) = engine_and_subs();
         let config = CommunityConfig {
             threshold: 1.01,
             ..CommunityConfig::default()
         };
-        let clustering = CommunityClustering::cluster(&est, &subs, config);
+        let clustering = CommunityClustering::cluster(&engine, &subs, config);
         assert_eq!(clustering.len(), subs.len());
     }
 
     #[test]
     fn threshold_zero_puts_everything_together() {
-        let est = estimator();
-        let subs = subscriptions();
+        let (engine, subs) = engine_and_subs();
         let config = CommunityConfig {
             threshold: 0.0,
             ..CommunityConfig::default()
         };
-        let clustering = CommunityClustering::cluster(&est, &subs, config);
+        let clustering = CommunityClustering::cluster(&engine, &subs, config);
         assert_eq!(clustering.len(), 1);
         assert_eq!(clustering.communities[0].len(), subs.len());
     }
 
     #[test]
     fn max_community_size_is_respected() {
-        let est = estimator();
-        let subs = subscriptions();
+        let (engine, subs) = engine_and_subs();
         let config = CommunityConfig {
             threshold: 0.0,
             max_community_size: 2,
             ..CommunityConfig::default()
         };
-        let clustering = CommunityClustering::cluster(&est, &subs, config);
+        let clustering = CommunityClustering::cluster(&engine, &subs, config);
         assert!(clustering.sizes().iter().all(|&s| s <= 2));
         assert_eq!(clustering.sizes().iter().sum::<usize>(), subs.len());
     }
 
     #[test]
     fn intra_similarity_is_high_for_good_clusters() {
-        let est = estimator();
-        let subs = subscriptions();
-        let clustering = CommunityClustering::cluster(&est, &subs, CommunityConfig::default());
-        let quality = clustering.average_intra_similarity(&est, &subs, ProximityMetric::M3);
+        let (engine, subs) = engine_and_subs();
+        let clustering = CommunityClustering::cluster(&engine, &subs, CommunityConfig::default());
+        let quality = clustering.average_intra_similarity(&engine, &subs, ProximityMetric::M3);
         assert!(quality > 0.6, "intra-community similarity {quality}");
     }
 
     #[test]
     fn assignment_covers_every_subscription() {
-        let est = estimator();
-        let subs = subscriptions();
-        let clustering = CommunityClustering::cluster(&est, &subs, CommunityConfig::default());
+        let (engine, subs) = engine_and_subs();
+        let clustering = CommunityClustering::cluster(&engine, &subs, CommunityConfig::default());
         let assignment = clustering.assignment(subs.len());
         assert!(assignment.iter().all(|&a| a != usize::MAX));
     }
 
     #[test]
     fn empty_subscription_list_produces_no_communities() {
-        let est = estimator();
-        let clustering = CommunityClustering::cluster(&est, &[], CommunityConfig::default());
+        let (engine, _) = engine_and_subs();
+        let clustering = CommunityClustering::cluster(&engine, &[], CommunityConfig::default());
         assert!(clustering.is_empty());
         assert_eq!(
-            clustering.average_intra_similarity(&est, &[], ProximityMetric::M1),
+            clustering.average_intra_similarity(&engine, &[], ProximityMetric::M1),
             1.0
         );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_estimator_path_produces_the_same_clustering() {
+        let (engine, subs) = engine_and_subs();
+        let clustering = CommunityClustering::cluster(&engine, &subs, CommunityConfig::default());
+        let docs: Vec<XmlTree> = [
+            "<media><CD><composer><last>Mozart</last></composer></CD></media>",
+            "<media><CD><composer><last>Bach</last></composer></CD></media>",
+            "<media><book><author><last>Austen</last></author></book></media>",
+            "<media><book><author><last>Orwell</last></author></book></media>",
+        ]
+        .iter()
+        .map(|s| XmlTree::parse(s).unwrap())
+        .collect();
+        let mut est = SimilarityEstimator::new(SynopsisConfig::sets(100));
+        est.observe_all(&docs);
+        let legacy = CommunityClustering::cluster_with_estimator(
+            &est,
+            &subscriptions(),
+            CommunityConfig::default(),
+        );
+        assert_eq!(clustering, legacy);
     }
 }

@@ -2,8 +2,8 @@
 //! motivates tree-pattern similarity estimation.
 //!
 //! * [`CommunityClustering`] — greedy similarity-threshold clustering of
-//!   subscriptions into semantic communities, driven by the
-//!   [`tps_core::SimilarityEstimator`].
+//!   subscriptions into semantic communities, driven by a
+//!   [`tps_core::SimilarityEngine`] over a registered subscription workload.
 //! * [`Broker`] — a single-broker routing simulation comparing flooding,
 //!   exact per-subscription filtering, and community-based dissemination on
 //!   a document stream, reporting filtering cost and delivery accuracy.
@@ -18,7 +18,7 @@
 //! # Example
 //!
 //! ```
-//! use tps_core::SimilarityEstimator;
+//! use tps_core::SimilarityEngine;
 //! use tps_pattern::TreePattern;
 //! use tps_routing::{Broker, CommunityClustering, CommunityConfig, Consumer, RoutingStrategy};
 //! use tps_synopsis::SynopsisConfig;
@@ -32,17 +32,19 @@
 //! .map(|s| XmlTree::parse(s).unwrap())
 //! .collect();
 //!
-//! let mut estimator = SimilarityEstimator::new(SynopsisConfig::sets(100));
-//! estimator.observe_all(&docs);
+//! let mut engine = SimilarityEngine::new(SynopsisConfig::sets(100));
+//! engine.observe_all(&docs);
 //!
 //! let mut broker = Broker::new();
 //! broker.subscribe(Consumer::new("cd", TreePattern::parse("//CD").unwrap()));
 //! broker.subscribe(Consumer::new("classical", TreePattern::parse("//composer").unwrap()));
 //! broker.subscribe(Consumer::new("books", TreePattern::parse("//book").unwrap()));
 //!
+//! // Register the subscription workload once; cluster over the handles.
+//! let subscriptions = engine.register_all(&broker.subscriptions());
 //! let clustering = CommunityClustering::cluster(
-//!     &estimator,
-//!     &broker.subscriptions(),
+//!     &engine,
+//!     &subscriptions,
 //!     CommunityConfig::default(),
 //! );
 //! let stats = broker.route_stream(&docs, &RoutingStrategy::Community(clustering));

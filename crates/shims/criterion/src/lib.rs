@@ -8,10 +8,13 @@
 //! and the [`criterion_group!`]/[`criterion_main!`] macros.
 //!
 //! Instead of Criterion's statistical sampling it runs every benchmark for a
-//! fixed, small number of timed iterations (override with the
-//! `TPS_BENCH_ITERS` environment variable) and prints a single
-//! nanoseconds-per-iteration line, which is enough to compare hot paths
-//! between commits while keeping `cargo bench` runs fast.
+//! fixed, small number of *warm-up* iterations (untimed, to populate caches
+//! and branch predictors; override with `TPS_BENCH_WARMUP`) followed by a
+//! fixed number of individually-timed iterations (override with
+//! `TPS_BENCH_ITERS`), and prints one line per benchmark with the mean,
+//! minimum and maximum nanoseconds per iteration — enough to compare hot
+//! paths (and their variance) between commits while keeping `cargo bench`
+//! runs fast.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -20,12 +23,19 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
-fn iterations() -> u64 {
-    std::env::var("TPS_BENCH_ITERS")
+fn env_count(name: &str, default: u64) -> u64 {
+    std::env::var(name)
         .ok()
         .and_then(|v| v.parse().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(5)
+        .unwrap_or(default)
+}
+
+fn iterations() -> u64 {
+    env_count("TPS_BENCH_ITERS", 5).max(1)
+}
+
+fn warmup_iterations() -> u64 {
+    env_count("TPS_BENCH_WARMUP", 2)
 }
 
 /// How batched inputs are grouped (accepted for API compatibility; every
@@ -98,45 +108,67 @@ impl IntoBenchmarkId for String {
 /// Timing state handed to each benchmark closure.
 pub struct Bencher {
     iters: u64,
-    elapsed: Duration,
+    warmup: u64,
+    /// One entry per timed iteration.
+    samples: Vec<Duration>,
 }
 
 impl Bencher {
-    /// Time `routine` over the configured number of iterations.
+    /// Time `routine`: `warmup` untimed iterations, then one timing sample
+    /// per configured iteration.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
-        let start = Instant::now();
-        for _ in 0..self.iters {
+        for _ in 0..self.warmup {
             black_box(routine());
         }
-        self.elapsed = start.elapsed();
+        self.samples.clear();
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
     }
 
     /// Time `routine` over fresh inputs produced by `setup`; only the
-    /// routine is timed.
+    /// routine is timed (warm-up inputs included).
     pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
     where
         S: FnMut() -> I,
         F: FnMut(I) -> O,
     {
-        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.warmup {
+            let input = setup();
+            black_box(routine(input));
+        }
+        self.samples.clear();
         for _ in 0..self.iters {
             let input = setup();
             let start = Instant::now();
             black_box(routine(input));
-            elapsed += start.elapsed();
+            self.samples.push(start.elapsed());
         }
-        self.elapsed = elapsed;
     }
 }
 
 fn run_benchmark(full_id: &str, f: &mut dyn FnMut(&mut Bencher)) {
     let mut bencher = Bencher {
         iters: iterations(),
-        elapsed: Duration::ZERO,
+        warmup: warmup_iterations(),
+        samples: Vec::new(),
     };
     f(&mut bencher);
-    let per_iter = bencher.elapsed.as_nanos() / u128::from(bencher.iters.max(1));
-    println!("bench: {full_id:<60} {per_iter:>14} ns/iter");
+    if bencher.samples.is_empty() {
+        println!("bench: {full_id:<60} (no samples)");
+        return;
+    }
+    let nanos: Vec<u128> = bencher.samples.iter().map(Duration::as_nanos).collect();
+    let mean = nanos.iter().sum::<u128>() / nanos.len() as u128;
+    let min = *nanos.iter().min().expect("non-empty samples");
+    let max = *nanos.iter().max().expect("non-empty samples");
+    println!(
+        "bench: {full_id:<60} {mean:>14} ns/iter  (min {min}, max {max}, {} iters + {} warmup)",
+        nanos.len(),
+        bencher.warmup
+    );
 }
 
 /// Entry point mirroring `criterion::Criterion`.
@@ -231,4 +263,47 @@ macro_rules! criterion_main {
             $( $group(); )+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_one_sample_per_iteration_after_warmup() {
+        let mut calls = 0u64;
+        let mut bencher = Bencher {
+            iters: 4,
+            warmup: 3,
+            samples: Vec::new(),
+        };
+        bencher.iter(|| calls += 1);
+        assert_eq!(calls, 7, "3 warm-up + 4 timed iterations");
+        assert_eq!(bencher.samples.len(), 4);
+    }
+
+    #[test]
+    fn iter_batched_sets_up_fresh_inputs_for_warmup_and_samples() {
+        let mut setups = 0u64;
+        let mut bencher = Bencher {
+            iters: 2,
+            warmup: 1,
+            samples: Vec::new(),
+        };
+        bencher.iter_batched(
+            || {
+                setups += 1;
+                setups
+            },
+            |input| input * 2,
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setups, 3, "1 warm-up + 2 timed setups");
+        assert_eq!(bencher.samples.len(), 2);
+    }
+
+    #[test]
+    fn env_count_falls_back_to_default() {
+        assert_eq!(env_count("TPS_BENCH_NO_SUCH_VAR", 7), 7);
+    }
 }

@@ -4,9 +4,9 @@
 //! this package supplies — under the same crate name and call syntax — the
 //! slice of the proptest 1.x API used by the workspace's property suites:
 //!
-//! * the [`Strategy`] trait with `prop_map`, `prop_filter`, `prop_flat_map`,
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map`, `prop_filter`, `prop_flat_map`,
 //!   `prop_recursive` and `boxed`,
-//! * range, tuple, [`Just`], [`any`] and regex-string strategies,
+//! * range, tuple, [`Just`](strategy::Just), [`any`](arbitrary::any) and regex-string strategies,
 //! * [`collection::vec`] and [`collection::btree_set`],
 //! * [`sample::select`],
 //! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],

@@ -14,7 +14,7 @@
 //!    node keeps the *intersection* of the two summaries, preserving the
 //!    parent-child inclusion property, and the synopsis becomes a DAG.
 //!
-//! [`prune_to_ratio`] applies them in the order the paper reports works best
+//! [`Synopsis::prune_to_ratio`] applies them in the order the paper reports works best
 //! (Section 5.2, "Compressed synopsis"): lossless folds first, then folds and
 //! deletions of low-cardinality leaves, and finally same-label merges.
 
@@ -267,7 +267,7 @@ impl Synopsis {
         ca == cb
     }
 
-    /// Merge node `b` into node `a` (same label, eligible per [`mergeable`]).
+    /// Merge node `b` into node `a` (same label, eligible per the private `mergeable` test).
     /// `a` keeps the intersection of the summaries and inherits `b`'s parents
     /// and folded labels; `b` is removed. The synopsis may become a DAG.
     pub fn merge_nodes(&mut self, a: SynopsisNodeId, b: SynopsisNodeId) {

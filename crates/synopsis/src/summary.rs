@@ -41,6 +41,21 @@ pub enum MatchingSetKind {
 }
 
 impl MatchingSetKind {
+    /// Counter-based matching sets (no size knob).
+    pub fn counters() -> Self {
+        MatchingSetKind::Counters
+    }
+
+    /// Exact matching sets over a document reservoir of `capacity` documents.
+    pub fn sets(capacity: usize) -> Self {
+        MatchingSetKind::Sets { capacity }
+    }
+
+    /// Per-node distinct hash samples of `capacity` entries each.
+    pub fn hashes(capacity: usize) -> Self {
+        MatchingSetKind::Hashes { capacity }
+    }
+
     /// Short human-readable name, matching the paper's figure legends.
     pub fn name(&self) -> &'static str {
         match self {

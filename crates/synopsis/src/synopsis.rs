@@ -62,6 +62,15 @@ impl SynopsisConfig {
     }
 }
 
+impl From<MatchingSetKind> for SynopsisConfig {
+    fn from(kind: MatchingSetKind) -> Self {
+        Self {
+            kind,
+            seed: DEFAULT_SEED,
+        }
+    }
+}
+
 /// Identifier of a synopsis node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SynopsisNodeId(pub(crate) u32);
@@ -167,6 +176,11 @@ pub struct Synopsis {
     /// Cached full matching-set values (only consulted while valid).
     full_cache: Vec<Option<SummaryValue>>,
     cache_valid: bool,
+    /// Monotonic change counter: bumped on every mutation that can alter a
+    /// matching set (document arrival, reservoir eviction, pruning). External
+    /// caches tag their entries with the epoch they were computed at and
+    /// invalidate exactly when it moves.
+    epoch: u64,
 }
 
 impl Synopsis {
@@ -191,6 +205,7 @@ impl Synopsis {
             rng: StdRng::seed_from_u64(config.seed),
             full_cache: Vec::new(),
             cache_valid: false,
+            epoch: 0,
         }
     }
 
@@ -229,6 +244,28 @@ impl Synopsis {
     /// Number of documents observed so far (`|H|`).
     pub fn document_count(&self) -> u64 {
         self.doc_count
+    }
+
+    /// The current synopsis epoch.
+    ///
+    /// The epoch is bumped by every mutation that can change a matching set:
+    /// [`Synopsis::insert_document`] / [`Synopsis::insert_skeleton`], node
+    /// deletion, and every pruning operation (folds, deletions, merges).
+    /// Read-only queries never move it, so a cache keyed by the epoch is
+    /// invalidated exactly when the synopsis changes.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Force-advance the epoch without a structural mutation.
+    ///
+    /// Epoch-tagged caches (e.g. a `SimilarityEngine`'s) compare the counter,
+    /// not the synopsis identity; call this after replacing a synopsis
+    /// wholesale (`std::mem::replace` through a mutable reference) or after
+    /// any external mutation the synopsis cannot see, so those caches
+    /// rebuild on the next query.
+    pub fn mark_dirty(&mut self) {
+        self.touch();
     }
 
     /// The label of a node.
@@ -318,7 +355,7 @@ impl Synopsis {
                 }
             }
         }
-        self.cache_valid = false;
+        self.touch();
         doc
     }
 
@@ -424,12 +461,19 @@ impl Synopsis {
         node.children.clear();
         node.parents.clear();
         node.folded.clear();
+        self.touch();
+    }
+
+    /// Mark cached full matching sets as stale and advance the epoch (called
+    /// by every mutation).
+    pub(crate) fn touch(&mut self) {
         self.cache_valid = false;
+        self.epoch += 1;
     }
 
     /// Mark cached full matching sets as stale (called by pruning).
     pub(crate) fn invalidate_cache(&mut self) {
-        self.cache_valid = false;
+        self.touch();
     }
 
     /// Summary stored directly at the node (not the recursive full set).
@@ -460,6 +504,27 @@ impl Synopsis {
         }
         self.full_cache = cache;
         self.cache_valid = true;
+    }
+
+    /// Materialise the full matching-set value of every node into a
+    /// caller-owned vector indexed by [`SynopsisNodeId::index`].
+    ///
+    /// This is the `&self` counterpart of [`Synopsis::prepare`], intended for
+    /// evaluation engines that keep their own epoch-tagged caches instead of
+    /// mutating the synopsis. Entries for dead (tomb-stoned) nodes are the
+    /// empty value.
+    pub fn full_values(&self) -> Vec<SummaryValue> {
+        let mut cache: Vec<Option<SummaryValue>> = vec![None; self.nodes.len()];
+        self.compute_full_value(self.root(), &mut cache);
+        for id in self.live_nodes() {
+            if cache[id.index()].is_none() {
+                self.compute_full_value(id, &mut cache);
+            }
+        }
+        cache
+            .into_iter()
+            .map(|value| value.unwrap_or_else(|| self.empty_value()))
+            .collect()
     }
 
     /// The full matching-set value `S(t)` of a node, in the representation's
@@ -781,6 +846,48 @@ mod tests {
         let mut s2 = Synopsis::new(SynopsisConfig::counters());
         s2.insert_skeleton(&doc.skeleton());
         assert_eq!(s1.node_count(), s2.node_count());
+    }
+
+    #[test]
+    fn epoch_advances_on_every_mutation_but_not_on_queries() {
+        let mut s = Synopsis::new(SynopsisConfig::hashes(64));
+        let e0 = s.epoch();
+        s.insert_document(&XmlTree::parse("<a><b/></a>").unwrap());
+        let e1 = s.epoch();
+        assert!(e1 > e0, "insert must advance the epoch");
+        // Queries leave the epoch alone.
+        let _ = s.matching_value(s.root());
+        let _ = s.full_values();
+        let _ = s.size();
+        assert_eq!(s.epoch(), e1);
+        // prepare() only caches; it is not a logical mutation.
+        s.prepare();
+        assert_eq!(s.epoch(), e1);
+        let a = s.children(s.root())[0];
+        let b = s.children(a)[0];
+        s.delete_node(b);
+        assert!(s.epoch() > e1, "deletion must advance the epoch");
+    }
+
+    #[test]
+    fn full_values_agree_with_matching_value() {
+        let docs = figure2_documents();
+        for config in [
+            SynopsisConfig::counters(),
+            SynopsisConfig::sets(100),
+            SynopsisConfig::hashes(64),
+        ] {
+            let s = Synopsis::from_documents(config, &docs);
+            let full = s.full_values();
+            for id in s.live_nodes() {
+                assert_eq!(
+                    full[id.index()],
+                    s.matching_value(id),
+                    "node {id:?} ({:?})",
+                    config.kind
+                );
+            }
+        }
     }
 
     #[test]

@@ -55,20 +55,24 @@ fn main() {
     // Learn the document distribution of a media-like collection.
     let dtd = Dtd::media();
     let dataset = Dataset::generate(dtd, &DatasetConfig::small().with_scale(500, 40, 0));
-    let mut estimator = SimilarityEstimator::new(SynopsisConfig::hashes(512));
-    estimator.observe_all(&dataset.documents);
-    estimator.prepare();
+    let mut engine = SimilarityEngine::builder()
+        .matching_sets(MatchingSetKind::hashes(512))
+        .build();
+    engine.observe_all(&dataset.documents);
+    let workload_ids = engine.register_all(&dataset.positive);
 
-    // 1. Query relaxation guided by estimated selectivity.
+    // 1. Query relaxation guided by estimated selectivity. Candidate
+    //    relaxations are ad-hoc, short-lived patterns, so the transient
+    //    `selectivity_of` entry point fits better than registration.
     let query = TreePattern::parse("/media/CD/composer/first/v7").unwrap();
-    let original = estimator.selectivity(&query);
+    let original = engine.selectivity_of(&query);
     println!("query {query}");
     println!("  estimated selectivity: {original:.4}");
     if original < 0.05 {
         println!("  query is highly selective; wildcard relaxations:");
         let mut best: Option<(TreePattern, f64)> = None;
         for relaxed in wildcard_relaxations(&query) {
-            let s = estimator.selectivity(&relaxed);
+            let s = engine.selectivity_of(&relaxed);
             println!("    {relaxed}  ->  {s:.4}");
             if best.as_ref().map(|(_, b)| s > *b).unwrap_or(true) {
                 best = Some((relaxed, s));
@@ -79,13 +83,18 @@ fn main() {
         }
     }
 
-    // 2. Nearest-subscription search for a new consumer.
-    let newcomer = TreePattern::parse("//CD/composer/last").unwrap();
+    // 2. Nearest-subscription search for a new consumer: the newcomer is
+    //    registered once, then compared against the registered workload.
+    let newcomer_id = {
+        let newcomer = TreePattern::parse("//CD/composer/last").unwrap();
+        engine.register(&newcomer)
+    };
+    let newcomer = engine.pattern(newcomer_id).clone();
     println!("\nnew subscription {newcomer}: most similar registered subscriptions (M2):");
-    let mut scored: Vec<(f64, &TreePattern)> = dataset
-        .positive
+    let mut scored: Vec<(f64, &TreePattern)> = workload_ids
         .iter()
-        .map(|p| (estimator.similarity(&newcomer, p, ProximityMetric::M2), p))
+        .zip(&dataset.positive)
+        .map(|(&id, p)| (engine.similarity(newcomer_id, id, ProximityMetric::M2), p))
         .collect();
     scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
     for (score, pattern) in scored.iter().take(5) {

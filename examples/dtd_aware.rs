@@ -67,23 +67,26 @@ fn main() {
         .take(200)
         .map(|xml| XmlTree::parse(xml).unwrap())
         .collect();
-    let mut estimator = SimilarityEstimator::new(SynopsisConfig::hashes(512));
-    estimator.observe_all(&documents);
-    estimator.prepare();
+    let mut engine = SimilarityEngine::builder()
+        .matching_sets(MatchingSetKind::hashes(512))
+        .build();
+    engine.observe_all(&documents);
     let exact = ExactEvaluator::new(documents.clone());
 
     println!(
         "stream-based similarity over {} media documents (M3, estimated / exact):",
         documents.len()
     );
-    for (name_p, p) in named {
-        for (name_q, q) in named {
+    let ids: Vec<_> = named.iter().map(|(_, p)| engine.register(p)).collect();
+    let matrix = engine.similarity_matrix(&ids, ProximityMetric::M3);
+    for (i, (name_p, p)) in named.iter().enumerate() {
+        for (j, (name_q, q)) in named.iter().enumerate() {
             if name_p >= name_q {
                 continue;
             }
             println!(
                 "  {name_p} ~ {name_q}: {:.3} / {:.3}",
-                estimator.similarity(p, q, ProximityMetric::M3),
+                matrix.get(i, j),
                 exact.similarity(p, q, ProximityMetric::M3)
             );
         }

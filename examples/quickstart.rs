@@ -25,42 +25,46 @@ fn main() {
           <title>Letters</title></book></media>",
     ];
 
-    // The four subscriptions of Figure 1.
-    let pa = TreePattern::parse("/media/CD/*/last/Mozart").unwrap();
-    let pb = TreePattern::parse("//CD/Mozart").unwrap();
-    let pc = TreePattern::parse(".[//CD][//Mozart]").unwrap();
-    let pd = TreePattern::parse("//composer[last/Mozart]").unwrap();
-
-    // Build the streaming estimator with per-node hash samples (the paper's
-    // best-performing representation), observe the stream, and query it.
-    let mut estimator = SimilarityEstimator::new(SynopsisConfig::hashes(256));
+    // Build the streaming engine with per-node hash samples (the paper's
+    // best-performing representation) and observe the stream.
+    let mut engine = SimilarityEngine::builder()
+        .matching_sets(MatchingSetKind::hashes(256))
+        .metric(ProximityMetric::M3)
+        .build();
     for text in documents {
         let doc = XmlTree::parse(text).expect("well-formed document");
-        estimator.observe(&doc);
+        engine.observe(&doc);
     }
-    estimator.prepare();
 
-    println!("observed {} documents\n", estimator.document_count());
+    // Register the four subscriptions of Figure 1 once; all queries go
+    // through the returned handles.
+    let names = ["pa", "pb", "pc", "pd"];
+    let subscriptions = [
+        "/media/CD/*/last/Mozart",
+        "//CD/Mozart",
+        ".[//CD][//Mozart]",
+        "//composer[last/Mozart]",
+    ]
+    .map(|text| TreePattern::parse(text).unwrap());
+    let ids = engine.register_all(&subscriptions);
+
+    println!("observed {} documents\n", engine.document_count());
     println!("selectivities (fraction of documents matching each subscription):");
-    for (name, pattern) in [("pa", &pa), ("pb", &pb), ("pc", &pc), ("pd", &pd)] {
-        println!(
-            "  P({name}) = {:.3}   [{pattern}]",
-            estimator.selectivity(pattern)
-        );
+    for ((name, &id), pattern) in names.iter().zip(&ids).zip(&subscriptions) {
+        println!("  P({name}) = {:.3}   [{pattern}]", engine.selectivity(id));
     }
 
     println!("\npairwise similarities (M3 = P(p ∧ q) / P(p ∨ q)):");
-    let named = [("pa", &pa), ("pb", &pb), ("pc", &pc), ("pd", &pd)];
-    for (i, (name_p, p)) in named.iter().enumerate() {
-        for (name_q, q) in named.iter().skip(i + 1) {
-            let sim = estimator.similarity(p, q, ProximityMetric::M3);
-            println!("  {name_p} ~ {name_q} = {sim:.3}");
+    let matrix = engine.similarity_matrix(&ids, ProximityMetric::M3);
+    for i in 0..ids.len() {
+        for j in (i + 1)..ids.len() {
+            println!("  {} ~ {} = {:.3}", names[i], names[j], matrix.get(i, j));
         }
     }
 
     // pa and pd are the pair the paper calls "equivalent with respect to
     // documents of this type" even though neither contains the other.
-    let equivalent = estimator.similarity(&pa, &pd, ProximityMetric::M3);
+    let equivalent = matrix.get(0, 3);
     println!(
         "\npa and pd have no containment relationship, yet their estimated similarity is {equivalent:.2}"
     );

@@ -47,10 +47,12 @@ fn main() {
     }
 
     // ---- Semantic overlay built from estimated similarities -------------
-    let mut estimator = SimilarityEstimator::new(SynopsisConfig::hashes(512));
-    estimator.observe_all(&dataset.documents);
-    estimator.prepare();
-    let matrix = SimilarityMatrix::from_estimator(&estimator, &subscriptions, ProximityMetric::M3);
+    let mut engine = SimilarityEngine::builder()
+        .matching_sets(MatchingSetKind::hashes(512))
+        .build();
+    engine.observe_all(&dataset.documents);
+    let subscription_ids = engine.register_all(&subscriptions);
+    let matrix = SimilarityMatrix::from_engine(&engine, &subscription_ids, ProximityMetric::M3);
 
     println!("\nsemantic overlay (agglomerative clustering on estimated M3):");
     println!(

@@ -25,10 +25,14 @@ fn main() {
         dataset.average_document_size()
     );
 
-    // Learn pattern similarities from the document stream.
-    let mut estimator = SimilarityEstimator::new(SynopsisConfig::hashes(512));
-    estimator.observe_all(&dataset.documents);
-    estimator.prepare();
+    // Learn pattern similarities from the document stream: one engine,
+    // with the whole subscription workload registered once.
+    let mut engine = SimilarityEngine::builder()
+        .matching_sets(MatchingSetKind::hashes(512))
+        .metric(ProximityMetric::M3)
+        .build();
+    engine.observe_all(&dataset.documents);
+    let subscription_ids = engine.register_all(&dataset.positive);
 
     // Register one consumer per subscription and cluster them.
     let mut broker = Broker::new();
@@ -36,8 +40,8 @@ fn main() {
         broker.subscribe(Consumer::new(format!("consumer-{i}"), subscription.clone()));
     }
     let clustering = CommunityClustering::cluster(
-        &estimator,
-        &dataset.positive,
+        &engine,
+        &subscription_ids,
         CommunityConfig {
             metric: ProximityMetric::M3,
             threshold: 0.55,
@@ -52,7 +56,7 @@ fn main() {
     );
     println!(
         "average intra-community similarity (M3): {:.3}",
-        clustering.average_intra_similarity(&estimator, &dataset.positive, ProximityMetric::M3)
+        clustering.average_intra_similarity(&engine, &subscription_ids, ProximityMetric::M3)
     );
 
     // Route a fresh slice of the document stream with each strategy.

@@ -31,7 +31,13 @@ fn main() {
     .collect();
 
     let space_budget = 40_000; // |HS| in 32-bit words, as in the paper's accounting
-    let mut estimator = SimilarityEstimator::new(SynopsisConfig::hashes(256));
+    let mut engine = SimilarityEngine::builder()
+        .matching_sets(MatchingSetKind::hashes(256))
+        .build();
+    // Register the monitored patterns once; the engine re-evaluates their
+    // cached selectivities only when the synopsis epoch moves (i.e. after
+    // each batch of arrivals or prune).
+    let watched_ids = engine.register_all(&watched);
 
     println!(
         "{:>8} {:>10} {:>10} {:>8}   watched selectivities",
@@ -40,22 +46,22 @@ fn main() {
     let mut prunes = 0;
     for batch in 0..20 {
         for _ in 0..250 {
-            estimator.observe(&generator.generate());
+            engine.observe(&generator.generate());
         }
-        let size_before = estimator.size().total();
+        let size_before = engine.size().total();
         let mut pruned_to = size_before;
         if size_before > space_budget {
-            let report = estimator.synopsis_mut().prune_to_ratio(
+            let report = engine.prune_to_ratio(
                 space_budget as f64 / size_before as f64,
                 PruneConfig::default(),
             );
             pruned_to = report.final_size;
             prunes += 1;
         }
-        estimator.prepare();
-        let selectivities: Vec<String> = watched
-            .iter()
-            .map(|p| format!("{:.3}", estimator.selectivity(p)))
+        let selectivities: Vec<String> = engine
+            .selectivities(&watched_ids)
+            .into_iter()
+            .map(|s| format!("{s:.3}"))
             .collect();
         println!(
             "{:>8} {:>10} {:>10} {:>8}   [{}]",
@@ -69,8 +75,8 @@ fn main() {
 
     println!(
         "\nfinal synopsis: {} live nodes, {} edges, {} documents observed",
-        estimator.synopsis().node_count(),
-        estimator.synopsis().edge_count(),
-        estimator.document_count()
+        engine.synopsis().node_count(),
+        engine.synopsis().edge_count(),
+        engine.document_count()
     );
 }

@@ -13,8 +13,9 @@
 //! * the streaming *document synopsis* with three matching-set
 //!   representations (counters, reservoir sample sets, Gibbons distinct-hash
 //!   samples) and the three pruning operations of the paper ([`synopsis`]),
-//! * the recursive selectivity algorithm `SEL` and the proximity metrics
-//!   `M1`, `M2`, `M3` ([`core`]),
+//! * the recursive selectivity algorithm `SEL`, the proximity metrics
+//!   `M1`, `M2`, `M3`, and the batch-first `SimilarityEngine` (compiled
+//!   pattern handles, epoch-tagged caches, similarity matrices) ([`core`]),
 //! * the evaluation workload substrate (synthetic DTDs, an IBM XML
 //!   Generator-like document generator, and an XPath workload generator)
 //!   ([`workload`]),
@@ -40,18 +41,33 @@
 //!     "<media><CD><composer><last>Mozart</last></composer></CD></media>",
 //!     "<media><book><author><last>Shakespeare</last></author></book></media>",
 //! ];
-//! let p = TreePattern::parse("/media/CD/*/last").unwrap();
-//! let q = TreePattern::parse("//composer/last").unwrap();
 //!
-//! // Build a synopsis over the document stream and estimate similarity.
-//! let mut estimator = SimilarityEstimator::new(SynopsisConfig::hashes(64));
+//! // Build a streaming engine over the document stream, register the
+//! // subscriptions once, and query through the returned handles.
+//! let mut engine = SimilarityEngine::builder()
+//!     .matching_sets(MatchingSetKind::hashes(64))
+//!     .metric(ProximityMetric::M3)
+//!     .build();
 //! for d in docs {
 //!     let tree = XmlTree::parse(d).unwrap();
-//!     estimator.observe(&tree);
+//!     engine.observe(&tree);
 //! }
-//! let sim = estimator.similarity(&p, &q, ProximityMetric::M3);
+//! let p = engine.register(&TreePattern::parse("/media/CD/*/last").unwrap());
+//! let q = engine.register(&TreePattern::parse("//composer/last").unwrap());
+//! let sim = engine.similarity(p, q, ProximityMetric::M3);
 //! assert!((0.0..=1.0).contains(&sim));
+//!
+//! // Whole workloads evaluate in one batched call.
+//! let matrix = engine.similarity_matrix(&[p, q], ProximityMetric::M3);
+//! assert_eq!(matrix.get(0, 1), sim);
 //! ```
+//!
+//! Migrating from the deprecated `SimilarityEstimator`: see
+//! [`core::estimator`] for the migration table — in short, replace
+//! `SimilarityEstimator::new(config)` + `prepare()` with the engine builder,
+//! register each pattern once, and swap hand-rolled pairwise loops for
+//! [`core::SimilarityEngine::selectivities`] /
+//! [`core::SimilarityEngine::similarity_matrix`].
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -70,8 +86,11 @@ pub mod prelude {
         agglomerative, kmedoids, leader, AgglomerativeConfig, Clustering, KMedoidsConfig,
         LeaderConfig, SimilarityMatrix,
     };
+    #[allow(deprecated)]
+    pub use tps_core::SimilarityEstimator;
     pub use tps_core::{
-        ExactEvaluator, ProximityMetric, SelectivityEstimator, SimilarityEstimator,
+        ExactEvaluator, PatternId, ProximityMetric, SelectivityEstimator, SimMatrix,
+        SimilarityEngine, SimilarityEngineBuilder,
     };
     pub use tps_dtd::{DtdSchema, PatternAnalyzer, ValidationMode, Validator};
     pub use tps_pattern::TreePattern;

@@ -19,13 +19,13 @@ fn estimated_communities_agree_with_exact_communities() {
     let dataset = dataset();
     let subscriptions = dataset.positive.clone();
     let exact = ExactEvaluator::new(dataset.documents.clone());
-    let mut estimator = SimilarityEstimator::new(SynopsisConfig::hashes(512));
-    estimator.observe_all(&dataset.documents);
-    estimator.prepare();
+    let mut engine = SimilarityEngine::new(SynopsisConfig::hashes(512));
+    engine.observe_all(&dataset.documents);
+    let subscription_ids = engine.register_all(&subscriptions);
 
     let exact_matrix = SimilarityMatrix::from_exact(&exact, &subscriptions, ProximityMetric::M3);
     let estimated_matrix =
-        SimilarityMatrix::from_estimator(&estimator, &subscriptions, ProximityMetric::M3);
+        SimilarityMatrix::from_engine(&engine, &subscription_ids, ProximityMetric::M3);
 
     let config = AgglomerativeConfig {
         similarity_threshold: 0.55,

@@ -108,13 +108,13 @@ fn hash_samples_beat_counters_on_positive_workload_error() {
 fn similarity_estimates_track_exact_similarities() {
     let dataset = small_dataset();
     let exact = ExactEvaluator::new(dataset.documents.clone());
-    let mut estimator = SimilarityEstimator::new(SynopsisConfig::hashes(100_000));
-    estimator.observe_all(&dataset.documents);
-    estimator.prepare();
+    let mut engine = SimilarityEngine::new(SynopsisConfig::hashes(100_000));
+    engine.observe_all(&dataset.documents);
+    let ids = engine.register_all(&dataset.positive);
     for metric in ProximityMetric::all() {
-        for window in dataset.positive.windows(2).take(20) {
+        for (window, handles) in dataset.positive.windows(2).zip(ids.windows(2)).take(20) {
             let (p, q) = (&window[0], &window[1]);
-            let estimated = estimator.similarity(p, q, metric);
+            let estimated = engine.similarity(handles[0], handles[1], metric);
             let truth = exact.similarity(p, q, metric);
             assert!(
                 (estimated - truth).abs() < 1e-9,
@@ -128,7 +128,7 @@ fn similarity_estimates_track_exact_similarities() {
 fn streaming_and_batch_construction_agree() {
     let dataset = small_dataset();
     let batch = Synopsis::from_documents(SynopsisConfig::hashes(128), &dataset.documents);
-    let mut streaming = SimilarityEstimator::new(SynopsisConfig::hashes(128));
+    let mut streaming = SimilarityEngine::new(SynopsisConfig::hashes(128));
     for doc in &dataset.documents {
         streaming.observe(doc);
     }
@@ -136,7 +136,7 @@ fn streaming_and_batch_construction_agree() {
     assert_eq!(batch.node_count(), streaming.synopsis().node_count());
     let estimator = SelectivityEstimator::new(&batch);
     for pattern in dataset.positive.iter().take(10) {
-        assert!((estimator.selectivity(pattern) - streaming.selectivity(pattern)).abs() < 1e-9);
+        assert!((estimator.selectivity(pattern) - streaming.selectivity_of(pattern)).abs() < 1e-9);
     }
 }
 

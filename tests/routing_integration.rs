@@ -2,6 +2,12 @@
 //! *estimated* similarities should behave like communities built from exact
 //! similarities, and community routing should trade a bounded amount of
 //! accuracy for a large reduction in filtering cost.
+//!
+//! The workload is deliberately modest (120 documents, 24 subscriptions):
+//! combined with the batch-first `SimilarityEngine` — which evaluates each
+//! marginal once and each unordered joint once across a whole clustering
+//! pass — it keeps this suite far below its previous ~40 s debug wall-clock
+//! while preserving every end-to-end assertion.
 
 use tree_pattern_similarity::core::ExactEvaluator;
 use tree_pattern_similarity::prelude::*;
@@ -9,9 +15,18 @@ use tree_pattern_similarity::routing::{Broker, Consumer, RoutingStrategy};
 
 fn workload() -> Dataset {
     let config = DatasetConfig::small()
-        .with_scale(180, 30, 0)
+        .with_scale(120, 24, 0)
         .with_seed(31_337);
     Dataset::generate(Dtd::nitf_like(), &config)
+}
+
+/// An engine over the workload's documents with every subscription
+/// registered, using the given matching-set representation.
+fn engine_over(dataset: &Dataset, config: SynopsisConfig) -> (SimilarityEngine, Vec<PatternId>) {
+    let mut engine = SimilarityEngine::new(config);
+    engine.observe_all(&dataset.documents);
+    let ids = engine.register_all(&dataset.positive);
+    (engine, ids)
 }
 
 #[test]
@@ -20,21 +35,19 @@ fn estimated_and_exact_similarities_produce_similar_community_counts() {
     let exact = ExactEvaluator::new(dataset.documents.clone());
 
     // Estimated similarities from a hash-sample synopsis.
-    let mut estimated = SimilarityEstimator::new(SynopsisConfig::hashes(512));
-    estimated.observe_all(&dataset.documents);
-    estimated.prepare();
+    let (estimated, estimated_ids) = engine_over(&dataset, SynopsisConfig::hashes(512));
 
-    // Exact similarities via a lossless synopsis (huge reservoir).
-    let mut exact_estimator = SimilarityEstimator::new(SynopsisConfig::sets(1_000_000));
-    exact_estimator.observe_all(&dataset.documents);
+    // Exact similarities via a lossless synopsis (reservoir larger than the
+    // stream).
+    let (exact_engine, exact_ids) = engine_over(&dataset, SynopsisConfig::sets(10_000));
 
     let config = CommunityConfig {
         metric: ProximityMetric::M3,
         threshold: 0.6,
         max_community_size: 0,
     };
-    let estimated_clusters = CommunityClustering::cluster(&estimated, &dataset.positive, config);
-    let exact_clusters = CommunityClustering::cluster(&exact_estimator, &dataset.positive, config);
+    let estimated_clusters = CommunityClustering::cluster(&estimated, &estimated_ids, config);
+    let exact_clusters = CommunityClustering::cluster(&exact_engine, &exact_ids, config);
 
     // The community structure should be close: within a factor of two in
     // count, and most co-membership decisions should agree.
@@ -70,17 +83,15 @@ fn estimated_and_exact_similarities_produce_similar_community_counts() {
 #[test]
 fn community_routing_cuts_filtering_cost_with_bounded_accuracy_loss() {
     let dataset = workload();
-    let mut estimator = SimilarityEstimator::new(SynopsisConfig::hashes(512));
-    estimator.observe_all(&dataset.documents);
-    estimator.prepare();
+    let (engine, subscription_ids) = engine_over(&dataset, SynopsisConfig::hashes(512));
 
     let mut broker = Broker::new();
     for (i, p) in dataset.positive.iter().enumerate() {
         broker.subscribe(Consumer::new(format!("c{i}"), p.clone()));
     }
     let clustering = CommunityClustering::cluster(
-        &estimator,
-        &dataset.positive,
+        &engine,
+        &subscription_ids,
         CommunityConfig {
             metric: ProximityMetric::M3,
             threshold: 0.5,
@@ -122,9 +133,10 @@ fn similarity_relates_pairs_that_containment_cannot() {
     // least one pair with no containment relationship in either direction
     // but a substantial estimated similarity.
     let dataset = workload();
-    let mut estimator = SimilarityEstimator::new(SynopsisConfig::hashes(512));
-    estimator.observe_all(&dataset.documents);
-    estimator.prepare();
+    let (engine, ids) = engine_over(&dataset, SynopsisConfig::hashes(512));
+
+    // One batched call evaluates the whole pairwise structure.
+    let matrix = engine.similarity_matrix(&ids, ProximityMetric::M3);
 
     let patterns = &dataset.positive;
     let mut contained_pairs = 0usize;
@@ -140,8 +152,7 @@ fn similarity_relates_pairs_that_containment_cannot() {
             if related {
                 contained_pairs += 1;
             } else {
-                let sim = estimator.similarity(p, q, ProximityMetric::M3);
-                best_incomparable_similarity = best_incomparable_similarity.max(sim);
+                best_incomparable_similarity = best_incomparable_similarity.max(matrix.get(i, j));
             }
         }
     }

@@ -35,13 +35,18 @@ fn sel_estimates_track_exact_selectivity_under_all_representations() {
         ("sets", SynopsisConfig::sets(1_000)),
         ("hashes", SynopsisConfig::hashes(1_000)),
     ] {
-        let mut estimator = SimilarityEstimator::new(config);
-        estimator.observe_all(&dataset.documents);
-        estimator.prepare();
+        let mut engine = SimilarityEngine::new(config);
+        engine.observe_all(&dataset.documents);
+        let ids = engine.register_all(dataset.positive.iter().chain(&dataset.negative));
+        let estimates = engine.selectivities(&ids);
 
         let mut total_error = 0.0;
-        for pattern in dataset.positive.iter().chain(&dataset.negative) {
-            let estimated = estimator.selectivity(pattern);
+        for (pattern, &estimated) in dataset
+            .positive
+            .iter()
+            .chain(&dataset.negative)
+            .zip(&estimates)
+        {
             let truth = exact.selectivity(pattern);
             assert!(
                 (0.0..=1.0).contains(&estimated),
@@ -65,11 +70,11 @@ fn exact_set_estimates_never_underestimate_and_hashes_stay_close() {
     let dataset = smoke_dataset();
     let exact = ExactEvaluator::new(dataset.documents.clone());
 
-    let mut estimator = SimilarityEstimator::new(SynopsisConfig::sets(100_000));
-    estimator.observe_all(&dataset.documents);
-    estimator.prepare();
-    for pattern in &dataset.positive {
-        let estimated = estimator.selectivity(pattern);
+    let mut engine = SimilarityEngine::new(SynopsisConfig::sets(100_000));
+    engine.observe_all(&dataset.documents);
+    let ids = engine.register_all(&dataset.positive);
+    let estimates = engine.selectivities(&ids);
+    for (pattern, &estimated) in dataset.positive.iter().zip(&estimates) {
         let truth = exact.selectivity(pattern);
         assert!(
             estimated >= truth - 1e-9,
@@ -90,19 +95,18 @@ fn exact_set_estimates_never_underestimate_and_hashes_stay_close() {
 #[test]
 fn similarity_metrics_are_sane_on_the_smoke_dataset() {
     let dataset = smoke_dataset();
-    let mut estimator = SimilarityEstimator::new(SynopsisConfig::hashes(256));
-    estimator.observe_all(&dataset.documents);
-    estimator.prepare();
+    let mut engine = SimilarityEngine::new(SynopsisConfig::hashes(256));
+    engine.observe_all(&dataset.documents);
 
-    let p = &dataset.positive[0];
-    let q = &dataset.positive[1];
+    let p = engine.register(&dataset.positive[0]);
+    let q = engine.register(&dataset.positive[1]);
     for metric in ProximityMetric::all() {
-        let s = estimator.similarity(p, q, metric);
+        let s = engine.similarity(p, q, metric);
         assert!((0.0..=1.0).contains(&s), "{metric}: similarity {s}");
     }
-    let self_sim = estimator.similarity(p, p, ProximityMetric::M3);
+    let self_sim = engine.similarity(p, p, ProximityMetric::M3);
     assert!(
-        (self_sim - 1.0).abs() < 1e-9 || estimator.selectivity(p) == 0.0,
+        (self_sim - 1.0).abs() < 1e-9 || engine.selectivity(p) == 0.0,
         "self-similarity {self_sim}"
     );
 }
