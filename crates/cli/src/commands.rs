@@ -88,6 +88,9 @@ COMMANDS:
         --pattern R ...                more patterns: prints the pairwise
                                        similarity matrix (see --metric)
         --metric m1|m2|m3              matrix metric (default m3)
+        --threads N                    worker threads for the matrix
+                                       (default 1, 0 = one per core;
+                                       results are identical)
         --dtd, --documents, --seed, --summary, --capacity   as above
     cluster      Cluster a generated subscription workload into communities
         --dtd, --documents, --seed     workload options
@@ -96,11 +99,15 @@ COMMANDS:
         --threshold T                  similarity threshold (default 0.6)
         --k K                          communities for kmedoids (default 8)
         --metric m1|m2|m3              proximity metric (default m3)
+        --threads N                    worker threads for the similarity
+                                       matrix (default 1)
     route        Simulate content-based routing over a broker tree
         --dtd, --documents, --seed     workload options
         --subscriptions N              number of subscriptions (default 40)
         --brokers B                    number of brokers (default 7)
         --threshold T                  community threshold (default 0.6)
+        --threads N                    worker threads for the similarity
+                                       matrix (default 1)
 ";
 
 /// Run a full command line (excluding the program name), writing the report
@@ -192,6 +199,16 @@ fn generate_dataset(
         ..DatasetConfig::small().with_scale(documents, subscriptions, 0)
     };
     Ok(Dataset::generate(dtd, &config))
+}
+
+/// The `--threads` worker count for parallel similarity-matrix evaluation
+/// (`1` = sequential, `0` = one worker per available core; the computed
+/// values are identical either way).
+fn threads_from(args: &ParsedArgs) -> Result<usize, CliError> {
+    Ok(match args.get_usize("threads", 1)? {
+        0 => tps_core::par::available_workers(),
+        threads => threads,
+    })
 }
 
 fn metric_from(args: &ParsedArgs) -> Result<ProximityMetric, CliError> {
@@ -335,14 +352,18 @@ fn selectivity<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError>
 fn similarity<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
     let dtd = resolve_dtd(args)?;
     let patterns = parse_patterns(args, 2)?;
+    // Validate --threads up front so a bad value is rejected on the
+    // two-pattern path too (where no matrix is computed and it is unused).
+    let threads = threads_from(args)?;
     let documents = generate_documents(args, &dtd)?;
     let mut engine = SimilarityEngine::new(synopsis_config(args)?);
     engine.observe_all(&documents);
     let ids = engine.register_all(&patterns);
     if patterns.len() > 2 {
-        // Batch path: the full pairwise similarity matrix in one engine call.
+        // Batch path: the full pairwise similarity matrix in one engine
+        // call, fanned out over `--threads` workers when asked.
         let metric = metric_from(args)?;
-        let matrix = engine.similarity_matrix(&ids, metric);
+        let matrix = engine.similarity_matrix_par(&ids, metric, threads);
         writeln!(
             out,
             "{} patterns over {} documents ({metric} similarity matrix)",
@@ -393,7 +414,7 @@ fn build_matrix(
     engine.observe_all(&dataset.documents);
     let subscriptions = dataset.positive.clone();
     let ids = engine.register_all(&subscriptions);
-    let matrix = SimilarityMatrix::from_engine(&engine, &ids, metric);
+    let matrix = SimilarityMatrix::from_engine_par(&engine, &ids, metric, threads_from(args)?);
     Ok((subscriptions, matrix))
 }
 
@@ -684,6 +705,46 @@ mod tests {
         assert!(output.contains("p2 = //book"));
         // Unit diagonal.
         assert!(output.contains("1.0000"));
+    }
+
+    #[test]
+    fn threads_option_does_not_change_the_matrix() {
+        let base = &[
+            "similarity",
+            "--documents",
+            "40",
+            "--pattern",
+            "//CD",
+            "--pattern",
+            "//CD/title",
+            "--pattern",
+            "//book",
+        ];
+        let sequential = run_capture(base).unwrap();
+        let mut with_threads = base.to_vec();
+        with_threads.extend_from_slice(&["--threads", "4"]);
+        let parallel = run_capture(&with_threads).unwrap();
+        assert_eq!(parallel, sequential);
+        assert!(sequential.contains("similarity matrix"));
+    }
+
+    #[test]
+    fn invalid_threads_value_is_rejected() {
+        let err = run_capture(&[
+            "similarity",
+            "--pattern",
+            "//CD",
+            "--pattern",
+            "//a",
+            "--pattern",
+            "//b",
+            "--threads",
+            "lots",
+        ])
+        .unwrap_err();
+        assert!(
+            matches!(err, CliError::Args(ArgsError::InvalidValue { option, .. }) if option == "threads")
+        );
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //!
 //! ```
 //! use tps_cluster::{agglomerative, AgglomerativeConfig, SimilarityMatrix};
-//! use tps_core::{ProximityMetric, SimilarityEstimator};
+//! use tps_core::{ProximityMetric, SimilarityEngine};
 //! use tps_pattern::TreePattern;
 //! use tps_synopsis::SynopsisConfig;
 //! use tps_xml::XmlTree;
@@ -32,15 +32,17 @@
 //! .iter()
 //! .map(|s| XmlTree::parse(s).unwrap())
 //! .collect();
-//! let mut estimator = SimilarityEstimator::new(SynopsisConfig::sets(64));
-//! estimator.observe_all(&docs);
+//! let mut engine = SimilarityEngine::new(SynopsisConfig::sets(64));
+//! engine.observe_all(&docs);
 //!
 //! let subscriptions: Vec<TreePattern> = ["//CD", "//CD/title", "//book"]
 //!     .iter()
 //!     .map(|s| TreePattern::parse(s).unwrap())
 //!     .collect();
-//! let matrix =
-//!     SimilarityMatrix::from_estimator(&estimator, &subscriptions, ProximityMetric::M3);
+//! let ids = engine.register_all(&subscriptions);
+//! // `from_engine_par(.., threads)` computes the same matrix on worker
+//! // threads, bit-identical to the sequential path.
+//! let matrix = SimilarityMatrix::from_engine(&engine, &ids, ProximityMetric::M3);
 //! let communities = agglomerative(&matrix, AgglomerativeConfig::default()).clustering;
 //! assert!(communities.same_cluster(0, 1));
 //! assert!(!communities.same_cluster(0, 2));

@@ -11,9 +11,6 @@
 use tps_core::{ExactEvaluator, PatternId, ProximityMetric, SimMatrix, SimilarityEngine};
 use tps_pattern::TreePattern;
 
-#[allow(deprecated)]
-use tps_core::SimilarityEstimator;
-
 /// A dense `n x n` matrix of pairwise similarities in `[0, 1]`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimilarityMatrix {
@@ -84,27 +81,19 @@ impl SimilarityMatrix {
         engine.similarity_matrix(ids, metric).into()
     }
 
-    /// Pairwise similarities of `patterns` under `metric`, estimated with the
-    /// streaming estimator (synopsis-based).
-    #[deprecated(
-        since = "0.1.0",
-        note = "register the patterns with a SimilarityEngine and use SimilarityMatrix::from_engine"
-    )]
-    #[allow(deprecated)]
-    pub fn from_estimator(
-        estimator: &SimilarityEstimator,
-        patterns: &[TreePattern],
+    /// Pairwise similarities of a registered workload under `metric`,
+    /// estimated through the engine's parallel
+    /// [`similarity_matrix_par`](SimilarityEngine::similarity_matrix_par)
+    /// entry point: the evaluation is fanned out over up to `threads` scoped
+    /// worker threads and is bit-identical to
+    /// [`SimilarityMatrix::from_engine`].
+    pub fn from_engine_par(
+        engine: &SimilarityEngine,
+        ids: &[PatternId],
         metric: ProximityMetric,
+        threads: usize,
     ) -> Self {
-        if metric.is_symmetric() {
-            Self::from_symmetric_fn(patterns.len(), metric, |i, j| {
-                estimator.similarity(&patterns[i], &patterns[j], metric)
-            })
-        } else {
-            Self::from_fn(patterns.len(), metric, |i, j| {
-                estimator.similarity(&patterns[i], &patterns[j], metric)
-            })
-        }
+        engine.similarity_matrix_par(ids, metric, threads).into()
     }
 
     /// Pairwise similarities of `patterns` under `metric`, computed exactly
@@ -322,22 +311,17 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn from_engine_matches_the_deprecated_estimator_path() {
+    fn from_engine_par_matches_the_sequential_path() {
         let docs = documents();
         let patterns = patterns();
         let mut engine = SimilarityEngine::new(SynopsisConfig::hashes(128));
         engine.observe_all(&docs);
         let ids = engine.register_all(&patterns);
-        let mut estimator = SimilarityEstimator::new(SynopsisConfig::hashes(128));
-        estimator.observe_all(&docs);
         for metric in [ProximityMetric::M1, ProximityMetric::M3] {
-            let batched = SimilarityMatrix::from_engine(&engine, &ids, metric);
-            let legacy = SimilarityMatrix::from_estimator(&estimator, &patterns, metric);
-            for i in 0..patterns.len() {
-                for j in 0..patterns.len() {
-                    assert_eq!(batched.get(i, j), legacy.get(i, j), "({i},{j}) {metric}");
-                }
+            let sequential = SimilarityMatrix::from_engine(&engine, &ids, metric);
+            for threads in [1usize, 2, 4] {
+                let parallel = SimilarityMatrix::from_engine_par(&engine, &ids, metric, threads);
+                assert_eq!(parallel, sequential, "{threads} threads, {metric}");
             }
         }
     }

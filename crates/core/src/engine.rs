@@ -25,6 +25,12 @@
 //! evaluations plus one joint evaluation per unordered pair, instead of the
 //! `2·n²` marginal and `n²` joint evaluations of per-call estimation.
 //!
+//! The engine is `Send + Sync` — the immutable core (synopsis, compiled
+//! patterns) sits behind an [`Arc`], the caches behind a [`Mutex`] — and
+//! [`SimilarityEngine::similarity_matrix_par`] splits the matrix evaluation
+//! across scoped worker threads with per-worker memo shards that are merged
+//! back afterwards, bit-identical to the sequential result.
+//!
 //! # Example
 //!
 //! ```
@@ -53,8 +59,8 @@
 //! assert_eq!(matrix.get(0, 1), sim);
 //! ```
 
-use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use tps_pattern::{ops, CompiledPattern, SubtreeInterner, TreePattern};
 use tps_synopsis::{
@@ -64,6 +70,7 @@ use tps_xml::XmlTree;
 
 use crate::eval::{SelEvaluator, SelMemo, ValueSource};
 use crate::metrics::ProximityMetric;
+use crate::par;
 
 /// Handle of a pattern registered with a [`SimilarityEngine`].
 ///
@@ -124,11 +131,13 @@ impl SimilarityEngineBuilder {
             config.seed = seed;
         }
         SimilarityEngine {
-            synopsis: Synopsis::new(config),
-            patterns: Vec::new(),
-            by_key: HashMap::new(),
+            core: Arc::new(EngineCore {
+                synopsis: Synopsis::new(config),
+                patterns: Vec::new(),
+                by_key: HashMap::new(),
+            }),
             default_metric: self.metric,
-            state: RefCell::new(EngineState::new()),
+            state: Mutex::new(EngineState::new()),
         }
     }
 }
@@ -151,6 +160,111 @@ pub struct EngineCacheStats {
     pub memo_entries: usize,
     /// Distinct canonical pattern subtrees interned so far.
     pub interned_subtrees: usize,
+}
+
+/// The immutable heart of an engine: the synopsis plus the registered,
+/// compiled workload.
+///
+/// Shared behind an [`Arc`]: queries (including the scoped workers of
+/// [`SimilarityEngine::similarity_matrix_par`]) only ever read it, while
+/// maintenance methods take `&mut SimilarityEngine` and mutate it through
+/// [`Arc::make_mut`] — so cloning an engine shares the core
+/// copy-on-write.
+#[derive(Debug, Clone)]
+struct EngineCore {
+    synopsis: Synopsis,
+    patterns: Vec<CompiledPattern>,
+    by_key: HashMap<Box<str>, PatternId>,
+}
+
+/// One evaluation through the shared caches: clear the per-evaluation
+/// scratch memo, run `SEL` with `shared` consulted read-only, and return the
+/// clamped selectivity. The pure building block behind both the sequential
+/// cache methods and the per-worker shards of the parallel matrix.
+fn eval_selectivity(
+    synopsis: &Synopsis,
+    full: &[SummaryValue],
+    shared: &SelMemo,
+    scratch: &mut SelMemo,
+    compiled: &CompiledPattern,
+) -> f64 {
+    scratch.clear();
+    SelEvaluator {
+        synopsis,
+        source: ValueSource::Cached(full),
+        shared,
+        local: scratch,
+    }
+    .selectivity(compiled)
+}
+
+/// The one matrix-assembly pass behind both
+/// [`SimilarityEngine::similarity_matrix`] and
+/// [`SimilarityEngine::similarity_matrix_par`]: unit diagonal, `1.0` for
+/// duplicate handles, marginals/joints through the cache state (computed on
+/// demand when cold, pure hits when a parallel wave warmed them), and the
+/// mirror entry recomputed for asymmetric metrics. A single implementation
+/// is what keeps the two entry points bit-identical by construction.
+fn assemble_matrix(
+    st: &mut EngineState,
+    synopsis: &Synopsis,
+    patterns: &[CompiledPattern],
+    ids: &[PatternId],
+    metric: ProximityMetric,
+) -> SimMatrix {
+    let n = ids.len();
+    let mut values = vec![0.0; n * n];
+    for i in 0..n {
+        values[i * n + i] = 1.0;
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let (p, q) = (ids[i], ids[j]);
+            if p == q {
+                values[i * n + j] = 1.0;
+                values[j * n + i] = 1.0;
+                continue;
+            }
+            let p_p = st.marginal(synopsis, patterns, p);
+            let p_q = st.marginal(synopsis, patterns, q);
+            let p_and = st.joint(synopsis, patterns, p, q);
+            let forward = metric.compute(p_p, p_q, p_and);
+            values[i * n + j] = forward;
+            values[j * n + i] = if metric.is_symmetric() {
+                forward
+            } else {
+                metric.compute(p_q, p_p, p_and)
+            };
+        }
+    }
+    SimMatrix {
+        len: n,
+        metric,
+        values,
+    }
+}
+
+/// Promote the *top-level* `SEL` entries of an evaluated pattern — `(root
+/// child of the synopsis, root branch of the pattern)` — from the
+/// per-evaluation scratch memo into a persistent memo. `or_insert`
+/// semantics: an entry already present (necessarily the same value, `SEL`
+/// is a pure function) is kept, so promotion order never matters.
+fn promote_top_level(
+    synopsis: &Synopsis,
+    compiled: &CompiledPattern,
+    scratch: &SelMemo,
+    memo: &mut SelMemo,
+) {
+    let pattern = compiled.pattern();
+    for &u in pattern.children(pattern.root()) {
+        let key_u = compiled.node_key(u);
+        for &v in synopsis.children(synopsis.root()) {
+            let key = (v, key_u);
+            if let Some(entry) = scratch.get(&key) {
+                memo.entry(key).or_insert_with(|| entry.clone());
+            }
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -225,24 +339,8 @@ impl EngineState {
     /// this pattern resolve without recursing into the synopsis.
     fn selectivity(&mut self, synopsis: &Synopsis, compiled: &CompiledPattern) -> f64 {
         let full = Self::ensure_full(&mut self.full, synopsis);
-        self.scratch.clear();
-        let value = SelEvaluator {
-            synopsis,
-            source: ValueSource::Cached(full),
-            shared: &self.memo,
-            local: &mut self.scratch,
-        }
-        .selectivity(compiled);
-        let pattern = compiled.pattern();
-        for &u in pattern.children(pattern.root()) {
-            let key_u = compiled.node_key(u);
-            for &v in synopsis.children(synopsis.root()) {
-                let key = (v, key_u);
-                if let Some(entry) = self.scratch.get(&key) {
-                    self.memo.entry(key).or_insert_with(|| entry.clone());
-                }
-            }
-        }
+        let value = eval_selectivity(synopsis, full, &self.memo, &mut self.scratch, compiled);
+        promote_top_level(synopsis, compiled, &self.scratch, &mut self.memo);
         value
     }
 
@@ -364,15 +462,35 @@ impl SimMatrix {
 /// Maintenance (observing documents, pruning, registering patterns) takes
 /// `&mut self`; queries take `&self` and share interior caches, so an engine
 /// can be handed to read-only consumers (clustering, routing, experiment
-/// harnesses) after its workload is registered. The engine is `Send` but not
-/// `Sync`; cross-thread sharing requires external synchronisation.
-#[derive(Debug, Clone)]
+/// harnesses) after its workload is registered.
+///
+/// The engine is `Send + Sync`: the immutable core (synopsis, compiled
+/// patterns) lives behind an [`Arc`] and the cache state behind a
+/// [`Mutex`], so `&SimilarityEngine` can be shared across threads directly.
+/// Concurrent queries serialise on the cache lock;
+/// [`SimilarityEngine::similarity_matrix_par`] is the entry point that
+/// genuinely fans evaluation work out over multiple cores. Cloning shares
+/// the core copy-on-write and snapshots the caches.
+#[derive(Debug)]
 pub struct SimilarityEngine {
-    synopsis: Synopsis,
-    patterns: Vec<CompiledPattern>,
-    by_key: HashMap<Box<str>, PatternId>,
+    core: Arc<EngineCore>,
     default_metric: ProximityMetric,
-    state: RefCell<EngineState>,
+    state: Mutex<EngineState>,
+}
+
+impl Clone for SimilarityEngine {
+    fn clone(&self) -> Self {
+        Self {
+            core: Arc::clone(&self.core),
+            default_metric: self.default_metric,
+            state: Mutex::new(
+                self.state
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .clone(),
+            ),
+        }
+    }
 }
 
 impl SimilarityEngine {
@@ -394,12 +512,28 @@ impl SimilarityEngine {
     /// Wrap an existing synopsis (keeps its observed stream).
     pub fn from_synopsis(synopsis: Synopsis) -> Self {
         Self {
-            synopsis,
-            patterns: Vec::new(),
-            by_key: HashMap::new(),
+            core: Arc::new(EngineCore {
+                synopsis,
+                patterns: Vec::new(),
+                by_key: HashMap::new(),
+            }),
             default_metric: ProximityMetric::M3,
-            state: RefCell::new(EngineState::new()),
+            state: Mutex::new(EngineState::new()),
         }
+    }
+
+    /// Exclusive access to the shared core, cloning it first if another
+    /// engine clone still holds a reference (copy-on-write).
+    fn core_mut(&mut self) -> &mut EngineCore {
+        Arc::make_mut(&mut self.core)
+    }
+
+    /// Exclusive access to the cache state through `&mut self` — no lock
+    /// traffic, and a poisoned mutex (a panicking query thread) is recovered
+    /// because the state is only ever transitioned between consistent
+    /// snapshots.
+    fn state_exclusive(&mut self) -> &mut EngineState {
+        self.state.get_mut().unwrap_or_else(PoisonError::into_inner)
     }
 
     // ------------------------------------------------------------------
@@ -408,12 +542,12 @@ impl SimilarityEngine {
 
     /// Observe one document from the stream.
     pub fn observe(&mut self, document: &XmlTree) {
-        self.synopsis.insert_document(document);
+        self.core_mut().synopsis.insert_document(document);
     }
 
     /// Observe a document that is already a skeleton tree.
     pub fn observe_skeleton(&mut self, skeleton: &XmlTree) {
-        self.synopsis.insert_skeleton(skeleton);
+        self.core_mut().synopsis.insert_skeleton(skeleton);
     }
 
     /// Observe a batch of documents.
@@ -428,12 +562,12 @@ impl SimilarityEngine {
 
     /// Number of documents observed so far.
     pub fn document_count(&self) -> u64 {
-        self.synopsis.document_count()
+        self.core.synopsis.document_count()
     }
 
     /// Read access to the synopsis.
     pub fn synopsis(&self) -> &Synopsis {
-        &self.synopsis
+        &self.core.synopsis
     }
 
     /// Mutable access to the synopsis (e.g. for custom pruning schedules).
@@ -447,18 +581,19 @@ impl SimilarityEngine {
     /// [`Synopsis::mark_dirty`] on it afterwards to rule out an accidental
     /// epoch collision with the cached tag.
     pub fn synopsis_mut(&mut self) -> &mut Synopsis {
-        self.synopsis.mark_dirty();
-        &mut self.synopsis
+        let core = self.core_mut();
+        core.synopsis.mark_dirty();
+        &mut core.synopsis
     }
 
     /// Current synopsis size decomposition.
     pub fn size(&self) -> SynopsisSize {
-        self.synopsis.size()
+        self.core.synopsis.size()
     }
 
     /// Prune the synopsis to `alpha` times its current size.
     pub fn prune_to_ratio(&mut self, alpha: f64, config: PruneConfig) -> PruneReport {
-        self.synopsis.prune_to_ratio(alpha, config)
+        self.core_mut().synopsis.prune_to_ratio(alpha, config)
     }
 
     /// Eagerly materialise the engine's matching-set caches for the current
@@ -466,7 +601,7 @@ impl SimilarityEngine {
     /// the one-off cost out of a measured section.
     pub fn prepare(&self) {
         let mut st = self.state_mut();
-        EngineState::ensure_full(&mut st.full, &self.synopsis);
+        EngineState::ensure_full(&mut st.full, &self.core.synopsis);
     }
 
     /// The default proximity metric used by the `_default` query variants.
@@ -485,16 +620,17 @@ impl SimilarityEngine {
     /// already-registered one returns the existing handle.
     pub fn register(&mut self, pattern: &TreePattern) -> PatternId {
         let compiled = {
-            let mut st = self.state.borrow_mut();
+            let st = self.state_exclusive();
             CompiledPattern::compile(pattern, &mut st.interner)
         };
-        if let Some(&existing) = self.by_key.get(compiled.canonical_key()) {
+        if let Some(&existing) = self.core.by_key.get(compiled.canonical_key()) {
             return existing;
         }
-        let id = PatternId(self.patterns.len() as u32);
-        self.by_key.insert(compiled.canonical_key().into(), id);
-        self.patterns.push(compiled);
-        self.state.borrow_mut().marginals.push(None);
+        let core = self.core_mut();
+        let id = PatternId(core.patterns.len() as u32);
+        core.by_key.insert(compiled.canonical_key().into(), id);
+        core.patterns.push(compiled);
+        self.state_exclusive().marginals.push(None);
         id
     }
 
@@ -509,12 +645,12 @@ impl SimilarityEngine {
 
     /// The (normalised) pattern behind a handle.
     pub fn pattern(&self, id: PatternId) -> &TreePattern {
-        self.patterns[id.index()].pattern()
+        self.core.patterns[id.index()].pattern()
     }
 
     /// Number of registered (distinct) patterns.
     pub fn pattern_count(&self) -> usize {
-        self.patterns.len()
+        self.core.patterns.len()
     }
 
     // ------------------------------------------------------------------
@@ -525,7 +661,7 @@ impl SimilarityEngine {
     /// the synopsis changes).
     pub fn selectivity(&self, id: PatternId) -> f64 {
         let mut st = self.state_mut();
-        st.marginal(&self.synopsis, &self.patterns, id)
+        st.marginal(&self.core.synopsis, &self.core.patterns, id)
     }
 
     /// Batched selectivities of a slice of handles; all evaluations share the
@@ -533,20 +669,20 @@ impl SimilarityEngine {
     pub fn selectivities(&self, ids: &[PatternId]) -> Vec<f64> {
         let mut st = self.state_mut();
         ids.iter()
-            .map(|&id| st.marginal(&self.synopsis, &self.patterns, id))
+            .map(|&id| st.marginal(&self.core.synopsis, &self.core.patterns, id))
             .collect()
     }
 
     /// Estimated joint selectivity `P(p ∧ q)` (cached per unordered pair).
     pub fn joint_selectivity(&self, p: PatternId, q: PatternId) -> f64 {
         let mut st = self.state_mut();
-        st.joint(&self.synopsis, &self.patterns, p, q)
+        st.joint(&self.core.synopsis, &self.core.patterns, p, q)
     }
 
     /// Estimated similarity of two registered patterns under `metric`.
     pub fn similarity(&self, p: PatternId, q: PatternId, metric: ProximityMetric) -> f64 {
         let mut st = self.state_mut();
-        st.similarity(&self.synopsis, &self.patterns, p, q, metric)
+        st.similarity(&self.core.synopsis, &self.core.patterns, p, q, metric)
     }
 
     /// Estimated similarity under the engine's default metric.
@@ -562,9 +698,9 @@ impl SimilarityEngine {
             return [1.0; 3];
         }
         let mut st = self.state_mut();
-        let p_p = st.marginal(&self.synopsis, &self.patterns, p);
-        let p_q = st.marginal(&self.synopsis, &self.patterns, q);
-        let p_and = st.joint(&self.synopsis, &self.patterns, p, q);
+        let p_p = st.marginal(&self.core.synopsis, &self.core.patterns, p);
+        let p_q = st.marginal(&self.core.synopsis, &self.core.patterns, q);
+        let p_and = st.joint(&self.core.synopsis, &self.core.patterns, p, q);
         [
             ProximityMetric::M1.compute(p_p, p_q, p_and),
             ProximityMetric::M2.compute(p_p, p_q, p_and),
@@ -578,42 +714,167 @@ impl SimilarityEngine {
     /// metric)`; the batched form simply shares every marginal evaluation
     /// (`n` instead of `2·n²`) and evaluates each unordered joint once.
     pub fn similarity_matrix(&self, ids: &[PatternId], metric: ProximityMetric) -> SimMatrix {
-        let n = ids.len();
-        let mut values = vec![0.0; n * n];
         let mut st = self.state_mut();
-        for i in 0..n {
-            values[i * n + i] = 1.0;
-        }
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let (p, q) = (ids[i], ids[j]);
-                if p == q {
-                    values[i * n + j] = 1.0;
-                    values[j * n + i] = 1.0;
-                    continue;
-                }
-                let p_p = st.marginal(&self.synopsis, &self.patterns, p);
-                let p_q = st.marginal(&self.synopsis, &self.patterns, q);
-                let p_and = st.joint(&self.synopsis, &self.patterns, p, q);
-                let forward = metric.compute(p_p, p_q, p_and);
-                values[i * n + j] = forward;
-                values[j * n + i] = if metric.is_symmetric() {
-                    forward
-                } else {
-                    metric.compute(p_q, p_p, p_and)
-                };
-            }
-        }
-        SimMatrix {
-            len: n,
+        assemble_matrix(
+            &mut st,
+            &self.core.synopsis,
+            &self.core.patterns,
+            ids,
             metric,
-            values,
-        }
+        )
     }
 
     /// All-pairs similarity matrix under the engine's default metric.
     pub fn similarity_matrix_default(&self, ids: &[PatternId]) -> SimMatrix {
         self.similarity_matrix(ids, self.default_metric)
+    }
+
+    /// All-pairs similarity matrix computed on up to `threads` scoped worker
+    /// threads — bit-identical to [`SimilarityEngine::similarity_matrix`].
+    ///
+    /// The evaluation work is fanned out in two waves over
+    /// [`std::thread::scope`] workers (see [`crate::par`]): first the
+    /// uncached marginal selectivities, then the uncached joint
+    /// selectivities of the upper-triangle pattern pairs. Every worker
+    /// evaluates into its own memo shard against the read-only shared state
+    /// (synopsis, compiled patterns, materialised matching sets, the
+    /// persistent `SEL` memo); after each wave the shard results — values
+    /// plus promoted top-level `SEL` entries — are merged back into the
+    /// engine's epoch-tagged caches, so later sequential queries stay warm.
+    ///
+    /// `SEL` is a pure function of the synopsis and the pattern subtree, so
+    /// the partitioning (and `threads` itself) cannot change any result:
+    /// every entry is bit-identical to the sequential matrix and to the
+    /// corresponding pairwise [`SimilarityEngine::similarity`] call.
+    ///
+    /// `threads <= 1` falls back to the sequential path. The engine's cache
+    /// lock is held for the whole call; concurrent queries on other threads
+    /// wait, exactly as they would behind a long sequential matrix call.
+    pub fn similarity_matrix_par(
+        &self,
+        ids: &[PatternId],
+        metric: ProximityMetric,
+        threads: usize,
+    ) -> SimMatrix {
+        let n = ids.len();
+        if threads <= 1 || n < 2 {
+            return self.similarity_matrix(ids, metric);
+        }
+        let mut guard = self.state_mut();
+        let st = &mut *guard;
+        let synopsis = &self.core.synopsis;
+        let patterns = self.core.patterns.as_slice();
+        EngineState::ensure_full(&mut st.full, synopsis);
+
+        // Wave 1: marginal selectivities not yet cached, one entry per
+        // distinct handle.
+        let todo_marginals: Vec<PatternId> = {
+            let mut seen = HashSet::new();
+            ids.iter()
+                .copied()
+                .filter(|id| st.marginals[id.index()].is_none() && seen.insert(*id))
+                .collect()
+        };
+        if !todo_marginals.is_empty() {
+            let shards = {
+                let full = st.full.as_deref().expect("materialised above");
+                let shared = &st.memo;
+                par::map_chunks(&todo_marginals, threads, |_, chunk| {
+                    let mut scratch = SelMemo::new();
+                    let mut promote = SelMemo::new();
+                    let values: Vec<f64> = chunk
+                        .iter()
+                        .map(|id| {
+                            let compiled = &patterns[id.index()];
+                            let value =
+                                eval_selectivity(synopsis, full, shared, &mut scratch, compiled);
+                            promote_top_level(synopsis, compiled, &scratch, &mut promote);
+                            value
+                        })
+                        .collect();
+                    (values, promote)
+                })
+            };
+            let mut pending = todo_marginals.iter();
+            for (values, promote) in shards {
+                for value in values {
+                    let id = pending.next().expect("one value per marginal");
+                    st.marginals[id.index()] = Some(value);
+                    st.marginal_misses += 1;
+                }
+                for (key, entry) in promote {
+                    st.memo.entry(key).or_insert(entry);
+                }
+            }
+        }
+
+        // Wave 2: joint selectivities of the unordered upper-triangle pairs
+        // not yet cached.
+        let todo_joints: Vec<(u32, u32)> = {
+            let mut seen = HashSet::new();
+            let mut list = Vec::new();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let (p, q) = (ids[i], ids[j]);
+                    if p == q {
+                        continue;
+                    }
+                    let key = (p.0.min(q.0), p.0.max(q.0));
+                    if !st.joints.contains_key(&key) && seen.insert(key) {
+                        list.push(key);
+                    }
+                }
+            }
+            list
+        };
+        if !todo_joints.is_empty() {
+            let shards = {
+                let full = st.full.as_deref().expect("materialised above");
+                let shared = &st.memo;
+                let interner = &st.interner;
+                par::map_chunks(&todo_joints, threads, |_, chunk| {
+                    let mut scratch = SelMemo::new();
+                    let mut promote = SelMemo::new();
+                    let values: Vec<f64> = chunk
+                        .iter()
+                        .map(|&(p, q)| {
+                            let conjunction = ops::conjunction(
+                                patterns[p as usize].pattern(),
+                                patterns[q as usize].pattern(),
+                            );
+                            // A conjunction of registered patterns never
+                            // contains a new subtree (its non-root subtrees
+                            // are copies of the operands'), so the shared
+                            // interner is consulted read-only — the checked
+                            // form of the "never interns" invariant.
+                            let compiled =
+                                CompiledPattern::compile_interned(&conjunction, interner)
+                                    .expect("conjunction subtrees are interned at registration");
+                            let value =
+                                eval_selectivity(synopsis, full, shared, &mut scratch, &compiled);
+                            promote_top_level(synopsis, &compiled, &scratch, &mut promote);
+                            value
+                        })
+                        .collect();
+                    (values, promote)
+                })
+            };
+            let mut pending = todo_joints.iter();
+            for (values, promote) in shards {
+                for value in values {
+                    let &key = pending.next().expect("one value per pair");
+                    st.joints.insert(key, value);
+                    st.joint_misses += 1;
+                }
+                for (key, entry) in promote {
+                    st.memo.entry(key).or_insert(entry);
+                }
+            }
+        }
+
+        // Assembly: every marginal and joint is now a cache hit, through
+        // the exact code path the sequential matrix uses.
+        assemble_matrix(st, synopsis, patterns, ids, metric)
     }
 
     // ------------------------------------------------------------------
@@ -629,7 +890,7 @@ impl SimilarityEngine {
             let interner = &mut st.interner;
             CompiledPattern::compile(pattern, interner)
         };
-        st.selectivity(&self.synopsis, &compiled)
+        st.selectivity(&self.core.synopsis, &compiled)
     }
 
     /// Joint selectivity of two ad-hoc patterns.
@@ -659,9 +920,9 @@ impl SimilarityEngine {
         let compiled_p = CompiledPattern::compile(p, &mut st.interner);
         let compiled_q = CompiledPattern::compile(q, &mut st.interner);
         let compiled_and = CompiledPattern::compile(&ops::conjunction(p, q), &mut st.interner);
-        let p_p = st.selectivity(&self.synopsis, &compiled_p);
-        let p_q = st.selectivity(&self.synopsis, &compiled_q);
-        let p_and = st.selectivity(&self.synopsis, &compiled_and);
+        let p_p = st.selectivity(&self.core.synopsis, &compiled_p);
+        let p_q = st.selectivity(&self.core.synopsis, &compiled_q);
+        let p_and = st.selectivity(&self.core.synopsis, &compiled_and);
         [p_p, p_q, p_and]
     }
 
@@ -679,15 +940,18 @@ impl SimilarityEngine {
         }
     }
 
-    /// Borrow the cache state, invalidating it first if the synopsis epoch
-    /// has moved since it was built.
-    fn state_mut(&self) -> std::cell::RefMut<'_, EngineState> {
-        let mut st = self.state.borrow_mut();
-        let epoch = self.synopsis.epoch();
+    /// Lock the cache state, invalidating it first if the synopsis epoch
+    /// has moved since it was built. A poisoned lock (a panicking query on
+    /// another thread) is recovered rather than propagated: the state only
+    /// ever transitions between consistent snapshots, and a stale epoch tag
+    /// is re-checked here anyway.
+    fn state_mut(&self) -> MutexGuard<'_, EngineState> {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let epoch = self.core.synopsis.epoch();
         if st.epoch != epoch {
-            st.invalidate(epoch, self.patterns.len());
-        } else if st.marginals.len() != self.patterns.len() {
-            st.marginals.resize(self.patterns.len(), None);
+            st.invalidate(epoch, self.core.patterns.len());
+        } else if st.marginals.len() != self.core.patterns.len() {
+            st.marginals.resize(self.core.patterns.len(), None);
         }
         st
     }
@@ -977,6 +1241,97 @@ mod tests {
         assert_eq!(engine.document_count(), 4);
         let id = engine.register(&pat("/media/CD"));
         assert!((engine.selectivity(id) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        // Static assertion: the whole point of the sharded design. A
+        // compile failure here means a non-`Sync` cache leaked back in.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimilarityEngine>();
+        assert_send_sync::<SimMatrix>();
+        assert_send_sync::<SimilarityEngineBuilder>();
+    }
+
+    #[test]
+    fn parallel_matrix_is_bit_identical_to_sequential() {
+        for kind in [
+            MatchingSetKind::counters(),
+            MatchingSetKind::sets(100),
+            MatchingSetKind::hashes(64),
+        ] {
+            let mut engine = engine_with(kind);
+            let ids = engine.register_all(&[
+                pat("//CD"),
+                pat("//composer"),
+                pat("//book"),
+                pat("//Mozart"),
+                pat("/media/*/title"),
+            ]);
+            for metric in ProximityMetric::all() {
+                let sequential = engine.similarity_matrix(&ids, metric);
+                for threads in [1usize, 2, 3, 8] {
+                    // A cold clone proves thread-count independence from
+                    // scratch; the warm original proves cache reuse agrees.
+                    let cold = engine.clone();
+                    let par = cold.similarity_matrix_par(&ids, metric, threads);
+                    assert_eq!(par, sequential, "{threads} threads, {metric} {kind:?}");
+                    let warm = engine.similarity_matrix_par(&ids, metric, threads);
+                    assert_eq!(warm, sequential);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matrix_handles_degenerate_inputs() {
+        let mut engine = engine_with(MatchingSetKind::hashes(64));
+        let id = engine.register(&pat("//CD"));
+        let empty = engine.similarity_matrix_par(&[], ProximityMetric::M3, 4);
+        assert!(empty.is_empty());
+        let single = engine.similarity_matrix_par(&[id], ProximityMetric::M3, 4);
+        assert_eq!(single.len(), 1);
+        assert_eq!(single.get(0, 0), 1.0);
+        let dup = engine.similarity_matrix_par(&[id, id], ProximityMetric::M1, 4);
+        assert_eq!(dup.get(0, 1), 1.0);
+        assert_eq!(dup.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn parallel_matrix_merges_worker_memos_back() {
+        let mut engine = engine_with(MatchingSetKind::hashes(64));
+        let ids = engine.register_all(&[pat("//CD"), pat("//composer"), pat("//book")]);
+        engine.similarity_matrix_par(&ids, ProximityMetric::M3, 4);
+        let after_par = engine.cache_stats();
+        assert_eq!(after_par.marginal_misses, 3, "one evaluation per pattern");
+        assert_eq!(after_par.joint_misses, 3, "one evaluation per pair");
+        assert!(after_par.memo_entries > 0, "promoted SEL entries merged");
+        // The sequential matrix over the same handles is now all hits.
+        engine.similarity_matrix(&ids, ProximityMetric::M3);
+        let after_seq = engine.cache_stats();
+        assert_eq!(after_seq.marginal_misses, 3);
+        assert_eq!(after_seq.joint_misses, 3);
+        assert!(after_seq.marginal_hits >= 6, "marginals served warm");
+        assert!(after_seq.joint_hits >= 3, "joints served warm");
+    }
+
+    #[test]
+    fn parallel_queries_from_many_threads_agree() {
+        let mut engine = engine_with(MatchingSetKind::sets(100));
+        let ids = engine.register_all(&[pat("//CD"), pat("//composer"), pat("//book")]);
+        let expected = engine.similarity_matrix(&ids, ProximityMetric::M3);
+        // &engine is shared directly across scoped threads: each thread runs
+        // its own batched query against the same caches.
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let matrix = engine.similarity_matrix(&ids, ProximityMetric::M3);
+                    assert_eq!(matrix, expected);
+                    let par = engine.similarity_matrix_par(&ids, ProximityMetric::M3, 2);
+                    assert_eq!(par, expected);
+                });
+            }
+        });
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //!   subscription workload once (interned, pre-compiled [`PatternId`]
 //!   handles), then query selectivities, similarities and whole
 //!   [`SimMatrix`] similarity matrices through epoch-tagged caches that are
-//!   invalidated exactly when the synopsis changes.
+//!   invalidated exactly when the synopsis changes. The engine is
+//!   `Send + Sync`; [`SimilarityEngine::similarity_matrix_par`] fans the
+//!   matrix evaluation out over scoped worker threads (see [`par`]).
 //! * [`SelectivityEstimator`] — the recursive `SEL` algorithm (Algorithm 1/2)
 //!   evaluated per call over a [`tps_synopsis::Synopsis`], supporting all
 //!   three matching-set representations.
@@ -13,8 +15,10 @@
 //!   Section 4.
 //! * [`ExactEvaluator`] — ground-truth selectivities/similarities over a
 //!   stored document collection (used by the evaluation harness and by tests).
-//! * [`SimilarityEstimator`] — deprecated per-call facade, kept for one
-//!   release as a thin shim over the engine.
+//!
+//! The deprecated `SimilarityEstimator` shim has been removed; the engine is
+//! the only evaluation surface. See the `README` migration note — in short,
+//! `register` patterns once and query through handles.
 //!
 //! # Example
 //!
@@ -45,17 +49,15 @@
 #![warn(missing_docs)]
 
 pub mod engine;
-pub mod estimator;
 mod eval;
 pub mod exact;
 pub mod metrics;
+pub mod par;
 pub mod selectivity;
 
 pub use engine::{
     EngineCacheStats, PatternId, SimMatrix, SimilarityEngine, SimilarityEngineBuilder,
 };
-#[allow(deprecated)]
-pub use estimator::SimilarityEstimator;
 pub use exact::ExactEvaluator;
 pub use metrics::ProximityMetric;
 pub use selectivity::SelectivityEstimator;

@@ -1,0 +1,159 @@
+//! A tiny scoped work-splitting helper.
+//!
+//! The build environment has no registry access, so the workspace cannot
+//! pull in `rayon`; the parallel entry points of the
+//! [`crate::SimilarityEngine`] only need one primitive anyway: split a slice
+//! of independent work items into contiguous chunks and map one worker
+//! closure over each chunk on [`std::thread::scope`] threads. Results come
+//! back in chunk order, so callers can merge them deterministically.
+
+use std::thread;
+
+/// Number of workers worth spawning on this host:
+/// [`std::thread::available_parallelism`], or `1` when it cannot be
+/// determined. Callers that let users pick a thread count (e.g. the CLI's
+/// `--threads 0`) use this as the "one worker per core" default.
+pub fn available_workers() -> usize {
+    thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1)
+}
+
+/// Split `len` items into at most `workers` contiguous, near-equal ranges.
+///
+/// Every returned range is non-empty and the ranges partition `0..len` in
+/// order. Fewer than `workers` ranges are returned when there are fewer
+/// items than workers; zero items yield no ranges.
+pub fn partition(len: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
+    let workers = workers.max(1).min(len);
+    if workers == 0 {
+        return Vec::new();
+    }
+    let base = len / workers;
+    let extra = len % workers;
+    let mut ranges = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let size = base + usize::from(w < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+/// Hard ceiling on the number of scoped threads one [`map_chunks`] call
+/// will spawn, whatever the caller asks for. Deliberate small
+/// oversubscription (benchmarks, concurrency tests) stays possible, but a
+/// user-supplied worker count can never translate into thousands of OS
+/// threads (which would abort the process on pid-limited hosts, since
+/// `std::thread::Scope::spawn` panics when spawning fails).
+pub const MAX_WORKERS: usize = 64;
+
+/// Map `f` over contiguous chunks of `items` on up to `workers` scoped
+/// threads (capped at [`MAX_WORKERS`]), returning one result per chunk in
+/// chunk order.
+///
+/// With `workers <= 1` (or a single chunk) the closure runs inline on the
+/// calling thread — no threads are spawned, so the sequential fallback has
+/// zero overhead. The closure receives the chunk's starting offset into
+/// `items` alongside the chunk itself. A panic in any worker propagates to
+/// the caller (with its original payload) when the scope joins.
+pub fn map_chunks<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    let ranges = partition(items.len(), workers.min(MAX_WORKERS));
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(|r| f(r.start, &items[r])).collect();
+    }
+    thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| {
+                let f = &f;
+                scope.spawn(move || f(r.start, &items[r]))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                // Re-raise a worker panic with its original payload so the
+                // real assertion message reaches the caller.
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_the_range_in_order() {
+        for len in [0usize, 1, 2, 7, 16, 100] {
+            for workers in [1usize, 2, 3, 8, 200] {
+                let ranges = partition(len, workers);
+                assert!(ranges.len() <= workers.max(1));
+                assert!(ranges.iter().all(|r| !r.is_empty()));
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    next = r.end;
+                }
+                assert_eq!(next, len);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_balances_within_one_item() {
+        let ranges = partition(10, 4);
+        let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn map_chunks_matches_a_sequential_map() {
+        let items: Vec<u64> = (0..97).collect();
+        let expected: u64 = items.iter().map(|&x| x * x).sum();
+        for workers in [1usize, 2, 5, 16] {
+            let total: u64 = map_chunks(&items, workers, |_, chunk| {
+                chunk.iter().map(|&x| x * x).sum::<u64>()
+            })
+            .into_iter()
+            .sum();
+            assert_eq!(total, expected, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn map_chunks_passes_the_chunk_offset() {
+        let items: Vec<usize> = (0..23).collect();
+        let chunks = map_chunks(&items, 4, |offset, chunk| (offset, chunk.to_vec()));
+        for (offset, chunk) in chunks {
+            for (k, &value) in chunk.iter().enumerate() {
+                assert_eq!(value, offset + k);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_no_chunks() {
+        let out = map_chunks(&[] as &[u8], 4, |_, chunk| chunk.len());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn absurd_worker_counts_are_capped() {
+        // One thread per item would abort on pid-limited hosts; the cap
+        // keeps the chunk count (= spawned threads) bounded.
+        let items: Vec<u32> = (0..10_000).collect();
+        let chunks = map_chunks(&items, usize::MAX, |_, chunk| chunk.len());
+        assert!(chunks.len() <= MAX_WORKERS);
+        assert_eq!(chunks.iter().sum::<usize>(), items.len());
+    }
+}

@@ -1,0 +1,154 @@
+//! Concurrency behaviour of the `Sync` [`SimilarityEngine`]: cross-thread
+//! sharing, atomic-epoch invalidation between batched calls, and memo-merge
+//! warmth after a parallel matrix.
+
+use tps_core::{ProximityMetric, SimilarityEngine};
+use tps_pattern::TreePattern;
+use tps_synopsis::MatchingSetKind;
+use tps_xml::XmlTree;
+
+fn docs() -> Vec<XmlTree> {
+    [
+        "<media><CD><composer><last>Mozart</last></composer><title>Requiem</title></CD></media>",
+        "<media><CD><composer><last>Bach</last></composer></CD></media>",
+        "<media><book><author><last>Austen</last></author></book></media>",
+        "<media><book><author><last>Mozart</last></author></book></media>",
+    ]
+    .iter()
+    .map(|s| XmlTree::parse(s).unwrap())
+    .collect()
+}
+
+fn patterns() -> Vec<TreePattern> {
+    ["//CD", "//composer/last", "//book", "//Mozart"]
+        .iter()
+        .map(|s| TreePattern::parse(s).unwrap())
+        .collect()
+}
+
+/// The documents observed mid-test by the maintenance thread; one list so
+/// the observation step and the fresh-engine comparison can never drift.
+fn new_docs() -> Vec<XmlTree> {
+    [
+        "<media><CD><title>Solo</title></CD></media>",
+        "<media><CD><composer><last>Mozart</last></composer></CD></media>",
+    ]
+    .iter()
+    .map(|s| XmlTree::parse(s).unwrap())
+    .collect()
+}
+
+fn engine() -> SimilarityEngine {
+    let mut engine = SimilarityEngine::builder()
+        .matching_sets(MatchingSetKind::hashes(64))
+        .build();
+    engine.observe_all(&docs());
+    engine
+}
+
+#[test]
+fn engine_reference_is_shareable_across_threads() {
+    let mut engine = engine();
+    let ids = engine.register_all(&patterns());
+    let expected = engine.similarity_matrix(&ids, ProximityMetric::M3);
+    let selectivities = engine.selectivities(&ids);
+    // `&SimilarityEngine` goes straight into scoped threads — no wrapper,
+    // no external lock — and every thread sees the same answers.
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                assert_eq!(engine.selectivities(&ids), selectivities);
+                assert_eq!(
+                    engine.similarity_matrix(&ids, ProximityMetric::M3),
+                    expected
+                );
+                assert_eq!(
+                    engine.similarity_matrix_par(&ids, ProximityMetric::M3, 2),
+                    expected
+                );
+            });
+        }
+    });
+}
+
+#[test]
+fn observation_on_another_thread_invalidates_batched_caches() {
+    let mut engine = engine();
+    let ids = engine.register_all(&patterns());
+
+    // First batched call warms every cache layer.
+    let before = engine.similarity_matrix_par(&ids, ProximityMetric::M3, 2);
+    let epoch_before = engine.synopsis().epoch();
+    let stats_before = engine.cache_stats();
+    assert!(stats_before.marginal_misses > 0);
+
+    // Another thread observes fresh documents between the two batched
+    // calls, bumping the atomic epoch. The scoped move hands the whole
+    // `&mut engine` to the maintenance thread, exactly like a stream
+    // ingestion worker would own it between query phases.
+    std::thread::scope(|scope| {
+        let engine = &mut engine;
+        scope.spawn(move || {
+            for doc in &new_docs() {
+                engine.observe(doc);
+            }
+        });
+    });
+    assert!(
+        engine.synopsis().epoch() > epoch_before,
+        "observation must advance the atomic epoch"
+    );
+
+    // The second batched call must discard the stale shard memos and
+    // recompute: the hit/miss counters restart with this epoch, so every
+    // marginal is a miss again.
+    let after = engine.similarity_matrix_par(&ids, ProximityMetric::M3, 2);
+    let stats_after = engine.cache_stats();
+    assert_eq!(stats_after.epoch, engine.synopsis().epoch());
+    assert_eq!(
+        stats_after.marginal_misses,
+        ids.len() as u64,
+        "stale caches must be recomputed, not reused"
+    );
+    assert_ne!(before, after, "the stream changed, so must the matrix");
+
+    // And the recomputation matches an engine built fresh over the full
+    // stream — stale memo entries must not leak into the new epoch.
+    let mut fresh = SimilarityEngine::builder()
+        .matching_sets(MatchingSetKind::hashes(64))
+        .build();
+    fresh.observe_all(&docs());
+    fresh.observe_all(&new_docs());
+    let fresh_ids = fresh.register_all(&patterns());
+    assert_eq!(
+        fresh.similarity_matrix(&fresh_ids, ProximityMetric::M3),
+        after
+    );
+}
+
+#[test]
+fn parallel_matrix_leaves_sequential_queries_warm() {
+    let mut engine = engine();
+    let ids = engine.register_all(&patterns());
+    let par = engine.similarity_matrix_par(&ids, ProximityMetric::M3, 4);
+    let misses_after_par = {
+        let stats = engine.cache_stats();
+        (stats.marginal_misses, stats.joint_misses)
+    };
+    // Pairwise queries and the sequential matrix are now pure cache hits.
+    for i in 0..ids.len() {
+        for j in 0..ids.len() {
+            assert_eq!(
+                engine.similarity(ids[i], ids[j], ProximityMetric::M3),
+                par.get(i, j)
+            );
+        }
+    }
+    assert_eq!(engine.similarity_matrix(&ids, ProximityMetric::M3), par);
+    let stats = engine.cache_stats();
+    assert_eq!(
+        (stats.marginal_misses, stats.joint_misses),
+        misses_after_par,
+        "merged-back worker memos must serve later sequential calls"
+    );
+}

@@ -197,6 +197,59 @@ proptest! {
         }
     }
 
+    /// `similarity_matrix_par(t)` is bit-identical to `similarity_matrix()`
+    /// for t ∈ {1, 2, 8}, for every metric and all three matching-set
+    /// representations — the thread count must never change a value. The
+    /// matrix also has a unit diagonal, and is symmetric under the
+    /// symmetric metrics.
+    #[test]
+    fn parallel_matrix_is_bit_identical_and_symmetric(
+        docs in gen_docs(),
+        patterns in prop::collection::vec(gen_pattern(), 2..6),
+    ) {
+        for config in [
+            SynopsisConfig::counters(),
+            SynopsisConfig::sets(100_000),
+            SynopsisConfig::hashes(64),
+        ] {
+            let mut engine = SimilarityEngine::new(config);
+            engine.observe_all(&docs);
+            let ids = engine.register_all(&patterns);
+            for metric in ProximityMetric::all() {
+                let sequential = engine.similarity_matrix(&ids, metric);
+                for threads in [1usize, 2, 8] {
+                    // A cold clone (shared core, snapshotted caches — but
+                    // the sequential call above already warmed them, so
+                    // also test from a genuinely fresh engine).
+                    let warm = engine.similarity_matrix_par(&ids, metric, threads);
+                    prop_assert!(
+                        warm == sequential,
+                        "warm par({}) diverged for {} {:?}", threads, metric, config.kind
+                    );
+                    let mut fresh = SimilarityEngine::new(config);
+                    fresh.observe_all(&docs);
+                    let fresh_ids = fresh.register_all(&patterns);
+                    let cold = fresh.similarity_matrix_par(&fresh_ids, metric, threads);
+                    prop_assert!(
+                        cold == sequential,
+                        "cold par({}) diverged for {} {:?}", threads, metric, config.kind
+                    );
+                }
+                for i in 0..ids.len() {
+                    prop_assert_eq!(sequential.get(i, i), 1.0);
+                    if metric.is_symmetric() {
+                        for j in 0..ids.len() {
+                            prop_assert!(
+                                sequential.get(i, j) == sequential.get(j, i),
+                                "{} not symmetric at ({}, {})", metric, i, j
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Batched selectivities equal single-handle queries bit for bit, and a
     /// fresh engine (no warm caches) reproduces them.
     #[test]

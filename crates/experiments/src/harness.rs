@@ -230,6 +230,20 @@ impl WorkloadEngine {
     pub fn size_total(&self) -> usize {
         self.engine.size().total()
     }
+
+    /// All-pairs similarity matrix of the positive workload under `metric`,
+    /// evaluated on up to `threads` worker threads
+    /// ([`SimilarityEngine::similarity_matrix_par`]). Bit-identical to the
+    /// sequential matrix for any thread count, so figure evaluations can
+    /// scale to the hardware without changing their numbers.
+    pub fn positive_similarity_matrix(
+        &self,
+        metric: ProximityMetric,
+        threads: usize,
+    ) -> tps_core::SimMatrix {
+        self.engine
+            .similarity_matrix_par(&self.positive, metric, threads)
+    }
 }
 
 /// A plain-text result table with aligned columns, printed by every
@@ -377,6 +391,16 @@ mod tests {
             .collect();
         let legacy_erel = crate::error::average_relative_error(&legacy);
         assert_eq!(w.positive_relative_error(&engine), legacy_erel);
+    }
+
+    #[test]
+    fn positive_similarity_matrix_is_thread_count_independent() {
+        let w = tiny_workload();
+        let engine = w.build_engine(MatchingSetKind::Hashes { capacity: 256 });
+        let sequential = engine.positive_similarity_matrix(ProximityMetric::M3, 1);
+        let parallel = engine.positive_similarity_matrix(ProximityMetric::M3, 4);
+        assert_eq!(parallel, sequential);
+        assert_eq!(sequential.len(), w.dataset.positive.len());
     }
 
     #[test]

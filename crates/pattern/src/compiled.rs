@@ -64,6 +64,11 @@ impl SubtreeInterner {
         SubtreeKeyId(id)
     }
 
+    /// Look up an already-interned key without inserting.
+    pub fn lookup(&self, key: &str) -> Option<SubtreeKeyId> {
+        self.ids.get(key).map(|&id| SubtreeKeyId(id))
+    }
+
     /// Number of distinct subtrees interned so far.
     pub fn len(&self) -> usize {
         self.ids.len()
@@ -95,21 +100,44 @@ impl CompiledPattern {
     /// interned, so compiling the conjunction of two already-compiled
     /// patterns adds nothing to the interner.
     pub fn compile(source: &TreePattern, interner: &mut SubtreeInterner) -> Self {
+        Self::compile_with(source, &mut |key| Some(interner.intern(key)))
+            .expect("an interning resolver never fails")
+    }
+
+    /// Compile `source` against a *read-only* interner: every non-root
+    /// subtree key must already be interned, or `None` is returned.
+    ///
+    /// This is the shared-immutably counterpart of
+    /// [`CompiledPattern::compile`] for parallel evaluators. Conjunctions of
+    /// already-compiled patterns qualify by construction — their non-root
+    /// subtrees are copies of the operands' (see
+    /// [`CompiledPattern::compile`] on roots never being interned) — and
+    /// the `None` case turns that assumption into a checked invariant.
+    pub fn compile_interned(source: &TreePattern, interner: &SubtreeInterner) -> Option<Self> {
+        Self::compile_with(source, &mut |key| interner.lookup(key))
+    }
+
+    /// The one compilation pass behind both entry points, parameterised
+    /// over how a canonical subtree key resolves to its id — interning
+    /// (infallible) or read-only lookup (`None` on a missing key). A single
+    /// recursion guarantees both paths build identical canonical keys.
+    fn compile_with(
+        source: &TreePattern,
+        resolve: &mut dyn FnMut(&str) -> Option<SubtreeKeyId>,
+    ) -> Option<Self> {
         let pattern = ops::normalize(source);
         let mut node_keys = vec![SubtreeKeyId::UNKEYED; pattern.node_count()];
         let root = pattern.root();
-        let mut child_keys: Vec<String> = pattern
-            .children(root)
-            .iter()
-            .map(|&c| key_nodes(&pattern, c, interner, &mut node_keys))
-            .collect();
-        child_keys.sort();
-        let canonical = format!("{}({})", pattern.label(root), child_keys.join(","));
-        Self {
+        let mut child_keys = Vec::with_capacity(pattern.children(root).len());
+        for &c in pattern.children(root) {
+            child_keys.push(resolve_nodes(&pattern, c, resolve, &mut node_keys)?);
+        }
+        let canonical = subtree_key(pattern.label(root), child_keys);
+        Some(Self {
             pattern,
             node_keys,
             canonical: canonical.into(),
-        }
+        })
     }
 
     /// The normalised pattern this compiled form evaluates.
@@ -135,24 +163,31 @@ impl CompiledPattern {
     }
 }
 
-/// Recursively compute and intern the canonical key of every node. Returns
-/// the textual key of `id` (the same notation as
+/// The canonical textual key of a subtree: its label followed by the
+/// sorted, comma-joined keys of its children (the same notation as
 /// [`TreePattern::canonical_key`]).
-fn key_nodes(
+fn subtree_key(label: impl std::fmt::Display, mut child_keys: Vec<String>) -> String {
+    child_keys.sort();
+    format!("{}({})", label, child_keys.join(","))
+}
+
+/// Recursively compute the canonical key of every node and resolve it to a
+/// [`SubtreeKeyId`] through `resolve`; `None` as soon as any key fails to
+/// resolve (only possible for read-only lookup resolvers). Returns the
+/// textual key of `id`.
+fn resolve_nodes(
     pattern: &TreePattern,
     id: PatternNodeId,
-    interner: &mut SubtreeInterner,
+    resolve: &mut dyn FnMut(&str) -> Option<SubtreeKeyId>,
     node_keys: &mut [SubtreeKeyId],
-) -> String {
-    let mut child_keys: Vec<String> = pattern
-        .children(id)
-        .iter()
-        .map(|&c| key_nodes(pattern, c, interner, node_keys))
-        .collect();
-    child_keys.sort();
-    let key = format!("{}({})", pattern.label(id), child_keys.join(","));
-    node_keys[id.index()] = interner.intern(&key);
-    key
+) -> Option<String> {
+    let mut child_keys = Vec::with_capacity(pattern.children(id).len());
+    for &c in pattern.children(id) {
+        child_keys.push(resolve_nodes(pattern, c, resolve, node_keys)?);
+    }
+    let key = subtree_key(pattern.label(id), child_keys);
+    node_keys[id.index()] = resolve(&key)?;
+    Some(key)
 }
 
 #[cfg(test)]
@@ -214,6 +249,28 @@ mod tests {
             before,
             "a conjunction's non-root subtrees are copies of its operands'"
         );
+    }
+
+    #[test]
+    fn compile_interned_matches_compile_for_known_subtrees() {
+        let mut interner = SubtreeInterner::new();
+        let p = pat("/a[b][c//d]");
+        let q = pat("//e/f");
+        let cp = CompiledPattern::compile(&p, &mut interner);
+        let cq = CompiledPattern::compile(&q, &mut interner);
+        let both = crate::ops::conjunction(&p, &q);
+        let read_only = CompiledPattern::compile_interned(&both, &interner)
+            .expect("conjunction subtrees are pre-interned");
+        let mutable = CompiledPattern::compile(&both, &mut interner);
+        assert_eq!(read_only.canonical_key(), mutable.canonical_key());
+        for id in 0..read_only.node_count() {
+            let id = PatternNodeId(id as u32);
+            assert_eq!(read_only.node_key(id), mutable.node_key(id));
+        }
+        let _ = (cp, cq);
+        // A pattern with an unknown subtree is rejected instead of silently
+        // producing fresh ids.
+        assert!(CompiledPattern::compile_interned(&pat("//zzz"), &interner).is_none());
     }
 
     #[test]

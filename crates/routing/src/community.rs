@@ -10,10 +10,6 @@
 //! what its semantic-overlay predecessor uses).
 
 use tps_core::{PatternId, ProximityMetric, SimilarityEngine};
-use tps_pattern::TreePattern;
-
-#[allow(deprecated)]
-use tps_core::SimilarityEstimator;
 
 /// Configuration of the community clustering.
 #[derive(Debug, Clone, Copy)]
@@ -84,54 +80,65 @@ impl CommunityClustering {
         subscriptions: &[PatternId],
         config: CommunityConfig,
     ) -> Self {
-        let mut communities: Vec<Community> = Vec::new();
-        for (index, &subscription) in subscriptions.iter().enumerate() {
-            let mut joined = false;
-            for community in communities.iter_mut() {
-                if config.max_community_size > 0 && community.len() >= config.max_community_size {
-                    continue;
-                }
-                let representative = subscriptions[community.representative];
-                let similarity = engine.similarity(subscription, representative, config.metric);
-                if similarity >= config.threshold {
-                    community.members.push(index);
-                    joined = true;
-                    break;
-                }
-            }
-            if !joined {
-                communities.push(Community {
-                    representative: index,
-                    members: vec![index],
-                });
-            }
-        }
-        Self { communities }
+        Self::greedy(subscriptions.len(), config, |index, representative| {
+            engine.similarity(
+                subscriptions[index],
+                subscriptions[representative],
+                config.metric,
+            )
+        })
     }
 
-    /// Cluster an unregistered workload through the deprecated per-call
-    /// estimator. Prefer [`CommunityClustering::cluster`], which reuses every
-    /// marginal and joint selectivity across the clustering pass.
-    #[deprecated(
-        since = "0.1.0",
-        note = "register the subscriptions with a SimilarityEngine and use CommunityClustering::cluster"
-    )]
-    #[allow(deprecated)]
-    pub fn cluster_with_estimator(
-        estimator: &SimilarityEstimator,
-        subscriptions: &[TreePattern],
+    /// Cluster a registered workload with the pairwise similarities
+    /// evaluated in parallel first.
+    ///
+    /// The greedy pass itself is inherently sequential (each decision
+    /// depends on the communities formed so far), so this entry point
+    /// materialises the full similarity matrix on up to `threads` worker
+    /// threads ([`SimilarityEngine::similarity_matrix_par`]) and then runs
+    /// the same greedy pass over matrix lookups. Matrix entries are
+    /// bit-identical to pairwise `similarity` calls, so the clustering is
+    /// identical to [`CommunityClustering::cluster`] — and the engine's
+    /// caches come out warm for every pair, not just the consulted ones.
+    ///
+    /// Cost trade-off: the greedy pass only consults subscriptions against
+    /// community *representatives* (`O(n·c)` pairs, `c` = communities), while
+    /// the matrix evaluates all `n·(n−1)/2` joints. Parallel wins when
+    /// communities are large relative to `n` (low thresholds), when the
+    /// full matrix is wanted anyway (quality metrics, routing overlays), or
+    /// when later queries profit from the warm joint cache; with many tiny
+    /// communities and no further use for the matrix, the sequential
+    /// [`CommunityClustering::cluster`] can do less total work.
+    pub fn cluster_par(
+        engine: &SimilarityEngine,
+        subscriptions: &[PatternId],
         config: CommunityConfig,
+        threads: usize,
     ) -> Self {
+        let matrix = engine.similarity_matrix_par(subscriptions, config.metric, threads);
+        Self::greedy(matrix.len(), config, |index, representative| {
+            matrix.get(index, representative)
+        })
+    }
+
+    /// The one greedy pass both entry points share: subscription `index`
+    /// joins the first open community whose representative is at least
+    /// `config.threshold` similar (`similarity(index, representative)`),
+    /// else founds a new one. Keeping a single implementation is what
+    /// guarantees [`CommunityClustering::cluster`] and
+    /// [`CommunityClustering::cluster_par`] can never drift apart.
+    fn greedy<F>(count: usize, config: CommunityConfig, mut similarity: F) -> Self
+    where
+        F: FnMut(usize, usize) -> f64,
+    {
         let mut communities: Vec<Community> = Vec::new();
-        for (index, subscription) in subscriptions.iter().enumerate() {
+        for index in 0..count {
             let mut joined = false;
             for community in communities.iter_mut() {
                 if config.max_community_size > 0 && community.len() >= config.max_community_size {
                     continue;
                 }
-                let representative = &subscriptions[community.representative];
-                let similarity = estimator.similarity(subscription, representative, config.metric);
-                if similarity >= config.threshold {
+                if similarity(index, community.representative) >= config.threshold {
                     community.members.push(index);
                     joined = true;
                     break;
@@ -206,6 +213,7 @@ impl CommunityClustering {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tps_pattern::TreePattern;
     use tps_synopsis::SynopsisConfig;
     use tps_xml::XmlTree;
 
@@ -318,26 +326,25 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_estimator_path_produces_the_same_clustering() {
+    fn parallel_clustering_is_identical_to_sequential() {
         let (engine, subs) = engine_and_subs();
-        let clustering = CommunityClustering::cluster(&engine, &subs, CommunityConfig::default());
-        let docs: Vec<XmlTree> = [
-            "<media><CD><composer><last>Mozart</last></composer></CD></media>",
-            "<media><CD><composer><last>Bach</last></composer></CD></media>",
-            "<media><book><author><last>Austen</last></author></book></media>",
-            "<media><book><author><last>Orwell</last></author></book></media>",
-        ]
-        .iter()
-        .map(|s| XmlTree::parse(s).unwrap())
-        .collect();
-        let mut est = SimilarityEstimator::new(SynopsisConfig::sets(100));
-        est.observe_all(&docs);
-        let legacy = CommunityClustering::cluster_with_estimator(
-            &est,
-            &subscriptions(),
+        for config in [
             CommunityConfig::default(),
-        );
-        assert_eq!(clustering, legacy);
+            CommunityConfig {
+                threshold: 0.3,
+                max_community_size: 2,
+                ..CommunityConfig::default()
+            },
+            CommunityConfig {
+                metric: ProximityMetric::M1,
+                ..CommunityConfig::default()
+            },
+        ] {
+            let sequential = CommunityClustering::cluster(&engine, &subs, config);
+            for threads in [1usize, 2, 4] {
+                let parallel = CommunityClustering::cluster_par(&engine, &subs, config, threads);
+                assert_eq!(parallel, sequential, "{threads} threads");
+            }
+        }
     }
 }

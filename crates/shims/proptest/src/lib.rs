@@ -13,9 +13,15 @@
 //!   [`prop_assert_eq!`], [`prop_assert_ne!`] and [`prop_assume!`] macros.
 //!
 //! Differences from upstream: cases are generated from a deterministic
-//! per-test seed (FNV-1a of the test name) so failures are reproducible,
-//! and there is **no shrinking** — a failing case reports the failure
-//! message and case index as-is.
+//! per-case seed (FNV-1a of the test name mixed with the case index) so
+//! failures are reproducible, and shrinking is **minimal**: instead of
+//! walking a shrink tree, a failing case is regenerated from its own seed
+//! while a *size factor* in `(0, 1]` is binary-searched toward `0`. The
+//! factor scales every size-like choice a strategy makes — numeric range
+//! spans, collection lengths, recursion depth, regex repeats — so smaller
+//! factors reproduce the same random decisions over smaller domains. The
+//! smallest factor that still fails is reported together with its
+//! regenerated (minimal) input and the original failing input.
 #![forbid(unsafe_code)]
 
 /// Test-case bookkeeping: configuration, runner and error types.
@@ -89,6 +95,7 @@ pub mod test_runner {
         rng: StdRng,
         /// The configuration the surrounding `proptest!` block runs under.
         pub config: ProptestConfig,
+        size_factor: f64,
     }
 
     fn fnv1a(name: &str) -> u64 {
@@ -100,12 +107,35 @@ pub mod test_runner {
         hash
     }
 
+    /// Deterministic per-test base seed (FNV-1a of the test name).
+    pub fn seed_from_name(name: &str) -> u64 {
+        fnv1a(name)
+    }
+
+    /// Mix the per-test base seed with a case index into the case's own
+    /// seed (splitmix64 finaliser), so every case can be regenerated in
+    /// isolation — the hook shrinking relies on.
+    pub fn case_seed(base: u64, attempt: u64) -> u64 {
+        let mut z = base ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
     impl TestRunner {
-        /// A runner with an explicit seed.
+        /// A runner with an explicit seed (full-size generation).
         pub fn new(config: ProptestConfig, seed: u64) -> Self {
+            Self::with_size_factor(config, seed, 1.0)
+        }
+
+        /// A runner with an explicit seed and size factor in `(0, 1]`.
+        /// Strategies scale their size-like choices by the factor, which is
+        /// how shrinking regenerates a failing case "smaller".
+        pub fn with_size_factor(config: ProptestConfig, seed: u64, size_factor: f64) -> Self {
             TestRunner {
                 rng: StdRng::seed_from_u64(seed),
                 config,
+                size_factor: size_factor.clamp(0.0, 1.0),
             }
         }
 
@@ -118,6 +148,54 @@ pub mod test_runner {
         pub fn rng(&mut self) -> &mut StdRng {
             &mut self.rng
         }
+
+        /// The current size factor (`1.0` = full-size generation).
+        pub fn size_factor(&self) -> f64 {
+            self.size_factor
+        }
+
+        /// Scale a count of possible values by the size factor, never below
+        /// `1` so every strategy still yields a value (used for numeric
+        /// range spans).
+        pub fn scaled_count(&self, count: u128) -> u128 {
+            if self.size_factor >= 1.0 || count <= 1 {
+                return count;
+            }
+            ((count as f64) * self.size_factor).ceil().max(1.0) as u128
+        }
+
+        /// Scale a width beyond a minimum (extra collection length,
+        /// recursion depth, repeat count); shrinks all the way to `0`.
+        pub fn scaled_extra(&self, extra: u64) -> u64 {
+            if self.size_factor >= 1.0 {
+                return extra;
+            }
+            ((extra as f64) * self.size_factor).floor() as u64
+        }
+    }
+
+    /// Binary-search the size factor toward `0`, keeping the smallest
+    /// factor whose regenerated case still fails. `probe(factor)` re-runs
+    /// the failing case at `factor` and returns `Some((input, message))`
+    /// when it still fails. Returns the minimal `(factor, input, message)`
+    /// found, or `None` when no probe below `1.0` failed.
+    pub fn shrink_search<F>(mut probe: F, steps: u32) -> Option<(f64, String, String)>
+    where
+        F: FnMut(f64) -> Option<(String, String)>,
+    {
+        let (mut lo, mut hi) = (0.0f64, 1.0f64);
+        let mut best: Option<(f64, String, String)> = None;
+        for _ in 0..steps {
+            let mid = (lo + hi) / 2.0;
+            match probe(mid) {
+                Some((input, message)) => {
+                    best = Some((mid, input, message));
+                    hi = mid;
+                }
+                None => lo = mid,
+            }
+        }
+        best
     }
 }
 
@@ -362,7 +440,10 @@ pub mod strategy {
         type Value = V;
 
         fn new_value(&self, runner: &mut TestRunner) -> Result<V, Rejection> {
-            let levels = runner.rng().gen_range(0..=self.depth);
+            // Shrinking support: nesting depth scales with the size factor
+            // (a factor near 0 generates leaves only).
+            let depth = runner.scaled_extra(u64::from(self.depth)) as u32;
+            let levels = runner.rng().gen_range(0..=depth);
             let mut strategy = self.base.clone();
             for _ in 0..levels {
                 strategy = (self.recurse)(strategy);
@@ -377,19 +458,65 @@ pub mod strategy {
                 type Value = $t;
 
                 fn new_value(&self, runner: &mut TestRunner) -> Result<$t, Rejection> {
-                    Ok(runner.rng().gen_range(self.clone()))
+                    // Shrinking support: scale the span toward the lower
+                    // bound by the runner's size factor (at least one value
+                    // stays generable).
+                    let span = (self.end as i128) - (self.start as i128);
+                    if span <= 1 {
+                        return Ok(runner.rng().gen_range(self.clone()));
+                    }
+                    let scaled = runner.scaled_count(span as u128) as i128;
+                    let end = ((self.start as i128) + scaled) as $t;
+                    Ok(runner.rng().gen_range(self.start..end))
                 }
             }
             impl Strategy for core::ops::RangeInclusive<$t> {
                 type Value = $t;
 
                 fn new_value(&self, runner: &mut TestRunner) -> Result<$t, Rejection> {
-                    Ok(runner.rng().gen_range(self.clone()))
+                    let span = (*self.end() as i128) - (*self.start() as i128);
+                    if span <= 0 {
+                        return Ok(runner.rng().gen_range(self.clone()));
+                    }
+                    let count = span as u128 + 1;
+                    let scaled = runner.scaled_count(count) as i128;
+                    let end = ((*self.start() as i128) + scaled - 1) as $t;
+                    Ok(runner.rng().gen_range(*self.start()..=end))
                 }
             }
         )*};
     }
-    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+
+        fn new_value(&self, runner: &mut TestRunner) -> Result<f64, Rejection> {
+            let factor = runner.size_factor();
+            if factor >= 1.0 {
+                return Ok(runner.rng().gen_range(self.clone()));
+            }
+            let end = self.start + (self.end - self.start) * factor;
+            if end > self.start {
+                Ok(runner.rng().gen_range(self.start..end))
+            } else {
+                Ok(self.start)
+            }
+        }
+    }
+
+    impl Strategy for core::ops::RangeInclusive<f64> {
+        type Value = f64;
+
+        fn new_value(&self, runner: &mut TestRunner) -> Result<f64, Rejection> {
+            let factor = runner.size_factor();
+            if factor >= 1.0 {
+                return Ok(runner.rng().gen_range(self.clone()));
+            }
+            let end = self.start() + (self.end() - self.start()) * factor;
+            Ok(runner.rng().gen_range(*self.start()..=end))
+        }
+    }
 
     macro_rules! impl_tuple_strategy {
         ($($name:ident),+) => {
@@ -485,7 +612,10 @@ pub mod collection {
 
     impl SizeRange {
         fn pick(&self, runner: &mut TestRunner) -> usize {
-            runner.rng().gen_range(self.min..=self.max_inclusive)
+            // Shrinking support: the length beyond the required minimum
+            // scales with the size factor.
+            let extra = runner.scaled_extra((self.max_inclusive - self.min) as u64) as usize;
+            runner.rng().gen_range(self.min..=self.min + extra)
         }
     }
 
@@ -863,7 +993,10 @@ pub mod string {
                 unreachable!("class index in range");
             }
             Ast::Repeat(inner, low, high) => {
-                let count = runner.rng().gen_range(*low..=*high);
+                // Shrinking support: repeats beyond the required minimum
+                // scale with the runner's size factor.
+                let extra = runner.scaled_extra(u64::from(high - low)) as u32;
+                let count = runner.rng().gen_range(*low..=low + extra);
                 for _ in 0..count {
                     emit(inner, runner, out);
                 }
@@ -984,6 +1117,14 @@ macro_rules! proptest {
 }
 
 /// Implementation detail of [`proptest!`].
+///
+/// Every case runs from its own seed
+/// ([`test_runner::case_seed`](crate::test_runner::case_seed) of the
+/// test-name hash and the attempt index), so a failing case can be
+/// regenerated in isolation. On failure the case is re-run with a
+/// binary-searched size factor
+/// ([`test_runner::shrink_search`](crate::test_runner::shrink_search)) and
+/// the smallest still-failing input is reported next to the original one.
 #[doc(hidden)]
 #[macro_export]
 macro_rules! __proptest_impl {
@@ -997,21 +1138,38 @@ macro_rules! __proptest_impl {
             $(#[$meta])*
             fn $name() {
                 let __config: $crate::test_runner::ProptestConfig = $config;
-                let mut __runner = $crate::test_runner::TestRunner::from_test_name(
-                    __config.clone(),
+                let __base_seed = $crate::test_runner::seed_from_name(
                     concat!(module_path!(), "::", stringify!($name)),
                 );
+                // Run one case at (seed, size factor): `Err` = generation
+                // rejected, `Ok((debug-repr, body outcome))` otherwise.
+                let mut __run_at = |__seed: u64, __factor: f64|
+                    -> ::core::result::Result<
+                        (::std::string::String, $crate::test_runner::TestCaseResult),
+                        $crate::strategy::Rejection,
+                    > {
+                    let mut __runner = $crate::test_runner::TestRunner::with_size_factor(
+                        __config.clone(),
+                        __seed,
+                        __factor,
+                    );
+                    let __values = (
+                        $( $crate::strategy::Strategy::new_value(&($strategy), &mut __runner)?, )+
+                    );
+                    let __repr = ::std::format!("{:?}", &__values);
+                    let ( $( $arg, )+ ) = __values;
+                    let __result: $crate::test_runner::TestCaseResult =
+                        (move || { $body ::core::result::Result::Ok(()) })();
+                    ::core::result::Result::Ok((__repr, __result))
+                };
                 let mut __rejects: u32 = 0;
                 let mut __case: u32 = 0;
+                let mut __attempt: u64 = 0;
                 while __case < __config.cases {
-                    let __generated = (|__runner: &mut $crate::test_runner::TestRunner|
-                        -> ::core::result::Result<_, $crate::strategy::Rejection> {
-                        ::core::result::Result::Ok((
-                            $( $crate::strategy::Strategy::new_value(&($strategy), __runner)?, )+
-                        ))
-                    })(&mut __runner);
-                    let ( $( $arg, )+ ) = match __generated {
-                        ::core::result::Result::Ok(__values) => __values,
+                    __attempt += 1;
+                    let __seed = $crate::test_runner::case_seed(__base_seed, __attempt);
+                    let __outcome = __run_at(__seed, 1.0);
+                    match __outcome {
                         ::core::result::Result::Err($crate::strategy::Rejection(__why)) => {
                             __rejects += 1;
                             assert!(
@@ -1020,18 +1178,16 @@ macro_rules! __proptest_impl {
                                 stringify!($name),
                                 __why
                             );
-                            continue;
                         }
-                    };
-                    let __result: $crate::test_runner::TestCaseResult =
-                        (move || { $body ::core::result::Result::Ok(()) })();
-                    match __result {
-                        ::core::result::Result::Ok(()) => {
+                        ::core::result::Result::Ok((_, ::core::result::Result::Ok(()))) => {
                             __case += 1;
                         }
-                        ::core::result::Result::Err(
-                            $crate::test_runner::TestCaseError::Reject(__why),
-                        ) => {
+                        ::core::result::Result::Ok((
+                            _,
+                            ::core::result::Result::Err(
+                                $crate::test_runner::TestCaseError::Reject(__why),
+                            ),
+                        )) => {
                             __rejects += 1;
                             assert!(
                                 __rejects <= __config.max_global_rejects,
@@ -1040,15 +1196,54 @@ macro_rules! __proptest_impl {
                                 __why
                             );
                         }
-                        ::core::result::Result::Err(
-                            $crate::test_runner::TestCaseError::Fail(__message),
-                        ) => {
-                            panic!(
-                                "proptest '{}' failed at case {}: {}",
-                                stringify!($name),
-                                __case,
-                                __message
+                        ::core::result::Result::Ok((
+                            __repr,
+                            ::core::result::Result::Err(
+                                $crate::test_runner::TestCaseError::Fail(__message),
+                            ),
+                        )) => {
+                            // Shrink: binary-search the size factor toward 0,
+                            // regenerating this case from its own seed; keep
+                            // the smallest input that still fails.
+                            let __minimal = $crate::test_runner::shrink_search(
+                                |__factor| match __run_at(__seed, __factor) {
+                                    ::core::result::Result::Ok((
+                                        __small_repr,
+                                        ::core::result::Result::Err(
+                                            $crate::test_runner::TestCaseError::Fail(__small_msg),
+                                        ),
+                                    )) => ::core::option::Option::Some((__small_repr, __small_msg)),
+                                    _ => ::core::option::Option::None,
+                                },
+                                12,
                             );
+                            match __minimal {
+                                ::core::option::Option::Some((
+                                    __factor,
+                                    __small_repr,
+                                    __small_msg,
+                                )) => panic!(
+                                    "proptest '{}' failed at case {}: {}\n\
+                                     minimal failing input (size factor {:.4}, seed {:#018x}): {}\n\
+                                     original failing input: {}",
+                                    stringify!($name),
+                                    __case,
+                                    __small_msg,
+                                    __factor,
+                                    __seed,
+                                    __small_repr,
+                                    __repr
+                                ),
+                                ::core::option::Option::None => panic!(
+                                    "proptest '{}' failed at case {}: {}\n\
+                                     failing input (seed {:#018x}): {}",
+                                    stringify!($name),
+                                    __case,
+                                    __message,
+                                    __seed,
+                                    __repr
+                                ),
+                            }
                         }
                     }
                 }
@@ -1128,5 +1323,95 @@ mod tests {
             seen.insert(Strategy::new_value(&(0u64..1_000_000), &mut runner).unwrap());
         }
         assert!(seen.len() > 1, "rng must advance between cases");
+    }
+
+    #[test]
+    fn size_factor_scales_ranges_collections_and_recursion() {
+        let config = ProptestConfig::with_cases(1);
+        let mut tiny = TestRunner::with_size_factor(config.clone(), 7, 0.01);
+        for _ in 0..50 {
+            let v = Strategy::new_value(&(0u64..10_000), &mut tiny).unwrap();
+            assert!(v < 100, "scaled range produced {v}");
+            let w = Strategy::new_value(&(100i64..=10_000), &mut tiny).unwrap();
+            assert!((100..200).contains(&w), "scaled inclusive range: {w}");
+            let x = Strategy::new_value(&(0.0f64..=1.0), &mut tiny).unwrap();
+            assert!(x <= 0.011, "scaled float range: {x}");
+            let vec =
+                Strategy::new_value(&crate::collection::vec(0u8..5, 2..100), &mut tiny).unwrap();
+            assert_eq!(vec.len(), 2, "scaled collection keeps its minimum");
+            // The leaf strategy yields 0 or 1; any recursion step would
+            // increment past 1, so a tiny factor must stay at leaf values.
+            let d = Strategy::new_value(&recursive_depth_strategy(), &mut tiny).unwrap();
+            assert!(d <= 1, "scaled recursion generates leaves: {d}");
+            let s = crate::string::generate("a{1,40}", &mut tiny);
+            assert_eq!(s.len(), 1, "scaled regex repeat keeps its minimum");
+        }
+        // Factor 1.0 leaves the full domains reachable.
+        let mut full = TestRunner::with_size_factor(ProptestConfig::with_cases(1), 7, 1.0);
+        let mut max_seen = 0;
+        for _ in 0..200 {
+            max_seen = max_seen.max(Strategy::new_value(&(0u64..10_000), &mut full).unwrap());
+        }
+        assert!(max_seen > 5_000, "full-size generation covers the range");
+    }
+
+    #[test]
+    fn case_seeds_are_distinct_and_stable() {
+        let base = crate::test_runner::seed_from_name("some::test");
+        let mut seeds = BTreeSet::new();
+        for attempt in 1..=256u64 {
+            seeds.insert(crate::test_runner::case_seed(base, attempt));
+        }
+        assert_eq!(seeds.len(), 256, "per-case seeds must not collide");
+        assert_eq!(
+            crate::test_runner::case_seed(base, 1),
+            crate::test_runner::case_seed(base, 1),
+            "per-case seeds must be deterministic"
+        );
+    }
+
+    // A deliberately failing property used to exercise the shrink loop (not
+    // annotated #[test]; invoked via catch_unwind below).
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        fn fails_above_nine(n in 0u64..100_000) {
+            prop_assert!(n < 10, "value too large: {n}");
+        }
+    }
+
+    #[test]
+    fn failing_property_reports_a_minimal_input() {
+        let panic = std::panic::catch_unwind(fails_above_nine).expect_err("the property must fail");
+        let message = panic
+            .downcast_ref::<String>()
+            .expect("panic payload is the report")
+            .clone();
+        assert!(
+            message.contains("minimal failing input (size factor"),
+            "report must include the shrunk input: {message}"
+        );
+        assert!(
+            message.contains("original failing input:"),
+            "report must keep the original input: {message}"
+        );
+        // The minimal regenerated value must be far below the original
+        // domain: with `fails iff n >= 10` over `0..100_000`, the binary
+        // search lands just above the failure threshold. The input tuple is
+        // the last `: `-separated field of the report line.
+        let digits: String = message
+            .lines()
+            .find(|l| l.contains("minimal failing input"))
+            .map(|l| l.rsplit(':').next().unwrap_or(""))
+            .unwrap_or("")
+            .chars()
+            .filter(|c| c.is_ascii_digit())
+            .collect();
+        let minimal: u64 = digits.parse().expect("minimal input is a number");
+        assert!(
+            minimal < 1_000,
+            "shrinking should move far below the 100 000 domain: {minimal}"
+        );
+        assert!(minimal >= 10, "the minimal input must still fail");
     }
 }

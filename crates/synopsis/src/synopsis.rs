@@ -11,6 +11,8 @@
 //! updating the per-node summaries according to the configured
 //! [`MatchingSetKind`].
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -166,7 +168,7 @@ impl SynopsisSize {
 /// assert_eq!(synopsis.label(a), "a");
 /// assert_eq!(synopsis.children(a).len(), 2);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Synopsis {
     config: SynopsisConfig,
     pub(crate) nodes: Vec<SynopsisNode>,
@@ -179,8 +181,26 @@ pub struct Synopsis {
     /// Monotonic change counter: bumped on every mutation that can alter a
     /// matching set (document arrival, reservoir eviction, pruning). External
     /// caches tag their entries with the epoch they were computed at and
-    /// invalidate exactly when it moves.
-    epoch: u64,
+    /// invalidate exactly when it moves. Atomic so that concurrent readers
+    /// (e.g. a `Sync` evaluation engine checking cache freshness from many
+    /// threads) observe epoch advances race-free without locking the
+    /// synopsis.
+    epoch: AtomicU64,
+}
+
+impl Clone for Synopsis {
+    fn clone(&self) -> Self {
+        Self {
+            config: self.config,
+            nodes: self.nodes.clone(),
+            doc_count: self.doc_count,
+            reservoir: self.reservoir.clone(),
+            rng: self.rng.clone(),
+            full_cache: self.full_cache.clone(),
+            cache_valid: self.cache_valid,
+            epoch: AtomicU64::new(self.epoch.load(Ordering::Acquire)),
+        }
+    }
 }
 
 impl Synopsis {
@@ -205,7 +225,7 @@ impl Synopsis {
             rng: StdRng::seed_from_u64(config.seed),
             full_cache: Vec::new(),
             cache_valid: false,
-            epoch: 0,
+            epoch: AtomicU64::new(0),
         }
     }
 
@@ -253,8 +273,13 @@ impl Synopsis {
     /// deletion, and every pruning operation (folds, deletions, merges).
     /// Read-only queries never move it, so a cache keyed by the epoch is
     /// invalidated exactly when the synopsis changes.
+    ///
+    /// The counter is an [`AtomicU64`] read with `Acquire` ordering:
+    /// mutations happen through `&mut self` (publishing their writes when
+    /// the exclusive borrow ends), so any thread that observes the bumped
+    /// epoch also observes the structural change that caused it.
     pub fn epoch(&self) -> u64 {
-        self.epoch
+        self.epoch.load(Ordering::Acquire)
     }
 
     /// Force-advance the epoch without a structural mutation.
@@ -468,7 +493,7 @@ impl Synopsis {
     /// by every mutation).
     pub(crate) fn touch(&mut self) {
         self.cache_valid = false;
-        self.epoch += 1;
+        self.epoch.fetch_add(1, Ordering::AcqRel);
     }
 
     /// Mark cached full matching sets as stale (called by pruning).

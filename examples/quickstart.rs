@@ -55,6 +55,8 @@ fn main() {
     }
 
     println!("\npairwise similarities (M3 = P(p ∧ q) / P(p ∨ q)):");
+    // `similarity_matrix_par(ids, metric, threads)` computes the identical
+    // matrix on worker threads — worthwhile for larger workloads.
     let matrix = engine.similarity_matrix(&ids, ProximityMetric::M3);
     for i in 0..ids.len() {
         for j in (i + 1)..ids.len() {

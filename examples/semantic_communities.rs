@@ -39,7 +39,11 @@ fn main() {
     for (i, subscription) in dataset.positive.iter().enumerate() {
         broker.subscribe(Consumer::new(format!("consumer-{i}"), subscription.clone()));
     }
-    let clustering = CommunityClustering::cluster(
+    // The engine is `Send + Sync`: `cluster_par` evaluates the similarity
+    // matrix on one worker per core first (bit-identical to the sequential
+    // `cluster`), then runs the same greedy pass over it.
+    let threads = tree_pattern_similarity::core::par::available_workers();
+    let clustering = CommunityClustering::cluster_par(
         &engine,
         &subscription_ids,
         CommunityConfig {
@@ -47,6 +51,7 @@ fn main() {
             threshold: 0.55,
             max_community_size: 0,
         },
+        threads,
     );
     println!(
         "\nclustered {} subscriptions into {} semantic communities (sizes: {:?})",

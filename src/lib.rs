@@ -57,17 +57,21 @@
 //! let sim = engine.similarity(p, q, ProximityMetric::M3);
 //! assert!((0.0..=1.0).contains(&sim));
 //!
-//! // Whole workloads evaluate in one batched call.
+//! // Whole workloads evaluate in one batched call; the `_par` variant
+//! // fans the same evaluation out over worker threads (the engine is
+//! // `Send + Sync`), bit-identical to the sequential matrix.
 //! let matrix = engine.similarity_matrix(&[p, q], ProximityMetric::M3);
 //! assert_eq!(matrix.get(0, 1), sim);
+//! let parallel = engine.similarity_matrix_par(&[p, q], ProximityMetric::M3, 2);
+//! assert_eq!(parallel, matrix);
 //! ```
 //!
-//! Migrating from the deprecated `SimilarityEstimator`: see
-//! [`core::estimator`] for the migration table — in short, replace
-//! `SimilarityEstimator::new(config)` + `prepare()` with the engine builder,
-//! register each pattern once, and swap hand-rolled pairwise loops for
-//! [`core::SimilarityEngine::selectivities`] /
-//! [`core::SimilarityEngine::similarity_matrix`].
+//! The deprecated `SimilarityEstimator` per-call facade has been removed:
+//! replace `SimilarityEstimator::new(config)` + `prepare()` with the engine
+//! builder, register each pattern once, and swap hand-rolled pairwise loops
+//! for [`core::SimilarityEngine::selectivities`] /
+//! [`core::SimilarityEngine::similarity_matrix`] (or its parallel sibling
+//! [`core::SimilarityEngine::similarity_matrix_par`]).
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -86,8 +90,6 @@ pub mod prelude {
         agglomerative, kmedoids, leader, AgglomerativeConfig, Clustering, KMedoidsConfig,
         LeaderConfig, SimilarityMatrix,
     };
-    #[allow(deprecated)]
-    pub use tps_core::SimilarityEstimator;
     pub use tps_core::{
         ExactEvaluator, PatternId, ProximityMetric, SelectivityEstimator, SimMatrix,
         SimilarityEngine, SimilarityEngineBuilder,
