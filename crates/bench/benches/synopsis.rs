@@ -1,0 +1,120 @@
+//! Benchmarks for the streaming, sharded synopsis build (`build_par`)
+//! against the sequential in-memory build — the build-side counterpart of
+//! `benches/parallel.rs`.
+//!
+//! NOTE: shard counts above the host's core count only measure scheduling
+//! overhead; run on a multi-core host to see the build-side speedup. The
+//! estimates are identical for every shard count, so the comparison is pure
+//! wall-clock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tps_bench::BenchFixture;
+use tps_core::build_par;
+use tps_synopsis::{MatchingSetKind, Synopsis, SynopsisConfig};
+use tps_xml::stream::cloned_trees;
+
+fn config(kind: MatchingSetKind) -> SynopsisConfig {
+    SynopsisConfig {
+        kind,
+        ..SynopsisConfig::counters()
+    }
+}
+
+fn bench_sequential_vs_sharded(c: &mut Criterion) {
+    let fixture = BenchFixture::nitf();
+    println!(
+        "host parallelism: {} (shard counts above it only add scheduling overhead)",
+        tps_core::par::available_workers()
+    );
+    for (name, kind) in [
+        ("counters", MatchingSetKind::Counters),
+        ("sets_256", MatchingSetKind::Sets { capacity: 256 }),
+        ("hashes_256", MatchingSetKind::Hashes { capacity: 256 }),
+    ] {
+        let mut group = c.benchmark_group(format!("synopsis_build_{name}"));
+        group.bench_function(BenchmarkId::from_parameter("from_documents"), |b| {
+            b.iter(|| {
+                let synopsis = Synopsis::from_documents(config(kind), fixture.documents());
+                black_box(synopsis.node_count())
+            })
+        });
+        for shards in [1usize, 2, 4, 8] {
+            group.bench_function(BenchmarkId::new("build_par", shards), |b| {
+                b.iter(|| {
+                    let synopsis =
+                        build_par(config(kind), cloned_trees(fixture.documents()), shards)
+                            .expect("in-memory trees never fail");
+                    black_box(synopsis.node_count())
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_streamed_parse_and_build(c: &mut Criterion) {
+    // Raw-text streaming: parsing dominates, so sharding pays off even for
+    // the cheap counters representation.
+    let fixture = BenchFixture::nitf();
+    let corpus: String = fixture
+        .documents()
+        .iter()
+        .map(|d| d.to_xml() + "\n")
+        .collect();
+    let mut group = c.benchmark_group("synopsis_build_from_text");
+    for shards in [1usize, 4] {
+        group.bench_function(BenchmarkId::new("hashes_256", shards), |b| {
+            b.iter(|| {
+                let stream = tps_xml::stream::LineStream::new(corpus.as_bytes());
+                let synopsis = build_par(
+                    config(MatchingSetKind::Hashes { capacity: 256 }),
+                    stream,
+                    shards,
+                )
+                .expect("benchmark corpus parses");
+                black_box(synopsis.document_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    // The cost of the merge step itself: combine two half-corpus partials.
+    let fixture = BenchFixture::nitf();
+    let docs = fixture.documents();
+    let mid = docs.len() / 2;
+    let mut group = c.benchmark_group("synopsis_merge_two_halves");
+    for (name, kind) in [
+        ("counters", MatchingSetKind::Counters),
+        ("sets_256", MatchingSetKind::Sets { capacity: 256 }),
+        ("hashes_256", MatchingSetKind::Hashes { capacity: 256 }),
+    ] {
+        let mut left = Synopsis::new(config(kind));
+        for (i, doc) in docs[..mid].iter().enumerate() {
+            left.insert_document_as(doc, tps_synopsis::DocId(i as u64));
+        }
+        let mut right = Synopsis::new(config(kind));
+        for (i, doc) in docs[mid..].iter().enumerate() {
+            right.insert_document_as(doc, tps_synopsis::DocId((mid + i) as u64));
+        }
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut merged = left.clone();
+                merged.merge(&right);
+                black_box(merged.document_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sequential_vs_sharded,
+    bench_streamed_parse_and_build,
+    bench_merge
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Warn-only diff between two bench snapshots produced by the criterion
+//! shim's `TPS_BENCH_JSON` output.
+//!
+//! ```text
+//! bench-diff <committed.json> <fresh.json>
+//! ```
+//!
+//! Prints one line per benchmark (ok / SLOWER / FASTER / NEW / REMOVED) and
+//! always exits 0 — CI records the perf trajectory without gating on noisy
+//! shared-runner timings. A missing committed snapshot is reported and
+//! treated as "everything is new".
+
+use std::process::ExitCode;
+
+use tps_bench::snapshot::{diff_snapshots, parse_snapshot, BenchRecord, WARN_THRESHOLD};
+
+fn load(path: &str) -> Result<Vec<BenchRecord>, String> {
+    let text = std::fs::read_to_string(path).map_err(|err| format!("{path}: {err}"))?;
+    parse_snapshot(&text).map_err(|err| format!("{path}: {err}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [committed_path, fresh_path] = &args[..] else {
+        eprintln!("usage: bench-diff <committed.json> <fresh.json>");
+        return ExitCode::FAILURE;
+    };
+    let fresh = match load(fresh_path) {
+        Ok(records) => records,
+        Err(err) => {
+            eprintln!("bench-diff: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let committed = match load(committed_path) {
+        Ok(records) => records,
+        Err(err) => {
+            println!("bench-diff: no usable committed snapshot ({err}); treating all {} benchmarks as new", fresh.len());
+            Vec::new()
+        }
+    };
+    let (report, warnings) = diff_snapshots(&committed, &fresh);
+    println!(
+        "bench-diff: {} committed vs {} fresh benchmarks (warn threshold ±{:.0}%, advisory only):",
+        committed.len(),
+        fresh.len(),
+        WARN_THRESHOLD * 100.0
+    );
+    print!("{report}");
+    if warnings > 0 {
+        println!("bench-diff: {warnings} benchmark(s) moved by more than ±{:.0}% — worth a look, not a failure", WARN_THRESHOLD * 100.0);
+    } else {
+        println!("bench-diff: no significant movement");
+    }
+    ExitCode::SUCCESS
+}

@@ -5,6 +5,8 @@
 //! index); this crate provides the common, deterministic fixtures they
 //! operate on so that individual benches stay comparable.
 
+pub mod snapshot;
+
 use tps_pattern::TreePattern;
 use tps_synopsis::{MatchingSetKind, Synopsis, SynopsisConfig};
 use tps_workload::{Dataset, DatasetConfig, DocGenConfig, Dtd, XPathGenConfig};

@@ -1,0 +1,214 @@
+//! Bench-snapshot parsing and diffing.
+//!
+//! The vendored criterion shim writes one JSON document per `cargo bench`
+//! run when `TPS_BENCH_JSON` is set (see `crates/shims/criterion`):
+//!
+//! ```json
+//! {"benchmarks": [{"id": "…", "mean_ns": 1, "min_ns": 1, "max_ns": 1,
+//!                  "iters": 5, "warmup": 2}]}
+//! ```
+//!
+//! This module parses that fixed shape (no general JSON parser — the
+//! workspace is dependency-free by construction) and computes a
+//! warn-only diff between two snapshots: the committed `BENCH_engine.json`
+//! at the repo root and a freshly produced one. CI prints the diff so the
+//! perf trajectory is recorded on every run; it never fails the build,
+//! since shared runners have noisy and heterogeneous hardware.
+
+use std::fmt::Write as _;
+
+/// One benchmark's recorded timings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark identifier (`group/case`).
+    pub id: String,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: u128,
+    /// Fastest iteration.
+    pub min_ns: u128,
+    /// Slowest iteration.
+    pub max_ns: u128,
+}
+
+/// Parse the criterion shim's `TPS_BENCH_JSON` output.
+///
+/// Tolerant of whitespace but intentionally strict about the shape: every
+/// object must carry `id`, `mean_ns`, `min_ns` and `max_ns`. Returns an
+/// error message describing the first malformed entry.
+pub fn parse_snapshot(text: &str) -> Result<Vec<BenchRecord>, String> {
+    let mut records = Vec::new();
+    for (index, chunk) in text.split('{').enumerate().skip(2) {
+        // Chunks 0/1 are the prelude and the `"benchmarks": [` wrapper;
+        // every later chunk starts with one record's fields.
+        let body = match chunk.split('}').next() {
+            Some(body) => body,
+            None => return Err(format!("record {index}: unterminated object")),
+        };
+        let id = string_field(body, "id")
+            .ok_or_else(|| format!("record {}: missing \"id\"", index - 2))?;
+        let mean_ns =
+            number_field(body, "mean_ns").ok_or_else(|| format!("{id}: missing \"mean_ns\""))?;
+        let min_ns =
+            number_field(body, "min_ns").ok_or_else(|| format!("{id}: missing \"min_ns\""))?;
+        let max_ns =
+            number_field(body, "max_ns").ok_or_else(|| format!("{id}: missing \"max_ns\""))?;
+        records.push(BenchRecord {
+            id,
+            mean_ns,
+            min_ns,
+            max_ns,
+        });
+    }
+    Ok(records)
+}
+
+fn string_field(body: &str, name: &str) -> Option<String> {
+    let key = format!("\"{name}\":");
+    let rest = body.split(&key).nth(1)?;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    // The shim escapes embedded quotes, so scan for the first unescaped one.
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => {
+                if let Some(escaped) = chars.next() {
+                    out.push(escaped);
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+fn number_field(body: &str, name: &str) -> Option<u128> {
+    let key = format!("\"{name}\":");
+    let rest = body.split(&key).nth(1)?;
+    let digits: String = rest
+        .trim_start()
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Relative mean-time change above which a benchmark is called out in the
+/// diff (shared runners are noisy; small drifts are not worth a warning).
+pub const WARN_THRESHOLD: f64 = 0.25;
+
+/// Render a human-readable, warn-only diff between a committed snapshot
+/// and a freshly measured one. Returns the report plus the number of
+/// benchmarks whose mean moved by more than [`WARN_THRESHOLD`].
+pub fn diff_snapshots(committed: &[BenchRecord], fresh: &[BenchRecord]) -> (String, usize) {
+    let mut report = String::new();
+    let mut warnings = 0;
+    for new in fresh {
+        match committed.iter().find(|old| old.id == new.id) {
+            None => {
+                let _ = writeln!(report, "  NEW      {:<55} {:>12} ns", new.id, new.mean_ns);
+            }
+            Some(old) if old.mean_ns == 0 => {
+                let _ = writeln!(report, "  SKIP     {:<55} committed mean is 0", new.id);
+            }
+            Some(old) => {
+                let delta = new.mean_ns as f64 / old.mean_ns as f64 - 1.0;
+                let marker = if delta.abs() > WARN_THRESHOLD {
+                    warnings += 1;
+                    if delta > 0.0 {
+                        "SLOWER"
+                    } else {
+                        "FASTER"
+                    }
+                } else {
+                    "ok"
+                };
+                let _ = writeln!(
+                    report,
+                    "  {marker:<8} {:<55} {:>12} -> {:>12} ns ({:+.1}%)",
+                    new.id,
+                    old.mean_ns,
+                    new.mean_ns,
+                    delta * 100.0
+                );
+            }
+        }
+    }
+    for old in committed {
+        if !fresh.iter().any(|new| new.id == old.id) {
+            let _ = writeln!(report, "  REMOVED  {:<55}", old.id);
+        }
+    }
+    (report, warnings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "benchmarks": [
+    {"id": "engine/matrix", "mean_ns": 1000, "min_ns": 900, "max_ns": 1200, "iters": 5, "warmup": 2},
+    {"id": "engine/pairwise", "mean_ns": 50000, "min_ns": 48000, "max_ns": 52000, "iters": 5, "warmup": 2}
+  ]
+}
+"#;
+
+    #[test]
+    fn parses_the_shim_output_shape() {
+        let records = parse_snapshot(SAMPLE).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].id, "engine/matrix");
+        assert_eq!(records[0].mean_ns, 1000);
+        assert_eq!(records[1].min_ns, 48000);
+    }
+
+    #[test]
+    fn empty_snapshot_parses_to_no_records() {
+        let records = parse_snapshot("{\n  \"benchmarks\": [\n  ]\n}\n").unwrap();
+        assert!(records.is_empty());
+    }
+
+    #[test]
+    fn malformed_records_are_reported() {
+        let err = parse_snapshot("{\"benchmarks\": [{\"id\": \"x\"}]}").unwrap_err();
+        assert!(err.contains("mean_ns"), "{err}");
+    }
+
+    #[test]
+    fn diff_flags_large_regressions_only() {
+        let committed = parse_snapshot(SAMPLE).unwrap();
+        let mut fresh = committed.clone();
+        fresh[0].mean_ns = 2000; // 2x slower: warn
+        fresh[1].mean_ns = 55000; // +10%: within noise
+        let (report, warnings) = diff_snapshots(&committed, &fresh);
+        assert_eq!(warnings, 1);
+        assert!(report.contains("SLOWER"), "{report}");
+        assert!(report.contains("engine/matrix"));
+        assert!(report.contains("ok"));
+    }
+
+    #[test]
+    fn diff_reports_new_and_removed_benchmarks() {
+        let committed = parse_snapshot(SAMPLE).unwrap();
+        let fresh = vec![BenchRecord {
+            id: "engine/new_case".to_string(),
+            mean_ns: 10,
+            min_ns: 10,
+            max_ns: 10,
+        }];
+        let (report, warnings) = diff_snapshots(&committed, &fresh);
+        assert_eq!(warnings, 0);
+        assert!(report.contains("NEW"));
+        assert!(report.contains("REMOVED"));
+    }
+
+    #[test]
+    fn escaped_quotes_in_ids_round_trip() {
+        let text = r#"{"benchmarks": [{"id": "we\"ird", "mean_ns": 1, "min_ns": 1, "max_ns": 1, "iters": 1, "warmup": 0}]}"#;
+        let records = parse_snapshot(text).unwrap();
+        assert_eq!(records[0].id, "we\"ird");
+    }
+}

@@ -29,6 +29,8 @@ pub enum CliError {
     Pattern(String),
     /// A DTD could not be read or parsed.
     Dtd(String),
+    /// A document stream could not be read or parsed.
+    Stream(String),
     /// Writing output failed.
     Io(std::io::Error),
 }
@@ -39,6 +41,7 @@ impl fmt::Display for CliError {
             CliError::Args(err) => write!(f, "{err}"),
             CliError::Pattern(msg) => write!(f, "invalid pattern: {msg}"),
             CliError::Dtd(msg) => write!(f, "DTD error: {msg}"),
+            CliError::Stream(msg) => write!(f, "document stream error: {msg}"),
             CliError::Io(err) => write!(f, "output error: {err}"),
         }
     }
@@ -108,6 +111,14 @@ COMMANDS:
         --threshold T                  community threshold (default 0.6)
         --threads N                    worker threads for the similarity
                                        matrix (default 1)
+    synopsis build   Build a synopsis from a stream of documents
+        --input PATH|-                 line-delimited XML documents, one per
+                                       line (- reads standard input);
+                                       required
+        --threads N                    build shards (default 1, 0 = one per
+                                       core; estimates are identical)
+        --summary, --capacity, --seed  representation options (as above)
+        --dump                         print the synopsis structure too
 ";
 
 /// Run a full command line (excluding the program name), writing the report
@@ -117,7 +128,30 @@ where
     S: Into<String>,
     W: Write,
 {
-    let parsed = ParsedArgs::parse(args)?;
+    let argv: Vec<String> = args.into_iter().map(Into::into).collect();
+    // `synopsis` takes an action word (`tps synopsis build ...`) before the
+    // usual `--key value` options.
+    if argv.first().map(String::as_str) == Some("synopsis") {
+        return match argv.get(1).map(String::as_str) {
+            Some("build") => {
+                let parsed = ParsedArgs::parse(
+                    std::iter::once("synopsis".to_string()).chain(argv[2..].iter().cloned()),
+                )?;
+                synopsis_build(&parsed, out)
+            }
+            Some(other) => Err(CliError::Args(ArgsError::InvalidValue {
+                option: "synopsis".to_string(),
+                value: other.to_string(),
+                expected: "the `build` action (tps synopsis build --input file|-)".to_string(),
+            })),
+            None => Err(CliError::Args(ArgsError::InvalidValue {
+                option: "synopsis".to_string(),
+                value: "(no action)".to_string(),
+                expected: "the `build` action (tps synopsis build --input file|-)".to_string(),
+            })),
+        };
+    }
+    let parsed = ParsedArgs::parse(argv)?;
     match parsed.command.as_str() {
         "help" => {
             write!(out, "{USAGE}")?;
@@ -222,6 +256,38 @@ fn metric_from(args: &ParsedArgs) -> Result<ProximityMetric, CliError> {
             expected: "m1, m2 or m3".to_string(),
         })),
     }
+}
+
+/// `tps synopsis build --input file|-`: build a synopsis from a stream of
+/// line-delimited XML documents, fanned over `--threads` build shards
+/// (`tps_core::build_par`; the estimates are identical for any shard
+/// count), and report its size decomposition.
+fn synopsis_build<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    use tps_xml::stream::LineStream;
+    let config = synopsis_config(args)?;
+    let shards = threads_from(args)?;
+    let input = args.require("input")?;
+    let synopsis = if input == "-" {
+        tps_core::build_par(config, LineStream::from_stdin(), shards)
+    } else {
+        let stream = LineStream::from_path(input)
+            .map_err(|err| CliError::Stream(format!("{input}: {err}")))?;
+        tps_core::build_par(config, stream, shards)
+    }
+    .map_err(|err| CliError::Stream(err.to_string()))?;
+    let size = synopsis.size();
+    writeln!(out, "documents: {}", synopsis.document_count())?;
+    writeln!(out, "representation: {}", synopsis.kind().name())?;
+    writeln!(out, "build shards: {shards}")?;
+    writeln!(out, "nodes: {}", size.nodes)?;
+    writeln!(out, "edges: {}", size.edges)?;
+    writeln!(out, "labels: {}", size.labels)?;
+    writeln!(out, "matching-set entries: {}", size.entries)?;
+    writeln!(out, "total size |HS|: {}", size.total())?;
+    if args.has_flag("dump") {
+        write!(out, "\n{}", synopsis.dump())?;
+    }
+    Ok(())
 }
 
 fn generate<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
@@ -408,21 +474,24 @@ fn similarity<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> 
 fn build_matrix(
     dataset: &Dataset,
     args: &ParsedArgs,
+    threads: usize,
 ) -> Result<(Vec<TreePattern>, SimilarityMatrix), CliError> {
     let metric = metric_from(args)?;
     let mut engine = SimilarityEngine::new(synopsis_config(args)?);
     engine.observe_all(&dataset.documents);
     let subscriptions = dataset.positive.clone();
     let ids = engine.register_all(&subscriptions);
-    let matrix = SimilarityMatrix::from_engine_par(&engine, &ids, metric, threads_from(args)?);
+    let matrix = SimilarityMatrix::from_engine_par(&engine, &ids, metric, threads);
     Ok((subscriptions, matrix))
 }
 
 fn cluster<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
     let dtd = resolve_dtd(args)?;
     let subscriptions = args.get_usize("subscriptions", 40)?;
+    // Validate --threads before the expensive dataset generation.
+    let threads = threads_from(args)?;
     let dataset = generate_dataset(args, dtd, subscriptions)?;
-    let (patterns, matrix) = build_matrix(&dataset, args)?;
+    let (patterns, matrix) = build_matrix(&dataset, args, threads)?;
     let threshold = args.get_f64("threshold", 0.6)?;
     let clustering: Clustering = match args.get("algorithm").unwrap_or("agglomerative") {
         "leader" => {
@@ -497,8 +566,10 @@ fn route<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
     let dtd = resolve_dtd(args)?;
     let subscriptions = args.get_usize("subscriptions", 40)?;
     let brokers = args.get_usize("brokers", 7)?.max(1);
+    // Validate --threads before the expensive dataset generation.
+    let threads = threads_from(args)?;
     let dataset = generate_dataset(args, dtd, subscriptions)?;
-    let (patterns, matrix) = build_matrix(&dataset, args)?;
+    let (patterns, matrix) = build_matrix(&dataset, args, threads)?;
     // Multi-broker simulation: consumers spread round-robin over the leaves.
     let mut network = BrokerNetwork::new(BrokerTopology::balanced_tree(brokers, 2));
     for (index, pattern) in patterns.iter().enumerate() {
@@ -803,6 +874,97 @@ mod tests {
         assert!(output.contains("containment-pruned"));
         assert!(output.contains("semantic overlay"));
         assert!(output.contains("recall"));
+    }
+
+    #[test]
+    fn synopsis_build_reads_a_file_and_reports_sizes() {
+        let dir = std::env::temp_dir().join("tps-cli-synopsis-build-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("docs.xml");
+        // Generate a corpus with the CLI itself, one document per line.
+        let corpus = run_capture(&["generate", "--documents", "30", "--seed", "3"]).unwrap();
+        std::fs::write(&path, corpus).unwrap();
+        let output = run_capture(&[
+            "synopsis",
+            "build",
+            "--input",
+            path.to_str().unwrap(),
+            "--summary",
+            "hashes",
+            "--capacity",
+            "64",
+        ])
+        .unwrap();
+        assert!(output.contains("documents: 30"), "{output}");
+        assert!(output.contains("representation: Hashes"));
+        assert!(output.contains("total size |HS|:"));
+    }
+
+    #[test]
+    fn synopsis_build_is_shard_count_independent() {
+        let dir = std::env::temp_dir().join("tps-cli-synopsis-shards-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("docs.xml");
+        let corpus = run_capture(&["generate", "--documents", "40", "--seed", "9"]).unwrap();
+        std::fs::write(&path, corpus).unwrap();
+        let base = ["synopsis", "build", "--input"];
+        let one = run_capture(&[&base[..], &[path.to_str().unwrap(), "--threads", "1"]].concat())
+            .unwrap();
+        let four = run_capture(&[&base[..], &[path.to_str().unwrap(), "--threads", "4"]].concat())
+            .unwrap();
+        // Shard count is echoed, everything else is identical.
+        assert_eq!(
+            one.replace("build shards: 1", ""),
+            four.replace("build shards: 4", "")
+        );
+        let dumped = run_capture(
+            &[
+                &base[..],
+                &[path.to_str().unwrap(), "--dump", "--threads", "2"],
+            ]
+            .concat(),
+        )
+        .unwrap();
+        assert!(dumped.contains("/."), "{dumped}");
+    }
+
+    #[test]
+    fn synopsis_build_rejects_bad_inputs_and_actions() {
+        let err = run_capture(&["synopsis", "build"]).unwrap_err();
+        assert!(matches!(
+            err,
+            CliError::Args(ArgsError::MissingOption(option)) if option == "input"
+        ));
+        let err = run_capture(&["synopsis", "destroy"]).unwrap_err();
+        assert!(matches!(
+            err,
+            CliError::Args(ArgsError::InvalidValue { .. })
+        ));
+        let err = run_capture(&["synopsis"]).unwrap_err();
+        // The message must point at the missing positional action, not at a
+        // fictional --build option.
+        assert!(err.to_string().contains("tps synopsis build"), "{err}");
+        let err =
+            run_capture(&["synopsis", "build", "--input", "/nonexistent/docs.xml"]).unwrap_err();
+        assert!(matches!(err, CliError::Stream(msg) if msg.contains("/nonexistent/docs.xml")));
+    }
+
+    #[test]
+    fn synopsis_build_reports_parse_errors() {
+        let dir = std::env::temp_dir().join("tps-cli-synopsis-parse-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("broken.xml");
+        std::fs::write(&path, "<a/>\n<oops\n").unwrap();
+        let err =
+            run_capture(&["synopsis", "build", "--input", path.to_str().unwrap()]).unwrap_err();
+        assert!(matches!(err, CliError::Stream(msg) if msg.contains("document 1")));
+    }
+
+    #[test]
+    fn help_mentions_the_synopsis_command() {
+        let output = run_capture(&["help"]).unwrap();
+        assert!(output.contains("synopsis build"));
+        assert!(output.contains("--input"));
     }
 
     #[test]

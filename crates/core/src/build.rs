@@ -1,0 +1,189 @@
+//! Sharded, streaming synopsis construction.
+//!
+//! [`build_par`] is the build-side twin of
+//! [`SimilarityEngine::similarity_matrix_par`](crate::SimilarityEngine::similarity_matrix_par):
+//! where PR 3 sharded *evaluation* over worker threads, this module shards
+//! *construction*. Documents are pulled from a [`DocumentStream`] in bounded
+//! batches (so the corpus is never materialised), each batch is split into
+//! contiguous chunks that scoped workers parse and fold into per-shard
+//! partial synopses, and the partials are combined with
+//! [`Synopsis::merge`]. Because every sampling decision in the synopsis is a
+//! deterministic function of the synopsis seed and the document's global
+//! stream position, the merged result is *estimate-identical* to a
+//! sequential [`Synopsis::from_documents`] build — for any shard count and
+//! any batch size.
+
+use tps_synopsis::{DocId, Synopsis, SynopsisConfig};
+use tps_xml::stream::{DocumentStream, StreamError, StreamItem};
+
+use crate::par;
+
+/// Number of documents pulled per worker per batch. Batches hold at most
+/// `shards * BATCH_PER_SHARD` items, bounding memory independently of the
+/// stream length.
+const BATCH_PER_SHARD: usize = 256;
+
+/// Build a synopsis from a document stream, fanning parsing and observation
+/// out over up to `shards` scoped worker threads.
+///
+/// `shards <= 1` runs fully inline (no threads are spawned). The result is
+/// estimate-identical to the sequential build — every node carries the same
+/// matching-set value as `Synopsis::from_documents` over the same documents
+/// — so callers can pick the shard count purely by hardware
+/// (`tps_core::par::available_workers()` is the usual choice).
+///
+/// On a parse or read error the build stops and the error is returned;
+/// documents before the failing one may already have been observed.
+pub fn build_par<S: DocumentStream>(
+    config: SynopsisConfig,
+    mut stream: S,
+    shards: usize,
+) -> Result<Synopsis, StreamError> {
+    let shards = shards.clamp(1, par::MAX_WORKERS);
+    let mut synopsis = Synopsis::new(config);
+    let mut batch: Vec<StreamItem> = Vec::new();
+    let mut base: u64 = 0;
+    loop {
+        let pulled = stream.next_batch(shards * BATCH_PER_SHARD, &mut batch)?;
+        if pulled == 0 {
+            break;
+        }
+        let partials: Vec<Result<Synopsis, StreamError>> =
+            par::map_chunks(&batch, shards, |offset, chunk| {
+                observe_chunk(config, base + offset as u64, chunk)
+            });
+        for partial in partials {
+            synopsis.merge(&partial?);
+        }
+        base += pulled as u64;
+    }
+    Ok(synopsis)
+}
+
+/// Parse (when necessary) and observe one contiguous chunk of stream items
+/// into a fresh partial synopsis, assigning global stream positions
+/// starting at `base`.
+fn observe_chunk(
+    config: SynopsisConfig,
+    base: u64,
+    chunk: &[StreamItem],
+) -> Result<Synopsis, StreamError> {
+    let mut shard = Synopsis::new(config);
+    for (i, item) in chunk.iter().enumerate() {
+        let id = base + i as u64;
+        match item {
+            StreamItem::Tree(tree) => shard.insert_document_as(tree, DocId(id)),
+            StreamItem::Raw(text) => {
+                let tree = tps_xml::XmlTree::parse(text).map_err(|error| StreamError::Parse {
+                    document: id,
+                    error,
+                })?;
+                shard.insert_document_as(&tree, DocId(id));
+            }
+        }
+    }
+    Ok(shard)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_xml::stream::{cloned_trees, LineStream};
+    use tps_xml::XmlTree;
+
+    fn corpus(n: usize) -> Vec<XmlTree> {
+        (0..n)
+            .map(|i| {
+                let text = format!("<a><b{}><c/></b{}><d{}/></a>", i % 5, i % 5, i % 3);
+                XmlTree::parse(&text).unwrap()
+            })
+            .collect()
+    }
+
+    fn canonical(s: &Synopsis) -> Vec<(Vec<String>, f64)> {
+        fn walk(
+            s: &Synopsis,
+            id: tps_synopsis::SynopsisNodeId,
+            path: &mut Vec<String>,
+            out: &mut Vec<(Vec<String>, f64)>,
+        ) {
+            path.push(s.label(id).to_string());
+            out.push((path.clone(), s.matching_value(id).count_units()));
+            for &child in s.children(id) {
+                walk(s, child, path, out);
+            }
+            path.pop();
+        }
+        let mut out = Vec::new();
+        walk(s, s.root(), &mut Vec::new(), &mut out);
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    #[test]
+    fn build_par_matches_from_documents_for_every_shard_count() {
+        let docs = corpus(700);
+        for config in [
+            SynopsisConfig::counters(),
+            SynopsisConfig::sets(16),
+            SynopsisConfig::hashes(16),
+        ] {
+            let sequential = Synopsis::from_documents(config, &docs);
+            for shards in [1usize, 2, 8] {
+                let built = build_par(config, cloned_trees(&docs), shards).unwrap();
+                assert_eq!(built.document_count(), sequential.document_count());
+                assert_eq!(
+                    canonical(&built),
+                    canonical(&sequential),
+                    "{:?} with {shards} shards",
+                    config.kind
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn build_par_spans_multiple_batches() {
+        // 700 documents with 2 shards = 512-item batches: the loop runs
+        // more than once, exercising the cross-batch id offsets.
+        let docs = corpus(700);
+        let sequential = Synopsis::from_documents(SynopsisConfig::sets(8), &docs);
+        let built = build_par(SynopsisConfig::sets(8), cloned_trees(&docs), 2).unwrap();
+        assert_eq!(canonical(&built), canonical(&sequential));
+    }
+
+    #[test]
+    fn build_par_parses_raw_text_on_workers() {
+        let docs = corpus(60);
+        let text: String = docs.iter().map(|d| d.to_xml() + "\n").collect();
+        let sequential = Synopsis::from_documents(SynopsisConfig::hashes(32), &docs);
+        let built = build_par(
+            SynopsisConfig::hashes(32),
+            LineStream::new(text.as_bytes()),
+            4,
+        )
+        .unwrap();
+        assert_eq!(canonical(&built), canonical(&sequential));
+    }
+
+    #[test]
+    fn build_par_surfaces_parse_errors_with_the_global_position() {
+        let err = build_par(
+            SynopsisConfig::counters(),
+            LineStream::new("<a/>\n<b/>\n<broken\n".as_bytes()),
+            2,
+        )
+        .unwrap_err();
+        match err {
+            StreamError::Parse { document, .. } => assert_eq!(document, 2),
+            other => panic!("expected a parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn build_par_of_an_empty_stream_is_an_empty_synopsis() {
+        let built = build_par(SynopsisConfig::counters(), cloned_trees(&[]), 4).unwrap();
+        assert_eq!(built.document_count(), 0);
+        assert_eq!(built.node_count(), 1);
+    }
+}

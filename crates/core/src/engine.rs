@@ -560,6 +560,30 @@ impl SimilarityEngine {
         }
     }
 
+    /// Observe every document of a pull-based stream without materialising
+    /// the corpus ([`Synopsis::observe_stream`]). Returns the number of
+    /// documents observed.
+    pub fn observe_stream<S: tps_xml::stream::DocumentStream>(
+        &mut self,
+        stream: S,
+    ) -> Result<u64, tps_xml::stream::StreamError> {
+        self.core_mut().synopsis.observe_stream(stream)
+    }
+
+    /// Build an engine by fanning a document stream's parsing and
+    /// observation over up to `shards` worker threads
+    /// ([`crate::build_par`]); estimate-identical to observing the stream
+    /// sequentially, for any shard count.
+    pub fn from_stream_par<S: tps_xml::stream::DocumentStream>(
+        config: SynopsisConfig,
+        stream: S,
+        shards: usize,
+    ) -> Result<Self, tps_xml::stream::StreamError> {
+        Ok(Self::from_synopsis(crate::build_par(
+            config, stream, shards,
+        )?))
+    }
+
     /// Number of documents observed so far.
     pub fn document_count(&self) -> u64 {
         self.core.synopsis.document_count()

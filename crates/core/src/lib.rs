@@ -15,6 +15,11 @@
 //!   Section 4.
 //! * [`ExactEvaluator`] — ground-truth selectivities/similarities over a
 //!   stored document collection (used by the evaluation harness and by tests).
+//! * [`build_par`] — sharded, streaming synopsis construction: chunks of a
+//!   pull-based [`DocumentStream`](tps_xml::stream::DocumentStream) are
+//!   parsed and observed on scoped workers and the per-shard partial
+//!   synopses [`merge`](tps_synopsis::Synopsis::merge)d, estimate-identical
+//!   to the sequential build (see [`build`]).
 //!
 //! The deprecated `SimilarityEstimator` shim has been removed; the engine is
 //! the only evaluation surface. See the `README` migration note — in short,
@@ -48,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod build;
 pub mod engine;
 mod eval;
 pub mod exact;
@@ -55,6 +61,7 @@ pub mod metrics;
 pub mod par;
 pub mod selectivity;
 
+pub use build::build_par;
 pub use engine::{
     EngineCacheStats, PatternId, SimMatrix, SimilarityEngine, SimilarityEngineBuilder,
 };

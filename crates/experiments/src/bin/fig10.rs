@@ -2,12 +2,12 @@
 //! compression ratio α (Hashes representation).
 
 use tps_experiments::figures::fig10;
-use tps_experiments::{DtdWorkload, ExperimentScale};
+use tps_experiments::{DtdWorkload, ScaleConfig};
 
 fn main() {
-    let scale = ExperimentScale::from_env();
+    let scale = ScaleConfig::from_env().resolve();
     eprintln!(
-        "[fig10] scale = {} (set TPS_SCALE=paper|quick|tiny)",
+        "[fig10] scale = {} (set TPS_SCALE=paper|quick|tiny, TPS_REPRO_SCALE=<factor>)",
         scale.name
     );
     let workloads = DtdWorkload::both(&scale);

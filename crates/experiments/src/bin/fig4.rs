@@ -1,12 +1,12 @@
 //! Regenerates Figure 4: Erel of positive queries vs. max hash/set size.
 
 use tps_experiments::figures::fig4;
-use tps_experiments::{DtdWorkload, ExperimentScale};
+use tps_experiments::{DtdWorkload, ScaleConfig};
 
 fn main() {
-    let scale = ExperimentScale::from_env();
+    let scale = ScaleConfig::from_env().resolve();
     eprintln!(
-        "[fig4] scale = {} (set TPS_SCALE=paper|quick|tiny)",
+        "[fig4] scale = {} (set TPS_SCALE=paper|quick|tiny, TPS_REPRO_SCALE=<factor>)",
         scale.name
     );
     let workloads = DtdWorkload::both(&scale);

@@ -2,12 +2,12 @@
 //! (the paper reports this for the xCBL DTD).
 
 use tps_experiments::figures::fig6;
-use tps_experiments::{DtdWorkload, ExperimentScale};
+use tps_experiments::{DtdWorkload, ScaleConfig};
 
 fn main() {
-    let scale = ExperimentScale::from_env();
+    let scale = ScaleConfig::from_env().resolve();
     eprintln!(
-        "[fig6] scale = {} (set TPS_SCALE=paper|quick|tiny)",
+        "[fig6] scale = {} (set TPS_SCALE=paper|quick|tiny, TPS_REPRO_SCALE=<factor>)",
         scale.name
     );
     let workloads = vec![DtdWorkload::xcbl(&scale)];

@@ -1,12 +1,12 @@
 //! Regenerates Figure 8: Erel of proximity metric M2(p,q) = (P(p|q)+P(q|p))/2.
 
 use tps_experiments::figures::fig789;
-use tps_experiments::{DtdWorkload, ExperimentScale};
+use tps_experiments::{DtdWorkload, ScaleConfig};
 
 fn main() {
-    let scale = ExperimentScale::from_env();
+    let scale = ScaleConfig::from_env().resolve();
     eprintln!(
-        "[fig8] scale = {} (set TPS_SCALE=paper|quick|tiny)",
+        "[fig8] scale = {} (set TPS_SCALE=paper|quick|tiny, TPS_REPRO_SCALE=<factor>)",
         scale.name
     );
     let workloads = DtdWorkload::both(&scale);

@@ -1,12 +1,12 @@
 //! Regenerates Figure 9: Erel of proximity metric M3(p,q) = P(p∧q)/P(p∨q).
 
 use tps_experiments::figures::fig789;
-use tps_experiments::{DtdWorkload, ExperimentScale};
+use tps_experiments::{DtdWorkload, ScaleConfig};
 
 fn main() {
-    let scale = ExperimentScale::from_env();
+    let scale = ScaleConfig::from_env().resolve();
     eprintln!(
-        "[fig9] scale = {} (set TPS_SCALE=paper|quick|tiny)",
+        "[fig9] scale = {} (set TPS_SCALE=paper|quick|tiny, TPS_REPRO_SCALE=<factor>)",
         scale.name
     );
     let workloads = DtdWorkload::both(&scale);

@@ -3,15 +3,19 @@
 //!
 //! ```text
 //! TPS_SCALE=quick cargo run --release -p tps-experiments --bin run_all
+//! TPS_SCALE=tiny TPS_REPRO_SCALE=0.5 cargo run --release -p tps-experiments --bin run_all
 //! ```
+//!
+//! See `docs/REPRODUCTION.md` for the full reproduction workflow (the CI
+//! job that runs this downscaled, and the paper-scale invocation).
 
 use std::time::Instant;
 
 use tps_experiments::figures::{ablation_representations, fig10, fig4, fig5, fig6, fig789, table1};
-use tps_experiments::{DtdWorkload, ExperimentScale};
+use tps_experiments::{DtdWorkload, ScaleConfig};
 
 fn main() {
-    let scale = ExperimentScale::from_env();
+    let scale = ScaleConfig::from_env().resolve();
     eprintln!(
         "[run_all] scale = {} ({} docs, {} positives, {} negatives, {} pairs)",
         scale.name,

@@ -1,12 +1,12 @@
 //! Regenerates the dataset/workload statistics of Table 1 and Section 5.1.
 
 use tps_experiments::figures::table1;
-use tps_experiments::{DtdWorkload, ExperimentScale};
+use tps_experiments::{DtdWorkload, ScaleConfig};
 
 fn main() {
-    let scale = ExperimentScale::from_env();
+    let scale = ScaleConfig::from_env().resolve();
     eprintln!(
-        "[table1] scale = {} (set TPS_SCALE=paper|quick|tiny)",
+        "[table1] scale = {} (set TPS_SCALE=paper|quick|tiny, TPS_REPRO_SCALE=<factor>)",
         scale.name
     );
     let workloads = DtdWorkload::both(&scale);

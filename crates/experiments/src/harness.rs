@@ -5,9 +5,9 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use tps_core::{ExactEvaluator, PatternId, ProximityMetric, SimilarityEngine};
+use tps_core::{build_par, ExactEvaluator, PatternId, ProximityMetric, SimilarityEngine};
 use tps_synopsis::{MatchingSetKind, Synopsis, SynopsisConfig};
-use tps_workload::{Dataset, DatasetConfig, Dtd};
+use tps_workload::{Dataset, DatasetConfig, DocumentGenerator, Dtd, GeneratedDocuments};
 
 use crate::error::{average_relative_error, root_mean_square_error};
 use crate::scale::ExperimentScale;
@@ -21,6 +21,10 @@ pub struct DtdWorkload {
     pub dataset: Dataset,
     /// Exact selectivity of every positive pattern.
     pub exact_positive: Vec<f64>,
+    /// Generator configuration the corpus was produced with; lets
+    /// [`DtdWorkload::document_stream`] re-stream the identical corpus
+    /// document by document (generation is deterministic per seed).
+    pub config: DatasetConfig,
 }
 
 impl DtdWorkload {
@@ -43,6 +47,7 @@ impl DtdWorkload {
             name: name.to_string(),
             dataset,
             exact_positive,
+            config,
         }
     }
 
@@ -66,29 +71,46 @@ impl DtdWorkload {
         ExactEvaluator::new(self.dataset.documents.clone())
     }
 
+    /// A fresh stream re-generating the workload's corpus document by
+    /// document (deterministic per seed, so it yields exactly
+    /// `self.dataset.documents`).
+    pub fn document_stream(&self) -> GeneratedDocuments<'_> {
+        DocumentGenerator::new(&self.dataset.dtd, self.config.docgen.clone())
+            .into_stream(self.config.document_count)
+    }
+
+    /// Stream the corpus into a sharded synopsis build. The figures call
+    /// this once per (representation × summary size), so the stream reads
+    /// the materialised corpus — kept for the exact ground truth anyway —
+    /// cloning one document at a time rather than regenerating the corpus
+    /// per build ([`DtdWorkload::document_stream`] is the generator-backed
+    /// alternative for larger-than-memory runs).
+    fn streamed_synopsis(&self, kind: MatchingSetKind) -> Synopsis {
+        build_par(
+            SynopsisConfig {
+                kind,
+                ..SynopsisConfig::counters()
+            },
+            tps_xml::stream::cloned_trees(&self.dataset.documents),
+            tps_core::par::available_workers(),
+        )
+        .expect("in-memory trees never fail to parse")
+    }
+
     /// Build (and prepare) a synopsis of the given representation over the
-    /// workload's documents.
+    /// workload's corpus, streamed and sharded over the available cores
+    /// (estimate-identical to the sequential in-memory build).
     pub fn build_synopsis(&self, kind: MatchingSetKind) -> Synopsis {
-        let config = SynopsisConfig {
-            kind,
-            ..SynopsisConfig::counters()
-        };
-        let mut synopsis = Synopsis::from_documents(config, &self.dataset.documents);
+        let mut synopsis = self.streamed_synopsis(kind);
         synopsis.prepare();
         synopsis
     }
 
     /// Build a [`SimilarityEngine`] of the given representation over the
-    /// workload's documents, with the positive and negative pattern
-    /// workloads registered once.
+    /// workload's corpus (streamed, sharded), with the positive and
+    /// negative pattern workloads registered once.
     pub fn build_engine(&self, kind: MatchingSetKind) -> WorkloadEngine {
-        let mut engine = SimilarityEngine::from_synopsis(Synopsis::from_documents(
-            SynopsisConfig {
-                kind,
-                ..SynopsisConfig::counters()
-            },
-            &self.dataset.documents,
-        ));
+        let mut engine = SimilarityEngine::from_synopsis(self.streamed_synopsis(kind));
         let positive = engine.register_all(&self.dataset.positive);
         let negative = engine.register_all(&self.dataset.negative);
         WorkloadEngine {
@@ -347,6 +369,45 @@ mod tests {
         scale.positive_count = 15;
         scale.negative_count = 15;
         DtdWorkload::build("NITF", Dtd::nitf_like(), &scale)
+    }
+
+    #[test]
+    fn streamed_sharded_build_matches_the_in_memory_sequential_build() {
+        let w = tiny_workload();
+        for kind in [
+            MatchingSetKind::Counters,
+            MatchingSetKind::Sets { capacity: 16 },
+            MatchingSetKind::Hashes { capacity: 64 },
+        ] {
+            let streamed = w.build_synopsis(kind);
+            let sequential = Synopsis::from_documents(
+                SynopsisConfig {
+                    kind,
+                    ..SynopsisConfig::counters()
+                },
+                &w.dataset.documents,
+            );
+            assert_eq!(streamed.document_count(), sequential.document_count());
+            assert_eq!(streamed.size(), sequential.size(), "{kind:?}");
+            assert_eq!(
+                streamed.universe_value(),
+                sequential.universe_value(),
+                "{kind:?}"
+            );
+            // The generator-backed stream (larger-than-memory path) yields
+            // the identical corpus, hence the identical synopsis.
+            let generated = build_par(
+                SynopsisConfig {
+                    kind,
+                    ..SynopsisConfig::counters()
+                },
+                w.document_stream(),
+                2,
+            )
+            .expect("generated documents never fail to parse");
+            assert_eq!(generated.size(), sequential.size(), "{kind:?} generated");
+            assert_eq!(generated.universe_value(), sequential.universe_value());
+        }
     }
 
     #[test]

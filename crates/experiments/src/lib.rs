@@ -12,7 +12,11 @@
 //! ```
 //!
 //! The scale is controlled by the `TPS_SCALE` environment variable
-//! (`paper`, `quick` — the default —, or `tiny`); see [`scale::ExperimentScale`].
+//! (`paper`, `quick` — the default —, or `tiny`), optionally downscaled by
+//! the fractional `TPS_REPRO_SCALE` factor the CI reproduction job uses;
+//! see [`scale::ScaleConfig`]. The full workflow (downscaled CI run,
+//! paper-scale run, captured artifacts) is documented in
+//! `docs/REPRODUCTION.md`.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -22,4 +26,4 @@ pub mod harness;
 pub mod scale;
 
 pub use harness::{DtdWorkload, Table};
-pub use scale::ExperimentScale;
+pub use scale::{ExperimentScale, ScaleConfig};

@@ -10,6 +10,13 @@
 //!   smaller, finishing in minutes,
 //! * `tiny` — a smoke-test scale used by integration tests and CI.
 //!
+//! On top of the named preset, `TPS_REPRO_SCALE` applies a fractional
+//! downscale factor (e.g. `0.5` halves every workload count) — the knob the
+//! CI reproduction job uses to shrink a run without changing its shape. The
+//! two knobs combine in one [`ScaleConfig`], which every experiment binary
+//! resolves through, so the CI downscale and the paper-scale run share one
+//! code path.
+//!
 //! Scaling down the document and pattern counts changes the absolute error
 //! values slightly (smaller streams are easier to summarise) but preserves
 //! the comparisons the paper's figures make: which representation wins, how
@@ -17,7 +24,7 @@
 //! accuracy.
 
 /// Scale parameters shared by every experiment.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentScale {
     /// Human-readable name (`paper`, `quick`, `tiny`).
     pub name: String,
@@ -86,14 +93,91 @@ impl ExperimentScale {
         }
     }
 
-    /// Read the scale from the `TPS_SCALE` environment variable
-    /// (`paper` / `quick` / `tiny`), defaulting to `quick`.
+    /// Read the scale from the environment (`TPS_SCALE` preset downscaled
+    /// by `TPS_REPRO_SCALE`); shorthand for
+    /// [`ScaleConfig::from_env`]`.resolve()`.
     pub fn from_env() -> Self {
-        match std::env::var("TPS_SCALE").as_deref() {
-            Ok("paper") => Self::paper(),
-            Ok("tiny") => Self::tiny(),
-            Ok("quick") | Ok(_) | Err(_) => Self::quick(),
+        ScaleConfig::from_env().resolve()
+    }
+}
+
+/// The combined scale selection every experiment binary honours: a named
+/// preset (`TPS_SCALE`) plus a fractional downscale factor
+/// (`TPS_REPRO_SCALE`).
+///
+/// The factor shrinks the document, pattern and pair counts while keeping
+/// the sweep shape (summary sizes, compression ratios) intact; counts are
+/// floored so even extreme factors leave a runnable workload. CI's
+/// reproduction job sets e.g. `TPS_SCALE=tiny TPS_REPRO_SCALE=1.0`; a
+/// paper-scale run sets `TPS_SCALE=paper` and leaves the factor at 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleConfig {
+    /// Preset name: `paper`, `quick` or `tiny`.
+    pub base: String,
+    /// Multiplicative downscale factor in `(0, 1]` applied to all workload
+    /// counts (values outside the range are clamped).
+    pub factor: f64,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        Self {
+            base: "quick".to_string(),
+            factor: 1.0,
         }
+    }
+}
+
+impl ScaleConfig {
+    /// A configuration for a named preset at full size.
+    pub fn preset(base: &str) -> Self {
+        Self {
+            base: base.to_string(),
+            ..Self::default()
+        }
+    }
+
+    /// Override the downscale factor.
+    pub fn with_factor(mut self, factor: f64) -> Self {
+        self.factor = factor;
+        self
+    }
+
+    /// Read `TPS_SCALE` (preset, default `quick`) and `TPS_REPRO_SCALE`
+    /// (factor, default `1.0`) from the environment.
+    pub fn from_env() -> Self {
+        let base = std::env::var("TPS_SCALE").unwrap_or_else(|_| "quick".to_string());
+        let factor = std::env::var("TPS_REPRO_SCALE")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(1.0);
+        Self { base, factor }
+    }
+
+    /// Resolve to concrete experiment parameters: pick the preset, then
+    /// apply the downscale factor to every workload count.
+    pub fn resolve(&self) -> ExperimentScale {
+        let mut scale = match self.base.as_str() {
+            "paper" => ExperimentScale::paper(),
+            "tiny" => ExperimentScale::tiny(),
+            _ => ExperimentScale::quick(),
+        };
+        let factor = if self.factor.is_finite() {
+            self.factor.clamp(f64::MIN_POSITIVE, 1.0)
+        } else {
+            1.0
+        };
+        if factor < 1.0 {
+            let shrink = |count: usize, floor: usize| -> usize {
+                ((count as f64 * factor).round() as usize).max(floor)
+            };
+            scale.document_count = shrink(scale.document_count, 20);
+            scale.positive_count = shrink(scale.positive_count, 5);
+            scale.negative_count = shrink(scale.negative_count, 5);
+            scale.pair_count = shrink(scale.pair_count, 5);
+            scale.name = format!("{}×{}", scale.name, factor);
+        }
+        scale
     }
 }
 
@@ -122,6 +206,37 @@ mod tests {
         assert!(quick.document_count > tiny.document_count);
         assert!(paper.pair_count > quick.pair_count);
         assert!(quick.pair_count > tiny.pair_count);
+    }
+
+    #[test]
+    fn repro_factor_shrinks_counts_but_keeps_the_sweep_shape() {
+        let full = ScaleConfig::preset("quick").resolve();
+        let half = ScaleConfig::preset("quick").with_factor(0.5).resolve();
+        assert_eq!(half.document_count, full.document_count / 2);
+        assert_eq!(half.positive_count, full.positive_count / 2);
+        assert_eq!(half.pair_count, full.pair_count / 2);
+        assert_eq!(half.summary_sizes, full.summary_sizes);
+        assert_eq!(half.compression_ratios, full.compression_ratios);
+        assert!(half.name.contains("0.5"));
+    }
+
+    #[test]
+    fn extreme_factors_are_floored_and_clamped() {
+        let tiny = ScaleConfig::preset("tiny").with_factor(0.0001).resolve();
+        assert!(tiny.document_count >= 20);
+        assert!(tiny.positive_count >= 5);
+        let over = ScaleConfig::preset("tiny").with_factor(7.0).resolve();
+        assert_eq!(over, ExperimentScale::tiny());
+        let nan = ScaleConfig::preset("tiny").with_factor(f64::NAN).resolve();
+        assert_eq!(nan, ExperimentScale::tiny());
+    }
+
+    #[test]
+    fn unknown_presets_fall_back_to_quick() {
+        assert_eq!(
+            ScaleConfig::preset("nonsense").resolve(),
+            ExperimentScale::quick()
+        );
     }
 
     #[test]

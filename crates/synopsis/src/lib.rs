@@ -11,7 +11,14 @@
 //!   samples) and the union/intersection/cardinality algebra the selectivity
 //!   algorithm needs.
 //! * [`DistinctSample`] — Gibbons' distinct sampling.
-//! * [`ReservoirSampler`] — Vitter's reservoir sampling.
+//! * [`ReservoirSampler`] — keyed (bottom-k) reservoir sampling, the
+//!   order-independent equivalent of Vitter's scheme that makes the Sets
+//!   representation mergeable.
+//! * Streaming & sharding — [`Synopsis::observe_stream`] folds a pull-based
+//!   [`DocumentStream`](tps_xml::stream::DocumentStream) into the synopsis
+//!   without materialising the corpus, and [`Synopsis::merge`] combines
+//!   per-shard partial synopses (counters add, sets re-prune, hash sketches
+//!   union) estimate-identically to a sequential build.
 //! * Pruning — [`Synopsis::prune_to_ratio`] and the individual fold / delete /
 //!   merge operations of Section 3.3.
 //!

@@ -1,15 +1,30 @@
-//! Vitter reservoir sampling over the document stream.
+//! Keyed (bottom-k) reservoir sampling over the document stream.
 //!
 //! The *Sets* representation of matching sets (Section 3.2) keeps full,
 //! exact matching sets — but only for a fixed-size uniform random sample of
-//! the document stream. The reservoir decides, for the `k`-th document, with
-//! probability `min{1, s/k}` whether it enters the sample; when the reservoir
-//! is full, the newcomer replaces a uniformly random current member, whose
-//! identifier must then be removed from every synopsis node.
-
-use rand::Rng;
+//! the document stream. Classic Vitter sampling draws its inclusion and
+//! eviction decisions from a sequential RNG, which makes the sample depend
+//! on arrival order and therefore impossible to build shard-wise. This
+//! implementation uses the equivalent *order sampling* (bottom-k) scheme
+//! instead: every document identifier is assigned a deterministic
+//! pseudo-random key by a seeded hash, and the reservoir is exactly the `k`
+//! documents with the smallest keys seen so far. Because the key is a pure
+//! function of `(seed, doc)`:
+//!
+//! * the sample is still a uniform random `k`-subset of the stream (all
+//!   `k`-subsets are equally likely over the hash randomness),
+//! * the final sample is a deterministic, order-independent function of the
+//!   observed identifier *set*, and
+//! * two reservoirs built over disjoint shards of the stream merge exactly:
+//!   the bottom-`k` of a union is the bottom-`k` of the shard bottom-`k`s.
+//!
+//! That last property is what makes the whole Sets synopsis mergeable
+//! ([`crate::Synopsis::merge`]): a sequential build over the full stream and
+//! a shard-then-merge build produce identical samples, hence identical
+//! matching sets.
 
 use crate::docid::DocId;
+use crate::hash::hash_doc;
 
 /// The decision taken by the reservoir for one arriving document.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,33 +41,59 @@ pub enum ReservoirDecision {
     },
 }
 
-/// A fixed-size uniform sample of the document stream (Vitter's algorithm R).
+/// A fixed-size uniform sample of the document stream (bottom-k order
+/// sampling with a deterministic per-document key).
 #[derive(Debug, Clone)]
 pub struct ReservoirSampler {
-    sample: Vec<DocId>,
+    /// `(key, doc)` pairs currently sampled; unordered.
+    entries: Vec<(u64, DocId)>,
     capacity: usize,
-    /// Number of documents offered so far (the `k` of `min{1, s/k}`).
+    /// Number of documents offered so far.
     seen: u64,
+    /// Seed of the key hash; all reservoirs that are ever merged must share
+    /// it (the synopsis guarantees this by construction).
+    seed: u64,
+    /// Cached index of the largest-key entry (the eviction threshold),
+    /// recomputed lazily after a mutation invalidates it. Keeps the common
+    /// full-reservoir *skip* path at one comparison instead of an
+    /// O(capacity) scan per offered document.
+    max_index: Option<usize>,
 }
 
 impl ReservoirSampler {
-    /// Create an empty reservoir with room for `capacity` documents.
+    /// Create an empty reservoir with room for `capacity` documents, keyed
+    /// with the default seed.
     pub fn new(capacity: usize) -> Self {
+        Self::with_seed(capacity, crate::distinct::DEFAULT_SEED)
+    }
+
+    /// Create an empty reservoir with room for `capacity` documents, keyed
+    /// with the given hash seed.
+    pub fn with_seed(capacity: usize, seed: u64) -> Self {
         Self {
-            sample: Vec::with_capacity(capacity.max(1)),
+            entries: Vec::with_capacity(capacity.max(1)),
             capacity: capacity.max(1),
             seen: 0,
+            seed,
+            max_index: None,
         }
+    }
+
+    /// The sampling key of a document: a deterministic hash of `(seed, doc)`.
+    /// The reservoir holds the documents with the `capacity` smallest keys.
+    /// Ties (astronomically unlikely) break on the identifier itself.
+    fn key(&self, doc: DocId) -> u64 {
+        hash_doc(doc.as_u64(), self.seed ^ RESERVOIR_SALT)
     }
 
     /// Number of documents currently in the sample.
     pub fn len(&self) -> usize {
-        self.sample.len()
+        self.entries.len()
     }
 
     /// Whether the sample is empty.
     pub fn is_empty(&self) -> bool {
-        self.sample.is_empty()
+        self.entries.is_empty()
     }
 
     /// Capacity of the reservoir.
@@ -60,56 +101,110 @@ impl ReservoirSampler {
         self.capacity
     }
 
+    /// The key-hash seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Number of documents offered so far.
     pub fn seen(&self) -> u64 {
         self.seen
     }
 
-    /// The sampled document identifiers.
-    pub fn sample(&self) -> &[DocId] {
-        &self.sample
+    /// The sampled document identifiers (in no particular order).
+    pub fn sample(&self) -> Vec<DocId> {
+        self.entries.iter().map(|&(_, doc)| doc).collect()
     }
 
     /// Whether `doc` is currently in the sample.
     pub fn contains(&self, doc: DocId) -> bool {
-        self.sample.contains(&doc)
+        self.entries.iter().any(|&(_, d)| d == doc)
+    }
+
+    /// Index of the entry with the largest key (the next eviction victim),
+    /// cached between mutations.
+    fn argmax(&mut self) -> Option<usize> {
+        if self.max_index.is_none() {
+            self.max_index = self
+                .entries
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &(key, doc))| (key, doc.as_u64()))
+                .map(|(i, _)| i);
+        }
+        self.max_index
     }
 
     /// Offer the next stream document to the reservoir and return the
     /// decision. The caller is responsible for applying the decision to the
     /// synopsis (inserting the new document / removing the evicted one).
-    pub fn offer<R: Rng + ?Sized>(&mut self, doc: DocId, rng: &mut R) -> ReservoirDecision {
+    ///
+    /// The decision is a pure function of the identifier set offered so far,
+    /// not of the arrival order: a document ends up in the sample iff its
+    /// key is among the `capacity` smallest.
+    pub fn offer(&mut self, doc: DocId) -> ReservoirDecision {
         self.seen += 1;
-        if self.sample.len() < self.capacity {
-            self.sample.push(doc);
+        let key = self.key(doc);
+        if self.entries.len() < self.capacity {
+            self.entries.push((key, doc));
+            self.max_index = None;
             return ReservoirDecision::Insert;
         }
-        // Include with probability s/k.
-        let k = self.seen;
-        let s = self.capacity as u64;
-        if rng.gen_range(0..k) < s {
-            let victim_index = rng.gen_range(0..self.sample.len());
-            let evicted = self.sample[victim_index];
-            self.sample[victim_index] = doc;
-            ReservoirDecision::Replace { evicted }
+        let victim_index = self.argmax().expect("reservoir is full, hence non-empty");
+        let (victim_key, victim_doc) = self.entries[victim_index];
+        if (key, doc.as_u64()) < (victim_key, victim_doc.as_u64()) {
+            self.entries[victim_index] = (key, doc);
+            // The replacement has a smaller key, so some other entry may now
+            // carry the maximum.
+            self.max_index = None;
+            ReservoirDecision::Replace {
+                evicted: victim_doc,
+            }
         } else {
             ReservoirDecision::Skip
         }
     }
+
+    /// Merge another reservoir (built over a *disjoint* shard of the same
+    /// stream, with the same seed and capacity) into this one, keeping the
+    /// global bottom-`k`. Returns the identifiers evicted from either side,
+    /// which the caller must remove from every synopsis node.
+    pub fn merge(&mut self, other: &ReservoirSampler) -> Vec<DocId> {
+        debug_assert_eq!(self.seed, other.seed, "reservoirs must share a seed");
+        debug_assert_eq!(
+            self.capacity, other.capacity,
+            "reservoirs must share a capacity"
+        );
+        self.seen += other.seen;
+        self.entries.extend(other.entries.iter().copied());
+        self.max_index = None;
+        if self.entries.len() <= self.capacity {
+            return Vec::new();
+        }
+        self.entries
+            .sort_unstable_by_key(|&(key, doc)| (key, doc.as_u64()));
+        self.entries
+            .split_off(self.capacity)
+            .into_iter()
+            .map(|(_, doc)| doc)
+            .collect()
+    }
 }
+
+/// Domain-separation salt: the reservoir key hash must be independent of
+/// the distinct-sampling level hash even though both derive from the same
+/// synopsis seed.
+const RESERVOIR_SALT: u64 = 0x5EED_B0B5_0FF5_E701;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn fills_up_to_capacity_first() {
-        let mut rng = StdRng::seed_from_u64(1);
         let mut r = ReservoirSampler::new(10);
         for i in 0..10u64 {
-            assert_eq!(r.offer(DocId(i), &mut rng), ReservoirDecision::Insert);
+            assert_eq!(r.offer(DocId(i)), ReservoirDecision::Insert);
         }
         assert_eq!(r.len(), 10);
         assert_eq!(r.seen(), 10);
@@ -117,10 +212,9 @@ mod tests {
 
     #[test]
     fn never_exceeds_capacity() {
-        let mut rng = StdRng::seed_from_u64(2);
         let mut r = ReservoirSampler::new(16);
         for i in 0..10_000u64 {
-            r.offer(DocId(i), &mut rng);
+            r.offer(DocId(i));
         }
         assert_eq!(r.len(), 16);
         assert_eq!(r.seen(), 10_000);
@@ -128,15 +222,14 @@ mod tests {
 
     #[test]
     fn replace_reports_a_member_that_was_present() {
-        let mut rng = StdRng::seed_from_u64(3);
         let mut r = ReservoirSampler::new(4);
         for i in 0..4u64 {
-            r.offer(DocId(i), &mut rng);
+            r.offer(DocId(i));
         }
         let mut replaced = 0;
         for i in 4..1000u64 {
-            let before = r.sample().to_vec();
-            match r.offer(DocId(i), &mut rng) {
+            let before = r.sample();
+            match r.offer(DocId(i)) {
                 ReservoirDecision::Replace { evicted } => {
                     replaced += 1;
                     assert!(before.contains(&evicted));
@@ -155,15 +248,14 @@ mod tests {
     #[test]
     fn sampling_is_approximately_uniform() {
         // Each of the first 1000 documents should end up in a size-100
-        // reservoir with probability ~0.1; run many independent streams and
+        // reservoir with probability ~0.1; run many independent seeds and
         // check the inclusion frequency of document 0.
         let trials = 2_000;
         let mut included = 0;
         for t in 0..trials {
-            let mut rng = StdRng::seed_from_u64(1000 + t);
-            let mut r = ReservoirSampler::new(100);
+            let mut r = ReservoirSampler::with_seed(100, 1000 + t);
             for i in 0..1000u64 {
-                r.offer(DocId(i), &mut rng);
+                r.offer(DocId(i));
             }
             if r.contains(DocId(0)) {
                 included += 1;
@@ -178,14 +270,93 @@ mod tests {
 
     #[test]
     fn small_streams_are_kept_entirely() {
-        let mut rng = StdRng::seed_from_u64(5);
         let mut r = ReservoirSampler::new(1000);
         for i in 0..50u64 {
-            r.offer(DocId(i), &mut rng);
+            r.offer(DocId(i));
         }
         assert_eq!(r.len(), 50);
         for i in 0..50u64 {
             assert!(r.contains(DocId(i)));
         }
+    }
+
+    #[test]
+    fn sample_is_independent_of_arrival_order() {
+        let mut forward = ReservoirSampler::new(8);
+        let mut backward = ReservoirSampler::new(8);
+        for i in 0..500u64 {
+            forward.offer(DocId(i));
+        }
+        for i in (0..500u64).rev() {
+            backward.offer(DocId(i));
+        }
+        let mut a = forward.sample();
+        let mut b = backward.sample();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merge_of_disjoint_shards_equals_the_sequential_sample() {
+        for shards in [2usize, 3, 8] {
+            let mut sequential = ReservoirSampler::new(16);
+            for i in 0..1000u64 {
+                sequential.offer(DocId(i));
+            }
+            let mut parts: Vec<ReservoirSampler> =
+                (0..shards).map(|_| ReservoirSampler::new(16)).collect();
+            for i in 0..1000u64 {
+                parts[(i as usize * shards) / 1000].offer(DocId(i));
+            }
+            let mut merged = parts.remove(0);
+            let mut evicted_total = 0;
+            for part in &parts {
+                evicted_total += merged.merge(part).len();
+            }
+            assert!(evicted_total > 0, "shard union must overflow");
+            assert_eq!(merged.seen(), sequential.seen());
+            let mut a = merged.sample();
+            let mut b = sequential.sample();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn merge_returns_every_evicted_identifier() {
+        let mut a = ReservoirSampler::new(4);
+        let mut b = ReservoirSampler::new(4);
+        for i in 0..4u64 {
+            a.offer(DocId(i));
+        }
+        for i in 4..8u64 {
+            b.offer(DocId(i));
+        }
+        let evicted = a.merge(&b);
+        assert_eq!(evicted.len(), 4);
+        assert_eq!(a.len(), 4);
+        for doc in evicted {
+            assert!(!a.contains(doc));
+        }
+        // Survivors and evictees partition the union.
+        let survivors = a.sample();
+        assert!(survivors.iter().all(|d| d.as_u64() < 8));
+    }
+
+    #[test]
+    fn different_seeds_sample_differently() {
+        let mut a = ReservoirSampler::with_seed(8, 1);
+        let mut b = ReservoirSampler::with_seed(8, 2);
+        for i in 0..500u64 {
+            a.offer(DocId(i));
+            b.offer(DocId(i));
+        }
+        let mut sa = a.sample();
+        let mut sb = b.sample();
+        sa.sort_unstable();
+        sb.sort_unstable();
+        assert_ne!(sa, sb);
     }
 }

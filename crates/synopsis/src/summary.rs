@@ -8,7 +8,8 @@
 //!   an independence assumption (union → max, intersection → product of the
 //!   corresponding probabilities).
 //! * **Sets** — exact matching sets, but only over a fixed-size uniform
-//!   sample of the document stream (Vitter reservoir sampling).
+//!   sample of the document stream (keyed bottom-k reservoir sampling,
+//!   order-independent and therefore shard-mergeable).
 //! * **Hashes** — per-node bounded-size distinct samples (Gibbons), combined
 //!   with level-aware union/intersection.
 //!

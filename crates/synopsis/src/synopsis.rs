@@ -13,9 +13,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
+use tps_xml::stream::{DocumentStream, StreamError};
 use tps_xml::XmlTree;
 
 use crate::distinct::DEFAULT_SEED;
@@ -174,7 +172,6 @@ pub struct Synopsis {
     pub(crate) nodes: Vec<SynopsisNode>,
     doc_count: u64,
     reservoir: Option<ReservoirSampler>,
-    rng: StdRng,
     /// Cached full matching-set values (only consulted while valid).
     full_cache: Vec<Option<SummaryValue>>,
     cache_valid: bool,
@@ -195,7 +192,6 @@ impl Clone for Synopsis {
             nodes: self.nodes.clone(),
             doc_count: self.doc_count,
             reservoir: self.reservoir.clone(),
-            rng: self.rng.clone(),
             full_cache: self.full_cache.clone(),
             cache_valid: self.cache_valid,
             epoch: AtomicU64::new(self.epoch.load(Ordering::Acquire)),
@@ -207,7 +203,9 @@ impl Synopsis {
     /// Create an empty synopsis.
     pub fn new(config: SynopsisConfig) -> Self {
         let reservoir = match config.kind {
-            MatchingSetKind::Sets { capacity } => Some(ReservoirSampler::new(capacity)),
+            MatchingSetKind::Sets { capacity } => {
+                Some(ReservoirSampler::with_seed(capacity, config.seed))
+            }
             _ => None,
         };
         Self {
@@ -222,7 +220,6 @@ impl Synopsis {
             }],
             doc_count: 0,
             reservoir,
-            rng: StdRng::seed_from_u64(config.seed),
             full_cache: Vec::new(),
             cache_valid: false,
             epoch: AtomicU64::new(0),
@@ -357,19 +354,37 @@ impl Synopsis {
     /// duplicate labels are assumed to have been coalesced).
     pub fn insert_skeleton(&mut self, skeleton: &XmlTree) -> DocId {
         let doc = DocId(self.doc_count);
+        self.insert_skeleton_as(skeleton, doc);
+        doc
+    }
+
+    /// Observe a document under an explicit stream identifier (its 0-based
+    /// global stream position).
+    ///
+    /// This is the shard-building entry point: a sharded build assigns
+    /// identifiers by global stream position, observes each contiguous chunk
+    /// into its own partial synopsis, and [`Synopsis::merge`]s the partials.
+    /// Because every sampling decision (reservoir membership, distinct-sample
+    /// levels) is a deterministic function of `(seed, id)`, the merged result
+    /// is identical to a sequential [`Synopsis::insert_document`] pass.
+    pub fn insert_document_as(&mut self, document: &XmlTree, doc: DocId) {
+        let skeleton = document.skeleton();
+        self.insert_skeleton_as(&skeleton, doc);
+    }
+
+    /// Skeleton-tree variant of [`Synopsis::insert_document_as`].
+    pub fn insert_skeleton_as(&mut self, skeleton: &XmlTree, doc: DocId) {
         self.doc_count += 1;
         match self.config.kind {
             MatchingSetKind::Counters | MatchingSetKind::Hashes { .. } => {
                 self.record_document(skeleton, doc);
             }
             MatchingSetKind::Sets { .. } => {
-                let decision = {
-                    let reservoir = self
-                        .reservoir
-                        .as_mut()
-                        .expect("Sets mode always has a reservoir");
-                    reservoir.offer(doc, &mut self.rng)
-                };
+                let decision = self
+                    .reservoir
+                    .as_mut()
+                    .expect("Sets mode always has a reservoir")
+                    .offer(doc);
                 match decision {
                     ReservoirDecision::Skip => {}
                     ReservoirDecision::Insert => self.record_document(skeleton, doc),
@@ -381,7 +396,147 @@ impl Synopsis {
             }
         }
         self.touch();
-        doc
+    }
+
+    /// Observe every document of a pull-based stream, parsing lazily and
+    /// never materialising the corpus. Returns the number of documents
+    /// observed from this stream.
+    ///
+    /// This is the sequential streaming build; the sharded equivalent is
+    /// `tps_core::build_par`, which is estimate-identical for any shard
+    /// count.
+    pub fn observe_stream<S: DocumentStream>(&mut self, mut stream: S) -> Result<u64, StreamError> {
+        let mut observed = 0;
+        while let Some(document) = stream.next_document(self.doc_count) {
+            self.insert_document(&document?);
+            observed += 1;
+        }
+        Ok(observed)
+    }
+
+    /// Merge another synopsis, built over a *disjoint* shard of the same
+    /// document stream with the same configuration, into this one.
+    ///
+    /// Matching-set summaries combine per representation:
+    ///
+    /// * **Counters** add (disjoint shards count disjoint documents),
+    /// * **Sets** union their sampled sets, then the merged reservoir is
+    ///   re-pruned to its capacity (global bottom-k of the shard samples)
+    ///   and evicted documents are removed from every node,
+    /// * **Hashes** union their distinct samples level-aware.
+    ///
+    /// Provided the shards observed disjoint document-identifier ranges of
+    /// one stream (see [`Synopsis::insert_document_as`]), merging is
+    /// associative and commutative and the result is *estimate-identical*
+    /// to a sequential build over the whole stream: every node carries the
+    /// same matching-set value. Merging synopses that were pruned
+    /// beforehand is supported (folded subtrees are combined, summaries
+    /// merge as above) but is no longer guaranteed to match a sequential
+    /// build, since pruning decisions depend on what each shard saw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two synopses disagree on configuration (kind or seed).
+    pub fn merge(&mut self, other: &Synopsis) {
+        assert_eq!(
+            self.config, other.config,
+            "cannot merge synopses with different configurations"
+        );
+        self.doc_count += other.document_count();
+        // Walk both structures in lock-step from the roots, creating missing
+        // nodes and merging summaries and folded subtrees. `mapped` records
+        // where each of `other`'s nodes landed in `self`: pruning's
+        // same-label merges can turn a shard into a DAG (nodes with several
+        // parents), and the map ensures such a node is merged exactly once
+        // — further parent paths just mirror the extra edge — instead of
+        // being re-expanded into one copy per path.
+        let mut mapped: Vec<Option<SynopsisNodeId>> = vec![None; other.nodes.len()];
+        mapped[other.root().index()] = Some(self.root());
+        self.merge_node_payload(self.root(), other, other.root());
+        let mut stack: Vec<(SynopsisNodeId, SynopsisNodeId)> = vec![(self.root(), other.root())];
+        while let Some((self_id, other_id)) = stack.pop() {
+            for &other_child in &other.nodes[other_id.index()].children {
+                if !other.nodes[other_child.index()].alive {
+                    continue;
+                }
+                match mapped[other_child.index()] {
+                    Some(self_child) => self.link(self_id, self_child),
+                    None => {
+                        let label = other.nodes[other_child.index()].label.clone();
+                        let self_child = self.find_or_create_child(self_id, &label);
+                        mapped[other_child.index()] = Some(self_child);
+                        self.merge_node_payload(self_child, other, other_child);
+                        stack.push((self_child, other_child));
+                    }
+                }
+            }
+        }
+        // Sets mode: the union of shard reservoirs may exceed the capacity;
+        // keep the global bottom-k and forget everything else.
+        if let (Some(reservoir), Some(other_reservoir)) =
+            (self.reservoir.as_mut(), other.reservoir.as_ref())
+        {
+            let evicted = reservoir.merge(other_reservoir);
+            for doc in evicted {
+                for node in &mut self.nodes {
+                    if node.alive {
+                        node.summary.remove(doc);
+                    }
+                }
+            }
+            self.remove_empty_leaves();
+        }
+        self.touch();
+    }
+
+    /// Merge one shard node's summary and folded subtrees into the node of
+    /// this synopsis it mapped to.
+    fn merge_node_payload(
+        &mut self,
+        id: SynopsisNodeId,
+        other: &Synopsis,
+        other_id: SynopsisNodeId,
+    ) {
+        // `self` (&mut) and `other` (&) cannot alias, so the shard's node
+        // is read in place — no per-node summary clone on the merge path.
+        let other_node = &other.nodes[other_id.index()];
+        self.merge_summary_into(id, &other_node.summary);
+        self.merge_folded_into(id, &other_node.folded);
+    }
+
+    /// Mirror a shard's extra parent edge (DAG sharing) onto this synopsis,
+    /// if not already present.
+    fn link(&mut self, parent: SynopsisNodeId, child: SynopsisNodeId) {
+        if !self.nodes[parent.index()].children.contains(&child) {
+            self.nodes[parent.index()].children.push(child);
+            self.nodes[child.index()].parents.push(parent);
+        }
+    }
+
+    /// Merge a shard node's summary into a node of this synopsis: counters
+    /// add, sets and hash samples union.
+    fn merge_summary_into(&mut self, id: SynopsisNodeId, other: &NodeSummary) {
+        let summary = &mut self.nodes[id.index()].summary;
+        match (summary, other) {
+            (NodeSummary::Counter(a), NodeSummary::Counter(b)) => *a += *b,
+            (NodeSummary::Set(a), NodeSummary::Set(b)) => a.extend(b.iter().copied()),
+            (a @ NodeSummary::Hash(_), b @ NodeSummary::Hash(_)) => *a = a.union(b),
+            _ => unreachable!("merge() checks that the configurations agree"),
+        }
+    }
+
+    /// Append the folded subtrees a shard accumulated that this synopsis
+    /// does not already carry on the node (compared by notation).
+    fn merge_folded_into(&mut self, id: SynopsisNodeId, folded: &[FoldedSubtree]) {
+        for subtree in folded {
+            let exists = self.nodes[id.index()]
+                .folded
+                .iter()
+                .any(|f| f.to_notation() == subtree.to_notation());
+            if !exists {
+                self.nodes[id.index()].folded.push(subtree.clone());
+            }
+        }
     }
 
     fn record_document(&mut self, skeleton: &XmlTree, doc: DocId) {
@@ -920,5 +1075,214 @@ mod tests {
         let docs = figure2_documents();
         let s = Synopsis::from_documents(SynopsisConfig::counters(), &docs);
         assert_eq!(s.matching_value(s.root()).count_units(), 1.0);
+    }
+
+    /// Canonical view of a synopsis for equivalence checks: every live
+    /// root-to-node label path with its full matching-set value, sorted.
+    pub(crate) fn canonical_values(s: &Synopsis) -> Vec<(Vec<String>, SummaryValue)> {
+        fn walk(
+            s: &Synopsis,
+            id: SynopsisNodeId,
+            path: &mut Vec<String>,
+            out: &mut Vec<(Vec<String>, SummaryValue)>,
+        ) {
+            path.push(s.label(id).to_string());
+            out.push((path.clone(), s.matching_value(id)));
+            for &child in s.children(id) {
+                walk(s, child, path, out);
+            }
+            path.pop();
+        }
+        let mut out = Vec::new();
+        walk(s, s.root(), &mut Vec::new(), &mut out);
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    fn sharded_build(config: SynopsisConfig, docs: &[XmlTree], shards: usize) -> Synopsis {
+        let mut merged = Synopsis::new(config);
+        let chunk = docs.len().div_ceil(shards.max(1)).max(1);
+        for (index, chunk_docs) in docs.chunks(chunk).enumerate() {
+            let mut shard = Synopsis::new(config);
+            for (offset, doc) in chunk_docs.iter().enumerate() {
+                shard.insert_document_as(doc, DocId((index * chunk + offset) as u64));
+            }
+            merged.merge(&shard);
+        }
+        merged
+    }
+
+    #[test]
+    fn merged_shards_match_the_sequential_build_for_all_representations() {
+        let docs = figure2_documents();
+        for config in [
+            SynopsisConfig::counters(),
+            SynopsisConfig::sets(4),
+            SynopsisConfig::sets(100),
+            SynopsisConfig::hashes(4),
+            SynopsisConfig::hashes(64),
+        ] {
+            let sequential = Synopsis::from_documents(config, &docs);
+            for shards in [1usize, 2, 3, 6] {
+                let merged = sharded_build(config, &docs, shards);
+                assert_eq!(merged.document_count(), sequential.document_count());
+                assert_eq!(
+                    canonical_values(&merged),
+                    canonical_values(&sequential),
+                    "{:?} with {shards} shards",
+                    config.kind
+                );
+                assert_eq!(
+                    merged.universe_value(),
+                    sequential.universe_value(),
+                    "{:?} with {shards} shards",
+                    config.kind
+                );
+                assert_eq!(merged.effective_universe(), sequential.effective_universe());
+            }
+        }
+    }
+
+    #[test]
+    fn merging_an_empty_shard_is_the_identity() {
+        let docs = figure2_documents();
+        for config in [
+            SynopsisConfig::counters(),
+            SynopsisConfig::sets(4),
+            SynopsisConfig::hashes(8),
+        ] {
+            let mut s = Synopsis::from_documents(config, &docs);
+            let before = canonical_values(&s);
+            let before_docs = s.document_count();
+            s.merge(&Synopsis::new(config));
+            assert_eq!(s.document_count(), before_docs);
+            assert_eq!(canonical_values(&s), before);
+            // Empty += populated works too.
+            let mut empty = Synopsis::new(config);
+            empty.merge(&s);
+            assert_eq!(canonical_values(&empty), before);
+        }
+    }
+
+    #[test]
+    fn merge_advances_the_epoch() {
+        let docs = figure2_documents();
+        let mut s = Synopsis::from_documents(SynopsisConfig::counters(), &docs);
+        let epoch = s.epoch();
+        s.merge(&Synopsis::new(SynopsisConfig::counters()));
+        assert!(s.epoch() > epoch);
+    }
+
+    #[test]
+    fn merge_after_prune_combines_folded_subtrees_and_summaries() {
+        let docs = figure2_documents();
+        let mut pruned = Synopsis::from_documents(SynopsisConfig::counters(), &docs);
+        // Prune aggressively so folds actually happen.
+        pruned.prune_to_ratio(0.4, crate::PruneConfig::default());
+        let folded_total: usize = pruned
+            .live_nodes()
+            .iter()
+            .map(|&id| pruned.folded(id).len())
+            .sum();
+        let mut fresh = Synopsis::from_documents(SynopsisConfig::counters(), &docs);
+        fresh.merge(&pruned);
+        assert_eq!(fresh.document_count(), 2 * docs.len() as u64);
+        // Every folded subtree of the pruned shard survives on the merged
+        // synopsis.
+        let merged_folded: usize = fresh
+            .live_nodes()
+            .iter()
+            .map(|&id| fresh.folded(id).len())
+            .sum();
+        assert!(merged_folded >= folded_total);
+        // Merging a pruned shard into itself does not duplicate folds.
+        let mut doubled = pruned.clone();
+        doubled.merge(&pruned);
+        let doubled_folded: usize = doubled
+            .live_nodes()
+            .iter()
+            .map(|&id| doubled.folded(id).len())
+            .sum();
+        assert_eq!(doubled_folded, folded_total);
+    }
+
+    #[test]
+    fn merging_a_dag_shaped_shard_preserves_sharing() {
+        // Same-label merges during pruning give nodes multiple parents; a
+        // merge must fold each such node in exactly once (mirroring the
+        // extra edges) rather than re-expanding one copy per parent path.
+        let docs: Vec<XmlTree> = ["<a><x><k/></x></a>", "<a><y><k/></y></a>"]
+            .iter()
+            .map(|s| XmlTree::parse(s).unwrap())
+            .collect();
+        let mut dag = Synopsis::from_documents(SynopsisConfig::counters(), &docs);
+        let a = child_by_label(&dag, dag.root(), "a");
+        let x = child_by_label(&dag, a, "x");
+        let y = child_by_label(&dag, a, "y");
+        let kx = child_by_label(&dag, x, "k");
+        let ky = child_by_label(&dag, y, "k");
+        dag.merge_nodes(kx, ky);
+        let shared = child_by_label(&dag, x, "k");
+        assert_eq!(dag.parents(shared).len(), 2, "the shard really is a DAG");
+        let dag_nodes = dag.node_count();
+        let dag_edges = dag.edge_count();
+
+        let mut merged = Synopsis::new(SynopsisConfig::counters());
+        merged.merge(&dag);
+        assert_eq!(merged.node_count(), dag_nodes, "no node is duplicated");
+        assert_eq!(merged.edge_count(), dag_edges, "sharing edges survive");
+        let a = child_by_label(&merged, merged.root(), "a");
+        let x = child_by_label(&merged, a, "x");
+        let k = child_by_label(&merged, x, "k");
+        assert_eq!(merged.parents(k).len(), 2);
+        assert_eq!(canonical_values(&merged), canonical_values(&dag));
+
+        // Self-merge doubles counters but still does not re-expand the DAG.
+        let mut doubled = dag.clone();
+        doubled.merge(&dag);
+        assert_eq!(doubled.node_count(), dag_nodes);
+        assert_eq!(doubled.edge_count(), dag_edges);
+    }
+
+    #[test]
+    #[should_panic(expected = "different configurations")]
+    fn merging_mismatched_configurations_panics() {
+        let mut a = Synopsis::new(SynopsisConfig::counters());
+        let b = Synopsis::new(SynopsisConfig::hashes(8));
+        a.merge(&b);
+    }
+
+    #[test]
+    fn observe_stream_matches_from_documents() {
+        use tps_xml::stream::{cloned_trees, LineStream};
+        let docs = figure2_documents();
+        let sequential = Synopsis::from_documents(SynopsisConfig::hashes(8), &docs);
+        let mut streamed = Synopsis::new(SynopsisConfig::hashes(8));
+        let observed = streamed.observe_stream(cloned_trees(&docs)).unwrap();
+        assert_eq!(observed, docs.len() as u64);
+        assert_eq!(canonical_values(&streamed), canonical_values(&sequential));
+        // Line-delimited raw text round-trips through the same build.
+        let text: String = docs.iter().map(|d| d.to_xml() + "\n").collect();
+        let mut from_lines = Synopsis::new(SynopsisConfig::hashes(8));
+        from_lines
+            .observe_stream(LineStream::new(text.as_bytes()))
+            .unwrap();
+        assert_eq!(
+            canonical_values(&from_lines),
+            canonical_values(&sequential),
+            "skeletons from re-parsed text match"
+        );
+    }
+
+    #[test]
+    fn observe_stream_reports_parse_errors_with_their_position() {
+        use tps_xml::stream::LineStream;
+        let mut s = Synopsis::new(SynopsisConfig::counters());
+        let err = s
+            .observe_stream(LineStream::new("<a/>\n<broken\n".as_bytes()))
+            .unwrap_err();
+        assert!(err.to_string().contains("document 1"), "{err}");
+        // The valid document before the error was observed.
+        assert_eq!(s.document_count(), 1);
     }
 }

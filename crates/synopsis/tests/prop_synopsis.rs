@@ -36,6 +36,27 @@ fn gen_docs() -> impl Strategy<Value = Vec<XmlTree>> {
     prop::collection::vec(gen_doc(), 1..12)
 }
 
+/// Canonical view of a synopsis for equivalence checks: every live
+/// root-to-node label path with its full matching-set value.
+fn canonical_values(s: &Synopsis) -> Vec<(Vec<String>, tps_synopsis::SummaryValue)> {
+    fn walk(
+        s: &Synopsis,
+        id: tps_synopsis::SynopsisNodeId,
+        path: &mut Vec<String>,
+        out: &mut Vec<(Vec<String>, tps_synopsis::SummaryValue)>,
+    ) {
+        path.push(s.label(id).to_string());
+        out.push((path.clone(), s.matching_value(id)));
+        for &child in s.children(id) {
+            walk(s, child, path, out);
+        }
+        path.pop();
+    }
+    let mut out = Vec::new();
+    walk(s, s.root(), &mut Vec::new(), &mut out);
+    out
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -154,6 +175,53 @@ proptest! {
         }
         // The root survives pruning.
         prop_assert!(synopsis.is_alive(synopsis.root()));
+    }
+
+    /// The sharded build — observe contiguous chunks with global stream
+    /// identifiers into per-shard partial synopses, then merge — produces
+    /// the same matching-set value on every node as the sequential
+    /// `from_documents` build, for all three representations and shard
+    /// counts 1, 2 and 8 (small capacities force reservoir re-pruning and
+    /// hash-sample sub-sampling on the way).
+    #[test]
+    fn sharded_build_is_estimate_identical_to_sequential(docs in gen_docs()) {
+        for config in [
+            SynopsisConfig::counters(),
+            SynopsisConfig::sets(4),
+            SynopsisConfig::hashes(4),
+        ] {
+            let sequential = Synopsis::from_documents(config, &docs);
+            for shards in [1usize, 2, 8] {
+                let mut merged = Synopsis::new(config);
+                let chunk = docs.len().div_ceil(shards).max(1);
+                for (index, chunk_docs) in docs.chunks(chunk).enumerate() {
+                    let mut shard = Synopsis::new(config);
+                    for (offset, doc) in chunk_docs.iter().enumerate() {
+                        shard.insert_document_as(doc, DocId((index * chunk + offset) as u64));
+                    }
+                    merged.merge(&shard);
+                }
+                prop_assert_eq!(merged.document_count(), sequential.document_count());
+                prop_assert_eq!(
+                    merged.universe_value(),
+                    sequential.universe_value(),
+                    "universe for {:?} / {} shards",
+                    config.kind,
+                    shards
+                );
+                let mut merged_values = canonical_values(&merged);
+                let mut sequential_values = canonical_values(&sequential);
+                merged_values.sort_by(|a, b| a.0.cmp(&b.0));
+                sequential_values.sort_by(|a, b| a.0.cmp(&b.0));
+                prop_assert_eq!(
+                    merged_values,
+                    sequential_values,
+                    "{:?} with {} shards",
+                    config.kind,
+                    shards
+                );
+            }
+        }
     }
 
     /// Document-count bookkeeping matches under all representations even

@@ -31,11 +31,13 @@
 pub mod dataset;
 pub mod docgen;
 pub mod dtd;
+pub mod stream;
 pub mod xpathgen;
 pub mod zipf;
 
 pub use dataset::{Dataset, DatasetConfig, SelectivityStats};
 pub use docgen::{DocGenConfig, DocumentGenerator};
 pub use dtd::{Dtd, DtdElement, ElementId, SyntheticDtdConfig};
+pub use stream::GeneratedDocuments;
 pub use xpathgen::{XPathGenConfig, XPathGenerator};
 pub use zipf::Zipf;

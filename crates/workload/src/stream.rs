@@ -1,0 +1,85 @@
+//! Generator-backed document streams.
+//!
+//! [`GeneratedDocuments`] adapts a [`DocumentGenerator`] into a pull-based
+//! [`DocumentStream`], so synopsis builds can consume generated corpora
+//! *without materialising them*: each document is produced on demand, folded
+//! into the synopsis, and dropped. Combined with `tps_core::build_par` this
+//! turns figure-scale corpus construction into a streaming, sharded
+//! pipeline whose result is estimate-identical to the batch build (document
+//! generation is deterministic per seed, and the sharded synopsis build is
+//! estimate-identical to the sequential one).
+
+use tps_xml::stream::{DocumentStream, StreamError, StreamItem};
+
+use crate::docgen::DocumentGenerator;
+
+/// A bounded stream of generated documents.
+#[derive(Debug)]
+pub struct GeneratedDocuments<'a> {
+    generator: DocumentGenerator<'a>,
+    remaining: usize,
+}
+
+impl<'a> GeneratedDocuments<'a> {
+    /// Stream `count` documents from `generator`.
+    pub fn new(generator: DocumentGenerator<'a>, count: usize) -> Self {
+        Self {
+            generator,
+            remaining: count,
+        }
+    }
+
+    /// Number of documents still to be produced.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+}
+
+impl DocumentStream for GeneratedDocuments<'_> {
+    fn next_item(&mut self) -> Option<Result<StreamItem, StreamError>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(Ok(StreamItem::Tree(self.generator.generate())))
+    }
+}
+
+impl<'a> DocumentGenerator<'a> {
+    /// Turn the generator into a stream producing `count` documents (the
+    /// streaming counterpart of [`DocumentGenerator::generate_many`]).
+    pub fn into_stream(self, count: usize) -> GeneratedDocuments<'a> {
+        GeneratedDocuments::new(self, count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::docgen::DocGenConfig;
+    use crate::dtd::Dtd;
+
+    #[test]
+    fn stream_yields_exactly_the_batch_documents() {
+        let dtd = Dtd::media();
+        let config = DocGenConfig::default().with_seed(77);
+        let batch = DocumentGenerator::new(&dtd, config.clone()).generate_many(25);
+        let mut stream = DocumentGenerator::new(&dtd, config).into_stream(25);
+        for (i, expected) in batch.iter().enumerate() {
+            let doc = stream.next_document(i as u64).unwrap().unwrap();
+            assert_eq!(&doc, expected, "document {i}");
+        }
+        assert!(stream.next_item().is_none());
+        assert_eq!(stream.remaining(), 0);
+    }
+
+    #[test]
+    fn remaining_counts_down() {
+        let dtd = Dtd::media();
+        let generator = DocumentGenerator::new(&dtd, DocGenConfig::default());
+        let mut stream = generator.into_stream(3);
+        assert_eq!(stream.remaining(), 3);
+        stream.next_item();
+        assert_eq!(stream.remaining(), 2);
+    }
+}

@@ -40,9 +40,11 @@ pub mod label;
 pub mod parser;
 pub mod paths;
 pub mod skeleton;
+pub mod stream;
 pub mod tree;
 pub mod writer;
 
 pub use error::XmlError;
 pub use label::{LabelId, LabelTable};
+pub use stream::{BorrowedTrees, DocumentStream, LineStream, StreamError, StreamItem, TreeStream};
 pub use tree::{NodeId, XmlNode, XmlTree};

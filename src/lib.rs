@@ -12,7 +12,8 @@
 //!   `//`), its matching semantics and containment ([`pattern`]),
 //! * the streaming *document synopsis* with three matching-set
 //!   representations (counters, reservoir sample sets, Gibbons distinct-hash
-//!   samples) and the three pruning operations of the paper ([`synopsis`]),
+//!   samples), the three pruning operations of the paper, and a mergeable
+//!   shard-then-merge build over pull-based document streams ([`synopsis`]),
 //! * the recursive selectivity algorithm `SEL`, the proximity metrics
 //!   `M1`, `M2`, `M3`, and the batch-first `SimilarityEngine` (compiled
 //!   pattern handles, epoch-tagged caches, similarity matrices) ([`core`]),
@@ -66,6 +67,33 @@
 //! assert_eq!(parallel, matrix);
 //! ```
 //!
+//! ## Streaming & sharded synopsis builds
+//!
+//! The synopsis never needs the corpus in memory: any pull-based
+//! [`DocumentStream`](xml::stream::DocumentStream) (line-delimited XML
+//! files, stdin, a workload generator) can be folded in incrementally with
+//! [`Synopsis::observe_stream`](synopsis::Synopsis::observe_stream), or
+//! sharded over worker threads with [`core::build_par`], which parses and
+//! observes contiguous chunks on scoped workers and
+//! [`Synopsis::merge`](synopsis::Synopsis::merge)s the partials —
+//! estimate-identical to the sequential build for any shard count:
+//!
+//! ```
+//! use tree_pattern_similarity::prelude::*;
+//! use tree_pattern_similarity::xml::stream::LineStream;
+//!
+//! let corpus = "<a><b/></a>\n<a><c/></a>\n<a><b/><c/></a>\n";
+//! let synopsis = build_par(
+//!     SynopsisConfig::hashes(64),
+//!     LineStream::new(corpus.as_bytes()),
+//!     4, // build shards; the estimates are identical for any count
+//! )
+//! .unwrap();
+//! assert_eq!(synopsis.document_count(), 3);
+//! let engine = SimilarityEngine::from_synopsis(synopsis);
+//! assert_eq!(engine.document_count(), 3);
+//! ```
+//!
 //! The deprecated `SimilarityEstimator` per-call facade has been removed:
 //! replace `SimilarityEstimator::new(config)` + `prepare()` with the engine
 //! builder, register each pattern once, and swap hand-rolled pairwise loops
@@ -91,7 +119,7 @@ pub mod prelude {
         LeaderConfig, SimilarityMatrix,
     };
     pub use tps_core::{
-        ExactEvaluator, PatternId, ProximityMetric, SelectivityEstimator, SimMatrix,
+        build_par, ExactEvaluator, PatternId, ProximityMetric, SelectivityEstimator, SimMatrix,
         SimilarityEngine, SimilarityEngineBuilder,
     };
     pub use tps_dtd::{DtdSchema, PatternAnalyzer, ValidationMode, Validator};
@@ -102,5 +130,6 @@ pub mod prelude {
     };
     pub use tps_synopsis::{MatchingSetKind, Synopsis, SynopsisConfig};
     pub use tps_workload::{Dataset, DatasetConfig, DocGenConfig, Dtd, XPathGenConfig};
+    pub use tps_xml::stream::{DocumentStream, LineStream, StreamError, StreamItem, TreeStream};
     pub use tps_xml::XmlTree;
 }
