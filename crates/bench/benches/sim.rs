@@ -1,0 +1,67 @@
+//! Benchmarks for the discrete-event broker simulator: end-to-end scenario
+//! runs per recluster policy, and the scenario generation itself.
+//!
+//! The policies differ in how often they rebuild tables and re-cluster the
+//! active subscriptions, so the spread between `never` and `eager` is the
+//! maintenance cost the recluster knob trades against staleness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tps_routing::BrokerTopology;
+use tps_sim::{ReclusterPolicy, SimConfig, Simulation};
+use tps_workload::{ChurnConfig, ChurnScenario, Dtd};
+
+fn scenario(dtd: &Dtd) -> ChurnScenario {
+    ChurnScenario::generate(
+        dtd,
+        &ChurnConfig {
+            brokers: 15,
+            initial_subscribers: 24,
+            arrivals: 12,
+            departures: 12,
+            publications: 120,
+            horizon: 1_000,
+            seed: 2007,
+            ..ChurnConfig::default()
+        },
+    )
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let dtd = Dtd::nitf_like();
+    let scenario = scenario(&dtd);
+    let mut group = c.benchmark_group("sim_churn_run");
+    group.sample_size(10);
+    for policy in [
+        ReclusterPolicy::Never,
+        ReclusterPolicy::OnChurn(4),
+        ReclusterPolicy::Periodic(100),
+        ReclusterPolicy::Eager,
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(policy.label()), |b| {
+            b.iter(|| {
+                let report = Simulation::new(
+                    BrokerTopology::balanced_tree(15, 2),
+                    SimConfig {
+                        recluster: policy,
+                        ..SimConfig::default()
+                    },
+                )
+                .run(&scenario);
+                black_box(report.aggregate.link_messages)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scenario_generation(c: &mut Criterion) {
+    let dtd = Dtd::nitf_like();
+    c.bench_function("sim_scenario_generation", |b| {
+        b.iter(|| black_box(scenario(&dtd).events.len()))
+    });
+}
+
+criterion_group!(benches, bench_policies, bench_scenario_generation);
+criterion_main!(benches);

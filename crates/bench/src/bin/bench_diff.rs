@@ -1,14 +1,16 @@
-//! Warn-only diff between two bench snapshots produced by the criterion
-//! shim's `TPS_BENCH_JSON` output.
+//! Warn-only diff between bench snapshots produced by the criterion shim's
+//! `TPS_BENCH_JSON` output.
 //!
 //! ```text
-//! bench-diff <committed.json> <fresh.json>
+//! bench-diff <committed.json> <fresh.json> [<committed2.json> <fresh2.json> ...]
 //! ```
 //!
-//! Prints one line per benchmark (ok / SLOWER / FASTER / NEW / REMOVED) and
-//! always exits 0 — CI records the perf trajectory without gating on noisy
-//! shared-runner timings. A missing committed snapshot is reported and
-//! treated as "everything is new".
+//! Each argument pair is one snapshot diff (CI passes the engine and the
+//! synopsis snapshots in a single run). Prints one line per benchmark
+//! (ok / SLOWER / FASTER / NEW / REMOVED) and always exits 0 — CI records
+//! the perf trajectory without gating on noisy shared-runner timings. A
+//! missing committed snapshot is reported and treated as "everything is
+//! new".
 
 use std::process::ExitCode;
 
@@ -21,34 +23,49 @@ fn load(path: &str) -> Result<Vec<BenchRecord>, String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let [committed_path, fresh_path] = &args[..] else {
-        eprintln!("usage: bench-diff <committed.json> <fresh.json>");
+    if args.is_empty() || args.len() % 2 != 0 {
+        eprintln!(
+            "usage: bench-diff <committed.json> <fresh.json> [<committed2.json> <fresh2.json> ...]"
+        );
         return ExitCode::FAILURE;
-    };
-    let fresh = match load(fresh_path) {
-        Ok(records) => records,
-        Err(err) => {
-            eprintln!("bench-diff: {err}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let committed = match load(committed_path) {
-        Ok(records) => records,
-        Err(err) => {
-            println!("bench-diff: no usable committed snapshot ({err}); treating all {} benchmarks as new", fresh.len());
-            Vec::new()
-        }
-    };
-    let (report, warnings) = diff_snapshots(&committed, &fresh);
-    println!(
-        "bench-diff: {} committed vs {} fresh benchmarks (warn threshold ±{:.0}%, advisory only):",
-        committed.len(),
-        fresh.len(),
-        WARN_THRESHOLD * 100.0
-    );
-    print!("{report}");
-    if warnings > 0 {
-        println!("bench-diff: {warnings} benchmark(s) moved by more than ±{:.0}% — worth a look, not a failure", WARN_THRESHOLD * 100.0);
+    }
+    let mut total_warnings = 0usize;
+    for pair in args.chunks_exact(2) {
+        let [committed_path, fresh_path] = pair else {
+            unreachable!("chunks_exact(2) yields pairs");
+        };
+        let fresh = match load(fresh_path) {
+            Ok(records) => records,
+            Err(err) => {
+                eprintln!("bench-diff: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let committed = match load(committed_path) {
+            Ok(records) => records,
+            Err(err) => {
+                println!(
+                    "bench-diff: no usable committed snapshot ({err}); treating all {} benchmarks as new",
+                    fresh.len()
+                );
+                Vec::new()
+            }
+        };
+        let (report, warnings) = diff_snapshots(&committed, &fresh);
+        total_warnings += warnings;
+        println!(
+            "bench-diff: {committed_path} -> {fresh_path}: {} committed vs {} fresh benchmarks (warn threshold ±{:.0}%, advisory only):",
+            committed.len(),
+            fresh.len(),
+            WARN_THRESHOLD * 100.0
+        );
+        print!("{report}");
+    }
+    if total_warnings > 0 {
+        println!(
+            "bench-diff: {total_warnings} benchmark(s) moved by more than ±{:.0}% — worth a look, not a failure",
+            WARN_THRESHOLD * 100.0
+        );
     } else {
         println!("bench-diff: no significant movement");
     }

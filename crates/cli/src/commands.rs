@@ -14,7 +14,9 @@ use tps_cluster::{
 use tps_core::{ExactEvaluator, ProximityMetric, SimilarityEngine};
 use tps_dtd::{writer as dtd_writer, PatternAnalyzer, ValidationMode, Validator};
 use tps_pattern::TreePattern;
-use tps_routing::{BrokerNetwork, BrokerTopology, ForwardingMode, SemanticOverlay};
+use tps_routing::{
+    BrokerNetwork, BrokerTopology, DeliveryMetrics, ForwardingMode, SemanticOverlay,
+};
 use tps_synopsis::SynopsisConfig;
 use tps_workload::{Dataset, DatasetConfig, DocGenConfig, DocumentGenerator, Dtd, XPathGenConfig};
 
@@ -111,6 +113,20 @@ COMMANDS:
         --threshold T                  community threshold (default 0.6)
         --threads N                    worker threads for the similarity
                                        matrix (default 1)
+    simulate     Discrete-event simulation under subscription churn
+        --scenario steady|churn|flash  churn preset (default churn)
+        --subscriptions N              initial subscribers (default 20)
+        --publications N               published documents (default 100)
+        --brokers B                    number of brokers (default 7)
+        --recluster P                  eager|never|periodic:N|churn:N
+                                       (default eager)
+        --forwarding M                 flooding|exact|containment-pruned|
+                                       aggregated (default exact)
+        --horizon T                    virtual-time span (default 1000)
+        --window W                     report window length (default 100)
+        --threads N                    rebuild worker threads (default 1,
+                                       0 = one per core)
+        --dtd, --seed, --summary, --capacity, --threshold   as above
     synopsis build   Build a synopsis from a stream of documents
         --input PATH|-                 line-delimited XML documents, one per
                                        line (- reads standard input);
@@ -163,6 +179,7 @@ where
         "similarity" => similarity(&parsed, out),
         "cluster" => cluster(&parsed, out),
         "route" => route(&parsed, out),
+        "simulate" => simulate(&parsed, out),
         other => Err(CliError::Args(ArgsError::UnknownCommand(other.to_string()))),
     }
 }
@@ -623,6 +640,104 @@ fn route<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `tps simulate`: run a seeded churn scenario through the `tps-sim`
+/// discrete-event simulator and print its report.
+fn simulate<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    use tps_routing::{BrokerTopology, CommunityConfig};
+    use tps_sim::{ReclusterPolicy, SimConfig, Simulation};
+    use tps_workload::{ChurnConfig, ChurnScenario};
+
+    let dtd = resolve_dtd(args)?;
+    let brokers = args.get_usize("brokers", 7)?.max(1);
+    let subscriptions = args.get_usize("subscriptions", 20)?;
+    let publications = args.get_usize("publications", 100)?;
+    let horizon = args.get_u64("horizon", 1_000)?.max(1);
+    let window = args.get_u64("window", 100)?.max(1);
+    let seed = args.get_u64("seed", 1)?;
+    let threads = threads_from(args)?;
+    let threshold = args.get_f64("threshold", 0.6)?;
+
+    let (arrivals, departures) = match args.get("scenario").unwrap_or("churn") {
+        "steady" => (0, 0),
+        "churn" => (subscriptions / 2, subscriptions / 2),
+        "flash" => (subscriptions, subscriptions / 4),
+        other => {
+            return Err(CliError::Args(ArgsError::InvalidValue {
+                option: "scenario".to_string(),
+                value: other.to_string(),
+                expected: "steady, churn or flash".to_string(),
+            }))
+        }
+    };
+    let recluster =
+        ReclusterPolicy::parse(args.get("recluster").unwrap_or("eager")).map_err(|message| {
+            CliError::Args(ArgsError::InvalidValue {
+                option: "recluster".to_string(),
+                value: args.get("recluster").unwrap_or_default().to_string(),
+                expected: message,
+            })
+        })?;
+    // Resolve --forwarding against the canonical mode list, so the parser
+    // (and its error message) can never drift from `ForwardingMode::all()`.
+    let forwarding_name = args.get("forwarding").unwrap_or("exact");
+    let forwarding = ForwardingMode::all()
+        .into_iter()
+        .find(|mode| mode.name() == forwarding_name)
+        .ok_or_else(|| {
+            CliError::Args(ArgsError::InvalidValue {
+                option: "forwarding".to_string(),
+                value: forwarding_name.to_string(),
+                expected: ForwardingMode::all().map(|m| m.name()).join(", "),
+            })
+        })?;
+
+    let scenario = ChurnScenario::generate(
+        &dtd,
+        &ChurnConfig {
+            brokers,
+            initial_subscribers: subscriptions,
+            arrivals,
+            departures,
+            publications,
+            horizon,
+            seed,
+            ..ChurnConfig::default()
+        },
+    );
+    let config = SimConfig {
+        forwarding,
+        recluster,
+        community: CommunityConfig {
+            threshold,
+            ..CommunityConfig::default()
+        },
+        synopsis: synopsis_config(args)?,
+        window,
+        threads,
+        ..SimConfig::default()
+    };
+    writeln!(
+        out,
+        "churn scenario over {} ({} brokers, {} initial subscribers, \
+         {} arrivals, {} departures, {} publications, horizon {horizon})",
+        dtd.name(),
+        brokers,
+        subscriptions,
+        arrivals,
+        departures,
+        scenario.publication_count()
+    )?;
+    writeln!(
+        out,
+        "forwarding: {}  recluster: {}  threads: {threads}",
+        forwarding.name(),
+        recluster.label()
+    )?;
+    let report = Simulation::new(BrokerTopology::balanced_tree(brokers, 2), config).run(&scenario);
+    writeln!(out, "{report}")?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -874,6 +989,90 @@ mod tests {
         assert!(output.contains("containment-pruned"));
         assert!(output.contains("semantic overlay"));
         assert!(output.contains("recall"));
+    }
+
+    #[test]
+    fn simulate_runs_a_churn_scenario_end_to_end() {
+        let output = run_capture(&[
+            "simulate",
+            "--subscriptions",
+            "8",
+            "--publications",
+            "20",
+            "--brokers",
+            "5",
+            "--recluster",
+            "periodic:200",
+            "--seed",
+            "4",
+        ])
+        .unwrap();
+        assert!(output.contains("churn scenario over media"), "{output}");
+        assert!(output.contains("recluster: periodic:200"), "{output}");
+        assert!(output.contains("published 20 documents"), "{output}");
+        assert!(output.contains("link precision"), "{output}");
+    }
+
+    #[test]
+    fn simulate_is_bit_identical_per_seed() {
+        let args = [
+            "simulate",
+            "--subscriptions",
+            "6",
+            "--publications",
+            "15",
+            "--seed",
+            "9",
+        ];
+        let first = run_capture(&args).unwrap();
+        let second = run_capture(&args).unwrap();
+        assert_eq!(first, second);
+        let mut other_seed = args.to_vec();
+        other_seed[6] = "10";
+        assert_ne!(run_capture(&other_seed).unwrap(), first);
+    }
+
+    #[test]
+    fn simulate_steady_scenario_has_no_churn() {
+        let output = run_capture(&[
+            "simulate",
+            "--scenario",
+            "steady",
+            "--subscriptions",
+            "6",
+            "--publications",
+            "10",
+        ])
+        .unwrap();
+        assert!(output.contains("0 arrivals, 0 departures"), "{output}");
+        assert!(
+            output.contains("churn: 0 subscribes, 0 unsubscribes"),
+            "{output}"
+        );
+    }
+
+    #[test]
+    fn simulate_rejects_bad_options() {
+        let err = run_capture(&["simulate", "--scenario", "chaos"]).unwrap_err();
+        assert!(
+            matches!(err, CliError::Args(ArgsError::InvalidValue { option, .. }) if option == "scenario")
+        );
+        let err = run_capture(&["simulate", "--recluster", "sometimes"]).unwrap_err();
+        assert!(
+            matches!(&err, CliError::Args(ArgsError::InvalidValue { option, .. }) if option == "recluster"),
+            "{err:?}"
+        );
+        let err = run_capture(&["simulate", "--forwarding", "teleport"]).unwrap_err();
+        assert!(
+            matches!(err, CliError::Args(ArgsError::InvalidValue { option, .. }) if option == "forwarding")
+        );
+    }
+
+    #[test]
+    fn help_mentions_the_simulate_command() {
+        let output = run_capture(&["help"]).unwrap();
+        assert!(output.contains("simulate"));
+        assert!(output.contains("--recluster"));
     }
 
     #[test]

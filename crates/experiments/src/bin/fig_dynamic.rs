@@ -1,0 +1,19 @@
+//! Regenerates the dynamic churn sweep: recluster policies vs staleness
+//! cost under subscription churn (`tps-sim`).
+//!
+//! ```text
+//! TPS_SCALE=tiny cargo run --release -p tps-experiments --bin fig_dynamic
+//! ```
+
+use tps_experiments::dynamics::fig_dynamic;
+use tps_experiments::ScaleConfig;
+
+fn main() {
+    let scale = ScaleConfig::from_env().resolve();
+    eprintln!(
+        "[fig_dynamic] scale = {} (set TPS_SCALE=paper|quick|tiny, TPS_REPRO_SCALE=<factor>)",
+        scale.name
+    );
+    let threads = tps_core::par::available_workers();
+    fig_dynamic(&scale, threads).print();
+}

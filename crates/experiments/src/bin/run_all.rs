@@ -11,6 +11,7 @@
 
 use std::time::Instant;
 
+use tps_experiments::dynamics::fig_dynamic;
 use tps_experiments::figures::{ablation_representations, fig10, fig4, fig5, fig6, fig789, table1};
 use tps_experiments::{DtdWorkload, ScaleConfig};
 
@@ -62,6 +63,13 @@ fn main() {
     ablation_representations(&workloads, &scale).print();
     eprintln!(
         "[run_all] ablation done in {:.1}s",
+        t.elapsed().as_secs_f64()
+    );
+
+    let t = Instant::now();
+    fig_dynamic(&scale, tps_core::par::available_workers()).print();
+    eprintln!(
+        "[run_all] fig_dynamic done in {:.1}s",
         t.elapsed().as_secs_f64()
     );
 

@@ -1,0 +1,160 @@
+//! The dynamic (churn) experiment: how much staleness costs, and what
+//! keeping tables fresh costs instead.
+//!
+//! The paper's figures evaluate a frozen workload; this sweep runs the
+//! `tps-sim` discrete-event simulator over seeded churn scenarios at three
+//! churn intensities and compares the recluster policies on delivery
+//! recall, link precision and maintenance cost. The scenario sizes derive
+//! from the shared [`ExperimentScale`], so `TPS_SCALE` / `TPS_REPRO_SCALE`
+//! downscale the sweep exactly like the static figures.
+
+use tps_routing::{BrokerTopology, DeliveryMetrics, LinkMetrics};
+use tps_sim::{ReclusterPolicy, SimConfig, Simulation};
+use tps_workload::{ChurnConfig, ChurnScenario, Dtd};
+
+use crate::harness::{fmt3, Table};
+use crate::scale::ExperimentScale;
+
+/// Number of brokers in the simulated overlay (a balanced binary tree).
+pub const BROKERS: usize = 15;
+
+/// Virtual-time horizon of every scenario.
+pub const HORIZON: u64 = 1_000;
+
+/// The churn intensities swept, as `(label, arrivals+departures fraction of
+/// the initial subscriber count)`.
+pub fn churn_levels() -> [(&'static str, f64); 3] {
+    [("none", 0.0), ("moderate", 0.5), ("heavy", 1.0)]
+}
+
+/// The recluster policies compared at every churn level.
+pub fn policies() -> [ReclusterPolicy; 4] {
+    [
+        ReclusterPolicy::Eager,
+        ReclusterPolicy::Periodic(HORIZON / 10),
+        ReclusterPolicy::OnChurn(4),
+        ReclusterPolicy::Never,
+    ]
+}
+
+/// Scenario shape at the given scale and churn fraction.
+pub fn scenario_config(scale: &ExperimentScale, churn_fraction: f64) -> ChurnConfig {
+    let initial = (scale.positive_count / 4).max(8);
+    let churn = ((initial as f64 * churn_fraction).round() as usize).min(initial);
+    ChurnConfig {
+        brokers: BROKERS,
+        initial_subscribers: initial,
+        arrivals: churn,
+        departures: churn,
+        publications: (scale.document_count / 4).max(30),
+        horizon: HORIZON,
+        seed: scale.seed,
+        ..ChurnConfig::default()
+    }
+}
+
+/// The churn sweep: one row per (churn level × recluster policy).
+pub fn fig_dynamic(scale: &ExperimentScale, threads: usize) -> Table {
+    let dtd = Dtd::nitf_like();
+    let mut table = Table::new(
+        "Dynamic churn sweep: recluster policy vs staleness cost (tps-sim)",
+        &[
+            "churn",
+            "events",
+            "policy",
+            "rebuilds",
+            "nodes-built",
+            "msgs/doc",
+            "link-prec",
+            "recall",
+            "matches/doc",
+            "communities",
+        ],
+    );
+    for (label, fraction) in churn_levels() {
+        let config = scenario_config(scale, fraction);
+        let scenario = ChurnScenario::generate(&dtd, &config);
+        for policy in policies() {
+            let report = Simulation::new(
+                BrokerTopology::balanced_tree(BROKERS, 2),
+                SimConfig {
+                    recluster: policy,
+                    threads,
+                    ..SimConfig::default()
+                },
+            )
+            .run(&scenario);
+            let a = &report.aggregate;
+            table.push_row(vec![
+                label.to_string(),
+                scenario.churn_count().to_string(),
+                policy.label(),
+                a.table_rebuilds.to_string(),
+                a.rebuild_table_nodes.to_string(),
+                format!("{:.1}", a.messages_per_document()),
+                fmt3(a.link_precision()),
+                fmt3(a.recall()),
+                format!("{:.1}", a.matches_per_document()),
+                a.communities.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::ScaleConfig;
+
+    fn tiny() -> ExperimentScale {
+        let mut scale = ScaleConfig::preset("tiny").resolve();
+        scale.document_count = 120;
+        scale.positive_count = 32;
+        scale
+    }
+
+    #[test]
+    fn sweep_produces_one_row_per_level_and_policy() {
+        let table = fig_dynamic(&tiny(), 1);
+        assert_eq!(table.rows.len(), churn_levels().len() * policies().len());
+        let rendered = table.render();
+        assert!(rendered.contains("eager"), "{rendered}");
+        assert!(rendered.contains("never"), "{rendered}");
+        assert!(rendered.contains("heavy"), "{rendered}");
+    }
+
+    #[test]
+    fn zero_churn_rows_agree_across_policies() {
+        let table = fig_dynamic(&tiny(), 1);
+        // The first four rows are the churn-free level: the routing columns
+        // (msgs/doc, link precision, recall, matches/doc) must agree for
+        // every policy. The rebuild accounting and the community count may
+        // differ — `periodic` legitimately re-clusters as traffic
+        // accumulates even without churn.
+        let reference = &table.rows[0];
+        for row in &table.rows[1..policies().len()] {
+            assert_eq!(row[5..9], reference[5..9], "{row:?} vs {reference:?}");
+        }
+    }
+
+    #[test]
+    fn heavy_churn_with_never_is_stalest() {
+        let table = fig_dynamic(&tiny(), 1);
+        let row = |level: &str, policy: &str| {
+            table
+                .rows
+                .iter()
+                .find(|r| r[0] == level && r[2] == policy)
+                .unwrap()
+                .clone()
+        };
+        let eager = row("heavy", "eager");
+        let never = row("heavy", "never");
+        let recall = |r: &[String]| r[7].parse::<f64>().unwrap();
+        let rebuilds = |r: &[String]| r[3].parse::<usize>().unwrap();
+        assert!(recall(&never) <= recall(&eager) + 1e-9);
+        assert!(rebuilds(&eager) > rebuilds(&never));
+        assert_eq!(rebuilds(&never), 1);
+    }
+}

@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dynamics;
 pub mod error;
 pub mod figures;
 pub mod harness;

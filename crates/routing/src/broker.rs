@@ -24,6 +24,8 @@ use tps_pattern::TreePattern;
 use tps_xml::XmlTree;
 
 use crate::community::CommunityClustering;
+use crate::impl_variant_name;
+use crate::stats::DeliveryMetrics;
 
 /// A consumer and its subscription.
 #[derive(Debug, Clone)]
@@ -61,17 +63,12 @@ pub enum RoutingStrategy {
     CommunityAggregated(CommunityClustering),
 }
 
-impl RoutingStrategy {
-    /// Short name used in reports.
-    pub fn name(&self) -> &'static str {
-        match self {
-            RoutingStrategy::Flooding => "flooding",
-            RoutingStrategy::PerSubscription => "per-subscription",
-            RoutingStrategy::Community(_) => "community",
-            RoutingStrategy::CommunityAggregated(_) => "community-aggregated",
-        }
-    }
-}
+impl_variant_name!(RoutingStrategy {
+    RoutingStrategy::Flooding => "flooding",
+    RoutingStrategy::PerSubscription => "per-subscription",
+    RoutingStrategy::Community(_) => "community",
+    RoutingStrategy::CommunityAggregated(_) => "community-aggregated",
+});
 
 /// Aggregate statistics of one routing run.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -92,36 +89,21 @@ pub struct RoutingStats {
     pub false_negatives: usize,
 }
 
-impl RoutingStats {
-    /// Precision of delivery (`correct / delivered`), 1.0 when nothing was
-    /// delivered.
-    pub fn precision(&self) -> f64 {
-        if self.deliveries == 0 {
-            1.0
-        } else {
-            self.correct_deliveries as f64 / self.deliveries as f64
-        }
+impl DeliveryMetrics for RoutingStats {
+    fn documents(&self) -> usize {
+        self.documents
     }
-
-    /// Recall of delivery (`correct / (correct + missed)`), 1.0 when nothing
-    /// should have been delivered.
-    pub fn recall(&self) -> f64 {
-        let relevant = self.correct_deliveries + self.false_negatives;
-        if relevant == 0 {
-            1.0
-        } else {
-            self.correct_deliveries as f64 / relevant as f64
-        }
+    fn match_operations(&self) -> usize {
+        self.match_operations
     }
-
-    /// Match operations per document — the broker-side filtering cost the
-    /// paper's motivation wants to reduce.
-    pub fn matches_per_document(&self) -> f64 {
-        if self.documents == 0 {
-            0.0
-        } else {
-            self.match_operations as f64 / self.documents as f64
-        }
+    fn deliveries(&self) -> usize {
+        self.deliveries
+    }
+    fn useful_deliveries(&self) -> usize {
+        self.correct_deliveries
+    }
+    fn missed_deliveries(&self) -> usize {
+        self.false_negatives
     }
 }
 

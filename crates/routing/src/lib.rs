@@ -20,7 +20,9 @@
 //! ```
 //! use tps_core::SimilarityEngine;
 //! use tps_pattern::TreePattern;
-//! use tps_routing::{Broker, CommunityClustering, CommunityConfig, Consumer, RoutingStrategy};
+//! use tps_routing::{
+//!     Broker, CommunityClustering, CommunityConfig, Consumer, DeliveryMetrics, RoutingStrategy,
+//! };
 //! use tps_synopsis::SynopsisConfig;
 //! use tps_xml::XmlTree;
 //!
@@ -55,8 +57,10 @@
 
 pub mod broker;
 pub mod community;
+pub mod naming;
 pub mod network;
 pub mod overlay;
+pub mod stats;
 pub mod table;
 pub mod topology;
 
@@ -64,5 +68,6 @@ pub use broker::{Broker, Consumer, RoutingStats, RoutingStrategy};
 pub use community::{Community, CommunityClustering, CommunityConfig};
 pub use network::{BrokerNetwork, ForwardingMode, NetworkConsumer, NetworkStats};
 pub use overlay::{OverlayCommunity, OverlayStats, SemanticOverlay};
+pub use stats::{DeliveryMetrics, LinkMetrics};
 pub use table::{LinkSummary, RoutingTable, TableMode};
 pub use topology::{BrokerId, BrokerTopology};

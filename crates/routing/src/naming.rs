@@ -1,0 +1,113 @@
+//! The shared enum-naming pattern.
+//!
+//! Several report-facing enums across the workspace carry the same pair of
+//! conveniences: a stable `name()` string used in tables and CLI output, and
+//! (for fieldless enums) an `all()` listing in declaration order. Before
+//! these macros each enum hand-rolled both, and the copies drifted — the
+//! match arms, the doc comments and the array lengths all had to be kept in
+//! sync by hand. [`named_enum!`](crate::named_enum) and
+//! [`impl_variant_name!`](crate::impl_variant_name) centralise the pattern;
+//! `tps-sim`'s `ReclusterPolicy` uses the same macros instead of adding
+//! another copy.
+
+/// Implements `name()` **and** `all()` for a fieldless enum.
+///
+/// Variants are listed as `Variant => "name"` pairs; `all()` returns the
+/// variants as a fixed-size array in declaration order, so adding a variant
+/// to the macro invocation updates the listing automatically.
+///
+/// ```
+/// #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// enum Mode {
+///     Fast,
+///     Slow,
+/// }
+/// tps_routing::named_enum!(Mode { Fast => "fast", Slow => "slow" });
+/// assert_eq!(Mode::Fast.name(), "fast");
+/// assert_eq!(Mode::all(), [Mode::Fast, Mode::Slow]);
+/// ```
+#[macro_export]
+macro_rules! named_enum {
+    ($ty:ident { $($variant:ident => $name:literal),+ $(,)? }) => {
+        impl $ty {
+            /// Short name used in reports.
+            pub fn name(&self) -> &'static str {
+                match self {
+                    $(Self::$variant => $name),+
+                }
+            }
+
+            /// Every variant, in declaration order.
+            pub fn all() -> [Self; [$($name),+].len()] {
+                [$(Self::$variant),+]
+            }
+        }
+    };
+}
+
+/// Implements `name()` for an enum whose variants may carry data.
+///
+/// Arms are full `pattern => expression` pairs, so payload variants can
+/// delegate (e.g. `Self::Table(mode) => mode.name()`); use
+/// [`named_enum!`](crate::named_enum) instead when the enum is fieldless and
+/// an `all()` listing is wanted.
+///
+/// ```
+/// #[derive(Debug)]
+/// enum Policy {
+///     Never,
+///     Periodic(u64),
+/// }
+/// tps_routing::impl_variant_name!(Policy {
+///     Self::Never => "never",
+///     Self::Periodic(_) => "periodic",
+/// });
+/// assert_eq!(Policy::Periodic(5).name(), "periodic");
+/// ```
+#[macro_export]
+macro_rules! impl_variant_name {
+    ($ty:ident { $($pattern:pat => $name:expr),+ $(,)? }) => {
+        impl $ty {
+            /// Short name used in reports.
+            pub fn name(&self) -> &'static str {
+                match self {
+                    $($pattern => $name),+
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Demo {
+        One,
+        Two,
+        Three,
+    }
+    named_enum!(Demo { One => "one", Two => "two", Three => "three" });
+
+    #[derive(Debug)]
+    enum Payload {
+        Plain,
+        Weighted(#[allow(dead_code)] f64),
+    }
+    impl_variant_name!(Payload {
+        Payload::Plain => "plain",
+        Payload::Weighted(_) => "weighted",
+    });
+
+    #[test]
+    fn named_enum_generates_name_and_all() {
+        assert_eq!(Demo::Two.name(), "two");
+        assert_eq!(Demo::all(), [Demo::One, Demo::Two, Demo::Three]);
+        assert_eq!(Demo::all().len(), 3);
+    }
+
+    #[test]
+    fn impl_variant_name_supports_payload_variants() {
+        assert_eq!(Payload::Plain.name(), "plain");
+        assert_eq!(Payload::Weighted(0.5).name(), "weighted");
+    }
+}

@@ -11,6 +11,8 @@
 use tps_pattern::TreePattern;
 use tps_xml::XmlTree;
 
+use crate::impl_variant_name;
+use crate::stats::{DeliveryMetrics, LinkMetrics};
 use crate::table::{RoutingTable, TableMode};
 use crate::topology::{BrokerId, BrokerTopology};
 
@@ -35,15 +37,12 @@ pub enum ForwardingMode {
     Table(TableMode),
 }
 
-impl ForwardingMode {
-    /// Short name used in reports.
-    pub fn name(&self) -> &'static str {
-        match self {
-            ForwardingMode::Flooding => "flooding",
-            ForwardingMode::Table(mode) => mode.name(),
-        }
-    }
+impl_variant_name!(ForwardingMode {
+    ForwardingMode::Flooding => "flooding",
+    ForwardingMode::Table(mode) => mode.name(),
+});
 
+impl ForwardingMode {
     /// All forwarding modes, cheapest-table first.
     pub fn all() -> [ForwardingMode; 4] {
         [
@@ -80,43 +79,33 @@ pub struct NetworkStats {
     pub table_nodes: usize,
 }
 
-impl NetworkStats {
-    /// Average number of link messages per document.
-    pub fn messages_per_document(&self) -> f64 {
-        if self.documents == 0 {
-            0.0
-        } else {
-            self.link_messages as f64 / self.documents as f64
-        }
+impl LinkMetrics for NetworkStats {
+    fn link_messages(&self) -> usize {
+        self.link_messages
     }
-
-    /// Average number of match operations per document.
-    pub fn matches_per_document(&self) -> f64 {
-        if self.documents == 0 {
-            0.0
-        } else {
-            self.match_operations as f64 / self.documents as f64
-        }
+    fn spurious_link_messages(&self) -> usize {
+        self.spurious_link_messages
     }
+}
 
-    /// Fraction of link messages that were useful (1.0 when no messages were
-    /// sent).
-    pub fn link_precision(&self) -> f64 {
-        if self.link_messages == 0 {
-            1.0
-        } else {
-            (self.link_messages - self.spurious_link_messages) as f64 / self.link_messages as f64
-        }
+impl DeliveryMetrics for NetworkStats {
+    fn documents(&self) -> usize {
+        self.documents
     }
-
-    /// Fraction of matching (consumer, document) pairs that were delivered.
-    pub fn recall(&self) -> f64 {
-        let relevant = self.deliveries + self.missed_deliveries;
-        if relevant == 0 {
-            1.0
-        } else {
-            self.deliveries as f64 / relevant as f64
-        }
+    fn match_operations(&self) -> usize {
+        self.match_operations
+    }
+    fn deliveries(&self) -> usize {
+        self.deliveries
+    }
+    // Local delivery filters per consumer, so every delivery is useful:
+    // `precision()` is identically 1.0 and `recall()` reduces to
+    // `deliveries / (deliveries + missed)`.
+    fn useful_deliveries(&self) -> usize {
+        self.deliveries
+    }
+    fn missed_deliveries(&self) -> usize {
+        self.missed_deliveries
     }
 }
 
@@ -303,20 +292,7 @@ impl BrokerNetwork {
     /// Consumers attached to brokers in the subtree rooted at `root` when the
     /// link towards `parent` is removed.
     fn subtree_consumers(&self, root: BrokerId, parent: BrokerId) -> Vec<usize> {
-        let mut seen = vec![false; self.topology.broker_count()];
-        seen[parent] = true;
-        seen[root] = true;
-        let mut queue = std::collections::VecDeque::from([root]);
-        let mut brokers = Vec::new();
-        while let Some(current) = queue.pop_front() {
-            brokers.push(current);
-            for &next in self.topology.neighbours(current) {
-                if !seen[next] {
-                    seen[next] = true;
-                    queue.push_back(next);
-                }
-            }
-        }
+        let brokers = self.topology.subtree_brokers(root, parent);
         self.consumers
             .iter()
             .enumerate()

@@ -13,6 +13,8 @@ use tps_cluster::{Clustering, SimilarityMatrix};
 use tps_pattern::TreePattern;
 use tps_xml::XmlTree;
 
+use crate::stats::DeliveryMetrics;
+
 /// One semantic community of the overlay.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OverlayCommunity {
@@ -43,36 +45,21 @@ pub struct OverlayStats {
     pub missed_deliveries: usize,
 }
 
-impl OverlayStats {
-    /// Fraction of deliveries that were useful (1.0 when nothing was
-    /// delivered).
-    pub fn precision(&self) -> f64 {
-        if self.deliveries == 0 {
-            1.0
-        } else {
-            self.useful_deliveries as f64 / self.deliveries as f64
-        }
+impl DeliveryMetrics for OverlayStats {
+    fn documents(&self) -> usize {
+        self.documents
     }
-
-    /// Fraction of matching pairs that were delivered (1.0 when nothing
-    /// matched).
-    pub fn recall(&self) -> f64 {
-        let relevant = self.useful_deliveries + self.missed_deliveries;
-        if relevant == 0 {
-            1.0
-        } else {
-            self.useful_deliveries as f64 / relevant as f64
-        }
+    fn match_operations(&self) -> usize {
+        self.match_operations
     }
-
-    /// Average number of match operations per document — the filtering cost
-    /// the semantic overlay is designed to reduce.
-    pub fn matches_per_document(&self) -> f64 {
-        if self.documents == 0 {
-            0.0
-        } else {
-            self.match_operations as f64 / self.documents as f64
-        }
+    fn deliveries(&self) -> usize {
+        self.deliveries
+    }
+    fn useful_deliveries(&self) -> usize {
+        self.useful_deliveries
+    }
+    fn missed_deliveries(&self) -> usize {
+        self.missed_deliveries
     }
 }
 

@@ -19,6 +19,8 @@
 use tps_pattern::{aggregate, containment, TreePattern};
 use tps_xml::XmlTree;
 
+use crate::named_enum;
+
 /// How a link's subscription set is summarised.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TableMode {
@@ -30,25 +32,13 @@ pub enum TableMode {
     Aggregated,
 }
 
-impl TableMode {
-    /// Short name used in reports.
-    pub fn name(&self) -> &'static str {
-        match self {
-            TableMode::Exact => "exact",
-            TableMode::ContainmentPruned => "containment-pruned",
-            TableMode::Aggregated => "aggregated",
-        }
-    }
-
-    /// All table modes, in increasing order of compression.
-    pub fn all() -> [TableMode; 3] {
-        [
-            TableMode::Exact,
-            TableMode::ContainmentPruned,
-            TableMode::Aggregated,
-        ]
-    }
-}
+// Declaration order is increasing compression, which is the order `all()`
+// reports.
+named_enum!(TableMode {
+    Exact => "exact",
+    ContainmentPruned => "containment-pruned",
+    Aggregated => "aggregated",
+});
 
 /// The summary of the subscriptions behind one link.
 #[derive(Debug, Clone)]

@@ -170,6 +170,29 @@ impl BrokerTopology {
         }
     }
 
+    /// The brokers reachable from `root` without crossing `parent` — the
+    /// subtree living behind the `parent → root` link when that link is
+    /// removed from the tree. Both routing-table construction and
+    /// spurious-forward accounting (static and simulated) are defined over
+    /// these sets.
+    pub fn subtree_brokers(&self, root: BrokerId, parent: BrokerId) -> Vec<BrokerId> {
+        let mut seen = vec![false; self.broker_count()];
+        seen[parent] = true;
+        seen[root] = true;
+        let mut queue = std::collections::VecDeque::from([root]);
+        let mut behind = Vec::new();
+        while let Some(current) = queue.pop_front() {
+            behind.push(current);
+            for &next in self.neighbours(current) {
+                if !seen[next] {
+                    seen[next] = true;
+                    queue.push_back(next);
+                }
+            }
+        }
+        behind
+    }
+
     /// For every broker, the set of brokers that are reached through each of
     /// its links: `partition(b)[i]` lists the brokers living behind
     /// `neighbours(b)[i]` when `b` is removed from the tree. This is the
@@ -177,25 +200,7 @@ impl BrokerTopology {
     pub fn link_partitions(&self, broker: BrokerId) -> Vec<Vec<BrokerId>> {
         self.neighbours(broker)
             .iter()
-            .map(|&next| {
-                // Collect everything reachable from `next` without crossing
-                // `broker`.
-                let mut seen = vec![false; self.broker_count()];
-                seen[broker] = true;
-                seen[next] = true;
-                let mut queue = std::collections::VecDeque::from([next]);
-                let mut behind = Vec::new();
-                while let Some(current) = queue.pop_front() {
-                    behind.push(current);
-                    for &n in self.neighbours(current) {
-                        if !seen[n] {
-                            seen[n] = true;
-                            queue.push_back(n);
-                        }
-                    }
-                }
-                behind
-            })
+            .map(|&next| self.subtree_brokers(next, broker))
             .collect()
     }
 }

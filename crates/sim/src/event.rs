@@ -1,0 +1,162 @@
+//! The seeded discrete-event queue.
+//!
+//! The simulator advances a virtual clock by popping timestamped events from
+//! a binary heap. Determinism is non-negotiable (the whole point of the
+//! simulator is reproducible what-if runs), so ties are broken by a
+//! monotonically increasing sequence number: two events scheduled for the
+//! same instant are processed in scheduling order, on every run, on every
+//! machine.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use tps_routing::BrokerId;
+
+/// Index of an in-flight document in the simulator's document arena.
+pub type DocHandle = usize;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A scenario event (subscribe / unsubscribe / publish), by index into
+    /// the scenario's event list.
+    Scenario(usize),
+    /// A document arrives at a broker over a link (or is injected at the
+    /// producer when `from` is `None`).
+    Hop {
+        /// The in-flight document.
+        doc: DocHandle,
+        /// The broker the document arrives at.
+        broker: BrokerId,
+        /// The link the document arrived over (suppresses back-forwarding).
+        from: Option<BrokerId>,
+    },
+    /// A periodic re-clustering tick ([`crate::ReclusterPolicy::Periodic`]).
+    ReclusterTick,
+}
+
+/// A timestamped queue entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueuedEvent {
+    /// Virtual firing time.
+    pub at: u64,
+    /// Scheduling sequence number (tie-breaker).
+    pub seq: u64,
+    /// The event payload.
+    pub kind: EventKind,
+}
+
+// `BinaryHeap` is a max-heap; invert the ordering to pop the earliest
+// (time, seq) first.
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The event queue: a min-heap over `(time, seq)` with an internal sequence
+/// counter, so callers only say *when* and the queue guarantees a total,
+/// reproducible order.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<QueuedEvent>,
+    next_seq: u64,
+    pending_hops: usize,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `kind` at virtual time `at`.
+    pub fn push(&mut self, at: u64, kind: EventKind) {
+        if matches!(kind, EventKind::Hop { .. }) {
+            self.pending_hops += 1;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(QueuedEvent { at, seq, kind });
+    }
+
+    /// Pop the earliest event (ties in scheduling order).
+    pub fn pop(&mut self) -> Option<QueuedEvent> {
+        let event = self.heap.pop();
+        if let Some(QueuedEvent {
+            kind: EventKind::Hop { .. },
+            ..
+        }) = event
+        {
+            self.pending_hops -= 1;
+        }
+        event
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of queued [`EventKind::Hop`] events — the network's in-flight
+    /// backlog, sampled into the report's queue-depth series.
+    pub fn pending_hops(&self) -> usize {
+        self.pending_hops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order_with_stable_ties() {
+        let mut queue = EventQueue::new();
+        queue.push(5, EventKind::Scenario(0));
+        queue.push(3, EventKind::Scenario(1));
+        queue.push(5, EventKind::Scenario(2));
+        queue.push(1, EventKind::ReclusterTick);
+        let order: Vec<(u64, EventKind)> = std::iter::from_fn(|| queue.pop())
+            .map(|e| (e.at, e.kind))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (1, EventKind::ReclusterTick),
+                (3, EventKind::Scenario(1)),
+                (5, EventKind::Scenario(0)),
+                (5, EventKind::Scenario(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn pending_hops_tracks_in_flight_documents() {
+        let mut queue = EventQueue::new();
+        assert_eq!(queue.pending_hops(), 0);
+        queue.push(
+            1,
+            EventKind::Hop {
+                doc: 0,
+                broker: 0,
+                from: None,
+            },
+        );
+        queue.push(1, EventKind::Scenario(0));
+        assert_eq!(queue.pending_hops(), 1);
+        while queue.pop().is_some() {}
+        assert_eq!(queue.pending_hops(), 0);
+        assert!(queue.is_empty());
+    }
+}

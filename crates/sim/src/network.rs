@@ -1,0 +1,393 @@
+//! The mutable network state a simulation run evolves: consumers with
+//! churn, routing tables with a staleness epoch, the similarity engine
+//! observing the published traffic, and the semantic communities rebuilt by
+//! the recluster policy.
+
+use tps_core::{PatternId, SimilarityEngine};
+use tps_pattern::TreePattern;
+use tps_routing::{
+    BrokerId, BrokerNetwork, BrokerTopology, CommunityClustering, CommunityConfig, ForwardingMode,
+    RoutingTable,
+};
+use tps_synopsis::SynopsisConfig;
+use tps_workload::SubscriberId;
+use tps_xml::XmlTree;
+
+/// One consumer slot of the simulated network. Slots are never reused:
+/// departures deactivate the slot, so a [`SubscriberId`] stays a stable
+/// index for the whole run.
+#[derive(Debug, Clone)]
+pub struct SimConsumer {
+    /// The broker the consumer is attached to.
+    pub broker: BrokerId,
+    /// The subscription.
+    pub pattern: TreePattern,
+    /// Engine handle of the subscription.
+    pub id: PatternId,
+    /// Whether the consumer is currently subscribed.
+    pub active: bool,
+}
+
+/// Result of one routing-table / community rebuild.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RebuildOutcome {
+    /// Total size of the rebuilt tables, in pattern nodes (0 for flooding).
+    pub table_nodes: usize,
+    /// Number of semantic communities after re-clustering.
+    pub communities: usize,
+    /// Mean engine-estimated selectivity of the active subscriptions,
+    /// evaluated with one batched
+    /// [`SimilarityEngine::selectivities`] call over the traffic observed so
+    /// far.
+    pub mean_selectivity: f64,
+}
+
+/// The broker network as the simulator sees it: a static tree topology plus
+/// everything that changes over virtual time.
+///
+/// Staleness is tracked with two counters: the engine synopsis epoch
+/// ([`tps_synopsis::Synopsis::epoch`], bumped by every observed
+/// publication) and a churn sequence number bumped by every subscribe /
+/// unsubscribe. Routing tables depend only on the subscription set, so
+/// [`SimNetwork::tables_stale`] consults the churn counter; the semantic
+/// communities depend on both (similarities drift as traffic accumulates),
+/// so [`SimNetwork::communities_stale`] consults both.
+#[derive(Debug)]
+pub struct SimNetwork {
+    topology: BrokerTopology,
+    forwarding: ForwardingMode,
+    community: CommunityConfig,
+    consumers: Vec<SimConsumer>,
+    engine: SimilarityEngine,
+    tables: Vec<RoutingTable>,
+    communities: CommunityClustering,
+    mean_selectivity: f64,
+    churn_seq: u64,
+    tables_built_at_churn: u64,
+    communities_built_at: (u64, u64),
+    /// `behind[broker][link][b]`: whether broker `b` lives behind the
+    /// `link`-th link of `broker`. The topology is immutable for the whole
+    /// run, so these membership masks are computed once and spare the
+    /// per-forward subtree BFS the spurious accounting would otherwise pay.
+    behind: Vec<Vec<Vec<bool>>>,
+}
+
+impl SimNetwork {
+    /// Create a network with no consumers and no tables yet — call
+    /// [`SimNetwork::rebuild`] after installing the initial subscriptions
+    /// (reading [`SimNetwork::tables`] before the first rebuild yields an
+    /// empty slice).
+    pub fn new(
+        topology: BrokerTopology,
+        forwarding: ForwardingMode,
+        community: CommunityConfig,
+        synopsis: SynopsisConfig,
+    ) -> Self {
+        let behind = topology
+            .brokers()
+            .map(|broker| {
+                topology
+                    .link_partitions(broker)
+                    .into_iter()
+                    .map(|subtree| {
+                        let mut mask = vec![false; topology.broker_count()];
+                        for b in subtree {
+                            mask[b] = true;
+                        }
+                        mask
+                    })
+                    .collect()
+            })
+            .collect();
+        // Tables and communities start empty: the driver installs the
+        // initial consumers and then performs the first (counted) rebuild,
+        // so building anything here would be dead work.
+        Self {
+            topology,
+            forwarding,
+            community,
+            consumers: Vec::new(),
+            engine: SimilarityEngine::new(synopsis),
+            tables: Vec::new(),
+            communities: CommunityClustering::default(),
+            mean_selectivity: 0.0,
+            churn_seq: 0,
+            tables_built_at_churn: 0,
+            communities_built_at: (0, 0),
+            behind,
+        }
+    }
+
+    /// The overlay topology.
+    pub fn topology(&self) -> &BrokerTopology {
+        &self.topology
+    }
+
+    /// The forwarding discipline.
+    pub fn forwarding(&self) -> ForwardingMode {
+        self.forwarding
+    }
+
+    /// All consumer slots (active and departed).
+    pub fn consumers(&self) -> &[SimConsumer] {
+        &self.consumers
+    }
+
+    /// Number of currently active consumers.
+    pub fn active_count(&self) -> usize {
+        self.consumers.iter().filter(|c| c.active).count()
+    }
+
+    /// The similarity engine observing the published traffic.
+    pub fn engine(&self) -> &SimilarityEngine {
+        &self.engine
+    }
+
+    /// The semantic communities of the active subscriptions, as of the last
+    /// rebuild.
+    pub fn communities(&self) -> &CommunityClustering {
+        &self.communities
+    }
+
+    /// Mean estimated selectivity of the active subscriptions as of the
+    /// last rebuild.
+    pub fn mean_selectivity(&self) -> f64 {
+        self.mean_selectivity
+    }
+
+    /// The per-broker routing tables, as of the last rebuild.
+    pub fn tables(&self) -> &[RoutingTable] {
+        &self.tables
+    }
+
+    /// Attach a subscriber. Slots must arrive in [`SubscriberId`] order —
+    /// the scenario generator guarantees it, and the assertion catches
+    /// hand-built scenarios that do not.
+    pub fn subscribe(&mut self, subscriber: SubscriberId, broker: BrokerId, pattern: TreePattern) {
+        assert_eq!(
+            subscriber,
+            self.consumers.len(),
+            "subscribers must arrive in id order"
+        );
+        assert!(
+            broker < self.topology.broker_count(),
+            "broker {broker} does not exist"
+        );
+        let id = self.engine.register(&pattern);
+        self.consumers.push(SimConsumer {
+            broker,
+            pattern,
+            id,
+            active: true,
+        });
+        self.churn_seq += 1;
+    }
+
+    /// Detach a subscriber; returns false when the slot was already
+    /// inactive (scenario generators never produce double departures, but
+    /// the simulator tolerates them).
+    pub fn unsubscribe(&mut self, subscriber: SubscriberId) -> bool {
+        match self.consumers.get_mut(subscriber) {
+            Some(consumer) if consumer.active => {
+                consumer.active = false;
+                self.churn_seq += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Fold a published document into the engine's synopsis (bumps the
+    /// synopsis epoch, so community staleness is visible).
+    pub fn observe(&mut self, document: &XmlTree) {
+        self.engine.observe(document);
+    }
+
+    /// Whether the routing tables no longer reflect the subscription set.
+    pub fn tables_stale(&self) -> bool {
+        self.tables_built_at_churn != self.churn_seq
+    }
+
+    /// Whether the communities no longer reflect the subscription set *or*
+    /// the observed traffic (synopsis epoch).
+    pub fn communities_stale(&self) -> bool {
+        self.communities_built_at != (self.churn_seq, self.engine.synopsis().epoch())
+    }
+
+    /// Rebuild the routing tables and re-cluster the active subscriptions,
+    /// fanning the similarity matrix over up to `threads` workers. Returns
+    /// the cost/outcome counters for the report.
+    pub fn rebuild(&mut self, threads: usize) -> RebuildOutcome {
+        // Tables: reuse the static network's construction over the active
+        // consumers, so a churn-free simulation is table-identical to a
+        // static `BrokerNetwork` evaluation by construction.
+        self.tables = match self.forwarding {
+            ForwardingMode::Flooding => Vec::new(),
+            ForwardingMode::Table(mode) => {
+                let mut network = BrokerNetwork::new(self.topology.clone());
+                for consumer in self.consumers.iter().filter(|c| c.active) {
+                    network.attach(consumer.broker, "sim", consumer.pattern.clone());
+                }
+                network.build_tables(mode)
+            }
+        };
+        self.tables_built_at_churn = self.churn_seq;
+
+        // Communities + batched selectivities of the active workload.
+        let active_ids: Vec<PatternId> = self
+            .consumers
+            .iter()
+            .filter(|c| c.active)
+            .map(|c| c.id)
+            .collect();
+        self.communities = CommunityClustering::cluster_par(
+            &self.engine,
+            &active_ids,
+            self.community,
+            threads.max(1),
+        );
+        let selectivities = self.engine.selectivities(&active_ids);
+        self.mean_selectivity = if selectivities.is_empty() {
+            0.0
+        } else {
+            selectivities.iter().sum::<f64>() / selectivities.len() as f64
+        };
+        self.communities_built_at = (self.churn_seq, self.engine.synopsis().epoch());
+
+        RebuildOutcome {
+            table_nodes: self.tables.iter().map(RoutingTable::node_count).sum(),
+            communities: self.communities.len(),
+            mean_selectivity: self.mean_selectivity,
+        }
+    }
+
+    /// Indices of the *active* consumers attached to `broker`.
+    pub fn active_consumers_at(&self, broker: BrokerId) -> Vec<usize> {
+        self.consumers
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.active && c.broker == broker)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Whether any *active* consumer behind the `link_index`-th link of
+    /// `broker` is marked in the frozen `interested` bitmap — the ground
+    /// truth for spurious-forward accounting, mirroring the static
+    /// network's subtree definition (the membership masks are precomputed
+    /// from [`BrokerTopology::subtree_brokers`] via `link_partitions`).
+    /// Consumer slots beyond the bitmap (arrivals after publication) count
+    /// as uninterested.
+    pub fn link_has_interest(
+        &self,
+        broker: BrokerId,
+        link_index: usize,
+        interested: &[bool],
+    ) -> bool {
+        let mask = &self.behind[broker][link_index];
+        self.consumers.iter().enumerate().any(|(slot, c)| {
+            c.active && mask[c.broker] && interested.get(slot).copied().unwrap_or(false)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_routing::TableMode;
+
+    fn network() -> SimNetwork {
+        SimNetwork::new(
+            BrokerTopology::balanced_tree(5, 2),
+            ForwardingMode::Table(TableMode::Exact),
+            CommunityConfig::default(),
+            SynopsisConfig::sets(100),
+        )
+    }
+
+    fn pattern(text: &str) -> TreePattern {
+        TreePattern::parse(text).unwrap()
+    }
+
+    #[test]
+    fn churn_marks_tables_stale_and_rebuild_clears_it() {
+        let mut network = network();
+        assert!(!network.tables_stale());
+        network.subscribe(0, 1, pattern("//CD"));
+        assert!(network.tables_stale());
+        let outcome = network.rebuild(1);
+        assert!(!network.tables_stale());
+        assert!(outcome.table_nodes > 0);
+        assert_eq!(outcome.communities, 1);
+    }
+
+    #[test]
+    fn publications_mark_communities_stale_but_not_tables() {
+        let mut network = network();
+        network.subscribe(0, 1, pattern("//CD"));
+        network.rebuild(1);
+        network.observe(&XmlTree::parse("<media><CD/></media>").unwrap());
+        assert!(!network.tables_stale());
+        assert!(network.communities_stale());
+    }
+
+    #[test]
+    fn unsubscribe_deactivates_without_reusing_slots() {
+        let mut network = network();
+        network.subscribe(0, 1, pattern("//CD"));
+        network.subscribe(1, 3, pattern("//book"));
+        assert!(network.unsubscribe(0));
+        assert!(!network.unsubscribe(0), "double departure is a no-op");
+        assert_eq!(network.active_count(), 1);
+        assert_eq!(network.consumers().len(), 2);
+        assert_eq!(network.active_consumers_at(1), Vec::<usize>::new());
+        assert_eq!(network.active_consumers_at(3), vec![1]);
+    }
+
+    #[test]
+    fn rebuilt_tables_match_a_static_network_over_the_active_set() {
+        let mut network = network();
+        network.subscribe(0, 1, pattern("//CD"));
+        network.subscribe(1, 3, pattern("//book"));
+        network.unsubscribe(0);
+        network.rebuild(1);
+        let mut reference = BrokerNetwork::new(BrokerTopology::balanced_tree(5, 2));
+        reference.attach(3, "b", pattern("//book"));
+        let tables = reference.build_tables(TableMode::Exact);
+        assert_eq!(
+            network
+                .tables()
+                .iter()
+                .map(RoutingTable::node_count)
+                .sum::<usize>(),
+            tables.iter().map(RoutingTable::node_count).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn link_interest_ignores_departed_and_late_subscribers() {
+        let mut network = network();
+        // Both consumers sit at broker 1, behind broker 0's first link.
+        network.subscribe(0, 1, pattern("//CD"));
+        network.subscribe(1, 1, pattern("//composer"));
+        let interested = vec![false, true];
+        assert!(network.link_has_interest(0, 0, &interested));
+        // Broker 0's second link (towards broker 2) has nobody behind it.
+        assert!(!network.link_has_interest(0, 1, &interested));
+        // A departed subscriber no longer attracts forwards...
+        network.unsubscribe(1);
+        assert!(!network.link_has_interest(0, 0, &interested));
+        // ...and slots beyond the frozen interest bitmap count as
+        // uninterested (arrivals after publication are not owed the
+        // document).
+        network.subscribe(2, 1, pattern("//book"));
+        assert!(!network.link_has_interest(0, 0, &interested));
+    }
+
+    #[test]
+    #[should_panic(expected = "id order")]
+    fn out_of_order_subscribers_are_rejected() {
+        let mut network = network();
+        network.subscribe(3, 1, pattern("//CD"));
+    }
+}

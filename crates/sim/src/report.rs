@@ -1,0 +1,246 @@
+//! Simulation reports: per-window time series plus end-of-run aggregates.
+
+use std::fmt;
+
+use tps_routing::stats::{DeliveryMetrics, LinkMetrics};
+
+/// Counters accumulated over one report window.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WindowStats {
+    /// Virtual time the window starts at (windows are contiguous and
+    /// half-open: `[start, start + window_length)`).
+    pub start: u64,
+    /// Documents published in the window.
+    pub publishes: usize,
+    /// Subscriber arrivals in the window.
+    pub subscribes: usize,
+    /// Subscriber departures in the window.
+    pub unsubscribes: usize,
+    /// Messages sent over overlay links.
+    pub link_messages: usize,
+    /// Link messages towards subtrees with no interested consumer.
+    pub spurious_link_messages: usize,
+    /// Pattern-match operations at brokers (table lookups + local
+    /// filtering).
+    pub match_operations: usize,
+    /// Deliveries to consumers.
+    pub deliveries: usize,
+    /// Interested (consumer, document) pairs whose document completed
+    /// propagation in this window without reaching them.
+    pub missed_deliveries: usize,
+    /// Routing-table / community rebuilds triggered in the window.
+    pub rebuilds: usize,
+    /// Maximum in-flight hop backlog observed in the window (queueing
+    /// pressure).
+    pub max_queue_depth: usize,
+    /// Active consumers at the end of the window.
+    pub active_consumers: usize,
+}
+
+/// End-of-run aggregate counters. Field semantics mirror
+/// [`tps_routing::NetworkStats`] so the dynamic run is directly comparable
+/// to a static [`tps_routing::BrokerNetwork::route_stream`] evaluation; the
+/// derived precision / recall / matches-per-document figures come from the
+/// shared [`DeliveryMetrics`] trait.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimStats {
+    /// Documents published over the whole run.
+    pub documents: usize,
+    /// Brokers in the overlay.
+    pub brokers: usize,
+    /// Messages sent over overlay links.
+    pub link_messages: usize,
+    /// Link messages towards subtrees with no interested consumer.
+    pub spurious_link_messages: usize,
+    /// Pattern-match operations at brokers.
+    pub match_operations: usize,
+    /// Deliveries to consumers (local filtering is exact, so every delivery
+    /// is useful).
+    pub deliveries: usize,
+    /// Interested (consumer, document) pairs never delivered.
+    pub missed_deliveries: usize,
+    /// Subscriber arrivals processed (mid-run churn only).
+    pub subscribes: usize,
+    /// Subscriber departures processed.
+    pub unsubscribes: usize,
+    /// Routing-table / community rebuilds (including the initial build).
+    pub table_rebuilds: usize,
+    /// Total routing-table size built over the run, in pattern nodes — the
+    /// cumulative maintenance cost a recluster policy pays.
+    pub rebuild_table_nodes: usize,
+    /// Active consumers when the run ended.
+    pub final_consumers: usize,
+    /// Highest number of simultaneously active consumers.
+    pub peak_consumers: usize,
+    /// Communities after the last rebuild.
+    pub communities: usize,
+    /// Mean engine-estimated selectivity of the active subscriptions at the
+    /// last rebuild (batched [`tps_core::SimilarityEngine::selectivities`]
+    /// over the traffic observed so far).
+    pub mean_subscription_selectivity: f64,
+    /// Virtual time of the last processed event.
+    pub horizon: u64,
+}
+
+// Link precision drops as stale routing tables keep forwarding towards
+// departed consumers; the derivations are shared with the static
+// `NetworkStats`, so the two report kinds can never disagree on the rates.
+impl LinkMetrics for SimStats {
+    fn link_messages(&self) -> usize {
+        self.link_messages
+    }
+    fn spurious_link_messages(&self) -> usize {
+        self.spurious_link_messages
+    }
+}
+
+impl DeliveryMetrics for SimStats {
+    fn documents(&self) -> usize {
+        self.documents
+    }
+    fn match_operations(&self) -> usize {
+        self.match_operations
+    }
+    fn deliveries(&self) -> usize {
+        self.deliveries
+    }
+    fn useful_deliveries(&self) -> usize {
+        self.deliveries
+    }
+    fn missed_deliveries(&self) -> usize {
+        self.missed_deliveries
+    }
+}
+
+/// The result of one simulation run: a contiguous window series plus the
+/// aggregates.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimReport {
+    /// Length of each window in virtual time.
+    pub window_length: u64,
+    /// Contiguous windows from time 0 to the end of the run.
+    pub windows: Vec<WindowStats>,
+    /// End-of-run aggregates.
+    pub aggregate: SimStats,
+    /// Human-readable event trace (only populated when
+    /// [`crate::SimConfig::record_trace`] is set; used by the determinism
+    /// tests).
+    pub trace: Vec<String>,
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:>8} {:>6} {:>6} {:>6} {:>8} {:>8} {:>8} {:>7} {:>7} {:>8} {:>6} {:>7}",
+            "window",
+            "pubs",
+            "subs",
+            "unsub",
+            "linkmsg",
+            "spurious",
+            "matches",
+            "deliv",
+            "missed",
+            "rebuilds",
+            "queue",
+            "active"
+        )?;
+        for w in &self.windows {
+            writeln!(
+                f,
+                "{:>8} {:>6} {:>6} {:>6} {:>8} {:>8} {:>8} {:>7} {:>7} {:>8} {:>6} {:>7}",
+                w.start,
+                w.publishes,
+                w.subscribes,
+                w.unsubscribes,
+                w.link_messages,
+                w.spurious_link_messages,
+                w.match_operations,
+                w.deliveries,
+                w.missed_deliveries,
+                w.rebuilds,
+                w.max_queue_depth,
+                w.active_consumers
+            )?;
+        }
+        let a = &self.aggregate;
+        writeln!(f, "---")?;
+        writeln!(
+            f,
+            "published {} documents over {} ticks ({} brokers, {} consumers at end, peak {})",
+            a.documents, a.horizon, a.brokers, a.final_consumers, a.peak_consumers
+        )?;
+        writeln!(
+            f,
+            "churn: {} subscribes, {} unsubscribes; rebuilds: {} ({} table nodes built)",
+            a.subscribes, a.unsubscribes, a.table_rebuilds, a.rebuild_table_nodes
+        )?;
+        writeln!(
+            f,
+            "link messages/doc: {:.2}  link precision: {:.3}  recall: {:.3}  matches/doc: {:.1}",
+            a.messages_per_document(),
+            a.link_precision(),
+            a.recall(),
+            a.matches_per_document()
+        )?;
+        write!(
+            f,
+            "communities: {}  mean subscription selectivity: {:.4}",
+            a.communities, a.mean_subscription_selectivity
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_rates_reuse_the_shared_trait() {
+        let stats = SimStats {
+            documents: 10,
+            link_messages: 40,
+            spurious_link_messages: 10,
+            match_operations: 50,
+            deliveries: 30,
+            missed_deliveries: 10,
+            ..SimStats::default()
+        };
+        assert_eq!(stats.precision(), 1.0);
+        assert_eq!(stats.recall(), 0.75);
+        assert_eq!(stats.matches_per_document(), 5.0);
+        assert_eq!(stats.link_precision(), 0.75);
+        assert_eq!(stats.messages_per_document(), 4.0);
+    }
+
+    #[test]
+    fn empty_run_is_well_defined() {
+        let stats = SimStats::default();
+        assert_eq!(stats.link_precision(), 1.0);
+        assert_eq!(stats.recall(), 1.0);
+        assert_eq!(stats.messages_per_document(), 0.0);
+    }
+
+    #[test]
+    fn report_renders_windows_and_aggregates() {
+        let report = SimReport {
+            window_length: 100,
+            windows: vec![WindowStats {
+                start: 0,
+                publishes: 3,
+                ..WindowStats::default()
+            }],
+            aggregate: SimStats {
+                documents: 3,
+                horizon: 100,
+                ..SimStats::default()
+            },
+            trace: Vec::new(),
+        };
+        let text = report.to_string();
+        assert!(text.contains("window"), "{text}");
+        assert!(text.contains("published 3 documents"), "{text}");
+        assert!(text.contains("link precision"), "{text}");
+    }
+}

@@ -1,0 +1,244 @@
+//! Determinism and static-equivalence guarantees of the simulator.
+//!
+//! * Two runs with the same seed produce identical event traces and
+//!   reports (property-tested over seeds and scenario shapes).
+//! * With zero churn, the recluster policy is irrelevant: `never` and
+//!   `eager` agree exactly.
+//! * With zero churn and eager reclustering, the aggregate link/delivery
+//!   counters match the static `BrokerNetwork::route_stream` evaluation on
+//!   the same corpus — the dynamic simulator is a strict generalisation of
+//!   the batch run.
+
+use proptest::prelude::*;
+
+use tps_pattern::TreePattern;
+use tps_routing::{BrokerNetwork, BrokerTopology, DeliveryMetrics, ForwardingMode, LinkMetrics};
+use tps_sim::{ReclusterPolicy, SimConfig, Simulation};
+use tps_workload::{ChurnConfig, ChurnScenario, Dtd, ScenarioAction, ScenarioEvent};
+
+fn scenario(seed: u64, arrivals: usize, departures: usize) -> ChurnScenario {
+    ChurnScenario::generate(
+        &Dtd::media(),
+        &ChurnConfig {
+            brokers: 7,
+            initial_subscribers: 8,
+            arrivals,
+            departures,
+            publications: 40,
+            horizon: 400,
+            seed,
+            ..ChurnConfig::default()
+        },
+    )
+}
+
+fn config(recluster: ReclusterPolicy) -> SimConfig {
+    SimConfig {
+        recluster,
+        record_trace: true,
+        ..SimConfig::default()
+    }
+}
+
+fn run(scenario: &ChurnScenario, recluster: ReclusterPolicy) -> tps_sim::SimReport {
+    Simulation::new(BrokerTopology::balanced_tree(7, 2), config(recluster)).run(scenario)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Same seed, same shape: the scenario, the trace and the report are
+    /// all bit-identical across runs (and across policies the trace is at
+    /// least internally deterministic).
+    #[test]
+    fn same_seed_runs_are_bit_identical(
+        seed in 0u64..1_000,
+        arrivals in 0usize..6,
+        departures in 0usize..6,
+        policy in prop::sample::select(vec![
+            ReclusterPolicy::Eager,
+            ReclusterPolicy::Periodic(100),
+            ReclusterPolicy::OnChurn(2),
+            ReclusterPolicy::Never,
+        ]),
+    ) {
+        let a_scenario = scenario(seed, arrivals, departures);
+        let b_scenario = scenario(seed, arrivals, departures);
+        prop_assert_eq!(&a_scenario, &b_scenario);
+        let a = run(&a_scenario, policy);
+        let b = run(&b_scenario, policy);
+        prop_assert_eq!(&a.trace, &b.trace);
+        prop_assert_eq!(a, b);
+    }
+
+    /// With zero churn there is nothing to go stale, so the cheapest and
+    /// the most expensive policy agree exactly.
+    #[test]
+    fn policies_agree_without_churn(seed in 0u64..1_000) {
+        let scenario = scenario(seed, 0, 0);
+        let eager = run(&scenario, ReclusterPolicy::Eager);
+        let never = run(&scenario, ReclusterPolicy::Never);
+        prop_assert_eq!(&eager.trace, &never.trace);
+        prop_assert_eq!(eager, never);
+    }
+}
+
+/// The dynamic run over a churn-free scenario reproduces the static batch
+/// evaluation counter for counter, for every forwarding mode.
+#[test]
+fn zero_churn_eager_matches_the_static_network() {
+    let scenario = scenario(7, 0, 0);
+    let documents = scenario.published_documents();
+    let topology = BrokerTopology::balanced_tree(7, 2);
+    for forwarding in ForwardingMode::all() {
+        let report = Simulation::new(
+            topology.clone(),
+            SimConfig {
+                forwarding,
+                recluster: ReclusterPolicy::Eager,
+                ..SimConfig::default()
+            },
+        )
+        .run(&scenario);
+
+        let mut network = BrokerNetwork::new(topology.clone());
+        for (broker, pattern) in &scenario.initial {
+            network.attach(*broker, "static", pattern.clone());
+        }
+        let expected = network.route_stream(0, &documents, forwarding);
+
+        let a = &report.aggregate;
+        assert_eq!(a.documents, expected.documents, "{}", forwarding.name());
+        assert_eq!(
+            a.link_messages,
+            expected.link_messages,
+            "{}",
+            forwarding.name()
+        );
+        assert_eq!(
+            a.spurious_link_messages,
+            expected.spurious_link_messages,
+            "{}",
+            forwarding.name()
+        );
+        assert_eq!(
+            a.match_operations,
+            expected.match_operations,
+            "{}",
+            forwarding.name()
+        );
+        assert_eq!(a.deliveries, expected.deliveries, "{}", forwarding.name());
+        assert_eq!(
+            a.missed_deliveries,
+            expected.missed_deliveries,
+            "{}",
+            forwarding.name()
+        );
+        assert_eq!(
+            a.link_precision(),
+            expected.link_precision(),
+            "{}",
+            forwarding.name()
+        );
+        assert_eq!(a.recall(), expected.recall(), "{}", forwarding.name());
+        assert_eq!(
+            a.matches_per_document(),
+            expected.matches_per_document(),
+            "{}",
+            forwarding.name()
+        );
+    }
+}
+
+/// A hand-built scenario where staleness must cost deliveries: a subscriber
+/// arrives at an empty leaf mid-run. With `never` the tables predate the
+/// arrival, so nothing is forwarded towards it; with `eager` the rebuild
+/// routes to it immediately.
+#[test]
+fn stale_tables_lose_deliveries_that_eager_rebuilds_recover() {
+    let pattern = TreePattern::parse("//CD").unwrap();
+    let document = tps_xml::XmlTree::parse("<media><CD><title>T</title></CD></media>").unwrap();
+    let scenario = ChurnScenario {
+        initial: vec![(1, TreePattern::parse("//never-matches").unwrap())],
+        events: vec![
+            ScenarioEvent {
+                time: 10,
+                action: ScenarioAction::Subscribe {
+                    subscriber: 1,
+                    broker: 4,
+                    pattern: pattern.clone(),
+                },
+            },
+            ScenarioEvent {
+                time: 50,
+                action: ScenarioAction::Publish {
+                    document: document.clone(),
+                },
+            },
+            ScenarioEvent {
+                time: 60,
+                action: ScenarioAction::Publish { document },
+            },
+        ],
+    };
+    let topology = BrokerTopology::balanced_tree(5, 2);
+    let eager = Simulation::new(topology.clone(), config(ReclusterPolicy::Eager)).run(&scenario);
+    let never = Simulation::new(topology, config(ReclusterPolicy::Never)).run(&scenario);
+    assert_eq!(eager.aggregate.deliveries, 2);
+    assert_eq!(eager.aggregate.missed_deliveries, 0);
+    assert_eq!(eager.aggregate.recall(), 1.0);
+    assert_eq!(never.aggregate.deliveries, 0);
+    assert_eq!(never.aggregate.missed_deliveries, 2);
+    assert_eq!(never.aggregate.recall(), 0.0);
+    assert!(eager.aggregate.table_rebuilds > never.aggregate.table_rebuilds);
+}
+
+/// The mirror case: a subscriber departs mid-run, and the stale tables keep
+/// forwarding into its now-empty subtree — spurious link messages the eager
+/// policy avoids.
+#[test]
+fn stale_tables_forward_spuriously_after_departures() {
+    let pattern = TreePattern::parse("//CD").unwrap();
+    let document = tps_xml::XmlTree::parse("<media><CD><title>T</title></CD></media>").unwrap();
+    let scenario = ChurnScenario {
+        initial: vec![(4, pattern)],
+        events: vec![
+            ScenarioEvent {
+                time: 10,
+                action: ScenarioAction::Unsubscribe { subscriber: 0 },
+            },
+            ScenarioEvent {
+                time: 50,
+                action: ScenarioAction::Publish { document },
+            },
+        ],
+    };
+    let topology = BrokerTopology::balanced_tree(5, 2);
+    let eager = Simulation::new(topology.clone(), config(ReclusterPolicy::Eager)).run(&scenario);
+    let never = Simulation::new(topology, config(ReclusterPolicy::Never)).run(&scenario);
+    assert_eq!(eager.aggregate.link_messages, 0);
+    assert!(never.aggregate.link_messages > 0);
+    assert_eq!(
+        never.aggregate.spurious_link_messages,
+        never.aggregate.link_messages
+    );
+    assert!(never.aggregate.link_precision() < eager.aggregate.link_precision());
+}
+
+/// Periodic and on-churn policies rebuild between the extremes.
+#[test]
+fn periodic_and_on_churn_policies_bound_the_rebuild_count() {
+    let scenario = scenario(3, 5, 5);
+    let eager = run(&scenario, ReclusterPolicy::Eager);
+    let periodic = run(&scenario, ReclusterPolicy::Periodic(100));
+    let on_churn = run(&scenario, ReclusterPolicy::OnChurn(3));
+    let never = run(&scenario, ReclusterPolicy::Never);
+    assert_eq!(never.aggregate.table_rebuilds, 1, "initial build only");
+    assert!(eager.aggregate.table_rebuilds >= on_churn.aggregate.table_rebuilds);
+    assert!(on_churn.aggregate.table_rebuilds >= never.aggregate.table_rebuilds);
+    assert!(periodic.aggregate.table_rebuilds >= 1);
+    // All policies route the same publications.
+    for report in [&eager, &periodic, &on_churn, &never] {
+        assert_eq!(report.aggregate.documents, 40);
+    }
+}

@@ -1,0 +1,387 @@
+//! Seeded subscription-churn scenarios for the dynamic broker simulation.
+//!
+//! The static evaluation workloads ([`crate::Dataset`]) freeze the
+//! subscription set before a single document is routed. A
+//! [`ChurnScenario`] instead describes a *timeline*: subscribers arrive at
+//! brokers, leave again, and publications interleave with the churn — the
+//! operational setting the paper's similarity-driven overlays are meant to
+//! survive. Scenarios are pure data (a sorted event list), generated
+//! deterministically from a seed, so `tps-sim` runs over them are exactly
+//! reproducible and two simulators fed the same scenario see the same world.
+//!
+//! Patterns come from the DTD-aware [`crate::XPathGenerator`], documents
+//! from the [`crate::DocumentGenerator`] pulled through its
+//! [`crate::GeneratedDocuments`] stream (the publication side never needs
+//! the corpus materialised ahead of time), and event times from a third
+//! independently seeded RNG — so scaling one process does not perturb the
+//! others.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use tps_pattern::TreePattern;
+use tps_xml::stream::DocumentStream;
+use tps_xml::XmlTree;
+
+use crate::docgen::{DocGenConfig, DocumentGenerator};
+use crate::dtd::Dtd;
+use crate::xpathgen::{XPathGenConfig, XPathGenerator};
+
+/// Identifier of a subscriber within a scenario: initial subscribers are
+/// `0..initial_subscribers`, later arrivals continue the sequence in
+/// arrival order.
+pub type SubscriberId = usize;
+
+/// Configuration of a churn scenario.
+#[derive(Debug, Clone)]
+pub struct ChurnConfig {
+    /// Number of brokers subscribers can attach to (attachment is uniform).
+    pub brokers: usize,
+    /// Subscribers installed before the clock starts.
+    pub initial_subscribers: usize,
+    /// Mid-run subscriber arrivals.
+    pub arrivals: usize,
+    /// Mid-run departures (capped at the number of subscribers that exist).
+    pub departures: usize,
+    /// Publications interleaved with the churn.
+    pub publications: usize,
+    /// Virtual-time span events are spread over (events are sampled
+    /// uniformly in `1..=horizon`).
+    pub horizon: u64,
+    /// Document generator knobs (the seed field is ignored — the scenario
+    /// derives per-process seeds from [`ChurnConfig::seed`]).
+    pub docgen: DocGenConfig,
+    /// XPath generator knobs (seed ignored, as above).
+    pub xpathgen: XPathGenConfig,
+    /// Master seed all per-process seeds derive from.
+    pub seed: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        Self {
+            brokers: 7,
+            initial_subscribers: 20,
+            arrivals: 10,
+            departures: 10,
+            publications: 100,
+            horizon: 1_000,
+            docgen: DocGenConfig::default(),
+            xpathgen: XPathGenConfig::default(),
+            seed: 1,
+        }
+    }
+}
+
+impl ChurnConfig {
+    /// Replace the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Disable churn: no arrivals, no departures (the static-equivalence
+    /// baseline).
+    pub fn without_churn(mut self) -> Self {
+        self.arrivals = 0;
+        self.departures = 0;
+        self
+    }
+}
+
+/// One timed scenario action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioAction {
+    /// A subscriber arrives at `broker` with `pattern`.
+    Subscribe {
+        /// Scenario-wide subscriber id.
+        subscriber: SubscriberId,
+        /// Broker the subscriber attaches to.
+        broker: usize,
+        /// The subscription.
+        pattern: TreePattern,
+    },
+    /// A previously subscribed consumer leaves.
+    Unsubscribe {
+        /// Scenario-wide subscriber id.
+        subscriber: SubscriberId,
+    },
+    /// A document is published at the producer broker.
+    Publish {
+        /// The published document.
+        document: XmlTree,
+    },
+}
+
+/// A timed scenario event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioEvent {
+    /// Virtual time of the event.
+    pub time: u64,
+    /// What happens.
+    pub action: ScenarioAction,
+}
+
+/// A complete churn scenario: initial subscriptions plus a time-sorted
+/// event list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnScenario {
+    /// Subscriptions installed before the clock starts: `(broker, pattern)`
+    /// per initial subscriber, in [`SubscriberId`] order starting at 0.
+    pub initial: Vec<(usize, TreePattern)>,
+    /// Mid-run events, sorted by time (ties keep generation order, so the
+    /// scenario is deterministic end to end).
+    pub events: Vec<ScenarioEvent>,
+}
+
+impl ChurnScenario {
+    /// Generate a scenario over `dtd` from `config`, deterministically per
+    /// seed.
+    pub fn generate(dtd: &Dtd, config: &ChurnConfig) -> Self {
+        let brokers = config.brokers.max(1);
+        let mut patterns = XPathGenerator::new(
+            dtd,
+            XPathGenConfig {
+                seed: config.seed,
+                ..config.xpathgen.clone()
+            },
+        );
+        let mut clock_rng = StdRng::seed_from_u64(config.seed.wrapping_add(1));
+        let horizon = config.horizon.max(1);
+
+        // Initial subscriptions: structurally distinct patterns so the
+        // initial communities are not degenerate.
+        let total_subscribers = config.initial_subscribers + config.arrivals;
+        let mut distinct = patterns.generate_many(total_subscribers);
+        // A tiny DTD may not have enough distinct patterns; top up with
+        // repeats rather than shrinking the scenario.
+        while distinct.len() < total_subscribers {
+            distinct.push(patterns.generate());
+        }
+        let initial: Vec<(usize, TreePattern)> = distinct[..config.initial_subscribers]
+            .iter()
+            .map(|p| (clock_rng.gen_range(0..brokers), p.clone()))
+            .collect();
+
+        // Mid-run arrivals. Subscriber ids are assigned in *arrival-time*
+        // order (the consumers table downstream grows append-only), so the
+        // sampled arrivals are sorted before ids are handed out.
+        let mut events: Vec<ScenarioEvent> = Vec::new();
+        let mut subscribe_time = vec![0u64; total_subscribers];
+        let mut arrivals: Vec<(u64, usize, TreePattern)> = distinct[config.initial_subscribers..]
+            .iter()
+            .map(|pattern| {
+                (
+                    clock_rng.gen_range(1..=horizon),
+                    clock_rng.gen_range(0..brokers),
+                    pattern.clone(),
+                )
+            })
+            .collect();
+        arrivals.sort_by_key(|&(time, _, _)| time);
+        for (offset, (time, broker, pattern)) in arrivals.into_iter().enumerate() {
+            let subscriber = config.initial_subscribers + offset;
+            subscribe_time[subscriber] = time;
+            events.push(ScenarioEvent {
+                time,
+                action: ScenarioAction::Subscribe {
+                    subscriber,
+                    broker,
+                    pattern,
+                },
+            });
+        }
+
+        // Departures: a uniform sample of subscribers, each leaving at a
+        // time strictly after it subscribed.
+        let candidates: Vec<SubscriberId> = (0..total_subscribers).collect();
+        let mut leavers: Vec<SubscriberId> = candidates
+            .choose_multiple(&mut clock_rng, config.departures.min(total_subscribers))
+            .copied()
+            .collect();
+        leavers.sort_unstable();
+        for subscriber in leavers {
+            let earliest = subscribe_time[subscriber] + 1;
+            let time = if earliest >= horizon {
+                horizon
+            } else {
+                clock_rng.gen_range(earliest..=horizon)
+            };
+            events.push(ScenarioEvent {
+                time,
+                action: ScenarioAction::Unsubscribe { subscriber },
+            });
+        }
+
+        // Publications: pull the documents through the generator-backed
+        // stream (publication corpora never need materialising up front).
+        let mut stream = DocumentGenerator::new(
+            dtd,
+            DocGenConfig {
+                seed: config.seed.wrapping_add(2),
+                ..config.docgen.clone()
+            },
+        )
+        .into_stream(config.publications);
+        let mut index = 0u64;
+        while let Some(document) = stream.next_document(index) {
+            let document = document.expect("generated documents always parse");
+            events.push(ScenarioEvent {
+                time: clock_rng.gen_range(1..=horizon),
+                action: ScenarioAction::Publish { document },
+            });
+            index += 1;
+        }
+
+        // Stable sort: ties keep generation order, making the scenario (and
+        // everything downstream of it) a pure function of the seed.
+        events.sort_by_key(|e| e.time);
+        Self { initial, events }
+    }
+
+    /// Number of publications in the event list.
+    pub fn publication_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.action, ScenarioAction::Publish { .. }))
+            .count()
+    }
+
+    /// Number of mid-run subscribe / unsubscribe events (the churn volume).
+    pub fn churn_count(&self) -> usize {
+        self.events.len() - self.publication_count()
+    }
+
+    /// The published documents, in publication order (the corpus a static
+    /// routing run over the same scenario would use).
+    pub fn published_documents(&self) -> Vec<XmlTree> {
+        self.events
+            .iter()
+            .filter_map(|e| match &e.action {
+                ScenarioAction::Publish { document } => Some(document.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> ChurnConfig {
+        ChurnConfig {
+            brokers: 5,
+            initial_subscribers: 6,
+            arrivals: 4,
+            departures: 5,
+            publications: 12,
+            horizon: 200,
+            seed: 11,
+            ..ChurnConfig::default()
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let dtd = Dtd::media();
+        let a = ChurnScenario::generate(&dtd, &config());
+        let b = ChurnScenario::generate(&dtd, &config());
+        assert_eq!(a, b);
+        let c = ChurnScenario::generate(&dtd, &config().with_seed(12));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn scenario_has_the_requested_shape() {
+        let dtd = Dtd::media();
+        let scenario = ChurnScenario::generate(&dtd, &config());
+        assert_eq!(scenario.initial.len(), 6);
+        assert_eq!(scenario.publication_count(), 12);
+        assert_eq!(scenario.churn_count(), 4 + 5);
+        assert!(scenario.events.windows(2).all(|w| w[0].time <= w[1].time));
+        assert!(scenario.events.iter().all(|e| e.time >= 1));
+        // Arrivals carry ids in arrival order (consumers tables downstream
+        // are append-only).
+        let arrival_ids: Vec<usize> = scenario
+            .events
+            .iter()
+            .filter_map(|e| match e.action {
+                ScenarioAction::Subscribe { subscriber, .. } => Some(subscriber),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            arrival_ids.windows(2).all(|w| w[0] < w[1]),
+            "{arrival_ids:?}"
+        );
+    }
+
+    #[test]
+    fn departures_follow_their_subscription() {
+        let dtd = Dtd::media();
+        let scenario = ChurnScenario::generate(&dtd, &config());
+        let mut subscribed_at = vec![Some(0u64); 6];
+        subscribed_at.resize(10, None);
+        for event in &scenario.events {
+            match &event.action {
+                ScenarioAction::Subscribe { subscriber, .. } => {
+                    subscribed_at[*subscriber] = Some(event.time);
+                }
+                ScenarioAction::Unsubscribe { subscriber } => {
+                    let born = subscribed_at[*subscriber]
+                        .unwrap_or_else(|| panic!("subscriber {subscriber} never subscribed"));
+                    assert!(
+                        event.time >= born,
+                        "subscriber {subscriber} left at {} before arriving at {born}",
+                        event.time
+                    );
+                }
+                ScenarioAction::Publish { .. } => {}
+            }
+        }
+    }
+
+    #[test]
+    fn without_churn_keeps_only_publications() {
+        let dtd = Dtd::media();
+        let scenario = ChurnScenario::generate(&dtd, &config().without_churn());
+        assert_eq!(scenario.churn_count(), 0);
+        assert_eq!(scenario.publication_count(), 12);
+        assert_eq!(scenario.initial.len(), 6);
+    }
+
+    #[test]
+    fn published_documents_match_the_generator_stream() {
+        let dtd = Dtd::media();
+        let cfg = config();
+        let scenario = ChurnScenario::generate(&dtd, &cfg);
+        let mut expected = DocumentGenerator::new(
+            &dtd,
+            DocGenConfig {
+                seed: cfg.seed.wrapping_add(2),
+                ..cfg.docgen.clone()
+            },
+        )
+        .generate_many(cfg.publications);
+        // Publication order is time order, not generation order.
+        let mut published = scenario.published_documents();
+        let key = |d: &XmlTree| d.to_xml();
+        expected.sort_by_key(key);
+        published.sort_by_key(key);
+        assert_eq!(published, expected);
+    }
+
+    #[test]
+    fn brokers_are_always_in_range() {
+        let dtd = Dtd::media();
+        let scenario = ChurnScenario::generate(&dtd, &config());
+        assert!(scenario.initial.iter().all(|&(b, _)| b < 5));
+        for event in &scenario.events {
+            if let ScenarioAction::Subscribe { broker, .. } = event.action {
+                assert!(broker < 5);
+            }
+        }
+    }
+}

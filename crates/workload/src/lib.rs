@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod dataset;
 pub mod docgen;
 pub mod dtd;
@@ -35,6 +36,7 @@ pub mod stream;
 pub mod xpathgen;
 pub mod zipf;
 
+pub use churn::{ChurnConfig, ChurnScenario, ScenarioAction, ScenarioEvent, SubscriberId};
 pub use dataset::{Dataset, DatasetConfig, SelectivityStats};
 pub use docgen::{DocGenConfig, DocumentGenerator};
 pub use dtd::{Dtd, DtdElement, ElementId, SyntheticDtdConfig};

@@ -23,6 +23,9 @@
 //! * the motivating application: clustering subscriptions into semantic
 //!   communities for content-based routing ([`routing`]), with a
 //!   multi-broker overlay simulation and a semantic peer-to-peer overlay,
+//! * a deterministic discrete-event simulator of the broker network under
+//!   subscription churn, with online re-clustering policies ([`sim`]) over
+//!   seeded churn scenarios ([`workload::churn`]),
 //! * community-discovery algorithms over similarity matrices
 //!   (agglomerative, k-medoids, leader clustering, MinHash signatures and
 //!   quality metrics) ([`cluster`]),
@@ -94,6 +97,43 @@
 //! assert_eq!(engine.document_count(), 3);
 //! ```
 //!
+//! ## Simulating subscription churn
+//!
+//! The [`sim`] crate turns the batch estimator into a live system model: a
+//! deterministic discrete-event simulation of the broker network in which
+//! subscribers arrive and leave while publications flow, and routing tables
+//! / semantic communities are refreshed by a configurable
+//! [`ReclusterPolicy`](sim::ReclusterPolicy) (`eager`, `periodic:N`,
+//! `churn:N`, `never` — the last quantifies what staleness costs):
+//!
+//! ```
+//! use tree_pattern_similarity::prelude::*;
+//!
+//! let scenario = ChurnScenario::generate(
+//!     &Dtd::media(),
+//!     &ChurnConfig {
+//!         brokers: 7,
+//!         initial_subscribers: 6,
+//!         arrivals: 3,
+//!         departures: 3,
+//!         publications: 25,
+//!         ..ChurnConfig::default()
+//!     },
+//! );
+//! let report = Simulation::new(
+//!     BrokerTopology::balanced_tree(7, 2),
+//!     SimConfig {
+//!         recluster: ReclusterPolicy::OnChurn(2),
+//!         ..SimConfig::default()
+//!     },
+//! )
+//! .run(&scenario);
+//! assert_eq!(report.aggregate.documents, 25);
+//! // The aggregates share the DeliveryMetrics derivations with the static
+//! // routing stats, so dynamic and batch runs are directly comparable.
+//! assert!(report.aggregate.recall() <= 1.0);
+//! ```
+//!
 //! The deprecated `SimilarityEstimator` per-call facade has been removed:
 //! replace `SimilarityEstimator::new(config)` + `prepare()` with the engine
 //! builder, register each pattern once, and swap hand-rolled pairwise loops
@@ -108,6 +148,7 @@ pub use tps_core as core;
 pub use tps_dtd as dtd;
 pub use tps_pattern as pattern;
 pub use tps_routing as routing;
+pub use tps_sim as sim;
 pub use tps_synopsis as synopsis;
 pub use tps_workload as workload;
 pub use tps_xml as xml;
@@ -125,11 +166,14 @@ pub mod prelude {
     pub use tps_dtd::{DtdSchema, PatternAnalyzer, ValidationMode, Validator};
     pub use tps_pattern::TreePattern;
     pub use tps_routing::{
-        BrokerNetwork, BrokerTopology, CommunityClustering, CommunityConfig, ForwardingMode,
-        SemanticOverlay, TableMode,
+        BrokerNetwork, BrokerTopology, CommunityClustering, CommunityConfig, DeliveryMetrics,
+        ForwardingMode, LinkMetrics, SemanticOverlay, TableMode,
     };
+    pub use tps_sim::{ReclusterPolicy, SimConfig, SimReport, Simulation};
     pub use tps_synopsis::{MatchingSetKind, Synopsis, SynopsisConfig};
-    pub use tps_workload::{Dataset, DatasetConfig, DocGenConfig, Dtd, XPathGenConfig};
+    pub use tps_workload::{
+        ChurnConfig, ChurnScenario, Dataset, DatasetConfig, DocGenConfig, Dtd, XPathGenConfig,
+    };
     pub use tps_xml::stream::{DocumentStream, LineStream, StreamError, StreamItem, TreeStream};
     pub use tps_xml::XmlTree;
 }
