@@ -7,13 +7,13 @@
 //! estimates are identical for every shard count, so the comparison is pure
 //! wall-clock.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use tps_bench::BenchFixture;
 use tps_core::build_par;
 use tps_synopsis::{MatchingSetKind, Synopsis, SynopsisConfig};
-use tps_xml::stream::cloned_trees;
+use tps_xml::stream::TreeStream;
 
 fn config(kind: MatchingSetKind) -> SynopsisConfig {
     SynopsisConfig {
@@ -34,20 +34,35 @@ fn bench_sequential_vs_sharded(c: &mut Criterion) {
         ("hashes_256", MatchingSetKind::Hashes { capacity: 256 }),
     ] {
         let mut group = c.benchmark_group(format!("synopsis_build_{name}"));
+        // Both arms get a fresh owned corpus from the (untimed) setup and
+        // release it inside the timed region, so the `build_par/1` vs
+        // `from_documents` ratio compares the builds themselves rather than
+        // who pays for cloning or dropping 300 trees.
         group.bench_function(BenchmarkId::from_parameter("from_documents"), |b| {
-            b.iter(|| {
-                let synopsis = Synopsis::from_documents(config(kind), fixture.documents());
-                black_box(synopsis.node_count())
-            })
+            b.iter_batched(
+                || fixture.documents().to_vec(),
+                |docs| {
+                    let synopsis = Synopsis::from_documents(config(kind), &docs);
+                    black_box(synopsis.node_count())
+                },
+                BatchSize::LargeInput,
+            )
         });
         for shards in [1usize, 2, 4, 8] {
             group.bench_function(BenchmarkId::new("build_par", shards), |b| {
-                b.iter(|| {
-                    let synopsis =
-                        build_par(config(kind), cloned_trees(fixture.documents()), shards)
+                // The tree clones happen in the (untimed) setup so the timed
+                // region measures the build, not corpus duplication — the
+                // sequential baseline above iterates borrowed trees without
+                // cloning either.
+                b.iter_batched(
+                    || TreeStream::new(fixture.documents().to_vec()),
+                    |stream| {
+                        let synopsis = build_par(config(kind), stream, shards)
                             .expect("in-memory trees never fail");
-                    black_box(synopsis.node_count())
-                })
+                        black_box(synopsis.node_count())
+                    },
+                    BatchSize::LargeInput,
+                )
             });
         }
         group.finish();

@@ -1,20 +1,83 @@
-//! Warn-only diff between bench snapshots produced by the criterion shim's
-//! `TPS_BENCH_JSON` output.
+//! Diff bench snapshots produced by the criterion shim's `TPS_BENCH_JSON`
+//! output — advisory by default, a hard regression gate with `--enforce`.
 //!
 //! ```text
-//! bench-diff <committed.json> <fresh.json> [<committed2.json> <fresh2.json> ...]
+//! bench-diff [--enforce] [--thresholds FILE] [--allow ID]...
+//!            <committed.json> <fresh.json> [<committed2.json> <fresh2.json> ...]
 //! ```
 //!
-//! Each argument pair is one snapshot diff (CI passes the engine and the
-//! synopsis snapshots in a single run). Prints one line per benchmark
-//! (ok / SLOWER / FASTER / NEW / REMOVED) and always exits 0 — CI records
-//! the perf trajectory without gating on noisy shared-runner timings. A
-//! missing committed snapshot is reported and treated as "everything is
-//! new".
+//! Each positional pair is one snapshot comparison (CI passes the engine,
+//! synopsis and sim snapshots in a single run).
+//!
+//! Without `--enforce` the tool prints a warn-only diff (ok / SLOWER /
+//! FASTER / NEW / REMOVED) and always exits 0 — useful for eyeballing local
+//! runs. A missing committed snapshot is reported and treated as
+//! "everything is new".
+//!
+//! With `--enforce` it applies the thresholds policy (default budgets,
+//! per-benchmark overrides, same-run ratio rules — see
+//! `tps_bench::snapshot::parse_thresholds` for the file syntax) and exits
+//! non-zero when any benchmark blows its budget, any ratio rule is
+//! exceeded, or a committed benchmark is missing from the fresh run.
+//! `--allow ID` (repeatable) waives failures for one benchmark id — the
+//! escape hatch for known, accepted regressions; pair it with a snapshot
+//! refresh in the same change. In enforce mode an unreadable committed
+//! snapshot is itself a failure: a gate that cannot see its baseline must
+//! not pass.
 
 use std::process::ExitCode;
 
-use tps_bench::snapshot::{diff_snapshots, parse_snapshot, BenchRecord, WARN_THRESHOLD};
+use tps_bench::snapshot::{
+    diff_snapshots, enforce_ratios, enforce_snapshots, parse_snapshot, parse_thresholds,
+    BenchRecord, Thresholds, WARN_THRESHOLD,
+};
+
+struct Options {
+    enforce: bool,
+    thresholds: Thresholds,
+    allow: Vec<String>,
+    pairs: Vec<(String, String)>,
+}
+
+const USAGE: &str = "usage: bench-diff [--enforce] [--thresholds FILE] [--allow ID]... \
+     <committed.json> <fresh.json> [<committed2.json> <fresh2.json> ...]";
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut enforce = false;
+    let mut thresholds = Thresholds::default();
+    let mut allow = Vec::new();
+    let mut paths = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--enforce" => enforce = true,
+            "--thresholds" => {
+                let path = iter.next().ok_or("--thresholds needs a file argument")?;
+                let text = std::fs::read_to_string(path).map_err(|err| format!("{path}: {err}"))?;
+                thresholds = parse_thresholds(&text).map_err(|err| format!("{path}: {err}"))?;
+            }
+            "--allow" => {
+                let id = iter.next().ok_or("--allow needs a benchmark id")?;
+                allow.push(id.clone());
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            path => paths.push(path.to_string()),
+        }
+    }
+    if paths.is_empty() || paths.len() % 2 != 0 {
+        return Err("expected one or more <committed.json> <fresh.json> pairs".to_string());
+    }
+    let pairs = paths
+        .chunks_exact(2)
+        .map(|pair| (pair[0].clone(), pair[1].clone()))
+        .collect();
+    Ok(Options {
+        enforce,
+        thresholds,
+        allow,
+        pairs,
+    })
+}
 
 fn load(path: &str) -> Result<Vec<BenchRecord>, String> {
     let text = std::fs::read_to_string(path).map_err(|err| format!("{path}: {err}"))?;
@@ -23,17 +86,19 @@ fn load(path: &str) -> Result<Vec<BenchRecord>, String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args.len() % 2 != 0 {
-        eprintln!(
-            "usage: bench-diff <committed.json> <fresh.json> [<committed2.json> <fresh2.json> ...]"
-        );
-        return ExitCode::FAILURE;
-    }
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(err) => {
+            eprintln!("bench-diff: {err}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
     let mut total_warnings = 0usize;
-    for pair in args.chunks_exact(2) {
-        let [committed_path, fresh_path] = pair else {
-            unreachable!("chunks_exact(2) yields pairs");
-        };
+    let mut total_failures: Vec<String> = Vec::new();
+    // Ratio rules are checked once over the union of every fresh snapshot
+    // (a rule's two ids may live in different files), not per pair.
+    let mut all_fresh: Vec<BenchRecord> = Vec::new();
+    for (committed_path, fresh_path) in &options.pairs {
         let fresh = match load(fresh_path) {
             Ok(records) => records,
             Err(err) => {
@@ -43,6 +108,10 @@ fn main() -> ExitCode {
         };
         let committed = match load(committed_path) {
             Ok(records) => records,
+            Err(err) if options.enforce => {
+                eprintln!("bench-diff: {err} (enforce mode needs the committed baseline)");
+                return ExitCode::FAILURE;
+            }
             Err(err) => {
                 println!(
                     "bench-diff: no usable committed snapshot ({err}); treating all {} benchmarks as new",
@@ -51,15 +120,51 @@ fn main() -> ExitCode {
                 Vec::new()
             }
         };
-        let (report, warnings) = diff_snapshots(&committed, &fresh);
-        total_warnings += warnings;
+        if options.enforce {
+            let gate = enforce_snapshots(&committed, &fresh, &options.thresholds, &options.allow);
+            println!(
+                "bench-diff: {committed_path} -> {fresh_path}: {} committed vs {} fresh benchmarks (enforcing):",
+                committed.len(),
+                fresh.len(),
+            );
+            print!("{}", gate.report);
+            total_failures.extend(gate.failures);
+            all_fresh.extend(fresh);
+        } else {
+            let (report, warnings) = diff_snapshots(&committed, &fresh);
+            total_warnings += warnings;
+            println!(
+                "bench-diff: {committed_path} -> {fresh_path}: {} committed vs {} fresh benchmarks (warn threshold ±{:.0}%, advisory only):",
+                committed.len(),
+                fresh.len(),
+                WARN_THRESHOLD * 100.0
+            );
+            print!("{report}");
+        }
+    }
+    if options.enforce {
+        if !options.thresholds.ratios.is_empty() {
+            let gate = enforce_ratios(&all_fresh, &options.thresholds, &options.allow);
+            println!("bench-diff: ratio invariants (across all fresh snapshots):");
+            print!("{}", gate.report);
+            total_failures.extend(gate.failures);
+        }
+        if total_failures.is_empty() {
+            println!("bench-diff: gate passed");
+            return ExitCode::SUCCESS;
+        }
         println!(
-            "bench-diff: {committed_path} -> {fresh_path}: {} committed vs {} fresh benchmarks (warn threshold ±{:.0}%, advisory only):",
-            committed.len(),
-            fresh.len(),
-            WARN_THRESHOLD * 100.0
+            "bench-diff: gate FAILED ({} breach(es)):",
+            total_failures.len()
         );
-        print!("{report}");
+        for failure in &total_failures {
+            println!("  - {failure}");
+        }
+        println!(
+            "bench-diff: refresh the snapshot if the change is intended, or waive a single id \
+             with --allow <id>"
+        );
+        return ExitCode::FAILURE;
     }
     if total_warnings > 0 {
         println!(

@@ -9,11 +9,21 @@
 //! ```
 //!
 //! This module parses that fixed shape (no general JSON parser — the
-//! workspace is dependency-free by construction) and computes a
-//! warn-only diff between two snapshots: the committed `BENCH_engine.json`
-//! at the repo root and a freshly produced one. CI prints the diff so the
-//! perf trajectory is recorded on every run; it never fails the build,
-//! since shared runners have noisy and heterogeneous hardware.
+//! workspace is dependency-free by construction) and compares two
+//! snapshots: the committed `BENCH_*.json` at the repo root and a freshly
+//! produced one. Two modes:
+//!
+//! - [`diff_snapshots`] renders a warn-only report (the historical
+//!   behaviour, still used for ad-hoc local comparisons).
+//! - [`enforce_snapshots`] applies a [`Thresholds`] policy parsed from
+//!   `bench_thresholds.txt` and returns hard failures: per-benchmark
+//!   slowdown budgets, cross-benchmark ratio invariants, and removed or
+//!   renamed benchmark ids. CI runs this mode and fails the build on any
+//!   breach.
+//!
+//! Absolute timings on shared runners are noisy, which is why the default
+//! budget is generous and why ratio rules — two benchmarks from the *same*
+//! run, so machine speed cancels out — carry the precise invariants.
 
 use std::fmt::Write as _;
 
@@ -144,6 +154,280 @@ pub fn diff_snapshots(committed: &[BenchRecord], fresh: &[BenchRecord]) -> (Stri
     (report, warnings)
 }
 
+/// Relative slowdown allowed for benchmarks without a specific rule in the
+/// thresholds file. Deliberately loose: absolute timings vary run to run on
+/// shared hardware, so the default only catches blowups. Tight invariants
+/// belong in `ratio` rules, which compare ids within one run.
+pub const ENFORCE_DEFAULT: f64 = 0.5;
+
+/// A cross-benchmark invariant checked on the fresh snapshot alone:
+/// `mean(numerator) / mean(denominator) <= max`. Both benchmarks come from
+/// the same run on the same machine, so the rule is immune to host speed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatioRule {
+    /// Benchmark id whose mean forms the numerator.
+    pub numerator: String,
+    /// Benchmark id whose mean forms the denominator.
+    pub denominator: String,
+    /// Largest acceptable ratio.
+    pub max: f64,
+}
+
+/// Regression budgets parsed from a thresholds file (see
+/// [`parse_thresholds`] for the syntax).
+#[derive(Debug, Clone)]
+pub struct Thresholds {
+    /// Budget for benchmarks no override matches.
+    pub default: f64,
+    /// `(pattern, budget)`: an exact id, or a prefix ending in `*`. An
+    /// exact match beats any prefix; among prefixes the longest wins.
+    overrides: Vec<(String, f64)>,
+    /// Same-run ratio invariants.
+    pub ratios: Vec<RatioRule>,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            default: ENFORCE_DEFAULT,
+            overrides: Vec::new(),
+            ratios: Vec::new(),
+        }
+    }
+}
+
+impl Thresholds {
+    /// Slowdown budget for one benchmark id.
+    pub fn budget_for(&self, id: &str) -> f64 {
+        let mut best: Option<(usize, f64)> = None;
+        for (pattern, budget) in &self.overrides {
+            match pattern.strip_suffix('*') {
+                None if pattern == id => return *budget,
+                None => {}
+                Some(prefix)
+                    if id.starts_with(prefix)
+                        && best.map_or(true, |(len, _)| prefix.len() > len) =>
+                {
+                    best = Some((prefix.len(), *budget));
+                }
+                Some(_) => {}
+            }
+        }
+        best.map_or(self.default, |(_, budget)| budget)
+    }
+}
+
+/// Parse a thresholds file. One rule per line; `#` starts a comment.
+///
+/// ```text
+/// default 0.5                      # budget when nothing else matches
+/// engine/matrix 0.3                # exact-id budget
+/// synopsis_merge_two_halves/* 0.8  # prefix budget
+/// ratio group/build_par/1 group/from_documents 1.10
+/// ```
+///
+/// Budgets are relative slowdowns (`0.5` = +50% mean time fails); ratio
+/// maxima are plain ratios of fresh means. All values must be finite and
+/// positive.
+pub fn parse_thresholds(text: &str) -> Result<Thresholds, String> {
+    let mut thresholds = Thresholds::default();
+    for (index, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or_default().trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fail = |what: &str| format!("thresholds line {}: {what}: {raw:?}", index + 1);
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match fields.as_slice() {
+            ["default", value] => {
+                thresholds.default = parse_positive(value).ok_or_else(|| fail("bad budget"))?;
+            }
+            ["ratio", numerator, denominator, max] => {
+                let max = parse_positive(max).ok_or_else(|| fail("bad ratio maximum"))?;
+                thresholds.ratios.push(RatioRule {
+                    numerator: (*numerator).to_string(),
+                    denominator: (*denominator).to_string(),
+                    max,
+                });
+            }
+            [pattern, value] => {
+                let budget = parse_positive(value).ok_or_else(|| fail("bad budget"))?;
+                thresholds.overrides.push(((*pattern).to_string(), budget));
+            }
+            _ => {
+                return Err(fail(
+                    "expected `default F`, `ratio NUM DEN F` or `<id-or-prefix*> F`",
+                ))
+            }
+        }
+    }
+    Ok(thresholds)
+}
+
+fn parse_positive(text: &str) -> Option<f64> {
+    let value: f64 = text.parse().ok()?;
+    (value.is_finite() && value > 0.0).then_some(value)
+}
+
+/// Result of one enforced snapshot comparison.
+#[derive(Debug)]
+pub struct GateReport {
+    /// Human-readable line-per-benchmark report.
+    pub report: String,
+    /// One message per gate breach; empty means the gate passed.
+    pub failures: Vec<String>,
+}
+
+/// Compare a fresh snapshot against the committed one under a thresholds
+/// policy. Breaches are hard failures:
+///
+/// - a benchmark slower than its budget allows (`allow` suppresses by id);
+/// - a committed benchmark missing from the fresh run — renames and
+///   silently dropped benches must update the snapshot, not skate through.
+///
+/// New benchmarks and speedups are reported but never fail. Ratio rules
+/// are NOT checked here: a rule's two ids may live in different snapshot
+/// files, so callers comparing several pairs evaluate [`enforce_ratios`]
+/// once over the union of every fresh snapshot instead of per pair.
+pub fn enforce_snapshots(
+    committed: &[BenchRecord],
+    fresh: &[BenchRecord],
+    thresholds: &Thresholds,
+    allow: &[String],
+) -> GateReport {
+    let mut report = String::new();
+    let mut failures = Vec::new();
+    let allowed = |id: &str| allow.iter().any(|a| a == id);
+    for new in fresh {
+        match committed.iter().find(|old| old.id == new.id) {
+            None => {
+                let _ = writeln!(report, "  NEW      {:<55} {:>12} ns", new.id, new.mean_ns);
+            }
+            Some(old) if old.mean_ns == 0 => {
+                let _ = writeln!(report, "  SKIP     {:<55} committed mean is 0", new.id);
+            }
+            Some(old) => {
+                let delta = new.mean_ns as f64 / old.mean_ns as f64 - 1.0;
+                let budget = thresholds.budget_for(&new.id);
+                let marker = if delta > budget {
+                    if allowed(&new.id) {
+                        "ALLOWED"
+                    } else {
+                        failures.push(format!(
+                            "{}: mean {} -> {} ns ({:+.1}%) exceeds the +{:.0}% budget",
+                            new.id,
+                            old.mean_ns,
+                            new.mean_ns,
+                            delta * 100.0,
+                            budget * 100.0
+                        ));
+                        "FAIL"
+                    }
+                } else if delta < -WARN_THRESHOLD {
+                    "FASTER"
+                } else {
+                    "ok"
+                };
+                let _ = writeln!(
+                    report,
+                    "  {marker:<8} {:<55} {:>12} -> {:>12} ns ({:+.1}%, budget +{:.0}%)",
+                    new.id,
+                    old.mean_ns,
+                    new.mean_ns,
+                    delta * 100.0,
+                    budget * 100.0
+                );
+            }
+        }
+    }
+    for old in committed {
+        if !fresh.iter().any(|new| new.id == old.id) {
+            if allowed(&old.id) {
+                let _ = writeln!(report, "  ALLOWED  {:<55} missing from fresh run", old.id);
+            } else {
+                let _ = writeln!(report, "  FAIL     {:<55} missing from fresh run", old.id);
+                failures.push(format!(
+                    "{}: committed benchmark missing from the fresh run (renamed or dropped? \
+                     update the snapshot, or pass --allow {})",
+                    old.id, old.id
+                ));
+            }
+        }
+    }
+    GateReport { report, failures }
+}
+
+/// Check every ratio rule against one set of fresh records — the union of
+/// all fresh snapshots when several files are gated in one run, since a
+/// rule's numerator and denominator may live in different files. A rule
+/// whose ids are absent is itself a failure (renaming a benchmark must not
+/// quietly disable its invariant); the numerator id in `allow` suppresses
+/// the rule.
+pub fn enforce_ratios(
+    fresh: &[BenchRecord],
+    thresholds: &Thresholds,
+    allow: &[String],
+) -> GateReport {
+    let mut report = String::new();
+    let mut failures = Vec::new();
+    let allowed = |id: &str| allow.iter().any(|a| a == id);
+    for rule in &thresholds.ratios {
+        let lookup = |id: &str| fresh.iter().find(|record| record.id == id);
+        match (lookup(&rule.numerator), lookup(&rule.denominator)) {
+            (Some(num), Some(den)) if den.mean_ns > 0 => {
+                let ratio = num.mean_ns as f64 / den.mean_ns as f64;
+                let marker = if ratio > rule.max {
+                    if allowed(&rule.numerator) {
+                        "ALLOWED"
+                    } else {
+                        failures.push(format!(
+                            "ratio {} / {} = {ratio:.3} exceeds the {:.3} maximum",
+                            rule.numerator, rule.denominator, rule.max
+                        ));
+                        "FAIL"
+                    }
+                } else {
+                    "ok"
+                };
+                let _ = writeln!(
+                    report,
+                    "  {marker:<8} ratio {} / {} = {ratio:.3} (max {:.3})",
+                    rule.numerator, rule.denominator, rule.max
+                );
+            }
+            (num, den) => {
+                let missing = if num.is_none() {
+                    &rule.numerator
+                } else if den.is_none() {
+                    &rule.denominator
+                } else {
+                    // Denominator mean of 0 — the shim never records it for
+                    // a benchmark that ran, so treat it as missing data.
+                    &rule.denominator
+                };
+                if allowed(&rule.numerator) {
+                    let _ = writeln!(
+                        report,
+                        "  ALLOWED  ratio {} / {}: {missing} unavailable",
+                        rule.numerator, rule.denominator
+                    );
+                } else {
+                    let _ = writeln!(
+                        report,
+                        "  FAIL     ratio {} / {}: {missing} unavailable",
+                        rule.numerator, rule.denominator
+                    );
+                    failures.push(format!(
+                        "ratio {} / {}: {missing} is not in the fresh snapshot",
+                        rule.numerator, rule.denominator
+                    ));
+                }
+            }
+        }
+    }
+    GateReport { report, failures }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,6 +487,143 @@ mod tests {
         assert_eq!(warnings, 0);
         assert!(report.contains("NEW"));
         assert!(report.contains("REMOVED"));
+    }
+
+    const POLICY: &str = "\
+# comment-only line
+default 0.5
+engine/matrix 0.2            # exact id
+engine/* 0.3                 # prefix
+ratio engine/pairwise engine/matrix 60.0
+";
+
+    #[test]
+    fn thresholds_file_parses_with_comments_and_overrides() {
+        let t = parse_thresholds(POLICY).unwrap();
+        assert_eq!(t.default, 0.5);
+        // Exact id beats the shorter prefix; prefix beats the default.
+        assert_eq!(t.budget_for("engine/matrix"), 0.2);
+        assert_eq!(t.budget_for("engine/pairwise"), 0.3);
+        assert_eq!(t.budget_for("synopsis/whatever"), 0.5);
+        assert_eq!(
+            t.ratios,
+            vec![RatioRule {
+                numerator: "engine/pairwise".into(),
+                denominator: "engine/matrix".into(),
+                max: 60.0,
+            }]
+        );
+    }
+
+    #[test]
+    fn longest_matching_prefix_wins() {
+        let t = parse_thresholds("a/* 0.9\na/b/* 0.1\n").unwrap();
+        assert_eq!(t.budget_for("a/b/c"), 0.1);
+        assert_eq!(t.budget_for("a/x"), 0.9);
+    }
+
+    #[test]
+    fn malformed_threshold_lines_are_rejected_with_the_line_number() {
+        for bad in ["default zero", "ratio a b", "one two three", "id -0.5"] {
+            let err = parse_thresholds(bad).unwrap_err();
+            assert!(err.contains("line 1"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn enforce_fails_a_regression_over_budget_and_passes_one_inside_it() {
+        let committed = parse_snapshot(SAMPLE).unwrap();
+        let thresholds = parse_thresholds(POLICY).unwrap();
+        let mut fresh = committed.clone();
+        fresh[0].mean_ns = 1300; // +30% against a 20% budget: fail
+        fresh[1].mean_ns = 60000; // +20% against a 30% budget: pass
+        let gate = enforce_snapshots(&committed, &fresh, &thresholds, &[]);
+        assert_eq!(gate.failures.len(), 1, "{}", gate.report);
+        assert!(gate.failures[0].contains("engine/matrix"), "{gate:?}");
+        assert!(gate.report.contains("FAIL"), "{}", gate.report);
+    }
+
+    #[test]
+    fn enforce_treats_a_missing_benchmark_as_a_hard_failure() {
+        let committed = parse_snapshot(SAMPLE).unwrap();
+        let fresh = committed[..1].to_vec();
+        let gate = enforce_snapshots(&committed, &fresh, &Thresholds::default(), &[]);
+        assert_eq!(gate.failures.len(), 1, "{}", gate.report);
+        assert!(
+            gate.failures[0].contains("missing from the fresh run"),
+            "{gate:?}"
+        );
+    }
+
+    #[test]
+    fn enforce_checks_ratio_rules_on_the_fresh_run() {
+        let thresholds = parse_thresholds("ratio g/par g/seq 1.10\n").unwrap();
+        let record = |id: &str, mean_ns: u128| BenchRecord {
+            id: id.to_string(),
+            mean_ns,
+            min_ns: mean_ns,
+            max_ns: mean_ns,
+        };
+        // 1.76x — the shape of the pre-fix build_par/1 snapshot: fail.
+        let slow = vec![record("g/par", 176), record("g/seq", 100)];
+        let gate = enforce_ratios(&slow, &thresholds, &[]);
+        assert!(
+            gate.failures.iter().any(|f| f.contains("ratio")),
+            "{gate:?}"
+        );
+        // 1.05x: pass.
+        let fixed = vec![record("g/par", 105), record("g/seq", 100)];
+        let gate = enforce_ratios(&fixed, &thresholds, &[]);
+        assert!(gate.failures.is_empty(), "{gate:?}");
+        // The per-pair budget/missing checks never look at ratio rules.
+        let gate = enforce_snapshots(&slow, &slow, &thresholds, &[]);
+        assert!(gate.failures.is_empty(), "{gate:?}");
+    }
+
+    #[test]
+    fn enforce_fails_a_ratio_rule_whose_ids_vanished() {
+        let thresholds = parse_thresholds("ratio g/par g/seq 1.10\n").unwrap();
+        let gate = enforce_ratios(&[], &thresholds, &[]);
+        assert_eq!(gate.failures.len(), 1, "{}", gate.report);
+        assert!(gate.failures[0].contains("not in the fresh snapshot"));
+        // The numerator id in allow waives the missing-id failure too.
+        let gate = enforce_ratios(&[], &thresholds, &["g/par".to_string()]);
+        assert!(gate.failures.is_empty(), "{gate:?}");
+    }
+
+    #[test]
+    fn allow_suppresses_specific_failures_only() {
+        let committed = parse_snapshot(SAMPLE).unwrap();
+        let thresholds = parse_thresholds(POLICY).unwrap();
+        let mut fresh = committed.clone();
+        fresh[0].mean_ns = 5000; // way over budget
+        let allow = vec!["engine/matrix".to_string()];
+        let gate = enforce_snapshots(&committed, &fresh, &thresholds, &allow);
+        assert!(gate.failures.is_empty(), "{gate:?}");
+        assert!(gate.report.contains("ALLOWED"), "{}", gate.report);
+        // The allowance is id-specific: a second regression (+40% against
+        // the 30% prefix budget, small enough to leave the ratio rule
+        // alone) still fails.
+        fresh[1].mean_ns = 70_000;
+        let gate = enforce_snapshots(&committed, &fresh, &thresholds, &allow);
+        assert_eq!(gate.failures.len(), 1, "{}", gate.report);
+    }
+
+    #[test]
+    fn new_benchmarks_and_speedups_never_fail_the_gate() {
+        let committed = parse_snapshot(SAMPLE).unwrap();
+        let mut fresh = committed.clone();
+        fresh[0].mean_ns = 10; // 100x faster
+        fresh.push(BenchRecord {
+            id: "engine/brand_new".to_string(),
+            mean_ns: 1,
+            min_ns: 1,
+            max_ns: 1,
+        });
+        let gate = enforce_snapshots(&committed, &fresh, &Thresholds::default(), &[]);
+        assert!(gate.failures.is_empty(), "{gate:?}");
+        assert!(gate.report.contains("FASTER"), "{}", gate.report);
+        assert!(gate.report.contains("NEW"), "{}", gate.report);
     }
 
     #[test]

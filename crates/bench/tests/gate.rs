@@ -1,0 +1,219 @@
+//! End-to-end tests for the enforced bench gate: the committed
+//! `bench_thresholds.txt` policy against the committed snapshots, and the
+//! `bench_diff` binary's exit codes.
+//!
+//! The pre-fix synopsis snapshot (recorded before `build_par` grew its
+//! single-shard fast path, when `build_par/1` ran ~1.76x the sequential
+//! build) lives in `tests/fixtures/` as a regression fixture: the gate must
+//! reject it and accept the refreshed committed snapshot.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use tps_bench::snapshot::{
+    enforce_ratios, enforce_snapshots, parse_snapshot, parse_thresholds, Thresholds,
+};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|err| panic!("{}: {err}", path.display()))
+}
+
+fn repo_thresholds() -> Thresholds {
+    parse_thresholds(&read(&repo_root().join("bench_thresholds.txt"))).expect("policy parses")
+}
+
+#[test]
+fn committed_thresholds_file_parses_and_carries_the_build_par_rules() {
+    let thresholds = repo_thresholds();
+    assert_eq!(
+        thresholds.ratios.len(),
+        3,
+        "one build_par/1 rule per synopsis config"
+    );
+    for rule in &thresholds.ratios {
+        assert!(rule.numerator.ends_with("build_par/1"), "{rule:?}");
+        assert!(rule.denominator.ends_with("from_documents"), "{rule:?}");
+        assert!((rule.max - 1.10).abs() < 1e-9, "{rule:?}");
+    }
+}
+
+#[test]
+fn gate_rejects_the_prefix_build_par_snapshot() {
+    let thresholds = repo_thresholds();
+    let prefix = parse_snapshot(&read(
+        &repo_root().join("crates/bench/tests/fixtures/BENCH_synopsis_prefix.json"),
+    ))
+    .expect("fixture parses");
+    // The fixture plays the "fresh run" role: ratio rules look only at it.
+    let gate = enforce_ratios(&prefix, &thresholds, &[]);
+    assert_eq!(
+        gate.failures.len(),
+        3,
+        "every config's build_par/1 must trip the 1.10 rule: {gate:?}"
+    );
+}
+
+#[test]
+fn gate_accepts_the_committed_synopsis_snapshot() {
+    let thresholds = repo_thresholds();
+    let committed = parse_snapshot(&read(&repo_root().join("BENCH_synopsis.json")))
+        .expect("committed snapshot parses");
+    let gate = enforce_snapshots(&committed, &committed, &thresholds, &[]);
+    assert!(
+        gate.failures.is_empty(),
+        "the committed snapshot must pass its own gate: {gate:?}"
+    );
+    let ratios = enforce_ratios(&committed, &thresholds, &[]);
+    assert!(
+        ratios.failures.is_empty(),
+        "the committed snapshot must satisfy the ratio rules: {ratios:?}"
+    );
+}
+
+#[test]
+fn binary_passes_the_ci_invocation_over_all_committed_snapshots() {
+    // Exactly what CI runs (with fresh == committed): three pairs in one
+    // invocation. The synopsis ratio rules must be satisfied by the union
+    // of the fresh snapshots, not demanded of the engine/sim pairs where
+    // those ids do not exist.
+    let root = repo_root();
+    let t = root.join("bench_thresholds.txt");
+    let engine = root.join("BENCH_engine.json");
+    let synopsis = root.join("BENCH_synopsis.json");
+    let sim = root.join("BENCH_sim.json");
+    let (e, s, m) = (
+        engine.to_str().unwrap(),
+        synopsis.to_str().unwrap(),
+        sim.to_str().unwrap(),
+    );
+    let out = bench_diff(&[
+        "--enforce",
+        "--thresholds",
+        t.to_str().unwrap(),
+        e,
+        e,
+        s,
+        s,
+        m,
+        m,
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("gate passed"), "{stdout}");
+}
+
+fn bench_diff(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_bench_diff"))
+        .args(args)
+        .output()
+        .expect("bench_diff runs")
+}
+
+fn write_temp(name: &str, contents: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("tps_gate_{}_{name}", std::process::id()));
+    std::fs::write(&path, contents).expect("temp snapshot writes");
+    path
+}
+
+const BASE: &str = r#"{"benchmarks": [
+  {"id": "g/a", "mean_ns": 1000, "min_ns": 900, "max_ns": 1100, "iters": 3, "warmup": 1},
+  {"id": "g/b", "mean_ns": 2000, "min_ns": 1900, "max_ns": 2100, "iters": 3, "warmup": 1}
+]}"#;
+
+#[test]
+fn binary_fails_on_an_injected_regression_and_allows_it_by_id() {
+    let committed = write_temp("committed.json", BASE);
+    let regressed = write_temp(
+        "regressed.json",
+        &BASE.replace("\"mean_ns\": 1000", "\"mean_ns\": 9000"),
+    );
+    let c = committed.to_str().unwrap();
+    let f = regressed.to_str().unwrap();
+
+    // Warn-only mode records the movement but exits 0.
+    let advisory = bench_diff(&[c, f]);
+    assert!(advisory.status.success(), "{advisory:?}");
+
+    // The same pair fails under --enforce (9x >> the 50% default budget)...
+    let enforced = bench_diff(&["--enforce", c, f]);
+    assert!(!enforced.status.success());
+    let stdout = String::from_utf8_lossy(&enforced.stdout);
+    assert!(stdout.contains("gate FAILED"), "{stdout}");
+    assert!(stdout.contains("g/a"), "{stdout}");
+
+    // ...and passes again once the regression is explicitly waived.
+    let waived = bench_diff(&["--enforce", "--allow", "g/a", c, f]);
+    assert!(waived.status.success(), "{waived:?}");
+
+    // Identical snapshots pass outright.
+    let clean = bench_diff(&["--enforce", c, c]);
+    assert!(clean.status.success(), "{clean:?}");
+
+    std::fs::remove_file(&committed).ok();
+    std::fs::remove_file(&regressed).ok();
+}
+
+#[test]
+fn binary_fails_when_a_committed_benchmark_goes_missing() {
+    let committed = write_temp("full.json", BASE);
+    let partial = write_temp(
+        "partial.json",
+        r#"{"benchmarks": [
+  {"id": "g/a", "mean_ns": 1000, "min_ns": 900, "max_ns": 1100, "iters": 3, "warmup": 1}
+]}"#,
+    );
+    let c = committed.to_str().unwrap();
+    let f = partial.to_str().unwrap();
+
+    let enforced = bench_diff(&["--enforce", c, f]);
+    assert!(!enforced.status.success());
+    let stdout = String::from_utf8_lossy(&enforced.stdout);
+    assert!(stdout.contains("missing from the fresh run"), "{stdout}");
+
+    // Warn-only mode still tolerates it (REMOVED line, exit 0).
+    let advisory = bench_diff(&[c, f]);
+    assert!(advisory.status.success(), "{advisory:?}");
+
+    std::fs::remove_file(&committed).ok();
+    std::fs::remove_file(&partial).ok();
+}
+
+#[test]
+fn binary_fails_in_enforce_mode_without_a_baseline() {
+    let fresh = write_temp("fresh_only.json", BASE);
+    let f = fresh.to_str().unwrap();
+    let missing = "/nonexistent/BENCH_missing.json";
+
+    let enforced = bench_diff(&["--enforce", missing, f]);
+    assert!(!enforced.status.success());
+
+    // Warn-only mode downgrades a missing baseline to "everything is new".
+    let advisory = bench_diff(&[missing, f]);
+    assert!(advisory.status.success(), "{advisory:?}");
+
+    std::fs::remove_file(&fresh).ok();
+}
+
+#[test]
+fn binary_applies_the_repo_thresholds_file() {
+    let root = repo_root();
+    let thresholds = root.join("bench_thresholds.txt");
+    let prefix = root.join("crates/bench/tests/fixtures/BENCH_synopsis_prefix.json");
+    let out = bench_diff(&[
+        "--enforce",
+        "--thresholds",
+        thresholds.to_str().unwrap(),
+        prefix.to_str().unwrap(),
+        prefix.to_str().unwrap(),
+    ]);
+    assert!(
+        !out.status.success(),
+        "the pre-fix snapshot must fail the committed policy"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ratio"), "{stdout}");
+}

@@ -31,6 +31,22 @@ pub enum DtdErrorKind {
     /// Parameter-entity expansion did not terminate (likely a reference
     /// cycle).
     EntityExpansionLoop,
+    /// Parameter-entity expansion grew past the configured size cap
+    /// (a "billion laughs" style blow-up).
+    EntityExpansionTooLarge {
+        /// Size the expanded text reached, in bytes.
+        size: usize,
+        /// The configured cap, in bytes.
+        limit: usize,
+    },
+    /// A parser limit was exceeded (defence against pathological inputs such
+    /// as deeply nested content-model groups).
+    LimitExceeded {
+        /// Which limit was hit (e.g. `"content-model nesting depth"`).
+        what: &'static str,
+        /// The configured limit value.
+        limit: usize,
+    },
     /// The same element was declared twice.
     DuplicateElement(String),
     /// Markup that is not a declaration, comment or processing instruction.
@@ -69,6 +85,13 @@ impl fmt::Display for DtdError {
             }
             DtdErrorKind::EntityExpansionLoop => {
                 write!(f, "parameter-entity expansion did not terminate")
+            }
+            DtdErrorKind::EntityExpansionTooLarge { size, limit } => write!(
+                f,
+                "parameter-entity expansion reached {size} bytes (limit {limit})"
+            ),
+            DtdErrorKind::LimitExceeded { what, limit } => {
+                write!(f, "{what} limit ({limit}) exceeded")
             }
             DtdErrorKind::DuplicateElement(n) => write!(f, "element {n:?} declared twice"),
             DtdErrorKind::Malformed(m) => write!(f, "malformed DTD: {m}"),

@@ -22,6 +22,15 @@ use crate::schema::{AttributeDecl, DtdSchema, ElementDecl};
 /// before the parser declares an expansion loop.
 const MAX_EXPANSION_PASSES: usize = 64;
 
+/// Maximum size the entity-expanded text may reach, in bytes. Without this
+/// cap a handful of nested parameter entities can blow the input up
+/// exponentially ("billion laughs") before the pass limit is ever reached.
+pub const MAX_EXPANSION_SIZE: usize = 1 << 20;
+
+/// Maximum nesting depth of content-model groups (`((((a))))`). Bounds the
+/// recursion in [`parse_content_model`]'s particle parser.
+pub const MAX_MODEL_DEPTH: usize = 128;
+
 /// Parse DTD text into a schema named `"dtd"`.
 pub fn parse(input: &str) -> Result<DtdSchema, DtdError> {
     parse_named("dtd", input)
@@ -48,6 +57,15 @@ fn expand_input(input: &str) -> Result<String, DtdError> {
     for _ in 0..MAX_EXPANSION_PASSES {
         let entities = collect_parameter_entities(&text)?;
         let next = rewrite_once(&text, &entities)?;
+        if next.len() > MAX_EXPANSION_SIZE {
+            return Err(DtdError::new(
+                DtdErrorKind::EntityExpansionTooLarge {
+                    size: next.len(),
+                    limit: MAX_EXPANSION_SIZE,
+                },
+                0,
+            ));
+        }
         if next == text {
             return Ok(text);
         }
@@ -397,7 +415,7 @@ pub fn parse_content_model(body: &str, offset: usize) -> Result<ContentModel, Dt
         return parse_mixed_model(trimmed, offset);
     }
     let mut lexer = ModelLexer::new(trimmed, offset);
-    let particle = parse_particle(&mut lexer)?;
+    let particle = parse_particle(&mut lexer, 0)?;
     lexer.skip_ws();
     if !lexer.at_end() {
         return Err(DtdError::new(
@@ -525,11 +543,20 @@ impl<'a> ModelLexer<'a> {
     }
 }
 
-fn parse_particle(lexer: &mut ModelLexer<'_>) -> Result<ContentParticle, DtdError> {
+fn parse_particle(lexer: &mut ModelLexer<'_>, depth: usize) -> Result<ContentParticle, DtdError> {
+    if depth >= MAX_MODEL_DEPTH {
+        return Err(DtdError::new(
+            DtdErrorKind::LimitExceeded {
+                what: "content-model nesting depth",
+                limit: MAX_MODEL_DEPTH,
+            },
+            lexer.error_offset(),
+        ));
+    }
     match lexer.peek() {
         Some(b'(') => {
             lexer.bump();
-            parse_group(lexer)
+            parse_group(lexer, depth + 1)
         }
         Some(_) => {
             let name = lexer.read_name().ok_or_else(|| {
@@ -551,8 +578,8 @@ fn parse_particle(lexer: &mut ModelLexer<'_>) -> Result<ContentParticle, DtdErro
     }
 }
 
-fn parse_group(lexer: &mut ModelLexer<'_>) -> Result<ContentParticle, DtdError> {
-    let mut parts = vec![parse_particle(lexer)?];
+fn parse_group(lexer: &mut ModelLexer<'_>, depth: usize) -> Result<ContentParticle, DtdError> {
+    let mut parts = vec![parse_particle(lexer, depth)?];
     let mut separator: Option<u8> = None;
     loop {
         match lexer.peek() {
@@ -574,7 +601,7 @@ fn parse_group(lexer: &mut ModelLexer<'_>) -> Result<ContentParticle, DtdError> 
                     separator = Some(sep);
                 }
                 lexer.bump();
-                parts.push(parse_particle(lexer)?);
+                parts.push(parse_particle(lexer, depth)?);
             }
             Some(other) => {
                 return Err(DtdError::new(
@@ -895,5 +922,47 @@ mod tests {
     fn unknown_declarations_are_reported() {
         let err = parse("<!WIDGET a>").unwrap_err();
         assert!(matches!(err.kind(), DtdErrorKind::UnknownDeclaration(k) if k == "WIDGET"));
+    }
+
+    #[test]
+    fn exponential_entity_expansion_is_capped() {
+        // A "billion laughs" chain: each entity references the previous one
+        // sixteen times, so full expansion would be 16^8 * 32 bytes. The
+        // size cap must stop the blow-up long before memory does.
+        let mut dtd = String::from("<!ENTITY % e0 \"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\">\n");
+        for i in 1..=8 {
+            let body = format!("%e{};", i - 1).repeat(16);
+            dtd.push_str(&format!("<!ENTITY % e{i} \"{body}\">\n"));
+        }
+        dtd.push_str("<!ELEMENT r (%e8;)>");
+        let err = parse(&dtd).unwrap_err();
+        assert!(matches!(
+            err.kind(),
+            DtdErrorKind::EntityExpansionTooLarge { size, limit }
+                if *size > *limit && *limit == MAX_EXPANSION_SIZE
+        ));
+    }
+
+    #[test]
+    fn deep_content_model_groups_are_rejected_not_overflowed() {
+        let deep = format!(
+            "<!ELEMENT r {}a{}>",
+            "(".repeat(MAX_MODEL_DEPTH * 4),
+            ")".repeat(MAX_MODEL_DEPTH * 4)
+        );
+        let err = parse(&deep).unwrap_err();
+        assert!(matches!(
+            err.kind(),
+            DtdErrorKind::LimitExceeded { what, .. } if what.contains("nesting")
+        ));
+
+        // Just under the limit still parses; single-child groups collapse.
+        let ok = format!(
+            "<!ELEMENT r {}a{}>",
+            "(".repeat(MAX_MODEL_DEPTH - 1),
+            ")".repeat(MAX_MODEL_DEPTH - 1)
+        );
+        let schema = parse(&ok).unwrap();
+        assert!(schema.has_element("r"));
     }
 }

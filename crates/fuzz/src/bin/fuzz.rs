@@ -1,0 +1,217 @@
+//! The fuzz driver CLI.
+//!
+//! ```text
+//! fuzz <target|all> [--iters N] [--seed S] [--start I] [--save]
+//! ```
+//!
+//! Replays the committed corpus for the selected target(s), then runs `N`
+//! driver iterations. Every input is a pure function of `(seed, iteration)`,
+//! so any crash replays with the same `--seed` and `--start <iteration>
+//! --iters 1`. On a crash the input is minimized by greedy chunk removal and
+//! reported (and, with `--save`, written into `fuzz/corpus/<target>/`); the
+//! process exits non-zero.
+
+use std::process::ExitCode;
+
+use rand::Rng;
+use tps_fuzz::{corpus, driver, run_case, CaseOutcome, Target};
+
+struct Options {
+    targets: Vec<Target>,
+    iters: u64,
+    seed: u64,
+    start: u64,
+    save: bool,
+}
+
+fn usage() -> String {
+    let names: Vec<&str> = Target::all().iter().map(|t| t.name()).collect();
+    format!(
+        "usage: fuzz <{}|all> [--iters N] [--seed S] [--start I] [--save]",
+        names.join("|")
+    )
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut targets = Vec::new();
+    let mut iters = 10_000u64;
+    let mut seed = 1u64;
+    let mut start = 0u64;
+    let mut save = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--iters" | "--seed" | "--start" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("{arg} needs a value\n{}", usage()))?;
+                let parsed: u64 = value
+                    .parse()
+                    .map_err(|_| format!("{arg} needs an integer, got {value:?}"))?;
+                match arg.as_str() {
+                    "--iters" => iters = parsed,
+                    "--seed" => seed = parsed,
+                    _ => start = parsed,
+                }
+            }
+            "--save" => save = true,
+            "all" => targets.extend(Target::all()),
+            name => {
+                let target = Target::from_name(name)
+                    .ok_or_else(|| format!("unknown target {name:?}\n{}", usage()))?;
+                targets.push(target);
+            }
+        }
+    }
+    if targets.is_empty() {
+        return Err(usage());
+    }
+    Ok(Options {
+        targets,
+        iters,
+        seed,
+        start,
+        save,
+    })
+}
+
+/// Greedy chunk-removal minimization: keep shrinking while the case still
+/// crashes. Deterministic and bounded (every pass removes bytes or halves
+/// the chunk size).
+fn minimize(target: Target, bytes: &[u8]) -> Vec<u8> {
+    let mut current = bytes.to_vec();
+    loop {
+        let before = current.len();
+        let mut chunk = (current.len() / 2).max(1);
+        loop {
+            let mut i = 0;
+            while i + chunk <= current.len() {
+                let mut candidate = current.clone();
+                candidate.drain(i..i + chunk);
+                if run_case(target, &candidate).is_crash() {
+                    current = candidate;
+                } else {
+                    i += chunk;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        if current.len() == before {
+            return current;
+        }
+    }
+}
+
+fn report_crash(
+    target: Target,
+    seed: u64,
+    iteration: Option<u64>,
+    input: &[u8],
+    message: &str,
+) -> Vec<u8> {
+    let name = target.name();
+    match iteration {
+        Some(i) => eprintln!("[{name}] crash at seed={seed} iter={i}: {message}"),
+        None => eprintln!("[{name}] corpus case crashed: {message}"),
+    }
+    let minimized = minimize(target, input);
+    let final_message = match run_case(target, &minimized) {
+        CaseOutcome::Crash { message } => message,
+        CaseOutcome::Ok => unreachable!("minimization preserves crashing"),
+    };
+    eprintln!(
+        "[{name}] minimized ({} bytes, digest {:016x}): {:?}",
+        minimized.len(),
+        corpus::digest(&minimized),
+        String::from_utf8_lossy(&minimized)
+    );
+    eprintln!("[{name}] minimized failure: {final_message}");
+    eprintln!(
+        "[{name}] replay: cargo run -p tps-fuzz --bin fuzz -- {name} --seed {seed}{}",
+        iteration.map_or(String::new(), |i| format!(" --start {i} --iters 1")),
+    );
+    minimized
+}
+
+/// Build the input for one iteration: mostly mutations of seeds and corpus
+/// cases, sometimes a fresh structure-aware generation.
+fn build_input(target: Target, bases: &[Vec<u8>], rng: &mut rand::rngs::StdRng) -> Vec<u8> {
+    if rng.gen_bool(0.3) {
+        return target.generate(rng);
+    }
+    let base = if bases.is_empty() || rng.gen_bool(0.1) {
+        target.generate(rng)
+    } else {
+        bases[rng.gen_range(0..bases.len())].clone()
+    };
+    driver::mutate(rng, &base, target.dictionary())
+}
+
+fn fuzz_target(target: Target, options: &Options) -> Result<(), ()> {
+    let name = target.name();
+
+    // Phase 1: the committed corpus must stay clean.
+    let cases = corpus::load_cases(target);
+    for (path, bytes) in &cases {
+        if let CaseOutcome::Crash { message } = run_case(target, bytes) {
+            eprintln!("[{name}] committed case {} regressed", path.display());
+            report_crash(target, options.seed, None, bytes, &message);
+            return Err(());
+        }
+    }
+    println!("[{name}] corpus: {} case(s) replayed clean", cases.len());
+
+    // Phase 2: driver iterations.
+    let driver = driver::Driver::new(options.seed);
+    let mut bases: Vec<Vec<u8>> = target.seeds();
+    bases.extend(cases.into_iter().map(|(_, bytes)| bytes));
+    for iteration in options.start..options.start.saturating_add(options.iters) {
+        let mut rng = driver.iteration_rng(iteration);
+        let input = build_input(target, &bases, &mut rng);
+        if let CaseOutcome::Crash { message } = run_case(target, &input) {
+            let minimized = report_crash(target, options.seed, Some(iteration), &input, &message);
+            if options.save {
+                match corpus::save_case(target, &minimized) {
+                    Ok(path) => eprintln!("[{name}] saved {}", path.display()),
+                    Err(error) => eprintln!("[{name}] could not save case: {error}"),
+                }
+            }
+            return Err(());
+        }
+    }
+    println!(
+        "[{name}] {} iteration(s) from seed {} clean",
+        options.iters, options.seed
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Crashes are expected output while fuzzing: silence the default hook's
+    // backtrace spam; payloads are captured and reported by run_case.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut failed = false;
+    for &target in &options.targets {
+        if fuzz_target(target, &options).is_err() {
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,94 @@
+//! The committed regression corpus.
+//!
+//! Every crash a driver ever found lives on, minimized, as
+//! `fuzz/corpus/<target>/<digest>.case` at the repository root. The digest
+//! (FNV-1a over the case bytes) names the file, so re-saving an identical
+//! case is a no-op and two different cases never collide in practice.
+//! `cargo test -p tps-fuzz` replays the whole corpus, which makes every past
+//! fix a permanent tier-1 regression test.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::targets::Target;
+
+/// FNV-1a 64-bit digest of a case's bytes.
+pub fn digest(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// File name for a case: 16 hex digits of its digest plus `.case`.
+pub fn case_file_name(bytes: &[u8]) -> String {
+    format!("{:016x}.case", digest(bytes))
+}
+
+/// Directory holding the committed corpus for `target`
+/// (`<repo root>/fuzz/corpus/<target>`).
+pub fn corpus_dir(target: Target) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../fuzz/corpus")
+        .join(target.name())
+}
+
+/// Load all committed cases for `target`, sorted by file name so replay
+/// order is stable. A missing directory is an empty corpus, not an error.
+pub fn load_cases(target: Target) -> Vec<(PathBuf, Vec<u8>)> {
+    let dir = corpus_dir(target);
+    let Ok(entries) = fs::read_dir(&dir) else {
+        return Vec::new();
+    };
+    let mut cases: Vec<(PathBuf, Vec<u8>)> = entries
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("case") {
+                return None;
+            }
+            let bytes = fs::read(&path).ok()?;
+            Some((path, bytes))
+        })
+        .collect();
+    cases.sort_by(|a, b| a.0.cmp(&b.0));
+    cases
+}
+
+/// Persist a (minimized) crashing case into the corpus. Returns the path it
+/// was written to.
+pub fn save_case(target: Target, bytes: &[u8]) -> std::io::Result<PathBuf> {
+    let dir = corpus_dir(target);
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(case_file_name(bytes));
+    fs::write(&path, bytes)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_stable_and_sensitive() {
+        assert_eq!(digest(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(digest(b"a"), digest(b"b"));
+        assert_eq!(digest(b"<a/>"), digest(b"<a/>"));
+    }
+
+    #[test]
+    fn case_file_names_are_hex_and_suffixed() {
+        let name = case_file_name(b"<a/>");
+        assert!(name.ends_with(".case"));
+        assert_eq!(name.len(), 16 + ".case".len());
+    }
+
+    #[test]
+    fn corpus_dirs_are_per_target() {
+        let xml = corpus_dir(Target::Xml);
+        let dtd = corpus_dir(Target::Dtd);
+        assert_ne!(xml, dtd);
+        assert!(xml.ends_with("fuzz/corpus/xml"));
+    }
+}

@@ -1,0 +1,162 @@
+//! Deterministic byte-mutator driver.
+//!
+//! The driver owns a base seed; `(seed, iteration)` derives a per-iteration
+//! RNG, so a crash found at iteration `i` replays exactly with
+//! `fuzz <target> --seed S --iters 1 --start i` and two runs with the same
+//! seed produce identical byte streams. Mutations are classic byte-level
+//! fuzzing moves (bit flips, interesting bytes, chunk surgery) plus
+//! dictionary insertion so target-specific tokens like `<!DOCTYPE` or `%`
+//! show up far more often than chance would allow.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Bytes that historically trip parsers: delimiters, escapes, NUL, a lone
+/// UTF-8 continuation byte and a multi-byte leader with no continuation.
+const INTERESTING_BYTES: &[u8] = b"<>&%\"'[]()/;=*.|,+?-\x00\xff\xc3\x80#!";
+
+/// A seeded fuzzing driver.
+#[derive(Debug, Clone, Copy)]
+pub struct Driver {
+    seed: u64,
+}
+
+impl Driver {
+    /// Create a driver from a base seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// The base seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The RNG for one iteration. Derived from `(seed, iteration)` alone so
+    /// a single iteration can be replayed without re-running its
+    /// predecessors.
+    pub fn iteration_rng(&self, iteration: u64) -> StdRng {
+        // splitmix-style mixing keeps nearby iterations decorrelated.
+        let mixed = self
+            .seed
+            .wrapping_add(iteration.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        StdRng::seed_from_u64(mixed)
+    }
+}
+
+/// Mutate `base` with 1–8 random edits, inserting `dictionary` tokens with
+/// elevated probability. Pure function of the RNG state.
+pub fn mutate(rng: &mut StdRng, base: &[u8], dictionary: &[&[u8]]) -> Vec<u8> {
+    let mut data = base.to_vec();
+    let rounds = rng.gen_range(1usize..=8);
+    for _ in 0..rounds {
+        mutate_once(rng, &mut data, dictionary);
+    }
+    data
+}
+
+fn mutate_once(rng: &mut StdRng, data: &mut Vec<u8>, dictionary: &[&[u8]]) {
+    match rng.gen_range(0u32..8) {
+        // Flip one bit.
+        0 if !data.is_empty() => {
+            let i = rng.gen_range(0..data.len());
+            data[i] ^= 1 << rng.gen_range(0u32..8);
+        }
+        // Overwrite one byte with an interesting byte.
+        1 if !data.is_empty() => {
+            let i = rng.gen_range(0..data.len());
+            data[i] = *INTERESTING_BYTES.choose(rng).expect("non-empty table");
+        }
+        // Insert a dictionary token.
+        2 if !dictionary.is_empty() => {
+            let token = *dictionary.choose(rng).expect("non-empty dictionary");
+            let at = rng.gen_range(0..=data.len());
+            data.splice(at..at, token.iter().copied());
+        }
+        // Duplicate a chunk (possibly many times — cheap nesting pressure).
+        3 if !data.is_empty() => {
+            let start = rng.gen_range(0..data.len());
+            let len = rng.gen_range(1..=(data.len() - start).min(32));
+            let chunk: Vec<u8> = data[start..start + len].to_vec();
+            let copies = rng.gen_range(1usize..=4);
+            let at = rng.gen_range(0..=data.len());
+            for _ in 0..copies {
+                data.splice(at..at, chunk.iter().copied());
+            }
+        }
+        // Delete a chunk.
+        4 if data.len() > 1 => {
+            let start = rng.gen_range(0..data.len());
+            let len = rng.gen_range(1..=(data.len() - start).min(16));
+            data.drain(start..start + len);
+        }
+        // Truncate.
+        5 if data.len() > 1 => {
+            let keep = rng.gen_range(1..data.len());
+            data.truncate(keep);
+        }
+        // Swap two bytes.
+        6 if data.len() > 1 => {
+            let i = rng.gen_range(0..data.len());
+            let j = rng.gen_range(0..data.len());
+            data.swap(i, j);
+        }
+        // Insert 1–4 random bytes (covers the empty-input case too).
+        _ => {
+            let at = rng.gen_range(0..=data.len());
+            let count = rng.gen_range(1usize..=4);
+            let bytes: Vec<u8> = (0..count).map(|_| rng.gen::<u8>()).collect();
+            data.splice(at..at, bytes);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_byte_stream() {
+        let driver = Driver::new(42);
+        let dict: &[&[u8]] = &[b"<a>", b"</a>"];
+        for iteration in 0..200u64 {
+            let a = mutate(&mut driver.iteration_rng(iteration), b"<a x='1'/>", dict);
+            let b = mutate(&mut driver.iteration_rng(iteration), b"<a x='1'/>", dict);
+            assert_eq!(a, b, "iteration {iteration} diverged");
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = mutate(&mut Driver::new(1).iteration_rng(0), b"<root/>", &[]);
+        let b = mutate(&mut Driver::new(2).iteration_rng(0), b"<root/>", &[]);
+        // Not a hard guarantee for any single iteration, but with 8 possible
+        // edits on these seeds the streams differ; this guards against the
+        // seed being ignored entirely.
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn iterations_are_independent_of_history() {
+        let driver = Driver::new(7);
+        // Replaying iteration 50 alone matches running 0..=50 in order.
+        let direct = mutate(&mut driver.iteration_rng(50), b"seed", &[]);
+        for i in 0..50u64 {
+            let _ = mutate(&mut driver.iteration_rng(i), b"seed", &[]);
+        }
+        let replay = mutate(&mut driver.iteration_rng(50), b"seed", &[]);
+        assert_eq!(direct, replay);
+    }
+
+    #[test]
+    fn mutating_an_empty_base_never_panics_and_stays_bounded() {
+        let driver = Driver::new(3);
+        for i in 0..500u64 {
+            let mut rng = driver.iteration_rng(i);
+            let out = mutate(&mut rng, b"", &[b"tok"]);
+            // 8 rounds, each adding at most 4 copies of a 32-byte chunk.
+            assert!(out.len() <= 8 * 4 * 32);
+        }
+    }
+}

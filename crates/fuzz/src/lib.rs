@@ -1,0 +1,38 @@
+//! Dependency-free fuzzing harness for the parser stack.
+//!
+//! Every byte that reaches a [`Synopsis`](tps_synopsis::Synopsis) first goes
+//! through one of three parsers — XML documents, XPath-like tree patterns,
+//! or DTDs — and the routing layer merges synopses built on different
+//! brokers. This crate stress-tests all four surfaces without external
+//! fuzzing infrastructure:
+//!
+//! * [`driver`] — a deterministic byte-mutator driver seeded through the
+//!   vendored `rand` shim. The pair `(seed, iteration)` fully determines
+//!   every input, so any crash report is replayable byte-for-byte.
+//! * [`gen`] — structure-aware generators that emit mostly-valid XML,
+//!   pattern and DTD text for the mutator to start from, so fuzzing spends
+//!   its time past the first syntax check instead of bouncing off it.
+//! * [`targets`] — the four fuzz targets and their invariants. Parsers must
+//!   return `Err`, never panic, on arbitrary bytes; accepted inputs must
+//!   survive their round-trips (`to_xml`/`Display` re-parse, merge
+//!   commutativity, merge-after-prune).
+//! * [`corpus`] — a digest-named regression corpus committed under
+//!   `fuzz/corpus/<target>/*.case` at the repo root. Every crash the drivers
+//!   ever found lands there minimized and is replayed by `cargo test`.
+//!
+//! Run the drivers with the `fuzz` binary:
+//!
+//! ```text
+//! cargo run -p tps-fuzz --release --bin fuzz -- xml --iters 10000 --seed 1
+//! ```
+//!
+//! See `docs/FUZZING.md` for the full workflow.
+
+pub mod corpus;
+pub mod driver;
+pub mod gen;
+pub mod targets;
+
+pub use corpus::{case_file_name, corpus_dir, digest, load_cases, save_case};
+pub use driver::{mutate, Driver};
+pub use targets::{run_case, CaseOutcome, Target};

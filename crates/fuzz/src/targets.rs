@@ -1,0 +1,391 @@
+//! The fuzz targets and their invariants.
+//!
+//! Each target consumes arbitrary bytes and must uphold two guarantees:
+//!
+//! 1. **Never panic.** Parsers return typed `Err` values on malformed input;
+//!    a panic (or an abort from unbounded recursion) is a bug.
+//! 2. **Round-trips hold on accepted inputs.** A parsed XML document
+//!    re-parses from its `to_xml` form; a parsed pattern re-parses from its
+//!    `Display` form to an equal pattern; synopsis merge is commutative and
+//!    survives pruning.
+//!
+//! [`run_case`] wraps execution in `catch_unwind` so the drivers and the
+//! corpus replay tests observe crashes as data instead of dying.
+
+use std::panic::{self, AssertUnwindSafe};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tps_synopsis::{DocId, PruneConfig, SummaryValue, Synopsis, SynopsisConfig, SynopsisNodeId};
+use tps_xml::XmlTree;
+
+use crate::corpus::digest;
+use crate::gen;
+
+/// The fuzzable surfaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// `tps-xml`: `XmlTree::parse` plus the skeleton/serialise round-trip.
+    Xml,
+    /// `tps-pattern`: `parse_pattern` plus the `Display` round-trip.
+    Pattern,
+    /// `tps-dtd`: `parser::parse` plus schema introspection and `write_dtd`.
+    Dtd,
+    /// `tps-synopsis`: `Synopsis::merge` commutativity and merge-after-prune.
+    Merge,
+}
+
+impl Target {
+    /// All targets, in the order the smoke job runs them.
+    pub fn all() -> [Target; 4] {
+        [Target::Xml, Target::Pattern, Target::Dtd, Target::Merge]
+    }
+
+    /// Stable name used for corpus directories and the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            Target::Xml => "xml",
+            Target::Pattern => "pattern",
+            Target::Dtd => "dtd",
+            Target::Merge => "merge",
+        }
+    }
+
+    /// Look a target up by its [`name`](Target::name).
+    pub fn from_name(name: &str) -> Option<Target> {
+        Target::all().into_iter().find(|t| t.name() == name)
+    }
+
+    /// Seed inputs mutation starts from: small valid inputs per target.
+    pub fn seeds(self) -> Vec<Vec<u8>> {
+        let texts: &[&str] = match self {
+            Target::Xml => &[
+                "<media><CD><title>x</title></CD></media>",
+                "<?xml version=\"1.0\"?><a b=\"1\">t &amp; u</a>",
+                "<!DOCTYPE a [<!ELEMENT a ANY>]><a><!-- c --><b/></a>",
+            ],
+            Target::Pattern => &[
+                "/media/CD/*/last/Mozart",
+                "//composer[last/Mozart]",
+                "/.[//CD][//Mozart]",
+                "/a[b//c][d]",
+            ],
+            Target::Dtd => &[
+                "<!ELEMENT a (b?, (c | d)*)><!ELEMENT b (#PCDATA)>",
+                "<!ENTITY % t \"(#PCDATA)\"><!ELEMENT x %t;><!ATTLIST x k CDATA #IMPLIED>",
+                "<!DOCTYPE r [<!ELEMENT r (a+)><!ELEMENT a EMPTY>]>",
+            ],
+            // Merge interprets bytes as a scenario seed, so any bytes do.
+            Target::Merge => &["0", "12345678", "merge-scenario"],
+        };
+        texts.iter().map(|t| t.as_bytes().to_vec()).collect()
+    }
+
+    /// Mutation dictionary: tokens that matter to this target's grammar.
+    pub fn dictionary(self) -> &'static [&'static [u8]] {
+        match self {
+            Target::Xml => &[
+                b"<a>",
+                b"</a>",
+                b"<![CDATA[",
+                b"]]>",
+                b"<!DOCTYPE",
+                b"<!--",
+                b"-->",
+                b"<?",
+                b"?>",
+                b"&amp;",
+                b"&#x41;",
+                b"&#",
+                b"=\"",
+                b"/>",
+                b"\xc3\xa9",
+            ],
+            Target::Pattern => &[b"//", b"/", b"[", b"]", b"*", b".", b"\"", b"[.//", b"]["],
+            Target::Dtd => &[
+                b"<!ELEMENT",
+                b"<!ATTLIST",
+                b"<!ENTITY",
+                b"<!ENTITY %",
+                b"%e;",
+                b"(#PCDATA",
+                b"<![INCLUDE[",
+                b"<![IGNORE[",
+                b"]]>",
+                b"EMPTY",
+                b"ANY",
+                b"#REQUIRED",
+                b"(",
+                b")",
+                b"|",
+                b",",
+                b"*",
+                b"SYSTEM",
+            ],
+            Target::Merge => &[b"0", b"9", b"merge"],
+        }
+    }
+
+    /// Generate a fresh structure-aware input for this target.
+    pub fn generate(self, rng: &mut StdRng) -> Vec<u8> {
+        match self {
+            Target::Xml => gen::xml_document(rng),
+            Target::Pattern => gen::pattern_expr(rng),
+            Target::Dtd => gen::dtd_document(rng),
+            // The merge scenario is derived from the bytes, so the "fresh
+            // input" is just a random seed rendered as digits.
+            Target::Merge => rng.gen::<u64>().to_string().into_bytes(),
+        }
+    }
+
+    /// Run the target's invariant checks on raw bytes.
+    ///
+    /// `Ok(())` means the input was handled correctly (parse errors
+    /// included); `Err` describes an invariant violation. Panics are *not*
+    /// caught here — use [`run_case`] for that.
+    pub fn execute(self, bytes: &[u8]) -> Result<(), String> {
+        match self {
+            Target::Xml => execute_xml(bytes),
+            Target::Pattern => execute_pattern(bytes),
+            Target::Dtd => execute_dtd(bytes),
+            Target::Merge => execute_merge(bytes),
+        }
+    }
+}
+
+/// The observable result of one fuzz case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CaseOutcome {
+    /// Input handled correctly (accepted or rejected with a typed error).
+    Ok,
+    /// The target panicked or violated one of its invariants.
+    Crash {
+        /// Panic payload or invariant-violation description.
+        message: String,
+    },
+}
+
+impl CaseOutcome {
+    /// True for [`CaseOutcome::Crash`].
+    pub fn is_crash(&self) -> bool {
+        matches!(self, CaseOutcome::Crash { .. })
+    }
+}
+
+/// Run one case with panics converted into [`CaseOutcome::Crash`].
+pub fn run_case(target: Target, bytes: &[u8]) -> CaseOutcome {
+    match panic::catch_unwind(AssertUnwindSafe(|| target.execute(bytes))) {
+        Ok(Ok(())) => CaseOutcome::Ok,
+        Ok(Err(message)) => CaseOutcome::Crash { message },
+        Err(payload) => CaseOutcome::Crash {
+            message: panic_message(payload),
+        },
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}
+
+fn execute_xml(bytes: &[u8]) -> Result<(), String> {
+    let text = String::from_utf8_lossy(bytes);
+    match XmlTree::parse(&text) {
+        Err(error) => {
+            // Formatting the error must not panic either.
+            let _ = error.to_string();
+            Ok(())
+        }
+        Ok(tree) => {
+            let _ = tree.skeleton();
+            let emitted = tree.to_xml();
+            XmlTree::parse(&emitted)
+                .map(|_| ())
+                .map_err(|e| format!("to_xml output failed to re-parse: {e} (from {emitted:?})"))
+        }
+    }
+}
+
+fn execute_pattern(bytes: &[u8]) -> Result<(), String> {
+    let text = String::from_utf8_lossy(bytes);
+    match tps_pattern::parser::parse_pattern(&text) {
+        Err(error) => {
+            let _ = error.to_string();
+            Ok(())
+        }
+        Ok(pattern) => {
+            let display = pattern.to_string();
+            let reparsed = tps_pattern::parser::parse_pattern(&display)
+                .map_err(|e| format!("Display output failed to re-parse: {e} ({display:?})"))?;
+            if reparsed != pattern {
+                return Err(format!(
+                    "Display round-trip changed the pattern: {display:?}"
+                ));
+            }
+            let _ = pattern.height();
+            Ok(())
+        }
+    }
+}
+
+fn execute_dtd(bytes: &[u8]) -> Result<(), String> {
+    let text = String::from_utf8_lossy(bytes);
+    match tps_dtd::parser::parse(&text) {
+        Err(error) => {
+            let _ = error.to_string();
+            Ok(())
+        }
+        Ok(schema) => {
+            // Introspection and serialisation must be panic-free; the
+            // re-parse may reject (writer escaping is lossier than the
+            // parser) but must not blow up.
+            let _ = schema.stats();
+            let written = tps_dtd::writer::write_dtd(&schema);
+            if let Err(error) = tps_dtd::parser::parse(&written) {
+                let _ = error.to_string();
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Canonical view of a synopsis: every live root-to-node label path with its
+/// matching-set value, sorted. Mirrors the equivalence check used by the
+/// synopsis crate's own merge tests.
+fn canonical_values(s: &Synopsis) -> Vec<(Vec<String>, SummaryValue)> {
+    fn walk(
+        s: &Synopsis,
+        id: SynopsisNodeId,
+        path: &mut Vec<String>,
+        out: &mut Vec<(Vec<String>, SummaryValue)>,
+    ) {
+        path.push(s.label(id).to_string());
+        out.push((path.clone(), s.matching_value(id)));
+        for &child in s.children(id) {
+            walk(s, child, path, out);
+        }
+        path.pop();
+    }
+    let mut out = Vec::new();
+    walk(s, s.root(), &mut Vec::new(), &mut out);
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Derive a merge scenario from the case bytes: a config, two disjoint
+/// document batches, and the checks that merging them is order-insensitive
+/// and survives pruning.
+fn execute_merge(bytes: &[u8]) -> Result<(), String> {
+    let scenario = digest(bytes);
+    let mut rng = StdRng::seed_from_u64(scenario);
+    let config = match rng.gen_range(0u32..3) {
+        0 => SynopsisConfig::counters(),
+        1 => SynopsisConfig::sets(rng.gen_range(2usize..32)),
+        _ => SynopsisConfig::hashes(rng.gen_range(2usize..32)),
+    }
+    .with_seed(rng.gen::<u64>());
+
+    let total = rng.gen_range(2usize..10);
+    let split = rng.gen_range(1..total);
+    let mut documents = Vec::with_capacity(total);
+    while documents.len() < total {
+        let doc = gen::xml_document(&mut rng);
+        if let Ok(tree) = XmlTree::parse(&String::from_utf8_lossy(&doc)) {
+            documents.push(tree);
+        }
+    }
+
+    let mut first = Synopsis::new(config);
+    for (i, doc) in documents[..split].iter().enumerate() {
+        first.insert_document_as(doc, DocId(i as u64));
+    }
+    let mut second = Synopsis::new(config);
+    for (i, doc) in documents[split..].iter().enumerate() {
+        second.insert_document_as(doc, DocId((split + i) as u64));
+    }
+
+    let mut ab = first.clone();
+    ab.merge(&second);
+    let mut ba = second.clone();
+    ba.merge(&first);
+    if ab.document_count() != ba.document_count() {
+        return Err(format!(
+            "merge changed document_count by order: {} vs {}",
+            ab.document_count(),
+            ba.document_count()
+        ));
+    }
+    if canonical_values(&ab) != canonical_values(&ba) {
+        return Err(format!(
+            "merge(a,b) != merge(b,a) for scenario {scenario:#x} ({:?})",
+            config.kind
+        ));
+    }
+
+    // A sequential build over the same ids must agree with the merged view.
+    let mut sequential = Synopsis::new(config);
+    for (i, doc) in documents.iter().enumerate() {
+        sequential.insert_document_as(doc, DocId(i as u64));
+    }
+    if canonical_values(&sequential) != canonical_values(&ab) {
+        return Err(format!(
+            "merged shards diverge from the sequential build for scenario {scenario:#x}"
+        ));
+    }
+
+    // Merge-after-prune must never panic (values may legitimately change).
+    let mut pruned = first.clone();
+    pruned.prune_to_ratio(0.5, PruneConfig::default());
+    pruned.merge(&second);
+    let _ = canonical_values(&pruned);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_names_round_trip() {
+        for target in Target::all() {
+            assert_eq!(Target::from_name(target.name()), Some(target));
+        }
+        assert_eq!(Target::from_name("nope"), None);
+    }
+
+    #[test]
+    fn seeds_are_clean_for_every_target() {
+        for target in Target::all() {
+            for seed in target.seeds() {
+                assert_eq!(
+                    run_case(target, &seed),
+                    CaseOutcome::Ok,
+                    "seed input crashed {}: {:?}",
+                    target.name(),
+                    String::from_utf8_lossy(&seed)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crash_outcome_carries_the_panic_message() {
+        let outcome = match panic::catch_unwind(|| panic!("boom {}", 1)) {
+            Err(payload) => CaseOutcome::Crash {
+                message: panic_message(payload),
+            },
+            Ok(()) => unreachable!(),
+        };
+        assert_eq!(
+            outcome,
+            CaseOutcome::Crash {
+                message: "panic: boom 1".to_string()
+            }
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Tier-1 wiring for the fuzz harness: the committed corpus replays clean,
+//! a short smoke run of every driver stays clean, and the parser limits
+//! keep pathological inputs bounded in time and memory.
+
+use std::time::{Duration, Instant};
+
+use tps_fuzz::{corpus, driver, run_case, CaseOutcome, Target};
+
+/// Generous wall-clock bound for a single pathological input. The point is
+/// "bounded, not exponential": real runs finish in milliseconds.
+const LIMIT_BUDGET: Duration = Duration::from_secs(20);
+
+#[test]
+fn committed_corpus_replays_clean() {
+    for target in Target::all() {
+        for (path, bytes) in corpus::load_cases(target) {
+            assert_eq!(
+                run_case(target, &bytes),
+                CaseOutcome::Ok,
+                "committed case {} crashes again — a fixed bug regressed",
+                path.display()
+            );
+        }
+    }
+}
+
+#[test]
+fn short_driver_run_is_clean_for_every_target() {
+    // A miniature version of the CI smoke job, cheap enough for tier-1.
+    for target in Target::all() {
+        let iterations = match target {
+            Target::Merge => 40, // each iteration builds and merges synopses
+            _ => 300,
+        };
+        let drv = driver::Driver::new(0xC0FFEE);
+        let mut bases = target.seeds();
+        bases.extend(corpus::load_cases(target).into_iter().map(|(_, b)| b));
+        for iteration in 0..iterations {
+            let mut rng = drv.iteration_rng(iteration);
+            let input = if iteration % 3 == 0 {
+                target.generate(&mut rng)
+            } else {
+                let base = &bases[(iteration as usize) % bases.len()];
+                driver::mutate(&mut rng, base, target.dictionary())
+            };
+            let outcome = run_case(target, &input);
+            assert_eq!(
+                outcome,
+                CaseOutcome::Ok,
+                "{} crashed at iteration {iteration} on {:?}",
+                target.name(),
+                String::from_utf8_lossy(&input)
+            );
+        }
+    }
+}
+
+fn assert_bounded(target: Target, input: &[u8], what: &str) {
+    let start = Instant::now();
+    let outcome = run_case(target, input);
+    let elapsed = start.elapsed();
+    assert_eq!(outcome, CaseOutcome::Ok, "{what} crashed");
+    assert!(
+        elapsed < LIMIT_BUDGET,
+        "{what} took {elapsed:?} — limit is not bounding the work"
+    );
+}
+
+#[test]
+fn deep_xml_nesting_is_bounded() {
+    let input = "<a>".repeat(100_000).into_bytes();
+    assert_bounded(Target::Xml, &input, "100k-deep XML nesting");
+}
+
+#[test]
+fn huge_xml_attribute_list_is_bounded() {
+    let mut doc = String::from("<a");
+    for i in 0..50_000 {
+        doc.push_str(&format!(" x{i}=\"v\""));
+    }
+    doc.push_str("/>");
+    assert_bounded(Target::Xml, doc.as_bytes(), "50k-attribute element");
+}
+
+#[test]
+fn deep_pattern_path_is_bounded() {
+    let input = "/a".repeat(100_000).into_bytes();
+    assert_bounded(Target::Pattern, &input, "100k-step pattern path");
+
+    let nested = format!("{}{}", "a[".repeat(50_000), "]".repeat(50_000)).into_bytes();
+    assert_bounded(Target::Pattern, &nested, "50k-deep pattern predicates");
+}
+
+#[test]
+fn dtd_entity_expansion_blowup_is_bounded() {
+    let mut dtd = String::from("<!ENTITY % e0 \"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\">\n");
+    for i in 1..=12 {
+        let body = format!("%e{};", i - 1).repeat(16);
+        dtd.push_str(&format!("<!ENTITY % e{i} \"{body}\">\n"));
+    }
+    dtd.push_str("<!ELEMENT r (%e12;)>");
+    assert_bounded(Target::Dtd, dtd.as_bytes(), "16^12 entity expansion");
+}
+
+#[test]
+fn deep_dtd_content_model_is_bounded() {
+    let input = format!(
+        "<!ELEMENT r {}a{}>",
+        "(".repeat(100_000),
+        ")".repeat(100_000)
+    )
+    .into_bytes();
+    assert_bounded(Target::Dtd, &input, "100k-deep content-model groups");
+}

@@ -26,6 +26,16 @@
 use crate::error::PatternParseError;
 use crate::pattern::{PatternLabel, PatternNodeId, TreePattern};
 
+/// Maximum node depth of a parsed pattern (the root is depth 0).
+///
+/// This bounds two recursions at once: the parser's own predicate nesting
+/// (`a[a[a[…`) and the depth of the resulting [`TreePattern`], whose
+/// display/equality walks recurse along root-to-leaf paths. Real
+/// subscriptions are a handful of levels deep; anything past this limit is
+/// adversarial input and is rejected with a positioned error instead of
+/// exhausting the stack.
+pub const MAX_DEPTH: usize = 256;
+
 /// Parse a tree pattern from its concrete syntax.
 pub fn parse_pattern(input: &str) -> Result<TreePattern, PatternParseError> {
     let tokens = tokenize(input)?;
@@ -119,6 +129,12 @@ fn tokenize(input: &str) -> Result<Vec<Spanned>, PatternParseError> {
                 }
                 if j >= bytes.len() {
                     return Err(PatternParseError::new("unterminated quoted label", i));
+                }
+                // Quoted labels may carry spaces and punctuation ("Berliner
+                // Phil."), but an empty label can never match anything and
+                // broke the Display round trip — reject it. Found by fuzzing.
+                if j == start {
+                    return Err(PatternParseError::new("empty quoted label", i));
                 }
                 tokens.push(Spanned {
                     token: Token::Name(input[start..j].to_string()),
@@ -224,12 +240,12 @@ impl Parser {
                 self.pos += 1;
             }
             self.expect(Token::Dot)?;
-            self.parse_predicates(root)?;
+            self.parse_predicates(root, 0)?;
             if self.peek().is_some() {
-                self.parse_path(root, None)?;
+                self.parse_path(root, None, 0)?;
             }
         } else {
-            self.parse_path(root, None)?;
+            self.parse_path(root, None, 0)?;
         }
         if self.pos != self.tokens.len() {
             return self.err("unexpected trailing input");
@@ -246,8 +262,10 @@ impl Parser {
         &mut self,
         parent: PatternNodeId,
         leading: Option<Axis>,
+        depth: usize,
     ) -> Result<(), PatternParseError> {
         let mut current = parent;
+        let mut depth = depth;
         let mut axis = match leading {
             Some(axis) => axis,
             None => match self.peek() {
@@ -263,7 +281,7 @@ impl Parser {
             },
         };
         loop {
-            current = self.parse_step(current, axis)?;
+            (current, depth) = self.parse_step(current, axis, depth)?;
             match self.peek() {
                 Some(Token::Slash) => {
                     self.pos += 1;
@@ -279,13 +297,19 @@ impl Parser {
     }
 
     /// Parse one step (node test plus predicates) and attach it under
-    /// `parent` using `axis`. Returns the id of the step's node (predicates
-    /// and continuations attach to it).
+    /// `parent` using `axis`. `depth` is the node depth of `parent`; returns
+    /// the id of the step's node (predicates and continuations attach to it)
+    /// together with its depth.
     fn parse_step(
         &mut self,
         parent: PatternNodeId,
         axis: Axis,
-    ) -> Result<PatternNodeId, PatternParseError> {
+        depth: usize,
+    ) -> Result<(PatternNodeId, usize), PatternParseError> {
+        let step_depth = depth + if axis == Axis::Descendant { 2 } else { 1 };
+        if step_depth > MAX_DEPTH {
+            return self.err(format!("pattern depth limit ({MAX_DEPTH}) exceeded"));
+        }
         let attach = match axis {
             Axis::Child => parent,
             Axis::Descendant => self.pattern.add_child(parent, PatternLabel::Descendant),
@@ -296,11 +320,15 @@ impl Parser {
             other => return self.err(format!("expected an element name or '*', found {other:?}")),
         };
         let node = self.pattern.add_child(attach, label);
-        self.parse_predicates(node)?;
-        Ok(node)
+        self.parse_predicates(node, step_depth)?;
+        Ok((node, step_depth))
     }
 
-    fn parse_predicates(&mut self, node: PatternNodeId) -> Result<(), PatternParseError> {
+    fn parse_predicates(
+        &mut self,
+        node: PatternNodeId,
+        depth: usize,
+    ) -> Result<(), PatternParseError> {
         while self.peek() == Some(&Token::LBracket) {
             self.pos += 1;
             // Allow an optional leading "." (self) inside predicates, as in
@@ -308,7 +336,7 @@ impl Parser {
             if self.peek() == Some(&Token::Dot) {
                 self.pos += 1;
             }
-            self.parse_path(node, None)?;
+            self.parse_path(node, None, depth)?;
             self.expect(Token::RBracket)?;
         }
         Ok(())
@@ -415,8 +443,14 @@ mod tests {
     #[test]
     fn parses_quoted_labels() {
         let p = parse_pattern("//interpreter/ensemble/\"Berliner Phil.\"").unwrap();
+        // The label value is unquoted; its Display form keeps the quotes so
+        // the pattern's own Display output re-parses.
+        assert!(p
+            .preorder()
+            .iter()
+            .any(|&id| *p.label(id) == L::Tag("Berliner Phil.".into())));
         let labels = labels_preorder(&p);
-        assert!(labels.contains(&"Berliner Phil.".to_string()));
+        assert!(labels.contains(&"\"Berliner Phil.\"".to_string()));
     }
 
     #[test]
@@ -477,6 +511,55 @@ mod tests {
     fn error_reports_offset() {
         let err = parse_pattern("/a[@x]").unwrap_err();
         assert!(err.offset() >= 3);
+    }
+
+    #[test]
+    fn empty_quoted_labels_are_rejected() {
+        // Found by fuzzing: `""` parsed to an empty tag whose bare Display
+        // form no longer parsed.
+        assert!(parse_pattern("/\"\"").is_err());
+        assert!(parse_pattern("\"\"[o]/b").is_err());
+        // Ordinary names still work quoted.
+        let quoted = parse_pattern("/\"CD\"").unwrap();
+        assert_eq!(quoted, parse_pattern("/CD").unwrap());
+    }
+
+    #[test]
+    fn non_name_labels_round_trip_through_quoting() {
+        // Found by fuzzing: labels with punctuation printed bare and the
+        // Display output failed to re-parse.
+        for expr in ["/\"a>b\"/c", "//ensemble/\"Berliner Phil.\"", "/\"9a\""] {
+            let p = parse_pattern(expr).unwrap();
+            let display = p.to_string();
+            let reparsed = parse_pattern(&display).unwrap();
+            assert_eq!(p, reparsed, "round trip failed for {expr} ({display})");
+        }
+    }
+
+    #[test]
+    fn deep_linear_path_is_rejected_not_overflowed() {
+        // A long linear path parses without parser recursion, but the
+        // resulting pattern's Display/equality walks recurse over its depth,
+        // so the parser must bound total depth.
+        let deep = "/a".repeat(MAX_DEPTH * 4);
+        let err = parse_pattern(&deep).unwrap_err();
+        assert!(err.message().contains("depth limit"));
+
+        // Deep predicate nesting hits the same limit.
+        let nested = format!(
+            "{}{}",
+            "a[".repeat(MAX_DEPTH * 4),
+            "]".repeat(MAX_DEPTH * 4)
+        );
+        assert!(parse_pattern(&nested).is_err());
+
+        // Just under the limit still parses (and its recursive walks are
+        // safe to run).
+        let ok = "/a".repeat(MAX_DEPTH - 1);
+        let p = parse_pattern(&ok).unwrap();
+        assert_eq!(p.height(), MAX_DEPTH - 1);
+        let _ = p.to_string();
+        assert_eq!(p, p.clone());
     }
 
     #[test]

@@ -75,11 +75,30 @@ impl fmt::Display for PatternLabel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PatternLabel::Root => write!(f, "/."),
-            PatternLabel::Tag(t) => write!(f, "{t}"),
+            PatternLabel::Tag(t) if bare_name(t) => write!(f, "{t}"),
+            // Labels that are not bare names (spaces, dots, leading digits)
+            // use the quoted spelling so the output re-parses to the same
+            // pattern. Found by fuzzing: printing them bare produced
+            // unparseable expressions.
+            PatternLabel::Tag(t) => write!(f, "\"{t}\""),
             PatternLabel::Wildcard => write!(f, "*"),
             PatternLabel::Descendant => write!(f, "//"),
         }
     }
+}
+
+/// Whether a tag can be printed without quotes — the same lexical class the
+/// parser accepts for unquoted names.
+fn bare_name(tag: &str) -> bool {
+    let bytes = tag.as_bytes();
+    let Some((&first, rest)) = bytes.split_first() else {
+        return false;
+    };
+    let start = first.is_ascii_alphabetic() || first == b'_' || !first.is_ascii();
+    start
+        && rest
+            .iter()
+            .all(|&b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || !b.is_ascii())
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]

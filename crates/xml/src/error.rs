@@ -34,6 +34,14 @@ pub enum XmlErrorKind {
     TrailingContent,
     /// An unknown or malformed entity reference such as `&foo`.
     InvalidEntity(String),
+    /// A parser limit was exceeded (defence against pathological inputs
+    /// such as pathologically deep nesting or enormous attribute lists).
+    LimitExceeded {
+        /// Which limit was hit (e.g. `"element nesting depth"`).
+        what: &'static str,
+        /// The configured limit value.
+        limit: usize,
+    },
 }
 
 impl XmlError {
@@ -68,6 +76,9 @@ impl fmt::Display for XmlError {
             XmlErrorKind::NoRootElement => write!(f, "document has no root element"),
             XmlErrorKind::TrailingContent => write!(f, "content after the root element"),
             XmlErrorKind::InvalidEntity(e) => write!(f, "invalid entity reference &{e};"),
+            XmlErrorKind::LimitExceeded { what, limit } => {
+                write!(f, "{what} limit ({limit}) exceeded")
+            }
         }?;
         write!(f, " at byte offset {}", self.offset)
     }

@@ -18,6 +18,14 @@
 use crate::error::{XmlError, XmlErrorKind};
 use crate::tree::{NodeId, XmlTree};
 
+/// Maximum element nesting depth (root = depth 1). Recursion over element
+/// content is proportional to this, so the bound keeps arbitrary input from
+/// exhausting the stack; real documents stay far below it.
+pub const MAX_DEPTH: usize = 512;
+
+/// Maximum number of attributes on a single start tag.
+pub const MAX_ATTRIBUTES: usize = 1024;
+
 /// Parse a complete XML document into an [`XmlTree`].
 pub fn parse_document(input: &str) -> Result<XmlTree, XmlError> {
     Parser::new(input).parse()
@@ -147,18 +155,27 @@ impl<'a> Parser<'a> {
         let mut tree = XmlTree::new(&name);
         let root = tree.root();
         if !self_closing {
-            self.parse_content(&mut tree, root, &name)?;
+            self.parse_content(&mut tree, root, &name, 1)?;
         }
         Ok(tree)
     }
 
     /// Parse the content of an open element until its end tag is consumed.
+    /// `depth` is the nesting depth of the open element (root = 1); it bounds
+    /// the recursion so adversarial nesting cannot overflow the stack.
     fn parse_content(
         &mut self,
         tree: &mut XmlTree,
         parent: NodeId,
         parent_name: &str,
+        depth: usize,
     ) -> Result<(), XmlError> {
+        if depth >= MAX_DEPTH {
+            return Err(self.err(XmlErrorKind::LimitExceeded {
+                what: "element nesting depth",
+                limit: MAX_DEPTH,
+            }));
+        }
         let mut text = String::new();
         loop {
             if self.pos >= self.bytes.len() {
@@ -197,7 +214,7 @@ impl<'a> Parser<'a> {
                 let (name, self_closing) = self.parse_start_tag()?;
                 let child = tree.add_child(parent, &name);
                 if !self_closing {
-                    self.parse_content(tree, child, &name)?;
+                    self.parse_content(tree, child, &name, depth + 1)?;
                 }
             } else {
                 // Character data.
@@ -225,6 +242,7 @@ impl<'a> Parser<'a> {
         debug_assert_eq!(self.peek(), Some(b'<'));
         self.pos += 1;
         let name = self.parse_name()?;
+        let mut attributes = 0usize;
         loop {
             self.skip_whitespace();
             match self.peek() {
@@ -243,6 +261,13 @@ impl<'a> Parser<'a> {
                     )));
                 }
                 Some(_) => {
+                    attributes += 1;
+                    if attributes > MAX_ATTRIBUTES {
+                        return Err(self.err(XmlErrorKind::LimitExceeded {
+                            what: "attribute count",
+                            limit: MAX_ATTRIBUTES,
+                        }));
+                    }
                     self.parse_attribute()?;
                 }
                 None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
@@ -541,6 +566,43 @@ mod tests {
     fn unicode_tag_names_are_accepted() {
         let t = parse_document("<données><été>chaud</été></données>").unwrap();
         assert_eq!(t.label(t.root()), "données");
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        // Twice the limit in open tags: must come back as a typed error
+        // (recursion is bounded by MAX_DEPTH, so no stack overflow).
+        let input = "<a>".repeat(MAX_DEPTH * 2);
+        let err = parse_document(&input).unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                XmlErrorKind::LimitExceeded { what, limit }
+                    if *what == "element nesting depth" && *limit == MAX_DEPTH
+            ),
+            "{err}"
+        );
+        // A document just under the limit still parses.
+        let n = MAX_DEPTH - 1;
+        let ok = format!("{}{}", "<a>".repeat(n), "</a>".repeat(n));
+        assert!(parse_document(&ok).is_ok());
+    }
+
+    #[test]
+    fn huge_attribute_lists_are_rejected() {
+        let mut input = String::from("<a");
+        for i in 0..(MAX_ATTRIBUTES + 1) {
+            input.push_str(&format!(" x{i}=\"v\""));
+        }
+        input.push_str("/>");
+        let err = parse_document(&input).unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                XmlErrorKind::LimitExceeded { what, .. } if *what == "attribute count"
+            ),
+            "{err}"
+        );
     }
 
     #[test]
