@@ -1,0 +1,785 @@
+//! The multi-pass workload analyzer.
+//!
+//! [`WorkloadAnalyzer::analyze`] runs four passes over a subscription
+//! workload and produces an [`AnalysisReport`]:
+//!
+//! 1. **Satisfiability** (`E001`): with a DTD, every pattern's concrete
+//!    expansion set is enumerated once (bounded by
+//!    [`AnalysisConfig`]); a provably empty set — no truncation — is an
+//!    error. Truncated enumerations degrade to *unknown* and surface as a
+//!    `W004` hazard instead, never as a false error.
+//! 2. **Duplicate grouping** (`W003`): patterns with identical expansion
+//!    sets are DTD-equivalent even without any syntactic relation (the
+//!    paper's Example 1.1); without a DTD, syntactically equivalent
+//!    patterns (equal canonical keys) still group.
+//! 3. **Coverage** (`W002`): each remaining pattern is checked for a
+//!    covering subscription, first by the syntactic homomorphism test
+//!    (sound for every document), then by expansion-set inclusion (sound
+//!    for DTD-conforming documents). The proof kind is recorded so the
+//!    compaction plan can distinguish universally safe drops from
+//!    DTD-conditional ones.
+//! 4. **Cost hazards** (`W004`): saturated `//`/`*` steps and patterns
+//!    sitting at the analyzer's descendant-depth bound.
+//!
+//! Coverage links always point at a pattern that was uncovered when the
+//! link was created, so coverage chains are acyclic by construction (the
+//! same argument as `SimilarityEngine`'s analyze-on-register mode).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use tps_dtd::{AnalysisConfig, DtdSchema, PatternAnalyzer, Trivalent};
+use tps_pattern::containment;
+use tps_pattern::{PatternParseError, TreePattern};
+
+use crate::compact::{CompactionPlan, CoverageLink};
+use crate::diagnostics::{Diagnostic, LintCode, Proof, Span};
+
+/// One subscription of the analysed workload: the pattern plus the source
+/// text and provenance needed for diagnostics.
+#[derive(Debug, Clone)]
+pub struct WorkloadEntry {
+    source: String,
+    origin: String,
+    pattern: TreePattern,
+}
+
+impl WorkloadEntry {
+    /// Parse a pattern expression into an entry with no provenance label.
+    pub fn parse(source: &str) -> Result<Self, PatternParseError> {
+        Self::with_origin(source, "")
+    }
+
+    /// Parse a pattern expression, attaching a provenance label (e.g.
+    /// `workload.patterns:12`) shown in diagnostics.
+    pub fn with_origin(source: &str, origin: &str) -> Result<Self, PatternParseError> {
+        let pattern = TreePattern::parse(source)?;
+        Ok(Self {
+            source: source.trim().to_string(),
+            origin: origin.to_string(),
+            pattern,
+        })
+    }
+
+    /// Wrap an already-parsed pattern (the source text is its display form).
+    pub fn from_pattern(pattern: &TreePattern) -> Self {
+        Self {
+            source: pattern.to_string(),
+            origin: String::new(),
+            pattern: pattern.clone(),
+        }
+    }
+
+    /// The pattern's source text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The provenance label (empty when unknown).
+    pub fn origin(&self) -> &str {
+        &self.origin
+    }
+
+    /// The parsed pattern.
+    pub fn pattern(&self) -> &TreePattern {
+        &self.pattern
+    }
+}
+
+/// Tunables for the analyzer, mostly the `W004` cost-hazard pass.
+#[derive(Debug, Clone)]
+pub struct AnalyzerOptions {
+    /// Expansion bounds for the DTD passes.
+    pub analysis: AnalysisConfig,
+    /// Flag a pattern whose fraction of `//`/`*` nodes (over non-root
+    /// nodes) reaches this threshold.
+    pub density_threshold: f64,
+    /// Only apply the density check to patterns with at least this many
+    /// non-root nodes (tiny patterns like `//*` are legitimately vague).
+    pub density_min_steps: usize,
+    /// Flag a descendant-bearing pattern whose height is within this margin
+    /// of [`AnalysisConfig::max_descendant_depth`] — its expansions are at
+    /// risk of truncation.
+    pub depth_margin: usize,
+}
+
+impl Default for AnalyzerOptions {
+    fn default() -> Self {
+        Self {
+            analysis: AnalysisConfig::default(),
+            density_threshold: 0.5,
+            density_min_steps: 4,
+            depth_margin: 1,
+        }
+    }
+}
+
+/// The analyzer's cached per-pattern facts, exposed for tooling.
+#[derive(Debug, Clone)]
+pub struct PatternVerdict {
+    /// Three-valued DTD satisfiability; `None` when no schema was supplied.
+    pub satisfiability: Option<Trivalent>,
+    /// Whether an expansion cap fired while enumerating this pattern.
+    pub truncated: bool,
+    /// Number of concrete expansions enumerated (schema runs only).
+    pub expansions: Option<usize>,
+}
+
+/// The outcome of one [`WorkloadAnalyzer::analyze`] run.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// Name of the DTD analysed against, if any.
+    pub schema_name: Option<String>,
+    /// Number of patterns analysed.
+    pub pattern_count: usize,
+    /// Per-pattern verdicts, parallel to the input workload.
+    pub verdicts: Vec<PatternVerdict>,
+    /// All findings, sorted by pattern index then code.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The containment-driven compaction plan derived from the findings.
+    pub plan: CompactionPlan,
+}
+
+impl AnalysisReport {
+    /// Number of error-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == crate::diagnostics::Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity diagnostics.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.len() - self.error_count()
+    }
+
+    /// Number of diagnostics with the given code.
+    pub fn count(&self, code: LintCode) -> usize {
+        self.diagnostics.iter().filter(|d| d.code == code).count()
+    }
+
+    /// Whether the run passes a lint gate: no errors, and no warnings
+    /// either when `deny_warnings` is set.
+    pub fn is_clean(&self, deny_warnings: bool) -> bool {
+        if deny_warnings {
+            self.diagnostics.is_empty()
+        } else {
+            self.error_count() == 0
+        }
+    }
+}
+
+/// The static subscription-analysis pass.
+#[derive(Debug, Clone)]
+pub struct WorkloadAnalyzer<'a> {
+    schema: Option<&'a DtdSchema>,
+    options: AnalyzerOptions,
+}
+
+/// Cached per-pattern expansion facts computed once in pass 1.
+struct ExpansionFacts {
+    /// Canonical keys of the concrete expansions (schema runs only).
+    keys: Option<BTreeSet<String>>,
+    truncated: bool,
+    satisfiability: Option<Trivalent>,
+}
+
+impl ExpansionFacts {
+    /// Eligible for exact DTD set reasoning: enumerated completely and
+    /// non-empty.
+    fn exact_keys(&self) -> Option<&BTreeSet<String>> {
+        match &self.keys {
+            Some(keys) if !self.truncated && !keys.is_empty() => Some(keys),
+            _ => None,
+        }
+    }
+}
+
+impl<'a> WorkloadAnalyzer<'a> {
+    /// Analyzer with default options; pass `None` for a schema-less run
+    /// (syntactic passes only).
+    pub fn new(schema: Option<&'a DtdSchema>) -> Self {
+        Self::with_options(schema, AnalyzerOptions::default())
+    }
+
+    /// Analyzer with explicit options.
+    pub fn with_options(schema: Option<&'a DtdSchema>, options: AnalyzerOptions) -> Self {
+        Self { schema, options }
+    }
+
+    /// Run all passes over `entries` and produce the report.
+    pub fn analyze(&self, entries: &[WorkloadEntry]) -> AnalysisReport {
+        let analyzer = self
+            .schema
+            .map(|s| PatternAnalyzer::with_config(s, self.options.analysis));
+        let facts: Vec<ExpansionFacts> = entries
+            .iter()
+            .map(|e| self.expansion_facts(analyzer.as_ref(), e.pattern()))
+            .collect();
+
+        let mut diagnostics = Vec::new();
+        self.satisfiability_pass(entries, &facts, &mut diagnostics);
+        let mut covered = self.duplicate_pass(entries, &facts, &mut diagnostics);
+        self.coverage_pass(entries, &facts, &mut covered, &mut diagnostics);
+        self.hazard_pass(entries, &mut diagnostics);
+
+        diagnostics.sort_by_key(|d| (d.pattern_index, d.code));
+
+        let unsatisfiable: Vec<usize> = facts
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.satisfiability == Some(Trivalent::No))
+            .map(|(i, _)| i)
+            .collect();
+        let plan = CompactionPlan::new(covered, unsatisfiable);
+
+        AnalysisReport {
+            schema_name: self.schema.map(|s| s.name().to_string()),
+            pattern_count: entries.len(),
+            verdicts: facts
+                .iter()
+                .map(|f| PatternVerdict {
+                    satisfiability: f.satisfiability,
+                    truncated: f.truncated,
+                    expansions: f.keys.as_ref().map(|k| k.len()),
+                })
+                .collect(),
+            diagnostics,
+            plan,
+        }
+    }
+
+    fn expansion_facts(
+        &self,
+        analyzer: Option<&PatternAnalyzer<'_>>,
+        pattern: &TreePattern,
+    ) -> ExpansionFacts {
+        match analyzer {
+            None => ExpansionFacts {
+                keys: None,
+                truncated: false,
+                satisfiability: None,
+            },
+            Some(analyzer) => {
+                let set = analyzer.expansions(pattern);
+                let keys: BTreeSet<String> =
+                    set.patterns.iter().map(|p| p.canonical_key()).collect();
+                let satisfiability = if !keys.is_empty() {
+                    Trivalent::Yes
+                } else if set.truncated {
+                    Trivalent::Unknown
+                } else {
+                    Trivalent::No
+                };
+                ExpansionFacts {
+                    keys: Some(keys),
+                    truncated: set.truncated,
+                    satisfiability: Some(satisfiability),
+                }
+            }
+        }
+    }
+
+    /// Pass 1: `E001` for proven-unsatisfiable patterns, `W004` for
+    /// truncated enumerations (whose verdicts degraded to unknown).
+    fn satisfiability_pass(
+        &self,
+        entries: &[WorkloadEntry],
+        facts: &[ExpansionFacts],
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let schema_name = self.schema.map(|s| s.name()).unwrap_or("");
+        for (i, (entry, fact)) in entries.iter().zip(facts).enumerate() {
+            if fact.satisfiability == Some(Trivalent::No) {
+                out.push(
+                    self.diagnostic(
+                        LintCode::Unsatisfiable,
+                        i,
+                        entry,
+                        Span::whole(entry.source()),
+                        format!(
+                            "`{}` matches no document conforming to DTD `{}`",
+                            entry.source(),
+                            schema_name
+                        ),
+                        "every DTD-conforming expansion of the pattern was enumerated and \
+                     none exists; the subscription can never fire on valid documents \
+                     and should be removed or fixed"
+                            .to_string(),
+                        Vec::new(),
+                        None,
+                    ),
+                );
+            }
+            if fact.truncated {
+                out.push(self.diagnostic(
+                    LintCode::CostHazard,
+                    i,
+                    entry,
+                    Span::whole(entry.source()),
+                    format!(
+                        "DTD analysis of `{}` was truncated by an expansion cap",
+                        entry.source()
+                    ),
+                    format!(
+                        "enumeration stopped at max_descendant_depth={} / max_expansions={}; \
+                         satisfiability and equivalence verdicts for this pattern degrade \
+                         to `unknown` instead of firing, so redundancy it participates in \
+                         may go undetected",
+                        self.options.analysis.max_descendant_depth,
+                        self.options.analysis.max_expansions
+                    ),
+                    Vec::new(),
+                    None,
+                ));
+            }
+        }
+    }
+
+    /// Pass 2: group DTD-equivalent (or syntactically equivalent) patterns
+    /// and emit `W003` for every non-representative member. Returns the
+    /// seeded coverage vector mapping group members to their representative.
+    fn duplicate_pass(
+        &self,
+        entries: &[WorkloadEntry],
+        facts: &[ExpansionFacts],
+        out: &mut Vec<Diagnostic>,
+    ) -> Vec<Option<CoverageLink>> {
+        let mut covered: Vec<Option<CoverageLink>> = vec![None; entries.len()];
+        // Group key: the exact expansion key-set when available, otherwise
+        // the syntactic canonical key. Proven-unsatisfiable patterns are
+        // excluded — they already carry `E001` and grouping empty match
+        // sets is noise.
+        let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, fact) in facts.iter().enumerate() {
+            if fact.satisfiability == Some(Trivalent::No) {
+                continue;
+            }
+            let key = match fact.exact_keys() {
+                Some(keys) => {
+                    let mut joined = String::from("dtd:");
+                    for k in keys {
+                        joined.push_str(k);
+                        joined.push('\u{1}');
+                    }
+                    joined
+                }
+                None => format!("syn:{}", entries[i].pattern().canonical_key()),
+            };
+            groups.entry(key).or_default().push(i);
+        }
+
+        for members in groups.values() {
+            if members.len() < 2 {
+                continue;
+            }
+            let rep = members[0];
+            let rep_key = entries[rep].pattern().canonical_key();
+            for &i in &members[1..] {
+                let proof = if entries[i].pattern().canonical_key() == rep_key {
+                    Proof::Syntactic
+                } else {
+                    Proof::Dtd
+                };
+                let message = match proof {
+                    Proof::Syntactic => format!(
+                        "`{}` duplicates subscription #{} (`{}`)",
+                        entries[i].source(),
+                        rep,
+                        entries[rep].source()
+                    ),
+                    Proof::Dtd => format!(
+                        "`{}` is equivalent to subscription #{} (`{}`) under DTD `{}`",
+                        entries[i].source(),
+                        rep,
+                        entries[rep].source(),
+                        self.schema.map(|s| s.name()).unwrap_or("")
+                    ),
+                };
+                let explanation = match proof {
+                    Proof::Syntactic => "the two patterns are the same subscription up to \
+                                         canonical form; registering both doubles routing \
+                                         state for identical traffic"
+                        .to_string(),
+                    Proof::Dtd => "the patterns have identical sets of DTD-conforming \
+                                   expansions, so they match exactly the same conforming \
+                                   documents even though neither contains the other \
+                                   syntactically (the paper's Example 1.1)"
+                        .to_string(),
+                };
+                let related: Vec<usize> = members.iter().copied().filter(|&m| m != i).collect();
+                out.push(self.diagnostic(
+                    LintCode::DtdEquivalentDuplicate,
+                    i,
+                    &entries[i],
+                    Span::whole(entries[i].source()),
+                    message,
+                    explanation,
+                    related,
+                    Some(proof),
+                ));
+                covered[i] = Some(CoverageLink {
+                    coverer: rep,
+                    proof,
+                });
+            }
+        }
+        covered
+    }
+
+    /// Pass 3: find a covering subscription for each still-uncovered
+    /// pattern (`W002`), extending the coverage vector in place.
+    fn coverage_pass(
+        &self,
+        entries: &[WorkloadEntry],
+        facts: &[ExpansionFacts],
+        covered: &mut [Option<CoverageLink>],
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let n = entries.len();
+        for i in 0..n {
+            if covered[i].is_some() || facts[i].satisfiability == Some(Trivalent::No) {
+                continue;
+            }
+            let found = (0..n).find_map(|j| {
+                if j == i || covered[j].is_some() || facts[j].satisfiability == Some(Trivalent::No)
+                {
+                    return None;
+                }
+                let (p_i, p_j) = (entries[i].pattern(), entries[j].pattern());
+                if containment::contains(p_j, p_i) {
+                    // Mutually contained patterns are equivalent; keep the
+                    // earlier one as the representative.
+                    if containment::contains(p_i, p_j) && j > i {
+                        return None;
+                    }
+                    return Some((j, Proof::Syntactic));
+                }
+                // Exact expansion-set inclusion: sound on conforming
+                // documents. Equal sets were already grouped in pass 2, so
+                // any inclusion found here is strict.
+                if let (Some(keys_i), Some(keys_j)) = (facts[i].exact_keys(), facts[j].exact_keys())
+                {
+                    if keys_i.is_subset(keys_j) {
+                        return Some((j, Proof::Dtd));
+                    }
+                }
+                None
+            });
+            if let Some((j, proof)) = found {
+                let message = match proof {
+                    Proof::Syntactic => format!(
+                        "`{}` is contained in subscription #{} (`{}`)",
+                        entries[i].source(),
+                        j,
+                        entries[j].source()
+                    ),
+                    Proof::Dtd => format!(
+                        "`{}` is contained in subscription #{} (`{}`) under DTD `{}`",
+                        entries[i].source(),
+                        j,
+                        entries[j].source(),
+                        self.schema.map(|s| s.name()).unwrap_or("")
+                    ),
+                };
+                let explanation = match proof {
+                    Proof::Syntactic => "every document this pattern matches also matches the \
+                                         covering subscription, for any document whatsoever; \
+                                         routing the covering subscription alone delivers \
+                                         identical traffic"
+                        .to_string(),
+                    Proof::Dtd => "every DTD-conforming document this pattern matches also \
+                                   matches the covering subscription; dropping it is safe \
+                                   only on streams validated against this DTD"
+                        .to_string(),
+                };
+                out.push(self.diagnostic(
+                    LintCode::ContainedRedundant,
+                    i,
+                    &entries[i],
+                    Span::whole(entries[i].source()),
+                    message,
+                    explanation,
+                    vec![j],
+                    Some(proof),
+                ));
+                covered[i] = Some(CoverageLink { coverer: j, proof });
+            }
+        }
+    }
+
+    /// Pass 4: per-pattern cost hazards — `//`/`*` saturation and
+    /// patterns at the descendant-depth bound.
+    fn hazard_pass(&self, entries: &[WorkloadEntry], out: &mut Vec<Diagnostic>) {
+        for (i, entry) in entries.iter().enumerate() {
+            let pattern = entry.pattern();
+            let steps = pattern.node_count().saturating_sub(1);
+            let vague = pattern.wildcard_count() + pattern.descendant_count();
+            if steps >= self.options.density_min_steps
+                && vague > 0
+                && (vague as f64) >= self.options.density_threshold * (steps as f64)
+            {
+                out.push(
+                    self.diagnostic(
+                        LintCode::CostHazard,
+                        i,
+                        entry,
+                        vague_span(entry.source()),
+                        format!(
+                            "{vague} of {steps} steps in `{}` are `//` or `*`",
+                            entry.source()
+                        ),
+                        "wildcard-saturated patterns force broad synopsis traversal and \
+                     expand combinatorially under DTD analysis; anchor more steps to \
+                     concrete tags if possible"
+                            .to_string(),
+                        Vec::new(),
+                        None,
+                    ),
+                );
+            }
+            if pattern.descendant_count() > 0
+                && pattern.height() + self.options.depth_margin
+                    >= self.options.analysis.max_descendant_depth
+            {
+                out.push(
+                    self.diagnostic(
+                        LintCode::CostHazard,
+                        i,
+                        entry,
+                        Span::whole(entry.source()),
+                        format!(
+                            "`{}` has height {} at the analyzer's descendant-depth bound {}",
+                            entry.source(),
+                            pattern.height(),
+                            self.options.analysis.max_descendant_depth
+                        ),
+                        "descendant expansion for this pattern has little or no depth \
+                     budget left, so DTD verdicts are likely to truncate; raise \
+                     max_descendant_depth or shorten the pattern"
+                            .to_string(),
+                        Vec::new(),
+                        None,
+                    ),
+                );
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // invariant: plain constructor fan-in, every field is distinct
+    fn diagnostic(
+        &self,
+        code: LintCode,
+        index: usize,
+        entry: &WorkloadEntry,
+        span: Span,
+        message: String,
+        explanation: String,
+        related: Vec<usize>,
+        proof: Option<Proof>,
+    ) -> Diagnostic {
+        Diagnostic {
+            code,
+            pattern_index: index,
+            source: entry.source().to_string(),
+            span,
+            origin: entry.origin().to_string(),
+            message,
+            explanation,
+            related,
+            proof,
+        }
+    }
+}
+
+/// Span covering the vague (`//`/`*`) region of a pattern's source text:
+/// from the first to the last wildcard or descendant marker.
+fn vague_span(source: &str) -> Span {
+    let first = [source.find("//"), source.find('*')]
+        .into_iter()
+        .flatten()
+        .min();
+    let last = [
+        source.rfind("//").map(|p| p + 2),
+        source.rfind('*').map(|p| p + 1),
+    ]
+    .into_iter()
+    .flatten()
+    .max();
+    match (first, last) {
+        (Some(start), Some(end)) => Span { start, end },
+        _ => Span::whole(source),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_dtd::samples::media_schema;
+
+    fn workload(sources: &[&str]) -> Vec<WorkloadEntry> {
+        sources
+            .iter()
+            .enumerate()
+            .map(|(i, s)| WorkloadEntry::with_origin(s, &format!("test:{}", i + 1)).unwrap())
+            .collect()
+    }
+
+    fn codes_for(report: &AnalysisReport, index: usize) -> Vec<LintCode> {
+        report
+            .diagnostics
+            .iter()
+            .filter(|d| d.pattern_index == index)
+            .map(|d| d.code)
+            .collect()
+    }
+
+    #[test]
+    fn example_1_1_duplicates_group_as_w003_under_the_media_dtd() {
+        // The paper's Example 1.1: under the media DTD the two patterns
+        // match exactly the same documents although neither syntactically
+        // contains the other.
+        let schema = media_schema();
+        let entries = workload(&["/media/CD/*/last/Mozart", "//composer/last/Mozart"]);
+        let p = entries[0].pattern();
+        let q = entries[1].pattern();
+        assert!(!containment::contains(p, q) && !containment::contains(q, p));
+
+        let report = WorkloadAnalyzer::new(Some(&schema)).analyze(&entries);
+        let dup: Vec<&Diagnostic> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == LintCode::DtdEquivalentDuplicate)
+            .collect();
+        assert_eq!(dup.len(), 1, "report: {:#?}", report.diagnostics);
+        assert_eq!(dup[0].pattern_index, 1);
+        assert_eq!(dup[0].related, vec![0]);
+        assert_eq!(dup[0].proof, Some(Proof::Dtd));
+        assert!(dup[0].message.contains("media"));
+        assert_eq!(report.plan.coverage(1).map(|l| l.coverer), Some(0));
+    }
+
+    #[test]
+    fn unsatisfiable_patterns_fire_e001_only_when_proven() {
+        let schema = media_schema();
+        // The paper's `pb`: `CD` has no `Mozart` child and carries no text,
+        // so the pattern matches no conforming document.
+        let entries = workload(&["//CD/Mozart", "/media/book"]);
+        let report = WorkloadAnalyzer::new(Some(&schema)).analyze(&entries);
+        assert_eq!(codes_for(&report, 0), vec![LintCode::Unsatisfiable]);
+        assert_eq!(codes_for(&report, 1), Vec::<LintCode>::new());
+        assert_eq!(report.error_count(), 1);
+        assert!(!report.is_clean(false));
+        assert_eq!(report.plan.unsatisfiable(), &[0]);
+    }
+
+    #[test]
+    fn syntactic_containment_fires_w002_without_a_schema() {
+        let entries = workload(&["//book", "/media/book", "/other"]);
+        let report = WorkloadAnalyzer::new(None).analyze(&entries);
+        let contained: Vec<&Diagnostic> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == LintCode::ContainedRedundant)
+            .collect();
+        assert_eq!(contained.len(), 1);
+        assert_eq!(contained[0].pattern_index, 1);
+        assert_eq!(contained[0].related, vec![0]);
+        assert_eq!(contained[0].proof, Some(Proof::Syntactic));
+        assert!(report.plan.coverage(2).is_none());
+    }
+
+    #[test]
+    fn dtd_refinement_fires_w002_with_dtd_proof() {
+        let schema = media_schema();
+        // `//CD/title` expands only to `/media/CD/title`, a strict subset of
+        // `/media/*/title`'s expansions ({book,CD}); no homomorphism exists
+        // in either direction (neither pattern has the other's concrete
+        // tags on its spine), so only the DTD proves the containment.
+        let entries = workload(&["/media/*/title", "//CD/title"]);
+        let p = entries[0].pattern();
+        let q = entries[1].pattern();
+        assert!(!containment::contains(p, q) && !containment::contains(q, p));
+        let report = WorkloadAnalyzer::new(Some(&schema)).analyze(&entries);
+        let contained: Vec<&Diagnostic> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == LintCode::ContainedRedundant)
+            .collect();
+        assert_eq!(contained.len(), 1, "report: {:#?}", report.diagnostics);
+        assert_eq!(contained[0].pattern_index, 1);
+        assert_eq!(contained[0].related, vec![0]);
+        assert_eq!(contained[0].proof, Some(Proof::Dtd));
+    }
+
+    #[test]
+    fn truncated_analysis_degrades_to_w004_not_e001() {
+        let schema = media_schema();
+        let options = AnalyzerOptions {
+            analysis: AnalysisConfig {
+                max_descendant_depth: 1,
+                max_expansions: 2,
+            },
+            ..AnalyzerOptions::default()
+        };
+        let entries = workload(&["//composer/last/Mozart"]);
+        let report = WorkloadAnalyzer::with_options(Some(&schema), options).analyze(&entries);
+        assert_eq!(report.count(LintCode::Unsatisfiable), 0);
+        assert!(report.count(LintCode::CostHazard) >= 1);
+        assert_eq!(report.verdicts[0].satisfiability, Some(Trivalent::Unknown));
+        assert!(report.verdicts[0].truncated);
+    }
+
+    #[test]
+    fn wildcard_saturation_and_depth_limit_fire_w004() {
+        let entries = workload(&["/a//*//*/b", "/a/b/c/d"]);
+        let options = AnalyzerOptions {
+            analysis: AnalysisConfig {
+                max_descendant_depth: 4,
+                max_expansions: 4096,
+            },
+            ..AnalyzerOptions::default()
+        };
+        let report = WorkloadAnalyzer::with_options(None, options).analyze(&entries);
+        let hazards: Vec<&Diagnostic> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == LintCode::CostHazard)
+            .collect();
+        assert!(hazards.iter().any(|d| d.pattern_index == 0));
+        assert!(hazards.iter().all(|d| d.pattern_index == 0));
+        // The saturation span points at the vague region, not byte 0.
+        let sat = hazards
+            .iter()
+            .find(|d| d.message.contains("steps"))
+            .unwrap();
+        assert!(sat.span.start > 0 && sat.span.end <= entries[0].source().len());
+    }
+
+    #[test]
+    fn exact_duplicates_group_syntactically_without_a_schema() {
+        let entries = workload(&["/media/book/title", "/media/book/title"]);
+        let report = WorkloadAnalyzer::new(None).analyze(&entries);
+        let dup: Vec<&Diagnostic> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == LintCode::DtdEquivalentDuplicate)
+            .collect();
+        assert_eq!(dup.len(), 1);
+        assert_eq!(dup[0].proof, Some(Proof::Syntactic));
+    }
+
+    #[test]
+    fn diagnostics_are_sorted_and_carry_origins() {
+        let entries = workload(&["//book", "/media/book", "/media/book"]);
+        let report = WorkloadAnalyzer::new(None).analyze(&entries);
+        let indices: Vec<usize> = report.diagnostics.iter().map(|d| d.pattern_index).collect();
+        let mut sorted = indices.clone();
+        sorted.sort_unstable();
+        assert_eq!(indices, sorted);
+        assert!(report
+            .diagnostics
+            .iter()
+            .all(|d| d.origin.starts_with("test:")));
+    }
+}

@@ -1,0 +1,228 @@
+//! Containment-driven routing-table compaction.
+//!
+//! The analyzer's coverage pass produces, for every pattern, an optional
+//! link to a subscription that covers it plus the [`Proof`] kind behind the
+//! link. A [`CompactionPlan`] turns those links into concrete keep/drop
+//! decisions under two soundness regimes:
+//!
+//! * [`CompactionMode::Universal`] honours only syntactic links — the drop
+//!   is delivery-identical for *every* document, conforming or not.
+//! * [`CompactionMode::DtdAware`] additionally honours DTD links and drops
+//!   proven-unsatisfiable patterns — delivery-identical only on streams
+//!   that conform to the analysed DTD.
+//!
+//! Coverage links are acyclic by construction (a link always points at a
+//! pattern that was uncovered when the link was created), so following
+//! them terminates.
+
+use crate::diagnostics::Proof;
+
+/// A coverage edge: the pattern is subsumed by `coverer` under `proof`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoverageLink {
+    /// Workload index of the covering subscription.
+    pub coverer: usize,
+    /// How the subsumption was proven.
+    pub proof: Proof,
+}
+
+/// Which redundancy proofs a compaction is allowed to act on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompactionMode {
+    /// Drop only syntactically proven redundancy — safe for arbitrary
+    /// documents.
+    Universal,
+    /// Also drop DTD-proven redundancy and unsatisfiable patterns — safe
+    /// only for DTD-conforming streams.
+    DtdAware,
+}
+
+impl CompactionMode {
+    /// Stable lowercase name (`"universal"` / `"dtd-aware"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CompactionMode::Universal => "universal",
+            CompactionMode::DtdAware => "dtd-aware",
+        }
+    }
+
+    fn accepts(self, proof: Proof) -> bool {
+        match self {
+            CompactionMode::Universal => proof == Proof::Syntactic,
+            CompactionMode::DtdAware => true,
+        }
+    }
+}
+
+/// Headline numbers for one compaction, suitable for routing statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompactionStats {
+    /// Patterns in the input workload.
+    pub input: usize,
+    /// Patterns kept in the compacted table.
+    pub kept: usize,
+    /// Patterns dropped because a kept subscription covers them.
+    pub dropped_redundant: usize,
+    /// Patterns dropped as DTD-unsatisfiable (DTD-aware mode only).
+    pub dropped_unsatisfiable: usize,
+}
+
+impl CompactionStats {
+    /// Fraction of the workload kept (1.0 for an incompressible workload).
+    pub fn keep_ratio(&self) -> f64 {
+        if self.input == 0 {
+            1.0
+        } else {
+            self.kept as f64 / self.input as f64
+        }
+    }
+}
+
+/// Keep/drop decisions for one analysed workload.
+#[derive(Debug, Clone)]
+pub struct CompactionPlan {
+    covered: Vec<Option<CoverageLink>>,
+    unsatisfiable: Vec<usize>,
+}
+
+impl CompactionPlan {
+    /// Build a plan from the coverage vector (one slot per workload
+    /// pattern) and the sorted indices of proven-unsatisfiable patterns.
+    pub fn new(covered: Vec<Option<CoverageLink>>, unsatisfiable: Vec<usize>) -> Self {
+        Self {
+            covered,
+            unsatisfiable,
+        }
+    }
+
+    /// Number of patterns the plan covers.
+    pub fn len(&self) -> usize {
+        self.covered.len()
+    }
+
+    /// Whether the plan is over an empty workload.
+    pub fn is_empty(&self) -> bool {
+        self.covered.is_empty()
+    }
+
+    /// The coverage link of pattern `i`, if any.
+    pub fn coverage(&self, i: usize) -> Option<&CoverageLink> {
+        self.covered.get(i).and_then(|c| c.as_ref())
+    }
+
+    /// Sorted indices of proven-unsatisfiable patterns.
+    pub fn unsatisfiable(&self) -> &[usize] {
+        &self.unsatisfiable
+    }
+
+    /// Whether pattern `i` survives compaction under `mode`.
+    pub fn keeps(&self, i: usize, mode: CompactionMode) -> bool {
+        if mode == CompactionMode::DtdAware && self.unsatisfiable.binary_search(&i).is_ok() {
+            return false;
+        }
+        match self.coverage(i) {
+            None => true,
+            Some(link) => !mode.accepts(link.proof),
+        }
+    }
+
+    /// Indices kept under `mode`, in workload order.
+    pub fn kept(&self, mode: CompactionMode) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.keeps(i, mode)).collect()
+    }
+
+    /// The kept subscription that handles pattern `i`'s traffic under
+    /// `mode`: `Some(i)` when `i` itself is kept, the root of its coverage
+    /// chain when it was dropped as redundant, `None` when it was dropped
+    /// as unsatisfiable (its traffic is empty on conforming streams).
+    pub fn route_to(&self, i: usize, mode: CompactionMode) -> Option<usize> {
+        if self.keeps(i, mode) {
+            return Some(i);
+        }
+        match self.coverage(i) {
+            // Dropped without a coverer: proven unsatisfiable.
+            None => None,
+            Some(link) => self.route_to(link.coverer, mode),
+        }
+    }
+
+    /// Headline numbers under `mode`.
+    pub fn stats(&self, mode: CompactionMode) -> CompactionStats {
+        let mut stats = CompactionStats {
+            input: self.len(),
+            ..CompactionStats::default()
+        };
+        for i in 0..self.len() {
+            if self.keeps(i, mode) {
+                stats.kept += 1;
+            } else if self.coverage(i).is_some() {
+                stats.dropped_redundant += 1;
+            } else {
+                stats.dropped_unsatisfiable += 1;
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(coverer: usize, proof: Proof) -> Option<CoverageLink> {
+        Some(CoverageLink { coverer, proof })
+    }
+
+    #[test]
+    fn universal_mode_keeps_dtd_proven_redundancy() {
+        // 0 kept; 1 syntactically covered by 0; 2 DTD-covered by 0;
+        // 3 unsatisfiable.
+        let plan = CompactionPlan::new(
+            vec![None, link(0, Proof::Syntactic), link(0, Proof::Dtd), None],
+            vec![3],
+        );
+        assert_eq!(plan.kept(CompactionMode::Universal), vec![0, 2, 3]);
+        assert_eq!(plan.kept(CompactionMode::DtdAware), vec![0]);
+
+        let universal = plan.stats(CompactionMode::Universal);
+        assert_eq!(
+            (
+                universal.kept,
+                universal.dropped_redundant,
+                universal.dropped_unsatisfiable
+            ),
+            (3, 1, 0)
+        );
+        let dtd = plan.stats(CompactionMode::DtdAware);
+        assert_eq!(
+            (dtd.kept, dtd.dropped_redundant, dtd.dropped_unsatisfiable),
+            (1, 2, 1)
+        );
+        assert!((dtd.keep_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn route_to_follows_chains_to_a_kept_root() {
+        // Chain 2 -> 1 -> 0, mixed proofs.
+        let plan = CompactionPlan::new(
+            vec![None, link(0, Proof::Dtd), link(1, Proof::Syntactic)],
+            Vec::new(),
+        );
+        // Universal: 1 is kept (its own link is DTD-only), so 2 routes to 1.
+        assert_eq!(plan.route_to(2, CompactionMode::Universal), Some(1));
+        // DTD-aware: both links are usable; everything routes to 0.
+        assert_eq!(plan.route_to(2, CompactionMode::DtdAware), Some(0));
+        assert_eq!(plan.route_to(0, CompactionMode::DtdAware), Some(0));
+    }
+
+    #[test]
+    fn unsatisfiable_patterns_route_nowhere_in_dtd_mode() {
+        let plan = CompactionPlan::new(vec![None, None], vec![1]);
+        assert_eq!(plan.route_to(1, CompactionMode::Universal), Some(1));
+        assert_eq!(plan.route_to(1, CompactionMode::DtdAware), None);
+        assert_eq!(
+            plan.stats(CompactionMode::DtdAware).dropped_unsatisfiable,
+            1
+        );
+    }
+}

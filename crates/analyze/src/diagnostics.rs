@@ -1,0 +1,215 @@
+//! The diagnostic model: stable lint codes, severities, source spans.
+//!
+//! Every diagnostic the analyzer emits carries a [`LintCode`] with a stable
+//! wire name (`E001`, `W002`, ...) so downstream tooling — CI gates, the
+//! JSON-lines renderer, editor integrations — can match on codes instead of
+//! message text.
+
+use std::fmt;
+
+/// Severity of a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory: the subscription works but costs more than it should, or
+    /// is redundant with another one.
+    Warning,
+    /// The subscription is broken: it can never match a conforming document.
+    Error,
+}
+
+impl Severity {
+    /// Stable lowercase name (`"warning"` / `"error"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Stable lint codes of the static subscription analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintCode {
+    /// `E001`: the pattern matches no document conforming to the DTD.
+    Unsatisfiable,
+    /// `W002`: the pattern's match set is included in another registered
+    /// subscription's — it is redundant for routing.
+    ContainedRedundant,
+    /// `W003`: the pattern belongs to a group of subscriptions that are
+    /// pairwise equivalent with respect to the DTD (the paper's
+    /// Example 1.1), even when no syntactic containment holds.
+    DtdEquivalentDuplicate,
+    /// `W004`: a cost hazard — the analysis was truncated by an expansion
+    /// cap (soundness caveat), the pattern is saturated with `//`/`*`
+    /// steps, or it sits at the analyzer's descendant-depth limit.
+    CostHazard,
+}
+
+impl LintCode {
+    /// All codes, in code order.
+    pub fn all() -> [LintCode; 4] {
+        [
+            LintCode::Unsatisfiable,
+            LintCode::ContainedRedundant,
+            LintCode::DtdEquivalentDuplicate,
+            LintCode::CostHazard,
+        ]
+    }
+
+    /// Stable wire name (`"E001"`, `"W002"`, `"W003"`, `"W004"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LintCode::Unsatisfiable => "E001",
+            LintCode::ContainedRedundant => "W002",
+            LintCode::DtdEquivalentDuplicate => "W003",
+            LintCode::CostHazard => "W004",
+        }
+    }
+
+    /// Look a code up by its wire name.
+    pub fn from_name(name: &str) -> Option<LintCode> {
+        LintCode::all().into_iter().find(|c| c.as_str() == name)
+    }
+
+    /// The severity class encoded in the code's prefix.
+    pub fn severity(self) -> Severity {
+        match self {
+            LintCode::Unsatisfiable => Severity::Error,
+            LintCode::ContainedRedundant
+            | LintCode::DtdEquivalentDuplicate
+            | LintCode::CostHazard => Severity::Warning,
+        }
+    }
+
+    /// Short human label used by the text renderer.
+    pub fn label(self) -> &'static str {
+        match self {
+            LintCode::Unsatisfiable => "unsatisfiable under the DTD",
+            LintCode::ContainedRedundant => "contained in another subscription",
+            LintCode::DtdEquivalentDuplicate => "DTD-equivalent duplicate",
+            LintCode::CostHazard => "cost hazard",
+        }
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A half-open byte range into a pattern's source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// First byte of the span.
+    pub start: usize,
+    /// One past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// The whole of `source`.
+    pub fn whole(source: &str) -> Span {
+        Span {
+            start: 0,
+            end: source.len(),
+        }
+    }
+
+    /// Span length in bytes.
+    pub fn len(self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the span is empty.
+    pub fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// How a redundancy/duplicate claim was proven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Proof {
+    /// Syntactic homomorphism — holds for *every* document.
+    Syntactic,
+    /// DTD expansion-set reasoning — holds for documents conforming to the
+    /// analysed DTD.
+    Dtd,
+}
+
+impl Proof {
+    /// Stable lowercase name (`"syntactic"` / `"dtd"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Proof::Syntactic => "syntactic",
+            Proof::Dtd => "dtd",
+        }
+    }
+}
+
+/// One finding about one pattern of the analysed workload.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: LintCode,
+    /// Index of the pattern in the analysed workload.
+    pub pattern_index: usize,
+    /// The pattern's source text.
+    pub source: String,
+    /// Byte span of the offending part of `source` (the whole pattern for
+    /// whole-pattern findings).
+    pub span: Span,
+    /// Optional provenance label supplied by the caller (e.g.
+    /// `workload.patterns:12`); empty when unknown.
+    pub origin: String,
+    /// One-line description.
+    pub message: String,
+    /// Longer explanation of why this fires and what to do about it.
+    pub explanation: String,
+    /// Workload indices of related patterns (the covering subscription for
+    /// `W002`, the other group members for `W003`).
+    pub related: Vec<usize>,
+    /// Proof obligation behind `W002`/`W003` findings; `None` for the
+    /// per-pattern codes.
+    pub proof: Option<Proof>,
+}
+
+impl Diagnostic {
+    /// The diagnostic's severity (derived from its code).
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip_and_have_stable_severities() {
+        for code in LintCode::all() {
+            assert_eq!(LintCode::from_name(code.as_str()), Some(code));
+        }
+        assert_eq!(LintCode::from_name("E999"), None);
+        assert_eq!(LintCode::Unsatisfiable.severity(), Severity::Error);
+        assert_eq!(LintCode::CostHazard.severity(), Severity::Warning);
+        assert_eq!(LintCode::Unsatisfiable.as_str(), "E001");
+        assert_eq!(LintCode::ContainedRedundant.as_str(), "W002");
+        assert_eq!(LintCode::DtdEquivalentDuplicate.as_str(), "W003");
+        assert_eq!(LintCode::CostHazard.as_str(), "W004");
+    }
+
+    #[test]
+    fn spans_measure_bytes() {
+        let span = Span::whole("/a/b");
+        assert_eq!((span.start, span.end, span.len()), (0, 4, 4));
+        assert!(!span.is_empty());
+        assert!(Span { start: 2, end: 2 }.is_empty());
+    }
+}

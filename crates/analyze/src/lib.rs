@@ -1,0 +1,117 @@
+//! Static analysis of tree-pattern subscription workloads.
+//!
+//! The paper's routing architecture wins when the broker exploits
+//! relationships *between* subscriptions — Example 1.1's four patterns
+//! collapse to two once DTD knowledge is applied. This crate makes those
+//! relationships visible ahead of time: [`WorkloadAnalyzer`] runs a
+//! multi-pass static analysis over a subscription workload and emits
+//! structured lint [`Diagnostic`]s with stable codes,
+//!
+//! * `E001` — the pattern is provably unsatisfiable under the DTD,
+//! * `W002` — the pattern is contained in (covered by) another
+//!   subscription, syntactically or under the DTD,
+//! * `W003` — the pattern belongs to a group of DTD-equivalent duplicates
+//!   (Example 1.1), and
+//! * `W004` — cost hazards: truncated DTD analysis, `//`/`*` saturation,
+//!   patterns at the descendant-depth bound,
+//!
+//! plus a [`CompactionPlan`] that turns the findings into keep/drop
+//! decisions for routing-table construction, at two soundness levels
+//! ([`CompactionMode::Universal`] vs [`CompactionMode::DtdAware`]).
+//!
+//! All verdicts are three-valued at the base ([`tps_dtd::Trivalent`]):
+//! expansion caps degrade answers to *unknown*, never to a false `E001` or
+//! a false equivalence.
+//!
+//! [`render_text`] and [`render_json_lines`] serialize reports for humans
+//! and for tooling; [`dtd_refinement_oracle`] packages the DTD reasoning
+//! as a [`SharedContainmentOracle`] so `SimilarityEngine`'s
+//! analyze-on-register mode and the routing compactor can consume it.
+//!
+//! # Example
+//!
+//! ```
+//! use tps_analyze::{LintCode, WorkloadAnalyzer, WorkloadEntry};
+//! use tps_dtd::samples::media_schema;
+//!
+//! let schema = media_schema();
+//! let workload = vec![
+//!     WorkloadEntry::parse("/media/CD/*/last/Mozart").unwrap(),
+//!     WorkloadEntry::parse("//composer/last/Mozart").unwrap(),
+//! ];
+//! let report = WorkloadAnalyzer::new(Some(&schema)).analyze(&workload);
+//! // The paper's Example 1.1: the two patterns are DTD-equivalent.
+//! assert_eq!(report.count(LintCode::DtdEquivalentDuplicate), 1);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyzer;
+pub mod compact;
+pub mod diagnostics;
+pub mod report;
+
+pub use analyzer::{
+    AnalysisReport, AnalyzerOptions, PatternVerdict, WorkloadAnalyzer, WorkloadEntry,
+};
+pub use compact::{CompactionMode, CompactionPlan, CompactionStats, CoverageLink};
+pub use diagnostics::{Diagnostic, LintCode, Proof, Severity, Span};
+pub use report::{render_json_lines, render_text};
+
+use std::sync::Arc;
+
+use tps_core::SharedContainmentOracle;
+use tps_dtd::{AnalysisConfig, DtdSchema, PatternAnalyzer, Trivalent};
+
+/// Package DTD expansion reasoning as a shared containment oracle.
+///
+/// The returned closure answers `oracle(p, q)` — "does `p` contain `q`?" —
+/// with `Some(true)` exactly when the DTD proves that every conforming
+/// expansion of `q` is also one of `p` ([`PatternAnalyzer::dtd_refinement`]
+/// returns [`Trivalent::Yes`]), and `None` otherwise: a `No`/`Unknown`
+/// refinement verdict does not disprove containment, so the oracle stays
+/// silent and the syntactic test keeps the final word.
+///
+/// Suitable for [`tps_core::SimilarityEngine`]'s `redundancy_oracle` and
+/// for DTD-aware routing-table compaction. The oracle owns its schema.
+pub fn dtd_refinement_oracle(schema: DtdSchema, config: AnalysisConfig) -> SharedContainmentOracle {
+    Arc::new(move |p, q| {
+        let analyzer = PatternAnalyzer::with_config(&schema, config);
+        match analyzer.dtd_refinement(q, p) {
+            Trivalent::Yes => Some(true),
+            Trivalent::No | Trivalent::Unknown => None,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_dtd::samples::media_schema;
+    use tps_pattern::{containment, TreePattern};
+
+    #[test]
+    fn dtd_refinement_oracle_proves_example_1_1_for_the_engine() {
+        let oracle = dtd_refinement_oracle(media_schema(), AnalysisConfig::default());
+        let pa = TreePattern::parse("/media/CD/*/last/Mozart").unwrap();
+        let pd = TreePattern::parse("//composer/last/Mozart").unwrap();
+        assert!(!containment::contains(&pa, &pd));
+        assert!(containment::contains_with(&pa, &pd, &|p, q| oracle(p, q)));
+        assert!(containment::equivalent_with(&pa, &pd, &|p, q| oracle(p, q)));
+        // An unrelated pair stays unproven.
+        let other = TreePattern::parse("/media/book").unwrap();
+        assert!(!containment::contains_with(&pa, &other, &|p, q| oracle(
+            p, q
+        )));
+    }
+
+    #[test]
+    fn oracle_never_answers_false() {
+        let oracle = dtd_refinement_oracle(media_schema(), AnalysisConfig::default());
+        let p = TreePattern::parse("/media/book/title").unwrap();
+        let q = TreePattern::parse("/media/CD/title").unwrap();
+        // Refinement fails here, but the oracle must abstain rather than
+        // claim a disproof.
+        assert_eq!(oracle(&p, &q), None);
+    }
+}

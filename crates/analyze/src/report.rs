@@ -1,0 +1,235 @@
+//! Renderers for [`AnalysisReport`]: a human-readable text form and a
+//! machine-readable JSON-lines form.
+//!
+//! Both are hand-rolled (the workspace is registry-free) in the style of
+//! the bench tooling: the JSON writer emits one object per line — one per
+//! diagnostic plus a trailing `summary` object — so downstream tools can
+//! stream-parse without a JSON library.
+
+use std::fmt::Write as _;
+
+use crate::analyzer::AnalysisReport;
+use crate::compact::CompactionMode;
+use crate::diagnostics::{Diagnostic, LintCode};
+
+/// Render the report as rustc-style text diagnostics plus a summary block.
+pub fn render_text(report: &AnalysisReport) -> String {
+    let mut out = String::new();
+    for diag in &report.diagnostics {
+        render_text_diagnostic(&mut out, diag);
+    }
+    let _ = writeln!(
+        out,
+        "analysis: {} pattern{}, {} error{}, {} warning{} ({})",
+        report.pattern_count,
+        plural(report.pattern_count),
+        report.error_count(),
+        plural(report.error_count()),
+        report.warning_count(),
+        plural(report.warning_count()),
+        code_counts(report),
+    );
+    let universal = report.plan.stats(CompactionMode::Universal);
+    let dtd = report.plan.stats(CompactionMode::DtdAware);
+    let _ = writeln!(
+        out,
+        "compaction: keep {}/{} universal, {}/{} dtd-aware",
+        universal.kept, universal.input, dtd.kept, dtd.input,
+    );
+    out
+}
+
+fn render_text_diagnostic(out: &mut String, diag: &Diagnostic) {
+    let _ = writeln!(out, "{}[{}]: {}", diag.severity(), diag.code, diag.message);
+    if !diag.origin.is_empty() {
+        let _ = writeln!(out, "  --> {}", diag.origin);
+    }
+    let _ = writeln!(out, "   | {}", diag.source);
+    let start = diag.span.start.min(diag.source.len());
+    let width = diag
+        .span
+        .len()
+        .clamp(1, diag.source.len().saturating_sub(start).max(1));
+    let _ = writeln!(out, "   | {}{}", " ".repeat(start), "^".repeat(width));
+    let _ = writeln!(out, "   = note: {}", diag.explanation);
+    if !diag.related.is_empty() {
+        let labels: Vec<String> = diag.related.iter().map(|i| format!("#{i}")).collect();
+        let _ = writeln!(out, "   = related: {}", labels.join(", "));
+    }
+    out.push('\n');
+}
+
+/// Render the report as JSON lines: one `diagnostic` object per finding,
+/// then one `summary` object.
+pub fn render_json_lines(report: &AnalysisReport) -> String {
+    let mut out = String::new();
+    for diag in &report.diagnostics {
+        render_json_diagnostic(&mut out, diag);
+    }
+    let _ = write!(
+        out,
+        "{{\"type\":\"summary\",\"patterns\":{},\"errors\":{},\"warnings\":{}",
+        report.pattern_count,
+        report.error_count(),
+        report.warning_count(),
+    );
+    let _ = write!(out, ",\"counts\":{{");
+    for (k, code) in LintCode::all().into_iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", code, report.count(code));
+    }
+    out.push('}');
+    match &report.schema_name {
+        Some(name) => {
+            let _ = write!(out, ",\"schema\":\"{}\"", json_escape(name));
+        }
+        None => out.push_str(",\"schema\":null"),
+    }
+    let _ = write!(out, ",\"compaction\":{{");
+    for (k, (label, mode)) in [
+        ("universal", CompactionMode::Universal),
+        ("dtd_aware", CompactionMode::DtdAware),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        if k > 0 {
+            out.push(',');
+        }
+        let stats = report.plan.stats(mode);
+        let _ = write!(
+            out,
+            "\"{}\":{{\"input\":{},\"kept\":{},\"dropped_redundant\":{},\"dropped_unsatisfiable\":{}}}",
+            label, stats.input, stats.kept, stats.dropped_redundant, stats.dropped_unsatisfiable,
+        );
+    }
+    out.push_str("}}\n");
+    out
+}
+
+fn render_json_diagnostic(out: &mut String, diag: &Diagnostic) {
+    let _ = write!(
+        out,
+        "{{\"type\":\"diagnostic\",\"code\":\"{}\",\"severity\":\"{}\",\"pattern\":{}",
+        diag.code,
+        diag.severity(),
+        diag.pattern_index,
+    );
+    let _ = write!(out, ",\"source\":\"{}\"", json_escape(&diag.source));
+    let _ = write!(out, ",\"origin\":\"{}\"", json_escape(&diag.origin));
+    let _ = write!(out, ",\"span\":[{},{}]", diag.span.start, diag.span.end);
+    let _ = write!(out, ",\"message\":\"{}\"", json_escape(&diag.message));
+    let _ = write!(
+        out,
+        ",\"explanation\":\"{}\"",
+        json_escape(&diag.explanation)
+    );
+    let _ = write!(out, ",\"related\":[");
+    for (k, r) in diag.related.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{r}");
+    }
+    out.push(']');
+    match diag.proof {
+        Some(proof) => {
+            let _ = write!(out, ",\"proof\":\"{}\"", proof.as_str());
+        }
+        None => out.push_str(",\"proof\":null"),
+    }
+    out.push_str("}\n");
+}
+
+fn code_counts(report: &AnalysisReport) -> String {
+    LintCode::all()
+        .into_iter()
+        .map(|code| format!("{}:{}", code, report.count(code)))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::{WorkloadAnalyzer, WorkloadEntry};
+    use tps_dtd::samples::media_schema;
+
+    fn report() -> AnalysisReport {
+        let schema = media_schema();
+        let entries = vec![
+            WorkloadEntry::with_origin("/media/CD/*/last/Mozart", "w.patterns:1").unwrap(),
+            WorkloadEntry::with_origin("//composer/last/Mozart", "w.patterns:2").unwrap(),
+            WorkloadEntry::with_origin("//CD/Mozart", "w.patterns:3").unwrap(),
+        ];
+        WorkloadAnalyzer::new(Some(&schema)).analyze(&entries)
+    }
+
+    #[test]
+    fn text_rendering_shows_codes_origins_and_summary() {
+        let text = render_text(&report());
+        assert!(text.contains("error[E001]"), "{text}");
+        assert!(text.contains("warning[W003]"), "{text}");
+        assert!(text.contains("--> w.patterns:3"), "{text}");
+        assert!(text.contains("^^^"), "{text}");
+        assert!(
+            text.contains("analysis: 3 patterns, 1 error, 1 warning "),
+            "{text}"
+        );
+        assert!(text.contains("compaction: keep"), "{text}");
+    }
+
+    #[test]
+    fn json_lines_are_one_object_per_line_with_a_summary_tail() {
+        let json = render_json_lines(&report());
+        let lines: Vec<&str> = json.lines().collect();
+        assert!(lines.len() >= 2);
+        assert!(lines
+            .iter()
+            .take(lines.len() - 1)
+            .all(|l| l.starts_with("{\"type\":\"diagnostic\"")));
+        let last = lines.last().unwrap();
+        assert!(last.starts_with("{\"type\":\"summary\""), "{last}");
+        assert!(last.contains("\"schema\":\"media\""), "{last}");
+        assert!(last.contains("\"E001\":1"), "{last}");
+        assert!(last.contains("\"dtd_aware\""), "{last}");
+        for line in &lines {
+            assert!(line.ends_with('}'), "{line}");
+        }
+    }
+
+    #[test]
+    fn json_escaping_handles_quotes_and_control_bytes() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny\u{1}"), "x\\ny\\u0001");
+    }
+}

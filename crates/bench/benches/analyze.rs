@@ -1,0 +1,67 @@
+//! Benchmarks for the static subscription analyzer: full lint passes
+//! (syntactic-only vs DTD-aware) and compaction-plan construction as the
+//! workload grows. Gated by `BENCH_analyze.json` + `bench_thresholds.txt`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tps_analyze::{CompactionMode, WorkloadAnalyzer, WorkloadEntry};
+use tps_dtd::writer;
+use tps_workload::{Dtd, XPathGenConfig, XPathGenerator};
+
+/// A deterministic media-DTD workload of `n` subscription entries.
+fn workload(n: usize) -> Vec<WorkloadEntry> {
+    let dtd = Dtd::media();
+    let mut gen = XPathGenerator::new(&dtd, XPathGenConfig::default().with_seed(42));
+    (0..n)
+        .map(|_| WorkloadEntry::from_pattern(&gen.generate()))
+        .collect()
+}
+
+fn bench_analyze(c: &mut Criterion) {
+    let schema = writer::schema_from_workload(&Dtd::media());
+    let mut group = c.benchmark_group("analyze_workload");
+    group.sample_size(10);
+    for n in [16usize, 64, 128] {
+        let entries = workload(n);
+        // The DTD-aware pass runs every satisfiability / refinement /
+        // equivalence check; the syntactic pass is its lower bound.
+        group.bench_function(BenchmarkId::from_parameter(format!("dtd_{n}")), |b| {
+            let analyzer = WorkloadAnalyzer::new(Some(&schema));
+            b.iter(|| black_box(analyzer.analyze(&entries).diagnostics.len()))
+        });
+        group.bench_function(BenchmarkId::from_parameter(format!("syntactic_{n}")), |b| {
+            let analyzer = WorkloadAnalyzer::new(None);
+            b.iter(|| black_box(analyzer.analyze(&entries).diagnostics.len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_compaction(c: &mut Criterion) {
+    let schema = writer::schema_from_workload(&Dtd::media());
+    let mut group = c.benchmark_group("analyze_compaction");
+    group.sample_size(10);
+    let entries = workload(128);
+    let report = WorkloadAnalyzer::new(Some(&schema)).analyze(&entries);
+    // Resolving the keep/drop decisions and coverage links out of a
+    // finished report — the part every table rebuild repeats.
+    for mode in [CompactionMode::Universal, CompactionMode::DtdAware] {
+        let name = match mode {
+            CompactionMode::Universal => "universal_128",
+            CompactionMode::DtdAware => "dtd_aware_128",
+        };
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let kept = (0..entries.len())
+                    .filter(|&i| report.plan.route_to(i, mode) == Some(i))
+                    .count();
+                black_box(kept)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analyze, bench_compaction);
+criterion_main!(benches);

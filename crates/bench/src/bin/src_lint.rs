@@ -1,0 +1,296 @@
+//! Source-hygiene lint over the workspace's library code — the
+//! code-level companion of the `tps lint` subscription analyzer.
+//!
+//! ```text
+//! src-lint [ROOT]
+//! ```
+//!
+//! Scans `src/` and `crates/*/src/` under `ROOT` (default `.`) and fails
+//! when non-test library code contains:
+//!
+//! * `.unwrap()` or `.expect("...")` without a justification, or
+//! * `#[allow(clippy::...)]` without a justification.
+//!
+//! A justification is a comment containing the `invariant:` marker on the
+//! same line or within the preceding eight lines — wide enough to cover a
+//! comment block above a multi-line method chain:
+//!
+//! ```text
+//! // invariant: the reservoir is full here, hence non-empty
+//! let victim = self.argmax().expect("non-empty");
+//! ```
+//!
+//! Out of scope, deliberately: `bin/` targets and `main.rs` (CLI skeletons
+//! report errors to humans directly), `tests/`, benches, and everything
+//! under `#[cfg(test)]` (panicking is the point of an assertion), plus the
+//! vendored dependency shims in `crates/shims/` (their panics mirror the
+//! upstream crates' documented APIs).
+//!
+//! The scanner is line-based, like `bench-diff`: it tracks `#[cfg(test)]`
+//! regions by brace depth and skips `//` comment lines, but does not parse
+//! Rust — string literals containing `".unwrap()"` would be flagged. Keep
+//! such strings out of library code or justify them like any other hit.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Lines a justification may precede its hit by.
+const JUSTIFICATION_WINDOW: usize = 8;
+
+/// The justification marker looked for in comments.
+const MARKER: &str = "invariant:";
+
+const USAGE: &str = "usage: src-lint [ROOT]";
+
+/// One unjustified occurrence.
+#[derive(Debug, PartialEq, Eq)]
+struct Finding {
+    line: usize,
+    what: &'static str,
+}
+
+/// Scan one file's source text for unjustified hits.
+fn scan_source(source: &str) -> Vec<Finding> {
+    let lines: Vec<&str> = source.lines().collect();
+    let mut findings = Vec::new();
+    // `#[cfg(test)]` region tracking: after the attribute, wait for the
+    // item's opening brace (or a `;` for a brace-less item) and skip until
+    // the matching close.
+    let mut in_test = false;
+    let mut awaiting_brace = false;
+    let mut depth = 0isize;
+    for (index, &line) in lines.iter().enumerate() {
+        if !in_test && line.contains("#[cfg(test)]") {
+            in_test = true;
+            awaiting_brace = true;
+            depth = 0;
+        }
+        if in_test {
+            let opens = line.matches('{').count() as isize;
+            let closes = line.matches('}').count() as isize;
+            if awaiting_brace {
+                if opens > 0 {
+                    awaiting_brace = false;
+                    depth = opens - closes;
+                    if depth <= 0 {
+                        in_test = false;
+                    }
+                } else if line.trim_end().ends_with(';') {
+                    // `#[cfg(test)] use ...;` — a single-item region.
+                    in_test = false;
+                }
+            } else {
+                depth += opens - closes;
+                if depth <= 0 {
+                    in_test = false;
+                }
+            }
+            continue;
+        }
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        let hit = if line.contains(".unwrap()") {
+            Some(".unwrap()")
+        } else if line.contains(".expect(\"") {
+            Some(".expect(\"...\")")
+        } else if line.contains("#[allow(clippy::") {
+            Some("#[allow(clippy::...)]")
+        } else {
+            None
+        };
+        let Some(what) = hit else { continue };
+        let window_start = index.saturating_sub(JUSTIFICATION_WINDOW);
+        let justified = lines[window_start..=index]
+            .iter()
+            .any(|l| l.contains(MARKER));
+        if !justified {
+            findings.push(Finding {
+                line: index + 1,
+                what,
+            });
+        }
+    }
+    findings
+}
+
+/// Whether a path inside a `src/` tree is in scope.
+fn in_scope(path: &Path) -> bool {
+    if !path.extension().is_some_and(|ext| ext == "rs") {
+        return false;
+    }
+    if path.file_name().is_some_and(|name| name == "main.rs") {
+        return false;
+    }
+    !path.components().any(|c| c.as_os_str() == "bin")
+}
+
+/// Collect every in-scope `.rs` file under `dir`, recursively.
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|err| format!("{}: {err}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|err| format!("{}: {err}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect(&path, out)?;
+        } else if in_scope(&path) {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The `src/` roots to scan under the workspace root: the facade's own
+/// `src/` plus each `crates/<name>/src/`. `crates/shims/*` nests one level
+/// deeper and is exempt by construction.
+fn source_roots(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut roots = Vec::new();
+    let facade = root.join("src");
+    if facade.is_dir() {
+        roots.push(facade);
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let entries =
+            std::fs::read_dir(&crates).map_err(|err| format!("{}: {err}", crates.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|err| format!("{}: {err}", crates.display()))?;
+            let src = entry.path().join("src");
+            if src.is_dir() {
+                roots.push(src);
+            }
+        }
+    }
+    if roots.is_empty() {
+        return Err(format!("no src/ trees under {}", root.display()));
+    }
+    roots.sort();
+    Ok(roots)
+}
+
+fn run(root: &Path) -> Result<usize, String> {
+    let mut files = Vec::new();
+    for src in source_roots(root)? {
+        collect(&src, &mut files)?;
+    }
+    files.sort();
+    let mut total = 0usize;
+    for path in &files {
+        let source =
+            std::fs::read_to_string(path).map_err(|err| format!("{}: {err}", path.display()))?;
+        for finding in scan_source(&source) {
+            println!(
+                "{}:{}: unjustified {} in library code — restructure, or explain with a \
+                 `// {MARKER} ...` comment",
+                path.display(),
+                finding.line,
+                finding.what
+            );
+            total += 1;
+        }
+    }
+    println!(
+        "src-lint: {} file(s) scanned, {} finding(s)",
+        files.len(),
+        total
+    );
+    Ok(total)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = match args.as_slice() {
+        [] => PathBuf::from("."),
+        [root] if !root.starts_with("--") => PathBuf::from(root),
+        _ => {
+            eprintln!("src-lint: unexpected arguments\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&root) {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(err) => {
+            eprintln!("src-lint: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_unwrap_and_expect_and_bare_allow() {
+        let source = "fn f() {\n    x.unwrap();\n    y.expect(\"msg\");\n}\n\
+                      #[allow(clippy::needless_range_loop)]\nfn g() {}\n";
+        let findings = scan_source(source);
+        assert_eq!(findings.len(), 3);
+        assert_eq!(findings[0].line, 2);
+        assert_eq!(findings[1].line, 3);
+        assert_eq!(findings[2].line, 5);
+    }
+
+    #[test]
+    fn justified_hits_pass() {
+        let source = "fn f() {\n    // invariant: x is always Some here\n    x.unwrap();\n}\n";
+        assert!(scan_source(source).is_empty());
+    }
+
+    #[test]
+    fn justification_window_covers_a_comment_above_a_chain() {
+        let mut source = String::from("fn f() {\n    // invariant: resolver never fails\n");
+        for _ in 0..JUSTIFICATION_WINDOW - 1 {
+            source.push_str("    let _ = 0;\n");
+        }
+        source.push_str("    x.unwrap();\n}\n");
+        assert!(scan_source(&source).is_empty());
+        // One line further away and the justification no longer counts.
+        let mut far = String::from("fn f() {\n    // invariant: resolver never fails\n");
+        for _ in 0..JUSTIFICATION_WINDOW {
+            far.push_str("    let _ = 0;\n");
+        }
+        far.push_str("    x.unwrap();\n}\n");
+        assert_eq!(scan_source(&far).len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt() {
+        let source = "fn f() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        \
+                      x.unwrap();\n    }\n}\nfn g() {\n    y.unwrap();\n}\n";
+        let findings = scan_source(source);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 10);
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_ends_the_region() {
+        let source = "#[cfg(test)]\nuse something::Test;\nfn f() {\n    x.unwrap();\n}\n";
+        assert_eq!(scan_source(source).len(), 1);
+    }
+
+    #[test]
+    fn comment_lines_and_plain_expect_calls_are_ignored() {
+        let source = "fn f() {\n    // mentions .unwrap() in prose\n    \
+                      self.expect(Token::Dot)?;\n}\n";
+        assert!(scan_source(source).is_empty());
+    }
+
+    #[test]
+    fn scope_excludes_bins_and_main() {
+        assert!(in_scope(Path::new("crates/core/src/engine.rs")));
+        assert!(!in_scope(Path::new("crates/cli/src/main.rs")));
+        assert!(!in_scope(Path::new("crates/cli/src/bin/probe.rs")));
+        assert!(!in_scope(Path::new("crates/core/src/README.md")));
+    }
+
+    /// The workspace itself stays clean — the same guarantee CI enforces,
+    /// kept here so `cargo test` catches new hits before CI does.
+    #[test]
+    fn workspace_library_code_is_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        assert_eq!(run(&root).expect("workspace sources are readable"), 0);
+    }
+}

@@ -29,66 +29,100 @@ fn repo_thresholds() -> Thresholds {
 #[test]
 fn committed_thresholds_file_parses_and_carries_the_build_par_rules() {
     let thresholds = repo_thresholds();
+    let build_par: Vec<_> = thresholds
+        .ratios
+        .iter()
+        .filter(|rule| rule.numerator.ends_with("build_par/1"))
+        .collect();
     assert_eq!(
-        thresholds.ratios.len(),
+        build_par.len(),
         3,
         "one build_par/1 rule per synopsis config"
     );
-    for rule in &thresholds.ratios {
-        assert!(rule.numerator.ends_with("build_par/1"), "{rule:?}");
+    for rule in &build_par {
         assert!(rule.denominator.ends_with("from_documents"), "{rule:?}");
         assert!((rule.max - 1.10).abs() < 1e-9, "{rule:?}");
     }
+    let analyze: Vec<_> = thresholds
+        .ratios
+        .iter()
+        .filter(|rule| rule.numerator.starts_with("analyze_workload/"))
+        .collect();
+    assert_eq!(analyze.len(), 1, "the syntactic-vs-dtd analysis rule");
+    assert!(analyze[0].denominator.ends_with("dtd_128"), "{analyze:?}");
+    assert_eq!(
+        thresholds.ratios.len(),
+        build_par.len() + analyze.len(),
+        "no unaccounted-for ratio rules"
+    );
 }
 
 #[test]
 fn gate_rejects_the_prefix_build_par_snapshot() {
     let thresholds = repo_thresholds();
-    let prefix = parse_snapshot(&read(
+    let mut prefix = parse_snapshot(&read(
         &repo_root().join("crates/bench/tests/fixtures/BENCH_synopsis_prefix.json"),
     ))
     .expect("fixture parses");
-    // The fixture plays the "fresh run" role: ratio rules look only at it.
+    // The fixture plays the "fresh run" role; the committed analyze
+    // snapshot joins the union so its ratio rule resolves (CI evaluates
+    // ratios over every fresh snapshot of the run at once).
+    prefix.extend(
+        parse_snapshot(&read(&repo_root().join("BENCH_analyze.json")))
+            .expect("analyze snapshot parses"),
+    );
     let gate = enforce_ratios(&prefix, &thresholds, &[]);
     assert_eq!(
         gate.failures.len(),
         3,
         "every config's build_par/1 must trip the 1.10 rule: {gate:?}"
     );
+    for failure in &gate.failures {
+        assert!(failure.contains("build_par/1"), "{failure}");
+    }
 }
 
 #[test]
-fn gate_accepts_the_committed_synopsis_snapshot() {
+fn gate_accepts_the_committed_snapshots() {
     let thresholds = repo_thresholds();
-    let committed = parse_snapshot(&read(&repo_root().join("BENCH_synopsis.json")))
+    let synopsis = parse_snapshot(&read(&repo_root().join("BENCH_synopsis.json")))
         .expect("committed snapshot parses");
-    let gate = enforce_snapshots(&committed, &committed, &thresholds, &[]);
+    let gate = enforce_snapshots(&synopsis, &synopsis, &thresholds, &[]);
     assert!(
         gate.failures.is_empty(),
         "the committed snapshot must pass its own gate: {gate:?}"
     );
-    let ratios = enforce_ratios(&committed, &thresholds, &[]);
+    // Ratio rules span snapshot files, so they are checked over the union —
+    // the same shape as CI's single multi-pair invocation.
+    let mut union = synopsis;
+    union.extend(
+        parse_snapshot(&read(&repo_root().join("BENCH_analyze.json")))
+            .expect("analyze snapshot parses"),
+    );
+    let ratios = enforce_ratios(&union, &thresholds, &[]);
     assert!(
         ratios.failures.is_empty(),
-        "the committed snapshot must satisfy the ratio rules: {ratios:?}"
+        "the committed snapshots must satisfy the ratio rules: {ratios:?}"
     );
 }
 
 #[test]
 fn binary_passes_the_ci_invocation_over_all_committed_snapshots() {
-    // Exactly what CI runs (with fresh == committed): three pairs in one
-    // invocation. The synopsis ratio rules must be satisfied by the union
-    // of the fresh snapshots, not demanded of the engine/sim pairs where
-    // those ids do not exist.
+    // Exactly what CI runs (with fresh == committed): four pairs in one
+    // invocation. The ratio rules must be satisfied by the union of the
+    // fresh snapshots, not demanded of the engine/sim pairs where those
+    // ids do not exist.
     let root = repo_root();
     let t = root.join("bench_thresholds.txt");
     let engine = root.join("BENCH_engine.json");
     let synopsis = root.join("BENCH_synopsis.json");
     let sim = root.join("BENCH_sim.json");
-    let (e, s, m) = (
+    let analyze = root.join("BENCH_analyze.json");
+    let (e, s, m, a) = (
         engine.to_str().unwrap(),
         synopsis.to_str().unwrap(),
         sim.to_str().unwrap(),
+        analyze.to_str().unwrap(),
     );
     let out = bench_diff(&[
         "--enforce",
@@ -100,6 +134,8 @@ fn binary_passes_the_ci_invocation_over_all_committed_snapshots() {
         s,
         m,
         m,
+        a,
+        a,
     ]);
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(out.status.success(), "{stdout}");

@@ -87,12 +87,9 @@ impl ParsedArgs {
         };
         while let Some(arg) = iter.next() {
             if let Some(key) = arg.strip_prefix("--") {
-                match iter.peek() {
-                    Some(next) if !next.starts_with("--") => {
-                        let value = iter.next().expect("peeked value exists");
-                        parsed.options.push((key.to_string(), value));
-                    }
-                    _ => parsed.flags.push(key.to_string()),
+                match iter.next_if(|next| !next.starts_with("--")) {
+                    Some(value) => parsed.options.push((key.to_string(), value)),
+                    None => parsed.flags.push(key.to_string()),
                 }
             } else {
                 return Err(ArgsError::UnexpectedPositional(arg));

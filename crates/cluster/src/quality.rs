@@ -192,8 +192,8 @@ pub fn community_delivery(clustering: &Clustering, interests: &[Vec<bool>]) -> D
         .map(|row| row.iter().filter(|&&m| m).count())
         .sum();
     let clusters = clustering.clusters();
-    // `document` indexes a column across every subscription row, so a plain
-    // index loop is clearer than nested row iterators.
+    // invariant: `document` indexes a column across every subscription
+    // row, so a plain index loop is clearer than nested row iterators.
     #[allow(clippy::needless_range_loop)]
     for document in 0..document_count {
         for members in &clusters {

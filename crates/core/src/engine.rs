@@ -62,7 +62,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
-use tps_pattern::{ops, CompiledPattern, SubtreeInterner, TreePattern};
+use tps_pattern::{containment, ops, CompiledPattern, SubtreeInterner, TreePattern};
 use tps_synopsis::{
     PruneConfig, PruneReport, SummaryValue, Synopsis, SynopsisConfig, SynopsisSize,
 };
@@ -86,17 +86,67 @@ impl PatternId {
     }
 }
 
+/// A shareable containment decision procedure consulted during
+/// analyze-on-register, in addition to the syntactic homomorphism test.
+/// Same contract as [`tps_pattern::containment::ContainmentOracle`], with
+/// the `Send + Sync` bounds the engine needs.
+pub type SharedContainmentOracle =
+    Arc<dyn Fn(&TreePattern, &TreePattern) -> Option<bool> + Send + Sync>;
+
+/// How (and whether) registration statically analyses each new pattern for
+/// redundancy against the already-registered workload.
+#[derive(Clone, Default)]
+enum RegisterAnalysis {
+    /// No analysis: every registered pattern is active (the default).
+    #[default]
+    Off,
+    /// Homomorphism-based containment only — sound on *every* document.
+    Syntactic,
+    /// Syntactic containment extended by an external oracle (typically a
+    /// DTD-aware refinement check) — sound on documents of the oracle's
+    /// document type.
+    Oracle(SharedContainmentOracle),
+}
+
+impl std::fmt::Debug for RegisterAnalysis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegisterAnalysis::Off => f.write_str("Off"),
+            RegisterAnalysis::Syntactic => f.write_str("Syntactic"),
+            RegisterAnalysis::Oracle(_) => f.write_str("Oracle(..)"),
+        }
+    }
+}
+
+impl RegisterAnalysis {
+    fn enabled(&self) -> bool {
+        !matches!(self, RegisterAnalysis::Off)
+    }
+
+    /// Oracle-extended containment: is `q`'s match set included in `p`'s?
+    fn covers(&self, p: &TreePattern, q: &TreePattern) -> bool {
+        match self {
+            RegisterAnalysis::Off => false,
+            RegisterAnalysis::Syntactic => containment::contains(p, q),
+            RegisterAnalysis::Oracle(oracle) => {
+                containment::contains_with(p, q, &|a, b| oracle(a, b))
+            }
+        }
+    }
+}
+
 /// Builder for [`SimilarityEngine`] — subsumes the old
 /// `SynopsisConfig`-then-`prepare()` two-step.
 ///
 /// Defaults: per-node hash samples of capacity 256 (the paper's
-/// best-performing representation), the default sampling seed, and the `M3`
-/// proximity metric.
+/// best-performing representation), the default sampling seed, the `M3`
+/// proximity metric, and no analyze-on-register.
 #[derive(Debug, Clone)]
 pub struct SimilarityEngineBuilder {
     config: SynopsisConfig,
     seed_override: Option<u64>,
     metric: ProximityMetric,
+    analysis: RegisterAnalysis,
 }
 
 impl SimilarityEngineBuilder {
@@ -124,6 +174,29 @@ impl SimilarityEngineBuilder {
         self
     }
 
+    /// Statically analyse each newly registered pattern against the existing
+    /// workload using the syntactic containment test, mapping redundant
+    /// patterns to a covering [`PatternId`]
+    /// (see [`SimilarityEngine::covering`]).
+    pub fn analyze_on_register(mut self, enabled: bool) -> Self {
+        self.analysis = if enabled {
+            RegisterAnalysis::Syntactic
+        } else {
+            RegisterAnalysis::Off
+        };
+        self
+    }
+
+    /// Like [`Self::analyze_on_register`], with containment extended by an
+    /// external oracle (typically a DTD-aware refinement check built from
+    /// `tps_dtd::PatternAnalyzer`). Implies analyze-on-register. The
+    /// coverage map is then sound only for documents conforming to whatever
+    /// document type the oracle reasons about.
+    pub fn redundancy_oracle(mut self, oracle: SharedContainmentOracle) -> Self {
+        self.analysis = RegisterAnalysis::Oracle(oracle);
+        self
+    }
+
     /// Build the engine with an empty synopsis.
     pub fn build(self) -> SimilarityEngine {
         let mut config = self.config;
@@ -135,8 +208,10 @@ impl SimilarityEngineBuilder {
                 synopsis: Synopsis::new(config),
                 patterns: Vec::new(),
                 by_key: HashMap::new(),
+                covered_by: Vec::new(),
             }),
             default_metric: self.metric,
+            analysis: self.analysis,
             state: Mutex::new(EngineState::new()),
         }
     }
@@ -175,6 +250,11 @@ struct EngineCore {
     synopsis: Synopsis,
     patterns: Vec<CompiledPattern>,
     by_key: HashMap<Box<str>, PatternId>,
+    /// Per pattern: the handle of another registered pattern whose match set
+    /// provably includes this one's (`None` for active patterns). Only
+    /// populated when analyze-on-register is enabled; parallel to
+    /// `patterns`.
+    covered_by: Vec<Option<PatternId>>,
 }
 
 /// One evaluation through the shared caches: clear the per-evaluation
@@ -475,6 +555,7 @@ impl SimMatrix {
 pub struct SimilarityEngine {
     core: Arc<EngineCore>,
     default_metric: ProximityMetric,
+    analysis: RegisterAnalysis,
     state: Mutex<EngineState>,
 }
 
@@ -483,6 +564,7 @@ impl Clone for SimilarityEngine {
         Self {
             core: Arc::clone(&self.core),
             default_metric: self.default_metric,
+            analysis: self.analysis.clone(),
             state: Mutex::new(
                 self.state
                     .lock()
@@ -500,6 +582,7 @@ impl SimilarityEngine {
             config: SynopsisConfig::hashes(256),
             seed_override: None,
             metric: ProximityMetric::M3,
+            analysis: RegisterAnalysis::Off,
         }
     }
 
@@ -516,8 +599,10 @@ impl SimilarityEngine {
                 synopsis,
                 patterns: Vec::new(),
                 by_key: HashMap::new(),
+                covered_by: Vec::new(),
             }),
             default_metric: ProximityMetric::M3,
+            analysis: RegisterAnalysis::Off,
             state: Mutex::new(EngineState::new()),
         }
     }
@@ -650,12 +735,63 @@ impl SimilarityEngine {
         if let Some(&existing) = self.core.by_key.get(compiled.canonical_key()) {
             return existing;
         }
+        let covered = self.analyze_new_pattern(compiled.pattern());
         let core = self.core_mut();
         let id = PatternId(core.patterns.len() as u32);
         core.by_key.insert(compiled.canonical_key().into(), id);
         core.patterns.push(compiled);
+        core.covered_by.push(covered);
+        if covered.is_none() && self.analysis.enabled() {
+            // The new pattern became the workload's newest active member;
+            // earlier active patterns it covers are now redundant.
+            self.demote_covered_by(id);
+        }
         self.state_exclusive().marginals.push(None);
         id
+    }
+
+    /// Analyze-on-register, forward direction: find an earlier *active*
+    /// pattern whose match set includes the new pattern's. Earliest
+    /// registration wins, mirroring the first-occurrence rule of the routing
+    /// crate's containment pruning.
+    fn analyze_new_pattern(&self, pattern: &TreePattern) -> Option<PatternId> {
+        if !self.analysis.enabled() {
+            return None;
+        }
+        self.core
+            .patterns
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.core.covered_by[i].is_none())
+            .find(|(_, registered)| self.analysis.covers(registered.pattern(), pattern))
+            .map(|(i, _)| PatternId(i as u32))
+    }
+
+    /// Analyze-on-register, reverse direction: the freshly registered active
+    /// pattern `id` may cover earlier active patterns; demote every one it
+    /// does. Coverage links always point at a pattern that was active when
+    /// the link was created, so chains stay acyclic.
+    fn demote_covered_by(&mut self, id: PatternId) {
+        let demoted: Vec<usize> = self
+            .core
+            .patterns
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != id.index() && self.core.covered_by[i].is_none())
+            .filter(|(_, registered)| {
+                self.analysis.covers(
+                    self.core.patterns[id.index()].pattern(),
+                    registered.pattern(),
+                )
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if !demoted.is_empty() {
+            let core = self.core_mut();
+            for i in demoted {
+                core.covered_by[i] = Some(id);
+            }
+        }
     }
 
     /// Register a whole workload, returning one handle per input pattern
@@ -675,6 +811,59 @@ impl SimilarityEngine {
     /// Number of registered (distinct) patterns.
     pub fn pattern_count(&self) -> usize {
         self.core.patterns.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Analyze-on-register: redundancy map
+    // ------------------------------------------------------------------
+
+    /// Whether analyze-on-register is enabled on this engine.
+    pub fn analyzes_on_register(&self) -> bool {
+        self.analysis.enabled()
+    }
+
+    /// The pattern directly covering `id`, if registration analysis proved
+    /// `id` redundant (its match set is included in the coverer's). `None`
+    /// for active patterns and whenever analyze-on-register is off.
+    pub fn covering(&self, id: PatternId) -> Option<PatternId> {
+        self.core.covered_by[id.index()]
+    }
+
+    /// Follow the coverage chain from `id` to its active representative —
+    /// `id` itself when it is active. Delivery semantics are preserved by
+    /// construction: every document matching `id`'s pattern also matches the
+    /// representative's, so a subscriber registered under `id` receives via
+    /// the representative's matches.
+    pub fn covering_root(&self, id: PatternId) -> PatternId {
+        let mut current = id;
+        while let Some(next) = self.core.covered_by[current.index()] {
+            current = next;
+        }
+        current
+    }
+
+    /// Handles of the active (non-redundant) patterns, in registration
+    /// order. This is the compacted workload: similarity matrices, clusters
+    /// and routing tables built over it see a smaller `n` with unchanged
+    /// match semantics on the analysed document type.
+    pub fn active_ids(&self) -> Vec<PatternId> {
+        self.core
+            .covered_by
+            .iter()
+            .enumerate()
+            .filter(|(_, covered)| covered.is_none())
+            .map(|(i, _)| PatternId(i as u32))
+            .collect()
+    }
+
+    /// Number of registered patterns proven redundant by registration
+    /// analysis.
+    pub fn redundant_count(&self) -> usize {
+        self.core
+            .covered_by
+            .iter()
+            .filter(|covered| covered.is_some())
+            .count()
     }
 
     // ------------------------------------------------------------------
@@ -801,6 +990,7 @@ impl SimilarityEngine {
         };
         if !todo_marginals.is_empty() {
             let shards = {
+                // invariant: `ensure_full` materialised the matrix above
                 let full = st.full.as_deref().expect("materialised above");
                 let shared = &st.memo;
                 par::map_chunks(&todo_marginals, threads, |_, chunk| {
@@ -822,6 +1012,7 @@ impl SimilarityEngine {
             let mut pending = todo_marginals.iter();
             for (values, promote) in shards {
                 for value in values {
+                    // invariant: map_chunks yields exactly one value per input
                     let id = pending.next().expect("one value per marginal");
                     st.marginals[id.index()] = Some(value);
                     st.marginal_misses += 1;
@@ -853,6 +1044,7 @@ impl SimilarityEngine {
         };
         if !todo_joints.is_empty() {
             let shards = {
+                // invariant: `ensure_full` materialised the matrix above
                 let full = st.full.as_deref().expect("materialised above");
                 let shared = &st.memo;
                 let interner = &st.interner;
@@ -866,11 +1058,12 @@ impl SimilarityEngine {
                                 patterns[p as usize].pattern(),
                                 patterns[q as usize].pattern(),
                             );
-                            // A conjunction of registered patterns never
-                            // contains a new subtree (its non-root subtrees
-                            // are copies of the operands'), so the shared
-                            // interner is consulted read-only — the checked
-                            // form of the "never interns" invariant.
+                            // invariant: a conjunction of registered
+                            // patterns never contains a new subtree (its
+                            // non-root subtrees are copies of the
+                            // operands'), so the read-only interner resolves
+                            // every key — the checked form of the "never
+                            // interns" rule.
                             let compiled =
                                 CompiledPattern::compile_interned(&conjunction, interner)
                                     .expect("conjunction subtrees are interned at registration");
@@ -886,6 +1079,7 @@ impl SimilarityEngine {
             let mut pending = todo_joints.iter();
             for (values, promote) in shards {
                 for value in values {
+                    // invariant: map_chunks yields exactly one value per input
                     let &key = pending.next().expect("one value per pair");
                     st.joints.insert(key, value);
                     st.joint_misses += 1;
@@ -1087,6 +1281,79 @@ mod tests {
         assert_eq!(a, c, "duplicate branches must not create a new handle");
         assert_ne!(a, d);
         assert_eq!(engine.pattern_count(), 2);
+    }
+
+    #[test]
+    fn analyze_on_register_maps_redundant_patterns_to_their_coverer() {
+        let mut engine = SimilarityEngine::builder()
+            .matching_sets(MatchingSetKind::hashes(64))
+            .analyze_on_register(true)
+            .build();
+        let general = engine.register(&pat("/a//b"));
+        let specific = engine.register(&pat("/a/x/b"));
+        let unrelated = engine.register(&pat("/a/c"));
+        assert!(engine.analyzes_on_register());
+        assert_eq!(engine.covering(general), None);
+        assert_eq!(engine.covering(specific), Some(general));
+        assert_eq!(engine.covering(unrelated), None);
+        assert_eq!(engine.covering_root(specific), general);
+        assert_eq!(engine.active_ids(), vec![general, unrelated]);
+        assert_eq!(engine.redundant_count(), 1);
+        // All three handles stay queryable — redundancy is metadata, not
+        // deletion.
+        assert_eq!(engine.pattern_count(), 3);
+    }
+
+    #[test]
+    fn analyze_on_register_demotes_earlier_patterns_covered_by_a_newcomer() {
+        let mut engine = SimilarityEngine::builder()
+            .matching_sets(MatchingSetKind::hashes(64))
+            .analyze_on_register(true)
+            .build();
+        let narrow_one = engine.register(&pat("/a/x/b"));
+        let narrow_two = engine.register(&pat("/a/y/b"));
+        let general = engine.register(&pat("/a//b"));
+        assert_eq!(engine.covering(narrow_one), Some(general));
+        assert_eq!(engine.covering(narrow_two), Some(general));
+        assert_eq!(engine.covering(general), None);
+        assert_eq!(engine.active_ids(), vec![general]);
+        assert_eq!(engine.redundant_count(), 2);
+        // Chains resolve transitively even after multiple demotions.
+        let root = engine.register(&pat("//b"));
+        assert_eq!(engine.covering(general), Some(root));
+        assert_eq!(engine.covering_root(narrow_one), root);
+        assert_eq!(engine.active_ids(), vec![root]);
+    }
+
+    #[test]
+    fn redundancy_oracle_extends_the_syntactic_test() {
+        use std::sync::Arc;
+        // A toy "DTD" oracle that knows /media/CD/x and //x are equivalent.
+        let oracle: crate::SharedContainmentOracle = Arc::new(|p, q| {
+            let (p, q) = (p.to_string(), q.to_string());
+            let pair = |a: &str, b: &str| (p == a && q == b) || (p == b && q == a);
+            pair("/media/CD/x", "//x").then_some(true)
+        });
+        let mut engine = SimilarityEngine::builder()
+            .matching_sets(MatchingSetKind::hashes(64))
+            .redundancy_oracle(oracle)
+            .build();
+        let first = engine.register(&pat("/media/CD/x"));
+        let second = engine.register(&pat("//x"));
+        assert_eq!(engine.covering(second), Some(first));
+        assert_eq!(engine.active_ids(), vec![first]);
+    }
+
+    #[test]
+    fn registration_without_analysis_never_marks_redundancy() {
+        let mut engine = engine_with(MatchingSetKind::hashes(64));
+        let general = engine.register(&pat("/a//b"));
+        let specific = engine.register(&pat("/a/x/b"));
+        assert!(!engine.analyzes_on_register());
+        assert_eq!(engine.covering(general), None);
+        assert_eq!(engine.covering(specific), None);
+        assert_eq!(engine.active_ids(), vec![general, specific]);
+        assert_eq!(engine.redundant_count(), 0);
     }
 
     #[test]

@@ -63,7 +63,8 @@ pub mod selectivity;
 
 pub use build::build_par;
 pub use engine::{
-    EngineCacheStats, PatternId, SimMatrix, SimilarityEngine, SimilarityEngineBuilder,
+    EngineCacheStats, PatternId, SharedContainmentOracle, SimMatrix, SimilarityEngine,
+    SimilarityEngineBuilder,
 };
 pub use exact::ExactEvaluator;
 pub use metrics::ProximityMetric;

@@ -270,6 +270,71 @@ proptest! {
         prop_assert_eq!(fresh.selectivities(&fresh_ids), batch);
     }
 
+    /// Containment is sound for matching and selectivity respects it: if
+    /// `contains(p, q)` then `q`'s match set is a subset of `p`'s, so the
+    /// exact selectivity is monotone — and so is the estimate, on the
+    /// fragment where the representation intersects faithfully. Set
+    /// summaries are monotone for arbitrary patterns at *any* capacity
+    /// (coalescing merges whole contexts, preserving subset order).
+    /// Counters multiply per-branch marginals as if independent, which can
+    /// invert branching pairs, and undersized hash tables alias distinct
+    /// documents, so those two are asserted on branch-free patterns with
+    /// collision-free capacity — exactly the fragment the routing
+    /// compaction relies on.
+    #[test]
+    fn containment_implies_selectivity_monotonicity(
+        docs in gen_docs(),
+        patterns in prop::collection::vec(gen_pattern(), 2..6),
+    ) {
+        use tps_pattern::containment::contains;
+        let exact = ExactEvaluator::new(docs.clone());
+        // (config, whether monotonicity is unconditional for it)
+        let configs = [
+            (SynopsisConfig::counters(), false),
+            (SynopsisConfig::sets(8), true),
+            (SynopsisConfig::sets(100_000), true),
+            (SynopsisConfig::hashes(64), false),
+            (SynopsisConfig::hashes(100_000), false),
+        ];
+        let estimates: Vec<Vec<f64>> = configs
+            .iter()
+            .map(|(config, _)| {
+                let mut engine = SimilarityEngine::new(*config);
+                engine.observe_all(&docs);
+                let ids = engine.register_all(&patterns);
+                engine.selectivities(&ids)
+            })
+            .collect();
+        for i in 0..patterns.len() {
+            for j in 0..patterns.len() {
+                if i == j || !contains(&patterns[i], &patterns[j]) {
+                    continue;
+                }
+                let (p, q) = (&patterns[i], &patterns[j]);
+                for doc in &docs {
+                    prop_assert!(
+                        p.matches(doc) || !q.matches(doc),
+                        "contains({p}, {q}) but a document matches only {q}"
+                    );
+                }
+                prop_assert!(
+                    exact.selectivity(q) <= exact.selectivity(p) + 1e-9,
+                    "exact selectivity not monotone for {q} ⊑ {p}"
+                );
+                let branch_free = p.branching_count() == 0 && q.branching_count() == 0;
+                for ((config, unconditional), sels) in configs.iter().zip(&estimates) {
+                    if *unconditional || branch_free {
+                        prop_assert!(
+                            sels[j] <= sels[i] + 1e-9,
+                            "{:?}: sel({q}) = {} > sel({p}) = {} despite {q} ⊑ {p}",
+                            config.kind, sels[j], sels[i]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     /// The exact evaluator agrees with direct matching.
     #[test]
     fn exact_evaluator_matches_direct_counting(docs in gen_docs(), p in gen_pattern()) {

@@ -51,6 +51,44 @@ impl Default for AnalysisConfig {
 /// arbitrary text value (`*` under a `#PCDATA`-carrying element).
 pub const TEXT_PLACEHOLDER: &str = "#PCDATA";
 
+/// A three-valued analysis verdict.
+///
+/// DTD-aware analysis is bounded: descendant expansion is cut at
+/// [`AnalysisConfig::max_descendant_depth`] and the number of expansions at
+/// [`AnalysisConfig::max_expansions`]. When a bound fires, the analyzer has
+/// seen only a subset of the true expansion set and *negative* conclusions
+/// ("unsatisfiable", "not equivalent") would be unsound. The checked entry
+/// points ([`PatternAnalyzer::satisfiability`],
+/// [`PatternAnalyzer::dtd_equivalence`], [`PatternAnalyzer::dtd_refinement`])
+/// therefore degrade to [`Trivalent::Unknown`] instead of guessing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Trivalent {
+    /// The property definitely holds.
+    Yes,
+    /// The property definitely does not hold (no bound was hit).
+    No,
+    /// A configured bound truncated the analysis; no sound answer exists at
+    /// this budget.
+    Unknown,
+}
+
+impl Trivalent {
+    /// True only for [`Trivalent::Yes`].
+    pub fn is_yes(self) -> bool {
+        self == Trivalent::Yes
+    }
+
+    /// True only for [`Trivalent::No`].
+    pub fn is_no(self) -> bool {
+        self == Trivalent::No
+    }
+
+    /// Collapse to a bool, treating `Unknown` conservatively as `false`.
+    pub fn definitely(self) -> bool {
+        self.is_yes()
+    }
+}
+
 /// The concrete expansions of a pattern under a DTD.
 #[derive(Debug, Clone)]
 pub struct ExpansionSet {
@@ -123,8 +161,27 @@ impl<'a> PatternAnalyzer<'a> {
 
     /// Whether the pattern can match at least one document conforming to the
     /// DTD (within the configured descendant-depth bound).
+    ///
+    /// This is the sound-for-"yes" boolean view: `true` is always backed by
+    /// a concrete expansion, but `false` may be a truncation artefact. Use
+    /// [`satisfiability`](Self::satisfiability) when an unsatisfiability
+    /// verdict must be trustworthy (lint `E001`).
     pub fn satisfiable(&self, pattern: &TreePattern) -> bool {
-        !self.expand_bounded(pattern, 1).patterns.is_empty()
+        self.satisfiability(pattern).is_yes()
+    }
+
+    /// Three-valued satisfiability: [`Trivalent::No`] is only returned when
+    /// no expansion bound fired, so it is a proof that the pattern matches
+    /// no conforming document (within the analyzer's dialect).
+    pub fn satisfiability(&self, pattern: &TreePattern) -> Trivalent {
+        let probe = self.expand_bounded(pattern, 1);
+        if !probe.patterns.is_empty() {
+            Trivalent::Yes
+        } else if probe.truncated {
+            Trivalent::Unknown
+        } else {
+            Trivalent::No
+        }
     }
 
     /// All concrete expansions of the pattern under the DTD, up to the
@@ -136,27 +193,52 @@ impl<'a> PatternAnalyzer<'a> {
     /// Whether `p` and `q` are equivalent with respect to the DTD: they
     /// admit exactly the same concrete expansions (Example 1.1's notion of
     /// equivalence for documents of the given type). Returns `false` when
-    /// either expansion set had to be truncated.
+    /// either expansion set had to be truncated; use
+    /// [`dtd_equivalence`](Self::dtd_equivalence) to distinguish a proven
+    /// "no" from a truncated analysis.
     pub fn dtd_equivalent(&self, p: &TreePattern, q: &TreePattern) -> bool {
+        self.dtd_equivalence(p, q).is_yes()
+    }
+
+    /// Three-valued DTD-equivalence. [`Trivalent::Yes`] and
+    /// [`Trivalent::No`] are only returned when neither expansion set was
+    /// truncated, so both are sound; two unsatisfiable patterns are *not*
+    /// reported equivalent (unsatisfiability is its own diagnostic).
+    pub fn dtd_equivalence(&self, p: &TreePattern, q: &TreePattern) -> Trivalent {
         let ep = self.expansions(p);
         let eq = self.expansions(q);
         if ep.truncated || eq.truncated {
-            return false;
+            return Trivalent::Unknown;
         }
-        !ep.is_empty() && ep.canonical_keys() == eq.canonical_keys()
+        if !ep.is_empty() && ep.canonical_keys() == eq.canonical_keys() {
+            Trivalent::Yes
+        } else {
+            Trivalent::No
+        }
     }
 
     /// Whether every concrete expansion of `p` is also an expansion of `q`
     /// (so, for documents of this type, matching `p` structurally refines
     /// matching `q`). Returns `false` when either expansion set had to be
-    /// truncated.
+    /// truncated; use [`dtd_refinement`](Self::dtd_refinement) to
+    /// distinguish a proven "no" from a truncated analysis.
     pub fn dtd_refines(&self, p: &TreePattern, q: &TreePattern) -> bool {
+        self.dtd_refinement(p, q).is_yes()
+    }
+
+    /// Three-valued DTD-refinement (expansion-set inclusion `p ⊆ q`), with
+    /// the same truncation contract as [`dtd_equivalence`](Self::dtd_equivalence).
+    pub fn dtd_refinement(&self, p: &TreePattern, q: &TreePattern) -> Trivalent {
         let ep = self.expansions(p);
         let eq = self.expansions(q);
         if ep.truncated || eq.truncated {
-            return false;
+            return Trivalent::Unknown;
         }
-        !ep.is_empty() && ep.canonical_keys().is_subset(&eq.canonical_keys())
+        if !ep.is_empty() && ep.canonical_keys().is_subset(&eq.canonical_keys()) {
+            Trivalent::Yes
+        } else {
+            Trivalent::No
+        }
     }
 
     /// Label paths (root element first) of length at most `max_depth` that a
@@ -312,8 +394,10 @@ impl<'a> PatternAnalyzer<'a> {
                 }
                 let step = children[0];
                 let mut out = Vec::new();
-                for path in self.descendant_paths(root, true) {
-                    let target = path.last().expect("paths are non-empty").clone();
+                for path in self.descendant_paths(root, true, truncated) {
+                    let Some(target) = path.last().cloned() else {
+                        continue;
+                    };
                     for expansion in
                         self.expand_at_target(pattern, step, &path, &target, limit, truncated)
                     {
@@ -345,7 +429,7 @@ impl<'a> PatternAnalyzer<'a> {
             PatternLabel::Tag(tag) if tag.as_ref() == target => self
                 .expand_children_under(pattern, node, target, limit, truncated)
                 .into_iter()
-                .map(|children| wrap_in_path(path, children))
+                .filter_map(|children| wrap_in_path(path, children))
                 .collect(),
             PatternLabel::Tag(tag) => {
                 // A tag that is not a declared element can still stand for a
@@ -355,7 +439,9 @@ impl<'a> PatternAnalyzer<'a> {
                     && !self.schema.has_element(tag.as_ref())
                     && self.element_allows_text(target)
                 {
-                    vec![wrap_in_path(path, vec![ConcreteNode::leaf(tag)])]
+                    wrap_in_path(path, vec![ConcreteNode::leaf(tag)])
+                        .into_iter()
+                        .collect()
                 } else {
                     Vec::new()
                 }
@@ -363,7 +449,7 @@ impl<'a> PatternAnalyzer<'a> {
             PatternLabel::Wildcard => self
                 .expand_children_under(pattern, node, target, limit, truncated)
                 .into_iter()
-                .map(|children| wrap_in_path(path, children))
+                .filter_map(|children| wrap_in_path(path, children))
                 .collect(),
             PatternLabel::Root | PatternLabel::Descendant => Vec::new(),
         }
@@ -463,11 +549,10 @@ impl<'a> PatternAnalyzer<'a> {
             }
             PatternLabel::Descendant => {
                 let mut out = Vec::new();
-                for path in self.descendant_paths(element, false) {
-                    let target = if path.is_empty() {
-                        element.to_string()
-                    } else {
-                        path.last().expect("non-empty path").clone()
+                for path in self.descendant_paths(element, false, truncated) {
+                    let target = match path.last() {
+                        Some(last) => last.clone(),
+                        None => element.to_string(),
                     };
                     for children in
                         self.expand_children_under(pattern, node, &target, limit, truncated)
@@ -477,13 +562,11 @@ impl<'a> PatternAnalyzer<'a> {
                             // directly under `element`, which the caller
                             // represents by splicing them in place of this
                             // node. A concrete pattern cannot express "no
-                            // node here", so re-expand the children as
-                            // siblings wrapped under their actual labels.
-                            for child in children {
-                                out.push(child);
-                            }
-                        } else {
-                            out.push(wrap_in_path(&path, children));
+                            // node here", so the expanded children become
+                            // siblings under their actual labels.
+                            out.extend(children);
+                        } else if let Some(wrapped) = wrap_in_path(&path, children) {
+                            out.push(wrapped);
                         }
                         if out.len() >= limit {
                             *truncated = true;
@@ -510,7 +593,17 @@ impl<'a> PatternAnalyzer<'a> {
     /// returned root-first. Otherwise the paths describe the elements
     /// strictly below `from` (the empty path meaning "match at `from`
     /// itself").
-    fn descendant_paths(&self, from: &str, include_start: bool) -> Vec<Vec<String>> {
+    ///
+    /// When the depth bound prunes a subtree that still had element children
+    /// to descend into, `truncated` is set: paths beyond the bound exist but
+    /// were not enumerated, so callers must not treat the result as the
+    /// complete set.
+    fn descendant_paths(
+        &self,
+        from: &str,
+        include_start: bool,
+        truncated: &mut bool,
+    ) -> Vec<Vec<String>> {
         let mut out = Vec::new();
         if include_start {
             let mut stack = vec![from.to_string()];
@@ -519,6 +612,7 @@ impl<'a> PatternAnalyzer<'a> {
                 self.config.max_descendant_depth,
                 &mut stack,
                 &mut out,
+                truncated,
             );
         } else {
             out.push(Vec::new());
@@ -533,6 +627,7 @@ impl<'a> PatternAnalyzer<'a> {
                     self.config.max_descendant_depth.saturating_sub(1),
                     &mut stack,
                     &mut out,
+                    truncated,
                 );
                 stack.pop();
             }
@@ -546,36 +641,49 @@ impl<'a> PatternAnalyzer<'a> {
         remaining: usize,
         stack: &mut Vec<String>,
         out: &mut Vec<Vec<String>>,
+        truncated: &mut bool,
     ) {
         out.push(stack.clone());
+        let children: Vec<&str> = self
+            .schema
+            .allowed_children(element)
+            .into_iter()
+            .filter(|child| self.schema.has_element(child))
+            .collect();
         if remaining == 0 {
+            // The depth bound pruned a live branch: deeper paths exist but
+            // were not enumerated. Without this flag a pattern whose only
+            // expansions lie beyond the bound would silently read as
+            // unsatisfiable.
+            if !children.is_empty() {
+                *truncated = true;
+            }
             return;
         }
-        for child in self.schema.allowed_children(element) {
-            if !self.schema.has_element(child) {
-                continue;
-            }
+        for child in children {
             stack.push(child.to_string());
-            self.collect_descendant_paths(child, remaining - 1, stack, out);
+            self.collect_descendant_paths(child, remaining - 1, stack, out, truncated);
             stack.pop();
         }
     }
 }
 
 /// Wrap concrete children under a chain of labels (`path[0]/path[1]/...`),
-/// attaching the children below the last label.
-fn wrap_in_path(path: &[String], children: Vec<ConcreteNode>) -> ConcreteNode {
+/// attaching the children below the last label. Returns `None` for an empty
+/// path (nothing to wrap under).
+fn wrap_in_path(path: &[String], children: Vec<ConcreteNode>) -> Option<ConcreteNode> {
+    let (last, prefix) = path.split_last()?;
     let mut node = ConcreteNode {
-        label: path.last().expect("non-empty path").clone(),
+        label: last.clone(),
         children,
     };
-    for label in path.iter().rev().skip(1) {
+    for label in prefix.iter().rev() {
         node = ConcreteNode {
             label: label.clone(),
             children: vec![node],
         };
     }
-    node
+    Some(node)
 }
 
 /// Convert a concrete tree (rooted at the document root element) into a
@@ -726,6 +834,76 @@ mod tests {
         let expansions = analyzer.expansions(&pattern("//last"));
         assert!(expansions.truncated);
         assert!(expansions.len() <= 2);
+    }
+
+    #[test]
+    fn depth_bounded_satisfiability_degrades_to_unknown_not_no() {
+        // A chain DTD deeper than the descendant bound: `//leaf` is
+        // satisfiable, but every expansion lies beyond the bound. The
+        // analyzer must answer Unknown — a false `No` here would surface as
+        // a bogus E001 "unsatisfiable" lint.
+        let schema = crate::parser::parse_named(
+            "chain",
+            "<!ELEMENT a (b)><!ELEMENT b (c)><!ELEMENT c (d)><!ELEMENT d (e)>\
+             <!ELEMENT e (f)><!ELEMENT f (leaf)><!ELEMENT leaf EMPTY>",
+        )
+        .unwrap();
+        let analyzer = PatternAnalyzer::with_config(
+            &schema,
+            AnalysisConfig {
+                max_descendant_depth: 3,
+                max_expansions: 1_000,
+            },
+        );
+        let deep = pattern("//leaf");
+        assert_eq!(analyzer.satisfiability(&deep), Trivalent::Unknown);
+        assert!(!analyzer.satisfiable(&deep));
+        let expansions = analyzer.expansions(&deep);
+        assert!(expansions.is_empty());
+        assert!(expansions.truncated, "depth pruning must not be silent");
+        // A target within the bound still gets a definite answer.
+        assert_eq!(analyzer.satisfiability(&pattern("//c")), Trivalent::Yes);
+        // Even a tag that exists nowhere in the DTD stays Unknown under a
+        // pruned walk: the unexplored region could have allowed it.
+        assert_eq!(
+            analyzer.satisfiability(&pattern("//ghost")),
+            Trivalent::Unknown
+        );
+        // With the bound lifted the same pattern is a definite No.
+        let full = PatternAnalyzer::new(&schema);
+        assert_eq!(full.satisfiability(&pattern("//ghost")), Trivalent::No);
+        assert_eq!(full.satisfiability(&deep), Trivalent::Yes);
+    }
+
+    #[test]
+    fn recursive_dtd_equivalence_degrades_to_unknown() {
+        let schema = crate::parser::parse_named(
+            "recursive",
+            "<!ELEMENT part (part*, name?)><!ELEMENT name (#PCDATA)>",
+        )
+        .unwrap();
+        let analyzer = PatternAnalyzer::with_config(
+            &schema,
+            AnalysisConfig {
+                max_descendant_depth: 3,
+                max_expansions: 4,
+            },
+        );
+        let p = pattern("//name");
+        let q = pattern("/part/name");
+        // `//name` truncates under the recursive DTD, so neither
+        // equivalence nor refinement may claim a definite answer.
+        assert!(analyzer.expansions(&p).truncated);
+        assert_eq!(analyzer.dtd_equivalence(&p, &q), Trivalent::Unknown);
+        assert_eq!(analyzer.dtd_refinement(&q, &p), Trivalent::Unknown);
+        // The boolean views stay conservative (never a false "yes").
+        assert!(!analyzer.dtd_equivalent(&p, &q));
+        assert!(!analyzer.dtd_refines(&q, &p));
+        // Two untruncated patterns keep their definite verdicts.
+        assert_eq!(
+            analyzer.dtd_equivalence(&q, &pattern("/part/name")),
+            Trivalent::Yes
+        );
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod schema;
 pub mod validate;
 pub mod writer;
 
-pub use analysis::{AnalysisConfig, ExpansionSet, PatternAnalyzer};
+pub use analysis::{AnalysisConfig, ExpansionSet, PatternAnalyzer, Trivalent};
 pub use content::{ContentModel, ContentParticle, Occurrence, ParticleKind};
 pub use error::{DtdError, DtdErrorKind};
 pub use schema::{AttributeDecl, DeclId, DtdSchema, ElementDecl, SchemaStats};

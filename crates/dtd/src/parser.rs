@@ -158,10 +158,11 @@ fn rewrite_once(text: &str, entities: &BTreeMap<String, String>) -> Result<Strin
                 .ok_or_else(|| DtdError::new(DtdErrorKind::UnexpectedEof, i))?;
             out.push_str(&text[i..=end]);
             i = end + 1;
-        } else {
-            let ch = text[i..].chars().next().expect("in-bounds index");
+        } else if let Some(ch) = text[i..].chars().next() {
             out.push(ch);
             i += ch.len_utf8();
+        } else {
+            break;
         }
     }
     Ok(out)
@@ -224,6 +225,7 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn text(&self) -> &'a str {
+        // invariant: `input` is the byte view of a `&str`
         std::str::from_utf8(self.input).expect("input was built from a &str")
     }
 

@@ -131,6 +131,7 @@ impl DtdSchema {
             Some(&id) => id,
             None => self
                 .add_element(ElementDecl::new(element, ContentModel::Any))
+                // invariant: the lookup above returned None for this name
                 .expect("element was just checked to be absent"),
         };
         self.declarations[id.index()].attributes.extend(attributes);

@@ -12,7 +12,9 @@
 use std::time::Instant;
 
 use tps_experiments::dynamics::fig_dynamic;
-use tps_experiments::figures::{ablation_representations, fig10, fig4, fig5, fig6, fig789, table1};
+use tps_experiments::figures::{
+    ablation_representations, analysis_compaction, fig10, fig4, fig5, fig6, fig789, table1,
+};
 use tps_experiments::{DtdWorkload, ScaleConfig};
 
 fn main() {
@@ -58,6 +60,13 @@ fn main() {
     let t = Instant::now();
     fig10(&workloads, &scale).print();
     eprintln!("[run_all] fig10 done in {:.1}s", t.elapsed().as_secs_f64());
+
+    let t = Instant::now();
+    analysis_compaction(&workloads).print();
+    eprintln!(
+        "[run_all] analysis done in {:.1}s",
+        t.elapsed().as_secs_f64()
+    );
 
     let t = Instant::now();
     ablation_representations(&workloads, &scale).print();

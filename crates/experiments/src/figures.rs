@@ -194,7 +194,7 @@ pub fn fig10(workloads: &[DtdWorkload], scale: &ExperimentScale) -> Table {
             capacity: scale.fig10_hash_size,
         });
         let mut ratios = scale.compression_ratios.clone();
-        ratios.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        ratios.sort_by(|a, b| b.total_cmp(a));
         for alpha in ratios {
             let mut engine = base.clone();
             let report = engine.engine.prune_to_ratio(alpha, PruneConfig::default());
@@ -272,6 +272,53 @@ pub fn ablation_representations(workloads: &[DtdWorkload], scale: &ExperimentSca
     table
 }
 
+/// Static-analysis table (docs/ANALYSIS.md): lint-diagnostic counts over
+/// each DTD's positive workload, and the routing-table compaction the
+/// analysis licenses at both soundness levels (syntactic-only proofs are
+/// safe on arbitrary streams; DTD-aware proofs additionally assume the
+/// stream conforms to the DTD).
+pub fn analysis_compaction(workloads: &[DtdWorkload]) -> Table {
+    use tps_analyze::{CompactionMode, LintCode, WorkloadAnalyzer, WorkloadEntry};
+    use tps_dtd::writer::schema_from_workload;
+
+    let mut table = Table::new(
+        "Static analysis — workload lint diagnostics and table compaction",
+        &[
+            "DTD",
+            "|SP|",
+            "E001",
+            "W002",
+            "W003",
+            "W004",
+            "keep universal",
+            "keep dtd-aware",
+        ],
+    );
+    for w in workloads {
+        let schema = schema_from_workload(&w.dataset.dtd);
+        let entries: Vec<WorkloadEntry> = w
+            .dataset
+            .positive
+            .iter()
+            .map(WorkloadEntry::from_pattern)
+            .collect();
+        let report = WorkloadAnalyzer::new(Some(&schema)).analyze(&entries);
+        let universal = report.plan.stats(CompactionMode::Universal);
+        let dtd_aware = report.plan.stats(CompactionMode::DtdAware);
+        table.push_row(vec![
+            w.name.clone(),
+            entries.len().to_string(),
+            report.count(LintCode::Unsatisfiable).to_string(),
+            report.count(LintCode::ContainedRedundant).to_string(),
+            report.count(LintCode::DtdEquivalentDuplicate).to_string(),
+            report.count(LintCode::CostHazard).to_string(),
+            format!("{}/{}", universal.kept, universal.input),
+            format!("{}/{}", dtd_aware.kept, dtd_aware.input),
+        ]);
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,6 +387,28 @@ mod tests {
         assert!(len > 0);
         assert_eq!(tables[1].rows.len(), len);
         assert_eq!(tables[2].rows.len(), len);
+    }
+
+    #[test]
+    fn analysis_compaction_reports_one_row_per_dtd() {
+        let (workloads, _) = tiny();
+        let t = analysis_compaction(&workloads);
+        assert_eq!(t.rows.len(), 1);
+        // A positive workload has no unsatisfiable patterns (every pattern
+        // matches at least one generated document).
+        assert_eq!(t.rows[0][2], "0");
+        // The kept counts are `kept/input` fractions over the full workload.
+        let universal: Vec<usize> = t.rows[0][6]
+            .split('/')
+            .map(|v| v.parse().unwrap())
+            .collect();
+        let dtd_aware: Vec<usize> = t.rows[0][7]
+            .split('/')
+            .map(|v| v.parse().unwrap())
+            .collect();
+        assert_eq!(universal[1], workloads[0].dataset.positive.len());
+        // DTD-aware proofs can only drop more, never fewer, entries.
+        assert!(dtd_aware[0] <= universal[0]);
     }
 
     #[test]

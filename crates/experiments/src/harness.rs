@@ -94,6 +94,7 @@ impl DtdWorkload {
             tps_xml::stream::cloned_trees(&self.dataset.documents),
             tps_core::par::available_workers(),
         )
+        // invariant: the stream replays in-memory trees, which always parse
         .expect("in-memory trees never fail to parse")
     }
 

@@ -66,10 +66,12 @@ fn mutate_once(rng: &mut StdRng, data: &mut Vec<u8>, dictionary: &[&[u8]]) {
         // Overwrite one byte with an interesting byte.
         1 if !data.is_empty() => {
             let i = rng.gen_range(0..data.len());
+            // invariant: the table is a non-empty const
             data[i] = *INTERESTING_BYTES.choose(rng).expect("non-empty table");
         }
         // Insert a dictionary token.
         2 if !dictionary.is_empty() => {
+            // invariant: this arm is guarded by `!dictionary.is_empty()`
             let token = *dictionary.choose(rng).expect("non-empty dictionary");
             let at = rng.gen_range(0..=data.len());
             data.splice(at..at, token.iter().copied());

@@ -21,6 +21,7 @@ const ENTITIES: &[&str] = &[
 ];
 
 fn tag(rng: &mut StdRng) -> &'static str {
+    // invariant: the table is a non-empty const
     TAGS.choose(rng).expect("non-empty table")
 }
 
@@ -62,6 +63,7 @@ fn xml_element(rng: &mut StdRng, out: &mut String, name: &str, depth: usize) {
     for _ in 0..children {
         match rng.gen_range(0u32..6) {
             0 => out.push_str("text "),
+            // invariant: the table is a non-empty const
             1 => out.push_str(ENTITIES.choose(rng).expect("non-empty table")),
             2 => out.push_str("<!-- comment -->"),
             3 => out.push_str("<?pi data?>"),
@@ -203,6 +205,7 @@ fn occurrence(rng: &mut StdRng) -> &'static str {
     ["", "?", "*", "+"]
         .choose(rng)
         .copied()
+        // invariant: the table is a non-empty literal
         .expect("non-empty table")
 }
 

@@ -33,12 +33,23 @@ pub enum Target {
     Dtd,
     /// `tps-synopsis`: `Synopsis::merge` commutativity and merge-after-prune.
     Merge,
+    /// `tps-analyze`: differential soundness of the workload analyzer —
+    /// `E001` patterns match zero DTD-conforming documents, `W002`/`W003`
+    /// links imply match-set inclusion, and compaction-plan routing never
+    /// loses a delivery.
+    Analyze,
 }
 
 impl Target {
     /// All targets, in the order the smoke job runs them.
-    pub fn all() -> [Target; 4] {
-        [Target::Xml, Target::Pattern, Target::Dtd, Target::Merge]
+    pub fn all() -> [Target; 5] {
+        [
+            Target::Xml,
+            Target::Pattern,
+            Target::Dtd,
+            Target::Merge,
+            Target::Analyze,
+        ]
     }
 
     /// Stable name used for corpus directories and the CLI.
@@ -48,6 +59,7 @@ impl Target {
             Target::Pattern => "pattern",
             Target::Dtd => "dtd",
             Target::Merge => "merge",
+            Target::Analyze => "analyze",
         }
     }
 
@@ -75,8 +87,10 @@ impl Target {
                 "<!ENTITY % t \"(#PCDATA)\"><!ELEMENT x %t;><!ATTLIST x k CDATA #IMPLIED>",
                 "<!DOCTYPE r [<!ELEMENT r (a+)><!ELEMENT a EMPTY>]>",
             ],
-            // Merge interprets bytes as a scenario seed, so any bytes do.
+            // Merge and Analyze interpret bytes as a scenario seed, so any
+            // bytes do.
             Target::Merge => &["0", "12345678", "merge-scenario"],
+            Target::Analyze => &["0", "424242", "analyze-scenario"],
         };
         texts.iter().map(|t| t.as_bytes().to_vec()).collect()
     }
@@ -123,6 +137,7 @@ impl Target {
                 b"SYSTEM",
             ],
             Target::Merge => &[b"0", b"9", b"merge"],
+            Target::Analyze => &[b"0", b"9", b"analyze"],
         }
     }
 
@@ -132,9 +147,9 @@ impl Target {
             Target::Xml => gen::xml_document(rng),
             Target::Pattern => gen::pattern_expr(rng),
             Target::Dtd => gen::dtd_document(rng),
-            // The merge scenario is derived from the bytes, so the "fresh
-            // input" is just a random seed rendered as digits.
-            Target::Merge => rng.gen::<u64>().to_string().into_bytes(),
+            // The merge and analyze scenarios are derived from the bytes, so
+            // the "fresh input" is just a random seed rendered as digits.
+            Target::Merge | Target::Analyze => rng.gen::<u64>().to_string().into_bytes(),
         }
     }
 
@@ -149,6 +164,7 @@ impl Target {
             Target::Pattern => execute_pattern(bytes),
             Target::Dtd => execute_dtd(bytes),
             Target::Merge => execute_merge(bytes),
+            Target::Analyze => execute_analyze(bytes),
         }
     }
 }
@@ -343,6 +359,166 @@ fn execute_merge(bytes: &[u8]) -> Result<(), String> {
     pruned.prune_to_ratio(0.5, PruneConfig::default());
     pruned.merge(&second);
     let _ = canonical_values(&pruned);
+    Ok(())
+}
+
+/// Derive an analyzer scenario from the case bytes: a DTD-conforming
+/// document corpus, a pattern workload mixing DTD-derived and free-form
+/// patterns, and differential checks of every diagnostic the analyzer
+/// emits against the exact matcher:
+///
+/// * `E001` (unsatisfiable) patterns must match **zero** conforming
+///   documents;
+/// * a `W002` coverage link `i → j` means every conforming document
+///   matching `i` also matches `j`; syntactic-proof links must hold on
+///   arbitrary (non-conforming) documents too;
+/// * `W003` duplicates must have identical match sets over conforming
+///   documents;
+/// * compaction-plan routing never loses a delivery: every conforming
+///   document matching a dropped pattern matches its surviving coverer,
+///   in both modes.
+fn execute_analyze(bytes: &[u8]) -> Result<(), String> {
+    use tps_analyze::{CompactionMode, LintCode, WorkloadAnalyzer, WorkloadEntry};
+    use tps_dtd::writer::schema_from_workload;
+    use tps_workload::{DocGenConfig, DocumentGenerator, Dtd, XPathGenConfig, XPathGenerator};
+
+    let scenario = digest(bytes);
+    let mut rng = StdRng::seed_from_u64(scenario);
+    let dtd = Dtd::media();
+    let schema = schema_from_workload(&dtd);
+
+    // A small conforming corpus plus a couple of arbitrary documents (for
+    // the universal-soundness checks).
+    let document_count = rng.gen_range(3usize..8);
+    let mut docgen = DocumentGenerator::new(&dtd, DocGenConfig::default().with_seed(rng.gen()));
+    let conforming = docgen.generate_many(document_count);
+    let mut arbitrary = Vec::new();
+    while arbitrary.len() < 3 {
+        let doc = gen::xml_document(&mut rng);
+        if let Ok(tree) = XmlTree::parse(&String::from_utf8_lossy(&doc)) {
+            arbitrary.push(tree);
+        }
+    }
+
+    // The workload: DTD-derived patterns (usually satisfiable) mixed with
+    // free-form generated ones (often unsatisfiable under the DTD).
+    let mut xpathgen = XPathGenerator::new(&dtd, XPathGenConfig::default().with_seed(rng.gen()));
+    let pattern_count = rng.gen_range(3usize..9);
+    let mut workload = Vec::new();
+    while workload.len() < pattern_count {
+        if rng.gen_bool(0.6) {
+            workload.push(WorkloadEntry::from_pattern(&xpathgen.generate()));
+        } else {
+            let raw = gen::pattern_expr(&mut rng);
+            if let Ok(entry) = WorkloadEntry::parse(&String::from_utf8_lossy(&raw)) {
+                workload.push(entry);
+            }
+        }
+    }
+
+    let report = WorkloadAnalyzer::new(Some(&schema)).analyze(&workload);
+    let matches_doc = |i: usize, doc: &XmlTree| -> bool { workload[i].pattern().matches(doc) };
+
+    for diag in &report.diagnostics {
+        let i = diag.pattern_index;
+        match diag.code {
+            LintCode::Unsatisfiable => {
+                if let Some(doc) = conforming.iter().find(|d| matches_doc(i, d)) {
+                    return Err(format!(
+                        "E001 pattern {:?} matches a conforming document: {}",
+                        workload[i].source(),
+                        doc.to_xml()
+                    ));
+                }
+            }
+            LintCode::ContainedRedundant | LintCode::DtdEquivalentDuplicate => {
+                for &j in &diag.related {
+                    for doc in &conforming {
+                        if matches_doc(i, doc) && !matches_doc(j, doc) {
+                            return Err(format!(
+                                "{} claims {:?} ⊑ {:?} but a conforming document separates them",
+                                diag.code,
+                                workload[i].source(),
+                                workload[j].source()
+                            ));
+                        }
+                        if diag.code == LintCode::DtdEquivalentDuplicate
+                            && matches_doc(j, doc)
+                            && !matches_doc(i, doc)
+                        {
+                            return Err(format!(
+                                "W003 claims {:?} ≡ {:?} but a conforming document separates them",
+                                workload[i].source(),
+                                workload[j].source()
+                            ));
+                        }
+                    }
+                }
+            }
+            LintCode::CostHazard => {}
+        }
+    }
+
+    // Syntactic coverage proofs must hold for arbitrary documents too.
+    for (i, _) in workload.iter().enumerate() {
+        if let Some(link) = report.plan.coverage(i) {
+            if link.proof == tps_analyze::Proof::Syntactic {
+                for doc in &arbitrary {
+                    if matches_doc(i, doc) && !matches_doc(link.coverer, doc) {
+                        return Err(format!(
+                            "syntactic coverage {:?} ⊑ {:?} fails on an arbitrary document",
+                            workload[i].source(),
+                            workload[link.coverer].source()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // Compaction-plan routing is delivery-preserving on conforming streams
+    // in both modes: a document matching any pattern must match the kept
+    // pattern the plan routes it to.
+    for mode in [CompactionMode::Universal, CompactionMode::DtdAware] {
+        for i in 0..workload.len() {
+            let Some(kept) = report.plan.route_to(i, mode) else {
+                // Dropped as unsatisfiable: E001 already checked above.
+                continue;
+            };
+            if !report.plan.keeps(kept, mode) {
+                return Err(format!(
+                    "route_to({i}, {}) = {kept}, which the plan drops",
+                    mode.as_str()
+                ));
+            }
+            for doc in &conforming {
+                if matches_doc(i, doc) && !matches_doc(kept, doc) {
+                    return Err(format!(
+                        "{} compaction loses a delivery: {:?} routed to {:?}",
+                        mode.as_str(),
+                        workload[i].source(),
+                        workload[kept].source()
+                    ));
+                }
+            }
+        }
+    }
+
+    // The analyzer must also behave without a schema (purely syntactic).
+    let syntactic = WorkloadAnalyzer::new(None).analyze(&workload);
+    for (i, _) in workload.iter().enumerate() {
+        if let Some(link) = syntactic.plan.coverage(i) {
+            for doc in conforming.iter().chain(&arbitrary) {
+                if matches_doc(i, doc) && !matches_doc(link.coverer, doc) {
+                    return Err(format!(
+                        "schema-less coverage {:?} ⊑ {:?} fails on a document",
+                        workload[i].source(),
+                        workload[link.coverer].source()
+                    ));
+                }
+            }
+        }
+    }
     Ok(())
 }
 

@@ -101,6 +101,7 @@ impl CompiledPattern {
     /// patterns adds nothing to the interner.
     pub fn compile(source: &TreePattern, interner: &mut SubtreeInterner) -> Self {
         Self::compile_with(source, &mut |key| Some(interner.intern(key)))
+            // invariant: the resolver below always returns Some
             .expect("an interning resolver never fails")
     }
 

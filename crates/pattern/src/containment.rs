@@ -117,12 +117,15 @@ fn embed_below(p: &TreePattern, u: PatternNodeId, q: &TreePattern, v: PatternNod
     match p.label(u) {
         PatternLabel::Descendant => {
             let target = p.children(u)[0];
-            // `//target` below v: target may embed at v itself (empty path) or
-            // anywhere in v's subtree.
-            embed_at(p, target, q, v, true)
-                || q.children(v)
-                    .iter()
-                    .any(|&vc| any_descendant_embeds(p, target, q, vc))
+            // `//target` below v binds a *proper* descendant of the node v
+            // binds, so the target must embed strictly inside v's subtree.
+            // Mapping it onto v itself would claim a zero-length path: the
+            // matcher rejects `/*//media` on `<media>…</media>`, so the
+            // homomorphism test must not treat them as related (found by
+            // the `analyze` fuzz target's differential check).
+            q.children(v)
+                .iter()
+                .any(|&vc| any_descendant_embeds(p, target, q, vc))
         }
         _ => q.children(v).iter().any(|&vc| child_image_ok(p, u, q, vc)),
     }
@@ -158,6 +161,31 @@ fn any_descendant_embeds(
 /// other)?
 pub fn equivalent(p: &TreePattern, q: &TreePattern) -> bool {
     contains(p, q) && contains(q, p)
+}
+
+/// An external containment decision procedure consulted when the syntactic
+/// homomorphism test cannot prove `q ⊑ p`.
+///
+/// The oracle returns `Some(true)` when it can prove containment by other
+/// means (e.g. a DTD-aware expansion check such as
+/// `tps_dtd::PatternAnalyzer::dtd_refinement` — under a document type, two
+/// patterns with *no* syntactic containment can still have included match
+/// sets, the paper's Example 1.1), `Some(false)` when it can prove the
+/// opposite, and `None` when it has no opinion. `None` degrades to "not
+/// contained", which keeps the combined test sound for callers that prune
+/// on a positive answer.
+pub type ContainmentOracle<'a> = dyn Fn(&TreePattern, &TreePattern) -> Option<bool> + 'a;
+
+/// Is `q` contained in `p`, consulting `oracle` when the homomorphism test
+/// comes back negative? The oracle receives `(p, q)` in the same order as
+/// [`contains`].
+pub fn contains_with(p: &TreePattern, q: &TreePattern, oracle: &ContainmentOracle<'_>) -> bool {
+    contains(p, q) || oracle(p, q).unwrap_or(false)
+}
+
+/// Are `p` and `q` equivalent under the oracle-extended containment test?
+pub fn equivalent_with(p: &TreePattern, q: &TreePattern, oracle: &ContainmentOracle<'_>) -> bool {
+    contains_with(p, q, oracle) && contains_with(q, p, oracle)
 }
 
 #[cfg(test)]
@@ -251,6 +279,39 @@ mod tests {
         assert!(!contains(&specific, &general));
         // //a also contains /a (the descendant may be the root itself).
         assert!(contains(&pat("//a"), &pat("/a")));
+    }
+
+    #[test]
+    fn descendant_below_a_node_requires_a_proper_descendant() {
+        // `<media><book><title/></book></media>` matches q but has no media
+        // element strictly below the root element, so p must not contain q.
+        let p = pat("/*//media");
+        let q = pat("/media/book/title");
+        assert!(!contains(&p, &q));
+        assert!(!contains(&pat("/media//media"), &q));
+        // Unlike at the pattern root, where `//media` may bind the document
+        // root element itself.
+        assert!(contains(&pat("//media"), &pat("/media/book")));
+    }
+
+    #[test]
+    fn oracle_extends_but_never_overrides_the_syntactic_test() {
+        let pa = pat("/media/CD/*/last/Mozart");
+        let pd = pat("//composer[last/Mozart]");
+        // No syntactic containment either way (Example 1.1) ...
+        assert!(!contains(&pa, &pd));
+        // ... but an oracle that knows the DTD can supply the answer.
+        let always_yes = |_: &TreePattern, _: &TreePattern| Some(true);
+        assert!(contains_with(&pa, &pd, &always_yes));
+        assert!(equivalent_with(&pa, &pd, &always_yes));
+        // A negative or silent oracle cannot take away a syntactic proof.
+        let always_no = |_: &TreePattern, _: &TreePattern| Some(false);
+        let silent = |_: &TreePattern, _: &TreePattern| None;
+        let general = pat("/a//b");
+        let specific = pat("/a/x/b");
+        assert!(contains_with(&general, &specific, &always_no));
+        assert!(contains_with(&general, &specific, &silent));
+        assert!(!contains_with(&specific, &general, &silent));
     }
 
     #[test]

@@ -153,13 +153,11 @@ fn tokenize(input: &str) -> Result<Vec<Spanned>, PatternParseError> {
                 });
             }
             _ => {
-                return Err(PatternParseError::new(
-                    format!(
-                        "unexpected character {:?}",
-                        input[i..].chars().next().unwrap()
-                    ),
-                    i,
-                ));
+                let message = match input[i..].chars().next() {
+                    Some(ch) => format!("unexpected character {ch:?}"),
+                    None => "unexpected end of input".to_string(),
+                };
+                return Err(PatternParseError::new(message, i));
             }
         }
     }

@@ -68,6 +68,6 @@ pub use broker::{Broker, Consumer, RoutingStats, RoutingStrategy};
 pub use community::{Community, CommunityClustering, CommunityConfig};
 pub use network::{BrokerNetwork, ForwardingMode, NetworkConsumer, NetworkStats};
 pub use overlay::{OverlayCommunity, OverlayStats, SemanticOverlay};
-pub use stats::{DeliveryMetrics, LinkMetrics};
+pub use stats::{DeliveryMetrics, LinkMetrics, TableCompaction};
 pub use table::{LinkSummary, RoutingTable, TableMode};
 pub use topology::{BrokerId, BrokerTopology};

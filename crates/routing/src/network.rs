@@ -8,11 +8,12 @@
 //! — under four forwarding disciplines: flooding and the three table
 //! summarisation modes.
 
+use tps_pattern::containment::ContainmentOracle;
 use tps_pattern::TreePattern;
 use tps_xml::XmlTree;
 
 use crate::impl_variant_name;
-use crate::stats::{DeliveryMetrics, LinkMetrics};
+use crate::stats::{DeliveryMetrics, LinkMetrics, TableCompaction};
 use crate::table::{RoutingTable, TableMode};
 use crate::topology::{BrokerId, BrokerTopology};
 
@@ -77,6 +78,10 @@ pub struct NetworkStats {
     pub missed_deliveries: usize,
     /// Total size of all routing tables, in pattern nodes (0 for flooding).
     pub table_nodes: usize,
+    /// Entries offered to versus kept by table construction (empty for
+    /// flooding). Exact tables keep everything; pruning and the
+    /// analysis-driven compaction pre-pass drop covered entries.
+    pub compaction: TableCompaction,
 }
 
 impl LinkMetrics for NetworkStats {
@@ -173,6 +178,28 @@ impl BrokerNetwork {
     /// The table of broker `b` has one entry per link of `b`, summarising the
     /// subscriptions of every consumer attached to a broker behind that link.
     pub fn build_tables(&self, mode: TableMode) -> Vec<RoutingTable> {
+        self.tables_from_partitions(mode, None)
+    }
+
+    /// [`BrokerNetwork::build_tables`] with a compaction pre-pass: each
+    /// link's subscription set is containment-pruned — the oracle extending
+    /// the syntactic test — before the mode summarisation
+    /// ([`RoutingTable::build_compacted`]). With the silent oracle this is
+    /// delivery-identical to the uncompacted tables for every document
+    /// stream; a DTD oracle preserves delivery on conforming streams.
+    pub fn build_tables_compacted(
+        &self,
+        mode: TableMode,
+        oracle: &ContainmentOracle<'_>,
+    ) -> Vec<RoutingTable> {
+        self.tables_from_partitions(mode, Some(oracle))
+    }
+
+    fn tables_from_partitions(
+        &self,
+        mode: TableMode,
+        oracle: Option<&ContainmentOracle<'_>>,
+    ) -> Vec<RoutingTable> {
         self.topology
             .brokers()
             .map(|broker| {
@@ -188,7 +215,10 @@ impl BrokerNetwork {
                             .collect()
                     })
                     .collect();
-                RoutingTable::build(&per_link, mode)
+                match oracle {
+                    None => RoutingTable::build(&per_link, mode),
+                    Some(oracle) => RoutingTable::build_compacted(&per_link, mode, oracle),
+                }
             })
             .collect()
     }
@@ -201,19 +231,46 @@ impl BrokerNetwork {
         documents: &[XmlTree],
         mode: ForwardingMode,
     ) -> NetworkStats {
+        self.route_stream_inner(producer, documents, mode, None)
+    }
+
+    /// [`BrokerNetwork::route_stream`] over tables built with the
+    /// compaction pre-pass ([`BrokerNetwork::build_tables_compacted`]);
+    /// [`NetworkStats::compaction`] reports how many entries it dropped.
+    pub fn route_stream_compacted(
+        &self,
+        producer: BrokerId,
+        documents: &[XmlTree],
+        mode: ForwardingMode,
+        oracle: &ContainmentOracle<'_>,
+    ) -> NetworkStats {
+        self.route_stream_inner(producer, documents, mode, Some(oracle))
+    }
+
+    fn route_stream_inner(
+        &self,
+        producer: BrokerId,
+        documents: &[XmlTree],
+        mode: ForwardingMode,
+        oracle: Option<&ContainmentOracle<'_>>,
+    ) -> NetworkStats {
         assert!(
             producer < self.topology.broker_count(),
             "producer broker {producer} does not exist"
         );
         let tables = match mode {
             ForwardingMode::Flooding => Vec::new(),
-            ForwardingMode::Table(table_mode) => self.build_tables(table_mode),
+            ForwardingMode::Table(table_mode) => self.tables_from_partitions(table_mode, oracle),
         };
         let mut stats = NetworkStats {
             documents: documents.len(),
             brokers: self.topology.broker_count(),
             consumers: self.consumers.len(),
             table_nodes: tables.iter().map(RoutingTable::node_count).sum(),
+            compaction: TableCompaction {
+                input_entries: tables.iter().map(RoutingTable::input_count).sum(),
+                kept_entries: tables.iter().map(RoutingTable::entry_count).sum(),
+            },
             ..NetworkStats::default()
         };
         for document in documents {
@@ -394,6 +451,33 @@ mod tests {
         // The aggregated table may forward spuriously but never less than
         // the exact table.
         assert!(aggregated.link_messages >= exact.link_messages);
+    }
+
+    #[test]
+    fn compacted_tables_are_delivery_identical_and_report_compaction() {
+        // `//composer` is contained in nothing here, but attach a redundant
+        // subscription behind the same broker as its coverer.
+        let mut network = network();
+        network.attach(1, "cd-dup", TreePattern::parse("/media/CD").unwrap());
+        let docs = documents();
+        let exact = network.route_stream(0, &docs, ForwardingMode::Table(TableMode::Exact));
+        let compacted = network.route_stream_compacted(
+            0,
+            &docs,
+            ForwardingMode::Table(TableMode::Exact),
+            &|_, _| None,
+        );
+        assert_eq!(compacted.deliveries, exact.deliveries);
+        assert_eq!(compacted.missed_deliveries, 0);
+        assert!(compacted.table_nodes < exact.table_nodes);
+        assert!(compacted.compaction.pruned_entries() > 0);
+        assert_eq!(
+            exact.compaction.pruned_entries(),
+            0,
+            "exact tables keep everything: {:?}",
+            exact.compaction
+        );
+        assert!(compacted.compaction.keep_ratio() < 1.0);
     }
 
     #[test]

@@ -111,6 +111,7 @@ impl SemanticOverlay {
                                 // determinism.
                                 .then(b.cmp(&a))
                         })
+                        // invariant: the clusterer never emits an empty community
                         .expect("communities are non-empty"),
                     None => members[0],
                 };

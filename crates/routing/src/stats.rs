@@ -91,6 +91,30 @@ pub trait LinkMetrics: DeliveryMetrics {
     }
 }
 
+/// How much table construction compacted the per-link subscription sets —
+/// entries offered versus entries kept, summed over all links of all
+/// brokers. Exact tables keep everything; containment pruning and the
+/// analysis-driven compaction pre-pass drop covered entries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableCompaction {
+    /// Subscription entries offered to table construction.
+    pub input_entries: usize,
+    /// Entries kept after summarisation / compaction.
+    pub kept_entries: usize,
+}
+
+impl TableCompaction {
+    /// Entries dropped by compaction.
+    pub fn pruned_entries(&self) -> usize {
+        self.input_entries.saturating_sub(self.kept_entries)
+    }
+
+    /// Fraction of offered entries kept (1.0 for an empty table).
+    pub fn keep_ratio(&self) -> f64 {
+        rate_or(self.kept_entries, self.input_entries, 1.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -16,10 +16,16 @@
 //! * [`TableMode::Aggregated`] — replace each link's subscriptions by their
 //!   least-upper-bound aggregate (one entry per link, may over-forward).
 
+use tps_pattern::containment::ContainmentOracle;
 use tps_pattern::{aggregate, containment, TreePattern};
 use tps_xml::XmlTree;
 
 use crate::named_enum;
+
+/// The silent oracle: syntactic containment only.
+fn no_oracle(_: &TreePattern, _: &TreePattern) -> Option<bool> {
+    None
+}
 
 /// How a link's subscription set is summarised.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,11 +51,34 @@ named_enum!(TableMode {
 pub struct LinkSummary {
     patterns: Vec<TreePattern>,
     mode: TableMode,
+    input_count: usize,
 }
 
 impl LinkSummary {
     /// Summarise `subscriptions` according to `mode`.
     pub fn build(subscriptions: &[TreePattern], mode: TableMode) -> Self {
+        Self::summarise(subscriptions, mode, subscriptions.len())
+    }
+
+    /// Compact `subscriptions` first — drop entries covered by another
+    /// entry of the same link, with the oracle extending the syntactic
+    /// containment test — then summarise the compacted set with `mode`.
+    ///
+    /// Compacting within one link is delivery-preserving: a covering
+    /// subscription behind the same link forwards every document the
+    /// dropped entry would have, and local delivery always filters per
+    /// consumer. With the silent oracle this is sound for every document;
+    /// a DTD oracle is sound on conforming streams only.
+    pub fn build_compacted(
+        subscriptions: &[TreePattern],
+        mode: TableMode,
+        oracle: &ContainmentOracle<'_>,
+    ) -> Self {
+        let compacted = prune_contained_with(subscriptions, oracle);
+        Self::summarise(&compacted, mode, subscriptions.len())
+    }
+
+    fn summarise(subscriptions: &[TreePattern], mode: TableMode, input_count: usize) -> Self {
         let patterns = match mode {
             TableMode::Exact => subscriptions.to_vec(),
             TableMode::ContainmentPruned => prune_contained(subscriptions),
@@ -61,7 +90,11 @@ impl LinkSummary {
                 }
             }
         };
-        Self { patterns, mode }
+        Self {
+            patterns,
+            mode,
+            input_count,
+        }
     }
 
     /// The summarisation mode.
@@ -72,6 +105,12 @@ impl LinkSummary {
     /// Number of patterns kept for this link.
     pub fn entry_count(&self) -> usize {
         self.patterns.len()
+    }
+
+    /// Number of subscriptions offered for this link before summarisation
+    /// or compaction.
+    pub fn input_count(&self) -> usize {
+        self.input_count
     }
 
     /// Total number of pattern nodes kept for this link (a size proxy).
@@ -103,14 +142,25 @@ impl LinkSummary {
 /// (`p ⊑ q` means any document matching `p` also matches `q`, so `p` is
 /// redundant for forwarding decisions).
 pub fn prune_contained(subscriptions: &[TreePattern]) -> Vec<TreePattern> {
+    prune_contained_with(subscriptions, &no_oracle)
+}
+
+/// [`prune_contained`] with a containment oracle extending the syntactic
+/// test (e.g. DTD expansion reasoning from `tps-analyze`): the oracle may
+/// prove additional containments, never fewer, so the pruned set is a
+/// subset of the syntactic one.
+pub fn prune_contained_with(
+    subscriptions: &[TreePattern],
+    oracle: &ContainmentOracle<'_>,
+) -> Vec<TreePattern> {
     let mut kept: Vec<TreePattern> = Vec::new();
     'candidates: for (i, candidate) in subscriptions.iter().enumerate() {
         for (j, other) in subscriptions.iter().enumerate() {
             if i == j {
                 continue;
             }
-            let candidate_contained = containment::contains(other, candidate);
-            let other_contained = containment::contains(candidate, other);
+            let candidate_contained = containment::contains_with(other, candidate, oracle);
+            let other_contained = containment::contains_with(candidate, other, oracle);
             if candidate_contained && !other_contained {
                 // Strictly contained in something else: redundant.
                 continue 'candidates;
@@ -146,6 +196,23 @@ impl RoutingTable {
         }
     }
 
+    /// Build a routing table over per-link subscription sets compacted with
+    /// [`LinkSummary::build_compacted`] (oracle-extended containment
+    /// pruning before mode summarisation).
+    pub fn build_compacted(
+        per_link_subscriptions: &[Vec<TreePattern>],
+        mode: TableMode,
+        oracle: &ContainmentOracle<'_>,
+    ) -> Self {
+        Self {
+            links: per_link_subscriptions
+                .iter()
+                .map(|subscriptions| LinkSummary::build_compacted(subscriptions, mode, oracle))
+                .collect(),
+            mode,
+        }
+    }
+
     /// The summarisation mode of the table.
     pub fn mode(&self) -> TableMode {
         self.mode
@@ -169,6 +236,12 @@ impl RoutingTable {
     /// Total number of pattern nodes across all links (a size proxy).
     pub fn node_count(&self) -> usize {
         self.links.iter().map(LinkSummary::node_count).sum()
+    }
+
+    /// Total number of subscriptions offered across all links before
+    /// summarisation or compaction.
+    pub fn input_count(&self) -> usize {
+        self.links.iter().map(LinkSummary::input_count).sum()
     }
 
     /// The links over which `document` must be forwarded, and the number of
@@ -225,6 +298,34 @@ mod tests {
     fn containment_pruning_keeps_one_of_equivalent_patterns() {
         let subs = patterns(&["//CD", "//CD"]);
         assert_eq!(prune_contained(&subs).len(), 1);
+    }
+
+    #[test]
+    fn oracle_extended_pruning_drops_entries_the_syntactic_test_keeps() {
+        // A toy oracle proving that `/media/CD` covers `//disc` — something
+        // the homomorphism test can never see.
+        let oracle = |p: &TreePattern, q: &TreePattern| -> Option<bool> {
+            (p.to_string() == "/media/CD" && q.to_string() == "//disc").then_some(true)
+        };
+        let subs = patterns(&["/media/CD", "//disc", "//book"]);
+        assert_eq!(prune_contained(&subs).len(), 3);
+        let pruned = prune_contained_with(&subs, &oracle);
+        let rendered: Vec<String> = pruned.iter().map(|p| p.to_string()).collect();
+        assert_eq!(rendered, vec!["/media/CD", "//book"]);
+    }
+
+    #[test]
+    fn compacted_summaries_record_input_counts() {
+        let subs = patterns(&["//CD", "//CD/title", "/media/CD", "//book"]);
+        let summary = LinkSummary::build_compacted(&subs, TableMode::Exact, &super::no_oracle);
+        assert_eq!(summary.input_count(), 4);
+        assert_eq!(summary.entry_count(), 2);
+        // Compaction before Exact summarisation equals ContainmentPruned.
+        let pruned = LinkSummary::build(&subs, TableMode::ContainmentPruned);
+        assert_eq!(summary.entry_count(), pruned.entry_count());
+        assert_eq!(pruned.input_count(), 4);
+        let exact = LinkSummary::build(&subs, TableMode::Exact);
+        assert_eq!(exact.input_count(), exact.entry_count());
     }
 
     #[test]

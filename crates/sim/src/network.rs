@@ -7,7 +7,7 @@ use tps_core::{PatternId, SimilarityEngine};
 use tps_pattern::TreePattern;
 use tps_routing::{
     BrokerId, BrokerNetwork, BrokerTopology, CommunityClustering, CommunityConfig, ForwardingMode,
-    RoutingTable,
+    RoutingTable, TableCompaction,
 };
 use tps_synopsis::SynopsisConfig;
 use tps_workload::SubscriberId;
@@ -33,6 +33,10 @@ pub struct SimConsumer {
 pub struct RebuildOutcome {
     /// Total size of the rebuilt tables, in pattern nodes (0 for flooding).
     pub table_nodes: usize,
+    /// Entries offered to versus kept by table construction for this
+    /// rebuild (empty for flooding; input equals kept unless the analyze
+    /// knob or a pruning table mode dropped covered entries).
+    pub compaction: TableCompaction,
     /// Number of semantic communities after re-clustering.
     pub communities: usize,
     /// Mean engine-estimated selectivity of the active subscriptions,
@@ -56,6 +60,7 @@ pub struct RebuildOutcome {
 pub struct SimNetwork {
     topology: BrokerTopology,
     forwarding: ForwardingMode,
+    analyze: bool,
     community: CommunityConfig,
     consumers: Vec<SimConsumer>,
     engine: SimilarityEngine,
@@ -105,6 +110,7 @@ impl SimNetwork {
         Self {
             topology,
             forwarding,
+            analyze: false,
             community,
             consumers: Vec::new(),
             engine: SimilarityEngine::new(synopsis),
@@ -126,6 +132,19 @@ impl SimNetwork {
     /// The forwarding discipline.
     pub fn forwarding(&self) -> ForwardingMode {
         self.forwarding
+    }
+
+    /// Enable or disable the static-analysis compaction pre-pass applied
+    /// at every table rebuild (syntactic containment pruning of each
+    /// link's subscription set before mode summarisation —
+    /// delivery-identical for any document stream).
+    pub fn set_analyze(&mut self, analyze: bool) {
+        self.analyze = analyze;
+    }
+
+    /// Whether table rebuilds run the compaction pre-pass.
+    pub fn analyze(&self) -> bool {
+        self.analyze
     }
 
     /// All consumer slots (active and departed).
@@ -228,7 +247,11 @@ impl SimNetwork {
                 for consumer in self.consumers.iter().filter(|c| c.active) {
                     network.attach(consumer.broker, "sim", consumer.pattern.clone());
                 }
-                network.build_tables(mode)
+                if self.analyze {
+                    network.build_tables_compacted(mode, &|_, _| None)
+                } else {
+                    network.build_tables(mode)
+                }
             }
         };
         self.tables_built_at_churn = self.churn_seq;
@@ -256,6 +279,10 @@ impl SimNetwork {
 
         RebuildOutcome {
             table_nodes: self.tables.iter().map(RoutingTable::node_count).sum(),
+            compaction: TableCompaction {
+                input_entries: self.tables.iter().map(RoutingTable::input_count).sum(),
+                kept_entries: self.tables.iter().map(RoutingTable::entry_count).sum(),
+            },
             communities: self.communities.len(),
             mean_selectivity: self.mean_selectivity,
         }
@@ -362,6 +389,27 @@ mod tests {
                 .sum::<usize>(),
             tables.iter().map(RoutingTable::node_count).sum::<usize>()
         );
+    }
+
+    #[test]
+    fn analyze_knob_compacts_tables_and_reports_it() {
+        let mut plain = network();
+        let mut analyzed = network();
+        analyzed.set_analyze(true);
+        assert!(analyzed.analyze());
+        // `/media/CD` is covered by `//CD` at the same broker.
+        for net in [&mut plain, &mut analyzed] {
+            net.subscribe(0, 1, pattern("//CD"));
+            net.subscribe(1, 1, pattern("/media/CD"));
+            net.subscribe(2, 3, pattern("//book"));
+        }
+        let base = plain.rebuild(1);
+        let compacted = analyzed.rebuild(1);
+        assert_eq!(base.compaction.pruned_entries(), 0);
+        assert!(compacted.compaction.pruned_entries() > 0);
+        assert!(compacted.table_nodes < base.table_nodes);
+        // Communities are untouched by table compaction.
+        assert_eq!(compacted.communities, base.communities);
     }
 
     #[test]

@@ -68,6 +68,9 @@ pub struct SimStats {
     /// Total routing-table size built over the run, in pattern nodes — the
     /// cumulative maintenance cost a recluster policy pays.
     pub rebuild_table_nodes: usize,
+    /// Cumulative table entries dropped by compaction across rebuilds
+    /// (non-zero only with the analyze knob or a pruning table mode).
+    pub rebuild_entries_pruned: usize,
     /// Active consumers when the run ended.
     pub final_consumers: usize,
     /// Highest number of simultaneously active consumers.
@@ -173,8 +176,8 @@ impl fmt::Display for SimReport {
         )?;
         writeln!(
             f,
-            "churn: {} subscribes, {} unsubscribes; rebuilds: {} ({} table nodes built)",
-            a.subscribes, a.unsubscribes, a.table_rebuilds, a.rebuild_table_nodes
+            "churn: {} subscribes, {} unsubscribes; rebuilds: {} ({} table nodes built, {} entries pruned)",
+            a.subscribes, a.unsubscribes, a.table_rebuilds, a.rebuild_table_nodes, a.rebuild_entries_pruned
         )?;
         writeln!(
             f,

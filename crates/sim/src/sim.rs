@@ -98,6 +98,11 @@ pub struct SimConfig {
     /// Record a human-readable event trace in the report (used by the
     /// determinism tests; off by default — traces are large).
     pub record_trace: bool,
+    /// Run the static-analysis compaction pre-pass at every table rebuild:
+    /// each link's subscription set is containment-pruned before mode
+    /// summarisation, so tables shrink while staying delivery-identical
+    /// (syntactic proofs only — sound for any document stream).
+    pub analyze: bool,
 }
 
 impl Default for SimConfig {
@@ -113,6 +118,7 @@ impl Default for SimConfig {
             window: 100,
             threads: 1,
             record_trace: false,
+            analyze: false,
         }
     }
 }
@@ -182,12 +188,13 @@ impl Simulation {
             config.producer
         );
         let brokers = topology.broker_count();
-        let network = SimNetwork::new(
+        let mut network = SimNetwork::new(
             topology,
             config.forwarding,
             config.community,
             config.synopsis,
         );
+        network.set_analyze(config.analyze);
         let window_length = config.window.max(1);
         Self {
             config,
@@ -330,10 +337,14 @@ impl Simulation {
         self.churn_since_rebuild = 0;
         self.report.aggregate.table_rebuilds += 1;
         self.report.aggregate.rebuild_table_nodes += outcome.table_nodes;
+        self.report.aggregate.rebuild_entries_pruned += outcome.compaction.pruned_entries();
         self.window.rebuilds += 1;
         self.trace(format!(
-            "rebuild[{reason}] tables={} communities={} selectivity={:.4}",
-            outcome.table_nodes, outcome.communities, outcome.mean_selectivity
+            "rebuild[{reason}] tables={} pruned={} communities={} selectivity={:.4}",
+            outcome.table_nodes,
+            outcome.compaction.pruned_entries(),
+            outcome.communities,
+            outcome.mean_selectivity
         ));
     }
 
@@ -384,6 +395,7 @@ impl Simulation {
         // Local delivery: exact per-consumer filtering over the *current*
         // active set, against the interest frozen at publication.
         let local = self.network.active_consumers_at(broker);
+        // invariant: hops are only scheduled for in-flight documents
         let state = self.docs[doc].as_mut().expect("hop for finalised document");
         let mut delivered_here = 0usize;
         for consumer in local {
@@ -436,6 +448,7 @@ impl Simulation {
             // link wants the document (frozen interest, current
             // attachment — a stale table forwarding into a subtree whose
             // subscribers departed is exactly what this measures).
+            // invariant: hops are only scheduled for in-flight documents
             let state = self.docs[doc].as_ref().expect("document is in flight");
             if !self
                 .network
@@ -464,6 +477,7 @@ impl Simulation {
 
     /// A document finished propagating: charge the misses and free it.
     fn finalise(&mut self, doc: DocHandle) {
+        // invariant: finalise is scheduled exactly once per in-flight document
         let state = self.docs[doc].take().expect("document is in flight");
         let missed = state
             .interested

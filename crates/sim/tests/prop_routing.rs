@@ -1,0 +1,130 @@
+//! Compaction soundness: routing over compacted tables is
+//! delivery-identical to routing over the uncompacted ones.
+//!
+//! * With the silent oracle the compaction pre-pass prunes only
+//!   syntactically covered entries, which is sound for *every* document
+//!   stream: deliveries and misses match the plain tables exactly, for
+//!   every table mode, topology and workload tried.
+//! * The DTD refinement oracle prunes strictly more, and stays
+//!   delivery-identical on streams conforming to that DTD.
+//! * The same invariant holds end-to-end through the simulator: a churn
+//!   run with the `analyze` knob on reports the same delivery outcome as
+//!   the plain run, it just builds smaller tables.
+
+use proptest::prelude::*;
+use tps_routing::{BrokerNetwork, BrokerTopology, ForwardingMode, TableMode};
+use tps_sim::{ReclusterPolicy, SimConfig, Simulation};
+use tps_workload::{
+    ChurnConfig, ChurnScenario, DocGenConfig, DocumentGenerator, Dtd, XPathGenConfig,
+    XPathGenerator,
+};
+use tps_xml::XmlTree;
+
+/// A media-DTD workload: conforming documents plus consumers spread over a
+/// balanced broker tree, all derived deterministically from `seed`.
+fn workload(seed: u64, consumers: usize) -> (BrokerNetwork, Vec<XmlTree>) {
+    let dtd = Dtd::media();
+    let mut docgen = DocumentGenerator::new(&dtd, DocGenConfig::default().with_seed(seed));
+    let documents = docgen.generate_many(12);
+    let mut xpgen = XPathGenerator::new(&dtd, XPathGenConfig::default().with_seed(seed * 31 + 7));
+    let topology = BrokerTopology::balanced_tree(7, 2);
+    let brokers = topology.broker_count();
+    let mut network = BrokerNetwork::new(topology);
+    for c in 0..consumers {
+        network.attach(c % brokers, format!("c{c}"), xpgen.generate());
+    }
+    (network, documents)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For every table mode, `route_stream_compacted` delivers exactly the
+    /// (consumer, document) pairs `route_stream` delivers — with the
+    /// syntactic-only oracle and with the DTD oracle on conforming streams.
+    /// Local filtering is per-subscription, so equal delivery and miss
+    /// counts pin the delivered set itself.
+    #[test]
+    fn compacted_routing_is_delivery_identical(
+        seed in 0u64..100_000,
+        consumers in 1usize..14,
+    ) {
+        let (network, documents) = workload(seed, consumers);
+        let schema = tps_dtd::writer::schema_from_workload(&Dtd::media());
+        let oracle =
+            tps_analyze::dtd_refinement_oracle(schema, tps_dtd::AnalysisConfig::default());
+        for mode in TableMode::all() {
+            let forwarding = ForwardingMode::Table(mode);
+            let plain = network.route_stream(0, &documents, forwarding);
+            let syntactic =
+                network.route_stream_compacted(0, &documents, forwarding, &|_, _| None);
+            let refined =
+                network.route_stream_compacted(0, &documents, forwarding, &|p, q| oracle(p, q));
+            for (label, compacted) in [("syntactic", &syntactic), ("dtd", &refined)] {
+                prop_assert_eq!(
+                    compacted.deliveries, plain.deliveries,
+                    "{} compaction changed deliveries under {}", label, mode.name()
+                );
+                prop_assert_eq!(
+                    compacted.missed_deliveries, plain.missed_deliveries,
+                    "{} compaction changed misses under {}", label, mode.name()
+                );
+                prop_assert!(
+                    compacted.compaction.kept_entries <= compacted.compaction.input_entries,
+                    "{} compaction kept more than it was offered", label
+                );
+            }
+            // Under the exact mode the compacted table is a subset of the
+            // plain one, so pruning can only shrink it. (Not claimed for
+            // the other modes: their summarisation runs *after* the
+            // pre-pass, and aggregating a pruned set can merge to a
+            // differently shaped — occasionally larger — pattern.)
+            if mode == TableMode::Exact {
+                prop_assert!(refined.table_nodes <= plain.table_nodes);
+                prop_assert!(syntactic.table_nodes <= plain.table_nodes);
+            }
+        }
+    }
+
+    /// The invariant survives churn: a full simulator run with the
+    /// `analyze` compaction knob reports the same deliveries, misses and
+    /// spurious traffic as the plain run, while never building larger
+    /// tables.
+    #[test]
+    fn analyzed_simulation_is_delivery_identical(
+        seed in 0u64..100_000,
+        arrivals in 0usize..5,
+        departures in 0usize..5,
+    ) {
+        let scenario = ChurnScenario::generate(
+            &Dtd::media(),
+            &ChurnConfig {
+                brokers: 7,
+                initial_subscribers: 6,
+                arrivals,
+                departures,
+                publications: 30,
+                horizon: 300,
+                seed,
+                ..ChurnConfig::default()
+            },
+        );
+        let run = |analyze: bool| {
+            let config = SimConfig {
+                recluster: ReclusterPolicy::Eager,
+                analyze,
+                ..SimConfig::default()
+            };
+            Simulation::new(BrokerTopology::balanced_tree(7, 2), config).run(&scenario)
+        };
+        let plain = run(false).aggregate;
+        let analyzed = run(true).aggregate;
+        prop_assert_eq!(analyzed.deliveries, plain.deliveries);
+        prop_assert_eq!(analyzed.missed_deliveries, plain.missed_deliveries);
+        prop_assert_eq!(analyzed.documents, plain.documents);
+        prop_assert_eq!(analyzed.subscribes, plain.subscribes);
+        prop_assert_eq!(analyzed.unsubscribes, plain.unsubscribes);
+        prop_assert!(analyzed.rebuild_table_nodes <= plain.rebuild_table_nodes);
+        prop_assert!(analyzed.rebuild_entries_pruned >= plain.rebuild_entries_pruned);
+    }
+}

@@ -46,6 +46,7 @@ pub mod hash;
 pub mod prune;
 pub mod reservoir;
 pub mod summary;
+// invariant: the crate-eponymous module holds the eponymous type
 #[allow(clippy::module_inception)]
 pub mod synopsis;
 

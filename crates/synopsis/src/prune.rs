@@ -224,7 +224,7 @@ impl Synopsis {
                 .iter()
                 .map(|&id| (id, self.matching_value(id).count_units()))
                 .collect();
-            with_counts.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            with_counts.sort_by(|a, b| a.1.total_cmp(&b.1));
             let mut evaluated = 0;
             for window in with_counts.windows(2) {
                 if evaluated >= candidates_per_label {
@@ -336,7 +336,7 @@ impl Synopsis {
                 return folds;
             }
             // Most similar first, as the paper prescribes.
-            candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            candidates.sort_by(|a, b| b.1.total_cmp(&a.1));
             for (leaf, _) in candidates {
                 if self.size().total() <= target_size {
                     return folds;
@@ -369,7 +369,7 @@ impl Synopsis {
             if candidates.is_empty() {
                 return deletions;
             }
-            candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            candidates.sort_by(|a, b| a.1.total_cmp(&b.1));
             let mut progressed = false;
             for (leaf, _) in candidates {
                 if self.size().total() <= target_size {
@@ -422,7 +422,7 @@ impl Synopsis {
                     .iter()
                     .map(|&id| (id, self.matching_value(id).count_units()))
                     .collect();
-                with_counts.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+                with_counts.sort_by(|a, b| a.1.total_cmp(&b.1));
                 let mut evaluated = 0;
                 for window in with_counts.windows(2) {
                     if evaluated >= candidates_per_label {
@@ -440,7 +440,7 @@ impl Synopsis {
             if candidates.is_empty() {
                 return merges;
             }
-            candidates.sort_by(|x, y| y.2.partial_cmp(&x.2).unwrap());
+            candidates.sort_by(|x, y| y.2.total_cmp(&x.2));
             let mut progressed = false;
             for (a, b, _) in candidates {
                 if self.size().total() <= target_size {

@@ -150,6 +150,7 @@ impl ReservoirSampler {
             self.max_index = None;
             return ReservoirDecision::Insert;
         }
+        // invariant: the reservoir is full here, hence non-empty
         let victim_index = self.argmax().expect("reservoir is full, hence non-empty");
         let (victim_key, victim_doc) = self.entries[victim_index];
         if (key, doc.as_u64()) < (victim_key, victim_doc.as_u64()) {

@@ -383,6 +383,7 @@ impl Synopsis {
                 let decision = self
                     .reservoir
                     .as_mut()
+                    // invariant: the constructor allocates a reservoir for Sets mode
                     .expect("Sets mode always has a reservoir")
                     .offer(doc);
                 match decision {

@@ -226,6 +226,7 @@ impl ChurnScenario {
         .into_stream(config.publications);
         let mut index = 0u64;
         while let Some(document) = stream.next_document(index) {
+            // invariant: the stream re-parses markup the generator itself serialised
             let document = document.expect("generated documents always parse");
             events.push(ScenarioEvent {
                 time: clock_rng.gen_range(1..=horizon),

@@ -110,6 +110,7 @@ impl<'a> DocumentGenerator<'a> {
             for _ in 0..count {
                 // Uniform selection over the allowed children, as in the
                 // paper's generator configuration.
+                // invariant: expansion only recurses into elements with children
                 let child_element = *allowed.choose(&mut self.rng).expect("non-empty");
                 let child_node = tree.add_child(node, self.dtd.element_name(child_element));
                 budget = budget.saturating_sub(1);

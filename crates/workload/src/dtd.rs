@@ -266,12 +266,14 @@ impl Dtd {
             for &parent in parents {
                 let fanout = rng.gen_range(1..=config.max_fanout.max(1));
                 for _ in 0..fanout {
+                    // invariant: `children` was checked non-empty above
                     let child = *children.choose(&mut rng).expect("non-empty layer");
                     dtd.add_child(parent, child);
                 }
             }
             // Make sure every child of the next layer is reachable.
             for &child in children {
+                // invariant: `parents` was checked non-empty above
                 let parent = *parents.choose(&mut rng).expect("non-empty layer");
                 dtd.add_child(parent, child);
             }

@@ -65,10 +65,7 @@ impl Zipf {
     /// Draw a rank.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        match self
-            .cumulative
-            .binary_search_by(|c| c.partial_cmp(&u).unwrap())
-        {
+        match self.cumulative.binary_search_by(|c| c.total_cmp(&u)) {
             Ok(i) => i,
             Err(i) => i.min(self.cumulative.len() - 1),
         }

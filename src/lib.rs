@@ -29,8 +29,12 @@
 //! * community-discovery algorithms over similarity matrices
 //!   (agglomerative, k-medoids, leader clustering, MinHash signatures and
 //!   quality metrics) ([`cluster`]),
-//! * and a DTD substrate — parser, validator, writer and DTD-aware pattern
-//!   analysis (the paper's Example 1.1 reasoning) ([`dtd`]).
+//! * a DTD substrate — parser, validator, writer and DTD-aware pattern
+//!   analysis (the paper's Example 1.1 reasoning) ([`dtd`]),
+//! * and a static subscription-analysis pass over whole workloads: lint
+//!   diagnostics with stable codes (`E001` unsatisfiable, `W002`
+//!   contained, `W003` DTD-equivalent duplicates, `W004` cost hazards)
+//!   and containment-driven routing-table compaction ([`analyze`]).
 //!
 //! A command-line toolkit (`tps`, in the `tps-cli` crate) exposes the same
 //! functionality as subcommands.
@@ -143,6 +147,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use tps_analyze as analyze;
 pub use tps_cluster as cluster;
 pub use tps_core as core;
 pub use tps_dtd as dtd;
@@ -155,6 +160,9 @@ pub use tps_xml as xml;
 
 /// Convenience re-exports of the most commonly used types.
 pub mod prelude {
+    pub use tps_analyze::{
+        CompactionMode, CompactionPlan, LintCode, WorkloadAnalyzer, WorkloadEntry,
+    };
     pub use tps_cluster::{
         agglomerative, kmedoids, leader, AgglomerativeConfig, Clustering, KMedoidsConfig,
         LeaderConfig, SimilarityMatrix,
