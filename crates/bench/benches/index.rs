@@ -1,0 +1,121 @@
+//! Benchmarks for the banded-MinHash candidate index: signature
+//! construction (with and without the hoisted permutation seeds) and the
+//! incremental register+cluster loop at 100k and one million synthetic
+//! subscriptions.
+//!
+//! Two same-run ratio rules in `bench_thresholds.txt` gate this suite:
+//!
+//! * `index_signatures/hoisted` must beat the per-slot re-hashing baseline
+//!   it replaced (the baseline is reimplemented here, frozen), and
+//! * `index_scaling/cluster_1M` must stay within 12× of
+//!   `index_scaling/cluster_100k` — a 10× larger workload within a
+//!   near-linear budget. A quadratic register+cluster loop would blow the
+//!   ratio by orders of magnitude.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tps_cluster::{pattern_features, LeaderConfig, LshConfig, MinHashSignature, OnlineLeader};
+use tps_workload::{Dtd, XPathGenConfig, XPathGenerator};
+
+/// SplitMix64 finaliser, duplicated from the signature module so the
+/// baseline below stays frozen even if the library evolves.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The pre-fix signature construction: the permutation seed is re-derived
+/// with an extra `mix` for every (id, slot) pair instead of once per slot.
+fn rehash_baseline(ids: &[u64], num_hashes: usize, seed: u64) -> Vec<u64> {
+    let mut values = vec![u64::MAX; num_hashes];
+    for &id in ids {
+        for (k, slot) in values.iter_mut().enumerate() {
+            let hashed = mix(id ^ mix(seed.wrapping_add(k as u64)));
+            if hashed < *slot {
+                *slot = hashed;
+            }
+        }
+    }
+    values
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    // 400 feature sets of 48 ids each at width 128: big enough that the
+    // inner loop dominates, small enough for the pinned CI iterations.
+    let sets: Vec<Vec<u64>> = (0..400)
+        .map(|s| {
+            (0..48)
+                .map(|i| mix((s * 48 + i) as u64))
+                .collect::<Vec<u64>>()
+        })
+        .collect();
+    let (num_hashes, seed) = (128, 2007u64);
+    let mut group = c.benchmark_group("index_signatures");
+    group.sample_size(10);
+    group.bench_function("hoisted", |b| {
+        b.iter(|| {
+            for ids in &sets {
+                black_box(MinHashSignature::from_ids(
+                    ids.iter().copied(),
+                    num_hashes,
+                    seed,
+                ));
+            }
+        })
+    });
+    group.bench_function("rehash_baseline", |b| {
+        b.iter(|| {
+            for ids in &sets {
+                black_box(rehash_baseline(ids, num_hashes, seed));
+            }
+        })
+    });
+    group.finish();
+}
+
+/// Pattern features for `count` synthetic media-DTD subscriptions, packed
+/// into a flat arena so the setup's memory stays bounded at the million
+/// mark (one `Vec` per subscription would pay ~24 bytes of header each).
+fn feature_arena(count: usize) -> (Vec<u64>, Vec<u32>) {
+    let dtd = Dtd::media();
+    let mut generator = XPathGenerator::new(&dtd, XPathGenConfig::default().with_seed(2007));
+    let mut arena = Vec::new();
+    let mut offsets = Vec::with_capacity(count + 1);
+    offsets.push(0u32);
+    for _ in 0..count {
+        arena.extend_from_slice(&pattern_features(&generator.generate()));
+        offsets.push(arena.len() as u32);
+    }
+    (arena, offsets)
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_scaling");
+    group.sample_size(10);
+    for (label, count) in [("cluster_100k", 100_000), ("cluster_1M", 1_000_000)] {
+        let (arena, offsets) = feature_arena(count);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut online = OnlineLeader::new(
+                    LshConfig::default(),
+                    LeaderConfig {
+                        similarity_threshold: 0.5,
+                        ..LeaderConfig::default()
+                    },
+                );
+                for window in offsets.windows(2) {
+                    online
+                        .insert_features_estimated(&arena[window[0] as usize..window[1] as usize]);
+                }
+                black_box(online.cluster_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_signatures, bench_scaling);
+criterion_main!(benches);

@@ -50,9 +50,32 @@ fn committed_thresholds_file_parses_and_carries_the_build_par_rules() {
         .collect();
     assert_eq!(analyze.len(), 1, "the syntactic-vs-dtd analysis rule");
     assert!(analyze[0].denominator.ends_with("dtd_128"), "{analyze:?}");
+    let index: Vec<_> = thresholds
+        .ratios
+        .iter()
+        .filter(|rule| rule.numerator.starts_with("index_"))
+        .collect();
+    assert_eq!(index.len(), 2, "near-linear scaling + hoisted signatures");
+    let scaling = index
+        .iter()
+        .find(|rule| rule.numerator.ends_with("cluster_1M"))
+        .expect("the near-linear scaling rule");
+    assert!(scaling.denominator.ends_with("cluster_100k"), "{scaling:?}");
+    assert!(
+        scaling.max < 20.0,
+        "10x the subscriptions must stay near-linear: {scaling:?}"
+    );
+    let hoisted = index
+        .iter()
+        .find(|rule| rule.numerator.ends_with("hoisted"))
+        .expect("the hoisted-signatures rule");
+    assert!(
+        hoisted.max < 1.0,
+        "the hoisted form must beat the re-hashing baseline: {hoisted:?}"
+    );
     assert_eq!(
         thresholds.ratios.len(),
-        build_par.len() + analyze.len(),
+        build_par.len() + analyze.len() + index.len(),
         "no unaccounted-for ratio rules"
     );
 }
@@ -70,6 +93,10 @@ fn gate_rejects_the_prefix_build_par_snapshot() {
     prefix.extend(
         parse_snapshot(&read(&repo_root().join("BENCH_analyze.json")))
             .expect("analyze snapshot parses"),
+    );
+    prefix.extend(
+        parse_snapshot(&read(&repo_root().join("BENCH_index.json")))
+            .expect("index snapshot parses"),
     );
     let gate = enforce_ratios(&prefix, &thresholds, &[]);
     assert_eq!(
@@ -99,6 +126,10 @@ fn gate_accepts_the_committed_snapshots() {
         parse_snapshot(&read(&repo_root().join("BENCH_analyze.json")))
             .expect("analyze snapshot parses"),
     );
+    union.extend(
+        parse_snapshot(&read(&repo_root().join("BENCH_index.json")))
+            .expect("index snapshot parses"),
+    );
     let ratios = enforce_ratios(&union, &thresholds, &[]);
     assert!(
         ratios.failures.is_empty(),
@@ -108,7 +139,7 @@ fn gate_accepts_the_committed_snapshots() {
 
 #[test]
 fn binary_passes_the_ci_invocation_over_all_committed_snapshots() {
-    // Exactly what CI runs (with fresh == committed): four pairs in one
+    // Exactly what CI runs (with fresh == committed): five pairs in one
     // invocation. The ratio rules must be satisfied by the union of the
     // fresh snapshots, not demanded of the engine/sim pairs where those
     // ids do not exist.
@@ -118,11 +149,13 @@ fn binary_passes_the_ci_invocation_over_all_committed_snapshots() {
     let synopsis = root.join("BENCH_synopsis.json");
     let sim = root.join("BENCH_sim.json");
     let analyze = root.join("BENCH_analyze.json");
-    let (e, s, m, a) = (
+    let index = root.join("BENCH_index.json");
+    let (e, s, m, a, i) = (
         engine.to_str().unwrap(),
         synopsis.to_str().unwrap(),
         sim.to_str().unwrap(),
         analyze.to_str().unwrap(),
+        index.to_str().unwrap(),
     );
     let out = bench_diff(&[
         "--enforce",
@@ -136,6 +169,8 @@ fn binary_passes_the_ci_invocation_over_all_committed_snapshots() {
         m,
         a,
         a,
+        i,
+        i,
     ]);
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(out.status.success(), "{stdout}");

@@ -10,9 +10,9 @@ use std::io::Write;
 use tps_analyze::{render_json_lines, render_text, WorkloadAnalyzer, WorkloadEntry};
 use tps_cluster::{
     agglomerative, evaluate, kmedoids, leader, AgglomerativeConfig, Clustering, KMedoidsConfig,
-    LeaderConfig, SimilarityMatrix,
+    LeaderConfig, OnlineLeader, SimilarityMatrix,
 };
-use tps_core::{ExactEvaluator, ProximityMetric, SimilarityEngine};
+use tps_core::{ExactEvaluator, LshConfig, PatternId, ProximityMetric, SimilarityEngine};
 use tps_dtd::{writer as dtd_writer, PatternAnalyzer, ValidationMode, Validator};
 use tps_pattern::TreePattern;
 use tps_routing::{
@@ -109,6 +109,12 @@ COMMANDS:
         --threads N                    worker threads for the matrix
                                        (default 1, 0 = one per core;
                                        results are identical)
+        --index [BxR]                  with 3+ patterns: evaluate only the
+                                       banded-MinHash candidate pairs (bare
+                                       flag = default banding, e.g. 16x1),
+                                       reporting pairs with similarity >=
+                                       --threshold (default 0)
+        --index-seed S                 LSH permutation seed
         --dtd, --documents, --seed, --summary, --capacity   as above
     cluster      Cluster a generated subscription workload into communities
         --dtd, --documents, --seed     workload options
@@ -119,6 +125,10 @@ COMMANDS:
         --metric m1|m2|m3              proximity metric (default m3)
         --threads N                    worker threads for the similarity
                                        matrix (default 1)
+        --index [BxR]                  run the leader algorithm incrementally
+                                       through the banded-MinHash candidate
+                                       index (requires --algorithm leader)
+        --index-seed S                 LSH permutation seed
     lint         Statically analyse a subscription workload
         --pattern P                    pattern to analyse (repeatable)
         --patterns-file PATH           file with one pattern per line
@@ -141,6 +151,8 @@ COMMANDS:
                                        DTD-aware containment analysis
         --threads N                    worker threads for the similarity
                                        matrix (default 1)
+        --index [BxR]                  build the overlay communities through
+                                       the banded-MinHash candidate index
     simulate     Discrete-event simulation under subscription churn
         --scenario steady|churn|flash  churn preset (default churn)
         --subscriptions N              initial subscribers (default 20)
@@ -157,6 +169,9 @@ COMMANDS:
         --window W                     report window length (default 100)
         --threads N                    rebuild worker threads (default 1,
                                        0 = one per core)
+        --index [BxR]                  maintain the communities incrementally
+                                       through the banded-MinHash candidate
+                                       index instead of rebuilding them
         --dtd, --seed, --summary, --capacity, --threshold   as above
     synopsis build   Build a synopsis from a stream of documents
         --input PATH|-                 line-delimited XML documents, one per
@@ -291,6 +306,46 @@ fn threads_from(args: &ParsedArgs) -> Result<usize, CliError> {
     Ok(match args.get_usize("threads", 1)? {
         0 => tps_core::par::available_workers(),
         threads => threads,
+    })
+}
+
+/// The `--index` knob: enable the banded MinHash candidate-pair index.
+///
+/// The bare flag selects the default banding; a `BANDSxROWS` value (e.g.
+/// `--index 16x1`) picks an explicit shape. `--index-seed S` reseeds the
+/// signature permutations (the built-in seed otherwise).
+fn index_from(args: &ParsedArgs) -> Result<Option<LshConfig>, CliError> {
+    let base = LshConfig::default();
+    let config = match args.get("index") {
+        Some(value) => {
+            let invalid = || {
+                CliError::Args(ArgsError::InvalidValue {
+                    option: "index".to_string(),
+                    value: value.to_string(),
+                    expected: "BANDSxROWS with both positive (e.g. 8x2)".to_string(),
+                })
+            };
+            let (bands, rows) = value.split_once('x').ok_or_else(invalid)?;
+            let bands: usize = bands.parse().map_err(|_| invalid())?;
+            let rows: usize = rows.parse().map_err(|_| invalid())?;
+            if bands == 0 || rows == 0 {
+                return Err(invalid());
+            }
+            Some(LshConfig {
+                bands,
+                rows,
+                ..base
+            })
+        }
+        None if args.has_flag("index") => Some(base),
+        None => None,
+    };
+    Ok(match config {
+        Some(config) => Some(LshConfig {
+            seed: args.get_u64("index-seed", config.seed)?,
+            ..config
+        }),
+        None => None,
     })
 }
 
@@ -475,9 +530,37 @@ fn similarity<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> 
     engine.observe_all(&documents);
     let ids = engine.register_all(&patterns);
     if patterns.len() > 2 {
+        let metric = metric_from(args)?;
+        if let Some(lsh) = index_from(args)? {
+            // Sub-quadratic path: enumerate banded-MinHash candidate pairs
+            // and evaluate the real similarity only on those.
+            let threshold = args.get_f64("threshold", 0.0)?;
+            let pairs = engine.similarity_candidates_with(&ids, metric, lsh, threshold);
+            let possible = patterns.len() * (patterns.len() - 1) / 2;
+            writeln!(
+                out,
+                "{} patterns over {} documents ({metric} candidate pairs, \
+                 {} bands x {} rows)",
+                patterns.len(),
+                engine.document_count(),
+                lsh.bands(),
+                lsh.rows()
+            )?;
+            for (i, pattern) in patterns.iter().enumerate() {
+                writeln!(out, "p{i} = {pattern}")?;
+            }
+            writeln!(
+                out,
+                "candidate pairs at threshold {threshold}: {} of {possible} possible",
+                pairs.len()
+            )?;
+            for (i, j, similarity) in pairs {
+                writeln!(out, "p{i} ~ p{j} {similarity:>8.4}")?;
+            }
+            return Ok(());
+        }
         // Batch path: the full pairwise similarity matrix in one engine
         // call, fanned out over `--threads` workers when asked.
-        let metric = metric_from(args)?;
         let matrix = engine.similarity_matrix_par(&ids, metric, threads);
         writeln!(
             out,
@@ -520,18 +603,15 @@ fn similarity<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> 
     Ok(())
 }
 
-fn build_matrix(
+fn build_engine(
     dataset: &Dataset,
     args: &ParsedArgs,
-    threads: usize,
-) -> Result<(Vec<TreePattern>, SimilarityMatrix), CliError> {
-    let metric = metric_from(args)?;
+) -> Result<(Vec<TreePattern>, SimilarityEngine, Vec<PatternId>), CliError> {
     let mut engine = SimilarityEngine::new(synopsis_config(args)?);
     engine.observe_all(&dataset.documents);
     let subscriptions = dataset.positive.clone();
     let ids = engine.register_all(&subscriptions);
-    let matrix = SimilarityMatrix::from_engine_par(&engine, &ids, metric, threads);
-    Ok((subscriptions, matrix))
+    Ok((subscriptions, engine, ids))
 }
 
 fn cluster<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
@@ -539,20 +619,54 @@ fn cluster<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
     let subscriptions = args.get_usize("subscriptions", 40)?;
     // Validate --threads before the expensive dataset generation.
     let threads = threads_from(args)?;
+    let index = index_from(args)?;
     let dataset = generate_dataset(args, dtd, subscriptions)?;
-    let (patterns, matrix) = build_matrix(&dataset, args, threads)?;
+    let metric = metric_from(args)?;
+    let (patterns, engine, ids) = build_engine(&dataset, args)?;
+    // The full matrix is still evaluated for the quality report; only the
+    // clustering pass itself goes through the candidate index.
+    let matrix = SimilarityMatrix::from_engine_par(&engine, &ids, metric, threads);
     let threshold = args.get_f64("threshold", 0.6)?;
-    let clustering: Clustering = match args.get("algorithm").unwrap_or("agglomerative") {
-        "leader" => {
-            leader(
-                &matrix,
-                LeaderConfig {
-                    similarity_threshold: threshold,
-                    ..LeaderConfig::default()
-                },
-            )
-            .clustering
-        }
+    let algorithm = args.get("algorithm").unwrap_or("agglomerative");
+    if index.is_some() && algorithm != "leader" {
+        return Err(CliError::Args(ArgsError::InvalidValue {
+            option: "algorithm".to_string(),
+            value: algorithm.to_string(),
+            expected: "leader (--index drives the incremental leader clustering)".to_string(),
+        }));
+    }
+    let mut evaluated = 0usize;
+    let clustering: Clustering = match algorithm {
+        "leader" => match index {
+            Some(lsh) => {
+                // Incremental path: each arrival probes only the leaders it
+                // shares a band with, scored with the engine similarity.
+                let mut online = OnlineLeader::new(
+                    lsh,
+                    LeaderConfig {
+                        similarity_threshold: threshold,
+                        ..LeaderConfig::default()
+                    },
+                );
+                for pattern in &patterns {
+                    online.insert_with(pattern, |slot, leader| {
+                        evaluated += 1;
+                        engine.similarity(ids[slot as usize], ids[leader as usize], metric)
+                    });
+                }
+                online.clustering()
+            }
+            None => {
+                leader(
+                    &matrix,
+                    LeaderConfig {
+                        similarity_threshold: threshold,
+                        ..LeaderConfig::default()
+                    },
+                )
+                .clustering
+            }
+        },
         "agglomerative" => {
             agglomerative(
                 &matrix,
@@ -589,6 +703,15 @@ fn cluster<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
         dataset.documents.len(),
         matrix.metric()
     )?;
+    if let Some(lsh) = index {
+        writeln!(
+            out,
+            "candidate index: {} bands x {} rows, {evaluated} of {} pairs scored",
+            lsh.bands(),
+            lsh.rows(),
+            patterns.len() * patterns.len().saturating_sub(1) / 2
+        )?;
+    }
     writeln!(out, "communities: {}", clustering.cluster_count())?;
     writeln!(out, "singletons: {}", quality.singleton_count)?;
     writeln!(
@@ -737,8 +860,11 @@ fn route<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
             tps_dtd::AnalysisConfig::default(),
         )
     });
+    let index = index_from(args)?;
     let dataset = generate_dataset(args, dtd, subscriptions)?;
-    let (patterns, matrix) = build_matrix(&dataset, args, threads)?;
+    let metric = metric_from(args)?;
+    let (patterns, engine, ids) = build_engine(&dataset, args)?;
+    let matrix = SimilarityMatrix::from_engine_par(&engine, &ids, metric, threads);
     // Multi-broker simulation: consumers spread round-robin over the leaves.
     let mut network = BrokerNetwork::new(BrokerTopology::balanced_tree(brokers, 2));
     for (index, pattern) in patterns.iter().enumerate() {
@@ -783,22 +909,47 @@ fn route<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
         }
         writeln!(out)?;
     }
-    // Semantic overlay built from the similarity matrix.
+    // Semantic overlay built from the similarity matrix — or, with
+    // `--index`, from the candidate-driven community build that never
+    // touches the full matrix.
     let threshold = args.get_f64("threshold", 0.6)?;
-    let clustering = agglomerative(
-        &matrix,
-        AgglomerativeConfig {
-            similarity_threshold: threshold,
-            ..AgglomerativeConfig::default()
-        },
-    )
-    .clustering;
+    let clustering = match index {
+        Some(lsh) => {
+            use tps_routing::{CommunityClustering, CommunityConfig};
+            let communities = CommunityClustering::cluster_indexed(
+                &engine,
+                &ids,
+                CommunityConfig {
+                    metric,
+                    threshold,
+                    ..CommunityConfig::default()
+                },
+                lsh,
+            );
+            Clustering::from_assignment(communities.assignment(patterns.len()))
+        }
+        None => {
+            agglomerative(
+                &matrix,
+                AgglomerativeConfig {
+                    similarity_threshold: threshold,
+                    ..AgglomerativeConfig::default()
+                },
+            )
+            .clustering
+        }
+    };
     let overlay = SemanticOverlay::from_clustering(patterns, &clustering, Some(&matrix));
     let stats = overlay.route_stream(&dataset.documents);
     writeln!(
         out,
-        "\nsemantic overlay ({} communities):",
-        overlay.community_count()
+        "\nsemantic overlay ({} communities{}):",
+        overlay.community_count(),
+        if index.is_some() {
+            ", candidate-indexed"
+        } else {
+            ""
+        }
     )?;
     writeln!(out, "  matches/doc: {:.1}", stats.matches_per_document())?;
     writeln!(out, "  precision: {:.3}", stats.precision())?;
@@ -881,6 +1032,7 @@ fn simulate<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
         window,
         threads,
         analyze: args.has_flag("analyze"),
+        index: index_from(args)?,
         ..SimConfig::default()
     };
     writeln!(
@@ -896,9 +1048,13 @@ fn simulate<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
     )?;
     writeln!(
         out,
-        "forwarding: {}  recluster: {}  threads: {threads}",
+        "forwarding: {}  recluster: {}  threads: {threads}{}",
         forwarding.name(),
-        recluster.label()
+        recluster.label(),
+        match config.index {
+            Some(lsh) => format!("  index: {} bands x {} rows", lsh.bands(), lsh.rows()),
+            None => String::new(),
+        }
     )?;
     let report = Simulation::new(BrokerTopology::balanced_tree(brokers, 2), config).run(&scenario);
     writeln!(out, "{report}")?;
@@ -1101,6 +1257,48 @@ mod tests {
     }
 
     #[test]
+    fn similarity_index_reports_candidate_pairs() {
+        let output = run_capture(&[
+            "similarity",
+            "--documents",
+            "40",
+            "--pattern",
+            "//CD",
+            "--pattern",
+            "//CD",
+            "--pattern",
+            "//book",
+            "--index",
+            "16x1",
+        ])
+        .unwrap();
+        assert!(output.contains("candidate pairs"), "{output}");
+        assert!(output.contains("16 bands x 1 rows"), "{output}");
+        // Identical patterns share every signature slot, so the duplicate
+        // pair is always a candidate and scores exactly 1.
+        assert!(output.contains("p0 ~ p1   1.0000"), "{output}");
+    }
+
+    #[test]
+    fn similarity_index_rejects_malformed_banding() {
+        let err = run_capture(&[
+            "similarity",
+            "--pattern",
+            "//CD",
+            "--pattern",
+            "//a",
+            "--pattern",
+            "//b",
+            "--index",
+            "8by2",
+        ])
+        .unwrap_err();
+        assert!(
+            matches!(err, CliError::Args(ArgsError::InvalidValue { option, .. }) if option == "index")
+        );
+    }
+
+    #[test]
     fn invalid_patterns_are_reported_with_their_text() {
         let err = run_capture(&[
             "similarity",
@@ -1135,6 +1333,48 @@ mod tests {
     #[test]
     fn cluster_rejects_unknown_algorithms() {
         let err = run_capture(&["cluster", "--algorithm", "magic"]).unwrap_err();
+        assert!(
+            matches!(err, CliError::Args(ArgsError::InvalidValue { option, .. }) if option == "algorithm")
+        );
+    }
+
+    #[test]
+    fn cluster_index_reports_the_candidate_workload() {
+        let output = run_capture(&[
+            "cluster",
+            "--documents",
+            "60",
+            "--subscriptions",
+            "12",
+            "--algorithm",
+            "leader",
+            "--threshold",
+            "0.5",
+            "--index",
+            "16x1",
+        ])
+        .unwrap();
+        assert!(
+            output.contains("candidate index: 16 bands x 1 rows"),
+            "{output}"
+        );
+        // Only candidate leaders are scored: never more than the full
+        // pairwise workload of 12 choose 2.
+        let scored: usize = output
+            .lines()
+            .find_map(|line| line.strip_suffix(" of 66 pairs scored"))
+            .and_then(|line| line.rsplit(' ').next())
+            .and_then(|count| count.parse().ok())
+            .expect("the candidate index line reports the scored pairs");
+        assert!(scored <= 66, "{output}");
+        assert!(output.contains("communities:"), "{output}");
+        assert!(output.contains("silhouette:"), "{output}");
+        assert!(output.contains("community 0"), "{output}");
+    }
+
+    #[test]
+    fn cluster_index_requires_the_leader_algorithm() {
+        let err = run_capture(&["cluster", "--algorithm", "agglomerative", "--index"]).unwrap_err();
         assert!(
             matches!(err, CliError::Args(ArgsError::InvalidValue { option, .. }) if option == "algorithm")
         );
@@ -1280,6 +1520,24 @@ mod tests {
     }
 
     #[test]
+    fn route_index_builds_the_overlay_from_candidates() {
+        let output = run_capture(&[
+            "route",
+            "--documents",
+            "40",
+            "--subscriptions",
+            "10",
+            "--brokers",
+            "5",
+            "--index",
+        ])
+        .unwrap();
+        assert!(output.contains("semantic overlay"), "{output}");
+        assert!(output.contains("candidate-indexed"), "{output}");
+        assert!(output.contains("recall:"), "{output}");
+    }
+
+    #[test]
     fn route_analyze_prunes_tables_without_losing_recall() {
         let base = [
             "route",
@@ -1403,6 +1661,23 @@ mod tests {
         assert!(
             matches!(err, CliError::Args(ArgsError::InvalidValue { option, .. }) if option == "forwarding")
         );
+    }
+
+    #[test]
+    fn simulate_index_knob_is_reported_and_runs() {
+        let output = run_capture(&[
+            "simulate",
+            "--scenario",
+            "steady",
+            "--subscriptions",
+            "6",
+            "--publications",
+            "10",
+            "--index",
+        ])
+        .unwrap();
+        assert!(output.contains("index: 8 bands x 2 rows"), "{output}");
+        assert!(output.contains("link precision"), "{output}");
     }
 
     #[test]

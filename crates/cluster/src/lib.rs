@@ -10,6 +10,10 @@
 //! * [`agglomerative()`] / [`kmedoids()`] / [`leader()`] — three clustering
 //!   algorithms with different cost/quality/online trade-offs,
 //! * [`Clustering`] — the shared partition representation,
+//! * [`index`] — the sub-quadratic path: the banded MinHash
+//!   [`CandidateIndex`] re-exported from `tps-core` plus [`OnlineLeader`],
+//!   incremental candidate-filtered leader clustering that absorbs
+//!   subscribe/unsubscribe churn without full re-clustering,
 //! * [`minhash`] — MinHash signatures for cheap approximate `M3`
 //!   similarities when the subscription population is large,
 //! * [`quality`] — geometric quality (intra/inter similarity, silhouette)
@@ -52,6 +56,7 @@
 
 pub mod agglomerative;
 pub mod assignment;
+pub mod index;
 pub mod kmedoids;
 pub mod leader;
 pub mod matrix;
@@ -60,8 +65,11 @@ pub mod quality;
 
 pub use agglomerative::{agglomerative, AgglomerativeConfig, Dendrogram, Linkage, Merge};
 pub use assignment::Clustering;
+pub use index::{pattern_features, CandidateIndex, LshConfig, OnlineLeader};
 pub use kmedoids::{kmedoids, KMedoidsConfig, KMedoidsResult};
 pub use leader::{leader, LeaderConfig, LeaderResult};
 pub use matrix::SimilarityMatrix;
-pub use minhash::{minhash_matrix, MinHashSignature};
+#[allow(deprecated)]
+pub use minhash::minhash_matrix;
+pub use minhash::{MinHashSignature, SignatureWidthMismatch};
 pub use quality::{community_delivery, evaluate, silhouette, ClusterQuality, DeliveryStats};

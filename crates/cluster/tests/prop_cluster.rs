@@ -3,8 +3,9 @@
 use proptest::prelude::*;
 
 use tps_cluster::{
-    agglomerative, community_delivery, evaluate, kmedoids, leader, AgglomerativeConfig, Clustering,
-    KMedoidsConfig, LeaderConfig, MinHashSignature, SimilarityMatrix,
+    agglomerative, community_delivery, evaluate, kmedoids, leader, AgglomerativeConfig,
+    CandidateIndex, Clustering, KMedoidsConfig, LeaderConfig, LshConfig, MinHashSignature,
+    OnlineLeader, SimilarityMatrix,
 };
 use tps_core::ProximityMetric;
 
@@ -128,7 +129,7 @@ proptest! {
         let truth = intersection / union;
         let sig_a = MinHashSignature::from_ids(a.iter().copied(), 512, seed);
         let sig_b = MinHashSignature::from_ids(b.iter().copied(), 512, seed);
-        let estimate = sig_a.jaccard_estimate(&sig_b);
+        let estimate = sig_a.jaccard_estimate(&sig_b).unwrap();
         prop_assert!((estimate - truth).abs() < 0.2, "estimate {estimate} vs truth {truth}");
     }
 
@@ -139,4 +140,113 @@ proptest! {
         let second = Clustering::from_assignment(first.assignment().to_vec());
         prop_assert_eq!(first, second);
     }
+
+    /// Identical feature sets produce identical signatures under any banding
+    /// configuration, so they are candidates with probability exactly 1 —
+    /// the deterministic floor of the recall guarantee.
+    #[test]
+    fn identical_feature_sets_are_always_candidates(
+        set in proptest::collection::btree_set(0u64..200, 1..40),
+        bands in 1usize..6,
+        rows in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let features: Vec<u64> = set.into_iter().collect();
+        let mut index = CandidateIndex::new(LshConfig { bands, rows, seed });
+        let a = index.insert_features(&features);
+        let b = index.insert_features(&features);
+        prop_assert_eq!(index.estimate(a, b), 1.0);
+        prop_assert!(index.candidates(a).contains(&b));
+        prop_assert!(index.candidate_pairs().contains(&(a, b)));
+    }
+
+    /// Zero churn: an insert-only [`OnlineLeader`] must be reproduced
+    /// exactly by a from-scratch rebuild over the same feature sets, for
+    /// both fit policies and any banding.
+    #[test]
+    fn online_leader_rebuild_matches_incremental_at_zero_churn(
+        sets in proptest::collection::vec(proptest::collection::btree_set(0u64..50, 1..12), 1..20),
+        bands in 1usize..6,
+        rows in 1usize..3,
+        seed in any::<u64>(),
+        threshold in 0.05f64..=0.95,
+        best_fit in any::<bool>(),
+    ) {
+        let lsh = LshConfig { bands, rows, seed };
+        let config = LeaderConfig { similarity_threshold: threshold, best_fit };
+        let mut incremental = OnlineLeader::new(lsh, config);
+        let mut rebuilt = OnlineLeader::new(lsh, config);
+        for set in &sets {
+            let features: Vec<u64> = set.iter().copied().collect();
+            incremental.insert_features_estimated(&features);
+        }
+        for set in &sets {
+            let features: Vec<u64> = set.iter().copied().collect();
+            rebuilt.insert_features_estimated(&features);
+        }
+        prop_assert_eq!(incremental.clustering(), rebuilt.clustering());
+        prop_assert_eq!(incremental.leaders(), rebuilt.leaders());
+        check_partition(&incremental.clustering(), sets.len())?;
+    }
+
+    /// With one-row bands every pair with a non-zero estimate shares a band,
+    /// so the candidate-filtered online assignment equals the batch
+    /// [`leader()`] run on the full estimate matrix.
+    #[test]
+    fn single_row_online_leader_equals_batch_leader(
+        sets in proptest::collection::vec(proptest::collection::btree_set(0u64..30, 1..10), 1..16),
+        bands in 1usize..10,
+        seed in any::<u64>(),
+        threshold in 0.05f64..=0.95,
+        best_fit in any::<bool>(),
+    ) {
+        let lsh = LshConfig { bands, rows: 1, seed };
+        let config = LeaderConfig { similarity_threshold: threshold, best_fit };
+        let mut online = OnlineLeader::new(lsh, config);
+        for set in &sets {
+            let features: Vec<u64> = set.iter().copied().collect();
+            online.insert_features_estimated(&features);
+        }
+        let matrix = SimilarityMatrix::from_symmetric_fn(sets.len(), ProximityMetric::M3, |i, j| {
+            online.index().estimate(i as u32, j as u32)
+        });
+        let batch = leader(&matrix, config);
+        prop_assert_eq!(online.clustering(), batch.clustering);
+        let batch_leaders: Vec<u32> = batch.leaders.iter().map(|&l| l as u32).collect();
+        prop_assert_eq!(online.leaders(), batch_leaders);
+    }
+}
+
+/// The banding recall bound, checked empirically on a seeded workload: among
+/// pairs whose true feature Jaccard is at least `s`, the fraction surfaced
+/// as candidates must reach `recall(s)` minus a small sampling slack.
+#[test]
+fn candidate_recall_meets_the_banding_bound() {
+    let config = LshConfig::default();
+    let mut index = CandidateIndex::new(config);
+    let mut pairs: Vec<(u32, u32, f64)> = Vec::new();
+    // 200 disjoint pairs with controlled overlap: |A| = 50, k of them
+    // swapped out in B, so Jaccard = (50 - k) / (50 + k) >= 45/55.
+    for t in 0..200u64 {
+        let base = t * 1_000;
+        let a: Vec<u64> = (base..base + 50).collect();
+        let k = t % 6;
+        let b: Vec<u64> = (base + k..base + 50)
+            .chain(base + 500..base + 500 + k)
+            .collect();
+        let jaccard = (50 - k) as f64 / (50 + k) as f64;
+        let (sa, sb) = (index.insert_features(&a), index.insert_features(&b));
+        pairs.push((sa, sb, jaccard));
+    }
+    let s = 45.0 / 55.0;
+    let expected = config.recall(s);
+    let hits = pairs
+        .iter()
+        .filter(|&&(a, b, _)| index.candidates(a).contains(&b))
+        .count();
+    let observed = hits as f64 / pairs.len() as f64;
+    assert!(
+        observed >= expected - 0.1,
+        "recall {observed} below bound {expected} - 0.1"
+    );
 }

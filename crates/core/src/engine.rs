@@ -69,6 +69,7 @@ use tps_synopsis::{
 use tps_xml::XmlTree;
 
 use crate::eval::{SelEvaluator, SelMemo, ValueSource};
+use crate::index::{CandidateIndex, LshConfig};
 use crate::metrics::ProximityMetric;
 use crate::par;
 
@@ -1095,6 +1096,66 @@ impl SimilarityEngine {
         assemble_matrix(st, synopsis, patterns, ids, metric)
     }
 
+    /// Sub-quadratic similarity search: the pairs of `ids` whose similarity
+    /// under the engine's default metric is at least `threshold`, found via
+    /// the LSH candidate-pair index with the default [`LshConfig`].
+    ///
+    /// See [`SimilarityEngine::similarity_candidates_with`] for the
+    /// mechanics and the recall caveat.
+    pub fn similarity_candidates(
+        &self,
+        ids: &[PatternId],
+        threshold: f64,
+    ) -> Vec<(usize, usize, f64)> {
+        self.similarity_candidates_with(ids, self.default_metric, LshConfig::default(), threshold)
+    }
+
+    /// Sub-quadratic similarity search under an explicit metric and banding
+    /// configuration.
+    ///
+    /// A [`CandidateIndex`] is built over the structural signatures of the
+    /// registered patterns (`O(n)` — signatures derive from the patterns
+    /// alone, no corpus or synopsis scan), candidate pairs are enumerated
+    /// from its band buckets, and only those pairs are evaluated with the
+    /// real selectivity-based `similarity`. Returned triples `(i, j, s)`
+    /// index into `ids` with `i < j` and carry the symmetrised similarity
+    /// `s ≥ threshold`, in lexicographic pair order — each surviving pair's
+    /// value is bit-identical to the corresponding full-matrix entry.
+    ///
+    /// The candidate filter is probabilistic: a pair whose *structural*
+    /// feature overlap is low becomes a candidate only with probability
+    /// [`LshConfig::recall`], so pairs that are behaviourally similar under
+    /// the observed traffic while structurally disjoint can be missed. That
+    /// trade-off (and how to tune `bands`/`rows`) is quantified in
+    /// `docs/SCALING.md`.
+    pub fn similarity_candidates_with(
+        &self,
+        ids: &[PatternId],
+        metric: ProximityMetric,
+        lsh: LshConfig,
+        threshold: f64,
+    ) -> Vec<(usize, usize, f64)> {
+        let mut index = CandidateIndex::new(lsh);
+        for &id in ids {
+            index.insert(self.pattern(id));
+        }
+        index
+            .candidate_pairs()
+            .into_iter()
+            .filter_map(|(a, b)| {
+                let (i, j) = (a as usize, b as usize);
+                let symmetrised = if metric.is_symmetric() {
+                    self.similarity(ids[i], ids[j], metric)
+                } else {
+                    (self.similarity(ids[i], ids[j], metric)
+                        + self.similarity(ids[j], ids[i], metric))
+                        / 2.0
+                };
+                (symmetrised >= threshold).then_some((i, j, symmetrised))
+            })
+            .collect()
+    }
+
     // ------------------------------------------------------------------
     // Transient queries (unregistered patterns)
     // ------------------------------------------------------------------
@@ -1632,5 +1693,59 @@ mod tests {
         engine.prepare();
         engine.prepare();
         assert!((engine.selectivity(id) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn similarity_candidates_values_match_the_full_matrix() {
+        let mut engine = engine_with(MatchingSetKind::sets(100));
+        let ids = engine.register_all(&[
+            pat("//CD"),
+            pat("//CD/composer"),
+            pat("//CD/composer/last"),
+            pat("//book"),
+            pat("//book/author"),
+        ]);
+        let matrix = engine.similarity_matrix(&ids, ProximityMetric::M3);
+        let found = engine.similarity_candidates(&ids, 0.0);
+        for &(i, j, value) in &found {
+            assert!(i < j, "pairs are upper-triangle");
+            assert_eq!(value, matrix.get(i, j), "pair ({i},{j})");
+        }
+        // The ordered output has no duplicate pairs.
+        let mut pairs: Vec<(usize, usize)> = found.iter().map(|&(i, j, _)| (i, j)).collect();
+        let sorted = pairs.clone();
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert_eq!(pairs, sorted);
+    }
+
+    #[test]
+    fn similarity_candidates_respect_the_threshold() {
+        let mut engine = engine_with(MatchingSetKind::sets(100));
+        let ids = engine.register_all(&[pat("//CD"), pat("//CD"), pat("//book")]);
+        let found = engine.similarity_candidates(&ids, 0.9);
+        // The duplicate //CD handles are structurally identical, hence
+        // always candidates, and their similarity is 1.
+        assert!(found.iter().any(|&(i, j, s)| (i, j) == (0, 1) && s == 1.0));
+        assert!(found.iter().all(|&(_, _, s)| s >= 0.9));
+    }
+
+    #[test]
+    fn similarity_candidates_symmetrise_asymmetric_metrics() {
+        let mut engine = engine_with(MatchingSetKind::sets(100));
+        let ids = engine.register_all(&[pat("//CD"), pat("//CD/composer")]);
+        // A one-row, many-band configuration makes any shared feature an
+        // all-but-certain candidate, so the test is not at the mercy of the
+        // default banding's recall on this structurally close pair.
+        let lsh = LshConfig {
+            bands: 64,
+            rows: 1,
+            seed: 1,
+        };
+        let found = engine.similarity_candidates_with(&ids, ProximityMetric::M1, lsh, 0.0);
+        let expected = (engine.similarity(ids[0], ids[1], ProximityMetric::M1)
+            + engine.similarity(ids[1], ids[0], ProximityMetric::M1))
+            / 2.0;
+        assert_eq!(found, vec![(0, 1, expected)]);
     }
 }

@@ -20,6 +20,10 @@
 //!   parsed and observed on scoped workers and the per-shard partial
 //!   synopses [`merge`](tps_synopsis::Synopsis::merge)d, estimate-identical
 //!   to the sequential build (see [`build`]).
+//! * [`CandidateIndex`] / [`LshConfig`] — the sub-quadratic first pass: a
+//!   banded MinHash index over structural pattern signatures that narrows
+//!   all-pairs similarity work to candidate pairs
+//!   ([`SimilarityEngine::similarity_candidates`]).
 //!
 //! The deprecated `SimilarityEstimator` shim has been removed; the engine is
 //! the only evaluation surface. See the `README` migration note — in short,
@@ -57,6 +61,7 @@ pub mod build;
 pub mod engine;
 mod eval;
 pub mod exact;
+pub mod index;
 pub mod metrics;
 pub mod par;
 pub mod selectivity;
@@ -67,5 +72,6 @@ pub use engine::{
     SimilarityEngineBuilder,
 };
 pub use exact::ExactEvaluator;
+pub use index::{pattern_features, CandidateIndex, LshConfig};
 pub use metrics::ProximityMetric;
 pub use selectivity::SelectivityEstimator;

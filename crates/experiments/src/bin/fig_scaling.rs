@@ -1,0 +1,19 @@
+//! Regenerates the candidate-index scaling sweep: incremental
+//! register+cluster cost as the subscription count grows (one million
+//! subscriptions at `TPS_SCALE=paper`).
+//!
+//! ```text
+//! TPS_SCALE=paper cargo run --release -p tps-experiments --bin fig_scaling
+//! ```
+
+use tps_experiments::scaling::fig_scaling;
+use tps_experiments::ScaleConfig;
+
+fn main() {
+    let scale = ScaleConfig::from_env().resolve();
+    eprintln!(
+        "[fig_scaling] scale = {} (set TPS_SCALE=paper|quick|tiny, TPS_REPRO_SCALE=<factor>)",
+        scale.name
+    );
+    fig_scaling(&scale).print();
+}

@@ -15,6 +15,7 @@ use tps_experiments::dynamics::fig_dynamic;
 use tps_experiments::figures::{
     ablation_representations, analysis_compaction, fig10, fig4, fig5, fig6, fig789, table1,
 };
+use tps_experiments::scaling::fig_scaling;
 use tps_experiments::{DtdWorkload, ScaleConfig};
 
 fn main() {
@@ -79,6 +80,13 @@ fn main() {
     fig_dynamic(&scale, tps_core::par::available_workers()).print();
     eprintln!(
         "[run_all] fig_dynamic done in {:.1}s",
+        t.elapsed().as_secs_f64()
+    );
+
+    let t = Instant::now();
+    fig_scaling(&scale).print();
+    eprintln!(
+        "[run_all] fig_scaling done in {:.1}s",
         t.elapsed().as_secs_f64()
     );
 

@@ -25,6 +25,7 @@ pub mod error;
 pub mod figures;
 pub mod harness;
 pub mod scale;
+pub mod scaling;
 
 pub use harness::{DtdWorkload, Table};
 pub use scale::{ExperimentScale, ScaleConfig};

@@ -2,9 +2,11 @@
 //!
 //! Every byte that reaches a [`Synopsis`](tps_synopsis::Synopsis) first goes
 //! through one of three parsers — XML documents, XPath-like tree patterns,
-//! or DTDs — and the routing layer merges synopses built on different
-//! brokers. This crate stress-tests all four surfaces without external
-//! fuzzing infrastructure:
+//! or DTDs — the routing layer merges synopses built on different brokers,
+//! the static analyzer lints whole subscription workloads, and the banded
+//! MinHash candidate index drives the sub-quadratic clustering path. This
+//! crate stress-tests all six surfaces without external fuzzing
+//! infrastructure:
 //!
 //! * [`driver`] — a deterministic byte-mutator driver seeded through the
 //!   vendored `rand` shim. The pair `(seed, iteration)` fully determines
@@ -12,10 +14,12 @@
 //! * [`gen`] — structure-aware generators that emit mostly-valid XML,
 //!   pattern and DTD text for the mutator to start from, so fuzzing spends
 //!   its time past the first syntax check instead of bouncing off it.
-//! * [`targets`] — the four fuzz targets and their invariants. Parsers must
+//! * [`targets`] — the six fuzz targets and their invariants. Parsers must
 //!   return `Err`, never panic, on arbitrary bytes; accepted inputs must
 //!   survive their round-trips (`to_xml`/`Display` re-parse, merge
-//!   commutativity, merge-after-prune).
+//!   commutativity, merge-after-prune); the scenario-seeded targets
+//!   (`merge`, `analyze`, `index`) check differential invariants — the
+//!   candidate index, for one, must agree with a brute-force band scan.
 //! * [`corpus`] — a digest-named regression corpus committed under
 //!   `fuzz/corpus/<target>/*.case` at the repo root. Every crash the drivers
 //!   ever found lands there minimized and is replayed by `cargo test`.

@@ -38,17 +38,24 @@ pub enum Target {
     /// links imply match-set inclusion, and compaction-plan routing never
     /// loses a delivery.
     Analyze,
+    /// `tps-core`/`tps-cluster`: the banded-MinHash candidate index —
+    /// candidate pairs match a brute-force band scan, estimates are
+    /// symmetric and bounded, single-row banding surfaces every pair with a
+    /// nonzero estimate, and removal keeps the online leader partition
+    /// consistent.
+    Index,
 }
 
 impl Target {
     /// All targets, in the order the smoke job runs them.
-    pub fn all() -> [Target; 5] {
+    pub fn all() -> [Target; 6] {
         [
             Target::Xml,
             Target::Pattern,
             Target::Dtd,
             Target::Merge,
             Target::Analyze,
+            Target::Index,
         ]
     }
 
@@ -60,6 +67,7 @@ impl Target {
             Target::Dtd => "dtd",
             Target::Merge => "merge",
             Target::Analyze => "analyze",
+            Target::Index => "index",
         }
     }
 
@@ -87,10 +95,11 @@ impl Target {
                 "<!ENTITY % t \"(#PCDATA)\"><!ELEMENT x %t;><!ATTLIST x k CDATA #IMPLIED>",
                 "<!DOCTYPE r [<!ELEMENT r (a+)><!ELEMENT a EMPTY>]>",
             ],
-            // Merge and Analyze interpret bytes as a scenario seed, so any
-            // bytes do.
+            // Merge, Analyze and Index interpret bytes as a scenario seed,
+            // so any bytes do.
             Target::Merge => &["0", "12345678", "merge-scenario"],
             Target::Analyze => &["0", "424242", "analyze-scenario"],
+            Target::Index => &["0", "31337", "index-scenario"],
         };
         texts.iter().map(|t| t.as_bytes().to_vec()).collect()
     }
@@ -138,6 +147,7 @@ impl Target {
             ],
             Target::Merge => &[b"0", b"9", b"merge"],
             Target::Analyze => &[b"0", b"9", b"analyze"],
+            Target::Index => &[b"0", b"9", b"index"],
         }
     }
 
@@ -147,9 +157,12 @@ impl Target {
             Target::Xml => gen::xml_document(rng),
             Target::Pattern => gen::pattern_expr(rng),
             Target::Dtd => gen::dtd_document(rng),
-            // The merge and analyze scenarios are derived from the bytes, so
-            // the "fresh input" is just a random seed rendered as digits.
-            Target::Merge | Target::Analyze => rng.gen::<u64>().to_string().into_bytes(),
+            // The merge, analyze and index scenarios are derived from the
+            // bytes, so the "fresh input" is just a random seed rendered as
+            // digits.
+            Target::Merge | Target::Analyze | Target::Index => {
+                rng.gen::<u64>().to_string().into_bytes()
+            }
         }
     }
 
@@ -165,6 +178,7 @@ impl Target {
             Target::Dtd => execute_dtd(bytes),
             Target::Merge => execute_merge(bytes),
             Target::Analyze => execute_analyze(bytes),
+            Target::Index => execute_index(bytes),
         }
     }
 }
@@ -518,6 +532,165 @@ fn execute_analyze(bytes: &[u8]) -> Result<(), String> {
                 }
             }
         }
+    }
+    Ok(())
+}
+
+/// Derive a candidate-index scenario from the case bytes: a random banding
+/// configuration, a mixed subscription workload (grammar-derived patterns,
+/// free-form patterns, deliberate duplicates), a random removal churn, and
+/// differential checks of the index against brute force:
+///
+/// * [`CandidateIndex::candidate_pairs`] equals the brute-force band-key
+///   scan over the live slots (and agrees with per-slot `candidates`);
+/// * estimates are symmetric, inside `[0, 1]`, and exactly 1 for identical
+///   patterns — which must also always be candidates;
+/// * with one row per band, every pair with a nonzero estimate is a
+///   candidate (the sub-quadratic path can only miss zero-estimate pairs);
+/// * after arbitrary insert/remove churn the [`OnlineLeader`] partition
+///   still covers every live slot exactly once.
+///
+/// [`CandidateIndex::candidate_pairs`]: tps_core::CandidateIndex::candidate_pairs
+/// [`OnlineLeader`]: tps_cluster::OnlineLeader
+fn execute_index(bytes: &[u8]) -> Result<(), String> {
+    use tps_cluster::{LeaderConfig, OnlineLeader};
+    use tps_core::{CandidateIndex, LshConfig};
+    use tps_workload::{Dtd, XPathGenConfig, XPathGenerator};
+
+    let scenario = digest(bytes);
+    let mut rng = StdRng::seed_from_u64(scenario);
+    let lsh = LshConfig {
+        bands: rng.gen_range(1usize..6),
+        rows: rng.gen_range(1usize..5),
+        seed: rng.gen(),
+    };
+
+    // A mixed workload: mostly grammar-derived patterns, some free-form
+    // ones, and deliberate duplicates (which must always be candidates).
+    let dtd = Dtd::media();
+    let mut xpathgen = XPathGenerator::new(&dtd, XPathGenConfig::default().with_seed(rng.gen()));
+    let count = rng.gen_range(3usize..12);
+    let mut patterns: Vec<tps_pattern::TreePattern> = Vec::with_capacity(count);
+    while patterns.len() < count {
+        if !patterns.is_empty() && rng.gen_bool(0.25) {
+            let dup = rng.gen_range(0..patterns.len());
+            patterns.push(patterns[dup].clone());
+        } else if rng.gen_bool(0.7) {
+            patterns.push(xpathgen.generate());
+        } else {
+            let raw = gen::pattern_expr(&mut rng);
+            if let Ok(pattern) = tps_pattern::parser::parse_pattern(&String::from_utf8_lossy(&raw))
+            {
+                patterns.push(pattern);
+            }
+        }
+    }
+
+    let mut index = CandidateIndex::new(lsh);
+    for pattern in &patterns {
+        index.insert(pattern);
+    }
+
+    // Random removal churn; removals must be acknowledged exactly once.
+    let mut live: Vec<u32> = (0..patterns.len() as u32).collect();
+    for _ in 0..rng.gen_range(0..=patterns.len() / 3) {
+        let slot = live.swap_remove(rng.gen_range(0..live.len()));
+        if !index.remove(slot) {
+            return Err(format!("removal of live slot {slot} was rejected"));
+        }
+        if index.contains(slot) || index.remove(slot) {
+            return Err(format!("slot {slot} survived its removal"));
+        }
+    }
+    live.sort_unstable();
+    if index.live_count() != live.len() || index.len() != patterns.len() {
+        return Err(format!(
+            "slot accounting drifted: {} live of {} vs expected {} of {}",
+            index.live_count(),
+            index.len(),
+            live.len(),
+            patterns.len()
+        ));
+    }
+
+    // Differential: the bucket-driven pair enumeration equals a brute-force
+    // band-key scan, and agrees with the per-slot candidate lists.
+    let mut expected: Vec<(u32, u32)> = Vec::new();
+    for (i, &a) in live.iter().enumerate() {
+        for &b in &live[i + 1..] {
+            if (0..lsh.bands()).any(|band| index.band_key(a, band) == index.band_key(b, band)) {
+                expected.push((a, b));
+            }
+        }
+    }
+    let pairs = index.candidate_pairs();
+    if pairs != expected {
+        return Err(format!(
+            "candidate_pairs {pairs:?} != brute-force band scan {expected:?} \
+             for scenario {scenario:#x}"
+        ));
+    }
+    for &a in &live {
+        let candidates = index.candidates(a);
+        for &b in &live {
+            let paired = pairs.contains(&(a.min(b), a.max(b)));
+            if a != b && candidates.contains(&b) != paired {
+                return Err(format!(
+                    "candidates({a}) disagrees with candidate_pairs about {b}"
+                ));
+            }
+        }
+    }
+
+    // Estimates: symmetric, bounded, exact for identical patterns — and
+    // identical patterns must be candidates under any banding.
+    for (i, &a) in live.iter().enumerate() {
+        if index.estimate(a, a) != 1.0 {
+            return Err(format!("self-estimate of slot {a} is not 1"));
+        }
+        for &b in &live[i + 1..] {
+            let forward = index.estimate(a, b);
+            if index.estimate(b, a) != forward || !(0.0..=1.0).contains(&forward) {
+                return Err(format!("estimate({a},{b}) = {forward} is malformed"));
+            }
+            let paired = pairs.contains(&(a, b));
+            if patterns[a as usize] == patterns[b as usize] && (forward != 1.0 || !paired) {
+                return Err(format!(
+                    "identical patterns in slots {a},{b}: estimate {forward}, candidate {paired}"
+                ));
+            }
+            // With one row per band a single agreeing signature position
+            // already makes the pair bucket-mates in that band.
+            if lsh.rows() == 1 && forward > 0.0 && !paired {
+                return Err(format!(
+                    "single-row banding missed pair ({a},{b}) with estimate {forward}"
+                ));
+            }
+        }
+    }
+
+    // The online leader clustering over the same churn must keep a clean
+    // partition: every live slot in exactly one cluster.
+    let mut online = OnlineLeader::new(lsh, LeaderConfig::default());
+    for pattern in &patterns {
+        online.insert_estimated(pattern);
+    }
+    let mut alive = patterns.len();
+    for slot in 0..patterns.len() as u32 {
+        if !live.contains(&slot) {
+            if !online.remove_estimated(slot) {
+                return Err(format!("online removal of slot {slot} was rejected"));
+            }
+            alive -= 1;
+        }
+    }
+    let clustering = online.clustering();
+    let assigned: usize = clustering.clusters().iter().map(Vec::len).sum();
+    if assigned != alive || online.live_count() != alive {
+        return Err(format!(
+            "online leader partition covers {assigned} of {alive} live slots \
+             in scenario {scenario:#x}"
+        ));
     }
     Ok(())
 }

@@ -9,7 +9,10 @@
 //! algorithm to its companion systems work; greedy threshold clustering is
 //! what its semantic-overlay predecessor uses).
 
-use tps_core::{PatternId, ProximityMetric, SimilarityEngine};
+use std::collections::HashMap;
+
+use tps_core::{CandidateIndex, LshConfig, PatternId, ProximityMetric, SimilarityEngine};
+use tps_pattern::TreePattern;
 
 /// Configuration of the community clustering.
 #[derive(Debug, Clone, Copy)]
@@ -121,6 +124,40 @@ impl CommunityClustering {
         })
     }
 
+    /// Cluster a registered workload through the banded MinHash candidate
+    /// index: each subscription is only compared against the community
+    /// representatives it shares at least one signature band with.
+    ///
+    /// This replaces the `O(n·c)` similarity evaluations of
+    /// [`CommunityClustering::cluster`] with `O(n · candidate reps)` — the
+    /// sub-quadratic path for large workloads. The assignment discipline is
+    /// identical (first open community in creation order whose
+    /// representative clears `config.threshold`), but representatives the
+    /// banding fails to surface are skipped, so low-similarity joins near
+    /// the threshold can differ from the exhaustive pass; identical
+    /// patterns always share all bands and are never missed (see
+    /// `docs/SCALING.md` for the recall trade-off).
+    pub fn cluster_indexed(
+        engine: &SimilarityEngine,
+        subscriptions: &[PatternId],
+        config: CommunityConfig,
+        lsh: LshConfig,
+    ) -> Self {
+        let mut incremental = IncrementalCommunities::new(config, lsh);
+        for (position, &id) in subscriptions.iter().enumerate() {
+            incremental.insert_with(engine.pattern(id), |_, representative| {
+                engine.similarity(
+                    // invariant: representative slots of an insert-only run
+                    // are positions into `subscriptions`.
+                    subscriptions[position],
+                    subscriptions[representative as usize],
+                    config.metric,
+                )
+            });
+        }
+        incremental.snapshot()
+    }
+
     /// The one greedy pass both entry points share: subscription `index`
     /// joins the first open community whose representative is at least
     /// `config.threshold` similar (`similarity(index, representative)`),
@@ -207,6 +244,223 @@ impl CommunityClustering {
         let mut sizes: Vec<usize> = self.communities.iter().map(Community::len).collect();
         sizes.sort_unstable_by(|a, b| b.cmp(a));
         sizes
+    }
+}
+
+/// One live community tracked by [`IncrementalCommunities`]: the
+/// representative slot plus every member slot (representative included).
+#[derive(Debug, Clone)]
+struct IncrementalCommunity {
+    representative: u32,
+    members: Vec<u32>,
+}
+
+/// Sentinel for "slot not assigned to any community".
+const UNASSIGNED: usize = usize::MAX;
+
+/// Incrementally maintained semantic communities over the LSH candidate
+/// index.
+///
+/// This is the online counterpart of [`CommunityClustering`]: subscriptions
+/// are inserted as they arrive and removed as they cancel, and each arrival
+/// is compared only against the community representatives it shares at
+/// least one signature band with — the same first-fit, capacity-checked
+/// discipline as the batch greedy pass, filtered through the index. Removal
+/// of a representative dissolves its community and re-runs the remaining
+/// members (ascending slot order) through the identical assignment step, so
+/// an `eager` re-clustering policy costs `O(churned community)` instead of
+/// `O(n·c)` per event.
+///
+/// Slots are dense and never reused; [`IncrementalCommunities::snapshot`]
+/// renumbers the live slots ascending so the result is a plain
+/// [`CommunityClustering`] over the surviving subscription positions.
+#[derive(Debug, Clone)]
+pub struct IncrementalCommunities {
+    config: CommunityConfig,
+    index: CandidateIndex,
+    /// Representative-only band buckets: probing an arrival touches
+    /// communities, not every stored subscription.
+    rep_buckets: Vec<HashMap<u64, Vec<u32>>>,
+    /// Communities in creation order; dissolved ones are tombstoned so ids
+    /// stay stable.
+    communities: Vec<Option<IncrementalCommunity>>,
+    slot_community: Vec<usize>,
+}
+
+impl IncrementalCommunities {
+    /// Create an empty incremental clustering.
+    pub fn new(config: CommunityConfig, lsh: LshConfig) -> Self {
+        Self {
+            config,
+            index: CandidateIndex::new(lsh),
+            rep_buckets: vec![HashMap::new(); lsh.bands()],
+            communities: Vec::new(),
+            slot_community: Vec::new(),
+        }
+    }
+
+    /// The clustering configuration.
+    pub fn config(&self) -> &CommunityConfig {
+        &self.config
+    }
+
+    /// The underlying candidate index.
+    pub fn index(&self) -> &CandidateIndex {
+        &self.index
+    }
+
+    /// Number of live subscriptions.
+    pub fn live_count(&self) -> usize {
+        self.index.live_count()
+    }
+
+    /// Number of live communities.
+    pub fn community_count(&self) -> usize {
+        self.communities.iter().flatten().count()
+    }
+
+    /// Insert a subscription; `similarity(slot, representative_slot)` scores
+    /// it against candidate representatives (the caller maps slots back to
+    /// its own handles). Returns the new slot.
+    pub fn insert_with<F>(&mut self, pattern: &TreePattern, mut similarity: F) -> u32
+    where
+        F: FnMut(u32, u32) -> f64,
+    {
+        let slot = self.index.insert(pattern);
+        self.slot_community.push(UNASSIGNED);
+        self.assign(slot, &mut similarity);
+        slot
+    }
+
+    /// Remove a slot; a representative removal dissolves its community and
+    /// re-assigns the orphaned members using `similarity`. Returns false
+    /// when the slot was unknown or already removed.
+    pub fn remove_with<F>(&mut self, slot: u32, mut similarity: F) -> bool
+    where
+        F: FnMut(u32, u32) -> f64,
+    {
+        if !self.index.contains(slot) {
+            return false;
+        }
+        let community = self.slot_community[slot as usize];
+        self.index.remove(slot);
+        self.slot_community[slot as usize] = UNASSIGNED;
+        // invariant: every live slot carries a live community assignment.
+        let state = self.communities[community]
+            .as_mut()
+            .expect("live slot assigned to a dissolved community");
+        if state.representative != slot {
+            state.members.retain(|&member| member != slot);
+            return true;
+        }
+        let mut orphans = std::mem::take(&mut state.members);
+        self.communities[community] = None;
+        for band in 0..self.rep_buckets.len() {
+            let key = self.index.band_key(slot, band);
+            if let Some(reps) = self.rep_buckets[band].get_mut(&key) {
+                reps.retain(|&rep| rep != slot);
+                if reps.is_empty() {
+                    self.rep_buckets[band].remove(&key);
+                }
+            }
+        }
+        orphans.retain(|&member| member != slot);
+        orphans.sort_unstable();
+        for orphan in orphans {
+            self.slot_community[orphan as usize] = UNASSIGNED;
+            self.assign(orphan, &mut similarity);
+        }
+        true
+    }
+
+    /// The shared per-arrival step, mirroring the batch greedy pass: join
+    /// the first open candidate community (creation order, capacity checked
+    /// before similarity) whose representative clears the threshold, else
+    /// found a new community.
+    fn assign<F>(&mut self, slot: u32, similarity: &mut F)
+    where
+        F: FnMut(u32, u32) -> f64,
+    {
+        let mut candidates: Vec<usize> = Vec::new();
+        for (band, buckets) in self.rep_buckets.iter().enumerate() {
+            let key = self.index.band_key(slot, band);
+            if let Some(reps) = buckets.get(&key) {
+                candidates.extend(reps.iter().map(|&rep| self.slot_community[rep as usize]));
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+
+        let mut joined = None;
+        for &community in &candidates {
+            // invariant: representative buckets only hold representatives of
+            // live communities.
+            let state = self.communities[community]
+                .as_ref()
+                .expect("bucketed representative of a dissolved community");
+            if self.config.max_community_size > 0
+                && state.members.len() >= self.config.max_community_size
+            {
+                continue;
+            }
+            if similarity(slot, state.representative) >= self.config.threshold {
+                joined = Some(community);
+                break;
+            }
+        }
+
+        match joined {
+            Some(community) => {
+                // invariant: `joined` only ever holds live community ids.
+                self.communities[community]
+                    .as_mut()
+                    .expect("joined a dissolved community")
+                    .members
+                    .push(slot);
+                self.slot_community[slot as usize] = community;
+            }
+            None => {
+                let community = self.communities.len();
+                self.communities.push(Some(IncrementalCommunity {
+                    representative: slot,
+                    members: vec![slot],
+                }));
+                self.slot_community[slot as usize] = community;
+                for band in 0..self.rep_buckets.len() {
+                    let key = self.index.band_key(slot, band);
+                    self.rep_buckets[band].entry(key).or_default().push(slot);
+                }
+            }
+        }
+    }
+
+    /// Snapshot the live communities as a [`CommunityClustering`], with
+    /// member indices renumbered to positions among the live slots
+    /// (ascending) — the order the surviving subscriptions appear in when
+    /// collected for a rebuild.
+    pub fn snapshot(&self) -> CommunityClustering {
+        let mut position = vec![usize::MAX; self.index.len()];
+        let mut next = 0usize;
+        for slot in 0..self.index.len() as u32 {
+            if self.index.contains(slot) {
+                position[slot as usize] = next;
+                next += 1;
+            }
+        }
+        let mut communities = Vec::new();
+        for state in self.communities.iter().flatten() {
+            let mut members: Vec<usize> = state
+                .members
+                .iter()
+                .map(|&member| position[member as usize])
+                .collect();
+            members.sort_unstable();
+            communities.push(Community {
+                representative: position[state.representative as usize],
+                members,
+            });
+        }
+        CommunityClustering { communities }
     }
 }
 
@@ -323,6 +577,126 @@ mod tests {
             clustering.average_intra_similarity(&engine, &[], ProximityMetric::M1),
             1.0
         );
+    }
+
+    fn engine_similarity<'a>(
+        engine: &'a SimilarityEngine,
+        subs: &'a [PatternId],
+        metric: ProximityMetric,
+    ) -> impl FnMut(u32, u32) -> f64 + 'a {
+        move |slot, representative| {
+            engine.similarity(subs[slot as usize], subs[representative as usize], metric)
+        }
+    }
+
+    #[test]
+    fn indexed_clustering_matches_exhaustive_on_duplicate_heavy_workloads() {
+        // At threshold 1.01 > 1 every subscription is a singleton; at a high
+        // threshold only behaviourally identical subscriptions join, and
+        // identical patterns always share all signature bands, so the
+        // candidate filter cannot miss a qualifying representative.
+        let docs: Vec<XmlTree> = [
+            "<media><CD><composer><last>Mozart</last></composer></CD></media>",
+            "<media><book><author><last>Austen</last></author></book></media>",
+        ]
+        .iter()
+        .map(|s| XmlTree::parse(s).unwrap())
+        .collect();
+        let mut engine = SimilarityEngine::new(SynopsisConfig::sets(100));
+        engine.observe_all(&docs);
+        let patterns: Vec<TreePattern> = ["//CD", "//book", "//CD", "//book", "//CD"]
+            .iter()
+            .map(|s| TreePattern::parse(s).unwrap())
+            .collect();
+        let subs = engine.register_all(&patterns);
+        for threshold in [0.99, 1.01] {
+            let config = CommunityConfig {
+                threshold,
+                ..CommunityConfig::default()
+            };
+            let exhaustive = CommunityClustering::cluster(&engine, &subs, config);
+            let indexed =
+                CommunityClustering::cluster_indexed(&engine, &subs, config, LshConfig::default());
+            assert_eq!(indexed, exhaustive, "threshold {threshold}");
+        }
+    }
+
+    #[test]
+    fn incremental_insert_only_run_matches_cluster_indexed() {
+        let (engine, subs) = engine_and_subs();
+        let config = CommunityConfig::default();
+        let lsh = LshConfig::default();
+        let batch = CommunityClustering::cluster_indexed(&engine, &subs, config, lsh);
+        let mut incremental = IncrementalCommunities::new(config, lsh);
+        for &id in &subs {
+            incremental.insert_with(
+                engine.pattern(id),
+                engine_similarity(&engine, &subs, config.metric),
+            );
+        }
+        assert_eq!(incremental.snapshot(), batch);
+        assert_eq!(incremental.live_count(), subs.len());
+        assert_eq!(incremental.community_count(), batch.len());
+    }
+
+    #[test]
+    fn incremental_member_removal_keeps_the_snapshot_consistent() {
+        let (engine, subs) = engine_and_subs();
+        let config = CommunityConfig::default();
+        let mut incremental = IncrementalCommunities::new(config, LshConfig::default());
+        let mut slots = Vec::new();
+        for &id in &subs {
+            slots.push(incremental.insert_with(
+                engine.pattern(id),
+                engine_similarity(&engine, &subs, config.metric),
+            ));
+        }
+        // Slot 2 (`//CD/composer`) is a follower of the first community.
+        assert!(incremental.remove_with(slots[2], engine_similarity(&engine, &subs, config.metric)));
+        assert!(
+            !incremental.remove_with(slots[2], engine_similarity(&engine, &subs, config.metric))
+        );
+        let snapshot = incremental.snapshot();
+        assert_eq!(incremental.live_count(), subs.len() - 1);
+        // The five survivors are fully assigned, positions renumbered 0..5.
+        let assignment = snapshot.assignment(subs.len() - 1);
+        assert!(assignment.iter().all(|&a| a != usize::MAX));
+    }
+
+    #[test]
+    fn representative_removal_reassigns_the_orphans() {
+        let docs: Vec<XmlTree> = [
+            "<media><CD><composer><last>Mozart</last></composer></CD></media>",
+            "<media><book><author><last>Austen</last></author></book></media>",
+        ]
+        .iter()
+        .map(|s| XmlTree::parse(s).unwrap())
+        .collect();
+        let mut engine = SimilarityEngine::new(SynopsisConfig::sets(100));
+        engine.observe_all(&docs);
+        let patterns: Vec<TreePattern> = ["//CD", "//CD", "//CD"]
+            .iter()
+            .map(|s| TreePattern::parse(s).unwrap())
+            .collect();
+        let subs = engine.register_all(&patterns);
+        let config = CommunityConfig::default();
+        let mut incremental = IncrementalCommunities::new(config, LshConfig::default());
+        let mut slots = Vec::new();
+        for &id in &subs {
+            slots.push(incremental.insert_with(
+                engine.pattern(id),
+                engine_similarity(&engine, &subs, config.metric),
+            ));
+        }
+        assert_eq!(incremental.community_count(), 1);
+        assert!(incremental.remove_with(slots[0], engine_similarity(&engine, &subs, config.metric)));
+        // The two orphans re-cluster into a single community led by the
+        // lowest surviving slot.
+        assert_eq!(incremental.community_count(), 1);
+        let snapshot = incremental.snapshot();
+        assert_eq!(snapshot.len(), 1);
+        assert_eq!(snapshot.communities[0].members, vec![0, 1]);
+        assert_eq!(snapshot.communities[0].representative, 0);
     }
 
     #[test]

@@ -3,7 +3,10 @@
 //!
 //! * [`CommunityClustering`] — greedy similarity-threshold clustering of
 //!   subscriptions into semantic communities, driven by a
-//!   [`tps_core::SimilarityEngine`] over a registered subscription workload.
+//!   [`tps_core::SimilarityEngine`] over a registered subscription workload;
+//!   [`CommunityClustering::cluster_indexed`] and [`IncrementalCommunities`]
+//!   run the same discipline through the banded MinHash candidate index for
+//!   sub-quadratic batch builds and cheap subscribe/unsubscribe maintenance.
 //! * [`Broker`] — a single-broker routing simulation comparing flooding,
 //!   exact per-subscription filtering, and community-based dissemination on
 //!   a document stream, reporting filtering cost and delivery accuracy.
@@ -65,7 +68,7 @@ pub mod table;
 pub mod topology;
 
 pub use broker::{Broker, Consumer, RoutingStats, RoutingStrategy};
-pub use community::{Community, CommunityClustering, CommunityConfig};
+pub use community::{Community, CommunityClustering, CommunityConfig, IncrementalCommunities};
 pub use network::{BrokerNetwork, ForwardingMode, NetworkConsumer, NetworkStats};
 pub use overlay::{OverlayCommunity, OverlayStats, SemanticOverlay};
 pub use stats::{DeliveryMetrics, LinkMetrics, TableCompaction};

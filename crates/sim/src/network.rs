@@ -3,11 +3,11 @@
 //! observing the published traffic, and the semantic communities rebuilt by
 //! the recluster policy.
 
-use tps_core::{PatternId, SimilarityEngine};
+use tps_core::{LshConfig, PatternId, SimilarityEngine};
 use tps_pattern::TreePattern;
 use tps_routing::{
     BrokerId, BrokerNetwork, BrokerTopology, CommunityClustering, CommunityConfig, ForwardingMode,
-    RoutingTable, TableCompaction,
+    IncrementalCommunities, RoutingTable, TableCompaction,
 };
 use tps_synopsis::SynopsisConfig;
 use tps_workload::SubscriberId;
@@ -65,6 +65,10 @@ pub struct SimNetwork {
     consumers: Vec<SimConsumer>,
     engine: SimilarityEngine,
     tables: Vec<RoutingTable>,
+    /// When set, communities are maintained incrementally through the LSH
+    /// candidate index at every subscribe/unsubscribe, and rebuilds merely
+    /// snapshot them instead of re-clustering from scratch.
+    incremental: Option<IncrementalCommunities>,
     communities: CommunityClustering,
     mean_selectivity: f64,
     churn_seq: u64,
@@ -115,6 +119,7 @@ impl SimNetwork {
             consumers: Vec::new(),
             engine: SimilarityEngine::new(synopsis),
             tables: Vec::new(),
+            incremental: None,
             communities: CommunityClustering::default(),
             mean_selectivity: 0.0,
             churn_seq: 0,
@@ -145,6 +150,52 @@ impl SimNetwork {
     /// Whether table rebuilds run the compaction pre-pass.
     pub fn analyze(&self) -> bool {
         self.analyze
+    }
+
+    /// Enable (or disable, with `None`) index-backed community maintenance:
+    /// subscribe/unsubscribe events update an [`IncrementalCommunities`]
+    /// through the banded MinHash candidate index, and
+    /// [`SimNetwork::rebuild`] snapshots it instead of re-clustering from
+    /// scratch — the change that makes the `eager` policy affordable.
+    /// Routing tables are built identically either way, so delivery and
+    /// link counters are unaffected; only the community statistics may
+    /// differ (by the banding's recall) from the exhaustive pass.
+    ///
+    /// Enabling with consumers already attached replays them into the
+    /// incremental clustering so its slots stay aligned with consumer
+    /// slots.
+    pub fn set_index(&mut self, lsh: Option<LshConfig>) {
+        self.incremental = lsh.map(|lsh| {
+            let mut incremental = IncrementalCommunities::new(self.community, lsh);
+            let engine = &self.engine;
+            let consumers = &self.consumers;
+            let metric = self.community.metric;
+            for consumer in consumers {
+                incremental.insert_with(&consumer.pattern, |a, b| {
+                    engine.similarity(consumers[a as usize].id, consumers[b as usize].id, metric)
+                });
+            }
+            for (slot, consumer) in consumers.iter().enumerate() {
+                if !consumer.active {
+                    incremental.remove_with(slot as u32, |a, b| {
+                        engine.similarity(
+                            consumers[a as usize].id,
+                            consumers[b as usize].id,
+                            metric,
+                        )
+                    });
+                }
+            }
+            incremental
+        });
+    }
+
+    /// The LSH configuration of the incremental community maintenance, if
+    /// enabled.
+    pub fn index(&self) -> Option<LshConfig> {
+        self.incremental
+            .as_ref()
+            .map(|incremental| *incremental.index().config())
     }
 
     /// All consumer slots (active and departed).
@@ -199,6 +250,16 @@ impl SimNetwork {
             id,
             active: true,
         });
+        if let Some(incremental) = self.incremental.as_mut() {
+            let engine = &self.engine;
+            let consumers = &self.consumers;
+            let metric = self.community.metric;
+            // invariant: incremental slots and consumer slots are both
+            // dense, never reused and advance together.
+            incremental.insert_with(&consumers[subscriber].pattern, |a, b| {
+                engine.similarity(consumers[a as usize].id, consumers[b as usize].id, metric)
+            });
+        }
         self.churn_seq += 1;
     }
 
@@ -209,6 +270,18 @@ impl SimNetwork {
         match self.consumers.get_mut(subscriber) {
             Some(consumer) if consumer.active => {
                 consumer.active = false;
+                if let Some(incremental) = self.incremental.as_mut() {
+                    let engine = &self.engine;
+                    let consumers = &self.consumers;
+                    let metric = self.community.metric;
+                    incremental.remove_with(subscriber as u32, |a, b| {
+                        engine.similarity(
+                            consumers[a as usize].id,
+                            consumers[b as usize].id,
+                            metric,
+                        )
+                    });
+                }
                 self.churn_seq += 1;
                 true
             }
@@ -263,12 +336,18 @@ impl SimNetwork {
             .filter(|c| c.active)
             .map(|c| c.id)
             .collect();
-        self.communities = CommunityClustering::cluster_par(
-            &self.engine,
-            &active_ids,
-            self.community,
-            threads.max(1),
-        );
+        self.communities = match &self.incremental {
+            // Index-backed maintenance: churn already kept the communities
+            // current, so the rebuild just snapshots them (member indices
+            // renumbered to positions in `active_ids`).
+            Some(incremental) => incremental.snapshot(),
+            None => CommunityClustering::cluster_par(
+                &self.engine,
+                &active_ids,
+                self.community,
+                threads.max(1),
+            ),
+        };
         let selectivities = self.engine.selectivities(&active_ids);
         self.mean_selectivity = if selectivities.is_empty() {
             0.0
@@ -437,5 +516,70 @@ mod tests {
     fn out_of_order_subscribers_are_rejected() {
         let mut network = network();
         network.subscribe(3, 1, pattern("//CD"));
+    }
+
+    #[test]
+    fn index_backed_rebuild_snapshots_the_incremental_communities() {
+        let mut network = network();
+        network.set_index(Some(LshConfig::default()));
+        assert_eq!(network.index(), Some(LshConfig::default()));
+        network.subscribe(0, 1, pattern("//CD"));
+        network.subscribe(1, 2, pattern("//CD"));
+        network.subscribe(2, 3, pattern("//book"));
+        let outcome = network.rebuild(1);
+        // Identical patterns share every signature band, so the two //CD
+        // subscriptions always land in one community.
+        assert_eq!(outcome.communities, 2);
+        assert_eq!(network.communities().len(), 2);
+        // Departures are folded in incrementally; the next rebuild reflects
+        // them without re-clustering.
+        network.unsubscribe(0);
+        let outcome = network.rebuild(1);
+        assert_eq!(outcome.communities, 2);
+        let assignment = network.communities().assignment(2);
+        assert!(assignment.iter().all(|&a| a != usize::MAX));
+    }
+
+    #[test]
+    fn enabling_the_index_late_replays_the_existing_consumers() {
+        let mut with_index = network();
+        with_index.set_index(Some(LshConfig::default()));
+        let mut late = network();
+        for net in [&mut with_index, &mut late] {
+            net.subscribe(0, 1, pattern("//CD"));
+            net.subscribe(1, 2, pattern("//CD"));
+            net.subscribe(2, 3, pattern("//book"));
+            net.unsubscribe(1);
+        }
+        late.set_index(Some(LshConfig::default()));
+        let a = with_index.rebuild(1);
+        let b = late.rebuild(1);
+        assert_eq!(a.communities, b.communities);
+        assert_eq!(with_index.communities(), late.communities());
+    }
+
+    #[test]
+    fn index_does_not_change_the_routing_tables() {
+        let mut plain = network();
+        let mut indexed = network();
+        indexed.set_index(Some(LshConfig::default()));
+        for net in [&mut plain, &mut indexed] {
+            net.subscribe(0, 1, pattern("//CD"));
+            net.subscribe(1, 3, pattern("//book"));
+            net.unsubscribe(0);
+            net.rebuild(1);
+        }
+        assert_eq!(
+            plain
+                .tables()
+                .iter()
+                .map(RoutingTable::node_count)
+                .sum::<usize>(),
+            indexed
+                .tables()
+                .iter()
+                .map(RoutingTable::node_count)
+                .sum::<usize>()
+        );
     }
 }

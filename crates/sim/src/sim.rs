@@ -1,5 +1,6 @@
 //! The discrete-event simulation driver.
 
+use tps_core::LshConfig;
 use tps_routing::{BrokerId, BrokerTopology, CommunityConfig, ForwardingMode, TableMode};
 use tps_synopsis::SynopsisConfig;
 use tps_workload::{ChurnScenario, ScenarioAction};
@@ -103,6 +104,13 @@ pub struct SimConfig {
     /// summarisation, so tables shrink while staying delivery-identical
     /// (syntactic proofs only — sound for any document stream).
     pub analyze: bool,
+    /// Maintain semantic communities incrementally through the banded
+    /// MinHash candidate index with this banding (None = re-cluster from
+    /// scratch at every rebuild). Tables, deliveries and link counters are
+    /// identical either way; community statistics may differ by the
+    /// banding's recall. This is what makes the `eager` policy affordable
+    /// under heavy churn.
+    pub index: Option<LshConfig>,
 }
 
 impl Default for SimConfig {
@@ -119,6 +127,7 @@ impl Default for SimConfig {
             threads: 1,
             record_trace: false,
             analyze: false,
+            index: None,
         }
     }
 }
@@ -195,6 +204,7 @@ impl Simulation {
             config.synopsis,
         );
         network.set_analyze(config.analyze);
+        network.set_index(config.index);
         let window_length = config.window.max(1);
         Self {
             config,

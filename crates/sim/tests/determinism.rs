@@ -12,7 +12,9 @@
 use proptest::prelude::*;
 
 use tps_pattern::TreePattern;
-use tps_routing::{BrokerNetwork, BrokerTopology, DeliveryMetrics, ForwardingMode, LinkMetrics};
+use tps_routing::{
+    BrokerNetwork, BrokerTopology, DeliveryMetrics, ForwardingMode, LinkMetrics, TableMode,
+};
 use tps_sim::{ReclusterPolicy, SimConfig, Simulation};
 use tps_workload::{ChurnConfig, ChurnScenario, Dtd, ScenarioAction, ScenarioEvent};
 
@@ -148,6 +150,40 @@ fn zero_churn_eager_matches_the_static_network() {
             forwarding.name()
         );
     }
+}
+
+/// With the index-backed eager policy, zero-churn runs stay counter-exact
+/// with the static batch evaluation: the incremental communities only feed
+/// the report statistics, while tables are built identically.
+#[test]
+fn zero_churn_indexed_eager_matches_the_static_network() {
+    let scenario = scenario(7, 0, 0);
+    let documents = scenario.published_documents();
+    let topology = BrokerTopology::balanced_tree(7, 2);
+    let report = Simulation::new(
+        topology.clone(),
+        SimConfig {
+            recluster: ReclusterPolicy::Eager,
+            index: Some(tps_core::LshConfig::default()),
+            ..SimConfig::default()
+        },
+    )
+    .run(&scenario);
+
+    let mut network = BrokerNetwork::new(topology);
+    for (broker, pattern) in &scenario.initial {
+        network.attach(*broker, "static", pattern.clone());
+    }
+    let expected = network.route_stream(0, &documents, ForwardingMode::Table(TableMode::Exact));
+
+    let a = &report.aggregate;
+    assert_eq!(a.documents, expected.documents);
+    assert_eq!(a.link_messages, expected.link_messages);
+    assert_eq!(a.spurious_link_messages, expected.spurious_link_messages);
+    assert_eq!(a.match_operations, expected.match_operations);
+    assert_eq!(a.deliveries, expected.deliveries);
+    assert_eq!(a.missed_deliveries, expected.missed_deliveries);
+    assert_eq!(a.recall(), expected.recall());
 }
 
 /// A hand-built scenario where staleness must cost deliveries: a subscriber
