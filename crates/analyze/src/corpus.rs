@@ -1,0 +1,198 @@
+//! Corpus replay: drive a line-delimited document corpus through the
+//! zero-copy streaming scanner and surface ingest-limit violations as
+//! typed [`Diagnostic`]s.
+//!
+//! The streaming ingest path (`tps_xml::scan`) enforces explicit limits on
+//! element nesting depth and per-element attribute counts so that a hostile
+//! or corrupt publication cannot blow the stack or the synopsis. A document
+//! that trips a limit is rejected *at ingest time* — long after the
+//! subscription workload was deployed. `lint_corpus` lets operators replay
+//! a captured corpus ahead of time: every document that the scanner would
+//! reject for a limit violation becomes a `W005` ([`LintCode::ScannerLimit`])
+//! diagnostic carrying the document's line number and the offending byte
+//! offset, while plainly malformed documents are tallied separately (they
+//! fail both the scanner and the tree parser, so they are corpus noise, not
+//! a limit-tuning signal).
+
+use tps_xml::error::XmlErrorKind;
+use tps_xml::{scan_document, NullSink, ScanLimits};
+
+use crate::diagnostics::{Diagnostic, LintCode, Span};
+
+/// Outcome of replaying one corpus through the scanner.
+#[derive(Debug, Clone)]
+pub struct CorpusReport {
+    /// Number of documents replayed (non-empty, non-comment lines).
+    pub documents: usize,
+    /// One `W005` diagnostic per document that exceeded a scanner limit.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Documents the scanner rejected for reasons other than a limit
+    /// (malformed markup, invalid UTF-8, ...). These fail the tree parser
+    /// too, so they carry no limit-tuning signal.
+    pub malformed: usize,
+}
+
+impl CorpusReport {
+    /// Whether the replay produced no diagnostics.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Replay a line-delimited XML corpus through the streaming scanner under
+/// `limits`, reporting every limit violation as a [`LintCode::ScannerLimit`]
+/// diagnostic.
+///
+/// Corpus format matches `LineStream` and `--patterns-file`: one document
+/// per line, blank lines and `#` comment lines skipped. The replay never
+/// builds trees or touches a synopsis — each document runs through
+/// [`scan_document`] into a [`NullSink`], so a multi-gigabyte corpus
+/// replays at scanner speed.
+pub fn lint_corpus(corpus: &[u8], limits: &ScanLimits) -> CorpusReport {
+    let mut report = CorpusReport {
+        documents: 0,
+        diagnostics: Vec::new(),
+        malformed: 0,
+    };
+    for (number, line) in corpus.split(|&b| b == b'\n').enumerate() {
+        let line = trim_ascii(line);
+        if line.is_empty() || line.starts_with(b"#") {
+            continue;
+        }
+        report.documents += 1;
+        let index = report.documents - 1;
+        match scan_document(line, limits, &mut NullSink) {
+            Ok(()) => {}
+            Err(err) => match err.kind() {
+                XmlErrorKind::LimitExceeded { what, limit } => {
+                    report
+                        .diagnostics
+                        .push(limit_diagnostic(line, number, index, &err, what, *limit));
+                }
+                _ => report.malformed += 1,
+            },
+        }
+    }
+    report
+}
+
+/// Build the `W005` diagnostic for one rejected document.
+fn limit_diagnostic(
+    line: &[u8],
+    line_number: usize,
+    document_index: usize,
+    err: &tps_xml::XmlError,
+    what: &str,
+    limit: usize,
+) -> Diagnostic {
+    let offset = err.offset().min(line.len());
+    Diagnostic {
+        code: LintCode::ScannerLimit,
+        pattern_index: document_index,
+        source: String::from_utf8_lossy(line).into_owned(),
+        span: Span {
+            start: offset,
+            end: line.len(),
+        },
+        origin: format!("corpus line {}", line_number + 1),
+        message: format!("document exceeds the scanner's {what} limit ({limit})"),
+        explanation: format!(
+            "The streaming ingest path rejects this document at byte {offset}: \
+             its {what} exceeds the configured limit of {limit}. It will never \
+             enter the synopsis, so selectivity estimates silently exclude it. \
+             Raise the corresponding `ScanLimits` field if the document is \
+             legitimate, or drop it from the corpus if it is hostile."
+        ),
+        related: Vec::new(),
+        proof: None,
+    }
+}
+
+/// `[u8]::trim_ascii` is stable only from Rust 1.80; the workspace MSRV
+/// is older, so trim manually.
+fn trim_ascii(mut bytes: &[u8]) -> &[u8] {
+    while let Some((first, rest)) = bytes.split_first() {
+        if first.is_ascii_whitespace() {
+            bytes = rest;
+        } else {
+            break;
+        }
+    }
+    while let Some((last, rest)) = bytes.split_last() {
+        if last.is_ascii_whitespace() {
+            bytes = rest;
+        } else {
+            break;
+        }
+    }
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deep_doc(depth: usize) -> String {
+        let mut doc = String::new();
+        for _ in 0..depth {
+            doc.push_str("<a>");
+        }
+        for _ in 0..depth {
+            doc.push_str("</a>");
+        }
+        doc
+    }
+
+    #[test]
+    fn limit_violations_become_w005_diagnostics() {
+        let limits = ScanLimits {
+            max_depth: 4,
+            ..ScanLimits::default()
+        };
+        let corpus = format!("# header\n<a><b/></a>\n\n{}\n<c/>\n", deep_doc(5));
+        let report = lint_corpus(corpus.as_bytes(), &limits);
+        assert_eq!(report.documents, 3);
+        assert_eq!(report.malformed, 0);
+        assert_eq!(report.diagnostics.len(), 1);
+        let diag = &report.diagnostics[0];
+        assert_eq!(diag.code, LintCode::ScannerLimit);
+        assert_eq!(diag.code.as_str(), "W005");
+        assert_eq!(diag.pattern_index, 1, "second replayed document");
+        assert_eq!(diag.origin, "corpus line 4");
+        assert!(
+            diag.message.contains("element nesting depth"),
+            "{}",
+            diag.message
+        );
+        assert!(diag.span.start <= diag.span.end);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn attribute_floods_are_reported_with_the_configured_limit() {
+        let limits = ScanLimits {
+            max_attributes: 2,
+            ..ScanLimits::default()
+        };
+        let report = lint_corpus(b"<a p=\"1\" q=\"2\" r=\"3\"/>\n", &limits);
+        assert_eq!(report.diagnostics.len(), 1);
+        assert!(report.diagnostics[0].message.contains("(2)"));
+    }
+
+    #[test]
+    fn malformed_documents_are_tallied_but_not_diagnosed() {
+        let report = lint_corpus(b"<a//\nnot xml\n<ok/>\n", &ScanLimits::default());
+        assert_eq!(report.documents, 3);
+        assert_eq!(report.malformed, 2);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn a_clean_corpus_under_default_limits_is_clean() {
+        let corpus = b"<media><CD><title>X</title></CD></media>\n<a/>\n";
+        let report = lint_corpus(corpus, &ScanLimits::default());
+        assert_eq!(report.documents, 2);
+        assert!(report.is_clean());
+        assert_eq!(report.malformed, 0);
+    }
+}

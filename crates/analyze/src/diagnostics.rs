@@ -49,26 +49,32 @@ pub enum LintCode {
     /// cap (soundness caveat), the pattern is saturated with `//`/`*`
     /// steps, or it sits at the analyzer's descendant-depth limit.
     CostHazard,
+    /// `W005`: a document in a replayed corpus exceeded one of the
+    /// streaming scanner's ingest limits (element nesting depth, attribute
+    /// count, ...) and would be rejected by the zero-copy ingest path.
+    ScannerLimit,
 }
 
 impl LintCode {
     /// All codes, in code order.
-    pub fn all() -> [LintCode; 4] {
+    pub fn all() -> [LintCode; 5] {
         [
             LintCode::Unsatisfiable,
             LintCode::ContainedRedundant,
             LintCode::DtdEquivalentDuplicate,
             LintCode::CostHazard,
+            LintCode::ScannerLimit,
         ]
     }
 
-    /// Stable wire name (`"E001"`, `"W002"`, `"W003"`, `"W004"`).
+    /// Stable wire name (`"E001"`, `"W002"`, `"W003"`, `"W004"`, `"W005"`).
     pub fn as_str(self) -> &'static str {
         match self {
             LintCode::Unsatisfiable => "E001",
             LintCode::ContainedRedundant => "W002",
             LintCode::DtdEquivalentDuplicate => "W003",
             LintCode::CostHazard => "W004",
+            LintCode::ScannerLimit => "W005",
         }
     }
 
@@ -83,7 +89,8 @@ impl LintCode {
             LintCode::Unsatisfiable => Severity::Error,
             LintCode::ContainedRedundant
             | LintCode::DtdEquivalentDuplicate
-            | LintCode::CostHazard => Severity::Warning,
+            | LintCode::CostHazard
+            | LintCode::ScannerLimit => Severity::Warning,
         }
     }
 
@@ -94,6 +101,7 @@ impl LintCode {
             LintCode::ContainedRedundant => "contained in another subscription",
             LintCode::DtdEquivalentDuplicate => "DTD-equivalent duplicate",
             LintCode::CostHazard => "cost hazard",
+            LintCode::ScannerLimit => "exceeds a scanner ingest limit",
         }
     }
 }
@@ -203,6 +211,8 @@ mod tests {
         assert_eq!(LintCode::ContainedRedundant.as_str(), "W002");
         assert_eq!(LintCode::DtdEquivalentDuplicate.as_str(), "W003");
         assert_eq!(LintCode::CostHazard.as_str(), "W004");
+        assert_eq!(LintCode::ScannerLimit.as_str(), "W005");
+        assert_eq!(LintCode::ScannerLimit.severity(), Severity::Warning);
     }
 
     #[test]

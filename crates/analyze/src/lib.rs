@@ -14,6 +14,9 @@
 //!   (Example 1.1), and
 //! * `W004` — cost hazards: truncated DTD analysis, `//`/`*` saturation,
 //!   patterns at the descendant-depth bound,
+//! * `W005` — a replayed corpus document exceeds a streaming-scanner
+//!   ingest limit ([`lint_corpus`]) and would be rejected by the
+//!   zero-copy ingest path,
 //!
 //! plus a [`CompactionPlan`] that turns the findings into keep/drop
 //! decisions for routing-table construction, at two soundness levels
@@ -48,6 +51,7 @@
 
 pub mod analyzer;
 pub mod compact;
+pub mod corpus;
 pub mod diagnostics;
 pub mod report;
 
@@ -55,6 +59,7 @@ pub use analyzer::{
     AnalysisReport, AnalyzerOptions, PatternVerdict, WorkloadAnalyzer, WorkloadEntry,
 };
 pub use compact::{CompactionMode, CompactionPlan, CompactionStats, CoverageLink};
+pub use corpus::{lint_corpus, CorpusReport};
 pub use diagnostics::{Diagnostic, LintCode, Proof, Severity, Span};
 pub use report::{render_json_lines, render_text};
 

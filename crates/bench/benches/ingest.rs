@@ -1,0 +1,110 @@
+//! Zero-copy ingest throughput: the streaming scanner against
+//! parse-then-fold.
+//!
+//! Both paths consume the same serialized line-delimited corpus and build
+//! the same synopsis (the ingest differential tests prove the estimates
+//! identical); the only difference is the route from raw bytes to the
+//! matching-set counters. `tree_observe` parses each document into an
+//! [`XmlTree`] and folds the tree; `scan_observe` drives the bytes through
+//! `tps_xml::scan` straight into the synopsis sink, never materialising a
+//! tree. The enforced ratio gate in `bench_thresholds.txt` requires the
+//! scanner path to stay at least twice as fast per representation.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tps_synopsis::{DocId, IngestTarget, MatchingSetKind, Synopsis, SynopsisConfig};
+use tps_workload::{DocGenConfig, DocumentGenerator, Dtd};
+use tps_xml::XmlTree;
+
+const CONFIGS: [(&str, MatchingSetKind); 3] = [
+    ("counters", MatchingSetKind::Counters),
+    ("sets_8", MatchingSetKind::Sets { capacity: 8 }),
+    ("hashes_256", MatchingSetKind::Hashes { capacity: 256 }),
+];
+
+fn config(kind: MatchingSetKind) -> SynopsisConfig {
+    SynopsisConfig {
+        kind,
+        ..SynopsisConfig::counters()
+    }
+}
+
+/// The corpus both paths consume, serialized once up front. Ingest-scale
+/// documents (several hundred element pairs each, against the matching
+/// benchmarks' ~100) keep the measurement in steady-state scanning rather
+/// than per-document setup, matching the streamed-feed use case.
+fn corpus_lines() -> Vec<Vec<u8>> {
+    let dtd = Dtd::nitf_like();
+    let config = DocGenConfig::default()
+        .with_seed(1_000_001)
+        .with_target_tag_pairs(400);
+    DocumentGenerator::new(&dtd, config)
+        .generate_many(200)
+        .iter()
+        .map(|doc| doc.to_xml().into_bytes())
+        .collect()
+}
+
+fn observe_trees(kind: MatchingSetKind, lines: &[Vec<u8>]) -> Synopsis {
+    let mut synopsis = Synopsis::new(config(kind));
+    for (i, line) in lines.iter().enumerate() {
+        let text = std::str::from_utf8(line).expect("fixture corpus is UTF-8");
+        let tree = XmlTree::parse(text).expect("fixture corpus re-parses");
+        synopsis.ingest_tree_as(&tree, DocId(i as u64));
+    }
+    synopsis
+}
+
+fn observe_bytes(kind: MatchingSetKind, lines: &[Vec<u8>]) -> Synopsis {
+    let mut synopsis = Synopsis::new(config(kind));
+    for (i, line) in lines.iter().enumerate() {
+        synopsis
+            .ingest_bytes_as(line, DocId(i as u64))
+            .expect("fixture corpus scans");
+    }
+    synopsis
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let lines = corpus_lines();
+    let total_bytes: u64 = lines.iter().map(|l| l.len() as u64).sum();
+
+    let mut group = c.benchmark_group("ingest");
+    group.throughput(Throughput::Bytes(total_bytes));
+    for (name, kind) in CONFIGS {
+        group.bench_function(BenchmarkId::new("tree_observe", name), |b| {
+            b.iter(|| black_box(observe_trees(kind, &lines)).document_count())
+        });
+        group.bench_function(BenchmarkId::new("scan_observe", name), |b| {
+            b.iter(|| black_box(observe_bytes(kind, &lines)).document_count())
+        });
+    }
+    group.finish();
+
+    // Headline MB/s table (one untimed reference pass per path) — this is
+    // what the reproduce workflow records alongside the figures.
+    let mib = total_bytes as f64 / (1024.0 * 1024.0);
+    println!(
+        "ingest corpus: {} documents, {:.2} MiB serialized",
+        lines.len(),
+        mib
+    );
+    for (name, kind) in CONFIGS {
+        let start = Instant::now();
+        black_box(observe_trees(kind, &lines));
+        let tree_secs = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        black_box(observe_bytes(kind, &lines));
+        let scan_secs = start.elapsed().as_secs_f64();
+        println!(
+            "ingest {name}: tree_observe {:.1} MB/s, scan_observe {:.1} MB/s ({:.2}x)",
+            mib / tree_secs,
+            mib / scan_secs,
+            tree_secs / scan_secs,
+        );
+    }
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

@@ -12,7 +12,7 @@ use std::hint::black_box;
 
 use tps_bench::BenchFixture;
 use tps_core::build_par;
-use tps_synopsis::{MatchingSetKind, Synopsis, SynopsisConfig};
+use tps_synopsis::{IngestTarget, MatchingSetKind, Synopsis, SynopsisConfig};
 use tps_xml::stream::TreeStream;
 
 fn config(kind: MatchingSetKind) -> SynopsisConfig {
@@ -109,11 +109,11 @@ fn bench_merge(c: &mut Criterion) {
     ] {
         let mut left = Synopsis::new(config(kind));
         for (i, doc) in docs[..mid].iter().enumerate() {
-            left.insert_document_as(doc, tps_synopsis::DocId(i as u64));
+            left.ingest_tree_as(doc, tps_synopsis::DocId(i as u64));
         }
         let mut right = Synopsis::new(config(kind));
         for (i, doc) in docs[mid..].iter().enumerate() {
-            right.insert_document_as(doc, tps_synopsis::DocId((mid + i) as u64));
+            right.ingest_tree_as(doc, tps_synopsis::DocId((mid + i) as u64));
         }
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| {

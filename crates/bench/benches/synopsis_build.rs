@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criteri
 use std::hint::black_box;
 
 use tps_bench::BenchFixture;
-use tps_synopsis::{MatchingSetKind, Synopsis, SynopsisConfig};
+use tps_synopsis::{IngestTarget, MatchingSetKind, Synopsis, SynopsisConfig};
 
 fn bench_synopsis_build(c: &mut Criterion) {
     let fixture = BenchFixture::nitf();
@@ -44,7 +44,8 @@ fn bench_incremental_insert(c: &mut Criterion) {
             b.iter_batched(
                 || base.clone(),
                 |mut synopsis| {
-                    synopsis.insert_document(black_box(&doc));
+                    let id = synopsis.next_doc_id();
+                    synopsis.ingest_tree_as(black_box(&doc), id);
                     black_box(synopsis.document_count())
                 },
                 BatchSize::SmallInput,

@@ -73,9 +73,27 @@ fn committed_thresholds_file_parses_and_carries_the_build_par_rules() {
         hoisted.max < 1.0,
         "the hoisted form must beat the re-hashing baseline: {hoisted:?}"
     );
+    let ingest: Vec<_> = thresholds
+        .ratios
+        .iter()
+        .filter(|rule| rule.numerator.starts_with("ingest/"))
+        .collect();
+    assert_eq!(
+        ingest.len(),
+        3,
+        "one scan-vs-tree rule per matching-set representation"
+    );
+    for rule in &ingest {
+        assert!(rule.numerator.contains("/scan_observe/"), "{rule:?}");
+        assert!(rule.denominator.contains("/tree_observe/"), "{rule:?}");
+        assert!(
+            (rule.max - 0.5).abs() < 1e-9,
+            "the scanner path must stay at least twice as fast: {rule:?}"
+        );
+    }
     assert_eq!(
         thresholds.ratios.len(),
-        build_par.len() + analyze.len() + index.len(),
+        build_par.len() + analyze.len() + index.len() + ingest.len(),
         "no unaccounted-for ratio rules"
     );
 }
@@ -97,6 +115,10 @@ fn gate_rejects_the_prefix_build_par_snapshot() {
     prefix.extend(
         parse_snapshot(&read(&repo_root().join("BENCH_index.json")))
             .expect("index snapshot parses"),
+    );
+    prefix.extend(
+        parse_snapshot(&read(&repo_root().join("BENCH_ingest.json")))
+            .expect("ingest snapshot parses"),
     );
     let gate = enforce_ratios(&prefix, &thresholds, &[]);
     assert_eq!(
@@ -130,6 +152,10 @@ fn gate_accepts_the_committed_snapshots() {
         parse_snapshot(&read(&repo_root().join("BENCH_index.json")))
             .expect("index snapshot parses"),
     );
+    union.extend(
+        parse_snapshot(&read(&repo_root().join("BENCH_ingest.json")))
+            .expect("ingest snapshot parses"),
+    );
     let ratios = enforce_ratios(&union, &thresholds, &[]);
     assert!(
         ratios.failures.is_empty(),
@@ -139,7 +165,7 @@ fn gate_accepts_the_committed_snapshots() {
 
 #[test]
 fn binary_passes_the_ci_invocation_over_all_committed_snapshots() {
-    // Exactly what CI runs (with fresh == committed): five pairs in one
+    // Exactly what CI runs (with fresh == committed): six pairs in one
     // invocation. The ratio rules must be satisfied by the union of the
     // fresh snapshots, not demanded of the engine/sim pairs where those
     // ids do not exist.
@@ -150,12 +176,14 @@ fn binary_passes_the_ci_invocation_over_all_committed_snapshots() {
     let sim = root.join("BENCH_sim.json");
     let analyze = root.join("BENCH_analyze.json");
     let index = root.join("BENCH_index.json");
-    let (e, s, m, a, i) = (
+    let ingest = root.join("BENCH_ingest.json");
+    let (e, s, m, a, i, g) = (
         engine.to_str().unwrap(),
         synopsis.to_str().unwrap(),
         sim.to_str().unwrap(),
         analyze.to_str().unwrap(),
         index.to_str().unwrap(),
+        ingest.to_str().unwrap(),
     );
     let out = bench_diff(&[
         "--enforce",
@@ -171,6 +199,8 @@ fn binary_passes_the_ci_invocation_over_all_committed_snapshots() {
         a,
         i,
         i,
+        g,
+        g,
     ]);
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(out.status.success(), "{stdout}");

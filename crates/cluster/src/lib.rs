@@ -26,7 +26,7 @@
 //! use tps_cluster::{agglomerative, AgglomerativeConfig, SimilarityMatrix};
 //! use tps_core::{ProximityMetric, SimilarityEngine};
 //! use tps_pattern::TreePattern;
-//! use tps_synopsis::SynopsisConfig;
+//! use tps_synopsis::{ingest, Ingest, SynopsisConfig};
 //! use tps_xml::XmlTree;
 //!
 //! let docs: Vec<XmlTree> = [
@@ -37,7 +37,7 @@
 //! .map(|s| XmlTree::parse(s).unwrap())
 //! .collect();
 //! let mut engine = SimilarityEngine::new(SynopsisConfig::sets(64));
-//! engine.observe_all(&docs);
+//! engine.ingest(ingest::trees(&docs)).unwrap();
 //!
 //! let subscriptions: Vec<TreePattern> = ["//CD", "//CD/title", "//book"]
 //!     .iter()

@@ -245,7 +245,7 @@ fn clamp_unit(value: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tps_synopsis::SynopsisConfig;
+    use tps_synopsis::{ingest, Ingest, SynopsisConfig};
     use tps_xml::XmlTree;
 
     fn patterns() -> Vec<TreePattern> {
@@ -293,7 +293,7 @@ mod tests {
         let patterns = patterns();
         let exact = ExactEvaluator::new(docs.clone());
         let mut engine = SimilarityEngine::new(SynopsisConfig::sets(100));
-        engine.observe_all(&docs);
+        engine.ingest(ingest::trees(&docs)).unwrap();
         let ids = engine.register_all(&patterns);
         let exact_matrix = SimilarityMatrix::from_exact(&exact, &patterns, ProximityMetric::M3);
         let estimated = SimilarityMatrix::from_engine(&engine, &ids, ProximityMetric::M3);
@@ -315,7 +315,7 @@ mod tests {
         let docs = documents();
         let patterns = patterns();
         let mut engine = SimilarityEngine::new(SynopsisConfig::hashes(128));
-        engine.observe_all(&docs);
+        engine.ingest(ingest::trees(&docs)).unwrap();
         let ids = engine.register_all(&patterns);
         for metric in [ProximityMetric::M1, ProximityMetric::M3] {
             let sequential = SimilarityMatrix::from_engine(&engine, &ids, metric);

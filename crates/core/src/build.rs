@@ -13,7 +13,7 @@
 //! sequential [`Synopsis::from_documents`] build — for any shard count and
 //! any batch size.
 
-use tps_synopsis::{DocId, Synopsis, SynopsisConfig};
+use tps_synopsis::{DocId, IngestTarget, Synopsis, SynopsisConfig};
 use tps_xml::stream::{DocumentStream, StreamError, StreamItem};
 
 use crate::par;
@@ -49,17 +49,7 @@ pub fn build_par<S: DocumentStream>(
         // slower than `from_documents`).
         let mut id: u64 = 0;
         while let Some(item) = stream.next_item() {
-            match item? {
-                StreamItem::Tree(tree) => synopsis.insert_document_as(&tree, DocId(id)),
-                StreamItem::Raw(text) => {
-                    let tree =
-                        tps_xml::XmlTree::parse(&text).map_err(|error| StreamError::Parse {
-                            document: id,
-                            error,
-                        })?;
-                    synopsis.insert_document_as(&tree, DocId(id));
-                }
-            }
+            observe_item(&mut synopsis, &item?, id)?;
             id += 1;
         }
         return Ok(synopsis);
@@ -93,19 +83,30 @@ fn observe_chunk(
 ) -> Result<Synopsis, StreamError> {
     let mut shard = Synopsis::new(config);
     for (i, item) in chunk.iter().enumerate() {
-        let id = base + i as u64;
-        match item {
-            StreamItem::Tree(tree) => shard.insert_document_as(tree, DocId(id)),
-            StreamItem::Raw(text) => {
-                let tree = tps_xml::XmlTree::parse(text).map_err(|error| StreamError::Parse {
-                    document: id,
-                    error,
-                })?;
-                shard.insert_document_as(&tree, DocId(id));
-            }
-        }
+        observe_item(&mut shard, item, base + i as u64)?;
     }
     Ok(shard)
+}
+
+/// Fold one stream item into a synopsis under its global stream position.
+/// Raw items — text or bytes — go through the zero-copy scanner
+/// ([`IngestTarget::ingest_bytes_as`]): the worker never builds a tree for
+/// them.
+fn observe_item(synopsis: &mut Synopsis, item: &StreamItem, id: u64) -> Result<(), StreamError> {
+    let raw: &[u8] = match item {
+        StreamItem::Tree(tree) => {
+            synopsis.ingest_tree_as(tree, DocId(id));
+            return Ok(());
+        }
+        StreamItem::Raw(text) => text.as_bytes(),
+        StreamItem::RawBytes(bytes) => bytes,
+    };
+    synopsis
+        .ingest_bytes_as(raw, DocId(id))
+        .map_err(|error| StreamError::Parse {
+            document: id,
+            error,
+        })
 }
 
 #[cfg(test)]

@@ -36,8 +36,7 @@
 //! ```
 //! use tps_core::{ProximityMetric, SimilarityEngine};
 //! use tps_pattern::TreePattern;
-//! use tps_synopsis::MatchingSetKind;
-//! use tps_xml::XmlTree;
+//! use tps_synopsis::{ingest, Ingest, MatchingSetKind};
 //!
 //! let mut engine = SimilarityEngine::builder()
 //!     .matching_sets(MatchingSetKind::hashes(64))
@@ -47,7 +46,8 @@
 //!     "<media><CD><composer><last>Mozart</last></composer></CD></media>",
 //!     "<media><book><author><last>Austen</last></author></book></media>",
 //! ] {
-//!     engine.observe(&XmlTree::parse(text).unwrap());
+//!     // Raw text folds in through the zero-copy scanner — no tree built.
+//!     engine.ingest(ingest::text(text)).unwrap();
 //! }
 //! let p = engine.register(&TreePattern::parse("//CD").unwrap());
 //! let q = engine.register(&TreePattern::parse("//composer/last").unwrap());
@@ -64,7 +64,8 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use tps_pattern::{containment, ops, CompiledPattern, SubtreeInterner, TreePattern};
 use tps_synopsis::{
-    PruneConfig, PruneReport, SummaryValue, Synopsis, SynopsisConfig, SynopsisSize,
+    ingest, DocId, Ingest, IngestTarget, PruneConfig, PruneReport, SummaryValue, Synopsis,
+    SynopsisConfig, SynopsisSize,
 };
 use tps_xml::XmlTree;
 
@@ -560,6 +561,29 @@ pub struct SimilarityEngine {
     state: Mutex<EngineState>,
 }
 
+/// The engine ingests documents exactly like its synopsis: every source
+/// accepted by [`Ingest`] — trees, skeletons, raw bytes (the zero-copy
+/// scanner path), pull-based streams — folds into the engine's synopsis,
+/// bumping its epoch so query caches invalidate as usual. Copy-on-write
+/// applies: ingesting into a cloned engine first unshares the core.
+impl IngestTarget for SimilarityEngine {
+    fn next_doc_id(&self) -> DocId {
+        self.core.synopsis.next_doc_id()
+    }
+
+    fn ingest_tree_as(&mut self, document: &XmlTree, doc: DocId) {
+        self.core_mut().synopsis.ingest_tree_as(document, doc);
+    }
+
+    fn ingest_skeleton_as(&mut self, skeleton: &XmlTree, doc: DocId) {
+        self.core_mut().synopsis.ingest_skeleton_as(skeleton, doc);
+    }
+
+    fn ingest_bytes_as(&mut self, bytes: &[u8], doc: DocId) -> Result<(), tps_xml::XmlError> {
+        self.core_mut().synopsis.ingest_bytes_as(bytes, doc)
+    }
+}
+
 impl Clone for SimilarityEngine {
     fn clone(&self) -> Self {
         Self {
@@ -627,33 +651,39 @@ impl SimilarityEngine {
     // ------------------------------------------------------------------
 
     /// Observe one document from the stream.
+    #[deprecated(note = "use `engine.ingest(ingest::tree(document))` (the `Ingest` trait)")]
     pub fn observe(&mut self, document: &XmlTree) {
-        self.core_mut().synopsis.insert_document(document);
+        let doc = self.next_doc_id();
+        self.ingest_tree_as(document, doc);
     }
 
     /// Observe a document that is already a skeleton tree.
+    #[deprecated(note = "use `engine.ingest(ingest::skeleton(tree))` (the `Ingest` trait)")]
     pub fn observe_skeleton(&mut self, skeleton: &XmlTree) {
-        self.core_mut().synopsis.insert_skeleton(skeleton);
+        let doc = self.next_doc_id();
+        self.ingest_skeleton_as(skeleton, doc);
     }
 
     /// Observe a batch of documents.
+    #[deprecated(note = "use `engine.ingest(ingest::trees(&docs))` (the `Ingest` trait)")]
     pub fn observe_all<'a, I>(&mut self, documents: I)
     where
         I: IntoIterator<Item = &'a XmlTree>,
     {
         for doc in documents {
-            self.observe(doc);
+            let id = self.next_doc_id();
+            self.ingest_tree_as(doc, id);
         }
     }
 
     /// Observe every document of a pull-based stream without materialising
-    /// the corpus ([`Synopsis::observe_stream`]). Returns the number of
-    /// documents observed.
+    /// the corpus. Returns the number of documents observed.
+    #[deprecated(note = "use `engine.ingest(ingest::stream(stream))` (the `Ingest` trait)")]
     pub fn observe_stream<S: tps_xml::stream::DocumentStream>(
         &mut self,
         stream: S,
     ) -> Result<u64, tps_xml::stream::StreamError> {
-        self.core_mut().synopsis.observe_stream(stream)
+        self.ingest(ingest::stream(stream))
     }
 
     /// Build an engine by fanning a document stream's parsing and
@@ -1260,7 +1290,7 @@ mod tests {
 
     fn engine_with(kind: MatchingSetKind) -> SimilarityEngine {
         let mut engine = SimilarityEngine::builder().matching_sets(kind).build();
-        engine.observe_all(&docs());
+        engine.ingest(ingest::trees(&docs())).unwrap();
         engine
     }
 
@@ -1273,7 +1303,7 @@ mod tests {
             .build();
         assert_eq!(engine.default_metric(), ProximityMetric::M2);
         assert_eq!(engine.synopsis().seed(), 7);
-        engine.observe_all(&docs());
+        engine.ingest(ingest::trees(&docs())).unwrap();
         let id = engine.register(&pat("//CD"));
         // No prepare() needed before querying.
         assert!((engine.selectivity(id) - 0.5).abs() < 1e-9);
@@ -1500,7 +1530,7 @@ mod tests {
         assert_eq!(stats.marginal_misses, 1);
         // Observing a document bumps the epoch and drops the caches: the
         // value changes and the query is a miss again.
-        engine.observe(&XmlTree::parse("<media><CD/></media>").unwrap());
+        engine.ingest(ingest::text("<media><CD/></media>")).unwrap();
         assert!((engine.selectivity(id) - 3.0 / 5.0).abs() < 1e-9);
         let stats = engine.cache_stats();
         assert_eq!(stats.marginal_hits, 0, "caches were rebuilt");

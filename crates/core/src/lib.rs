@@ -34,7 +34,7 @@
 //! ```
 //! use tps_core::{ExactEvaluator, ProximityMetric, SimilarityEngine};
 //! use tps_pattern::TreePattern;
-//! use tps_synopsis::MatchingSetKind;
+//! use tps_synopsis::{ingest, Ingest, MatchingSetKind};
 //! use tps_xml::XmlTree;
 //!
 //! let docs: Vec<XmlTree> = ["<a><b/><c/></a>", "<a><b/></a>", "<a><c/></a>"]
@@ -46,7 +46,7 @@
 //!     .matching_sets(MatchingSetKind::hashes(64))
 //!     .metric(ProximityMetric::M3)
 //!     .build();
-//! engine.observe_all(&docs);
+//! engine.ingest(ingest::trees(&docs)).unwrap();
 //! let p = engine.register(&TreePattern::parse("/a/b").unwrap());
 //!
 //! // The estimate agrees with the exact evaluator on this tiny stream.

@@ -4,7 +4,7 @@
 
 use tps_core::{ProximityMetric, SimilarityEngine};
 use tps_pattern::TreePattern;
-use tps_synopsis::MatchingSetKind;
+use tps_synopsis::{ingest, Ingest, MatchingSetKind};
 use tps_xml::XmlTree;
 
 fn docs() -> Vec<XmlTree> {
@@ -42,7 +42,7 @@ fn engine() -> SimilarityEngine {
     let mut engine = SimilarityEngine::builder()
         .matching_sets(MatchingSetKind::hashes(64))
         .build();
-    engine.observe_all(&docs());
+    engine.ingest(ingest::trees(&docs())).unwrap();
     engine
 }
 
@@ -89,9 +89,7 @@ fn observation_on_another_thread_invalidates_batched_caches() {
     std::thread::scope(|scope| {
         let engine = &mut engine;
         scope.spawn(move || {
-            for doc in &new_docs() {
-                engine.observe(doc);
-            }
+            engine.ingest(ingest::trees(&new_docs())).unwrap();
         });
     });
     assert!(
@@ -117,8 +115,8 @@ fn observation_on_another_thread_invalidates_batched_caches() {
     let mut fresh = SimilarityEngine::builder()
         .matching_sets(MatchingSetKind::hashes(64))
         .build();
-    fresh.observe_all(&docs());
-    fresh.observe_all(&new_docs());
+    fresh.ingest(ingest::trees(&docs())).unwrap();
+    fresh.ingest(ingest::trees(&new_docs())).unwrap();
     let fresh_ids = fresh.register_all(&patterns());
     assert_eq!(
         fresh.similarity_matrix(&fresh_ids, ProximityMetric::M3),

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use tps_core::{ExactEvaluator, ProximityMetric, SelectivityEstimator, SimilarityEngine};
 use tps_pattern::{PatternLabel, TreePattern};
-use tps_synopsis::{Synopsis, SynopsisConfig};
+use tps_synopsis::{ingest, Ingest, Synopsis, SynopsisConfig};
 use tps_xml::XmlTree;
 
 const TAGS: &[&str] = &["a", "b", "c", "d"];
@@ -148,7 +148,7 @@ proptest! {
     #[test]
     fn similarity_properties(docs in gen_docs(), p in gen_pattern(), q in gen_pattern()) {
         let mut engine = SimilarityEngine::new(SynopsisConfig::sets(100_000));
-        engine.observe_all(&docs);
+        engine.ingest(ingest::trees(&docs)).unwrap();
         let (hp, hq) = (engine.register(&p), engine.register(&q));
         for metric in ProximityMetric::all() {
             let spq = engine.similarity(hp, hq, metric);
@@ -176,7 +176,7 @@ proptest! {
             SynopsisConfig::hashes(64),
         ] {
             let mut engine = SimilarityEngine::new(config);
-            engine.observe_all(&docs);
+            engine.ingest(ingest::trees(&docs)).unwrap();
             let ids = engine.register_all(&patterns);
             for metric in ProximityMetric::all() {
                 let matrix = engine.similarity_matrix(&ids, metric);
@@ -213,7 +213,7 @@ proptest! {
             SynopsisConfig::hashes(64),
         ] {
             let mut engine = SimilarityEngine::new(config);
-            engine.observe_all(&docs);
+            engine.ingest(ingest::trees(&docs)).unwrap();
             let ids = engine.register_all(&patterns);
             for metric in ProximityMetric::all() {
                 let sequential = engine.similarity_matrix(&ids, metric);
@@ -227,7 +227,7 @@ proptest! {
                         "warm par({}) diverged for {} {:?}", threads, metric, config.kind
                     );
                     let mut fresh = SimilarityEngine::new(config);
-                    fresh.observe_all(&docs);
+                    fresh.ingest(ingest::trees(&docs)).unwrap();
                     let fresh_ids = fresh.register_all(&patterns);
                     let cold = fresh.similarity_matrix_par(&fresh_ids, metric, threads);
                     prop_assert!(
@@ -258,14 +258,14 @@ proptest! {
         patterns in prop::collection::vec(gen_pattern(), 1..5),
     ) {
         let mut engine = SimilarityEngine::new(SynopsisConfig::hashes(32));
-        engine.observe_all(&docs);
+        engine.ingest(ingest::trees(&docs)).unwrap();
         let ids = engine.register_all(&patterns);
         let batch = engine.selectivities(&ids);
         for (&id, &value) in ids.iter().zip(&batch) {
             prop_assert!(engine.selectivity(id) == value);
         }
         let mut fresh = SimilarityEngine::new(SynopsisConfig::hashes(32));
-        fresh.observe_all(&docs);
+        fresh.ingest(ingest::trees(&docs)).unwrap();
         let fresh_ids = fresh.register_all(&patterns);
         prop_assert_eq!(fresh.selectivities(&fresh_ids), batch);
     }
@@ -300,7 +300,7 @@ proptest! {
             .iter()
             .map(|(config, _)| {
                 let mut engine = SimilarityEngine::new(*config);
-                engine.observe_all(&docs);
+                engine.ingest(ingest::trees(&docs)).unwrap();
                 let ids = engine.register_all(&patterns);
                 engine.selectivities(&ids)
             })

@@ -16,7 +16,9 @@ use std::panic::{self, AssertUnwindSafe};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tps_synopsis::{DocId, PruneConfig, SummaryValue, Synopsis, SynopsisConfig, SynopsisNodeId};
+use tps_synopsis::{
+    DocId, IngestTarget, PruneConfig, SummaryValue, Synopsis, SynopsisConfig, SynopsisNodeId,
+};
 use tps_xml::XmlTree;
 
 use crate::corpus::digest;
@@ -44,11 +46,17 @@ pub enum Target {
     /// nonzero estimate, and removal keeps the online leader partition
     /// consistent.
     Index,
+    /// `tps-xml`/`tps-synopsis`: the zero-copy streaming scanner against
+    /// the tree parser — accept/reject parity (identical typed errors on
+    /// UTF-8 input), estimate-identical byte vs tree synopsis ingest for
+    /// every matching-set representation, rollback on rejected documents,
+    /// and panic-freedom under tiny scan limits.
+    Ingest,
 }
 
 impl Target {
     /// All targets, in the order the smoke job runs them.
-    pub fn all() -> [Target; 6] {
+    pub fn all() -> [Target; 7] {
         [
             Target::Xml,
             Target::Pattern,
@@ -56,6 +64,7 @@ impl Target {
             Target::Merge,
             Target::Analyze,
             Target::Index,
+            Target::Ingest,
         ]
     }
 
@@ -68,6 +77,7 @@ impl Target {
             Target::Merge => "merge",
             Target::Analyze => "analyze",
             Target::Index => "index",
+            Target::Ingest => "ingest",
         }
     }
 
@@ -97,6 +107,11 @@ impl Target {
             ],
             // Merge, Analyze and Index interpret bytes as a scenario seed,
             // so any bytes do.
+            Target::Ingest => &[
+                "<media><CD><title>x</title></CD></media>",
+                "<a k=\"v\">one &amp; two<![CDATA[ <raw> ]]></a>",
+                "<a><b/><b><c/></b>text</a>",
+            ],
             Target::Merge => &["0", "12345678", "merge-scenario"],
             Target::Analyze => &["0", "424242", "analyze-scenario"],
             Target::Index => &["0", "31337", "index-scenario"],
@@ -123,6 +138,19 @@ impl Target {
                 b"=\"",
                 b"/>",
                 b"\xc3\xa9",
+            ],
+            Target::Ingest => &[
+                b"<a>",
+                b"</a>",
+                b"<![CDATA[",
+                b"]]>",
+                b"&amp;",
+                b"&#x41;",
+                b"=\"",
+                b"/>",
+                b"<?",
+                b"?>",
+                b"\xff",
             ],
             Target::Pattern => &[b"//", b"/", b"[", b"]", b"*", b".", b"\"", b"[.//", b"]["],
             Target::Dtd => &[
@@ -154,7 +182,7 @@ impl Target {
     /// Generate a fresh structure-aware input for this target.
     pub fn generate(self, rng: &mut StdRng) -> Vec<u8> {
         match self {
-            Target::Xml => gen::xml_document(rng),
+            Target::Xml | Target::Ingest => gen::xml_document(rng),
             Target::Pattern => gen::pattern_expr(rng),
             Target::Dtd => gen::dtd_document(rng),
             // The merge, analyze and index scenarios are derived from the
@@ -179,6 +207,7 @@ impl Target {
             Target::Merge => execute_merge(bytes),
             Target::Analyze => execute_analyze(bytes),
             Target::Index => execute_index(bytes),
+            Target::Ingest => execute_ingest(bytes),
         }
     }
 }
@@ -332,11 +361,11 @@ fn execute_merge(bytes: &[u8]) -> Result<(), String> {
 
     let mut first = Synopsis::new(config);
     for (i, doc) in documents[..split].iter().enumerate() {
-        first.insert_document_as(doc, DocId(i as u64));
+        first.ingest_tree_as(doc, DocId(i as u64));
     }
     let mut second = Synopsis::new(config);
     for (i, doc) in documents[split..].iter().enumerate() {
-        second.insert_document_as(doc, DocId((split + i) as u64));
+        second.ingest_tree_as(doc, DocId((split + i) as u64));
     }
 
     let mut ab = first.clone();
@@ -360,7 +389,7 @@ fn execute_merge(bytes: &[u8]) -> Result<(), String> {
     // A sequential build over the same ids must agree with the merged view.
     let mut sequential = Synopsis::new(config);
     for (i, doc) in documents.iter().enumerate() {
-        sequential.insert_document_as(doc, DocId(i as u64));
+        sequential.ingest_tree_as(doc, DocId(i as u64));
     }
     if canonical_values(&sequential) != canonical_values(&ab) {
         return Err(format!(
@@ -470,6 +499,13 @@ fn execute_analyze(bytes: &[u8]) -> Result<(), String> {
                 }
             }
             LintCode::CostHazard => {}
+            // `W005` comes from corpus replay, never from workload analysis.
+            LintCode::ScannerLimit => {
+                return Err(format!(
+                    "workload analysis emitted the corpus-replay code W005 for {:?}",
+                    workload[i].source()
+                ));
+            }
         }
     }
 
@@ -691,6 +727,89 @@ fn execute_index(bytes: &[u8]) -> Result<(), String> {
             "online leader partition covers {assigned} of {alive} live slots \
              in scenario {scenario:#x}"
         ));
+    }
+    Ok(())
+}
+
+/// Differentially test the zero-copy streaming scanner against the tree
+/// parser on arbitrary bytes:
+///
+/// * on valid UTF-8 the scanner and the tree parser agree error-for-error
+///   (same [`XmlErrorKind`](tps_xml::error::XmlErrorKind), same byte
+///   offset) and accept the same documents;
+/// * on accepted documents, byte-level synopsis ingest is
+///   estimate-identical to tree ingest for every matching-set
+///   representation;
+/// * invalid UTF-8 is rejected as `InvalidUtf8` and rolls the synopsis
+///   back without residue;
+/// * tiny scan limits produce typed errors, never panics.
+fn execute_ingest(bytes: &[u8]) -> Result<(), String> {
+    use tps_xml::error::XmlErrorKind;
+    use tps_xml::{scan_document, NullSink, ScanLimits};
+
+    let limits = ScanLimits::default();
+    let scan_outcome = scan_document(bytes, &limits, &mut NullSink);
+    match std::str::from_utf8(bytes) {
+        Ok(text) => {
+            let parse_outcome = XmlTree::parse(text);
+            match (&scan_outcome, &parse_outcome) {
+                (Ok(()), Ok(_)) => {}
+                (Err(scan_err), Err(parse_err)) if scan_err == parse_err => {}
+                (scan, parse) => {
+                    return Err(format!(
+                        "scanner/parser divergence on {text:?}: scan {:?} vs parse {:?}",
+                        scan.as_ref().err().map(|e| e.to_string()),
+                        parse.as_ref().err().map(|e| e.to_string()),
+                    ));
+                }
+            }
+            if let Ok(tree) = &parse_outcome {
+                let scenario = digest(bytes);
+                for config in [
+                    SynopsisConfig::counters(),
+                    SynopsisConfig::sets(2 + (scenario % 7) as usize),
+                    SynopsisConfig::hashes(2 + (scenario % 13) as usize),
+                ] {
+                    let config = config.with_seed(scenario);
+                    let mut via_tree = Synopsis::new(config);
+                    via_tree.ingest_tree_as(tree, DocId(0));
+                    let mut via_bytes = Synopsis::new(config);
+                    via_bytes
+                        .ingest_bytes_as(bytes, DocId(0))
+                        .map_err(|e| format!("byte ingest rejected a parsed document: {e}"))?;
+                    if canonical_values(&via_tree) != canonical_values(&via_bytes) {
+                        return Err(format!(
+                            "byte ingest diverges from tree ingest for {:?}",
+                            config.kind
+                        ));
+                    }
+                }
+            }
+        }
+        Err(_) => {
+            match &scan_outcome {
+                Err(e) if matches!(e.kind(), XmlErrorKind::InvalidUtf8) => {}
+                other => {
+                    return Err(format!("invalid UTF-8 was not rejected as such: {other:?}"));
+                }
+            }
+            let mut synopsis = Synopsis::new(SynopsisConfig::counters());
+            if synopsis.ingest_bytes_as(bytes, DocId(0)).is_ok() {
+                return Err("byte ingest accepted invalid UTF-8".to_string());
+            }
+            if synopsis.document_count() != 0 || synopsis.node_count() != 1 {
+                return Err("rejected bytes left residue in the synopsis".to_string());
+            }
+        }
+    }
+
+    // Tiny limits: typed errors only, never a panic or stack overflow.
+    let tiny = ScanLimits {
+        max_depth: 4,
+        max_attributes: 2,
+    };
+    if let Err(error) = scan_document(bytes, &tiny, &mut NullSink) {
+        let _ = error.to_string();
     }
     Ok(())
 }

@@ -224,7 +224,7 @@ mod tests {
     use super::*;
     use crate::community::{CommunityClustering, CommunityConfig};
     use tps_core::SimilarityEngine;
-    use tps_synopsis::SynopsisConfig;
+    use tps_synopsis::{ingest, Ingest, SynopsisConfig};
 
     fn documents() -> Vec<XmlTree> {
         [
@@ -287,7 +287,7 @@ mod tests {
         let broker = broker();
         let docs = documents();
         let mut engine = SimilarityEngine::new(SynopsisConfig::sets(100));
-        engine.observe_all(&docs);
+        engine.ingest(ingest::trees(&docs)).unwrap();
         let subscriptions = engine.register_all(&broker.subscriptions());
         let clustering = CommunityClustering::cluster(
             &engine,
@@ -322,7 +322,7 @@ mod tests {
         let broker = broker();
         let docs = documents();
         let mut engine = SimilarityEngine::new(SynopsisConfig::sets(100));
-        engine.observe_all(&docs);
+        engine.ingest(ingest::trees(&docs)).unwrap();
         let subscriptions = engine.register_all(&broker.subscriptions());
         let clustering = CommunityClustering::cluster(
             &engine,

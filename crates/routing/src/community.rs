@@ -468,7 +468,7 @@ impl IncrementalCommunities {
 mod tests {
     use super::*;
     use tps_pattern::TreePattern;
-    use tps_synopsis::SynopsisConfig;
+    use tps_synopsis::{ingest, Ingest, SynopsisConfig};
     use tps_xml::XmlTree;
 
     fn engine_and_subs() -> (SimilarityEngine, Vec<PatternId>) {
@@ -482,7 +482,7 @@ mod tests {
         .map(|s| XmlTree::parse(s).unwrap())
         .collect();
         let mut engine = SimilarityEngine::new(SynopsisConfig::sets(100));
-        engine.observe_all(&docs);
+        engine.ingest(ingest::trees(&docs)).unwrap();
         let ids = engine.register_all(&subscriptions());
         (engine, ids)
     }
@@ -603,7 +603,7 @@ mod tests {
         .map(|s| XmlTree::parse(s).unwrap())
         .collect();
         let mut engine = SimilarityEngine::new(SynopsisConfig::sets(100));
-        engine.observe_all(&docs);
+        engine.ingest(ingest::trees(&docs)).unwrap();
         let patterns: Vec<TreePattern> = ["//CD", "//book", "//CD", "//book", "//CD"]
             .iter()
             .map(|s| TreePattern::parse(s).unwrap())
@@ -673,7 +673,7 @@ mod tests {
         .map(|s| XmlTree::parse(s).unwrap())
         .collect();
         let mut engine = SimilarityEngine::new(SynopsisConfig::sets(100));
-        engine.observe_all(&docs);
+        engine.ingest(ingest::trees(&docs)).unwrap();
         let patterns: Vec<TreePattern> = ["//CD", "//CD", "//CD"]
             .iter()
             .map(|s| TreePattern::parse(s).unwrap())

@@ -26,7 +26,7 @@
 //! use tps_routing::{
 //!     Broker, CommunityClustering, CommunityConfig, Consumer, DeliveryMetrics, RoutingStrategy,
 //! };
-//! use tps_synopsis::SynopsisConfig;
+//! use tps_synopsis::{ingest, Ingest, SynopsisConfig};
 //! use tps_xml::XmlTree;
 //!
 //! let docs: Vec<XmlTree> = [
@@ -38,7 +38,7 @@
 //! .collect();
 //!
 //! let mut engine = SimilarityEngine::new(SynopsisConfig::sets(100));
-//! engine.observe_all(&docs);
+//! engine.ingest(ingest::trees(&docs)).unwrap();
 //!
 //! let mut broker = Broker::new();
 //! broker.subscribe(Consumer::new("cd", TreePattern::parse("//CD").unwrap()));

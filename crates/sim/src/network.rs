@@ -9,7 +9,7 @@ use tps_routing::{
     BrokerId, BrokerNetwork, BrokerTopology, CommunityClustering, CommunityConfig, ForwardingMode,
     IncrementalCommunities, RoutingTable, TableCompaction,
 };
-use tps_synopsis::SynopsisConfig;
+use tps_synopsis::{IngestTarget, SynopsisConfig};
 use tps_workload::SubscriberId;
 use tps_xml::XmlTree;
 
@@ -292,7 +292,8 @@ impl SimNetwork {
     /// Fold a published document into the engine's synopsis (bumps the
     /// synopsis epoch, so community staleness is visible).
     pub fn observe(&mut self, document: &XmlTree) {
-        self.engine.observe(document);
+        let doc = self.engine.next_doc_id();
+        self.engine.ingest_tree_as(document, doc);
     }
 
     /// Whether the routing tables no longer reflect the subscription set.

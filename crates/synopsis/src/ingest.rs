@@ -1,0 +1,647 @@
+//! The unified, sink-based ingest API.
+//!
+//! Every way of getting documents into a [`Synopsis`] — parsed trees,
+//! pre-built skeletons, raw bytes, pull-based streams — goes through one
+//! surface:
+//!
+//! ```
+//! use tps_synopsis::{ingest, Ingest, Synopsis, SynopsisConfig};
+//!
+//! let mut synopsis = Synopsis::new(SynopsisConfig::counters());
+//! synopsis.ingest(ingest::text("<a><b/></a>")).unwrap();
+//! synopsis.ingest(ingest::bytes(b"<a><c/></a>")).unwrap();
+//! assert_eq!(synopsis.document_count(), 2);
+//! ```
+//!
+//! The three layers:
+//!
+//! * [`IngestTarget`] — what a synopsis-like structure must provide: assign
+//!   the next stream identifier and fold one document in, given as a tree,
+//!   a skeleton, or raw bytes. `Synopsis` implements it; so does
+//!   `SimilarityEngine` in `tps-core`.
+//! * [`IngestSource`] — a batch of zero or more documents that knows how to
+//!   feed itself into any target ([`tree`], [`trees`], [`skeleton`],
+//!   [`bytes`], [`text`], [`stream`]).
+//! * [`Ingest`] — the blanket-implemented entry point gluing the two:
+//!   `target.ingest(source)`.
+//!
+//! # Zero-copy byte ingest
+//!
+//! [`IngestTarget::ingest_bytes_as`] is the tentpole path: raw document
+//! bytes are driven through the streaming scanner
+//! ([`tps_xml::scan_document`]) and folded into the synopsis **without
+//! constructing a tree**. The per-document [`SkeletonSink`] reproduces
+//! `skeleton_of` coalescing on the fly:
+//!
+//! * the open-element stack is mirrored as a stack of *synopsis* nodes;
+//!   entering label `l` below synopsis node `p` resolves to
+//!   `find_or_create_child(p, l)` — the same-label merge that makes a
+//!   synopsis node per skeleton group, so repeated siblings (and text runs
+//!   sharing an element label) coalesce exactly as `skeleton_of` does;
+//! * a node visited by the document is a *skeleton leaf* iff no child was
+//!   ever entered below it while it was current — the Hashes
+//!   representation stores the document only at those nodes, every other
+//!   representation stores it at all visited nodes plus the root;
+//! * in Sets mode the reservoir is consulted **before** scanning
+//!   ([`ReservoirSampler::peek`]): a document the sample would skip is
+//!   scanned with recording disabled (validation only, no node creation);
+//! * summaries are only written in a `commit` step after the scan
+//!   succeeded; a parse error rolls back the nodes the document created,
+//!   leaving the synopsis exactly as it was.
+//!
+//! The conformance harness (`crates/xml/tests/conformance.rs`), the
+//! `ingest` fuzz target and the property tests below all enforce that this
+//! path is *estimate-identical* to parsing a tree and folding its skeleton.
+
+use std::borrow::Cow;
+
+use tps_xml::scan::{scan_document, ScanLimits, SkeletonSink};
+use tps_xml::stream::{DocumentStream, StreamError, StreamItem};
+use tps_xml::{XmlError, XmlTree};
+
+use crate::docid::DocId;
+use crate::reservoir::ReservoirDecision;
+#[cfg(doc)]
+use crate::reservoir::ReservoirSampler;
+use crate::summary::MatchingSetKind;
+use crate::synopsis::{Synopsis, SynopsisNodeId};
+
+/// A structure documents can be folded into under explicit stream
+/// identifiers.
+///
+/// Implementors provide the primitive per-document operations; batching,
+/// identifier assignment for whole streams and error bookkeeping live in
+/// [`IngestSource`]s. All three `ingest_*_as` forms must be
+/// estimate-identical for the same document.
+pub trait IngestTarget {
+    /// The identifier the next observed document will receive (its 0-based
+    /// global stream position).
+    fn next_doc_id(&self) -> DocId;
+
+    /// Fold one parsed document tree in under `doc`.
+    fn ingest_tree_as(&mut self, document: &XmlTree, doc: DocId);
+
+    /// Fold an already-coalesced skeleton tree in under `doc`.
+    fn ingest_skeleton_as(&mut self, skeleton: &XmlTree, doc: DocId);
+
+    /// Fold one document given as raw bytes in under `doc`, without
+    /// constructing a tree. On a parse error the target is left unchanged.
+    fn ingest_bytes_as(&mut self, bytes: &[u8], doc: DocId) -> Result<(), XmlError>;
+}
+
+/// A batch of zero or more documents that can feed itself into an
+/// [`IngestTarget`]. Constructed by the free functions of this module
+/// ([`tree`], [`trees`], [`skeleton`], [`bytes`], [`text`], [`stream`]).
+pub trait IngestSource {
+    /// Feed every document into `target`, assigning identifiers via
+    /// [`IngestTarget::next_doc_id`]. Returns the number of documents
+    /// ingested; on error, documents before the failing one remain
+    /// ingested and the failing one has no effect.
+    fn feed(self, target: &mut dyn IngestTarget) -> Result<u64, StreamError>;
+}
+
+/// The unified ingest entry point, blanket-implemented for every
+/// [`IngestTarget`].
+pub trait Ingest: IngestTarget {
+    /// Ingest every document of `source`, returning how many were folded
+    /// in.
+    fn ingest<S: IngestSource>(&mut self, source: S) -> Result<u64, StreamError>
+    where
+        Self: Sized,
+    {
+        source.feed(self)
+    }
+}
+
+impl<T: IngestTarget> Ingest for T {}
+
+/// One borrowed, already-parsed document tree.
+pub fn tree(document: &XmlTree) -> TreeSource<'_> {
+    TreeSource { document }
+}
+
+/// A borrowed slice of parsed document trees, ingested in order.
+pub fn trees(documents: &[XmlTree]) -> TreesSource<'_> {
+    TreesSource { documents }
+}
+
+/// One borrowed, already-coalesced skeleton tree.
+pub fn skeleton(skeleton: &XmlTree) -> SkeletonSource<'_> {
+    SkeletonSource { skeleton }
+}
+
+/// One document given as raw bytes (zero-copy scanner path).
+pub fn bytes(bytes: &[u8]) -> BytesSource<'_> {
+    BytesSource { bytes }
+}
+
+/// One document given as raw text (zero-copy scanner path).
+pub fn text(text: &str) -> BytesSource<'_> {
+    BytesSource {
+        bytes: text.as_bytes(),
+    }
+}
+
+/// Every document of a pull-based [`DocumentStream`]: parsed items fold as
+/// trees, raw items go through the byte-level scanner without ever being
+/// parsed into a tree.
+pub fn stream<S: DocumentStream>(stream: S) -> StreamSource<S> {
+    StreamSource { stream }
+}
+
+/// Source returned by [`tree`].
+#[derive(Debug)]
+pub struct TreeSource<'a> {
+    document: &'a XmlTree,
+}
+
+impl IngestSource for TreeSource<'_> {
+    fn feed(self, target: &mut dyn IngestTarget) -> Result<u64, StreamError> {
+        let doc = target.next_doc_id();
+        target.ingest_tree_as(self.document, doc);
+        Ok(1)
+    }
+}
+
+/// Source returned by [`trees`].
+#[derive(Debug)]
+pub struct TreesSource<'a> {
+    documents: &'a [XmlTree],
+}
+
+impl IngestSource for TreesSource<'_> {
+    fn feed(self, target: &mut dyn IngestTarget) -> Result<u64, StreamError> {
+        for document in self.documents {
+            let doc = target.next_doc_id();
+            target.ingest_tree_as(document, doc);
+        }
+        Ok(self.documents.len() as u64)
+    }
+}
+
+/// Source returned by [`skeleton`].
+#[derive(Debug)]
+pub struct SkeletonSource<'a> {
+    skeleton: &'a XmlTree,
+}
+
+impl IngestSource for SkeletonSource<'_> {
+    fn feed(self, target: &mut dyn IngestTarget) -> Result<u64, StreamError> {
+        let doc = target.next_doc_id();
+        target.ingest_skeleton_as(self.skeleton, doc);
+        Ok(1)
+    }
+}
+
+/// Source returned by [`bytes`] / [`text`].
+#[derive(Debug)]
+pub struct BytesSource<'a> {
+    bytes: &'a [u8],
+}
+
+impl IngestSource for BytesSource<'_> {
+    fn feed(self, target: &mut dyn IngestTarget) -> Result<u64, StreamError> {
+        let doc = target.next_doc_id();
+        target
+            .ingest_bytes_as(self.bytes, doc)
+            .map_err(|error| StreamError::Parse {
+                document: doc.as_u64(),
+                error,
+            })?;
+        Ok(1)
+    }
+}
+
+/// Source returned by [`stream`].
+#[derive(Debug)]
+pub struct StreamSource<S> {
+    stream: S,
+}
+
+impl<S: DocumentStream> IngestSource for StreamSource<S> {
+    fn feed(mut self, target: &mut dyn IngestTarget) -> Result<u64, StreamError> {
+        let mut observed = 0;
+        loop {
+            let doc = target.next_doc_id();
+            match self.stream.next_item() {
+                None => return Ok(observed),
+                Some(Err(err)) => return Err(err),
+                Some(Ok(StreamItem::Tree(tree))) => target.ingest_tree_as(&tree, doc),
+                Some(Ok(StreamItem::Raw(text))) => {
+                    target
+                        .ingest_bytes_as(text.as_bytes(), doc)
+                        .map_err(|error| StreamError::Parse {
+                            document: doc.as_u64(),
+                            error,
+                        })?;
+                }
+                Some(Ok(StreamItem::RawBytes(bytes))) => {
+                    target
+                        .ingest_bytes_as(&bytes, doc)
+                        .map_err(|error| StreamError::Parse {
+                            document: doc.as_u64(),
+                            error,
+                        })?;
+                }
+            }
+            observed += 1;
+        }
+    }
+}
+
+impl IngestTarget for Synopsis {
+    fn next_doc_id(&self) -> DocId {
+        DocId(self.document_count())
+    }
+
+    fn ingest_tree_as(&mut self, document: &XmlTree, doc: DocId) {
+        self.fold_tree_as(document, doc);
+    }
+
+    fn ingest_skeleton_as(&mut self, skeleton: &XmlTree, doc: DocId) {
+        self.fold_skeleton_as(skeleton, doc);
+    }
+
+    fn ingest_bytes_as(&mut self, bytes: &[u8], doc: DocId) -> Result<(), XmlError> {
+        let mut sink = SynopsisDocSink::begin(self, doc);
+        match scan_document(bytes, &ScanLimits::default(), &mut sink) {
+            Ok(()) => {
+                sink.commit();
+                Ok(())
+            }
+            Err(error) => {
+                sink.abort();
+                Err(error)
+            }
+        }
+    }
+}
+
+/// Reusable per-document scratch for [`SynopsisDocSink`], parked inside the
+/// [`Synopsis`] between documents so steady-state byte ingestion performs no
+/// per-document allocations.
+#[derive(Debug, Default)]
+pub(crate) struct IngestScratch {
+    /// Synopsis nodes mirroring the open-element stack; `stack[0].0` is the
+    /// synopsis root. The second component memoises the synopsis node the
+    /// *previous* child event under this frame resolved to: skeleton
+    /// coalescing makes same-label sibling runs the common case, and the
+    /// memo lets them skip both the child scan and the visit bookkeeping.
+    stack: Vec<(SynopsisNodeId, Option<SynopsisNodeId>)>,
+    /// Visited nodes in first-visit order (deterministic commit order).
+    order: Vec<SynopsisNodeId>,
+    /// Nodes this document created, in creation order, for error rollback.
+    created: Vec<SynopsisNodeId>,
+}
+
+/// Per-document sink folding scanner events straight into a synopsis,
+/// reproducing `skeleton_of` coalescing on the fly (see the module docs for
+/// the correspondence argument).
+struct SynopsisDocSink<'a> {
+    synopsis: &'a mut Synopsis,
+    doc: DocId,
+    /// Whether this document's summaries are recorded at all. `false` only
+    /// in Sets mode when the reservoir predicts a skip — the scan then
+    /// validates the document without touching the synopsis.
+    record: bool,
+    /// This document's [`Synopsis::ingest_epoch`] generation: a node is
+    /// visited by this document iff its `visit` stamp equals it.
+    epoch: u64,
+    /// Scratch buffers borrowed from the synopsis for the document's
+    /// duration; `commit`/`abort` park them back.
+    scratch: IngestScratch,
+}
+
+impl<'a> SynopsisDocSink<'a> {
+    fn begin(synopsis: &'a mut Synopsis, doc: DocId) -> Self {
+        let record = match synopsis.reservoir.as_ref() {
+            Some(r) => !matches!(r.peek(doc), ReservoirDecision::Skip),
+            None => true,
+        };
+        synopsis.ingest_epoch += 1;
+        let epoch = synopsis.ingest_epoch;
+        let root = synopsis.root();
+        let mut scratch = std::mem::take(&mut synopsis.ingest_scratch);
+        scratch.stack.clear();
+        scratch.order.clear();
+        scratch.created.clear();
+        scratch.stack.push((root, None));
+        Self {
+            synopsis,
+            doc,
+            record,
+            epoch,
+            scratch,
+        }
+    }
+
+    /// Resolve `label` below the current node, creating the synopsis node
+    /// if needed, and record the visit.
+    fn enter(&mut self, label: &str) -> SynopsisNodeId {
+        // invariant: open/close events are balanced, so the root never pops
+        let top = self
+            .scratch
+            .stack
+            .last_mut()
+            .expect("synopsis root stays on the stack");
+        let parent = top.0;
+        // Fast path: a run of same-label siblings resolves to the node the
+        // previous sibling did. `find_or_create_child` returns the first
+        // alive child with the label, so the memoised node *is* its answer,
+        // and the first resolution already did the visit bookkeeping (visit
+        // stamp, order push, parent marked internal).
+        if let Some(prev) = top.1 {
+            if self.synopsis.nodes[prev.index()].label.as_ref() == label {
+                return prev;
+            }
+        }
+        let before = self.synopsis.nodes.len();
+        let node = self.synopsis.find_or_create_child(parent, label);
+        if node.index() >= before {
+            self.scratch.created.push(node);
+        }
+        if parent != self.synopsis.root() {
+            // The parent is on the stack, so its stamp is already current.
+            self.synopsis.nodes[parent.index()].visit_internal = true;
+        }
+        let entry = &mut self.synopsis.nodes[node.index()];
+        if entry.visit != self.epoch {
+            entry.visit = self.epoch;
+            entry.visit_internal = false;
+            self.scratch.order.push(node);
+        }
+        top.1 = Some(node);
+        node
+    }
+
+    /// The scan succeeded: count the document, settle the reservoir and
+    /// write the summaries.
+    fn commit(mut self) {
+        let synopsis = self.synopsis;
+        synopsis.doc_count += 1;
+        let mut evicted_doc = None;
+        if let Some(reservoir) = synopsis.reservoir.as_mut() {
+            // `peek` predicted this decision in `begin`; nothing touched the
+            // reservoir in between.
+            match reservoir.offer(self.doc) {
+                ReservoirDecision::Skip => debug_assert!(!self.record),
+                ReservoirDecision::Insert => debug_assert!(self.record),
+                ReservoirDecision::Replace { evicted } => {
+                    debug_assert!(self.record);
+                    evicted_doc = Some(evicted);
+                }
+            }
+        }
+        if self.record {
+            let hashes_mode = matches!(synopsis.kind(), MatchingSetKind::Hashes { .. });
+            if hashes_mode {
+                // Store only at path ends — nodes never entered *below*.
+                for &node in &self.scratch.order {
+                    if !synopsis.nodes[node.index()].visit_internal {
+                        synopsis.nodes[node.index()].summary.insert(self.doc);
+                    }
+                }
+            } else {
+                synopsis.nodes[0].summary.insert(self.doc);
+                for &node in &self.scratch.order {
+                    synopsis.nodes[node.index()].summary.insert(self.doc);
+                }
+            }
+        }
+        // Record before forgetting: the orders are estimate-identical (the
+        // two documents touch summaries independently) and this keeps the
+        // freshly visited nodes alive through `remove_empty_leaves`.
+        if let Some(evicted) = evicted_doc {
+            synopsis.forget_document(evicted);
+        }
+        synopsis.ingest_scratch = std::mem::take(&mut self.scratch);
+        synopsis.touch();
+    }
+
+    /// The scan failed: roll back every node this document created. Their
+    /// summaries are still empty (writes happen in `commit`), so deleting
+    /// them — children before parents — restores the previous structure.
+    fn abort(mut self) {
+        for &node in self.scratch.created.iter().rev() {
+            self.synopsis.delete_node(node);
+        }
+        self.synopsis.ingest_scratch = std::mem::take(&mut self.scratch);
+    }
+}
+
+impl SkeletonSink for SynopsisDocSink<'_> {
+    fn open(&mut self, label: Cow<'_, str>) {
+        if !self.record {
+            return;
+        }
+        let node = self.enter(&label);
+        self.scratch.stack.push((node, None));
+    }
+
+    fn text(&mut self, label: Cow<'_, str>) {
+        if !self.record {
+            return;
+        }
+        self.enter(&label);
+    }
+
+    fn close(&mut self) {
+        if !self.record {
+            return;
+        }
+        self.scratch.stack.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::SummaryValue;
+    use crate::synopsis::SynopsisConfig;
+    use tps_xml::stream::LineStream;
+
+    fn configs() -> [SynopsisConfig; 5] {
+        [
+            SynopsisConfig::counters(),
+            SynopsisConfig::sets(2),
+            SynopsisConfig::sets(100),
+            SynopsisConfig::hashes(4),
+            SynopsisConfig::hashes(64),
+        ]
+    }
+
+    /// Canonical view for equivalence checks: every live root-to-node label
+    /// path with its full matching-set value, sorted.
+    fn canonical(s: &Synopsis) -> Vec<(Vec<String>, SummaryValue)> {
+        fn walk(
+            s: &Synopsis,
+            id: SynopsisNodeId,
+            path: &mut Vec<String>,
+            out: &mut Vec<(Vec<String>, SummaryValue)>,
+        ) {
+            path.push(s.label(id).to_string());
+            out.push((path.clone(), s.matching_value(id)));
+            for &child in s.children(id) {
+                walk(s, child, path, out);
+            }
+            path.pop();
+        }
+        let mut out = Vec::new();
+        walk(s, s.root(), &mut Vec::new(), &mut out);
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    fn corpus() -> Vec<&'static str> {
+        vec![
+            "<a><b><e><k/></e><e><m/></e><g><m/></g></b></a>",
+            "<a><b><e><k/></e><g><k/><n/></g><f><n/></f></b></a>",
+            "<a><b><e><k/></e><g><n/></g></b><c><f><n/></f><o><n/></o><f><h/></f></c></a>",
+            "<a><c><f><k/></f><o><n/></o><e><m/></e><h/></c><d><e><k/></e><q><m/></q></d></a>",
+            "<a><d><e><k/></e><e><m/></e><p/></d></a>",
+            "<a><d><e><m/></e></d></a>",
+            // Text leaves, coalescing of text with same-label elements,
+            // entities, CDATA, whitespace-only runs.
+            "<a>hello</a>",
+            "<a><b/>b</a>",
+            "<a><b><c/></b>b<b>tail</b></a>",
+            "<media><CD><composer><last>Mozart</last></composer></CD></media>",
+            "<a>x&amp;y<b>&#65;</b><![CDATA[<raw>]]></a>",
+            "<a>  \n\t  <b/>   </a>",
+            "<a/>",
+            "<r><x>1</x><x>2</x><x>1</x></r>",
+        ]
+    }
+
+    #[test]
+    fn byte_ingest_is_estimate_identical_to_tree_ingest() {
+        let docs = corpus();
+        for config in configs() {
+            let mut via_tree = Synopsis::new(config);
+            let mut via_bytes = Synopsis::new(config);
+            for (i, text) in docs.iter().enumerate() {
+                let tree = XmlTree::parse(text).unwrap();
+                via_tree.ingest_tree_as(&tree, DocId(i as u64));
+                via_bytes
+                    .ingest_bytes_as(text.as_bytes(), DocId(i as u64))
+                    .unwrap();
+            }
+            assert_eq!(via_tree.document_count(), via_bytes.document_count());
+            assert_eq!(
+                canonical(&via_tree),
+                canonical(&via_bytes),
+                "{:?}",
+                config.kind
+            );
+            assert_eq!(via_tree.universe_value(), via_bytes.universe_value());
+            assert_eq!(
+                via_tree.effective_universe(),
+                via_bytes.effective_universe()
+            );
+        }
+    }
+
+    #[test]
+    fn byte_ingest_matches_under_heavy_reservoir_eviction() {
+        // A tiny reservoir over many documents exercises every decision
+        // (skip, insert, replace) and the skip-without-recording path.
+        let mut via_tree = Synopsis::new(SynopsisConfig::sets(3));
+        let mut via_bytes = Synopsis::new(SynopsisConfig::sets(3));
+        for i in 0..500u64 {
+            let text = format!("<a><b{}><c/></b{}></a>", i % 7, i % 7);
+            let tree = XmlTree::parse(&text).unwrap();
+            via_tree.ingest_tree_as(&tree, DocId(i));
+            via_bytes
+                .ingest_bytes_as(text.as_bytes(), DocId(i))
+                .unwrap();
+        }
+        assert_eq!(canonical(&via_tree), canonical(&via_bytes));
+    }
+
+    #[test]
+    fn a_parse_error_rolls_the_synopsis_back() {
+        for config in configs() {
+            let mut s = Synopsis::new(config);
+            s.ingest(ingest_text_batch(&["<a><b/></a>", "<a><c/></a>"]))
+                .unwrap();
+            let before = canonical(&s);
+            let before_count = s.document_count();
+            let doc = s.next_doc_id();
+            // Fails midway: `<a><fresh><deeper>` opens new paths before the
+            // mismatch is detected.
+            let err = s.ingest_bytes_as(b"<a><fresh><deeper>x</wrong>", doc);
+            assert!(err.is_err());
+            assert_eq!(s.document_count(), before_count, "{:?}", config.kind);
+            assert_eq!(canonical(&s), before, "{:?}", config.kind);
+        }
+    }
+
+    fn ingest_text_batch(texts: &[&str]) -> impl IngestSource {
+        let joined: String = texts.iter().map(|t| format!("{t}\n")).collect();
+        stream(LineStream::new(std::io::Cursor::new(joined.into_bytes())))
+    }
+
+    #[test]
+    fn all_sources_agree() {
+        let texts = ["<a><b/></a>", "<a><b/><c/></a>", "<a>t</a>"];
+        let parsed: Vec<XmlTree> = texts.iter().map(|t| XmlTree::parse(t).unwrap()).collect();
+
+        let mut via_trees = Synopsis::new(SynopsisConfig::hashes(16));
+        assert_eq!(via_trees.ingest(trees(&parsed)).unwrap(), 3);
+
+        let mut via_single = Synopsis::new(SynopsisConfig::hashes(16));
+        for t in &parsed {
+            via_single.ingest(tree(t)).unwrap();
+        }
+
+        let mut via_skeletons = Synopsis::new(SynopsisConfig::hashes(16));
+        for t in &parsed {
+            via_skeletons.ingest(skeleton(&t.skeleton())).unwrap();
+        }
+
+        let mut via_text = Synopsis::new(SynopsisConfig::hashes(16));
+        for t in texts {
+            via_text.ingest(text(t)).unwrap();
+        }
+
+        let mut via_stream = Synopsis::new(SynopsisConfig::hashes(16));
+        via_stream.ingest(ingest_text_batch(&texts)).unwrap();
+
+        let expected = canonical(&via_trees);
+        for (name, s) in [
+            ("tree", &via_single),
+            ("skeleton", &via_skeletons),
+            ("text", &via_text),
+            ("stream", &via_stream),
+        ] {
+            assert_eq!(s.document_count(), 3, "{name}");
+            assert_eq!(canonical(s), expected, "{name}");
+        }
+    }
+
+    #[test]
+    fn stream_errors_carry_the_global_document_index() {
+        let mut s = Synopsis::new(SynopsisConfig::counters());
+        s.ingest(text("<a/>")).unwrap();
+        let err = s
+            .ingest(stream(LineStream::new("<b/>\n<broken\n".as_bytes())))
+            .unwrap_err();
+        match err {
+            StreamError::Parse { document, .. } => assert_eq!(document, 2),
+            other => panic!("expected a parse error, got {other}"),
+        }
+        // The valid documents were kept.
+        assert_eq!(s.document_count(), 2);
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected_without_side_effects() {
+        let mut s = Synopsis::new(SynopsisConfig::counters());
+        let err = s
+            .ingest_bytes_as(&[b'<', 0xFF, 0xFE], DocId(0))
+            .unwrap_err();
+        assert_eq!(*err.kind(), tps_xml::error::XmlErrorKind::InvalidUtf8);
+        assert_eq!(s.document_count(), 0);
+        assert_eq!(s.node_count(), 1, "only the root");
+    }
+}

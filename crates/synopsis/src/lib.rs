@@ -14,9 +14,11 @@
 //! * [`ReservoirSampler`] — keyed (bottom-k) reservoir sampling, the
 //!   order-independent equivalent of Vitter's scheme that makes the Sets
 //!   representation mergeable.
-//! * Streaming & sharding — [`Synopsis::observe_stream`] folds a pull-based
-//!   [`DocumentStream`](tps_xml::stream::DocumentStream) into the synopsis
-//!   without materialising the corpus, and [`Synopsis::merge`] combines
+//! * Ingest — the sink-based [`Ingest`] API folds documents in from any
+//!   source: parsed trees, skeletons, pull-based
+//!   [`DocumentStream`](tps_xml::stream::DocumentStream)s, or **raw bytes**
+//!   driven through the zero-copy streaming scanner (`tps_xml::scan`)
+//!   without ever materialising a tree. [`Synopsis::merge`] combines
 //!   per-shard partial synopses (counters add, sets re-prune, hash sketches
 //!   union) estimate-identically to a sequential build.
 //! * Pruning — [`Synopsis::prune_to_ratio`] and the individual fold / delete /
@@ -43,6 +45,7 @@
 pub mod distinct;
 pub mod docid;
 pub mod hash;
+pub mod ingest;
 pub mod prune;
 pub mod reservoir;
 pub mod summary;
@@ -52,6 +55,7 @@ pub mod synopsis;
 
 pub use distinct::DistinctSample;
 pub use docid::DocId;
+pub use ingest::{Ingest, IngestSource, IngestTarget};
 pub use prune::{PruneConfig, PruneReport};
 pub use reservoir::{ReservoirDecision, ReservoirSampler};
 pub use summary::{MatchingSetKind, NodeSummary, SummaryValue};

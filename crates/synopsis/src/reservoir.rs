@@ -135,6 +135,32 @@ impl ReservoirSampler {
         self.max_index
     }
 
+    /// The decision [`offer`](Self::offer) *would* take for `doc`, without
+    /// mutating the reservoir. Streaming ingest uses this to decide up front
+    /// whether a document's skeleton needs to be folded at all, and commits
+    /// with `offer` (which then returns the identical decision) only after
+    /// the document scanned successfully.
+    pub fn peek(&self, doc: DocId) -> ReservoirDecision {
+        if self.entries.len() < self.capacity {
+            return ReservoirDecision::Insert;
+        }
+        let key = self.key(doc);
+        // Same last-max tie-break as the cached `argmax`.
+        // invariant: the reservoir is full here, hence non-empty
+        let &(victim_key, victim_doc) = self
+            .entries
+            .iter()
+            .max_by_key(|&&(key, doc)| (key, doc.as_u64()))
+            .expect("reservoir is full, hence non-empty");
+        if (key, doc.as_u64()) < (victim_key, victim_doc.as_u64()) {
+            ReservoirDecision::Replace {
+                evicted: victim_doc,
+            }
+        } else {
+            ReservoirDecision::Skip
+        }
+    }
+
     /// Offer the next stream document to the reservoir and return the
     /// decision. The caller is responsible for applying the decision to the
     /// synopsis (inserting the new document / removing the evicted one).
@@ -244,6 +270,18 @@ mod tests {
             }
         }
         assert!(replaced > 0, "some replacements must occur");
+    }
+
+    #[test]
+    fn peek_predicts_offer_exactly() {
+        let mut r = ReservoirSampler::new(8);
+        for i in 0..2_000u64 {
+            let predicted = r.peek(DocId(i));
+            let actual = r.offer(DocId(i));
+            assert_eq!(predicted, actual, "doc {i}");
+        }
+        // `peek` never mutates: seen counts only the offers.
+        assert_eq!(r.seen(), 2_000);
     }
 
     #[test]

@@ -124,6 +124,17 @@ pub(crate) struct SynopsisNode {
     pub(crate) children: Vec<SynopsisNodeId>,
     pub(crate) summary: NodeSummary,
     pub(crate) alive: bool,
+    /// Transient streaming-ingest bookkeeping: the [`ingest_epoch`] of the
+    /// document currently visiting this node. A stamp from an older epoch
+    /// means "not visited by the in-flight document" — no per-document
+    /// hash map needed.
+    ///
+    /// [`ingest_epoch`]: Synopsis::ingest_epoch
+    pub(crate) visit: u64,
+    /// Valid only while `visit` equals the in-flight epoch: `true` once the
+    /// document entered a child below this node (the node is *internal* in
+    /// the document's skeleton, i.e. not a path end).
+    pub(crate) visit_internal: bool,
 }
 
 /// Size decomposition of a synopsis, following the paper's accounting for
@@ -153,12 +164,12 @@ impl SynopsisSize {
 /// # Example
 ///
 /// ```
-/// use tps_synopsis::{Synopsis, SynopsisConfig};
-/// use tps_xml::XmlTree;
+/// use tps_synopsis::{ingest, Ingest, Synopsis, SynopsisConfig};
 ///
 /// let mut synopsis = Synopsis::new(SynopsisConfig::counters());
 /// for text in ["<a><b/></a>", "<a><c/></a>", "<a><b/><c/></a>"] {
-///     synopsis.insert_document(&XmlTree::parse(text).unwrap());
+///     // Raw bytes fold straight into the synopsis — no tree is built.
+///     synopsis.ingest(ingest::text(text)).unwrap();
 /// }
 /// assert_eq!(synopsis.document_count(), 3);
 /// // Root has a single child labelled "a" with two children "b" and "c".
@@ -170,8 +181,8 @@ impl SynopsisSize {
 pub struct Synopsis {
     config: SynopsisConfig,
     pub(crate) nodes: Vec<SynopsisNode>,
-    doc_count: u64,
-    reservoir: Option<ReservoirSampler>,
+    pub(crate) doc_count: u64,
+    pub(crate) reservoir: Option<ReservoirSampler>,
     /// Cached full matching-set values (only consulted while valid).
     full_cache: Vec<Option<SummaryValue>>,
     cache_valid: bool,
@@ -183,6 +194,13 @@ pub struct Synopsis {
     /// threads) observe epoch advances race-free without locking the
     /// synopsis.
     epoch: AtomicU64,
+    /// Streaming-ingest generation counter: bumped once per document scanned
+    /// through the [`crate::ingest`] sink, so node visit stamps from earlier
+    /// documents never read as current (see [`SynopsisNode::visit`]).
+    pub(crate) ingest_epoch: u64,
+    /// Reusable per-document scratch buffers for the streaming-ingest sink,
+    /// kept here so repeated byte ingestion allocates nothing per document.
+    pub(crate) ingest_scratch: crate::ingest::IngestScratch,
 }
 
 impl Clone for Synopsis {
@@ -195,6 +213,8 @@ impl Clone for Synopsis {
             full_cache: self.full_cache.clone(),
             cache_valid: self.cache_valid,
             epoch: AtomicU64::new(self.epoch.load(Ordering::Acquire)),
+            ingest_epoch: self.ingest_epoch,
+            ingest_scratch: crate::ingest::IngestScratch::default(),
         }
     }
 }
@@ -217,12 +237,16 @@ impl Synopsis {
                 children: Vec::new(),
                 summary: NodeSummary::empty(config.kind, config.seed),
                 alive: true,
+                visit: 0,
+                visit_internal: false,
             }],
             doc_count: 0,
             reservoir,
             full_cache: Vec::new(),
             cache_valid: false,
             epoch: AtomicU64::new(0),
+            ingest_epoch: 0,
+            ingest_scratch: crate::ingest::IngestScratch::default(),
         }
     }
 
@@ -233,7 +257,8 @@ impl Synopsis {
     {
         let mut synopsis = Self::new(config);
         for doc in documents {
-            synopsis.insert_document(doc);
+            let id = DocId(synopsis.doc_count);
+            synopsis.fold_tree_as(doc, id);
         }
         synopsis
     }
@@ -345,35 +370,53 @@ impl Synopsis {
 
     /// Observe one document: build its skeleton and fold it into the
     /// synopsis. Returns the identifier assigned to the document.
+    #[deprecated(note = "use `synopsis.ingest(ingest::tree(document))` (the `Ingest` trait)")]
     pub fn insert_document(&mut self, document: &XmlTree) -> DocId {
-        let skeleton = document.skeleton();
-        self.insert_skeleton(&skeleton)
+        let doc = DocId(self.doc_count);
+        self.fold_tree_as(document, doc);
+        doc
     }
 
     /// Observe a document that is already a skeleton tree (children with
     /// duplicate labels are assumed to have been coalesced).
+    #[deprecated(note = "use `synopsis.ingest(ingest::skeleton(tree))` (the `Ingest` trait)")]
     pub fn insert_skeleton(&mut self, skeleton: &XmlTree) -> DocId {
         let doc = DocId(self.doc_count);
-        self.insert_skeleton_as(skeleton, doc);
+        self.fold_skeleton_as(skeleton, doc);
         doc
     }
 
     /// Observe a document under an explicit stream identifier (its 0-based
     /// global stream position).
+    #[deprecated(note = "use `IngestTarget::ingest_tree_as` instead")]
+    pub fn insert_document_as(&mut self, document: &XmlTree, doc: DocId) {
+        self.fold_tree_as(document, doc);
+    }
+
+    /// Skeleton-tree variant of the explicit-identifier observation.
+    #[deprecated(note = "use `IngestTarget::ingest_skeleton_as` instead")]
+    pub fn insert_skeleton_as(&mut self, skeleton: &XmlTree, doc: DocId) {
+        self.fold_skeleton_as(skeleton, doc);
+    }
+
+    /// Skeletonise a document tree and fold it in under an explicit stream
+    /// identifier (its 0-based global stream position).
     ///
     /// This is the shard-building entry point: a sharded build assigns
     /// identifiers by global stream position, observes each contiguous chunk
     /// into its own partial synopsis, and [`Synopsis::merge`]s the partials.
     /// Because every sampling decision (reservoir membership, distinct-sample
     /// levels) is a deterministic function of `(seed, id)`, the merged result
-    /// is identical to a sequential [`Synopsis::insert_document`] pass.
-    pub fn insert_document_as(&mut self, document: &XmlTree, doc: DocId) {
+    /// is identical to a sequential build.
+    pub(crate) fn fold_tree_as(&mut self, document: &XmlTree, doc: DocId) {
         let skeleton = document.skeleton();
-        self.insert_skeleton_as(&skeleton, doc);
+        self.fold_skeleton_as(&skeleton, doc);
     }
 
-    /// Skeleton-tree variant of [`Synopsis::insert_document_as`].
-    pub fn insert_skeleton_as(&mut self, skeleton: &XmlTree, doc: DocId) {
+    /// Fold an already-coalesced skeleton tree in under an explicit stream
+    /// identifier. The tree-based ingest backbone; the byte-level scanner
+    /// path (`crate::ingest`) reproduces exactly this via a streaming sink.
+    pub(crate) fn fold_skeleton_as(&mut self, skeleton: &XmlTree, doc: DocId) {
         self.doc_count += 1;
         match self.config.kind {
             MatchingSetKind::Counters | MatchingSetKind::Hashes { .. } => {
@@ -402,17 +445,9 @@ impl Synopsis {
     /// Observe every document of a pull-based stream, parsing lazily and
     /// never materialising the corpus. Returns the number of documents
     /// observed from this stream.
-    ///
-    /// This is the sequential streaming build; the sharded equivalent is
-    /// `tps_core::build_par`, which is estimate-identical for any shard
-    /// count.
-    pub fn observe_stream<S: DocumentStream>(&mut self, mut stream: S) -> Result<u64, StreamError> {
-        let mut observed = 0;
-        while let Some(document) = stream.next_document(self.doc_count) {
-            self.insert_document(&document?);
-            observed += 1;
-        }
-        Ok(observed)
+    #[deprecated(note = "use `synopsis.ingest(ingest::stream(stream))` (the `Ingest` trait)")]
+    pub fn observe_stream<S: DocumentStream>(&mut self, stream: S) -> Result<u64, StreamError> {
+        crate::ingest::Ingest::ingest(self, crate::ingest::stream(stream))
     }
 
     /// Merge another synopsis, built over a *disjoint* shard of the same
@@ -574,7 +609,11 @@ impl Synopsis {
         }
     }
 
-    fn find_or_create_child(&mut self, parent: SynopsisNodeId, label: &str) -> SynopsisNodeId {
+    pub(crate) fn find_or_create_child(
+        &mut self,
+        parent: SynopsisNodeId,
+        label: &str,
+    ) -> SynopsisNodeId {
         if let Some(&existing) = self.nodes[parent.index()].children.iter().find(|&&c| {
             self.nodes[c.index()].alive && self.nodes[c.index()].label.as_ref() == label
         }) {
@@ -588,6 +627,8 @@ impl Synopsis {
             children: Vec::new(),
             summary: NodeSummary::empty(self.config.kind, self.config.seed),
             alive: true,
+            visit: 0,
+            visit_internal: false,
         });
         self.nodes[parent.index()].children.push(id);
         id
@@ -595,7 +636,7 @@ impl Synopsis {
 
     /// Remove a document identifier from every node summary (reservoir
     /// eviction), deleting nodes whose matching set becomes empty.
-    fn forget_document(&mut self, doc: DocId) {
+    pub(crate) fn forget_document(&mut self, doc: DocId) {
         for node in &mut self.nodes {
             if node.alive {
                 node.summary.remove(doc);
@@ -845,6 +886,7 @@ impl Synopsis {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ingest::{self, Ingest, IngestTarget};
 
     /// The six documents of Figure 2 (as close as the printed figure allows;
     /// what matters for the tests is the co-occurrence structure discussed in
@@ -928,7 +970,7 @@ mod tests {
         let mut s = Synopsis::new(SynopsisConfig::sets(8));
         for i in 0..200 {
             let doc = XmlTree::parse(&format!("<a><b{}/></a>", i % 10)).unwrap();
-            s.insert_document(&doc);
+            s.ingest(ingest::tree(&doc)).unwrap();
         }
         assert_eq!(s.document_count(), 200);
         assert!(s.universe_value().count_units() <= 8.0);
@@ -1023,17 +1065,41 @@ mod tests {
     fn insert_skeleton_accepts_pre_built_skeletons() {
         let doc = XmlTree::parse("<a><b/><b/></a>").unwrap();
         let mut s1 = Synopsis::new(SynopsisConfig::counters());
-        s1.insert_document(&doc);
+        s1.ingest(ingest::tree(&doc)).unwrap();
         let mut s2 = Synopsis::new(SynopsisConfig::counters());
-        s2.insert_skeleton(&doc.skeleton());
+        s2.ingest(ingest::skeleton(&doc.skeleton())).unwrap();
         assert_eq!(s1.node_count(), s2.node_count());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate_to_the_ingest_path() {
+        let docs = figure2_documents();
+        for config in [
+            SynopsisConfig::counters(),
+            SynopsisConfig::sets(4),
+            SynopsisConfig::hashes(8),
+        ] {
+            let via_ingest = Synopsis::from_documents(config, &docs);
+            let mut via_shims = Synopsis::new(config);
+            for doc in &docs {
+                via_shims.insert_document(doc);
+            }
+            assert_eq!(via_shims.document_count(), via_ingest.document_count());
+            assert_eq!(canonical_values(&via_shims), canonical_values(&via_ingest));
+            let mut via_as = Synopsis::new(config);
+            for (i, doc) in docs.iter().enumerate() {
+                via_as.insert_document_as(doc, DocId(i as u64));
+            }
+            assert_eq!(canonical_values(&via_as), canonical_values(&via_ingest));
+        }
     }
 
     #[test]
     fn epoch_advances_on_every_mutation_but_not_on_queries() {
         let mut s = Synopsis::new(SynopsisConfig::hashes(64));
         let e0 = s.epoch();
-        s.insert_document(&XmlTree::parse("<a><b/></a>").unwrap());
+        s.ingest(ingest::text("<a><b/></a>")).unwrap();
         let e1 = s.epoch();
         assert!(e1 > e0, "insert must advance the epoch");
         // Queries leave the epoch alone.
@@ -1106,7 +1172,7 @@ mod tests {
         for (index, chunk_docs) in docs.chunks(chunk).enumerate() {
             let mut shard = Synopsis::new(config);
             for (offset, doc) in chunk_docs.iter().enumerate() {
-                shard.insert_document_as(doc, DocId((index * chunk + offset) as u64));
+                shard.ingest_tree_as(doc, DocId((index * chunk + offset) as u64));
             }
             merged.merge(&shard);
         }
@@ -1259,14 +1325,16 @@ mod tests {
         let docs = figure2_documents();
         let sequential = Synopsis::from_documents(SynopsisConfig::hashes(8), &docs);
         let mut streamed = Synopsis::new(SynopsisConfig::hashes(8));
-        let observed = streamed.observe_stream(cloned_trees(&docs)).unwrap();
+        let observed = streamed
+            .ingest(ingest::stream(cloned_trees(&docs)))
+            .unwrap();
         assert_eq!(observed, docs.len() as u64);
         assert_eq!(canonical_values(&streamed), canonical_values(&sequential));
         // Line-delimited raw text round-trips through the same build.
         let text: String = docs.iter().map(|d| d.to_xml() + "\n").collect();
         let mut from_lines = Synopsis::new(SynopsisConfig::hashes(8));
         from_lines
-            .observe_stream(LineStream::new(text.as_bytes()))
+            .ingest(ingest::stream(LineStream::new(text.as_bytes())))
             .unwrap();
         assert_eq!(
             canonical_values(&from_lines),
@@ -1280,7 +1348,9 @@ mod tests {
         use tps_xml::stream::LineStream;
         let mut s = Synopsis::new(SynopsisConfig::counters());
         let err = s
-            .observe_stream(LineStream::new("<a/>\n<broken\n".as_bytes()))
+            .ingest(ingest::stream(LineStream::new(
+                "<a/>\n<broken\n".as_bytes(),
+            )))
             .unwrap_err();
         assert!(err.to_string().contains("document 1"), "{err}");
         // The valid document before the error was observed.

@@ -1,7 +1,9 @@
 //! Property-based tests for the synopsis and its summaries.
 
 use proptest::prelude::*;
-use tps_synopsis::{DistinctSample, DocId, MatchingSetKind, Synopsis, SynopsisConfig};
+use tps_synopsis::{
+    DistinctSample, DocId, IngestTarget, MatchingSetKind, Synopsis, SynopsisConfig,
+};
 use tps_xml::XmlTree;
 
 const TAGS: &[&str] = &["a", "b", "c", "d", "e"];
@@ -197,7 +199,7 @@ proptest! {
                 for (index, chunk_docs) in docs.chunks(chunk).enumerate() {
                     let mut shard = Synopsis::new(config);
                     for (offset, doc) in chunk_docs.iter().enumerate() {
-                        shard.insert_document_as(doc, DocId((index * chunk + offset) as u64));
+                        shard.ingest_tree_as(doc, DocId((index * chunk + offset) as u64));
                     }
                     merged.merge(&shard);
                 }

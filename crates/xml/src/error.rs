@@ -34,6 +34,9 @@ pub enum XmlErrorKind {
     TrailingContent,
     /// An unknown or malformed entity reference such as `&foo`.
     InvalidEntity(String),
+    /// The raw document bytes are not valid UTF-8 (byte-level ingest only;
+    /// the offset is the end of the longest valid prefix).
+    InvalidUtf8,
     /// A parser limit was exceeded (defence against pathological inputs
     /// such as pathologically deep nesting or enormous attribute lists).
     LimitExceeded {
@@ -76,6 +79,7 @@ impl fmt::Display for XmlError {
             XmlErrorKind::NoRootElement => write!(f, "document has no root element"),
             XmlErrorKind::TrailingContent => write!(f, "content after the root element"),
             XmlErrorKind::InvalidEntity(e) => write!(f, "invalid entity reference &{e};"),
+            XmlErrorKind::InvalidUtf8 => write!(f, "input is not valid UTF-8"),
             XmlErrorKind::LimitExceeded { what, limit } => {
                 write!(f, "{what} limit ({limit}) exceeded")
             }

@@ -10,6 +10,9 @@
 //! * [`parser`] — a small, dependency-free XML parser for the element/text
 //!   subset needed by the evaluation (attributes, comments, processing
 //!   instructions and CDATA sections are accepted and skipped or inlined).
+//! * [`scan`] — a zero-copy streaming scanner over raw bytes emitting
+//!   skeleton events into a [`SkeletonSink`]; accepts and rejects exactly
+//!   the same documents as [`parser`] but never materialises a tree.
 //! * [`skeleton`] — *skeleton tree* construction: children of a node that
 //!   share a tag are coalesced so that every node has at most one child per
 //!   tag (Section 3.1).
@@ -39,6 +42,7 @@ pub mod error;
 pub mod label;
 pub mod parser;
 pub mod paths;
+pub mod scan;
 pub mod skeleton;
 pub mod stream;
 pub mod tree;
@@ -46,5 +50,6 @@ pub mod writer;
 
 pub use error::XmlError;
 pub use label::{LabelId, LabelTable};
+pub use scan::{scan_document, scan_str, NullSink, ScanLimits, SkeletonSink};
 pub use stream::{BorrowedTrees, DocumentStream, LineStream, StreamError, StreamItem, TreeStream};
 pub use tree::{NodeId, XmlNode, XmlTree};

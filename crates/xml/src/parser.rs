@@ -349,7 +349,9 @@ fn is_name_byte(c: u8, first: bool) -> bool {
 }
 
 /// Decode the predefined entities and numeric character references of `raw`.
-fn decode_entities(raw: &str, offset: usize) -> Result<String, XmlError> {
+/// Shared with the streaming scanner (`crate::scan`) so both ingest paths
+/// agree byte-for-byte on entity handling.
+pub(crate) fn decode_entities(raw: &str, offset: usize) -> Result<String, XmlError> {
     if !raw.contains('&') {
         return Ok(raw.to_string());
     }

@@ -39,14 +39,32 @@ pub enum StreamItem {
     Tree(XmlTree),
     /// The raw XML text of one document.
     Raw(String),
+    /// The raw bytes of one document, not yet validated as UTF-8. This is
+    /// what byte-oriented readers ([`LineStream`]) yield: no per-document
+    /// `String` is ever allocated on the reader, and byte-level consumers
+    /// ([`crate::scan`], `Synopsis::ingest`) fold the buffer without any
+    /// UTF-8 re-copy. Validation happens wherever the bytes are consumed.
+    RawBytes(Vec<u8>),
 }
 
 impl StreamItem {
     /// Parse the item into a tree (a no-op for [`StreamItem::Tree`]).
+    ///
+    /// Lossless for every variant: [`StreamItem::RawBytes`] is UTF-8
+    /// validated first ([`crate::error::XmlErrorKind::InvalidUtf8`] with the
+    /// offset of the longest valid prefix on failure) and then parsed like
+    /// raw text.
     pub fn into_tree(self) -> Result<XmlTree, XmlError> {
         match self {
             StreamItem::Tree(tree) => Ok(tree),
             StreamItem::Raw(text) => XmlTree::parse(&text),
+            StreamItem::RawBytes(bytes) => match std::str::from_utf8(&bytes) {
+                Ok(text) => XmlTree::parse(text),
+                Err(e) => Err(XmlError::new(
+                    crate::error::XmlErrorKind::InvalidUtf8,
+                    e.valid_up_to(),
+                )),
+            },
         }
     }
 }
@@ -184,9 +202,11 @@ pub fn cloned_trees(trees: &[XmlTree]) -> BorrowedTrees<'_> {
 /// Line-delimited XML documents from a [`BufRead`] source: every non-empty
 /// line is the raw text of one document (the format `tps generate` writes).
 ///
-/// Lines are yielded as [`StreamItem::Raw`], so parsing happens wherever
-/// the consumer chooses — inline for [`DocumentStream::next_document`], on
-/// worker threads for sharded builds.
+/// Lines are yielded as [`StreamItem::RawBytes`] — the reader never
+/// allocates a `String` or validates UTF-8 per document — so parsing (or
+/// byte-level synopsis ingest) happens wherever the consumer chooses:
+/// inline for [`DocumentStream::next_document`], on worker threads for
+/// sharded builds.
 #[derive(Debug)]
 pub struct LineStream<R: BufRead> {
     reader: R,
@@ -223,8 +243,8 @@ impl<R: BufRead> DocumentStream for LineStream<R> {
             return None;
         }
         loop {
-            let mut line = String::new();
-            match self.reader.read_line(&mut line) {
+            let mut line = Vec::new();
+            match self.reader.read_until(b'\n', &mut line) {
                 Err(err) => {
                     self.done = true;
                     return Some(Err(StreamError::Io(err)));
@@ -234,11 +254,19 @@ impl<R: BufRead> DocumentStream for LineStream<R> {
                     return None;
                 }
                 Ok(_) => {
-                    let trimmed = line.trim();
-                    if trimmed.is_empty() {
+                    // Trim ASCII whitespace in place (multi-byte characters
+                    // never match, so this cannot split a UTF-8 sequence).
+                    while line.last().is_some_and(|b| b.is_ascii_whitespace()) {
+                        line.pop();
+                    }
+                    let lead = line.iter().take_while(|b| b.is_ascii_whitespace()).count();
+                    if lead > 0 {
+                        line.drain(..lead);
+                    }
+                    if line.is_empty() {
                         continue;
                     }
-                    return Some(Ok(StreamItem::Raw(trimmed.to_string())));
+                    return Some(Ok(StreamItem::RawBytes(line)));
                 }
             }
         }
@@ -277,11 +305,22 @@ mod tests {
         let text = "<a><b/></a>\n\n  \n<c/>\n";
         let mut stream = LineStream::new(text.as_bytes());
         let first = stream.next_item().unwrap().unwrap();
-        assert!(matches!(first, StreamItem::Raw(ref s) if s == "<a><b/></a>"));
+        assert!(matches!(first, StreamItem::RawBytes(ref b) if b == b"<a><b/></a>"));
         let second = stream.next_document(1).unwrap().unwrap();
         assert_eq!(second.label(second.root()), "c");
         assert!(stream.next_item().is_none());
         assert!(stream.next_item().is_none(), "stays exhausted");
+    }
+
+    #[test]
+    fn raw_bytes_items_parse_losslessly() {
+        let item = StreamItem::RawBytes(b"<a><b/></a>".to_vec());
+        let tree = item.into_tree().unwrap();
+        assert_eq!(tree, parse("<a><b/></a>"));
+        let bad = StreamItem::RawBytes(vec![b'<', 0xFF]);
+        let err = bad.into_tree().unwrap_err();
+        assert_eq!(*err.kind(), crate::error::XmlErrorKind::InvalidUtf8);
+        assert_eq!(err.offset(), 1);
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! Scanner-vs-parser conformance: the zero-copy streaming scanner
+//! (`tps_xml::scan`) must agree with the tree parser on every input —
+//! accept/reject **error-for-error** (same kind, same byte offset), and on
+//! accepted documents the event stream must rebuild the exact parse tree.
+//!
+//! The suite replays a committed conformance corpus plus every case in the
+//! repository's fuzz corpora (`fuzz/corpus/xml`, `fuzz/corpus/ingest`), so
+//! each crash the fuzzers ever minimized doubles as a scanner conformance
+//! fixture.
+
+use std::borrow::Cow;
+
+use tps_xml::error::XmlErrorKind;
+use tps_xml::{scan_document, NullSink, ScanLimits, SkeletonSink, XmlTree};
+
+/// Rebuilds an [`XmlTree`] from scanner events: `open` pushes a child,
+/// `text` adds a text leaf, `close` pops. Event order equals the parser's
+/// construction order, so an equal document yields an arena-identical tree.
+#[derive(Default)]
+struct TreeBuilder {
+    tree: Option<XmlTree>,
+    stack: Vec<tps_xml::tree::NodeId>,
+}
+
+impl SkeletonSink for TreeBuilder {
+    fn open(&mut self, label: Cow<'_, str>) {
+        match self.tree.as_mut() {
+            None => {
+                let tree = XmlTree::new(&label);
+                self.stack.push(tree.root());
+                self.tree = Some(tree);
+            }
+            Some(tree) => {
+                let parent = *self.stack.last().expect("open events are balanced");
+                let child = tree.add_child(parent, &label);
+                self.stack.push(child);
+            }
+        }
+    }
+
+    fn text(&mut self, text: Cow<'_, str>) {
+        let tree = self.tree.as_mut().expect("text only under an open root");
+        let parent = *self.stack.last().expect("text only under an open element");
+        tree.add_text_child(parent, &text);
+    }
+
+    fn close(&mut self) {
+        self.stack.pop();
+    }
+}
+
+/// One differential run: scanner and parser must agree on acceptance, on
+/// the exact error (kind **and** byte offset), and on the resulting tree.
+fn check_conformance(bytes: &[u8], provenance: &str) {
+    let limits = ScanLimits::default();
+    let mut builder = TreeBuilder::default();
+    let scanned = scan_document(bytes, &limits, &mut builder);
+    let Ok(text) = std::str::from_utf8(bytes) else {
+        // The lossy re-decode the parser would need changes the bytes, so
+        // the only conformance requirement is a typed `InvalidUtf8`.
+        match scanned {
+            Err(err) => assert!(
+                matches!(err.kind(), XmlErrorKind::InvalidUtf8),
+                "{provenance}: non-UTF-8 input produced {err:?}"
+            ),
+            Ok(()) => panic!("{provenance}: non-UTF-8 input was accepted"),
+        }
+        return;
+    };
+    match (scanned, XmlTree::parse(text)) {
+        (Ok(()), Ok(parsed)) => {
+            let rebuilt = builder.tree.expect("accepted document has a root");
+            assert_eq!(
+                rebuilt.to_xml(),
+                parsed.to_xml(),
+                "{provenance}: scanner events diverge from the parse tree of {text:?}"
+            );
+            assert_eq!(
+                rebuilt.skeleton().to_xml(),
+                parsed.skeleton().to_xml(),
+                "{provenance}: skeletons diverge for {text:?}"
+            );
+        }
+        (Err(scan_err), Err(parse_err)) => {
+            assert_eq!(
+                scan_err, parse_err,
+                "{provenance}: scanner and parser reject {text:?} differently"
+            );
+        }
+        (Ok(()), Err(parse_err)) => {
+            panic!("{provenance}: scanner accepted what the parser rejects ({parse_err}): {text:?}")
+        }
+        (Err(scan_err), Ok(_)) => {
+            panic!("{provenance}: scanner rejected what the parser accepts ({scan_err}): {text:?}")
+        }
+    }
+}
+
+/// The committed conformance corpus: every construct the scanner handles,
+/// valid and invalid, including the error taxonomy.
+const CONFORMANCE_CORPUS: &[&str] = &[
+    // Plain structure.
+    "<a/>",
+    "<a></a>",
+    "<media><CD><title>Requiem</title></CD></media>",
+    "<a><b/><b><c/></b><b/></a>",
+    // Prolog, DOCTYPE, comments, processing instructions, epilog.
+    "<?xml version=\"1.0\" encoding=\"UTF-8\"?><a><b/></a>",
+    "<!DOCTYPE a [<!ELEMENT a ANY>]><a>x</a>",
+    "<a><!-- comment --><b/><!-- another --></a>",
+    "<a><?pi data?><b/></a>",
+    "<a/><!-- trailing comment --> ",
+    // Text handling: trimming, whitespace-only runs, mixed content.
+    "<a>  padded  </a>",
+    "<a>\n\t \r</a>",
+    "<a>one<b/>two<b/>three</a>",
+    "<a>before<!-- split -->after</a>",
+    // CDATA splices into the surrounding run; entities decode.
+    "<a><![CDATA[ <raw> & ]]></a>",
+    "<a>x<![CDATA[y]]>z</a>",
+    "<a>&lt;&gt;&amp;&apos;&quot;</a>",
+    "<a>&#65;&#x42;</a>",
+    "<a k=\"&lt;v&gt;\">t</a>",
+    // Attributes, including single quotes and many of them.
+    "<a k='single' l=\"double\"/>",
+    "<a one=\"1\" two=\"2\" three=\"3\" four=\"4\"/>",
+    // Non-ASCII names and text.
+    "<h\u{e9}llo>caf\u{e9}</h\u{e9}llo>",
+    // Errors: each kind of rejection, scanner and parser must agree on
+    // kind and offset.
+    "",
+    "   ",
+    "<a>",
+    "<a><b></a>",
+    "</a>",
+    "<a></a><b/>",
+    "<a></a>tail",
+    "<1a/>",
+    "<a b=1/>",
+    "<a>&unknown;</a>",
+    "<a>&#xZZ;</a>",
+    "<a",
+    "<a /",
+    "<!-- unterminated",
+    "<a><![CDATA[never closed</a>",
+    "<?pi never closed",
+];
+
+#[test]
+fn committed_corpus_scans_identically_to_the_parser() {
+    for (i, doc) in CONFORMANCE_CORPUS.iter().enumerate() {
+        check_conformance(doc.as_bytes(), &format!("conformance[{i}]"));
+    }
+}
+
+#[test]
+fn deeply_nested_documents_hit_the_same_depth_limit() {
+    // One level under, at, and over the default limit.
+    for depth in [
+        ScanLimits::default().max_depth - 1,
+        ScanLimits::default().max_depth,
+        ScanLimits::default().max_depth + 1,
+    ] {
+        let mut doc = String::new();
+        for _ in 0..depth {
+            doc.push_str("<a>");
+        }
+        for _ in 0..depth {
+            doc.push_str("</a>");
+        }
+        check_conformance(doc.as_bytes(), &format!("depth {depth}"));
+    }
+}
+
+#[test]
+fn fuzz_corpora_replay_through_the_differential() {
+    // Every minimized fuzz case doubles as a conformance fixture. The
+    // corpus lives at the repository root; a missing directory (e.g. a
+    // stripped-down source distribution) is an empty corpus.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../fuzz/corpus");
+    let mut replayed = 0usize;
+    for target in ["xml", "ingest"] {
+        let Ok(entries) = std::fs::read_dir(root.join(target)) else {
+            continue;
+        };
+        for entry in entries {
+            let path = entry.expect("corpus directory entry").path();
+            if path.extension().and_then(|e| e.to_str()) != Some("case") {
+                continue;
+            }
+            let bytes = std::fs::read(&path).expect("corpus case is readable");
+            check_conformance(&bytes, &path.display().to_string());
+            replayed += 1;
+        }
+    }
+    assert!(
+        replayed >= 5,
+        "expected the committed fuzz corpora to replay"
+    );
+}
+
+#[test]
+fn custom_limits_reject_exactly_at_the_boundary() {
+    let limits = ScanLimits {
+        max_depth: 3,
+        max_attributes: 2,
+    };
+    assert!(scan_document(b"<a><b><c/></b></a>", &limits, &mut NullSink).is_ok());
+    let too_deep = scan_document(b"<a><b><c><d/></c></b></a>", &limits, &mut NullSink);
+    assert!(
+        matches!(
+            too_deep.unwrap_err().kind(),
+            XmlErrorKind::LimitExceeded { limit: 3, .. }
+        ),
+        "depth 4 under a limit of 3 must be rejected"
+    );
+    assert!(scan_document(b"<a p=\"1\" q=\"2\"/>", &limits, &mut NullSink).is_ok());
+    let too_wide = scan_document(b"<a p=\"1\" q=\"2\" r=\"3\"/>", &limits, &mut NullSink);
+    assert!(
+        matches!(
+            too_wide.unwrap_err().kind(),
+            XmlErrorKind::LimitExceeded { limit: 2, .. }
+        ),
+        "3 attributes under a limit of 2 must be rejected"
+    );
+}

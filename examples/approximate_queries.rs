@@ -58,7 +58,7 @@ fn main() {
     let mut engine = SimilarityEngine::builder()
         .matching_sets(MatchingSetKind::hashes(512))
         .build();
-    engine.observe_all(&dataset.documents);
+    engine.ingest(ingest::trees(&dataset.documents)).unwrap();
     let workload_ids = engine.register_all(&dataset.positive);
 
     // 1. Query relaxation guided by estimated selectivity. Candidate

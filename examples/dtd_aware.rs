@@ -70,7 +70,7 @@ fn main() {
     let mut engine = SimilarityEngine::builder()
         .matching_sets(MatchingSetKind::hashes(512))
         .build();
-    engine.observe_all(&documents);
+    engine.ingest(ingest::trees(&documents)).unwrap();
     let exact = ExactEvaluator::new(documents.clone());
 
     println!(

@@ -33,7 +33,7 @@ fn main() {
         .build();
     for text in documents {
         let doc = XmlTree::parse(text).expect("well-formed document");
-        engine.observe(&doc);
+        engine.ingest(ingest::tree(&doc)).unwrap();
     }
 
     // Register the four subscriptions of Figure 1 once; all queries go

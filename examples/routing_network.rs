@@ -50,7 +50,7 @@ fn main() {
     let mut engine = SimilarityEngine::builder()
         .matching_sets(MatchingSetKind::hashes(512))
         .build();
-    engine.observe_all(&dataset.documents);
+    engine.ingest(ingest::trees(&dataset.documents)).unwrap();
     let subscription_ids = engine.register_all(&subscriptions);
     let matrix = SimilarityMatrix::from_engine(&engine, &subscription_ids, ProximityMetric::M3);
 

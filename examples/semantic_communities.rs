@@ -31,7 +31,7 @@ fn main() {
         .matching_sets(MatchingSetKind::hashes(512))
         .metric(ProximityMetric::M3)
         .build();
-    engine.observe_all(&dataset.documents);
+    engine.ingest(ingest::trees(&dataset.documents)).unwrap();
     let subscription_ids = engine.register_all(&dataset.positive);
 
     // Register one consumer per subscription and cluster them.

@@ -46,7 +46,7 @@ fn main() {
     let mut prunes = 0;
     for batch in 0..20 {
         for _ in 0..250 {
-            engine.observe(&generator.generate());
+            engine.ingest(ingest::tree(&generator.generate())).unwrap();
         }
         let size_before = engine.size().total();
         let mut pruned_to = size_before;

@@ -33,7 +33,8 @@
 //!   analysis (the paper's Example 1.1 reasoning) ([`dtd`]),
 //! * and a static subscription-analysis pass over whole workloads: lint
 //!   diagnostics with stable codes (`E001` unsatisfiable, `W002`
-//!   contained, `W003` DTD-equivalent duplicates, `W004` cost hazards)
+//!   contained, `W003` DTD-equivalent duplicates, `W004` cost hazards,
+//!   `W005` corpus documents over scanner ingest limits)
 //!   and containment-driven routing-table compaction ([`analyze`]).
 //!
 //! A command-line toolkit (`tps`, in the `tps-cli` crate) exposes the same
@@ -57,8 +58,7 @@
 //!     .metric(ProximityMetric::M3)
 //!     .build();
 //! for d in docs {
-//!     let tree = XmlTree::parse(d).unwrap();
-//!     engine.observe(&tree);
+//!     engine.ingest(ingest::text(d)).unwrap();
 //! }
 //! let p = engine.register(&TreePattern::parse("/media/CD/*/last").unwrap());
 //! let q = engine.register(&TreePattern::parse("//composer/last").unwrap());
@@ -79,7 +79,8 @@
 //! The synopsis never needs the corpus in memory: any pull-based
 //! [`DocumentStream`](xml::stream::DocumentStream) (line-delimited XML
 //! files, stdin, a workload generator) can be folded in incrementally with
-//! [`Synopsis::observe_stream`](synopsis::Synopsis::observe_stream), or
+//! the sink-based [`Ingest`](synopsis::Ingest) API
+//! (`synopsis.ingest(ingest::stream(...))`), or
 //! sharded over worker threads with [`core::build_par`], which parses and
 //! observes contiguous chunks on scoped workers and
 //! [`Synopsis::merge`](synopsis::Synopsis::merge)s the partials —
@@ -178,7 +179,9 @@ pub mod prelude {
         ForwardingMode, LinkMetrics, SemanticOverlay, TableMode,
     };
     pub use tps_sim::{ReclusterPolicy, SimConfig, SimReport, Simulation};
-    pub use tps_synopsis::{MatchingSetKind, Synopsis, SynopsisConfig};
+    pub use tps_synopsis::{
+        ingest, Ingest, IngestSource, IngestTarget, MatchingSetKind, Synopsis, SynopsisConfig,
+    };
     pub use tps_workload::{
         ChurnConfig, ChurnScenario, Dataset, DatasetConfig, DocGenConfig, Dtd, XPathGenConfig,
     };

@@ -20,7 +20,7 @@ fn estimated_communities_agree_with_exact_communities() {
     let subscriptions = dataset.positive.clone();
     let exact = ExactEvaluator::new(dataset.documents.clone());
     let mut engine = SimilarityEngine::new(SynopsisConfig::hashes(512));
-    engine.observe_all(&dataset.documents);
+    engine.ingest(ingest::trees(&dataset.documents)).unwrap();
     let subscription_ids = engine.register_all(&subscriptions);
 
     let exact_matrix = SimilarityMatrix::from_exact(&exact, &subscriptions, ProximityMetric::M3);

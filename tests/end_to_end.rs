@@ -109,7 +109,7 @@ fn similarity_estimates_track_exact_similarities() {
     let dataset = small_dataset();
     let exact = ExactEvaluator::new(dataset.documents.clone());
     let mut engine = SimilarityEngine::new(SynopsisConfig::hashes(100_000));
-    engine.observe_all(&dataset.documents);
+    engine.ingest(ingest::trees(&dataset.documents)).unwrap();
     let ids = engine.register_all(&dataset.positive);
     for metric in ProximityMetric::all() {
         for (window, handles) in dataset.positive.windows(2).zip(ids.windows(2)).take(20) {
@@ -130,7 +130,7 @@ fn streaming_and_batch_construction_agree() {
     let batch = Synopsis::from_documents(SynopsisConfig::hashes(128), &dataset.documents);
     let mut streaming = SimilarityEngine::new(SynopsisConfig::hashes(128));
     for doc in &dataset.documents {
-        streaming.observe(doc);
+        streaming.ingest(ingest::tree(doc)).unwrap();
     }
     assert_eq!(batch.document_count(), streaming.document_count());
     assert_eq!(batch.node_count(), streaming.synopsis().node_count());

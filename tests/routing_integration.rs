@@ -24,7 +24,7 @@ fn workload() -> Dataset {
 /// registered, using the given matching-set representation.
 fn engine_over(dataset: &Dataset, config: SynopsisConfig) -> (SimilarityEngine, Vec<PatternId>) {
     let mut engine = SimilarityEngine::new(config);
-    engine.observe_all(&dataset.documents);
+    engine.ingest(ingest::trees(&dataset.documents)).unwrap();
     let ids = engine.register_all(&dataset.positive);
     (engine, ids)
 }

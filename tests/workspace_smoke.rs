@@ -36,7 +36,7 @@ fn sel_estimates_track_exact_selectivity_under_all_representations() {
         ("hashes", SynopsisConfig::hashes(1_000)),
     ] {
         let mut engine = SimilarityEngine::new(config);
-        engine.observe_all(&dataset.documents);
+        engine.ingest(ingest::trees(&dataset.documents)).unwrap();
         let ids = engine.register_all(dataset.positive.iter().chain(&dataset.negative));
         let estimates = engine.selectivities(&ids);
 
@@ -71,7 +71,7 @@ fn exact_set_estimates_never_underestimate_and_hashes_stay_close() {
     let exact = ExactEvaluator::new(dataset.documents.clone());
 
     let mut engine = SimilarityEngine::new(SynopsisConfig::sets(100_000));
-    engine.observe_all(&dataset.documents);
+    engine.ingest(ingest::trees(&dataset.documents)).unwrap();
     let ids = engine.register_all(&dataset.positive);
     let estimates = engine.selectivities(&ids);
     for (pattern, &estimated) in dataset.positive.iter().zip(&estimates) {
@@ -96,7 +96,7 @@ fn exact_set_estimates_never_underestimate_and_hashes_stay_close() {
 fn similarity_metrics_are_sane_on_the_smoke_dataset() {
     let dataset = smoke_dataset();
     let mut engine = SimilarityEngine::new(SynopsisConfig::hashes(256));
-    engine.observe_all(&dataset.documents);
+    engine.ingest(ingest::trees(&dataset.documents)).unwrap();
 
     let p = engine.register(&dataset.positive[0]);
     let q = engine.register(&dataset.positive[1]);
