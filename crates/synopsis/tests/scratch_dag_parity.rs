@@ -1,0 +1,40 @@
+use tps_synopsis::{DocId, IngestTarget, Synopsis, SynopsisConfig};
+use tps_xml::XmlTree;
+
+fn dag_synopsis(config: SynopsisConfig) -> Synopsis {
+    let docs: Vec<XmlTree> = ["<a><x><k/></x></a>", "<a><y><k/></y></a>"]
+        .iter()
+        .map(|s| XmlTree::parse(s).unwrap())
+        .collect();
+    let mut s = Synopsis::from_documents(config, &docs);
+    let root = s.root();
+    let a = s.children(root)[0];
+    let x = *s.children(a).iter().find(|&&c| s.label(c) == "x").unwrap();
+    let y = *s.children(a).iter().find(|&&c| s.label(c) == "y").unwrap();
+    let kx = s.children(x)[0];
+    let ky = s.children(y)[0];
+    s.merge_nodes(kx, ky);
+    s
+}
+
+#[test]
+fn dag_parity_counters_and_hashes() {
+    for config in [SynopsisConfig::counters(), SynopsisConfig::hashes(64)] {
+        let mut via_tree = dag_synopsis(config);
+        let mut via_bytes = via_tree.clone();
+        let text = "<a><x><k><z/></k></x><y><k/></y></a>";
+        let tree = XmlTree::parse(text).unwrap();
+        via_tree.ingest_tree_as(&tree, DocId(2));
+        via_bytes.ingest_bytes_as(text.as_bytes(), DocId(2)).unwrap();
+        for id in via_tree.live_nodes() {
+            assert_eq!(
+                via_tree.matching_value(id),
+                via_bytes.matching_value(id),
+                "node {:?} label {} config {:?}",
+                id,
+                via_tree.label(id),
+                config.kind
+            );
+        }
+    }
+}
