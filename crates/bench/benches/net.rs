@@ -1,0 +1,146 @@
+//! Broker-runtime benchmarks: wire-codec throughput and the live loopback
+//! publish→deliver round trip.
+//!
+//! `net_codec` times `Message::encode` / `Message::decode` over a fixture
+//! mix of control and data frames (the decode path is what every broker
+//! connection pays per frame). `net_loopback` spawns a real two-broker TCP
+//! overlay and measures the full closed loop: a producer publishes at
+//! broker 0, the document crosses one overlay link, matches at broker 1
+//! and is pushed back to a subscriber — one `iter` is one acknowledged
+//! publish plus one received delivery, so the loop can never outrun the
+//! consumer and the measurement stays backpressure-free.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use tps_net::codec::SyncConsumer;
+use tps_net::{BrokerStats, FrameLimits, LocalOverlay, Message, OverlayConfig, Transport};
+use tps_routing::BrokerTopology;
+use tps_workload::{DocGenConfig, DocumentGenerator, Dtd};
+
+/// A representative frame mix: mostly data (publish / forward / deliver),
+/// some control, one stats reply.
+fn fixture_messages() -> Vec<Message> {
+    let dtd = Dtd::media();
+    let mut docgen = DocumentGenerator::new(&dtd, DocGenConfig::default().with_seed(77));
+    let documents: Vec<Vec<u8>> = docgen
+        .generate_many(24)
+        .iter()
+        .map(|doc| doc.to_xml().into_bytes())
+        .collect();
+
+    let mut messages = vec![
+        Message::Subscribe {
+            subscriber: 1,
+            broker: 0,
+            pattern: "//CD/composer/last".to_string(),
+        },
+        Message::Unsubscribe { subscriber: 1 },
+        Message::Hello { broker: 3 },
+        Message::StatsReply {
+            stats: BrokerStats {
+                broker: 1,
+                consumers: 12,
+                documents: 1_000,
+                deliveries: 400,
+                link_messages: 900,
+                ..BrokerStats::default()
+            },
+        },
+        Message::SyncState {
+            consumers: (0..16)
+                .map(|i| SyncConsumer {
+                    subscriber: i,
+                    broker: (i % 4) as u32,
+                    pattern: "//media/CD".to_string(),
+                })
+                .collect(),
+        },
+        Message::Forward {
+            from: 2,
+            documents: documents[..8].to_vec(),
+        },
+    ];
+    for (i, document) in documents.iter().enumerate() {
+        messages.push(Message::Publish {
+            document: document.clone(),
+        });
+        messages.push(Message::Deliver {
+            subscriber: i as u64,
+            document: document.clone(),
+        });
+    }
+    messages
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let messages = fixture_messages();
+    let frames: Vec<Vec<u8>> = messages.iter().map(Message::encode).collect();
+    let total_bytes: u64 = frames.iter().map(|f| f.len() as u64).sum();
+    let limits = FrameLimits::default();
+
+    let mut group = c.benchmark_group("net_codec");
+    group.throughput(Throughput::Bytes(total_bytes));
+    group.bench_function("encode", |b| {
+        b.iter(|| {
+            let mut bytes = 0usize;
+            for message in &messages {
+                bytes += black_box(message.encode()).len();
+            }
+            bytes
+        })
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| {
+            let mut decoded = 0usize;
+            for frame in &frames {
+                let message = Message::decode(frame, &limits).expect("fixture frames decode");
+                decoded += usize::from(!matches!(black_box(message), Message::Ack));
+            }
+            decoded
+        })
+    });
+    group.finish();
+}
+
+fn bench_loopback(c: &mut Criterion) {
+    let overlay = LocalOverlay::spawn(
+        OverlayConfig {
+            topology: BrokerTopology::balanced_tree(2, 2),
+            ..OverlayConfig::default()
+        },
+        Transport::Tcp,
+    )
+    .expect("spawn overlay");
+    let mut subscriber = overlay.client(1).expect("subscriber client");
+    subscriber
+        .subscribe(0, 1, "//CD")
+        .expect("install subscription");
+    overlay
+        .await_consumers(1, Duration::from_secs(10))
+        .expect("subscription flood converges");
+    let mut producer = overlay.client(0).expect("producer client");
+    let document =
+        b"<media><CD><title>Requiem</title><composer><last>Mozart</last></composer></CD></media>";
+
+    let mut group = c.benchmark_group("net_loopback");
+    group.throughput(Throughput::Bytes(document.len() as u64));
+    group.bench_function("publish_deliver", |b| {
+        b.iter(|| {
+            producer.publish(document).expect("publish");
+            let delivery = subscriber
+                .recv_delivery(Duration::from_secs(10))
+                .expect("receive delivery");
+            assert!(delivery.is_some(), "the document must match //CD");
+        })
+    });
+    group.finish();
+
+    overlay
+        .quiesce(Duration::from_secs(10))
+        .expect("overlay quiesces");
+    overlay.shutdown().expect("clean shutdown");
+}
+
+criterion_group!(benches, bench_codec, bench_loopback);
+criterion_main!(benches);

@@ -177,6 +177,24 @@ COMMANDS:
                                        through the banded-MinHash candidate
                                        index instead of rebuilding them
         --dtd, --seed, --summary, --capacity, --threshold   as above
+    broker serve     Run one live broker in the foreground (Ctrl-C or the
+                     wire `shutdown` verb stops it)
+        --transport tcp|unix           socket family (default tcp)
+        --forwarding M                 flooding|exact|containment-pruned|
+                                       aggregated (default exact)
+        --lint                         reject provably broken or redundant
+                                       subscriptions at the wire
+    broker bench     Benchmark a live local overlay under churn
+        --brokers B --fanout F         overlay shape (default 3, fanout 2)
+        --transport tcp|unix           socket family (default tcp)
+        --forwarding M                 as above (default exact)
+        --subscribers N                initial subscribers (default 12)
+        --publications N               closed-loop publishes (default 100)
+        --arrivals N --departures N    mid-run churn (default 4 each)
+        --scenario churn|failover      failover also kills and rejoins
+                                       brokers mid-stream (default churn)
+        --failover                     shorthand for --scenario failover
+        --seed S                       scenario seed (default 42)
     synopsis build   Build a synopsis from a stream of documents
         --input PATH|-                 line-delimited XML documents, one per
                                        line (- reads standard input);
@@ -195,6 +213,25 @@ where
     W: Write,
 {
     let argv: Vec<String> = args.into_iter().map(Into::into).collect();
+    // `broker` takes an action word (`tps broker serve|bench ...`) before
+    // the usual `--key value` options.
+    if argv.first().map(String::as_str) == Some("broker") {
+        let parse_rest = |argv: &[String]| {
+            ParsedArgs::parse(
+                std::iter::once("broker".to_string()).chain(argv[2..].iter().cloned()),
+            )
+        };
+        return match argv.get(1).map(String::as_str) {
+            Some("serve") => broker_serve(&parse_rest(&argv)?, out),
+            Some("bench") => broker_bench(&parse_rest(&argv)?, out),
+            other => Err(CliError::Args(ArgsError::InvalidValue {
+                option: "broker".to_string(),
+                value: other.unwrap_or("(no action)").to_string(),
+                expected: "the `serve` or `bench` action (tps broker serve | tps broker bench)"
+                    .to_string(),
+            })),
+        };
+    }
     // `synopsis` takes an action word (`tps synopsis build ...`) before the
     // usual `--key value` options.
     if argv.first().map(String::as_str) == Some("synopsis") {
@@ -988,6 +1025,130 @@ fn route<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Resolve `--forwarding` against the canonical mode list, so the parser
+/// (and its error message) can never drift from `ForwardingMode::all()`.
+fn resolve_forwarding(args: &ParsedArgs) -> Result<ForwardingMode, CliError> {
+    let forwarding_name = args.get("forwarding").unwrap_or("exact");
+    ForwardingMode::all()
+        .into_iter()
+        .find(|mode| mode.name() == forwarding_name)
+        .ok_or_else(|| {
+            CliError::Args(ArgsError::InvalidValue {
+                option: "forwarding".to_string(),
+                value: forwarding_name.to_string(),
+                expected: ForwardingMode::all().map(|m| m.name()).join(", "),
+            })
+        })
+}
+
+/// Resolve `--transport` into a socket family.
+fn resolve_transport(args: &ParsedArgs) -> Result<tps_net::Transport, CliError> {
+    tps_net::Transport::parse(args.get("transport").unwrap_or("tcp")).map_err(|message| {
+        CliError::Args(ArgsError::InvalidValue {
+            option: "transport".to_string(),
+            value: args.get("transport").unwrap_or_default().to_string(),
+            expected: message,
+        })
+    })
+}
+
+/// `tps broker serve`: run one live broker in the foreground until a wire
+/// `shutdown` verb arrives.
+fn broker_serve<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    use tps_net::server::{addr_map, spawn_broker};
+    use tps_net::transport::Listener;
+    use tps_net::{BrokerCore, OverlayConfig};
+
+    let transport = resolve_transport(args)?;
+    let forwarding = resolve_forwarding(args)?;
+    let config = OverlayConfig {
+        topology: BrokerTopology::balanced_tree(1, 2),
+        forwarding,
+        lint: args.has_flag("lint"),
+        ..OverlayConfig::default()
+    };
+    let listener = Listener::bind(transport)?;
+    let addr = listener.addr()?;
+    let addrs = addr_map(1);
+    addrs
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)[0] = Some(addr.clone());
+    let handle = spawn_broker(
+        BrokerCore::new(0, &config),
+        listener,
+        addrs,
+        config.limits,
+        config.queue_depth,
+    )?;
+    writeln!(
+        out,
+        "broker 0 listening on {addr} ({} forwarding{})",
+        forwarding.name(),
+        if config.lint { ", linted" } else { "" }
+    )?;
+    writeln!(out, "send the shutdown verb to stop")?;
+    out.flush()?;
+    while !handle.stopped() {
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    handle.shutdown()?;
+    writeln!(out, "shutdown: clean")?;
+    Ok(())
+}
+
+/// `tps broker bench`: spawn a local overlay, drive a churn scenario
+/// through it closed-loop and print the latency/throughput report.
+fn broker_bench<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    use tps_net::{run_bench, BenchOptions};
+
+    let defaults = BenchOptions::default();
+    let failover = match args.get("scenario").unwrap_or("churn") {
+        "churn" => args.has_flag("failover"),
+        "failover" => true,
+        other => {
+            return Err(CliError::Args(ArgsError::InvalidValue {
+                option: "scenario".to_string(),
+                value: other.to_string(),
+                expected: "churn or failover".to_string(),
+            }))
+        }
+    };
+    let options = BenchOptions {
+        brokers: args.get_usize("brokers", defaults.brokers)?.max(1),
+        fanout: args.get_usize("fanout", defaults.fanout)?.max(2),
+        transport: resolve_transport(args)?,
+        forwarding: resolve_forwarding(args)?,
+        subscribers: args.get_usize("subscribers", defaults.subscribers)?,
+        publications: args.get_usize("publications", defaults.publications)?,
+        arrivals: args.get_usize("arrivals", defaults.arrivals)?,
+        departures: args.get_usize("departures", defaults.departures)?,
+        failover,
+        seed: args.get_u64("seed", defaults.seed)?,
+        ..defaults
+    };
+    writeln!(
+        out,
+        "overlay bench: {} brokers (fanout {}) over {}, {} forwarding",
+        options.brokers,
+        options.fanout,
+        options.transport.name(),
+        options.forwarding.name()
+    )?;
+    writeln!(
+        out,
+        "scenario: {} subscribers, {} publications, {} arrivals, {} departures{}",
+        options.subscribers,
+        options.publications,
+        options.arrivals,
+        options.departures,
+        if options.failover { ", failover" } else { "" }
+    )?;
+    out.flush()?;
+    let report = run_bench(&options)?;
+    writeln!(out, "{report}")?;
+    Ok(())
+}
+
 /// `tps simulate`: run a seeded churn scenario through the `tps-sim`
 /// discrete-event simulator and print its report.
 fn simulate<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
@@ -1025,19 +1186,7 @@ fn simulate<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
                 expected: message,
             })
         })?;
-    // Resolve --forwarding against the canonical mode list, so the parser
-    // (and its error message) can never drift from `ForwardingMode::all()`.
-    let forwarding_name = args.get("forwarding").unwrap_or("exact");
-    let forwarding = ForwardingMode::all()
-        .into_iter()
-        .find(|mode| mode.name() == forwarding_name)
-        .ok_or_else(|| {
-            CliError::Args(ArgsError::InvalidValue {
-                option: "forwarding".to_string(),
-                value: forwarding_name.to_string(),
-                expected: ForwardingMode::all().map(|m| m.name()).join(", "),
-            })
-        })?;
+    let forwarding = resolve_forwarding(args)?;
 
     let scenario = ChurnScenario::generate(
         &dtd,
@@ -1860,5 +2009,115 @@ mod tests {
         assert!(err.to_string().contains("boom"));
         let err: CliError = ArgsError::MissingCommand.into();
         assert!(err.to_string().contains("subcommand"));
+    }
+
+    #[test]
+    fn broker_requires_a_known_action_word() {
+        for argv in [&["broker"][..], &["broker", "dance"][..]] {
+            let err = run_capture(argv).unwrap_err();
+            assert!(matches!(
+                err,
+                CliError::Args(ArgsError::InvalidValue { .. })
+            ));
+            assert!(err.to_string().contains("serve"), "{err}");
+        }
+    }
+
+    #[test]
+    fn broker_bench_rejects_bad_options() {
+        let err = run_capture(&["broker", "bench", "--transport", "pigeon"]).unwrap_err();
+        assert!(matches!(
+            err,
+            CliError::Args(ArgsError::InvalidValue { .. })
+        ));
+        let err = run_capture(&["broker", "bench", "--scenario", "calm"]).unwrap_err();
+        assert!(matches!(
+            err,
+            CliError::Args(ArgsError::InvalidValue { .. })
+        ));
+        let err = run_capture(&["broker", "bench", "--forwarding", "psychic"]).unwrap_err();
+        assert!(matches!(
+            err,
+            CliError::Args(ArgsError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn broker_bench_drives_a_small_live_overlay() {
+        let output = run_capture(&[
+            "broker",
+            "bench",
+            "--brokers",
+            "3",
+            "--subscribers",
+            "4",
+            "--publications",
+            "5",
+            "--arrivals",
+            "1",
+            "--departures",
+            "1",
+            "--transport",
+            "unix",
+        ])
+        .unwrap();
+        assert!(output.contains("overlay bench: 3 brokers"), "{output}");
+        assert!(output.contains("publish latency"), "{output}");
+        assert!(output.contains("shutdown: clean"), "{output}");
+    }
+
+    #[test]
+    fn broker_serve_stops_on_the_wire_shutdown_verb() {
+        use std::sync::{Arc, Mutex};
+        use std::time::{Duration, Instant};
+
+        // `serve` blocks until a shutdown verb arrives, so it runs on a
+        // helper thread writing into a buffer both sides can read.
+        #[derive(Clone)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+        let mut writer = buf.clone();
+        let server = std::thread::spawn(move || run(["broker", "serve"], &mut writer));
+
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let addr = loop {
+            let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+            if let Some(line) = text
+                .lines()
+                .find(|line| line.contains("listening on tcp://"))
+            {
+                let raw = line
+                    .split("tcp://")
+                    .nth(1)
+                    .and_then(|rest| rest.split_whitespace().next())
+                    .unwrap();
+                break tps_net::Addr::Tcp(raw.parse().unwrap());
+            }
+            assert!(Instant::now() < deadline, "no address line yet: {text:?}");
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        let mut client =
+            tps_net::BrokerClient::connect(&addr, tps_net::FrameLimits::default()).unwrap();
+        client.shutdown_broker().unwrap();
+        server.join().unwrap().unwrap();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("shutdown: clean"), "{text}");
+    }
+
+    #[test]
+    fn help_mentions_the_broker_command() {
+        let output = run_capture(&["help"]).unwrap();
+        assert!(output.contains("broker serve"));
+        assert!(output.contains("broker bench"));
+        assert!(output.contains("--scenario churn|failover"));
     }
 }

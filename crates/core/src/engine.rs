@@ -64,8 +64,8 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use tps_pattern::{containment, ops, CompiledPattern, SubtreeInterner, TreePattern};
 use tps_synopsis::{
-    ingest, DocId, Ingest, IngestTarget, PruneConfig, PruneReport, SummaryValue, Synopsis,
-    SynopsisConfig, SynopsisSize,
+    DocId, IngestTarget, PruneConfig, PruneReport, SummaryValue, Synopsis, SynopsisConfig,
+    SynopsisSize,
 };
 use tps_xml::XmlTree;
 
@@ -562,7 +562,7 @@ pub struct SimilarityEngine {
 }
 
 /// The engine ingests documents exactly like its synopsis: every source
-/// accepted by [`Ingest`] — trees, skeletons, raw bytes (the zero-copy
+/// accepted by [`Ingest`](tps_synopsis::Ingest) — trees, skeletons, raw bytes (the zero-copy
 /// scanner path), pull-based streams — folds into the engine's synopsis,
 /// bumping its epoch so query caches invalidate as usual. Copy-on-write
 /// applies: ingesting into a cloned engine first unshares the core.
@@ -649,42 +649,6 @@ impl SimilarityEngine {
     // ------------------------------------------------------------------
     // Stream maintenance
     // ------------------------------------------------------------------
-
-    /// Observe one document from the stream.
-    #[deprecated(note = "use `engine.ingest(ingest::tree(document))` (the `Ingest` trait)")]
-    pub fn observe(&mut self, document: &XmlTree) {
-        let doc = self.next_doc_id();
-        self.ingest_tree_as(document, doc);
-    }
-
-    /// Observe a document that is already a skeleton tree.
-    #[deprecated(note = "use `engine.ingest(ingest::skeleton(tree))` (the `Ingest` trait)")]
-    pub fn observe_skeleton(&mut self, skeleton: &XmlTree) {
-        let doc = self.next_doc_id();
-        self.ingest_skeleton_as(skeleton, doc);
-    }
-
-    /// Observe a batch of documents.
-    #[deprecated(note = "use `engine.ingest(ingest::trees(&docs))` (the `Ingest` trait)")]
-    pub fn observe_all<'a, I>(&mut self, documents: I)
-    where
-        I: IntoIterator<Item = &'a XmlTree>,
-    {
-        for doc in documents {
-            let id = self.next_doc_id();
-            self.ingest_tree_as(doc, id);
-        }
-    }
-
-    /// Observe every document of a pull-based stream without materialising
-    /// the corpus. Returns the number of documents observed.
-    #[deprecated(note = "use `engine.ingest(ingest::stream(stream))` (the `Ingest` trait)")]
-    pub fn observe_stream<S: tps_xml::stream::DocumentStream>(
-        &mut self,
-        stream: S,
-    ) -> Result<u64, tps_xml::stream::StreamError> {
-        self.ingest(ingest::stream(stream))
-    }
 
     /// Build an engine by fanning a document stream's parsing and
     /// observation over up to `shards` worker threads
@@ -1270,7 +1234,7 @@ impl SimilarityEngine {
 mod tests {
     use super::*;
     use tps_pattern::TreePattern;
-    use tps_synopsis::MatchingSetKind;
+    use tps_synopsis::{ingest, Ingest, MatchingSetKind};
 
     fn docs() -> Vec<XmlTree> {
         [

@@ -52,11 +52,16 @@ pub enum Target {
     /// every matching-set representation, rollback on rejected documents,
     /// and panic-freedom under tiny scan limits.
     Ingest,
+    /// `tps-net`: the wire codec — decoding arbitrary bytes never panics,
+    /// accepted frames re-encode byte-identically (the encoding is
+    /// canonical), oversized fields fail with the right typed limit error,
+    /// and the framed stream reader survives arbitrary prefixes.
+    Net,
 }
 
 impl Target {
     /// All targets, in the order the smoke job runs them.
-    pub fn all() -> [Target; 7] {
+    pub fn all() -> [Target; 8] {
         [
             Target::Xml,
             Target::Pattern,
@@ -65,6 +70,7 @@ impl Target {
             Target::Analyze,
             Target::Index,
             Target::Ingest,
+            Target::Net,
         ]
     }
 
@@ -78,6 +84,7 @@ impl Target {
             Target::Analyze => "analyze",
             Target::Index => "index",
             Target::Ingest => "ingest",
+            Target::Net => "net",
         }
     }
 
@@ -88,6 +95,53 @@ impl Target {
 
     /// Seed inputs mutation starts from: small valid inputs per target.
     pub fn seeds(self) -> Vec<Vec<u8>> {
+        // Net seeds are binary frames, not text.
+        if self == Target::Net {
+            use tps_net::codec::SyncConsumer;
+            use tps_net::{BrokerStats, ErrorCode, Message};
+            return [
+                Message::Subscribe {
+                    subscriber: 1,
+                    broker: 0,
+                    pattern: "//CD/composer".to_string(),
+                },
+                Message::Unsubscribe { subscriber: 1 },
+                Message::Publish {
+                    document: b"<media><CD><title>x</title></CD></media>".to_vec(),
+                },
+                Message::Forward {
+                    from: 2,
+                    documents: vec![b"<a/>".to_vec(), b"<a><b/></a>".to_vec()],
+                },
+                Message::Hello { broker: 3 },
+                Message::Error {
+                    code: ErrorCode::BadPattern,
+                    message: "no".to_string(),
+                },
+                Message::StatsReply {
+                    stats: BrokerStats {
+                        broker: 1,
+                        deliveries: 7,
+                        link_messages: 3,
+                        ..BrokerStats::default()
+                    },
+                },
+                Message::Deliver {
+                    subscriber: 9,
+                    document: b"<a/>".to_vec(),
+                },
+                Message::SyncState {
+                    consumers: vec![SyncConsumer {
+                        subscriber: 9,
+                        broker: 1,
+                        pattern: "/a//b".to_string(),
+                    }],
+                },
+            ]
+            .iter()
+            .map(Message::encode)
+            .collect();
+        }
         let texts: &[&str] = match self {
             Target::Xml => &[
                 "<media><CD><title>x</title></CD></media>",
@@ -115,6 +169,8 @@ impl Target {
             Target::Merge => &["0", "12345678", "merge-scenario"],
             Target::Analyze => &["0", "424242", "analyze-scenario"],
             Target::Index => &["0", "31337", "index-scenario"],
+            // Handled above (binary seeds).
+            Target::Net => &[],
         };
         texts.iter().map(|t| t.as_bytes().to_vec()).collect()
     }
@@ -176,6 +232,21 @@ impl Target {
             Target::Merge => &[b"0", b"9", b"merge"],
             Target::Analyze => &[b"0", b"9", b"analyze"],
             Target::Index => &[b"0", b"9", b"index"],
+            Target::Net => &[
+                // version + each verb byte, field length prefixes, and the
+                // text fields limits guard.
+                b"\x01\x01",
+                b"\x01\x03",
+                b"\x01\x05",
+                b"\x01\x81",
+                b"\x01\x82",
+                b"\x01\x84",
+                b"\x00\x00\x00\x00",
+                b"\x00\x00\x00\x04",
+                b"\xff\xff\xff\xff",
+                b"//CD",
+                b"<a/>",
+            ],
         }
     }
 
@@ -191,6 +262,7 @@ impl Target {
             Target::Merge | Target::Analyze | Target::Index => {
                 rng.gen::<u64>().to_string().into_bytes()
             }
+            Target::Net => net_frame(rng),
         }
     }
 
@@ -208,6 +280,7 @@ impl Target {
             Target::Analyze => execute_analyze(bytes),
             Target::Index => execute_index(bytes),
             Target::Ingest => execute_ingest(bytes),
+            Target::Net => execute_net(bytes),
         }
     }
 }
@@ -810,6 +883,180 @@ fn execute_ingest(bytes: &[u8]) -> Result<(), String> {
     };
     if let Err(error) = scan_document(bytes, &tiny, &mut NullSink) {
         let _ = error.to_string();
+    }
+    Ok(())
+}
+
+/// Generate a structure-aware wire frame: a random valid message, encoded.
+/// The driver's byte mutator takes it from there (bit flips, truncation,
+/// dictionary splices), so most descendants are near-valid frames that
+/// exercise the deep decode paths instead of dying on the version byte.
+fn net_frame(rng: &mut StdRng) -> Vec<u8> {
+    use tps_net::codec::SyncConsumer;
+    use tps_net::{BrokerStats, ErrorCode, Message};
+
+    fn text(rng: &mut StdRng, max: usize) -> String {
+        let alphabet = b"/[]*abCD<>=\"";
+        (0..rng.gen_range(0..max))
+            .map(|_| alphabet[rng.gen_range(0..alphabet.len())] as char)
+            .collect()
+    }
+    let message = match rng.gen_range(0u32..13) {
+        0 => Message::Subscribe {
+            subscriber: rng.gen(),
+            broker: rng.gen_range(0..8),
+            pattern: text(rng, 24),
+        },
+        1 => Message::Unsubscribe {
+            subscriber: rng.gen(),
+        },
+        2 => Message::Publish {
+            document: gen::xml_document(rng),
+        },
+        3 => Message::Stats,
+        4 => Message::Forward {
+            from: rng.gen_range(0..8),
+            documents: (0..rng.gen_range(0usize..4))
+                .map(|_| gen::xml_document(rng))
+                .collect(),
+        },
+        5 => Message::Shutdown,
+        6 => Message::SyncRequest,
+        7 => Message::Hello {
+            broker: rng.gen_range(0..8),
+        },
+        8 => Message::Ack,
+        9 => Message::Error {
+            code: match rng.gen_range(0u32..5) {
+                0 => ErrorCode::BadPattern,
+                1 => ErrorCode::LintRejected,
+                2 => ErrorCode::BadDocument,
+                3 => ErrorCode::UnknownBroker,
+                _ => ErrorCode::DuplicateSubscriber,
+            },
+            message: text(rng, 16),
+        },
+        10 => Message::StatsReply {
+            stats: BrokerStats {
+                broker: rng.gen_range(0..8),
+                consumers: rng.gen(),
+                deliveries: rng.gen(),
+                link_messages: rng.gen(),
+                ..BrokerStats::default()
+            },
+        },
+        11 => Message::Deliver {
+            subscriber: rng.gen(),
+            document: gen::xml_document(rng),
+        },
+        _ => Message::SyncState {
+            consumers: (0..rng.gen_range(0usize..4))
+                .map(|_| SyncConsumer {
+                    subscriber: rng.gen(),
+                    broker: rng.gen_range(0..8),
+                    pattern: text(rng, 24),
+                })
+                .collect(),
+        },
+    };
+    message.encode()
+}
+
+/// Fuzz the `tps-net` wire codec on arbitrary bytes:
+///
+/// * decoding never panics; rejections carry a typed [`DecodeError`]
+///   whose `Display` is panic-free;
+/// * the encoding is canonical: an accepted frame re-encodes to exactly
+///   the input bytes (and decodes back to an equal message);
+/// * tightening the limits can only introduce *limit* errors — a frame
+///   accepted under the default limits either decodes identically under
+///   tiny limits or fails with the matching `…TooLarge`/`…TooLong` error;
+/// * the framed stream reader consumes arbitrary byte prefixes without
+///   panicking and round-trips every accepted message.
+fn execute_net(bytes: &[u8]) -> Result<(), String> {
+    use tps_net::codec::{read_frame, write_frame, FrameError};
+    use tps_net::{DecodeError, FrameLimits, Message};
+
+    let limits = FrameLimits::default();
+    let decoded = match Message::decode(bytes, &limits) {
+        Ok(message) => {
+            let encoded = message.encode();
+            if encoded != bytes {
+                return Err(format!(
+                    "encoding is not canonical: {bytes:?} decoded but re-encodes to {encoded:?}"
+                ));
+            }
+            let again = Message::decode(&encoded, &limits)
+                .map_err(|e| format!("re-encoded frame failed to decode: {e}"))?;
+            if again != message {
+                return Err("decode∘encode changed the message".to_string());
+            }
+            Some(message)
+        }
+        Err(error) => {
+            let _ = error.to_string();
+            None
+        }
+    };
+
+    // Tightening the limits must only ever introduce typed limit errors.
+    let tiny = FrameLimits {
+        max_frame: 64,
+        max_pattern: 8,
+        max_document: 8,
+        max_batch: 2,
+        max_subscriptions: 2,
+    };
+    match (decoded.as_ref(), Message::decode(bytes, &tiny)) {
+        (Some(message), Ok(tiny_message)) => {
+            if &tiny_message != message {
+                return Err("limits changed the decoded message".to_string());
+            }
+        }
+        (Some(_), Err(error)) => {
+            if !matches!(
+                error,
+                DecodeError::FrameTooLarge { .. }
+                    | DecodeError::PatternTooLong { .. }
+                    | DecodeError::DocumentTooLarge { .. }
+                    | DecodeError::BatchTooLarge { .. }
+                    | DecodeError::SyncTooLarge { .. }
+            ) {
+                return Err(format!(
+                    "tiny limits rejected an accepted frame with a non-limit error: {error}"
+                ));
+            }
+        }
+        (None, Ok(_)) => {
+            return Err("tiny limits accepted a frame the default limits reject".to_string());
+        }
+        (None, Err(error)) => {
+            let _ = error.to_string();
+        }
+    }
+
+    // The framed stream layer: writing an accepted message and reading it
+    // back is the identity, and reading the raw bytes as a frame stream
+    // (arbitrary length prefixes included) is panic-free and terminates.
+    if let Some(message) = &decoded {
+        let mut framed = Vec::new();
+        write_frame(&mut framed, message).map_err(|e| format!("write_frame failed: {e}"))?;
+        match read_frame(&mut framed.as_slice(), &limits) {
+            Ok(Some(echo)) if &echo == message => {}
+            other => return Err(format!("frame round-trip diverged: {other:?}")),
+        }
+    }
+    let stream_limits = FrameLimits {
+        max_frame: 1 << 16,
+        ..limits
+    };
+    let mut cursor = bytes;
+    loop {
+        match read_frame(&mut cursor, &stream_limits) {
+            Ok(Some(_)) => {}
+            Ok(None) => break,
+            Err(FrameError::Io(_) | FrameError::Decode(_)) => break,
+        }
     }
     Ok(())
 }

@@ -1,0 +1,627 @@
+//! The broker state machine, free of any I/O.
+//!
+//! [`BrokerCore`] holds everything one broker knows — the overlay-wide
+//! subscription view (subscriptions are flooded over the tree overlay, so
+//! every broker converges on the same view), its own routing table built
+//! by the static `tps-routing` constructor over that view, the traffic
+//! synopsis fed through the zero-copy `tps_xml::scan` ingest path, and the
+//! index-backed online community clustering. The server layer
+//! ([`crate::server`]) feeds it decoded messages and ships out whatever it
+//! returns; keeping the core pure makes the conformance argument local:
+//! `BrokerCore::route` mirrors `BrokerNetwork::route_one` /
+//! `tps_sim::Simulation::process_hop` decision for decision and counter
+//! for counter, so summing [`BrokerStats`] across a churn-free overlay
+//! reproduces the simulator's and the static evaluation's numbers exactly.
+
+use std::collections::BTreeMap;
+
+use tps_analyze::{Severity, WorkloadAnalyzer, WorkloadEntry};
+use tps_cluster::{LeaderConfig, OnlineLeader};
+use tps_pattern::TreePattern;
+use tps_routing::{BrokerId, BrokerNetwork, BrokerTopology, ForwardingMode, RoutingTable};
+use tps_synopsis::{IngestTarget, Synopsis};
+use tps_xml::XmlTree;
+
+use crate::codec::{BrokerStats, ErrorCode, FrameLimits, SyncConsumer};
+use crate::overlay::OverlayConfig;
+
+/// One consumer of the overlay-wide subscription view.
+#[derive(Debug, Clone)]
+pub struct NetConsumer {
+    /// The broker the consumer is attached to.
+    pub broker: BrokerId,
+    /// The subscription.
+    pub pattern: TreePattern,
+    /// Slot in the online community clustering (dense per broker, in
+    /// insertion order — a per-broker detail, never on the wire).
+    slot: u32,
+}
+
+/// What a broker decided to do with one document.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RouteOutcome {
+    /// Local subscribers the document matched (deliver to their
+    /// connections, if any are attached here).
+    pub deliveries: Vec<u64>,
+    /// Neighbour brokers the document must be forwarded to.
+    pub forwards: Vec<BrokerId>,
+}
+
+/// The pure per-broker state machine.
+#[derive(Debug)]
+pub struct BrokerCore {
+    id: BrokerId,
+    topology: BrokerTopology,
+    forwarding: ForwardingMode,
+    lint: bool,
+    consumers: BTreeMap<u64, NetConsumer>,
+    synopsis: Synopsis,
+    leader: Option<OnlineLeader>,
+    next_slot: u32,
+    table: Option<RoutingTable>,
+    tables_stale: bool,
+    /// `behind[link][b]`: whether broker `b` lives behind this broker's
+    /// `link`-th link (precomputed once; used for spurious accounting).
+    behind: Vec<Vec<bool>>,
+    stats: BrokerStats,
+}
+
+impl BrokerCore {
+    /// A broker with an empty subscription view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a broker of the overlay topology.
+    pub fn new(id: BrokerId, config: &OverlayConfig) -> Self {
+        assert!(
+            id < config.topology.broker_count(),
+            "broker {id} does not exist in the overlay"
+        );
+        let behind = config
+            .topology
+            .link_partitions(id)
+            .into_iter()
+            .map(|subtree| {
+                let mut mask = vec![false; config.topology.broker_count()];
+                for b in subtree {
+                    mask[b] = true;
+                }
+                mask
+            })
+            .collect();
+        Self {
+            id,
+            topology: config.topology.clone(),
+            forwarding: config.forwarding,
+            lint: config.lint,
+            consumers: BTreeMap::new(),
+            synopsis: Synopsis::new(config.synopsis),
+            leader: config
+                .index
+                .map(|lsh| OnlineLeader::new(lsh, LeaderConfig::default())),
+            next_slot: 0,
+            table: None,
+            tables_stale: false,
+            behind,
+            stats: BrokerStats {
+                broker: id as u32,
+                ..BrokerStats::default()
+            },
+        }
+    }
+
+    /// This broker's id.
+    pub fn id(&self) -> BrokerId {
+        self.id
+    }
+
+    /// The overlay topology.
+    pub fn topology(&self) -> &BrokerTopology {
+        &self.topology
+    }
+
+    /// The overlay-wide consumer view, keyed by subscriber id.
+    pub fn consumers(&self) -> &BTreeMap<u64, NetConsumer> {
+        &self.consumers
+    }
+
+    /// Attach a subscriber. Returns `Ok(true)` when the view changed (the
+    /// control message must be flooded on), `Ok(false)` for an exact
+    /// duplicate (flooding stops — this is what terminates the control
+    /// broadcast on the tree overlay).
+    pub fn subscribe(
+        &mut self,
+        subscriber: u64,
+        broker: u32,
+        pattern_text: &str,
+    ) -> Result<bool, (ErrorCode, String)> {
+        self.install(subscriber, broker, pattern_text, self.lint)
+    }
+
+    /// Install a subscription that was *already accepted* elsewhere — a
+    /// flood-received control frame or a rejoin resync replay. Identical
+    /// to [`BrokerCore::subscribe`] except the lint pre-pass never runs:
+    /// lint is a client-facing admission check at the home broker; once a
+    /// subscription is in the overlay, every broker must converge on it or
+    /// views would diverge.
+    pub fn restore(
+        &mut self,
+        subscriber: u64,
+        broker: u32,
+        pattern_text: &str,
+    ) -> Result<bool, (ErrorCode, String)> {
+        self.install(subscriber, broker, pattern_text, false)
+    }
+
+    fn install(
+        &mut self,
+        subscriber: u64,
+        broker: u32,
+        pattern_text: &str,
+        lint: bool,
+    ) -> Result<bool, (ErrorCode, String)> {
+        let broker = broker as BrokerId;
+        if broker >= self.topology.broker_count() {
+            self.stats.errors += 1;
+            return Err((
+                ErrorCode::UnknownBroker,
+                format!(
+                    "broker {broker} does not exist ({} brokers)",
+                    self.topology.broker_count()
+                ),
+            ));
+        }
+        let pattern = TreePattern::parse(pattern_text).map_err(|e| {
+            self.stats.errors += 1;
+            (ErrorCode::BadPattern, e.to_string())
+        })?;
+        if let Some(existing) = self.consumers.get(&subscriber) {
+            if existing.broker == broker && existing.pattern == pattern {
+                return Ok(false);
+            }
+            self.stats.errors += 1;
+            return Err((
+                ErrorCode::DuplicateSubscriber,
+                format!(
+                    "subscriber {subscriber} is already attached at broker {}",
+                    existing.broker
+                ),
+            ));
+        }
+        if lint {
+            self.lint_check(subscriber, &pattern)?;
+        }
+        let slot = match self.leader.as_mut() {
+            Some(leader) => leader.insert_estimated(&pattern),
+            None => {
+                let slot = self.next_slot;
+                self.next_slot += 1;
+                slot
+            }
+        };
+        self.consumers.insert(
+            subscriber,
+            NetConsumer {
+                broker,
+                pattern,
+                slot,
+            },
+        );
+        self.tables_stale = true;
+        Ok(true)
+    }
+
+    /// Reject subscriptions the static analyzer proves redundant against
+    /// the current view (`W002` containment / `W003` duplicate pointing at
+    /// the new pattern) or outright erroneous. The analysis is purely
+    /// syntactic (no DTD on the broker), so every rejection is sound for
+    /// arbitrary documents.
+    fn lint_check(
+        &mut self,
+        subscriber: u64,
+        pattern: &TreePattern,
+    ) -> Result<(), (ErrorCode, String)> {
+        let mut entries: Vec<WorkloadEntry> = self
+            .consumers
+            .values()
+            .map(|c| WorkloadEntry::from_pattern(&c.pattern))
+            .collect();
+        let new_index = entries.len();
+        entries.push(WorkloadEntry::from_pattern(pattern));
+        let report = WorkloadAnalyzer::new(None).analyze(&entries);
+        for diagnostic in &report.diagnostics {
+            if diagnostic.pattern_index != new_index {
+                continue;
+            }
+            let redundant = !diagnostic.related.is_empty();
+            if diagnostic.severity() == Severity::Error || redundant {
+                self.stats.errors += 1;
+                return Err((
+                    ErrorCode::LintRejected,
+                    format!(
+                        "lint pre-pass rejected subscriber {subscriber}: {} {}",
+                        diagnostic.code, diagnostic.message
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Detach a subscriber. Returns whether the view changed (double
+    /// departures stop the control flood, like duplicate subscribes).
+    pub fn unsubscribe(&mut self, subscriber: u64) -> bool {
+        match self.consumers.remove(&subscriber) {
+            Some(consumer) => {
+                if let Some(leader) = self.leader.as_mut() {
+                    leader.remove_estimated(consumer.slot);
+                }
+                self.tables_stale = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Publish raw document bytes at this broker: the bytes are folded
+    /// into the traffic synopsis through the zero-copy scanner path
+    /// (`Synopsis::ingest_bytes_as` — no tree is materialised on that
+    /// path), then parsed once for routing.
+    pub fn publish(&mut self, bytes: &[u8]) -> Result<RouteOutcome, (ErrorCode, String)> {
+        let doc = self.synopsis.next_doc_id();
+        if let Err(error) = self.synopsis.ingest_bytes_as(bytes, doc) {
+            self.stats.errors += 1;
+            return Err((ErrorCode::BadDocument, error.to_string()));
+        }
+        // invariant: the scanner accepted the bytes, so they are UTF-8 and
+        // the tree parser (error-for-error equal to the scanner) accepts
+        // them too.
+        let text = std::str::from_utf8(bytes).expect("scanner enforces UTF-8");
+        let document = XmlTree::parse(text).expect("scanner/parser parity");
+        self.stats.documents += 1;
+        Ok(self.route(&document, None))
+    }
+
+    /// A document arrived in a forward batch from neighbour `from`. The
+    /// publishing broker already validated and observed it, so it is only
+    /// parsed for routing here; bytes that fail anyway (a byzantine peer)
+    /// are dropped with an error count rather than poisoning the broker.
+    pub fn forward_in(&mut self, from: BrokerId, bytes: &[u8]) -> Option<RouteOutcome> {
+        self.stats.forwards_received += 1;
+        let text = match std::str::from_utf8(bytes) {
+            Ok(text) => text,
+            Err(_) => {
+                self.stats.errors += 1;
+                return None;
+            }
+        };
+        match XmlTree::parse(text) {
+            Ok(document) => Some(self.route(&document, Some(from))),
+            Err(_) => {
+                self.stats.errors += 1;
+                None
+            }
+        }
+    }
+
+    /// Route one document at this broker, mirroring
+    /// `BrokerNetwork::route_one` exactly: exact per-consumer local
+    /// filtering (one match operation per local consumer), a table lookup
+    /// per outgoing link with first-hit cost accounting, and never sending
+    /// a document back over the link it arrived on.
+    fn route(&mut self, document: &XmlTree, from: Option<BrokerId>) -> RouteOutcome {
+        if self.tables_stale || (self.table.is_none() && !self.consumers.is_empty()) {
+            self.rebuild_table();
+        }
+        let mut outcome = RouteOutcome::default();
+
+        // Local delivery: exact per-consumer filtering, in subscriber-id
+        // order (the BTreeMap keeps the view order-independent of the
+        // control flood's arrival order).
+        for (&subscriber, consumer) in &self.consumers {
+            if consumer.broker != self.id {
+                continue;
+            }
+            self.stats.match_operations += 1;
+            if consumer.pattern.matches(document) {
+                self.stats.deliveries += 1;
+                outcome.deliveries.push(subscriber);
+            }
+        }
+
+        // Forwarding decision per outgoing link.
+        let neighbours = self.topology.neighbours(self.id).to_vec();
+        let mut chosen: Vec<(usize, BrokerId)> = Vec::new();
+        for (link_index, &neighbour) in neighbours.iter().enumerate() {
+            if Some(neighbour) == from {
+                continue;
+            }
+            match self.forwarding {
+                ForwardingMode::Flooding => chosen.push((link_index, neighbour)),
+                ForwardingMode::Table(_) => {
+                    // invariant: rebuild_table ran above whenever the view
+                    // is non-empty; an empty view builds an empty table too.
+                    let table = self.table.as_ref().expect("table forwarding has a table");
+                    let (hit, cost) = table.link(link_index).matches(document);
+                    self.stats.match_operations += cost as u64;
+                    if hit {
+                        chosen.push((link_index, neighbour));
+                    }
+                }
+            }
+        }
+
+        // Spurious accounting is pure observability (it never changes a
+        // forwarding decision): a forward is spurious when no consumer
+        // behind the link matches. These bookkeeping matches are not
+        // counted as match operations — same as the frozen ground-truth
+        // interest in the simulator and the static evaluation.
+        for &(link_index, neighbour) in &chosen {
+            self.stats.link_messages += 1;
+            let mask = &self.behind[link_index];
+            let interested = self
+                .consumers
+                .values()
+                .any(|c| mask[c.broker] && c.pattern.matches(document));
+            if !interested {
+                self.stats.spurious_link_messages += 1;
+            }
+            outcome.forwards.push(neighbour);
+        }
+        outcome
+    }
+
+    /// Rebuild this broker's routing table from the current view, through
+    /// the static `BrokerNetwork` constructor — so a churn-free overlay is
+    /// table-identical to a batch evaluation by construction.
+    fn rebuild_table(&mut self) {
+        if let ForwardingMode::Table(mode) = self.forwarding {
+            let mut network = BrokerNetwork::new(self.topology.clone());
+            for consumer in self.consumers.values() {
+                network.attach(consumer.broker, "net", consumer.pattern.clone());
+            }
+            let mut tables = network.build_tables(mode);
+            // invariant: build_tables returns one table per broker of the
+            // topology, and `id` was validated by the constructor.
+            let table = tables.swap_remove(self.id);
+            self.stats.table_nodes = table.node_count() as u64;
+            self.table = Some(table);
+            self.stats.table_rebuilds += 1;
+        }
+        self.tables_stale = false;
+    }
+
+    /// Current counters (consumer and community gauges refreshed).
+    pub fn stats(&mut self) -> BrokerStats {
+        self.stats.consumers = self.consumers.len() as u64;
+        self.stats.communities = match &self.leader {
+            Some(leader) => leader.cluster_count() as u64,
+            None => 0,
+        };
+        self.stats
+    }
+
+    /// Dump the consumer view for a rejoining peer, in subscriber order.
+    pub fn sync_state(&self) -> Vec<SyncConsumer> {
+        self.consumers
+            .iter()
+            .map(|(&subscriber, consumer)| SyncConsumer {
+                subscriber,
+                broker: consumer.broker as u32,
+                pattern: consumer.pattern.to_string(),
+            })
+            .collect()
+    }
+
+    /// The frame limits subscriptions and documents are checked against
+    /// when they come off the wire (the core itself is size-agnostic).
+    pub fn limits(&self) -> FrameLimits {
+        FrameLimits::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_routing::{NetworkStats, TableMode};
+
+    fn config(brokers: usize) -> OverlayConfig {
+        OverlayConfig {
+            topology: BrokerTopology::balanced_tree(brokers, 2),
+            ..OverlayConfig::default()
+        }
+    }
+
+    fn doc(text: &str) -> Vec<u8> {
+        text.as_bytes().to_vec()
+    }
+
+    #[test]
+    fn subscribe_validates_broker_and_pattern() {
+        let mut core = BrokerCore::new(0, &config(3));
+        assert_eq!(core.subscribe(0, 1, "//CD"), Ok(true));
+        assert_eq!(
+            core.subscribe(0, 1, "//CD"),
+            Ok(false),
+            "duplicate is idempotent"
+        );
+        let err = core.subscribe(0, 2, "//book").unwrap_err();
+        assert_eq!(err.0, ErrorCode::DuplicateSubscriber);
+        let err = core.subscribe(1, 9, "//book").unwrap_err();
+        assert_eq!(err.0, ErrorCode::UnknownBroker);
+        let err = core.subscribe(1, 1, "///").unwrap_err();
+        assert_eq!(err.0, ErrorCode::BadPattern);
+    }
+
+    #[test]
+    fn publish_delivers_locally_and_decides_forwards_by_table() {
+        let mut core = BrokerCore::new(0, &config(3));
+        core.subscribe(0, 0, "//CD").unwrap();
+        core.subscribe(1, 1, "//book").unwrap();
+        let outcome = core.publish(&doc("<media><CD/></media>")).unwrap();
+        assert_eq!(outcome.deliveries, vec![0]);
+        assert_eq!(outcome.forwards, Vec::<BrokerId>::new());
+        let outcome = core.publish(&doc("<media><book/></media>")).unwrap();
+        assert_eq!(outcome.deliveries, Vec::<u64>::new());
+        assert_eq!(outcome.forwards, vec![1]);
+        let stats = core.stats();
+        assert_eq!(stats.documents, 2);
+        assert_eq!(stats.deliveries, 1);
+        assert_eq!(stats.link_messages, 1);
+        assert_eq!(stats.spurious_link_messages, 0);
+    }
+
+    #[test]
+    fn forward_in_never_returns_over_the_arrival_link() {
+        let mut core = BrokerCore::new(1, &config(3));
+        // Broker 1's only neighbour in a 3-broker balanced tree is 0.
+        core.subscribe(0, 1, "//CD").unwrap();
+        let outcome = core.forward_in(0, &doc("<media><CD/></media>")).unwrap();
+        assert_eq!(outcome.deliveries, vec![0]);
+        assert_eq!(outcome.forwards, Vec::<BrokerId>::new());
+        assert_eq!(core.stats().forwards_received, 1);
+        assert_eq!(core.stats().documents, 0, "forwards are not publications");
+    }
+
+    #[test]
+    fn bad_documents_are_typed_errors_and_roll_back() {
+        let mut core = BrokerCore::new(0, &config(3));
+        let err = core.publish(b"<open>").unwrap_err();
+        assert_eq!(err.0, ErrorCode::BadDocument);
+        let err = core.publish(&[0xff, 0xfe]).unwrap_err();
+        assert_eq!(err.0, ErrorCode::BadDocument);
+        let stats = core.stats();
+        assert_eq!(stats.documents, 0);
+        assert_eq!(stats.errors, 2);
+    }
+
+    #[test]
+    fn flooding_forwards_everywhere_except_back() {
+        let mut core = BrokerCore::new(
+            0,
+            &OverlayConfig {
+                topology: BrokerTopology::balanced_tree(3, 2),
+                forwarding: ForwardingMode::Flooding,
+                ..OverlayConfig::default()
+            },
+        );
+        let outcome = core.forward_in(1, &doc("<a/>")).unwrap();
+        assert_eq!(outcome.forwards, vec![2]);
+    }
+
+    #[test]
+    fn lint_pre_pass_rejects_redundant_subscriptions() {
+        let mut core = BrokerCore::new(
+            0,
+            &OverlayConfig {
+                topology: BrokerTopology::balanced_tree(3, 2),
+                lint: true,
+                ..OverlayConfig::default()
+            },
+        );
+        core.subscribe(0, 1, "//CD").unwrap();
+        let err = core.subscribe(1, 2, "/media/CD").unwrap_err();
+        assert_eq!(err.0, ErrorCode::LintRejected);
+        // A non-redundant subscription still goes through.
+        assert_eq!(core.subscribe(2, 2, "//book"), Ok(true));
+    }
+
+    #[test]
+    fn sync_state_round_trips_the_view() {
+        let mut core = BrokerCore::new(0, &config(3));
+        core.subscribe(3, 1, "//CD").unwrap();
+        core.subscribe(1, 2, "//book").unwrap();
+        let dump = core.sync_state();
+        assert_eq!(dump.len(), 2);
+        assert_eq!(dump[0].subscriber, 1, "dump is in subscriber order");
+        let mut rejoined = BrokerCore::new(1, &config(3));
+        for entry in &dump {
+            rejoined
+                .subscribe(entry.subscriber, entry.broker, &entry.pattern)
+                .unwrap();
+        }
+        assert_eq!(rejoined.consumers().len(), 2);
+    }
+
+    /// The heart of the conformance argument, in miniature: a set of cores
+    /// (one per broker) with the same flooded view routes a corpus with
+    /// counters identical to the static network, for every forwarding mode.
+    #[test]
+    fn core_mesh_matches_the_static_network_counter_for_counter() {
+        let topology = BrokerTopology::balanced_tree(5, 2);
+        let subs: [(u64, u32, &str); 4] = [
+            (0, 1, "//CD"),
+            (1, 3, "//book"),
+            (2, 3, "//author"),
+            (3, 2, "//Mozart"),
+        ];
+        let docs = [
+            "<media><CD><composer><last>Mozart</last></composer></CD></media>",
+            "<media><book><author><last>Austen</last></author></book></media>",
+            "<media><magazine><title>Time</title></magazine></media>",
+        ];
+        for forwarding in ForwardingMode::all() {
+            let overlay = OverlayConfig {
+                topology: topology.clone(),
+                forwarding,
+                ..OverlayConfig::default()
+            };
+            let mut cores: Vec<BrokerCore> =
+                (0..5).map(|id| BrokerCore::new(id, &overlay)).collect();
+            for core in &mut cores {
+                for &(subscriber, broker, pattern) in &subs {
+                    core.subscribe(subscriber, broker, pattern).unwrap();
+                }
+            }
+            // Publish at broker 0 and hand-crank the forwards to quiescence.
+            for text in docs {
+                let outcome = cores[0].publish(text.as_bytes()).unwrap();
+                let mut pending: Vec<(BrokerId, BrokerId)> =
+                    outcome.forwards.iter().map(|&to| (0, to)).collect();
+                while let Some((from, at)) = pending.pop() {
+                    if let Some(outcome) = cores[at].forward_in(from, text.as_bytes()) {
+                        pending.extend(outcome.forwards.iter().map(|&to| (at, to)));
+                    }
+                }
+            }
+            let mut network = BrokerNetwork::new(topology.clone());
+            for &(_, broker, pattern) in &subs {
+                network.attach(
+                    broker as BrokerId,
+                    "static",
+                    TreePattern::parse(pattern).unwrap(),
+                );
+            }
+            let parsed: Vec<XmlTree> = docs.iter().map(|d| XmlTree::parse(d).unwrap()).collect();
+            let expected: NetworkStats = network.route_stream(0, &parsed, forwarding);
+            let mut total = |f: &dyn Fn(&BrokerStats) -> u64| -> u64 {
+                cores.iter_mut().map(|c| f(&c.stats())).sum()
+            };
+            assert_eq!(
+                total(&|s| s.deliveries),
+                expected.deliveries as u64,
+                "{}",
+                forwarding.name()
+            );
+            assert_eq!(
+                total(&|s| s.link_messages),
+                expected.link_messages as u64,
+                "{}",
+                forwarding.name()
+            );
+            assert_eq!(
+                total(&|s| s.spurious_link_messages),
+                expected.spurious_link_messages as u64,
+                "{}",
+                forwarding.name()
+            );
+            assert_eq!(
+                total(&|s| s.match_operations),
+                expected.match_operations as u64,
+                "{}",
+                forwarding.name()
+            );
+        }
+        let _ = TableMode::Exact;
+    }
+}

@@ -1,0 +1,204 @@
+//! A synchronous request-reply client for one broker connection.
+//!
+//! The protocol interleaves asynchronous [`Message::Deliver`] pushes with
+//! request replies on the same connection; the client buffers pushes that
+//! arrive while it is waiting for a reply, so `subscribe → publish → read
+//! deliveries` works on a single connection without extra threads.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::io;
+use std::time::Duration;
+
+use crate::codec::{
+    read_frame, write_frame, BrokerStats, DecodeError, ErrorCode, FrameError, FrameLimits, Message,
+    SyncConsumer,
+};
+use crate::transport::{Addr, Stream};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed at the socket layer.
+    Io(io::Error),
+    /// The broker sent a frame this client could not decode.
+    Frame(DecodeError),
+    /// The broker answered with an error reply.
+    Remote {
+        /// The broker's error code.
+        code: ErrorCode,
+        /// The broker's detail message.
+        message: String,
+    },
+    /// The broker answered with an unexpected verb.
+    Protocol(String),
+    /// The broker closed the connection.
+    Disconnected,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection failed: {e}"),
+            ClientError::Frame(e) => write!(f, "malformed reply: {e}"),
+            ClientError::Remote { code, message } => write!(f, "broker error [{code}]: {message}"),
+            ClientError::Protocol(detail) => write!(f, "protocol violation: {detail}"),
+            ClientError::Disconnected => write!(f, "broker closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(e) => ClientError::Io(e),
+            FrameError::Decode(e) => ClientError::Frame(e),
+        }
+    }
+}
+
+/// A connected broker client.
+#[derive(Debug)]
+pub struct BrokerClient {
+    stream: Stream,
+    limits: FrameLimits,
+    pending: VecDeque<(u64, Vec<u8>)>,
+}
+
+impl BrokerClient {
+    /// Connect to a broker.
+    pub fn connect(addr: &Addr, limits: FrameLimits) -> io::Result<Self> {
+        Ok(Self {
+            stream: Stream::connect(addr)?,
+            limits,
+            pending: VecDeque::new(),
+        })
+    }
+
+    /// Send one request and read frames until its reply arrives, buffering
+    /// any [`Message::Deliver`] pushes that come first.
+    fn roundtrip(&mut self, request: &Message) -> Result<Message, ClientError> {
+        write_frame(&mut self.stream, request)?;
+        loop {
+            match read_frame(&mut self.stream, &self.limits)? {
+                Some(Message::Deliver {
+                    subscriber,
+                    document,
+                }) => self.pending.push_back((subscriber, document)),
+                Some(reply) => return Ok(reply),
+                None => return Err(ClientError::Disconnected),
+            }
+        }
+    }
+
+    fn expect_ack(reply: Message) -> Result<(), ClientError> {
+        match reply {
+            Message::Ack => Ok(()),
+            Message::Error { code, message } => Err(ClientError::Remote { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "expected Ack, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Attach `subscriber` at `broker` with the given pattern text.
+    pub fn subscribe(
+        &mut self,
+        subscriber: u64,
+        broker: u32,
+        pattern: &str,
+    ) -> Result<(), ClientError> {
+        let reply = self.roundtrip(&Message::Subscribe {
+            subscriber,
+            broker,
+            pattern: pattern.to_string(),
+        })?;
+        Self::expect_ack(reply)
+    }
+
+    /// Detach a subscriber (idempotent).
+    pub fn unsubscribe(&mut self, subscriber: u64) -> Result<(), ClientError> {
+        let reply = self.roundtrip(&Message::Unsubscribe { subscriber })?;
+        Self::expect_ack(reply)
+    }
+
+    /// Publish one raw XML document at the connected broker, waiting for
+    /// its acknowledgement (the closed-loop latency the bench measures).
+    pub fn publish(&mut self, document: &[u8]) -> Result<(), ClientError> {
+        let reply = self.roundtrip(&Message::Publish {
+            document: document.to_vec(),
+        })?;
+        Self::expect_ack(reply)
+    }
+
+    /// Fetch the broker's counters.
+    pub fn stats(&mut self) -> Result<BrokerStats, ClientError> {
+        match self.roundtrip(&Message::Stats)? {
+            Message::StatsReply { stats } => Ok(stats),
+            Message::Error { code, message } => Err(ClientError::Remote { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "expected StatsReply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetch the broker's consumer view (used by rejoin resync).
+    pub fn sync_state(&mut self) -> Result<Vec<SyncConsumer>, ClientError> {
+        match self.roundtrip(&Message::SyncRequest)? {
+            Message::SyncState { consumers } => Ok(consumers),
+            Message::Error { code, message } => Err(ClientError::Remote { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "expected SyncState, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Ask the broker to stop serving (acknowledged before it stops).
+    pub fn shutdown_broker(&mut self) -> Result<(), ClientError> {
+        let reply = self.roundtrip(&Message::Shutdown)?;
+        Self::expect_ack(reply)
+    }
+
+    /// Deliveries buffered so far, without touching the socket.
+    pub fn take_deliveries(&mut self) -> Vec<(u64, Vec<u8>)> {
+        self.pending.drain(..).collect()
+    }
+
+    /// Wait up to `timeout` for the next delivery push. Returns `Ok(None)`
+    /// on timeout.
+    pub fn recv_delivery(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<Option<(u64, Vec<u8>)>, ClientError> {
+        if let Some(delivery) = self.pending.pop_front() {
+            return Ok(Some(delivery));
+        }
+        self.stream.set_read_timeout(Some(timeout))?;
+        let result = read_frame(&mut self.stream, &self.limits);
+        self.stream.set_read_timeout(None)?;
+        match result {
+            Ok(Some(Message::Deliver {
+                subscriber,
+                document,
+            })) => Ok(Some((subscriber, document))),
+            Ok(Some(other)) => Err(ClientError::Protocol(format!(
+                "expected Deliver, got {other:?}"
+            ))),
+            Ok(None) => Err(ClientError::Disconnected),
+            Err(FrameError::Io(e))
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+}

@@ -1,0 +1,938 @@
+//! The wire protocol: hand-rolled, length-prefixed binary frames.
+//!
+//! Every frame is a big-endian `u32` payload length followed by the
+//! payload; the payload starts with a protocol version byte and a verb
+//! byte, then verb-specific fields built from four primitives — `u32`,
+//! `u64`, length-prefixed byte strings and length-prefixed UTF-8 strings —
+//! all big-endian, no serde anywhere. Decoding never panics and never
+//! trusts a length field: every count is checked against the bytes that
+//! are actually present *and* against the hard [`FrameLimits`] (modelled
+//! on `tps_xml::ScanLimits`) before anything is allocated, so a hostile
+//! peer can neither crash a broker nor balloon its memory.
+//!
+//! [`Message::decode`] ∘ [`Message::encode`] is the identity for every
+//! in-limit message — property-tested in this crate and fuzzed by the
+//! `net` target of `tps-fuzz`.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Protocol version carried by every frame.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Hard limits a decoder enforces on incoming frames, in the mould of
+/// `tps_xml::ScanLimits`: exceeding any of them is a typed
+/// [`DecodeError`], never a panic or an unbounded allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameLimits {
+    /// Maximum payload size of one frame, in bytes.
+    pub max_frame: usize,
+    /// Maximum length of a subscription pattern, in bytes.
+    pub max_pattern: usize,
+    /// Maximum size of one published document, in bytes.
+    pub max_document: usize,
+    /// Maximum number of documents in one forward batch.
+    pub max_batch: usize,
+    /// Maximum number of consumers in one state-sync reply.
+    pub max_subscriptions: usize,
+}
+
+impl Default for FrameLimits {
+    fn default() -> Self {
+        Self {
+            max_frame: 4 << 20,
+            max_pattern: 4 << 10,
+            max_document: 1 << 20,
+            max_batch: 256,
+            max_subscriptions: 1 << 16,
+        }
+    }
+}
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The version byte is not [`PROTOCOL_VERSION`].
+    UnsupportedVersion(u8),
+    /// The verb byte is not a known message kind.
+    UnknownVerb(u8),
+    /// The payload ended before a field was complete.
+    Truncated,
+    /// The payload continued past the last field of its verb.
+    TrailingBytes(usize),
+    /// A frame announced a payload larger than [`FrameLimits::max_frame`].
+    FrameTooLarge {
+        /// Announced payload size.
+        size: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A pattern field exceeded [`FrameLimits::max_pattern`].
+    PatternTooLong {
+        /// Announced field size.
+        size: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A document field exceeded [`FrameLimits::max_document`].
+    DocumentTooLarge {
+        /// Announced field size.
+        size: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A forward batch exceeded [`FrameLimits::max_batch`] documents.
+    BatchTooLarge {
+        /// Announced batch size.
+        size: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A state-sync reply exceeded [`FrameLimits::max_subscriptions`].
+    SyncTooLarge {
+        /// Announced consumer count.
+        size: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A string field is not valid UTF-8.
+    InvalidUtf8,
+    /// An error reply carried an unknown error code.
+    UnknownErrorCode(u16),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported protocol version {v} (expected {PROTOCOL_VERSION})"
+                )
+            }
+            DecodeError::UnknownVerb(v) => write!(f, "unknown verb byte {v:#04x}"),
+            DecodeError::Truncated => write!(f, "payload truncated mid-field"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after the last field"),
+            DecodeError::FrameTooLarge { size, limit } => {
+                write!(f, "frame of {size} bytes exceeds the {limit}-byte limit")
+            }
+            DecodeError::PatternTooLong { size, limit } => {
+                write!(f, "pattern of {size} bytes exceeds the {limit}-byte limit")
+            }
+            DecodeError::DocumentTooLarge { size, limit } => {
+                write!(f, "document of {size} bytes exceeds the {limit}-byte limit")
+            }
+            DecodeError::BatchTooLarge { size, limit } => {
+                write!(
+                    f,
+                    "batch of {size} documents exceeds the {limit}-document limit"
+                )
+            }
+            DecodeError::SyncTooLarge { size, limit } => {
+                write!(
+                    f,
+                    "sync of {size} consumers exceeds the {limit}-consumer limit"
+                )
+            }
+            DecodeError::InvalidUtf8 => write!(f, "string field is not valid UTF-8"),
+            DecodeError::UnknownErrorCode(c) => write!(f, "unknown error code {c}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Application-level error codes carried by [`Message::Error`] replies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The subscription pattern failed to parse.
+    BadPattern,
+    /// The lint pre-pass rejected the subscription.
+    LintRejected,
+    /// The published document was rejected by the scanner/parser.
+    BadDocument,
+    /// The request referenced a broker outside the overlay topology.
+    UnknownBroker,
+    /// The subscriber id is already taken with a different subscription.
+    DuplicateSubscriber,
+}
+
+impl ErrorCode {
+    /// The stable wire value of this code.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            ErrorCode::BadPattern => 1,
+            ErrorCode::LintRejected => 2,
+            ErrorCode::BadDocument => 3,
+            ErrorCode::UnknownBroker => 4,
+            ErrorCode::DuplicateSubscriber => 5,
+        }
+    }
+
+    /// Decode a wire value back (`None` for unassigned codes).
+    pub fn from_u16(code: u16) -> Option<Self> {
+        match code {
+            1 => Some(ErrorCode::BadPattern),
+            2 => Some(ErrorCode::LintRejected),
+            3 => Some(ErrorCode::BadDocument),
+            4 => Some(ErrorCode::UnknownBroker),
+            5 => Some(ErrorCode::DuplicateSubscriber),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ErrorCode::BadPattern => "bad-pattern",
+            ErrorCode::LintRejected => "lint-rejected",
+            ErrorCode::BadDocument => "bad-document",
+            ErrorCode::UnknownBroker => "unknown-broker",
+            ErrorCode::DuplicateSubscriber => "duplicate-subscriber",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One consumer entry of a state-sync reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncConsumer {
+    /// Overlay-wide subscriber id.
+    pub subscriber: u64,
+    /// The broker the consumer is attached to.
+    pub broker: u32,
+    /// The subscription pattern, as text.
+    pub pattern: String,
+}
+
+/// End-of-run counters of one broker, as carried by a stats reply.
+///
+/// The routing counters (`deliveries`, `link_messages`,
+/// `spurious_link_messages`, `match_operations`) mirror the definitions of
+/// `tps_routing::NetworkStats` / `tps_sim::SimStats` field for field — the
+/// conformance tests sum them across brokers and compare them against a
+/// simulator run and a static `route_stream` evaluation of the same
+/// scenario.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BrokerStats {
+    /// Broker id within the overlay.
+    pub broker: u32,
+    /// Active consumers in this broker's (overlay-wide) subscription view.
+    pub consumers: u64,
+    /// Documents accepted from publishing clients at this broker.
+    pub documents: u64,
+    /// Local deliveries after exact per-consumer filtering.
+    pub deliveries: u64,
+    /// Documents this broker sent over overlay links (one per document per
+    /// link).
+    pub link_messages: u64,
+    /// Link messages towards a subtree with no interested consumer.
+    pub spurious_link_messages: u64,
+    /// Pattern-match operations (local filtering plus table lookups).
+    pub match_operations: u64,
+    /// Documents that arrived from peer brokers in forward batches.
+    pub forwards_received: u64,
+    /// Documents dropped because a peer link was down or saturated.
+    pub forwards_dropped: u64,
+    /// Requests answered with an error reply.
+    pub errors: u64,
+    /// Routing-table rebuilds performed.
+    pub table_rebuilds: u64,
+    /// Size of the current routing table, in pattern nodes.
+    pub table_nodes: u64,
+    /// Semantic communities of the active subscriptions, per the
+    /// index-backed online clustering.
+    pub communities: u64,
+}
+
+/// One protocol message — requests and replies share the verb space
+/// (replies have the high bit set), so a single decoder serves both
+/// directions of a connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Attach `subscriber` at `broker` with the given pattern text.
+    Subscribe {
+        /// Overlay-wide subscriber id.
+        subscriber: u64,
+        /// The broker the subscriber attaches to.
+        broker: u32,
+        /// Subscription pattern text (validated by the receiving broker).
+        pattern: String,
+    },
+    /// Detach a subscriber.
+    Unsubscribe {
+        /// Overlay-wide subscriber id.
+        subscriber: u64,
+    },
+    /// Publish one raw XML document at the receiving broker.
+    Publish {
+        /// Raw document bytes (scanned, never copied into a tree on the
+        /// synopsis path).
+        document: Vec<u8>,
+    },
+    /// Request the broker's counters.
+    Stats,
+    /// A batch of documents forwarded from peer broker `from`.
+    Forward {
+        /// Sending broker id.
+        from: u32,
+        /// The forwarded documents, in publication order.
+        documents: Vec<Vec<u8>>,
+    },
+    /// Ask the broker to shut down gracefully.
+    Shutdown,
+    /// Ask the broker for a dump of its consumer view (rejoin resync).
+    SyncRequest,
+    /// First frame on a broker-to-broker link: the sender identifies
+    /// itself as peer `broker`. Connections that never send it are client
+    /// connections (and get replies); peer links are fire-and-forget.
+    Hello {
+        /// The connecting broker's id.
+        broker: u32,
+    },
+    /// Positive acknowledgement of the previous request.
+    Ack,
+    /// Negative acknowledgement of the previous request.
+    Error {
+        /// What went wrong.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Reply to [`Message::Stats`].
+    StatsReply {
+        /// The broker's counters.
+        stats: BrokerStats,
+    },
+    /// A matched document pushed to a subscriber's connection.
+    Deliver {
+        /// The matching subscriber.
+        subscriber: u64,
+        /// Raw document bytes.
+        document: Vec<u8>,
+    },
+    /// Reply to [`Message::SyncRequest`].
+    SyncState {
+        /// The broker's consumer view, in subscriber-id order.
+        consumers: Vec<SyncConsumer>,
+    },
+}
+
+const VERB_SUBSCRIBE: u8 = 0x01;
+const VERB_UNSUBSCRIBE: u8 = 0x02;
+const VERB_PUBLISH: u8 = 0x03;
+const VERB_STATS: u8 = 0x04;
+const VERB_FORWARD: u8 = 0x05;
+const VERB_SHUTDOWN: u8 = 0x06;
+const VERB_SYNC_REQUEST: u8 = 0x07;
+const VERB_HELLO: u8 = 0x08;
+const VERB_ACK: u8 = 0x80;
+const VERB_ERROR: u8 = 0x81;
+const VERB_STATS_REPLY: u8 = 0x82;
+const VERB_DELIVER: u8 = 0x83;
+const VERB_SYNC_STATE: u8 = 0x84;
+
+fn put_u32(out: &mut Vec<u8>, value: u32) {
+    out.extend_from_slice(&value.to_be_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, value: u64) {
+    out.extend_from_slice(&value.to_be_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}
+
+/// A bounds-checked cursor over one frame payload.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated);
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// A length-prefixed byte string; the announced length is checked
+    /// against the bytes actually present before anything is copied.
+    fn bytes_field(&mut self) -> Result<Vec<u8>, DecodeError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn string_field(&mut self) -> Result<String, DecodeError> {
+        String::from_utf8(self.bytes_field()?).map_err(|_| DecodeError::InvalidUtf8)
+    }
+
+    fn finish(self) -> Result<(), DecodeError> {
+        if self.remaining() != 0 {
+            return Err(DecodeError::TrailingBytes(self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+impl Message {
+    fn verb(&self) -> u8 {
+        match self {
+            Message::Subscribe { .. } => VERB_SUBSCRIBE,
+            Message::Unsubscribe { .. } => VERB_UNSUBSCRIBE,
+            Message::Publish { .. } => VERB_PUBLISH,
+            Message::Stats => VERB_STATS,
+            Message::Forward { .. } => VERB_FORWARD,
+            Message::Shutdown => VERB_SHUTDOWN,
+            Message::SyncRequest => VERB_SYNC_REQUEST,
+            Message::Hello { .. } => VERB_HELLO,
+            Message::Ack => VERB_ACK,
+            Message::Error { .. } => VERB_ERROR,
+            Message::StatsReply { .. } => VERB_STATS_REPLY,
+            Message::Deliver { .. } => VERB_DELIVER,
+            Message::SyncState { .. } => VERB_SYNC_STATE,
+        }
+    }
+
+    /// Serialise the message payload (version byte, verb byte, fields) —
+    /// without the outer length prefix, which [`write_frame`] adds.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        out.push(PROTOCOL_VERSION);
+        out.push(self.verb());
+        match self {
+            Message::Subscribe {
+                subscriber,
+                broker,
+                pattern,
+            } => {
+                put_u64(&mut out, *subscriber);
+                put_u32(&mut out, *broker);
+                put_bytes(&mut out, pattern.as_bytes());
+            }
+            Message::Unsubscribe { subscriber } => put_u64(&mut out, *subscriber),
+            Message::Publish { document } => put_bytes(&mut out, document),
+            Message::Stats | Message::Shutdown | Message::SyncRequest | Message::Ack => {}
+            Message::Hello { broker } => put_u32(&mut out, *broker),
+            Message::Forward { from, documents } => {
+                put_u32(&mut out, *from);
+                put_u32(&mut out, documents.len() as u32);
+                for document in documents {
+                    put_bytes(&mut out, document);
+                }
+            }
+            Message::Error { code, message } => {
+                out.extend_from_slice(&code.to_u16().to_be_bytes());
+                put_bytes(&mut out, message.as_bytes());
+            }
+            Message::StatsReply { stats } => {
+                put_u32(&mut out, stats.broker);
+                for value in [
+                    stats.consumers,
+                    stats.documents,
+                    stats.deliveries,
+                    stats.link_messages,
+                    stats.spurious_link_messages,
+                    stats.match_operations,
+                    stats.forwards_received,
+                    stats.forwards_dropped,
+                    stats.errors,
+                    stats.table_rebuilds,
+                    stats.table_nodes,
+                    stats.communities,
+                ] {
+                    put_u64(&mut out, value);
+                }
+            }
+            Message::Deliver {
+                subscriber,
+                document,
+            } => {
+                put_u64(&mut out, *subscriber);
+                put_bytes(&mut out, document);
+            }
+            Message::SyncState { consumers } => {
+                put_u32(&mut out, consumers.len() as u32);
+                for consumer in consumers {
+                    put_u64(&mut out, consumer.subscriber);
+                    put_u32(&mut out, consumer.broker);
+                    put_bytes(&mut out, consumer.pattern.as_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Decode one frame payload under the given limits. Total work and
+    /// allocation are bounded by `bytes.len()` and the limits; malformed
+    /// input yields a typed [`DecodeError`], never a panic.
+    pub fn decode(bytes: &[u8], limits: &FrameLimits) -> Result<Message, DecodeError> {
+        if bytes.len() > limits.max_frame {
+            return Err(DecodeError::FrameTooLarge {
+                size: bytes.len(),
+                limit: limits.max_frame,
+            });
+        }
+        let mut reader = Reader::new(bytes);
+        let version = reader.u8()?;
+        if version != PROTOCOL_VERSION {
+            return Err(DecodeError::UnsupportedVersion(version));
+        }
+        let verb = reader.u8()?;
+        let message = match verb {
+            VERB_SUBSCRIBE => {
+                let subscriber = reader.u64()?;
+                let broker = reader.u32()?;
+                let pattern = decode_pattern(&mut reader, limits)?;
+                Message::Subscribe {
+                    subscriber,
+                    broker,
+                    pattern,
+                }
+            }
+            VERB_UNSUBSCRIBE => Message::Unsubscribe {
+                subscriber: reader.u64()?,
+            },
+            VERB_PUBLISH => Message::Publish {
+                document: decode_document(&mut reader, limits)?,
+            },
+            VERB_STATS => Message::Stats,
+            VERB_FORWARD => {
+                let from = reader.u32()?;
+                let count = reader.u32()? as usize;
+                if count > limits.max_batch {
+                    return Err(DecodeError::BatchTooLarge {
+                        size: count,
+                        limit: limits.max_batch,
+                    });
+                }
+                let mut documents = Vec::with_capacity(count.min(reader.remaining()));
+                for _ in 0..count {
+                    documents.push(decode_document(&mut reader, limits)?);
+                }
+                Message::Forward { from, documents }
+            }
+            VERB_SHUTDOWN => Message::Shutdown,
+            VERB_SYNC_REQUEST => Message::SyncRequest,
+            VERB_HELLO => Message::Hello {
+                broker: reader.u32()?,
+            },
+            VERB_ACK => Message::Ack,
+            VERB_ERROR => {
+                let raw = reader.u16()?;
+                let code = ErrorCode::from_u16(raw).ok_or(DecodeError::UnknownErrorCode(raw))?;
+                let message = reader.string_field()?;
+                Message::Error { code, message }
+            }
+            VERB_STATS_REPLY => {
+                let broker = reader.u32()?;
+                let mut values = [0u64; 12];
+                for value in &mut values {
+                    *value = reader.u64()?;
+                }
+                Message::StatsReply {
+                    stats: BrokerStats {
+                        broker,
+                        consumers: values[0],
+                        documents: values[1],
+                        deliveries: values[2],
+                        link_messages: values[3],
+                        spurious_link_messages: values[4],
+                        match_operations: values[5],
+                        forwards_received: values[6],
+                        forwards_dropped: values[7],
+                        errors: values[8],
+                        table_rebuilds: values[9],
+                        table_nodes: values[10],
+                        communities: values[11],
+                    },
+                }
+            }
+            VERB_DELIVER => {
+                let subscriber = reader.u64()?;
+                let document = decode_document(&mut reader, limits)?;
+                Message::Deliver {
+                    subscriber,
+                    document,
+                }
+            }
+            VERB_SYNC_STATE => {
+                let count = reader.u32()? as usize;
+                if count > limits.max_subscriptions {
+                    return Err(DecodeError::SyncTooLarge {
+                        size: count,
+                        limit: limits.max_subscriptions,
+                    });
+                }
+                let mut consumers = Vec::with_capacity(count.min(reader.remaining()));
+                for _ in 0..count {
+                    let subscriber = reader.u64()?;
+                    let broker = reader.u32()?;
+                    let pattern = decode_pattern(&mut reader, limits)?;
+                    consumers.push(SyncConsumer {
+                        subscriber,
+                        broker,
+                        pattern,
+                    });
+                }
+                Message::SyncState { consumers }
+            }
+            other => return Err(DecodeError::UnknownVerb(other)),
+        };
+        reader.finish()?;
+        Ok(message)
+    }
+}
+
+fn decode_pattern(reader: &mut Reader<'_>, limits: &FrameLimits) -> Result<String, DecodeError> {
+    let len = peek_len(reader)?;
+    if len > limits.max_pattern {
+        return Err(DecodeError::PatternTooLong {
+            size: len,
+            limit: limits.max_pattern,
+        });
+    }
+    reader.string_field()
+}
+
+fn decode_document(reader: &mut Reader<'_>, limits: &FrameLimits) -> Result<Vec<u8>, DecodeError> {
+    let len = peek_len(reader)?;
+    if len > limits.max_document {
+        return Err(DecodeError::DocumentTooLarge {
+            size: len,
+            limit: limits.max_document,
+        });
+    }
+    reader.bytes_field()
+}
+
+/// The length prefix of the next field, without consuming it.
+fn peek_len(reader: &Reader<'_>) -> Result<usize, DecodeError> {
+    if reader.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let b = &reader.bytes[reader.pos..reader.pos + 4];
+    Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]) as usize)
+}
+
+/// Errors of the framed stream I/O layer.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed.
+    Io(io::Error),
+    /// The peer sent a malformed frame.
+    Decode(DecodeError),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "stream i/o failed: {e}"),
+            FrameError::Decode(e) => write!(f, "malformed frame: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl From<DecodeError> for FrameError {
+    fn from(e: DecodeError) -> Self {
+        FrameError::Decode(e)
+    }
+}
+
+/// Write one message as a length-prefixed frame.
+pub fn write_frame(writer: &mut impl Write, message: &Message) -> io::Result<()> {
+    let payload = message.encode();
+    writer.write_all(&(payload.len() as u32).to_be_bytes())?;
+    writer.write_all(&payload)?;
+    writer.flush()
+}
+
+/// Read one length-prefixed frame and decode it. Returns `Ok(None)` when
+/// the peer closed the stream cleanly at a frame boundary; an oversized
+/// announced length is rejected *before* any buffer is allocated.
+pub fn read_frame(
+    reader: &mut impl Read,
+    limits: &FrameLimits,
+) -> Result<Option<Message>, FrameError> {
+    let mut prefix = [0u8; 4];
+    if !read_exact_or_eof(reader, &mut prefix)? {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > limits.max_frame {
+        return Err(FrameError::Decode(DecodeError::FrameTooLarge {
+            size: len,
+            limit: limits.max_frame,
+        }));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload).map_err(FrameError::Io)?;
+    Ok(Some(Message::decode(&payload, limits)?))
+}
+
+/// `read_exact` that reports a clean EOF *before the first byte* as
+/// `Ok(false)` instead of an error.
+fn read_exact_or_eof(reader: &mut impl Read, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Message> {
+        vec![
+            Message::Subscribe {
+                subscriber: 7,
+                broker: 2,
+                pattern: "//CD/composer".to_string(),
+            },
+            Message::Unsubscribe { subscriber: 7 },
+            Message::Publish {
+                document: b"<media><CD/></media>".to_vec(),
+            },
+            Message::Stats,
+            Message::Forward {
+                from: 1,
+                documents: vec![b"<a/>".to_vec(), b"<b><c/></b>".to_vec()],
+            },
+            Message::Shutdown,
+            Message::SyncRequest,
+            Message::Hello { broker: 2 },
+            Message::Ack,
+            Message::Error {
+                code: ErrorCode::BadPattern,
+                message: "expected a step".to_string(),
+            },
+            Message::StatsReply {
+                stats: BrokerStats {
+                    broker: 3,
+                    consumers: 4,
+                    documents: 5,
+                    deliveries: 6,
+                    link_messages: 7,
+                    spurious_link_messages: 1,
+                    match_operations: 99,
+                    forwards_received: 2,
+                    forwards_dropped: 0,
+                    errors: 1,
+                    table_rebuilds: 8,
+                    table_nodes: 120,
+                    communities: 3,
+                },
+            },
+            Message::Deliver {
+                subscriber: 9,
+                document: b"<media/>".to_vec(),
+            },
+            Message::SyncState {
+                consumers: vec![SyncConsumer {
+                    subscriber: 0,
+                    broker: 1,
+                    pattern: "//book".to_string(),
+                }],
+            },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_is_identity_for_every_verb() {
+        let limits = FrameLimits::default();
+        for message in samples() {
+            let encoded = message.encode();
+            assert_eq!(Message::decode(&encoded, &limits), Ok(message));
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_byte_stream() {
+        let limits = FrameLimits::default();
+        let mut stream = Vec::new();
+        for message in samples() {
+            write_frame(&mut stream, &message).unwrap();
+        }
+        let mut cursor = io::Cursor::new(stream);
+        for expected in samples() {
+            let got = read_frame(&mut cursor, &limits).unwrap();
+            assert_eq!(got, Some(expected));
+        }
+        assert_eq!(read_frame(&mut cursor, &limits).unwrap(), None);
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error_at_every_prefix() {
+        let limits = FrameLimits::default();
+        for message in samples() {
+            let encoded = message.encode();
+            for cut in 0..encoded.len() {
+                let result = Message::decode(&encoded[..cut], &limits);
+                assert!(result.is_err(), "decode accepted a truncated {message:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn version_and_verb_are_checked() {
+        let limits = FrameLimits::default();
+        assert_eq!(
+            Message::decode(&[9, VERB_ACK], &limits),
+            Err(DecodeError::UnsupportedVersion(9))
+        );
+        assert_eq!(
+            Message::decode(&[PROTOCOL_VERSION, 0x7f], &limits),
+            Err(DecodeError::UnknownVerb(0x7f))
+        );
+        assert_eq!(Message::decode(&[], &limits), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let limits = FrameLimits::default();
+        let mut encoded = Message::Ack.encode();
+        encoded.push(0);
+        assert_eq!(
+            Message::decode(&encoded, &limits),
+            Err(DecodeError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn field_limits_yield_typed_errors_without_allocation() {
+        let limits = FrameLimits {
+            max_pattern: 4,
+            max_document: 4,
+            max_batch: 1,
+            ..FrameLimits::default()
+        };
+        let long_pattern = Message::Subscribe {
+            subscriber: 0,
+            broker: 0,
+            pattern: "/a/b/c/d/e".to_string(),
+        };
+        assert_eq!(
+            Message::decode(&long_pattern.encode(), &limits),
+            Err(DecodeError::PatternTooLong { size: 10, limit: 4 })
+        );
+        let big_document = Message::Publish {
+            document: b"<aaaaaa/>".to_vec(),
+        };
+        assert_eq!(
+            Message::decode(&big_document.encode(), &limits),
+            Err(DecodeError::DocumentTooLarge { size: 9, limit: 4 })
+        );
+        let batch = Message::Forward {
+            from: 0,
+            documents: vec![b"<a/>".to_vec(), b"<b/>".to_vec()],
+        };
+        assert_eq!(
+            Message::decode(&batch.encode(), &limits),
+            Err(DecodeError::BatchTooLarge { size: 2, limit: 1 })
+        );
+    }
+
+    #[test]
+    fn announced_lengths_never_outrun_the_payload() {
+        // A document field claiming 1 GiB with 4 bytes present must fail
+        // with Truncated (after the limit check) without allocating.
+        let limits = FrameLimits::default();
+        let mut payload = vec![PROTOCOL_VERSION, VERB_PUBLISH];
+        payload.extend_from_slice(&(1u32 << 19).to_be_bytes());
+        payload.extend_from_slice(b"tiny");
+        assert_eq!(
+            Message::decode(&payload, &limits),
+            Err(DecodeError::Truncated)
+        );
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_before_reading_the_payload() {
+        let limits = FrameLimits {
+            max_frame: 8,
+            ..FrameLimits::default()
+        };
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&(1u32 << 30).to_be_bytes());
+        let mut cursor = io::Cursor::new(stream);
+        match read_frame(&mut cursor, &limits) {
+            Err(FrameError::Decode(DecodeError::FrameTooLarge { size, limit })) => {
+                assert_eq!(size, 1 << 30);
+                assert_eq!(limit, 8);
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_codes_round_trip_and_unknown_codes_are_typed() {
+        for code in [
+            ErrorCode::BadPattern,
+            ErrorCode::LintRejected,
+            ErrorCode::BadDocument,
+            ErrorCode::UnknownBroker,
+            ErrorCode::DuplicateSubscriber,
+        ] {
+            assert_eq!(ErrorCode::from_u16(code.to_u16()), Some(code));
+        }
+        let limits = FrameLimits::default();
+        let mut payload = vec![PROTOCOL_VERSION, VERB_ERROR];
+        payload.extend_from_slice(&999u16.to_be_bytes());
+        payload.extend_from_slice(&0u32.to_be_bytes());
+        assert_eq!(
+            Message::decode(&payload, &limits),
+            Err(DecodeError::UnknownErrorCode(999))
+        );
+    }
+}

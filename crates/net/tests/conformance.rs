@@ -1,0 +1,142 @@
+//! The tentpole guarantee: a zero-churn scenario pushed through the live
+//! socket runtime produces delivery counters **exactly** equal to both the
+//! discrete-event simulator and the static batch evaluation, for every
+//! forwarding mode.
+//!
+//! The three implementations share the matcher, the tables and the
+//! topology but differ in everything else (threads and sockets vs an
+//! event loop vs a plain batch loop), so counter-for-counter equality is
+//! strong evidence they implement the same routing semantics.
+
+use std::time::Duration;
+
+use tps_net::{LocalOverlay, OverlayConfig, Transport};
+use tps_routing::{BrokerNetwork, BrokerTopology, ForwardingMode, NetworkStats};
+use tps_sim::{ReclusterPolicy, SimConfig, Simulation};
+use tps_workload::{ChurnConfig, ChurnScenario, Dtd};
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+fn scenario() -> ChurnScenario {
+    ChurnScenario::generate(
+        &Dtd::media(),
+        &ChurnConfig {
+            brokers: 7,
+            initial_subscribers: 8,
+            arrivals: 0,
+            departures: 0,
+            publications: 25,
+            horizon: 400,
+            seed: 7,
+            ..ChurnConfig::default()
+        },
+    )
+}
+
+/// Aggregate counters in the shape all three runs can be reduced to.
+#[derive(Debug, PartialEq)]
+struct Counters {
+    documents: u64,
+    deliveries: u64,
+    link_messages: u64,
+    spurious_link_messages: u64,
+    match_operations: u64,
+}
+
+fn static_counters(stats: &NetworkStats) -> Counters {
+    Counters {
+        documents: stats.documents as u64,
+        deliveries: stats.deliveries as u64,
+        link_messages: stats.link_messages as u64,
+        spurious_link_messages: stats.spurious_link_messages as u64,
+        match_operations: stats.match_operations as u64,
+    }
+}
+
+fn live_counters(scenario: &ChurnScenario, forwarding: ForwardingMode) -> Counters {
+    let overlay = LocalOverlay::spawn(
+        OverlayConfig {
+            topology: BrokerTopology::balanced_tree(7, 2),
+            forwarding,
+            ..OverlayConfig::default()
+        },
+        Transport::Tcp,
+    )
+    .expect("spawn overlay");
+
+    for (subscriber, (broker, pattern)) in scenario.initial.iter().enumerate() {
+        overlay
+            .client(*broker)
+            .expect("client")
+            .subscribe(subscriber as u64, *broker as u32, &pattern.to_string())
+            .expect("subscribe");
+    }
+    overlay
+        .await_consumers(scenario.initial.len() as u64, TIMEOUT)
+        .expect("subscription flood converges");
+
+    let mut producer = overlay.client(0).expect("producer client");
+    for document in scenario.published_documents() {
+        producer
+            .publish(document.to_xml().as_bytes())
+            .expect("publish");
+    }
+    let stats = overlay.quiesce(TIMEOUT).expect("quiesce");
+    overlay.shutdown().expect("shutdown");
+
+    assert_eq!(
+        stats.iter().map(|s| s.forwards_dropped).sum::<u64>(),
+        0,
+        "a conformance run must not shed load"
+    );
+    Counters {
+        documents: stats.iter().map(|s| s.documents).sum(),
+        deliveries: stats.iter().map(|s| s.deliveries).sum(),
+        link_messages: stats.iter().map(|s| s.link_messages).sum(),
+        spurious_link_messages: stats.iter().map(|s| s.spurious_link_messages).sum(),
+        match_operations: stats.iter().map(|s| s.match_operations).sum(),
+    }
+}
+
+fn sim_counters(scenario: &ChurnScenario, forwarding: ForwardingMode) -> Counters {
+    let report = Simulation::new(
+        BrokerTopology::balanced_tree(7, 2),
+        SimConfig {
+            forwarding,
+            recluster: ReclusterPolicy::Eager,
+            ..SimConfig::default()
+        },
+    )
+    .run(scenario);
+    let a = report.aggregate;
+    assert_eq!(a.missed_deliveries, 0, "zero churn loses nothing");
+    Counters {
+        documents: a.documents as u64,
+        deliveries: a.deliveries as u64,
+        link_messages: a.link_messages as u64,
+        spurious_link_messages: a.spurious_link_messages as u64,
+        match_operations: a.match_operations as u64,
+    }
+}
+
+#[test]
+fn live_runtime_matches_sim_and_static_counter_for_counter() {
+    let scenario = scenario();
+    let documents = scenario.published_documents();
+    assert!(!documents.is_empty(), "the scenario publishes something");
+    let topology = BrokerTopology::balanced_tree(7, 2);
+
+    for forwarding in ForwardingMode::all() {
+        let mut network = BrokerNetwork::new(topology.clone());
+        for (broker, pattern) in &scenario.initial {
+            network.attach(*broker, "static", pattern.clone());
+        }
+        let expected = static_counters(&network.route_stream(0, &documents, forwarding));
+
+        let sim = sim_counters(&scenario, forwarding);
+        assert_eq!(sim, expected, "sim vs static, mode {}", forwarding.name());
+
+        let live = live_counters(&scenario, forwarding);
+        assert_eq!(live, expected, "live vs static, mode {}", forwarding.name());
+    }
+}

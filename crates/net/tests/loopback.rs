@@ -1,0 +1,222 @@
+//! Loopback integration tests: real sockets, real threads, both
+//! transports.
+//!
+//! Every scenario runs twice — once over TCP on `127.0.0.1`, once over a
+//! Unix domain socket — through the same helper, so the two transports
+//! are held to identical behaviour.
+
+use std::time::Duration;
+
+use tps_net::{BrokerStats, ErrorCode, LocalOverlay, OverlayConfig, Transport};
+
+const TIMEOUT: Duration = Duration::from_secs(20);
+
+fn spawn(transport: Transport) -> LocalOverlay {
+    LocalOverlay::spawn(OverlayConfig::default(), transport).expect("spawn overlay")
+}
+
+fn total(stats: &[BrokerStats], f: impl Fn(&BrokerStats) -> u64) -> u64 {
+    stats.iter().map(f).sum()
+}
+
+/// Subscribe at two leaf brokers, publish at the root, and watch the
+/// document forward across real links and come back as a delivery push.
+fn subscribe_publish_forward_deliver(transport: Transport) {
+    let overlay = spawn(transport);
+    let mut cd_fan = overlay.client(1).expect("client 1");
+    cd_fan.subscribe(0, 1, "//CD").expect("subscribe //CD");
+    let mut book_fan = overlay.client(2).expect("client 2");
+    book_fan
+        .subscribe(1, 2, "//book")
+        .expect("subscribe //book");
+    overlay
+        .await_consumers(2, TIMEOUT)
+        .expect("flood converges");
+
+    let mut producer = overlay.client(0).expect("client 0");
+    producer
+        .publish(b"<media><CD><title>Requiem</title></CD></media>")
+        .expect("publish");
+
+    let delivery = cd_fan
+        .recv_delivery(TIMEOUT)
+        .expect("recv")
+        .expect("a delivery push arrives");
+    assert_eq!(delivery.0, 0, "pushed to the CD subscriber");
+    let text = String::from_utf8(delivery.1).expect("utf-8 document");
+    assert!(text.contains("Requiem"), "{text}");
+    assert_eq!(
+        book_fan
+            .recv_delivery(Duration::from_millis(200))
+            .expect("recv"),
+        None,
+        "the book subscriber is not interested"
+    );
+
+    let stats = overlay.quiesce(TIMEOUT).expect("quiesce");
+    assert_eq!(total(&stats, |s| s.documents), 1);
+    assert_eq!(total(&stats, |s| s.deliveries), 1);
+    assert_eq!(
+        total(&stats, |s| s.link_messages),
+        1,
+        "the exact table forwards only towards broker 1"
+    );
+    assert_eq!(total(&stats, |s| s.forwards_dropped), 0);
+    overlay.shutdown().expect("shutdown");
+}
+
+#[test]
+fn tcp_subscribe_publish_forward_deliver() {
+    subscribe_publish_forward_deliver(Transport::Tcp);
+}
+
+#[test]
+fn unix_subscribe_publish_forward_deliver() {
+    subscribe_publish_forward_deliver(Transport::Unix);
+}
+
+/// Unsubscribe stops both delivery pushes and (after the table rebuild)
+/// inter-broker forwards.
+fn unsubscribe_stops_traffic(transport: Transport) {
+    let overlay = spawn(transport);
+    let mut fan = overlay.client(1).expect("client 1");
+    fan.subscribe(0, 1, "//CD").expect("subscribe");
+    overlay
+        .await_consumers(1, TIMEOUT)
+        .expect("flood converges");
+    fan.unsubscribe(0).expect("unsubscribe");
+    fan.unsubscribe(0).expect("unsubscribe is idempotent");
+    overlay
+        .await_consumers(0, TIMEOUT)
+        .expect("flood converges");
+
+    let mut producer = overlay.client(0).expect("client 0");
+    producer.publish(b"<media><CD/></media>").expect("publish");
+    let stats = overlay.quiesce(TIMEOUT).expect("quiesce");
+    assert_eq!(total(&stats, |s| s.deliveries), 0);
+    assert_eq!(total(&stats, |s| s.link_messages), 0);
+    assert_eq!(
+        fan.recv_delivery(Duration::from_millis(200)).expect("recv"),
+        None
+    );
+    overlay.shutdown().expect("shutdown");
+}
+
+#[test]
+fn tcp_unsubscribe_stops_traffic() {
+    unsubscribe_stops_traffic(Transport::Tcp);
+}
+
+#[test]
+fn unix_unsubscribe_stops_traffic() {
+    unsubscribe_stops_traffic(Transport::Unix);
+}
+
+/// Broker-side validation surfaces as typed remote errors, and the
+/// connection survives them.
+fn errors_are_typed_and_survivable(transport: Transport) {
+    let overlay = spawn(transport);
+    let mut client = overlay.client(0).expect("client 0");
+
+    let err = client.subscribe(0, 0, "///").expect_err("bad pattern");
+    match err {
+        tps_net::ClientError::Remote { code, .. } => assert_eq!(code, ErrorCode::BadPattern),
+        other => panic!("expected a remote error, got {other}"),
+    }
+    let err = client.subscribe(0, 99, "//CD").expect_err("bad broker");
+    match err {
+        tps_net::ClientError::Remote { code, .. } => assert_eq!(code, ErrorCode::UnknownBroker),
+        other => panic!("expected a remote error, got {other}"),
+    }
+    let err = client.publish(b"<open>").expect_err("bad document");
+    match err {
+        tps_net::ClientError::Remote { code, .. } => assert_eq!(code, ErrorCode::BadDocument),
+        other => panic!("expected a remote error, got {other}"),
+    }
+
+    // The same connection still works after three rejected requests.
+    client.subscribe(0, 0, "//CD").expect("subscribe");
+    client.publish(b"<media><CD/></media>").expect("publish");
+    let delivery = client.recv_delivery(TIMEOUT).expect("recv");
+    assert!(delivery.is_some(), "local delivery still flows");
+    overlay.shutdown().expect("shutdown");
+}
+
+#[test]
+fn tcp_errors_are_typed_and_survivable() {
+    errors_are_typed_and_survivable(Transport::Tcp);
+}
+
+#[test]
+fn unix_errors_are_typed_and_survivable() {
+    errors_are_typed_and_survivable(Transport::Unix);
+}
+
+/// Kill a broker mid-run, watch drops get counted, then restart it and
+/// watch the resynced view route documents again.
+fn failover_drops_then_recovers(transport: Transport) {
+    let mut overlay = spawn(transport);
+    let mut fan = overlay.client(1).expect("client 1");
+    fan.subscribe(0, 1, "//CD").expect("subscribe");
+    overlay
+        .await_consumers(1, TIMEOUT)
+        .expect("flood converges");
+
+    assert!(overlay.kill(1), "broker 1 was live");
+    assert!(!overlay.kill(1), "kill is idempotent");
+    assert!(overlay.addr(1).is_none(), "a dead broker has no address");
+
+    let mut producer = overlay.client(0).expect("client 0");
+    producer
+        .publish(b"<media><CD/></media>")
+        .expect("publishing while a peer is down still succeeds");
+    let stats = overlay.quiesce(TIMEOUT).expect("quiesce");
+    assert_eq!(
+        total(&stats, |s| s.forwards_dropped),
+        1,
+        "the forward towards the dead broker is a counted drop"
+    );
+    assert_eq!(total(&stats, |s| s.deliveries), 0);
+
+    overlay.restart(1).expect("restart");
+    let mut rejoined = overlay.client(1).expect("client 1 after rejoin");
+    let view = rejoined.sync_state().expect("sync state");
+    assert_eq!(view.len(), 1, "the view was resynced from a live neighbour");
+    assert_eq!(view[0].subscriber, 0);
+
+    producer.publish(b"<media><CD/></media>").expect("publish");
+    let stats = overlay.quiesce(TIMEOUT).expect("quiesce");
+    assert_eq!(
+        total(&stats, |s| s.deliveries),
+        1,
+        "the rejoined broker routes again"
+    );
+    overlay.shutdown().expect("shutdown");
+}
+
+#[test]
+fn tcp_failover_drops_then_recovers() {
+    failover_drops_then_recovers(Transport::Tcp);
+}
+
+#[test]
+fn unix_failover_drops_then_recovers() {
+    failover_drops_then_recovers(Transport::Unix);
+}
+
+/// A client asking the broker to shut down gets an ack first, and the
+/// handle notices.
+#[test]
+fn shutdown_verb_stops_the_broker() {
+    let overlay = spawn(Transport::Tcp);
+    let mut client = overlay.client(2).expect("client 2");
+    client.shutdown_broker().expect("shutdown acked");
+    let deadline = std::time::Instant::now() + TIMEOUT;
+    while overlay.addr(2).is_some() && overlay.client(2).is_ok() {
+        if std::time::Instant::now() > deadline {
+            panic!("broker 2 kept serving after a shutdown request");
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    overlay.shutdown().expect("shutdown");
+}

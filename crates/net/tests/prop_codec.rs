@@ -1,0 +1,116 @@
+//! Property tests of the wire codec: `decode ∘ encode` is the identity
+//! over randomly generated messages, and `decode` over arbitrary bytes is
+//! total (an `Ok` or a typed error, never a panic).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use tps_net::codec::{BrokerStats, SyncConsumer};
+use tps_net::{FrameLimits, Message};
+
+fn text() -> impl Strategy<Value = String> {
+    vec(
+        prop::sample::select("abcdepst/[]*=\"'".chars().collect::<Vec<char>>()),
+        0..40,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+fn document() -> impl Strategy<Value = Vec<u8>> {
+    vec(any::<u8>(), 0..200)
+}
+
+fn stats() -> impl Strategy<Value = BrokerStats> {
+    (any::<u32>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(broker, a, b, c)| {
+        BrokerStats {
+            broker,
+            consumers: a,
+            documents: b,
+            deliveries: c,
+            link_messages: a ^ b,
+            spurious_link_messages: b ^ c,
+            match_operations: a.wrapping_add(b),
+            forwards_received: b.wrapping_add(c),
+            forwards_dropped: a.wrapping_mul(3),
+            errors: c.wrapping_mul(5),
+            table_rebuilds: a.rotate_left(7),
+            table_nodes: b.rotate_left(13),
+            communities: c.rotate_left(17),
+        }
+    })
+}
+
+fn message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (any::<u64>(), 0u32..64, text()).prop_map(|(subscriber, broker, pattern)| {
+            Message::Subscribe {
+                subscriber,
+                broker,
+                pattern,
+            }
+        }),
+        any::<u64>().prop_map(|subscriber| Message::Unsubscribe { subscriber }),
+        document().prop_map(|document| Message::Publish { document }),
+        Just(Message::Stats),
+        (0u32..64, vec(document(), 0..8))
+            .prop_map(|(from, documents)| Message::Forward { from, documents }),
+        Just(Message::Shutdown),
+        Just(Message::SyncRequest),
+        (0u32..64).prop_map(|broker| Message::Hello { broker }),
+        Just(Message::Ack),
+        (1u16..6, text()).prop_map(|(code, message)| Message::Error {
+            code: tps_net::ErrorCode::from_u16(code).expect("codes 1..=5 are defined"),
+            message,
+        }),
+        stats().prop_map(|stats| Message::StatsReply { stats }),
+        (any::<u64>(), document()).prop_map(|(subscriber, document)| Message::Deliver {
+            subscriber,
+            document
+        }),
+        vec(
+            (any::<u64>(), 0u32..64, text()).prop_map(|(subscriber, broker, pattern)| {
+                SyncConsumer {
+                    subscriber,
+                    broker,
+                    pattern,
+                }
+            }),
+            0..12
+        )
+        .prop_map(|consumers| Message::SyncState { consumers }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every encodable message decodes back to itself under the default
+    /// limits (generated values stay inside them by construction).
+    #[test]
+    fn decode_encode_is_the_identity(message in message()) {
+        let bytes = message.encode();
+        let back = Message::decode(&bytes, &FrameLimits::default());
+        prop_assert_eq!(back.as_ref(), Ok(&message), "bytes: {:?}", bytes);
+    }
+
+    /// Arbitrary bytes never panic the decoder: they either decode or they
+    /// produce a typed error.
+    #[test]
+    fn decode_is_total_over_arbitrary_bytes(bytes in vec(any::<u8>(), 0..512)) {
+        let _ = Message::decode(&bytes, &FrameLimits::default());
+    }
+
+    /// Flipping any single byte of a valid encoding never panics, and a
+    /// re-decoded success is still internally consistent (it re-encodes).
+    #[test]
+    fn single_byte_corruption_is_survivable(message in message(), index in any::<u16>(), flip in 1u8..=255) {
+        let mut bytes = message.encode();
+        let index = (index as usize) % bytes.len().max(1);
+        if let Some(byte) = bytes.get_mut(index) {
+            *byte ^= flip;
+        }
+        if let Ok(decoded) = Message::decode(&bytes, &FrameLimits::default()) {
+            let _ = decoded.encode();
+        }
+    }
+}

@@ -30,6 +30,8 @@ pub struct WindowStats {
     pub missed_deliveries: usize,
     /// Routing-table / community rebuilds triggered in the window.
     pub rebuilds: usize,
+    /// Document hops dropped at failed brokers in the window.
+    pub dropped_hops: usize,
     /// Maximum in-flight hop backlog observed in the window (queueing
     /// pressure).
     pub max_queue_depth: usize,
@@ -63,6 +65,13 @@ pub struct SimStats {
     pub subscribes: usize,
     /// Subscriber departures processed.
     pub unsubscribes: usize,
+    /// Broker failures processed.
+    pub failures: usize,
+    /// Broker recoveries processed.
+    pub recoveries: usize,
+    /// Document hops dropped at failed brokers (each turns the interest
+    /// behind the failed broker into missed deliveries).
+    pub dropped_hops: usize,
     /// Routing-table / community rebuilds (including the initial build).
     pub table_rebuilds: usize,
     /// Total routing-table size built over the run, in pattern nodes — the
@@ -179,6 +188,13 @@ impl fmt::Display for SimReport {
             "churn: {} subscribes, {} unsubscribes; rebuilds: {} ({} table nodes built, {} entries pruned)",
             a.subscribes, a.unsubscribes, a.table_rebuilds, a.rebuild_table_nodes, a.rebuild_entries_pruned
         )?;
+        if a.failures > 0 {
+            writeln!(
+                f,
+                "failover: {} failures, {} recoveries, {} hops dropped at failed brokers",
+                a.failures, a.recoveries, a.dropped_hops
+            )?;
+        }
         writeln!(
             f,
             "link messages/doc: {:.2}  link precision: {:.3}  recall: {:.3}  matches/doc: {:.1}",

@@ -178,6 +178,9 @@ pub struct Simulation {
     queue: EventQueue,
     clock: u64,
     busy_until: Vec<u64>,
+    /// Brokers currently failed: hops arriving at them are dropped (the
+    /// frozen interest behind them turns into missed deliveries).
+    down: Vec<bool>,
     docs: Vec<Option<DocState>>,
     churn_since_rebuild: usize,
     window: WindowStats,
@@ -212,6 +215,7 @@ impl Simulation {
             queue: EventQueue::new(),
             clock: 0,
             busy_until: vec![0; brokers],
+            down: vec![false; brokers],
             docs: Vec::new(),
             churn_since_rebuild: 0,
             window: WindowStats::default(),
@@ -318,6 +322,26 @@ impl Simulation {
                 }
             }
             ScenarioAction::Publish { document } => self.publish(document),
+            // Failure and rejoin change where documents can *go*, never
+            // the subscription view: a failed broker keeps its consumers
+            // (they are owed documents and will be charged as missed), and
+            // routing tables are left untouched — exactly the live
+            // runtime's behaviour, where peers keep forwarding into the
+            // void until the broker rejoins.
+            ScenarioAction::Fail { broker } => {
+                if !self.down[*broker] {
+                    self.down[*broker] = true;
+                    self.report.aggregate.failures += 1;
+                    self.trace(format!("fail {broker}"));
+                }
+            }
+            ScenarioAction::Recover { broker } => {
+                if self.down[*broker] {
+                    self.down[*broker] = false;
+                    self.report.aggregate.recoveries += 1;
+                    self.trace(format!("recover {broker}"));
+                }
+            }
         }
     }
 
@@ -391,6 +415,22 @@ impl Simulation {
     /// A document arrives at a broker: queue behind the broker's service
     /// time, deliver locally, and forward per the (possibly stale) tables.
     fn process_hop(&mut self, doc: DocHandle, broker: BrokerId, from: Option<BrokerId>) {
+        // A failed broker drops the document on the floor: the hop ends
+        // here, and whatever interest lives behind this broker becomes
+        // missed deliveries when the document finalises.
+        if self.down[broker] {
+            // invariant: hops are only scheduled for in-flight documents
+            let state = self.docs[doc].as_mut().expect("hop for finalised document");
+            state.outstanding -= 1;
+            let outstanding = state.outstanding;
+            self.report.aggregate.dropped_hops += 1;
+            self.window.dropped_hops += 1;
+            self.trace(format!("drop doc{doc} at {broker} (down)"));
+            if outstanding == 0 {
+                self.finalise(doc);
+            }
+            return;
+        }
         // Broker-side queueing: if the broker is still serving an earlier
         // document, defer this hop to when it frees up (FIFO per broker —
         // the requeue keeps scheduling order).

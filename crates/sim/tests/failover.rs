@@ -1,0 +1,131 @@
+//! Broker failure / rejoin semantics of the simulator.
+//!
+//! A failed broker drops arriving documents (the frozen interest behind it
+//! becomes missed deliveries) and a recovered broker routes again with the
+//! tables it always had — the subscription view never changes across a
+//! failure, mirroring the live runtime's resync-on-rejoin behaviour.
+
+use tps_pattern::TreePattern;
+use tps_routing::BrokerTopology;
+use tps_sim::{SimConfig, Simulation};
+use tps_workload::{ChurnConfig, ChurnScenario, Dtd, ScenarioAction, ScenarioEvent};
+use tps_xml::XmlTree;
+
+fn cd_doc() -> XmlTree {
+    XmlTree::parse("<media><CD><title>Requiem</title></CD></media>").expect("valid document")
+}
+
+fn publish(time: u64) -> ScenarioEvent {
+    ScenarioEvent {
+        time,
+        action: ScenarioAction::Publish { document: cd_doc() },
+    }
+}
+
+/// Hand-built timeline: deliver, fail, drop, recover, deliver again.
+#[test]
+fn documents_drop_while_a_broker_is_down_and_flow_again_after_rejoin() {
+    let scenario = ChurnScenario {
+        initial: vec![(1, TreePattern::parse("//CD").expect("valid pattern"))],
+        events: vec![
+            publish(1),
+            ScenarioEvent {
+                time: 10,
+                action: ScenarioAction::Fail { broker: 1 },
+            },
+            publish(11),
+            ScenarioEvent {
+                time: 20,
+                action: ScenarioAction::Recover { broker: 1 },
+            },
+            publish(21),
+        ],
+    };
+    let report =
+        Simulation::new(BrokerTopology::balanced_tree(3, 2), SimConfig::default()).run(&scenario);
+    let a = report.aggregate;
+    assert_eq!(a.documents, 3);
+    assert_eq!(a.failures, 1);
+    assert_eq!(a.recoveries, 1);
+    assert_eq!(a.dropped_hops, 1, "only the mid-outage document is dropped");
+    assert_eq!(a.deliveries, 2, "the outage costs exactly one delivery");
+    assert_eq!(a.missed_deliveries, 1);
+    assert!(
+        report.windows.iter().map(|w| w.dropped_hops).sum::<usize>() == 1,
+        "the drop lands in a window"
+    );
+    let text = report.to_string();
+    assert!(text.contains("failover: 1 failures"), "{text}");
+}
+
+/// Failing and recovering a broker nobody routes through changes nothing.
+#[test]
+fn failing_an_idle_broker_is_invisible_to_delivery() {
+    let base = ChurnScenario {
+        initial: vec![(1, TreePattern::parse("//CD").expect("valid pattern"))],
+        events: vec![publish(1), publish(5)],
+    };
+    let mut with_idle_failure = base.clone();
+    with_idle_failure.events.push(ScenarioEvent {
+        time: 2,
+        action: ScenarioAction::Fail { broker: 2 },
+    });
+    with_idle_failure.events.push(ScenarioEvent {
+        time: 8,
+        action: ScenarioAction::Recover { broker: 2 },
+    });
+    let topology = BrokerTopology::balanced_tree(3, 2);
+    let calm = Simulation::new(topology.clone(), SimConfig::default()).run(&base);
+    let failed = Simulation::new(topology, SimConfig::default()).run(&with_idle_failure);
+    assert_eq!(failed.aggregate.deliveries, calm.aggregate.deliveries);
+    assert_eq!(
+        failed.aggregate.missed_deliveries,
+        calm.aggregate.missed_deliveries
+    );
+    assert_eq!(
+        failed.aggregate.dropped_hops, 0,
+        "nothing routes through broker 2"
+    );
+    assert_eq!(failed.aggregate.failures, 1);
+}
+
+/// On generated scenarios, failures only convert deliveries into misses:
+/// the sum is conserved against the identical zero-failure run, because
+/// interest is frozen at publish time and the subscription timeline is
+/// byte-identical with and without the failure events.
+#[test]
+fn failures_conserve_interest_against_the_calm_run() {
+    let config = ChurnConfig {
+        brokers: 7,
+        initial_subscribers: 10,
+        arrivals: 3,
+        departures: 3,
+        publications: 30,
+        horizon: 300,
+        seed: 11,
+        ..ChurnConfig::default()
+    };
+    let failing = ChurnScenario::generate(&Dtd::media(), &config.clone().with_failures(3));
+    let calm = ChurnScenario::generate(&Dtd::media(), &config);
+    assert_eq!(failing.failure_count(), 3);
+
+    let topology = BrokerTopology::balanced_tree(7, 2);
+    let calm_report = Simulation::new(topology.clone(), SimConfig::default()).run(&calm);
+    let failing_report = Simulation::new(topology, SimConfig::default()).run(&failing);
+
+    assert_eq!(calm_report.aggregate.dropped_hops, 0);
+    assert!(failing_report.aggregate.failures >= 1);
+    assert_eq!(
+        failing_report.aggregate.failures, failing_report.aggregate.recoveries,
+        "every counted failure has a counted recovery"
+    );
+    assert_eq!(
+        failing_report.aggregate.deliveries + failing_report.aggregate.missed_deliveries,
+        calm_report.aggregate.deliveries + calm_report.aggregate.missed_deliveries,
+        "failures convert deliveries into misses, never create or destroy interest"
+    );
+    assert!(
+        failing_report.aggregate.deliveries <= calm_report.aggregate.deliveries,
+        "an outage cannot add deliveries"
+    );
+}

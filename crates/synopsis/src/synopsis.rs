@@ -13,7 +13,6 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use tps_xml::stream::{DocumentStream, StreamError};
 use tps_xml::XmlTree;
 
 use crate::distinct::DEFAULT_SEED;
@@ -291,7 +290,7 @@ impl Synopsis {
     /// The current synopsis epoch.
     ///
     /// The epoch is bumped by every mutation that can change a matching set:
-    /// [`Synopsis::insert_document`] / [`Synopsis::insert_skeleton`], node
+    /// every [`crate::Ingest::ingest`] / [`crate::IngestTarget`] observation, node
     /// deletion, and every pruning operation (folds, deletions, merges).
     /// Read-only queries never move it, so a cache keyed by the epoch is
     /// invalidated exactly when the synopsis changes.
@@ -368,37 +367,6 @@ impl Synopsis {
             .sum()
     }
 
-    /// Observe one document: build its skeleton and fold it into the
-    /// synopsis. Returns the identifier assigned to the document.
-    #[deprecated(note = "use `synopsis.ingest(ingest::tree(document))` (the `Ingest` trait)")]
-    pub fn insert_document(&mut self, document: &XmlTree) -> DocId {
-        let doc = DocId(self.doc_count);
-        self.fold_tree_as(document, doc);
-        doc
-    }
-
-    /// Observe a document that is already a skeleton tree (children with
-    /// duplicate labels are assumed to have been coalesced).
-    #[deprecated(note = "use `synopsis.ingest(ingest::skeleton(tree))` (the `Ingest` trait)")]
-    pub fn insert_skeleton(&mut self, skeleton: &XmlTree) -> DocId {
-        let doc = DocId(self.doc_count);
-        self.fold_skeleton_as(skeleton, doc);
-        doc
-    }
-
-    /// Observe a document under an explicit stream identifier (its 0-based
-    /// global stream position).
-    #[deprecated(note = "use `IngestTarget::ingest_tree_as` instead")]
-    pub fn insert_document_as(&mut self, document: &XmlTree, doc: DocId) {
-        self.fold_tree_as(document, doc);
-    }
-
-    /// Skeleton-tree variant of the explicit-identifier observation.
-    #[deprecated(note = "use `IngestTarget::ingest_skeleton_as` instead")]
-    pub fn insert_skeleton_as(&mut self, skeleton: &XmlTree, doc: DocId) {
-        self.fold_skeleton_as(skeleton, doc);
-    }
-
     /// Skeletonise a document tree and fold it in under an explicit stream
     /// identifier (its 0-based global stream position).
     ///
@@ -442,14 +410,6 @@ impl Synopsis {
         self.touch();
     }
 
-    /// Observe every document of a pull-based stream, parsing lazily and
-    /// never materialising the corpus. Returns the number of documents
-    /// observed from this stream.
-    #[deprecated(note = "use `synopsis.ingest(ingest::stream(stream))` (the `Ingest` trait)")]
-    pub fn observe_stream<S: DocumentStream>(&mut self, stream: S) -> Result<u64, StreamError> {
-        crate::ingest::Ingest::ingest(self, crate::ingest::stream(stream))
-    }
-
     /// Merge another synopsis, built over a *disjoint* shard of the same
     /// document stream with the same configuration, into this one.
     ///
@@ -462,7 +422,7 @@ impl Synopsis {
     /// * **Hashes** union their distinct samples level-aware.
     ///
     /// Provided the shards observed disjoint document-identifier ranges of
-    /// one stream (see [`Synopsis::insert_document_as`]), merging is
+    /// one stream (see [`crate::IngestTarget::ingest_tree_as`]), merging is
     /// associative and commutative and the result is *estimate-identical*
     /// to a sequential build over the whole stream: every node carries the
     /// same matching-set value. Merging synopses that were pruned
@@ -576,36 +536,58 @@ impl Synopsis {
     }
 
     fn record_document(&mut self, skeleton: &XmlTree, doc: DocId) {
+        // Resolve with the same visit-stamp bookkeeping the byte-level
+        // ingest sink uses, so a document reaching one synopsis node over
+        // several skeleton paths (possible once `merge_nodes` has built a
+        // DAG) is recorded exactly once per node — not once per path — and
+        // the two ingest paths stay estimate-identical on DAGs.
+        self.ingest_epoch += 1;
+        let epoch = self.ingest_epoch;
+        let mut order: Vec<SynopsisNodeId> = Vec::new();
+        self.resolve_subtree(skeleton, skeleton.root(), self.root(), epoch, &mut order);
         let hashes_mode = matches!(self.config.kind, MatchingSetKind::Hashes { .. });
-        if !hashes_mode {
+        if hashes_mode {
+            // Hashes mode stores the document only at the end of each path
+            // — visited nodes nothing was entered below; parents recover
+            // the full matching set by unioning descendants.
+            for &node in &order {
+                if !self.nodes[node.index()].visit_internal {
+                    self.nodes[node.index()].summary.insert(doc);
+                }
+            }
+        } else {
             // The root's matching set is the set of all (sampled) documents.
             self.nodes[0].summary.insert(doc);
+            for &node in &order {
+                self.nodes[node.index()].summary.insert(doc);
+            }
         }
-        self.record_subtree(skeleton, skeleton.root(), self.root(), doc, hashes_mode);
     }
 
-    fn record_subtree(
+    /// Walk the skeleton, resolving each skeleton node to a synopsis node
+    /// and stamping first visits into `order` (the byte sink's `enter`,
+    /// expressed over a materialised tree).
+    fn resolve_subtree(
         &mut self,
         skeleton: &XmlTree,
         skeleton_node: tps_xml::NodeId,
         synopsis_parent: SynopsisNodeId,
-        doc: DocId,
-        hashes_mode: bool,
+        epoch: u64,
+        order: &mut Vec<SynopsisNodeId>,
     ) {
         let label = skeleton.label(skeleton_node);
         let node = self.find_or_create_child(synopsis_parent, label);
-        let is_leaf = skeleton.children(skeleton_node).is_empty();
-        if hashes_mode {
-            // Hashes mode stores the document only at the end of each path;
-            // parents recover the full matching set by unioning descendants.
-            if is_leaf {
-                self.nodes[node.index()].summary.insert(doc);
-            }
-        } else {
-            self.nodes[node.index()].summary.insert(doc);
+        if synopsis_parent != self.root() {
+            self.nodes[synopsis_parent.index()].visit_internal = true;
+        }
+        let entry = &mut self.nodes[node.index()];
+        if entry.visit != epoch {
+            entry.visit = epoch;
+            entry.visit_internal = false;
+            order.push(node);
         }
         for &child in skeleton.children(skeleton_node) {
-            self.record_subtree(skeleton, child, node, doc, hashes_mode);
+            self.resolve_subtree(skeleton, child, node, epoch, order);
         }
     }
 
@@ -1071,9 +1053,10 @@ mod tests {
         assert_eq!(s1.node_count(), s2.node_count());
     }
 
+    /// Explicit-identifier ingest (the shard-building entry point) matches
+    /// the sequential ingest path value for value.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_delegate_to_the_ingest_path() {
+    fn explicit_identifier_ingest_matches_the_sequential_path() {
         let docs = figure2_documents();
         for config in [
             SynopsisConfig::counters(),
@@ -1081,16 +1064,11 @@ mod tests {
             SynopsisConfig::hashes(8),
         ] {
             let via_ingest = Synopsis::from_documents(config, &docs);
-            let mut via_shims = Synopsis::new(config);
-            for doc in &docs {
-                via_shims.insert_document(doc);
-            }
-            assert_eq!(via_shims.document_count(), via_ingest.document_count());
-            assert_eq!(canonical_values(&via_shims), canonical_values(&via_ingest));
             let mut via_as = Synopsis::new(config);
             for (i, doc) in docs.iter().enumerate() {
-                via_as.insert_document_as(doc, DocId(i as u64));
+                via_as.ingest_tree_as(doc, DocId(i as u64));
             }
+            assert_eq!(via_as.document_count(), via_ingest.document_count());
             assert_eq!(canonical_values(&via_as), canonical_values(&via_ingest));
         }
     }

@@ -25,7 +25,9 @@ fn dag_parity_counters_and_hashes() {
         let text = "<a><x><k><z/></k></x><y><k/></y></a>";
         let tree = XmlTree::parse(text).unwrap();
         via_tree.ingest_tree_as(&tree, DocId(2));
-        via_bytes.ingest_bytes_as(text.as_bytes(), DocId(2)).unwrap();
+        via_bytes
+            .ingest_bytes_as(text.as_bytes(), DocId(2))
+            .unwrap();
         for id in via_tree.live_nodes() {
             assert_eq!(
                 via_tree.matching_value(id),

@@ -46,6 +46,11 @@ pub struct ChurnConfig {
     pub departures: usize,
     /// Publications interleaved with the churn.
     pub publications: usize,
+    /// Broker failure / rejoin pairs interleaved with the run: each pair
+    /// takes one broker down at a sampled time and brings it back at a
+    /// later sampled time. The producer broker (broker 0 by convention)
+    /// never fails, so publications always have an entry point.
+    pub failures: usize,
     /// Virtual-time span events are spread over (events are sampled
     /// uniformly in `1..=horizon`).
     pub horizon: u64,
@@ -66,6 +71,7 @@ impl Default for ChurnConfig {
             arrivals: 10,
             departures: 10,
             publications: 100,
+            failures: 0,
             horizon: 1_000,
             docgen: DocGenConfig::default(),
             xpathgen: XPathGenConfig::default(),
@@ -81,11 +87,18 @@ impl ChurnConfig {
         self
     }
 
-    /// Disable churn: no arrivals, no departures (the static-equivalence
-    /// baseline).
+    /// Disable churn: no arrivals, no departures, no failures (the
+    /// static-equivalence baseline).
     pub fn without_churn(mut self) -> Self {
         self.arrivals = 0;
         self.departures = 0;
+        self.failures = 0;
+        self
+    }
+
+    /// Set the number of broker failure / rejoin pairs.
+    pub fn with_failures(mut self, failures: usize) -> Self {
+        self.failures = failures;
         self
     }
 }
@@ -111,6 +124,17 @@ pub enum ScenarioAction {
     Publish {
         /// The published document.
         document: XmlTree,
+    },
+    /// A broker goes down: documents reaching it are dropped until it
+    /// recovers.
+    Fail {
+        /// The failing broker.
+        broker: usize,
+    },
+    /// A previously failed broker rejoins the overlay.
+    Recover {
+        /// The rejoining broker.
+        broker: usize,
     },
 }
 
@@ -235,6 +259,28 @@ impl ChurnScenario {
             index += 1;
         }
 
+        // Broker failure / rejoin pairs. Drawn after every other process,
+        // so a zero-failure configuration generates the exact same
+        // scenario it did before failures existed. The producer (broker 0)
+        // is exempt; a 1-broker overlay cannot fail at all.
+        if brokers > 1 {
+            for _ in 0..config.failures {
+                let broker = clock_rng.gen_range(1..brokers);
+                let fail_at = clock_rng.gen_range(1..=horizon);
+                let recover_at = clock_rng.gen_range(fail_at..=horizon);
+                events.push(ScenarioEvent {
+                    time: fail_at,
+                    action: ScenarioAction::Fail { broker },
+                });
+                // Same-tick pairs are fine: the stable sort keeps the Fail
+                // before its Recover.
+                events.push(ScenarioEvent {
+                    time: recover_at,
+                    action: ScenarioAction::Recover { broker },
+                });
+            }
+        }
+
         // Stable sort: ties keep generation order, making the scenario (and
         // everything downstream of it) a pure function of the seed.
         events.sort_by_key(|e| e.time);
@@ -251,7 +297,35 @@ impl ChurnScenario {
 
     /// Number of mid-run subscribe / unsubscribe events (the churn volume).
     pub fn churn_count(&self) -> usize {
-        self.events.len() - self.publication_count()
+        self.events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.action,
+                    ScenarioAction::Subscribe { .. } | ScenarioAction::Unsubscribe { .. }
+                )
+            })
+            .count()
+    }
+
+    /// Total distinct subscriber ids the scenario uses: the initial
+    /// subscribers plus every mid-run arrival. Ids are dense in
+    /// `0..subscriber_count()`.
+    pub fn subscriber_count(&self) -> usize {
+        self.initial.len()
+            + self
+                .events
+                .iter()
+                .filter(|e| matches!(e.action, ScenarioAction::Subscribe { .. }))
+                .count()
+    }
+
+    /// Number of broker failure events (each has a matching recovery).
+    pub fn failure_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.action, ScenarioAction::Fail { .. }))
+            .count()
     }
 
     /// The published documents, in publication order (the corpus a static
@@ -339,7 +413,9 @@ mod tests {
                         event.time
                     );
                 }
-                ScenarioAction::Publish { .. } => {}
+                ScenarioAction::Publish { .. }
+                | ScenarioAction::Fail { .. }
+                | ScenarioAction::Recover { .. } => {}
             }
         }
     }
@@ -372,6 +448,50 @@ mod tests {
         expected.sort_by_key(key);
         published.sort_by_key(key);
         assert_eq!(published, expected);
+    }
+
+    #[test]
+    fn failures_pair_up_and_spare_the_producer() {
+        let dtd = Dtd::media();
+        let scenario = ChurnScenario::generate(&dtd, &config().with_failures(3));
+        assert_eq!(scenario.failure_count(), 3);
+        let mut down = [false; 5];
+        for event in &scenario.events {
+            match event.action {
+                ScenarioAction::Fail { broker } => {
+                    assert_ne!(broker, 0, "the producer broker never fails");
+                    assert!(broker < 5);
+                    down[broker] = true;
+                }
+                ScenarioAction::Recover { broker } => {
+                    assert!(down[broker], "recover without a preceding failure");
+                    down[broker] = false;
+                }
+                _ => {}
+            }
+        }
+        assert!(down.iter().all(|&d| !d), "every failure recovers");
+    }
+
+    #[test]
+    fn failures_do_not_perturb_the_rest_of_the_scenario() {
+        let dtd = Dtd::media();
+        let without = ChurnScenario::generate(&dtd, &config());
+        let with = ChurnScenario::generate(&dtd, &config().with_failures(2));
+        assert_eq!(without.initial, with.initial);
+        let strip = |s: &ChurnScenario| {
+            s.events
+                .iter()
+                .filter(|e| {
+                    !matches!(
+                        e.action,
+                        ScenarioAction::Fail { .. } | ScenarioAction::Recover { .. }
+                    )
+                })
+                .cloned()
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(strip(&without), strip(&with));
     }
 
     #[test]

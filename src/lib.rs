@@ -24,8 +24,14 @@
 //!   communities for content-based routing ([`routing`]), with a
 //!   multi-broker overlay simulation and a semantic peer-to-peer overlay,
 //! * a deterministic discrete-event simulator of the broker network under
-//!   subscription churn, with online re-clustering policies ([`sim`]) over
-//!   seeded churn scenarios ([`workload::churn`]),
+//!   subscription churn and broker failure/rejoin, with online
+//!   re-clustering policies ([`sim`]) over seeded churn scenarios
+//!   ([`workload::churn`]),
+//! * a live multi-broker runtime serving the same semantics over real
+//!   TCP/Unix sockets — hand-rolled length-prefixed binary codec with
+//!   typed decode errors and hard frame limits, thread-per-connection
+//!   brokers with bounded peer queues, kill/rejoin with wire resync —
+//!   conformance-checked counter-exact against the simulator ([`net`]),
 //! * community-discovery algorithms over similarity matrices
 //!   (agglomerative, k-medoids, leader clustering, MinHash signatures and
 //!   quality metrics) ([`cluster`]),
@@ -152,6 +158,7 @@ pub use tps_analyze as analyze;
 pub use tps_cluster as cluster;
 pub use tps_core as core;
 pub use tps_dtd as dtd;
+pub use tps_net as net;
 pub use tps_pattern as pattern;
 pub use tps_routing as routing;
 pub use tps_sim as sim;
@@ -173,6 +180,7 @@ pub mod prelude {
         SimilarityEngine, SimilarityEngineBuilder,
     };
     pub use tps_dtd::{DtdSchema, PatternAnalyzer, ValidationMode, Validator};
+    pub use tps_net::{BrokerClient, FrameLimits, LocalOverlay, Message, OverlayConfig, Transport};
     pub use tps_pattern::TreePattern;
     pub use tps_routing::{
         BrokerNetwork, BrokerTopology, CommunityClustering, CommunityConfig, DeliveryMetrics,
