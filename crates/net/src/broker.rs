@@ -310,7 +310,12 @@ impl BrokerCore {
     /// per outgoing link with first-hit cost accounting, and never sending
     /// a document back over the link it arrived on.
     fn route(&mut self, document: &XmlTree, from: Option<BrokerId>) -> RouteOutcome {
-        if self.tables_stale || (self.table.is_none() && !self.consumers.is_empty()) {
+        // In table mode the table must exist before the per-link loop below
+        // — even for an empty view, which builds a valid match-nothing
+        // table. Flooding mode never consults it.
+        let needs_table =
+            matches!(self.forwarding, ForwardingMode::Table(_)) && self.table.is_none();
+        if self.tables_stale || needs_table {
             self.rebuild_table();
         }
         let mut outcome = RouteOutcome::default();
@@ -339,8 +344,8 @@ impl BrokerCore {
             match self.forwarding {
                 ForwardingMode::Flooding => chosen.push((link_index, neighbour)),
                 ForwardingMode::Table(_) => {
-                    // invariant: rebuild_table ran above whenever the view
-                    // is non-empty; an empty view builds an empty table too.
+                    // invariant: rebuild_table ran above whenever the table
+                    // was missing or stale in table mode.
                     let table = self.table.as_ref().expect("table forwarding has a table");
                     let (hit, cost) = table.link(link_index).matches(document);
                     self.stats.match_operations += cost as u64;
@@ -451,6 +456,20 @@ mod tests {
         assert_eq!(err.0, ErrorCode::UnknownBroker);
         let err = core.subscribe(1, 1, "///").unwrap_err();
         assert_eq!(err.0, ErrorCode::BadPattern);
+    }
+
+    #[test]
+    fn publish_with_an_empty_view_forwards_nowhere() {
+        // Regression: publishing before the first subscription used to
+        // panic in table mode (no table had ever been built).
+        let mut core = BrokerCore::new(0, &OverlayConfig::default());
+        let outcome = core.publish(&doc("<media><CD/></media>")).unwrap();
+        assert_eq!(outcome, RouteOutcome::default());
+        let outcome = core.forward_in(1, &doc("<media><CD/></media>")).unwrap();
+        assert_eq!(outcome, RouteOutcome::default());
+        let stats = core.stats();
+        assert_eq!(stats.documents, 1);
+        assert_eq!(stats.link_messages, 0);
     }
 
     #[test]

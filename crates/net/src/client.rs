@@ -7,12 +7,12 @@
 
 use std::collections::VecDeque;
 use std::fmt;
-use std::io;
+use std::io::{self, Read};
 use std::time::Duration;
 
 use crate::codec::{
-    read_frame, write_frame, BrokerStats, DecodeError, ErrorCode, FrameError, FrameLimits, Message,
-    SyncConsumer,
+    read_frame, read_frame_after_first, write_frame, BrokerStats, DecodeError, ErrorCode,
+    FrameError, FrameLimits, Message, SyncConsumer,
 };
 use crate::transport::{Addr, Stream};
 
@@ -174,6 +174,12 @@ impl BrokerClient {
 
     /// Wait up to `timeout` for the next delivery push. Returns `Ok(None)`
     /// on timeout.
+    ///
+    /// The timeout is armed only for the *first* byte of the length
+    /// prefix: a timed-out single-byte read consumes nothing, so the
+    /// stream stays frame-aligned. Once a frame has started, the rest is
+    /// read without a timeout — timing out mid-frame would discard the
+    /// bytes already consumed and desynchronise the connection for good.
     pub fn recv_delivery(
         &mut self,
         timeout: Duration,
@@ -182,22 +188,33 @@ impl BrokerClient {
             return Ok(Some(delivery));
         }
         self.stream.set_read_timeout(Some(timeout))?;
-        let result = read_frame(&mut self.stream, &self.limits);
+        let mut first = [0u8; 1];
+        let probed = loop {
+            match self.stream.read(&mut first) {
+                Ok(n) => break Ok(n),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => break Err(e),
+            }
+        };
         self.stream.set_read_timeout(None)?;
-        match result {
-            Ok(Some(Message::Deliver {
-                subscriber,
-                document,
-            })) => Ok(Some((subscriber, document))),
-            Ok(Some(other)) => Err(ClientError::Protocol(format!(
-                "expected Deliver, got {other:?}"
-            ))),
-            Ok(None) => Err(ClientError::Disconnected),
-            Err(FrameError::Io(e))
+        match probed {
+            Ok(0) => return Err(ClientError::Disconnected),
+            Ok(_) => {}
+            Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
-                Ok(None)
+                return Ok(None);
             }
+            Err(e) => return Err(e.into()),
+        }
+        match read_frame_after_first(&mut self.stream, first[0], &self.limits) {
+            Ok(Message::Deliver {
+                subscriber,
+                document,
+            }) => Ok(Some((subscriber, document))),
+            Ok(other) => Err(ClientError::Protocol(format!(
+                "expected Deliver, got {other:?}"
+            ))),
             Err(e) => Err(e.into()),
         }
     }

@@ -713,6 +713,29 @@ pub fn read_frame(
     Ok(Some(Message::decode(&payload, limits)?))
 }
 
+/// Like [`read_frame`], but for a stream whose first prefix byte was
+/// already consumed (a timed read probing for data — see
+/// `BrokerClient::recv_delivery`). The frame has demonstrably started, so
+/// EOF anywhere in it is an error rather than a clean close.
+pub fn read_frame_after_first(
+    reader: &mut impl Read,
+    first: u8,
+    limits: &FrameLimits,
+) -> Result<Message, FrameError> {
+    let mut rest = [0u8; 3];
+    reader.read_exact(&mut rest).map_err(FrameError::Io)?;
+    let len = u32::from_be_bytes([first, rest[0], rest[1], rest[2]]) as usize;
+    if len > limits.max_frame {
+        return Err(FrameError::Decode(DecodeError::FrameTooLarge {
+            size: len,
+            limit: limits.max_frame,
+        }));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload).map_err(FrameError::Io)?;
+    Ok(Message::decode(&payload, limits)?)
+}
+
 /// `read_exact` that reports a clean EOF *before the first byte* as
 /// `Ok(false)` instead of an error.
 fn read_exact_or_eof(reader: &mut impl Read, buf: &mut [u8]) -> io::Result<bool> {
@@ -810,6 +833,40 @@ mod tests {
             assert_eq!(got, Some(expected));
         }
         assert_eq!(read_frame(&mut cursor, &limits).unwrap(), None);
+    }
+
+    #[test]
+    fn read_frame_after_first_resumes_a_started_frame() {
+        let limits = FrameLimits::default();
+        for message in samples() {
+            let mut stream = Vec::new();
+            write_frame(&mut stream, &message).unwrap();
+            // The caller consumed the first prefix byte probing for data;
+            // the resumed read must complete the identical frame.
+            let mut rest = &stream[1..];
+            let got = read_frame_after_first(&mut rest, stream[0], &limits).unwrap();
+            assert_eq!(got, message);
+            assert!(rest.is_empty(), "the whole frame is consumed");
+        }
+    }
+
+    #[test]
+    fn read_frame_after_first_rejects_oversized_and_truncated_frames() {
+        let limits = FrameLimits::default();
+        let oversized = ((limits.max_frame + 1) as u32).to_be_bytes();
+        let mut rest = &oversized[1..];
+        assert!(matches!(
+            read_frame_after_first(&mut rest, oversized[0], &limits),
+            Err(FrameError::Decode(DecodeError::FrameTooLarge { .. }))
+        ));
+        // EOF after the frame started is an I/O error, never a clean close.
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &Message::Ack).unwrap();
+        let mut rest = &stream[1..stream.len() - 1];
+        assert!(matches!(
+            read_frame_after_first(&mut rest, stream[0], &limits),
+            Err(FrameError::Io(_))
+        ));
     }
 
     #[test]

@@ -218,7 +218,13 @@ impl Acceptor {
             let stream = match listener.accept() {
                 Ok(stream) => stream,
                 Err(_) if self.stop.load(Ordering::SeqCst) => break,
-                Err(_) => continue,
+                Err(_) => {
+                    // A persistent accept failure (e.g. fd exhaustion)
+                    // must not turn into a hot spin pinning a core; back
+                    // off briefly before retrying.
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    continue;
+                }
             };
             if self.stop.load(Ordering::SeqCst) {
                 break;
@@ -452,7 +458,16 @@ impl Service {
                             pattern,
                         });
                     }
-                    Ok(false) => self.reply(conn, Message::Ack),
+                    Ok(false) => {
+                        // Idempotent re-subscribe: the view is unchanged
+                        // (no flood), but a subscriber reconnecting after a
+                        // drop needs its Deliver push channel re-attached
+                        // to the new connection.
+                        if broker as BrokerId == self.core.id() && !from_peer {
+                            self.deliver_conns.insert(subscriber, conn);
+                        }
+                        self.reply(conn, Message::Ack);
+                    }
                     Err((code, message)) => self.reply(conn, Message::Error { code, message }),
                 }
             }

@@ -152,6 +152,49 @@ fn unix_errors_are_typed_and_survivable() {
     errors_are_typed_and_survivable(Transport::Unix);
 }
 
+/// A publication arriving before any subscription exists must not kill
+/// the broker (regression: the table-mode core used to panic with no
+/// table built yet), and a subscriber that reconnects and re-subscribes
+/// gets its delivery pushes re-attached to the new connection
+/// (regression: the idempotent re-subscribe used to leave the push
+/// channel on the dead connection).
+fn early_publish_and_resubscribe_after_reconnect(transport: Transport) {
+    let overlay = spawn(transport);
+    let mut producer = overlay.client(0).expect("client 0");
+    producer
+        .publish(b"<media><CD/></media>")
+        .expect("publishing into an empty view succeeds");
+
+    let mut fan = overlay.client(1).expect("client 1");
+    fan.subscribe(0, 1, "//CD").expect("subscribe");
+    overlay
+        .await_consumers(1, TIMEOUT)
+        .expect("flood converges");
+    // The connection closes; the subscription intentionally stays.
+    drop(fan);
+
+    let mut fan = overlay.client(1).expect("client 1 reconnects");
+    fan.subscribe(0, 1, "//CD")
+        .expect("re-subscribe is idempotent");
+    producer.publish(b"<media><CD/></media>").expect("publish");
+    let delivery = fan
+        .recv_delivery(TIMEOUT)
+        .expect("recv")
+        .expect("the reconnected subscriber receives pushes again");
+    assert_eq!(delivery.0, 0);
+    overlay.shutdown().expect("shutdown");
+}
+
+#[test]
+fn tcp_early_publish_and_resubscribe_after_reconnect() {
+    early_publish_and_resubscribe_after_reconnect(Transport::Tcp);
+}
+
+#[test]
+fn unix_early_publish_and_resubscribe_after_reconnect() {
+    early_publish_and_resubscribe_after_reconnect(Transport::Unix);
+}
+
 /// Kill a broker mid-run, watch drops get counted, then restart it and
 /// watch the resynced view route documents again.
 fn failover_drops_then_recovers(transport: Transport) {

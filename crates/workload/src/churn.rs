@@ -48,8 +48,11 @@ pub struct ChurnConfig {
     pub publications: usize,
     /// Broker failure / rejoin pairs interleaved with the run: each pair
     /// takes one broker down at a sampled time and brings it back at a
-    /// later sampled time. The producer broker (broker 0 by convention)
-    /// never fails, so publications always have an entry point.
+    /// later sampled time. Sampled intervals that overlap on the same
+    /// broker coalesce into one down interval, so the realised
+    /// [`ChurnScenario::failure_count`] can be lower than this. The
+    /// producer broker (broker 0 by convention) never fails, so
+    /// publications always have an entry point.
     pub failures: usize,
     /// Virtual-time span events are spread over (events are sampled
     /// uniformly in `1..=horizon`).
@@ -262,22 +265,41 @@ impl ChurnScenario {
         // Broker failure / rejoin pairs. Drawn after every other process,
         // so a zero-failure configuration generates the exact same
         // scenario it did before failures existed. The producer (broker 0)
-        // is exempt; a 1-broker overlay cannot fail at all.
+        // is exempt; a 1-broker overlay cannot fail at all. Sampled
+        // intervals that overlap (or touch) on the same broker are
+        // coalesced into one down interval — Fail/Recover are applied
+        // idempotently downstream, so emitting overlapping pairs would
+        // resurrect a broker at the earliest Recover while a still-open
+        // pair intended it down.
         if brokers > 1 {
+            let mut sampled: Vec<Vec<(u64, u64)>> = vec![Vec::new(); brokers];
             for _ in 0..config.failures {
                 let broker = clock_rng.gen_range(1..brokers);
                 let fail_at = clock_rng.gen_range(1..=horizon);
                 let recover_at = clock_rng.gen_range(fail_at..=horizon);
-                events.push(ScenarioEvent {
-                    time: fail_at,
-                    action: ScenarioAction::Fail { broker },
-                });
-                // Same-tick pairs are fine: the stable sort keeps the Fail
-                // before its Recover.
-                events.push(ScenarioEvent {
-                    time: recover_at,
-                    action: ScenarioAction::Recover { broker },
-                });
+                sampled[broker].push((fail_at, recover_at));
+            }
+            for (broker, intervals) in sampled.iter_mut().enumerate() {
+                intervals.sort_unstable();
+                let mut merged: Vec<(u64, u64)> = Vec::new();
+                for &(fail_at, recover_at) in intervals.iter() {
+                    match merged.last_mut() {
+                        Some(last) if fail_at <= last.1 => last.1 = last.1.max(recover_at),
+                        _ => merged.push((fail_at, recover_at)),
+                    }
+                }
+                for (fail_at, recover_at) in merged {
+                    events.push(ScenarioEvent {
+                        time: fail_at,
+                        action: ScenarioAction::Fail { broker },
+                    });
+                    // Same-tick pairs are fine: the stable sort keeps the
+                    // Fail before its Recover.
+                    events.push(ScenarioEvent {
+                        time: recover_at,
+                        action: ScenarioAction::Recover { broker },
+                    });
+                }
             }
         }
 
@@ -471,6 +493,45 @@ mod tests {
             }
         }
         assert!(down.iter().all(|&d| !d), "every failure recovers");
+    }
+
+    #[test]
+    fn overlapping_failure_pairs_coalesce_per_broker() {
+        // Many pairs on a tiny horizon with a single failable broker force
+        // interval overlaps for any seed; the emitted events must still
+        // alternate Fail/Recover per broker (Fail/Recover are applied
+        // idempotently downstream, so overlaps would resurrect a broker
+        // early).
+        let dtd = Dtd::media();
+        for seed in 0..20 {
+            let cfg = ChurnConfig {
+                brokers: 2,
+                horizon: 40,
+                seed,
+                ..config()
+            }
+            .with_failures(10);
+            let scenario = ChurnScenario::generate(&dtd, &cfg);
+            assert!(scenario.failure_count() >= 1);
+            let mut down = [false; 2];
+            for event in &scenario.events {
+                match event.action {
+                    ScenarioAction::Fail { broker } => {
+                        assert!(!down[broker], "seed {seed}: fail while already down");
+                        down[broker] = true;
+                    }
+                    ScenarioAction::Recover { broker } => {
+                        assert!(down[broker], "seed {seed}: recover without a failure");
+                        down[broker] = false;
+                    }
+                    _ => {}
+                }
+            }
+            assert!(
+                down.iter().all(|&d| !d),
+                "seed {seed}: every failure recovers"
+            );
+        }
     }
 
     #[test]
